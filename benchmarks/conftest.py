@@ -1,0 +1,35 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``benchmarks/test_*.py`` regenerates one table/figure of the paper
+(see DESIGN.md §4).  Conventions:
+
+* the experiment body runs once inside ``benchmark.pedantic(…,
+  rounds=1)`` so the files work both as ``pytest benchmarks/`` and as
+  ``pytest benchmarks/ --benchmark-only``;
+* every experiment prints its paper-style table and also writes it to
+  ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote
+  it;
+* full-scale experiments use the paper's 128-node × 18-ppn machine;
+  experiments whose baselines would need hours of simulated-message
+  processing at that scale (large-message ring allgathers) state their
+  reduced scale in the file docstring and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+def bench_scale() -> str:
+    """'full' (paper scale) unless REPRO_BENCH_SCALE=small is set."""
+    return os.environ.get("REPRO_BENCH_SCALE", "full")

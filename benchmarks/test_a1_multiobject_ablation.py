@@ -1,0 +1,92 @@
+"""A1 — Ablation: multi-object vs single-object, transport held fixed.
+
+The paper's §2 argues the multi-object design beats single-object
+techniques *independently of* the copy-cost story.  Both arms here run
+over the identical PiP transport; only the schedule differs:
+
+* single-object: leader-based hierarchical allgather (one rank per
+  node on the NIC), and binomial scatter (one sender);
+* multi-object: PiP-MColl's radix-(P+1) Bruck / node-slab scatter.
+
+Shape asserted: multi-object wins allgather at 64 B by ≥2× at paper
+scale (round count log_{P+1} vs log₂ plus P-way injection), and wins
+scatter (bounded margin — the root NIC wire is common to both).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import hier_allgather, scatter_binomial
+from repro.core import mcoll_allgather, mcoll_scatter
+from repro.machine import broadwell_opa
+from repro.runtime import World
+
+from conftest import bench_scale, save_result
+
+
+def _time_allgather(algo, nbytes, params):
+    world = World(params, intra="pip", functional=False)
+
+    def program(ctx):
+        send = ctx.alloc(nbytes)
+        recv = ctx.alloc(nbytes * ctx.size)
+        yield from ctx.hard_sync()
+        t0 = ctx.now
+        yield from algo(ctx, send.view(), recv.view())
+        return ctx.now - t0
+
+    return max(world.run(program)) * 1e6
+
+
+def _time_scatter(algo, nbytes, params):
+    world = World(params, intra="pip", functional=False)
+
+    def program(ctx):
+        send = ctx.alloc(nbytes * ctx.size) if ctx.rank == 0 else None
+        recv = ctx.alloc(nbytes)
+        yield from ctx.hard_sync()
+        t0 = ctx.now
+        yield from algo(ctx, send.view() if send else None, recv.view(), root=0)
+        return ctx.now - t0
+
+    return max(world.run(program)) * 1e6
+
+
+def _run():
+    if bench_scale() == "small":
+        params = broadwell_opa(nodes=16, ppn=6)
+    else:
+        params = broadwell_opa()
+    rows = {}
+    for nbytes in (64, 1024):
+        rows[("allgather", "single-object", nbytes)] = _time_allgather(
+            hier_allgather, nbytes, params)
+        rows[("allgather", "multi-object", nbytes)] = _time_allgather(
+            mcoll_allgather, nbytes, params)
+        rows[("scatter", "single-object", nbytes)] = _time_scatter(
+            scatter_binomial, nbytes, params)
+        rows[("scatter", "multi-object", nbytes)] = _time_scatter(
+            mcoll_scatter, nbytes, params)
+    return params, rows
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_multiobject_ablation(benchmark):
+    params, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"A1 multi-object ablation (PiP transport fixed), {params.name}"]
+    ratios = {}
+    for coll in ("allgather", "scatter"):
+        for nbytes in (64, 1024):
+            single = rows[(coll, "single-object", nbytes)]
+            multi = rows[(coll, "multi-object", nbytes)]
+            ratios[(coll, nbytes)] = single / multi
+            lines.append(
+                f"  {coll:9s} {nbytes:5d} B: single {single:9.2f} us, "
+                f"multi {multi:9.2f} us  ->  {single / multi:5.2f}x"
+            )
+    save_result("a1_multiobject_ablation", "\n".join(lines))
+
+    assert ratios[("allgather", 64)] >= (2.0 if bench_scale() != "small" else 1.3)
+    assert ratios[("scatter", 64)] > 1.0
+    assert all(r > 1.0 for r in ratios.values())

@@ -1,0 +1,73 @@
+"""A2 — Ablation: intra-node transport cost structure (paper §1).
+
+One node, 18 ranks, identical MPICH-style algorithms; only the
+transport changes.  This is the paper's motivation table: POSIX-SHMEM's
+double copy hurts as messages grow, CMA's syscall and XPMEM's
+attach/lookup hurt when messages are small, PiP pays neither, and the
+naive size-synced PiP (PiP-MPICH's transport) gives back the small-
+message win.
+
+Shape asserted:
+* small (64 B) bcast: pip fastest; pip_sizesync slower than posix
+  (the paper's "PiP-MPICH sometimes worst");
+* large (256 KiB) bcast: posix loses to every single-copy transport;
+* pip ≤ every other transport at both ends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import bcast_binomial
+from repro.machine import single_node
+from repro.runtime import World
+from repro.transport import available_transports
+
+from conftest import save_result
+
+
+def _time_bcast(transport, nbytes):
+    world = World(single_node(ppn=18), intra=transport, functional=False)
+
+    def program(ctx):
+        buf = ctx.alloc(nbytes)
+        lats = []
+        for _ in range(2):  # warmup + measure (amortise attach caches)
+            yield from ctx.hard_sync()
+            t0 = ctx.now
+            yield from bcast_binomial(ctx, buf.view(), root=0)
+            lats.append(ctx.now - t0)
+        return lats[-1]
+
+    return max(world.run(program)) * 1e6
+
+
+def _run():
+    sizes = (64, 262144)
+    table = {
+        (t, n): _time_bcast(t, n)
+        for t in available_transports()
+        for n in sizes
+    }
+    return sizes, table
+
+
+@pytest.mark.benchmark(group="a2")
+def test_a2_transport_ablation(benchmark):
+    sizes, table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["A2 transport ablation: binomial bcast, 1 node x 18 ranks (us)"]
+    for transport in available_transports():
+        cells = "  ".join(f"{table[(transport, n)]:10.2f}" for n in sizes)
+        lines.append(f"  {transport:13s} {cells}   ({sizes[0]} B, {sizes[1] // 1024} KiB)")
+    save_result("a2_transport_ablation", "\n".join(lines))
+
+    small, large = sizes
+    # PiP never loses, at either end of the size range.
+    for other in ("posix_shmem", "cma", "xpmem", "pip_sizesync"):
+        assert table[("pip", small)] <= table[(other, small)], other
+        assert table[("pip", large)] <= table[(other, large)], other
+    # Small: the naive size-synced PiP gives the win back entirely.
+    assert table[("pip_sizesync", small)] > table[("posix_shmem", small)]
+    # Large: double copy loses to every single-copy transport.
+    for single_copy in ("cma", "xpmem", "pip"):
+        assert table[("posix_shmem", large)] > table[(single_copy, large)]

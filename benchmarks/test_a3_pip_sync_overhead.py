@@ -1,0 +1,64 @@
+"""A3 — Ablation: the naive PiP-MPICH size-sync overhead (paper §3).
+
+The paper explains PiP-MPICH's occasional last place: "synchronization
+overhead inside PiP, which requires message size synchronization
+before communications."  This experiment isolates that tax: identical
+MPICH algorithms on identical machines, PiP transport with and without
+the per-message size sync, plus stock MPICH for reference.
+
+Shape asserted, for small-message gather/bcast/allgather on one node:
+* the size-synced transport is strictly slower than raw PiP;
+* the size-synced transport is slower than stock MPICH's POSIX path
+  at 16 B (the "sometimes the worst" observation);
+* raw PiP still beats MPICH (so the loss is the sync, not PiP).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_collective
+from repro.machine import broadwell_opa, single_node
+from repro.mpilibs import make_library
+
+from conftest import save_result
+
+
+class _RawPipMpich(type(make_library("PiP-MPICH"))):
+    """MPICH's table over PiP *without* the size sync (ablation arm)."""
+
+    from repro.mpilibs.base import LibraryProfile as _LP
+
+    profile = _LP(
+        name="PiP-MPICH(nosync)",
+        intra="pip",
+        call_overhead=1.5e-7,
+        description="ablation: naive PiP port minus the size handshake",
+    )
+
+
+def _run():
+    params = single_node(ppn=18)
+    rows = {}
+    for coll in ("gather", "bcast", "allgather"):
+        for lib in ("MPICH", "PiP-MPICH", _RawPipMpich()):
+            point = bench_collective(lib, coll, 16, params, warmup=1, iters=1)
+            rows[(coll, point.library)] = point.latency_us
+    return rows
+
+
+@pytest.mark.benchmark(group="a3")
+def test_a3_pip_sync_overhead(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["A3 PiP-MPICH size-sync tax: 16 B collectives, 1 node x 18 ranks (us)"]
+    for (coll, lib), lat in sorted(rows.items()):
+        lines.append(f"  {coll:10s} {lib:18s} {lat:8.2f}")
+    save_result("a3_pip_sync_overhead", "\n".join(lines))
+
+    for coll in ("gather", "bcast", "allgather"):
+        synced = rows[(coll, "PiP-MPICH")]
+        raw = rows[(coll, "PiP-MPICH(nosync)")]
+        stock = rows[(coll, "MPICH")]
+        assert synced > raw, f"{coll}: sync tax vanished"
+        assert synced > stock, f"{coll}: naive PiP should lose to MPICH at 16 B"
+        assert raw < stock, f"{coll}: raw PiP should beat MPICH"

@@ -1,0 +1,57 @@
+"""A4 — Scaling: PiP-MColl's allgather advantage grows with node count.
+
+The radix-(P+1) Bruck needs ``ceil(log_{P+1} N)`` rounds vs the
+baseline's ``ceil(log2(N·P))``, and a node transmits ~``N·P·C_b``
+bytes once instead of every *rank* transmitting that much — so the
+*absolute* time saved grows with node count.  The speedup *ratio*
+saturates (both designs share the Θ(N) result-distribution term), so
+the honest scaling claim is: the gap widens monotonically and the
+ratio stays large at every point, making the paper's 128-node
+endpoint credible rather than cherry-picked.
+
+Shape asserted at 64 B, N ∈ {8, 32, 128}, ppn 18: PiP-MColl wins
+≥ 2.5× everywhere, and the absolute saving (µs) grows strictly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_collective
+from repro.machine import broadwell_opa
+
+from conftest import save_result
+
+NODE_COUNTS = [8, 32, 128]
+
+
+def _run():
+    speedups = {}
+    for nodes in NODE_COUNTS:
+        params = broadwell_opa(nodes=nodes, ppn=18)
+        base = bench_collective("MPICH", "allgather", 64, params,
+                                warmup=1, iters=1)
+        ours = bench_collective("PiP-MColl", "allgather", 64, params,
+                                warmup=1, iters=1)
+        speedups[nodes] = (base.latency_us, ours.latency_us)
+    return speedups
+
+
+@pytest.mark.benchmark(group="a4")
+def test_a4_node_scaling(benchmark):
+    speedups = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = ["A4 node scaling: allgather 64 B, ppn=18 (us)"]
+    ratios, gaps = [], []
+    for nodes in NODE_COUNTS:
+        base, ours = speedups[nodes]
+        ratios.append(base / ours)
+        gaps.append(base - ours)
+        lines.append(
+            f"  N={nodes:4d}: MPICH {base:9.2f}, PiP-MColl {ours:9.2f}"
+            f"  ->  {base / ours:5.2f}x  (saves {base - ours:8.2f} us)"
+        )
+    save_result("a4_node_scaling", "\n".join(lines))
+
+    assert all(r > 2.5 for r in ratios), f"ratio collapsed: {ratios}"
+    for lo, hi in zip(gaps, gaps[1:]):
+        assert hi > lo, f"absolute saving shrank with scale: {gaps}"

@@ -1,0 +1,64 @@
+"""A5 — Scaling: more ranks per node → higher radix → bigger win.
+
+The multi-object radix is ``B_k = P + 1``: every extra local rank is
+an extra concurrent NIC driver *and* a bigger Bruck base.  Sweeping
+ppn at fixed node count shows the design's defining property: baselines
+get *slower* with more ranks per node (more ranks in the flat
+schedule), PiP-MColl gets *faster* or holds (fewer rounds, more
+injectors).
+
+Shape asserted at 32 nodes, 64 B allgather, ppn ∈ {2, 6, 18}:
+* speedup grows monotonically with ppn;
+* PiP-MColl's latency grows far more slowly than the baseline's as
+  ppn rises (total data grows linearly with ppn for both, but the
+  multi-object design adds injectors at the same rate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_collective
+from repro.machine import broadwell_opa
+
+from conftest import save_result
+
+PPNS = [2, 6, 18]
+NODES = 32
+
+
+def _run():
+    rows = {}
+    for ppn in PPNS:
+        params = broadwell_opa(nodes=NODES, ppn=ppn)
+        base = bench_collective("MPICH", "allgather", 64, params,
+                                warmup=1, iters=1)
+        ours = bench_collective("PiP-MColl", "allgather", 64, params,
+                                warmup=1, iters=1)
+        rows[ppn] = (base.latency_us, ours.latency_us)
+    return rows
+
+
+@pytest.mark.benchmark(group="a5")
+def test_a5_ppn_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"A5 ppn scaling: allgather 64 B, {NODES} nodes (us)"]
+    ratios = []
+    for ppn in PPNS:
+        base, ours = rows[ppn]
+        ratios.append(base / ours)
+        lines.append(
+            f"  ppn={ppn:3d} (radix {ppn + 1:3d}): MPICH {base:9.2f}, "
+            f"PiP-MColl {ours:9.2f}  ->  {base / ours:5.2f}x"
+        )
+    save_result("a5_ppn_scaling", "\n".join(lines))
+
+    for lo, hi in zip(ratios, ratios[1:]):
+        assert hi > lo, f"speedup did not grow with ppn: {ratios}"
+    base_growth = rows[PPNS[-1]][0] / rows[PPNS[0]][0]
+    ours_growth = rows[PPNS[-1]][1] / rows[PPNS[0]][1]
+    assert ours_growth < 0.6 * base_growth, (
+        f"PiP-MColl latency grew almost as fast as the baseline's "
+        f"({ours_growth:.2f}x vs {base_growth:.2f}x over ppn "
+        f"{PPNS[0]}→{PPNS[-1]})"
+    )

@@ -1,0 +1,58 @@
+"""E1 + E3 — Paper Figure 1: MPI_Scatter small-message latency.
+
+Paper setup: 128 nodes × 18 ppn (2304 ranks), per-process message
+sizes up to 1 KiB, all six libraries; entries slower than 4× PiP-MColl
+were excluded from the paper's plot.  Paper headline (E3): PiP-MColl's
+best scatter speedup over the fastest other library is ≈65 % (1.65×),
+at 256 B.
+
+Shape asserted here:
+* PiP-MColl is the fastest library at every size (paper:
+  "consistently outperforms");
+* the speedup at 256 B exceeds the paper's 65 % and stays below 6×.
+  Our reproduction *overshoots* the paper's scatter number: the
+  two-page paper never describes its scatter algorithm, and the
+  natural multi-object design (node-slab sends fanned across all 18
+  root-node ranks, receivers distributing via direct PiP copies) is
+  wire-bound-optimal, while the binomial baselines pay deep-tree
+  rendezvous serialisation.  EXPERIMENTS.md discusses the divergence;
+* scatter's *total* win is bounded by the root NIC wire (the same
+  ~590 KB leaves the root node under every design), which is why its
+  speedup band sits below allgather's at the common large-size end —
+  the paper's "allgather benefits the most" observation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_paper_table, run_sweep, summarize_speedups
+from repro.machine import broadwell_opa
+
+from conftest import bench_scale, save_result
+
+SIZES = [16, 32, 64, 128, 256, 512, 1024]
+
+
+def _run():
+    if bench_scale() == "small":
+        params = broadwell_opa(nodes=16, ppn=6)
+    else:
+        params = broadwell_opa()  # the paper's 128 × 18
+    return run_sweep("scatter", SIZES, params, warmup=1, iters=1)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_scatter(benchmark):
+    sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_paper_table(sweep, exclude_factor=4.0)
+    save_result("fig1_scatter", table + "\n\n" + summarize_speedups(sweep))
+
+    # PiP-MColl wins at every size (paper: "consistently outperforms").
+    for nbytes in SIZES:
+        assert sweep.speedup("PiP-MColl", nbytes) > 1.0, f"lost at {nbytes} B"
+
+    # E3: PiP-MColl's 256 B advantage is at least the paper's 65 % and
+    # bounded (the root NIC wire is common to every design).
+    factor_256 = sweep.speedup("PiP-MColl", 256)
+    assert 1.65 <= factor_256 <= 6.0, f"256 B speedup {factor_256:.2f}x out of band"

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Distributed conjugate gradient on a 1-D Laplacian — collectives on
+the critical path every iteration.
+
+The matrix is the classic tridiagonal Poisson operator, row-block
+distributed.  One CG iteration needs:
+
+* two global dot products      → MPI_Allreduce (8 B payload!)
+* one halo exchange            → pt2pt with ring neighbours
+* vector updates               → local compute
+
+At scale, the tiny allreduces dominate — the exact regime PiP-MColl's
+small-message wins target.  The example runs the same solve under
+three library models and reports identical convergence with different
+simulated time-to-solution.
+
+Run:  python examples/conjugate_gradient.py
+"""
+
+import numpy as np
+
+from repro.machine import broadwell_opa
+from repro.mpilibs import make_library
+from repro.runtime import ArrayBuffer
+from repro.runtime.cart import CartTopology
+from repro.runtime.datatypes import FLOAT64
+from repro.runtime.ops import SUM
+
+LOCAL_N = 8  # rows per rank
+MAX_ITERS = 200
+TOL = 1e-10
+
+
+def cg_solver(ctx, allreduce):
+    """One rank of CG on the global tridiagonal system Ax = b."""
+    cart = CartTopology.create(ctx.comm_world, (ctx.size,), periods=(False,))
+    left, right = cart.shift(cart.comm.to_comm(ctx.rank), 0)
+
+    n = LOCAL_N
+    # b = 1 everywhere; x0 = 0.
+    b = np.ones(n)
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+
+    halo = {"lo": ArrayBuffer.zeros(8), "hi": ArrayBuffer.zeros(8)}
+    send = {"lo": ArrayBuffer.zeros(8), "hi": ArrayBuffer.zeros(8)}
+    red_in = ArrayBuffer.zeros(8)
+    red_out = ArrayBuffer.zeros(8)
+
+    def global_dot(a, c):
+        red_in.typed(FLOAT64)[0] = float(a @ c)
+        yield from allreduce(ctx, red_in.view(), red_out.view(), FLOAT64, SUM)
+        return float(red_out.typed(FLOAT64)[0])
+
+    def apply_A(v):
+        """y = A v for the global tridiagonal [-1, 2, -1] operator."""
+        lo = hi = 0.0
+        # Exchange edge entries with ring neighbours.
+        if left is not None:
+            send["lo"].typed(FLOAT64)[0] = v[0]
+            yield from ctx.sendrecv(send["lo"].view(), left, 10,
+                                    halo["lo"].view(), left, 11)
+            lo = float(halo["lo"].typed(FLOAT64)[0])
+        if right is not None:
+            send["hi"].typed(FLOAT64)[0] = v[-1]
+            yield from ctx.sendrecv(send["hi"].view(), right, 11,
+                                    halo["hi"].view(), right, 10)
+            hi = float(halo["hi"].typed(FLOAT64)[0])
+        y = 2.0 * v
+        y[1:] -= v[:-1]
+        y[:-1] -= v[1:]
+        y[0] -= lo
+        y[-1] -= hi
+        yield from ctx.compute(5 * n / 2e9)  # the stencil FLOPs
+        return y
+
+    rs_old = yield from global_dot(r, r)
+    residuals = [rs_old]
+    start = ctx.now
+    for _ in range(MAX_ITERS):
+        Ap = yield from apply_A(p)
+        pAp = yield from global_dot(p, Ap)
+        alpha = rs_old / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = yield from global_dot(r, r)
+        residuals.append(rs_new)
+        if rs_new < TOL:
+            break
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+    return residuals, ctx.now - start, x
+
+
+def run(lib_name):
+    lib = make_library(lib_name)
+    params = broadwell_opa(nodes=8, ppn=4)
+    world = lib.make_world(params)
+    allreduce = lib.wrapped("allreduce", 8, params.world_size)
+    results = world.run(cg_solver, args=(allreduce,))
+    residuals = results[0][0]
+    assert all(r[0] == residuals for r in results), "ranks diverged"
+    elapsed = max(r[1] for r in results)
+    return residuals, elapsed
+
+
+def main():
+    size = 8 * 4
+    print(f"CG on a {size * LOCAL_N}-unknown 1-D Laplacian, "
+          f"{size} ranks, two 8 B allreduces per iteration\n")
+    reference = None
+    for name in ("OpenMPI", "MPICH", "PiP-MColl"):
+        residuals, elapsed = run(name)
+        if reference is None:
+            reference = residuals
+        assert residuals == reference, "numerics must be library-independent"
+        print(f"{name:10s}: {len(residuals) - 1:3d} iterations, "
+              f"residual {residuals[0]:.1e} -> {residuals[-1]:.3e}, "
+              f"{elapsed * 1e3:7.3f} ms simulated")
+    print("\nsame convergence everywhere; the collectives set the pace.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""2-D Jacobi heat diffusion with halo exchange — a pt2pt application.
+
+Decomposes a square grid over a 2-D process mesh, iterates a 5-point
+Jacobi stencil, exchanging one-cell halos with the four neighbours
+each step and checking global convergence with an allreduce every few
+iterations.  The same application runs under MPICH and PiP-MColl
+models; the residual history must be *identical* (the library changes
+timing, never numerics), while time-to-solution differs.
+
+This is the kind of iterative HPC workload the paper's introduction
+motivates: small/medium messages, collectives on the critical path.
+
+Run:  python examples/halo_exchange.py
+"""
+
+import numpy as np
+
+from repro.machine import broadwell_opa
+from repro.mpilibs import make_library
+from repro.runtime import ArrayBuffer
+from repro.runtime.cart import CartTopology
+from repro.runtime.datatypes import FLOAT64
+from repro.runtime.ops import MAX
+
+MESH = (4, 4)  # process mesh (must equal nodes × ppn of the machine)
+LOCAL = 24  # local tile is LOCAL × LOCAL
+STEPS = 30
+CHECK_EVERY = 5
+
+
+def jacobi(ctx, lib_name, check_algo):
+    """One rank of the Jacobi solver; returns (residuals, elapsed)."""
+    cart = CartTopology.create(ctx.comm_world, MESH)
+    ry, rx = cart.coords(ctx.rank)
+
+    # Tile with a one-cell halo ring; hot left edge of the global grid.
+    tile = np.zeros((LOCAL + 2, LOCAL + 2))
+    if rx == 0:
+        tile[:, 0] = 100.0
+
+    halo_send = {d: ArrayBuffer.zeros(LOCAL * 8) for d in "NSEW"}
+    halo_recv = {d: ArrayBuffer.zeros(LOCAL * 8) for d in "NSEW"}
+    red_in = ArrayBuffer.zeros(8)
+    red_out = ArrayBuffer.zeros(8)
+    north, south = cart.shift(ctx.rank, dim=0)
+    west, east = cart.shift(ctx.rank, dim=1)
+    neighbours = {"N": north, "S": south, "W": west, "E": east}
+    edge = {
+        "N": lambda t: t[1, 1:-1], "S": lambda t: t[-2, 1:-1],
+        "W": lambda t: t[1:-1, 1], "E": lambda t: t[1:-1, -2],
+    }
+    ghost = {
+        "N": lambda t, v: t.__setitem__((0, slice(1, -1)), v),
+        "S": lambda t, v: t.__setitem__((-1, slice(1, -1)), v),
+        "W": lambda t, v: t.__setitem__((slice(1, -1), 0), v),
+        "E": lambda t, v: t.__setitem__((slice(1, -1), -1), v),
+    }
+    opposite = {"N": "S", "S": "N", "E": "W", "W": "E"}
+
+    residuals = []
+    start = ctx.now
+    for step in range(STEPS):
+        # Halo exchange with the four neighbours (tagged by direction).
+        for i, d in enumerate("NSEW"):
+            nb = neighbours[d]
+            if nb is None:
+                continue
+            halo_send[d].typed(FLOAT64)[:] = edge[d](tile)
+            yield from ctx.sendrecv(
+                halo_send[d].view(), nb, 100 + i,
+                halo_recv[d].view(), nb, 100 + "NSEW".index(opposite[d]),
+            )
+            ghost[d](tile, halo_recv[d].typed(FLOAT64))
+        # Model the stencil FLOPs (5 per cell at ~2 GFLOP/s effective).
+        yield from ctx.compute(5 * LOCAL * LOCAL / 2e9)
+        new_inner = 0.25 * (tile[:-2, 1:-1] + tile[2:, 1:-1]
+                            + tile[1:-1, :-2] + tile[1:-1, 2:])
+        diff = np.abs(new_inner - tile[1:-1, 1:-1]).max()
+        tile[1:-1, 1:-1] = new_inner
+        if rx == 0:
+            tile[1:-1, 0] = 100.0  # re-pin the boundary
+        if (step + 1) % CHECK_EVERY == 0:
+            red_in.typed(FLOAT64)[0] = diff
+            yield from check_algo(ctx, red_in.view(), red_out.view(),
+                                  FLOAT64, MAX)
+            residuals.append(float(red_out.typed(FLOAT64)[0]))
+    return residuals, ctx.now - start
+
+
+def run(lib_name):
+    lib = make_library(lib_name)
+    params = broadwell_opa(nodes=4, ppn=4)
+    assert params.world_size == MESH[0] * MESH[1]
+    world = lib.make_world(params)
+    check_algo = lib.wrapped("allreduce", 8, params.world_size)
+    results = world.run(jacobi, args=(lib_name, check_algo))
+    residuals = results[0][0]
+    elapsed = max(r[1] for r in results)
+    return residuals, elapsed
+
+
+def main():
+    print(f"Jacobi {MESH[0]}x{MESH[1]} mesh, {LOCAL}x{LOCAL} tiles, "
+          f"{STEPS} steps, convergence check every {CHECK_EVERY}\n")
+    baseline = None
+    for name in ("MPICH", "PiP-MPICH", "PiP-MColl"):
+        residuals, elapsed = run(name)
+        if baseline is None:
+            baseline = residuals
+        assert residuals == baseline, "numerics must not depend on the library"
+        print(f"{name:10s}: {elapsed * 1e3:7.3f} ms simulated "
+              f"(final residual {residuals[-1]:.4f})")
+    print("\nresidual history identical across libraries — only time moved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""OSU-microbenchmark-style suite on the simulated cluster.
+
+Prints the three classics for a chosen library model:
+
+* ``osu_latency``  — inter-node pt2pt ping-pong latency vs size,
+* ``osu_bw``       — windowed streaming bandwidth vs size,
+* ``osu_mbw_mr``   — aggregate message rate vs pairs of communicating
+  ranks (the multi-object story in microbenchmark form),
+
+plus the collective latency table for allgather.
+
+Run:  python examples/osu_microbench.py [library]
+"""
+
+import sys
+
+from repro.bench import format_paper_table, run_sweep
+from repro.machine import broadwell_opa
+from repro.mpilibs import available_libraries, make_library
+
+WINDOW = 32  # osu_bw window size
+
+
+def osu_latency(lib, sizes):
+    """Ping-pong halves of a round trip, like osu_latency."""
+    world = lib.make_world(broadwell_opa(nodes=2, ppn=1), functional=False)
+    rows = []
+
+    def program(ctx, nbytes):
+        buf = ctx.alloc(nbytes)
+        reps = 5
+        yield from ctx.hard_sync()
+        t0 = ctx.now
+        for rep in range(reps):
+            if ctx.rank == 0:
+                yield from ctx.send(buf.view(), dst=1, tag=rep)
+                yield from ctx.recv(buf.view(), src=1, tag=rep)
+            else:
+                yield from ctx.recv(buf.view(), src=0, tag=rep)
+                yield from ctx.send(buf.view(), dst=0, tag=rep)
+        return (ctx.now - t0) / (2 * reps)
+
+    for nbytes in sizes:
+        lat = world.run(program, args=(nbytes,))[0]
+        rows.append((nbytes, lat * 1e6))
+    return rows
+
+
+def osu_bw(lib, sizes):
+    """Windowed one-way bandwidth, like osu_bw."""
+    world = lib.make_world(broadwell_opa(nodes=2, ppn=1), functional=False)
+    rows = []
+
+    def program(ctx, nbytes):
+        buf = ctx.alloc(nbytes)
+        yield from ctx.hard_sync()
+        t0 = ctx.now
+        if ctx.rank == 0:
+            reqs = []
+            for i in range(WINDOW):
+                req = yield from ctx.isend(buf.view(), dst=1, tag=i)
+                reqs.append(req)
+            yield from ctx.waitall(reqs)
+            ack = ctx.alloc(0)
+            yield from ctx.recv(ack.view(), src=1, tag=999)
+            return ctx.now - t0
+        for i in range(WINDOW):
+            yield from ctx.recv(buf.view(), src=0, tag=i)
+        ack = ctx.alloc(0)
+        yield from ctx.send(ack.view(), dst=0, tag=999)
+        return None
+
+    for nbytes in sizes:
+        elapsed = world.run(program, args=(nbytes,))[0]
+        rows.append((nbytes, WINDOW * nbytes / elapsed / 1e9))
+    return rows
+
+
+def osu_mbw_mr(lib, pair_counts, nbytes=8, msgs=100):
+    """Aggregate multi-pair message rate, like osu_mbw_mr."""
+    rows = []
+    for pairs in pair_counts:
+        world = lib.make_world(broadwell_opa(nodes=2, ppn=max(pairs, 1)),
+                               functional=False)
+
+        def program(ctx):
+            buf = ctx.alloc(nbytes)
+            partner_node = 1 - ctx.node_id
+            partner = ctx.cluster.global_rank(partner_node, ctx.local_rank)
+            if ctx.local_rank >= pairs:
+                return None
+            yield from ctx.hard_sync()
+            t0 = ctx.now
+            if ctx.node_id == 0:
+                reqs = []
+                for i in range(msgs):
+                    req = yield from ctx.isend(buf.view(), dst=partner, tag=i)
+                    reqs.append(req)
+                yield from ctx.waitall(reqs)
+                return ctx.now - t0
+            for i in range(msgs):
+                yield from ctx.recv(buf.view(), src=partner, tag=i)
+            return None
+
+        times = [t for t in world.run(program) if t is not None]
+        rate = pairs * msgs / max(times)
+        rows.append((pairs, rate / 1e6))
+    return rows
+
+
+def main():
+    lib_name = sys.argv[1] if len(sys.argv) > 1 else "PiP-MColl"
+    if lib_name not in available_libraries():
+        raise SystemExit(f"unknown library {lib_name!r}; "
+                         f"choose from {available_libraries()}")
+    lib = make_library(lib_name)
+    sizes = [8, 64, 512, 4096, 65536]
+
+    print(f"# OSU-style microbenchmarks — {lib_name} model\n")
+    print("osu_latency (inter-node ping-pong)")
+    print(f"{'size':>8} {'latency (us)':>14}")
+    for nbytes, lat in osu_latency(lib, sizes):
+        print(f"{nbytes:8d} {lat:14.2f}")
+
+    print("\nosu_bw (window of 32)")
+    print(f"{'size':>8} {'bandwidth (GB/s)':>18}")
+    for nbytes, bw in osu_bw(lib, sizes):
+        print(f"{nbytes:8d} {bw:18.2f}")
+
+    print("\nosu_mbw_mr (8 B messages, node pair)")
+    print(f"{'pairs':>8} {'rate (Mmsg/s)':>15}")
+    for pairs, rate in osu_mbw_mr(lib, [1, 2, 4, 8, 18]):
+        print(f"{pairs:8d} {rate:15.2f}")
+
+    print("\nallgather latency across libraries (16 nodes x 6 ppn)")
+    sweep = run_sweep("allgather", [64, 512], broadwell_opa(nodes=16, ppn=6),
+                      iters=1)
+    print(format_paper_table(sweep, exclude_factor=None))
+
+
+if __name__ == "__main__":
+    main()

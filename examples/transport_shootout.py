@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Intra-node transport shootout — the paper's §1 in one table.
+
+Measures one-way intra-node pt2pt latency between two ranks on the
+same node for each transport (POSIX-SHMEM, CMA, XPMEM cold and warm,
+naive PiP with size sync, PiP) across message sizes, then prints the
+copy/syscall/fault cost structure next to the measurements.
+
+Run:  python examples/transport_shootout.py
+"""
+
+from repro.machine import single_node
+from repro.runtime import World
+from repro.transport import available_transports, make_transport
+
+SIZES = [16, 256, 4096, 65536, 1 << 20]
+REPS = 3  # enough to show XPMEM's attach amortisation
+
+
+def one_way_latency(transport_name: str, nbytes: int):
+    """(cold, warm) one-way latency (µs) between two same-node ranks."""
+    world = World(single_node(ppn=2), intra=transport_name, functional=False)
+
+    def program(ctx):
+        buf = ctx.alloc(nbytes)
+        lats = []
+        for rep in range(REPS):
+            yield from ctx.hard_sync()
+            t0 = ctx.now
+            if ctx.rank == 0:
+                yield from ctx.send(buf.view(), dst=1, tag=rep)
+            else:
+                yield from ctx.recv(buf.view(), src=0, tag=rep)
+                lats.append((ctx.now - t0) * 1e6)
+        return lats
+
+    lats = world.run(program)[1]
+    return lats[0], lats[-1]
+
+
+def main():
+    names = available_transports()
+    print("one-way intra-node latency (us), cold / warm:\n")
+    header = f"{'size':>8} | " + " | ".join(f"{n:^19}" for n in names)
+    print(header)
+    print("-" * len(header))
+    for nbytes in SIZES:
+        cells = []
+        for name in names:
+            cold, warm = one_way_latency(name, nbytes)
+            cells.append(f"{cold:8.2f} /{warm:8.2f}")
+        size = f"{nbytes // 1024} KiB" if nbytes >= 1024 else f"{nbytes} B"
+        print(f"{size:>8} | " + " | ".join(cells))
+    print("\ncost structure:")
+    for name in names:
+        print(f"  {name:12s} {make_transport(name).describe()}")
+
+
+if __name__ == "__main__":
+    main()

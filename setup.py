@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work offline (no `wheel` package
+available, so PEP 660 builds fail; `setup.py develop` does not need it)."""
+from setuptools import setup
+
+setup()

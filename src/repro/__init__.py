@@ -1,0 +1,22 @@
+"""repro — a reproduction of *Accelerating MPI Collectives with
+Process-in-Process-based Multi-object Techniques* (HPDC '23).
+
+Quick start::
+
+    from repro.bench import run_sweep
+    from repro.machine import broadwell_opa
+
+    sweep = run_sweep("allgather", [64, 256], broadwell_opa(nodes=16, ppn=4))
+    print(sweep.speedup("PiP-MColl", 64))
+
+Subsystems (see DESIGN.md): :mod:`repro.sim` (discrete-event kernel),
+:mod:`repro.machine` (cluster model), :mod:`repro.pip` (PiP substrate),
+:mod:`repro.transport` (POSIX-SHMEM/CMA/XPMEM/PiP/network),
+:mod:`repro.runtime` (virtual MPI), :mod:`repro.collectives`
+(baselines), :mod:`repro.core` (PiP-MColl), :mod:`repro.mpilibs`
+(library models), :mod:`repro.bench`, :mod:`repro.validate`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,256 @@
+"""mpi4py-flavoured facade over the virtual runtime.
+
+For users who think in ``comm.Bcast(buf, root=0)`` rather than in
+algorithm functions, :class:`VComm` wraps a :class:`RankContext` with
+upper-case, numpy-first methods following mpi4py's buffer-protocol
+conventions (``Send``/``Recv``/``Bcast``/``Scatter``/…).  The
+collective implementations are whatever the chosen MPI library model
+would select for the call's message size — so application code written
+against :class:`VComm` can be re-run under every library in the paper
+by changing one string.
+
+Usage::
+
+    from repro.api import run_app
+    import numpy as np
+
+    def app(comm):
+        data = np.full(4, comm.rank, dtype=np.float64)
+        total = np.empty_like(data)
+        yield from comm.Allreduce(data, total)
+        return total.sum()
+
+    results = run_app(app, library="PiP-MColl", nodes=4, ppn=4)
+
+Rank programs remain generators (``yield from`` every communication),
+matching the cooperative simulation underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from .machine import MachineParams, broadwell_opa
+from .mpilibs import MpiLibrary, make_library
+from .runtime import ArrayBuffer, World
+from .runtime.context import RankContext
+from .runtime.datatypes import from_numpy
+from .runtime.ops import ReduceOp, SUM
+
+
+def _as_buffer(array: np.ndarray) -> ArrayBuffer:
+    """Wrap (a contiguous snapshot of) a numpy array for sending."""
+    return ArrayBuffer(np.ascontiguousarray(array))
+
+
+class VComm:
+    """An mpi4py-style communicator bound to one simulated rank."""
+
+    def __init__(self, ctx: RankContext, library: MpiLibrary) -> None:
+        self._ctx = ctx
+        self._lib = library
+
+    # -- introspection -------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This rank (COMM_WORLD numbering)."""
+        return self._ctx.rank
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self._ctx.size
+
+    @property
+    def node(self) -> int:
+        """Node id hosting this rank."""
+        return self._ctx.node_id
+
+    @property
+    def now(self) -> float:
+        """Simulated time (seconds)."""
+        return self._ctx.now
+
+    @property
+    def ctx(self) -> RankContext:
+        """Escape hatch to the low-level context."""
+        return self._ctx
+
+    def _algo(self, collective: str, nbytes: int):
+        return self._lib.wrapped(collective, nbytes, self.size)
+
+    # -- point-to-point --------------------------------------------------
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0):
+        """Blocking send of a contiguous numpy array."""
+        buf = _as_buffer(array)
+        yield from self._ctx.send(buf.view(), dst=dest, tag=tag)
+
+    def Recv(self, array: np.ndarray, source: int, tag: int = -1):
+        """Blocking receive into a contiguous numpy array."""
+        buf = ArrayBuffer(np.ascontiguousarray(array))
+        status = yield from self._ctx.recv(buf.view(), src=source, tag=tag)
+        array.reshape(-1).view(np.uint8)[:] = buf.bytes_view
+        return status
+
+    def Sendrecv(self, send_array: np.ndarray, dest: int, sendtag: int,
+                 recv_array: np.ndarray, source: int, recvtag: int):
+        """Paired exchange."""
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        status = yield from self._ctx.sendrecv(
+            sbuf.view(), dest, sendtag, rbuf.view(), source, recvtag)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+        return status
+
+    # -- collectives ---------------------------------------------------------
+    def Barrier(self):
+        """World barrier."""
+        yield from self._algo("barrier", 0)(self._ctx)
+
+    def Bcast(self, array: np.ndarray, root: int = 0):
+        """Broadcast ``array`` from ``root`` (in place everywhere)."""
+        buf = ArrayBuffer(np.ascontiguousarray(array))
+        yield from self._algo("bcast", buf.nbytes)(self._ctx, buf.view(), root=root)
+        array.reshape(-1).view(np.uint8)[:] = buf.bytes_view
+
+    def Scatter(self, send_array: Optional[np.ndarray],
+                recv_array: np.ndarray, root: int = 0):
+        """Scatter equal blocks of ``send_array`` (root) to everyone."""
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        sbuf = _as_buffer(send_array) if send_array is not None else None
+        yield from self._algo("scatter", rbuf.nbytes)(
+            self._ctx, sbuf.view() if sbuf else None, rbuf.view(), root=root)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Gather(self, send_array: np.ndarray,
+               recv_array: Optional[np.ndarray], root: int = 0):
+        """Gather equal blocks to ``root``."""
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array)) if recv_array is not None else None
+        yield from self._algo("gather", sbuf.nbytes)(
+            self._ctx, sbuf.view(), rbuf.view() if rbuf else None, root=root)
+        if recv_array is not None:
+            recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Allgather(self, send_array: np.ndarray, recv_array: np.ndarray):
+        """Allgather equal blocks."""
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        yield from self._algo("allgather", sbuf.nbytes)(
+            self._ctx, sbuf.view(), rbuf.view())
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Allreduce(self, send_array: np.ndarray, recv_array: np.ndarray,
+                  op: ReduceOp = SUM):
+        """Elementwise allreduce (dtype inferred from the arrays)."""
+        if send_array.dtype != recv_array.dtype:
+            raise ValueError("Allreduce arrays must share a dtype")
+        dtype = from_numpy(send_array.dtype)
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        yield from self._algo("allreduce", sbuf.nbytes)(
+            self._ctx, sbuf.view(), rbuf.view(), dtype, op)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Reduce(self, send_array: np.ndarray,
+               recv_array: Optional[np.ndarray], op: ReduceOp = SUM,
+               root: int = 0):
+        """Elementwise reduce to ``root``."""
+        dtype = from_numpy(send_array.dtype)
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array)) if recv_array is not None else None
+        yield from self._algo("reduce", sbuf.nbytes)(
+            self._ctx, sbuf.view(), rbuf.view() if rbuf else None,
+            dtype, op, root=root)
+        if recv_array is not None:
+            recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Alltoall(self, send_array: np.ndarray, recv_array: np.ndarray):
+        """All-to-all of equal blocks."""
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        yield from self._algo("alltoall", sbuf.nbytes // self.size)(
+            self._ctx, sbuf.view(), rbuf.view())
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    # -- vector collectives (counts in elements, mpi4py-style) -----------
+    def Allgatherv(self, send_array: np.ndarray, recv_array: np.ndarray,
+                   counts) -> "object":
+        """Allgatherv; ``counts`` are per-rank element counts."""
+        itemsize = recv_array.dtype.itemsize
+        byte_counts = [c * itemsize for c in counts]
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        algo = self._algo("allgatherv", sbuf.nbytes)
+        yield from algo(self._ctx, sbuf.view(), rbuf.view(), byte_counts)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Gatherv(self, send_array: np.ndarray,
+                recv_array: Optional[np.ndarray], counts=None,
+                root: int = 0):
+        """Gatherv; root passes per-rank element ``counts``."""
+        sbuf = _as_buffer(send_array)
+        rbuf = (ArrayBuffer(np.ascontiguousarray(recv_array))
+                if recv_array is not None else None)
+        byte_counts = None
+        if counts is not None:
+            itemsize = (recv_array if recv_array is not None
+                        else send_array).dtype.itemsize
+            byte_counts = [c * itemsize for c in counts]
+        algo = self._algo("gatherv", sbuf.nbytes)
+        yield from algo(self._ctx, sbuf.view(),
+                        rbuf.view() if rbuf else None,
+                        counts=byte_counts, root=root)
+        if recv_array is not None:
+            recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Scatterv(self, send_array: Optional[np.ndarray], counts,
+                 recv_array: np.ndarray, root: int = 0):
+        """Scatterv; root passes per-rank element ``counts``."""
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        sbuf = _as_buffer(send_array) if send_array is not None else None
+        byte_counts = None
+        if counts is not None:
+            byte_counts = [c * recv_array.dtype.itemsize for c in counts]
+        algo = self._algo("scatterv", rbuf.nbytes)
+        yield from algo(self._ctx, sbuf.view() if sbuf else None,
+                        counts=byte_counts, recvview=rbuf.view(), root=root)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    # -- nonblocking -----------------------------------------------------
+    def Istart(self, operation):
+        """Launch any of this communicator's operations nonblocking::
+
+            req = comm.Istart(comm.Allgather(send, recv))
+            ...
+            yield from comm.Wait(req)
+        """
+        return self._ctx.start(operation)
+
+    def Wait(self, request):
+        """Complete a request from :meth:`Istart`."""
+        result = yield from self._ctx.wait(request)
+        return result
+
+
+def run_app(
+    app: Callable[[VComm], Any],
+    library: str = "PiP-MColl",
+    nodes: int = 4,
+    ppn: int = 4,
+    params: Optional[MachineParams] = None,
+) -> List[Any]:
+    """Run an mpi4py-style generator app on every rank; returns the
+    per-rank return values (indexed by rank)."""
+    lib = make_library(library)
+    machine = params if params is not None else broadwell_opa(nodes=nodes, ppn=ppn)
+    world: World = lib.make_world(machine)
+
+    def program(ctx):
+        comm = VComm(ctx, lib)
+        result = yield from app(comm)
+        return result
+
+    return world.run(program)

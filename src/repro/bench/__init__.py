@@ -1,0 +1,23 @@
+"""Benchmark harness (subsystem S9)."""
+
+from . import analytic, breakdown, calibrate, plot, regression, sweep, workloads
+
+from .harness import BenchPoint, Sweep, bench_collective, run_sweep
+from .report import format_paper_table, format_series, summarize_speedups
+
+__all__ = [
+    "analytic",
+    "breakdown",
+    "regression",
+    "calibrate",
+    "plot",
+    "sweep",
+    "workloads",
+    "BenchPoint",
+    "Sweep",
+    "bench_collective",
+    "format_paper_table",
+    "format_series",
+    "run_sweep",
+    "summarize_speedups",
+]

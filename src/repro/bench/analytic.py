@@ -1,0 +1,142 @@
+"""Closed-form LogGP cost models.
+
+Algebraic latency predictions for the simple algorithm/machine
+combinations where pencil-and-paper works (single rank per node, no
+resource contention).  These serve two purposes:
+
+* **simulator validation** — the test suite asserts the DES agrees
+  with the algebra within a few percent on these cases, so a
+  regression in the event choreography cannot hide;
+* **intuition** — the formulas make the paper's round-count argument
+  quantitative (`mcoll_allgather_bound` vs `bruck_allgather_time`).
+
+All formulas assume eager messages (``n ≤ eager_limit``) and an
+uncongested network; the simulator is the authority everywhere else.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..machine.params import MachineParams
+
+
+def eager_message_time(params: MachineParams, nbytes: int) -> float:
+    """One-way pt2pt latency of an eager inter-node message with a
+    pre-posted receive.
+
+    dispatch + o_send + bounce copy + TX pipe + wire latency + RX pipe
+    + o_recv + landing copy.  The *receiver's* dispatch overhead is
+    off the critical path (it was paid when the receive was posted).
+    """
+    nic, mem, cpu = params.nic, params.memory, params.cpu
+    if nbytes > nic.eager_limit:
+        raise ValueError(f"{nbytes} B is not eager (limit {nic.eager_limit})")
+    wire = nic.wire_time(nbytes)
+    return (
+        cpu.dispatch_overhead + nic.inject_overhead + mem.copy_time(nbytes)
+        + wire + nic.latency + wire
+        + nic.recv_overhead + mem.copy_time(nbytes)
+    )
+
+
+def binomial_depth(n: int) -> int:
+    """Critical-path hop count of a binomial tree over ``n`` ranks.
+
+    The deepest leaf is the virtual rank below ``n`` with the most set
+    bits (each set bit is one hop), which is ``ceil(log2 n)`` only
+    when ``n`` is a power of two.  Along that path every hop is the
+    sender's *first* send of its fan-out, so no queueing adds to it.
+    """
+    if n <= 1:
+        return 0
+    m = n - 1
+    bits = bin(m)[2:]
+    best = bin(m).count("1")
+    for i, c in enumerate(bits):
+        if c == "1":
+            # Clear bit i of m, set every lower bit: still < n.
+            best = max(best, bits[:i].count("1") + (len(bits) - i - 1))
+    return best
+
+
+def binomial_bcast_time(params: MachineParams, nbytes: int) -> float:
+    """Binomial bcast over ``N`` single-rank nodes: the deepest leaf
+    sits behind :func:`binomial_depth` sequential hops (the widest
+    subtree is served first, so no send-queueing adds to the path)."""
+    n_nodes = params.nodes
+    if params.ppn != 1:
+        raise ValueError("closed form assumes ppn == 1")
+    return binomial_depth(n_nodes) * eager_message_time(params, nbytes)
+
+
+def bruck_allgather_time(params: MachineParams, nbytes: int) -> float:
+    """Radix-2 Bruck allgather over ``N`` single-rank nodes.
+
+    Round ``r`` exchanges ``min(2^r, N − 2^r)`` blocks both ways
+    (send/recv overlap, so a round costs one message time of that
+    size), plus the initial block placement and the final rotation —
+    both single memcpy passes.
+    """
+    n_nodes = params.nodes
+    if params.ppn != 1:
+        raise ValueError("closed form assumes ppn == 1")
+    mem = params.memory
+    total = mem.copy_time(nbytes)  # initial placement
+    step = 1
+    while step < n_nodes:
+        block = min(step, n_nodes - step) * nbytes
+        # A sendrecv round: the receive must be (re)posted in program
+        # order before the send, so its dispatch is on the path.
+        total += params.cpu.dispatch_overhead + eager_message_time(params, block)
+        step <<= 1
+    total += mem.copy_time(n_nodes * nbytes)  # rotation
+    return total
+
+
+def dissemination_barrier_time(params: MachineParams) -> float:
+    """Dissemination barrier over ``N`` single-rank nodes:
+    ``ceil(log2 N)`` rounds of zero-byte exchanges."""
+    n_nodes = params.nodes
+    if params.ppn != 1:
+        raise ValueError("closed form assumes ppn == 1")
+    if n_nodes == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(n_nodes))
+    # Each round is a sendrecv: one extra dispatch for the posted recv.
+    return rounds * (params.cpu.dispatch_overhead + eager_message_time(params, 0))
+
+
+def mcoll_allgather_bound(params: MachineParams, nbytes: int) -> float:
+    """A *lower bound* for the multi-object Bruck allgather at full
+    geometry (any ppn): inter-node rounds at radix ``P+1`` plus the
+    bus-limited parallel distribution of the full result.
+
+    Used to sanity-check the simulator from below, and to show where
+    the time goes (distribution dominates at the paper's scale).
+    """
+    n_nodes, ppn = params.nodes, params.ppn
+    mem = params.memory
+    radix = ppn + 1
+    rounds = max(0, math.ceil(math.log(n_nodes, radix))) if n_nodes > 1 else 0
+    round_floor = rounds * (params.nic.latency + params.cpu.dispatch_overhead)
+    result_bytes = n_nodes * ppn * nbytes
+    # All ppn ranks copy the result concurrently: bounded below by the
+    # node bus moving ppn × result bytes.
+    distribution = max(
+        mem.copy_time(result_bytes),
+        ppn * result_bytes * mem.bus_byte_time,
+    )
+    return round_floor + distribution
+
+
+def flat_bruck_round_count(world_size: int) -> int:
+    """Rounds of the radix-2 Bruck at ``world_size`` ranks."""
+    return math.ceil(math.log2(world_size)) if world_size > 1 else 0
+
+
+def mcoll_round_count(n_nodes: int, ppn: int) -> int:
+    """Rounds of the multi-object Bruck (radix ``P+1``)."""
+    if n_nodes <= 1:
+        return 0
+    return math.ceil(math.log(n_nodes, ppn + 1) - 1e-12)

@@ -1,0 +1,108 @@
+"""Machine-parameter calibration utilities.
+
+Real reproductions start from a handful of published microbenchmark
+numbers — a pt2pt latency, a stream bandwidth, an adapter message rate
+— not from LogGP parameters.  This module converts between the two
+directions:
+
+* :func:`nic_from_microbenchmarks` — build :class:`NicParams` from the
+  numbers a datasheet/OSU run reports;
+* :func:`memory_from_microbenchmarks` — likewise for the memory model;
+* :func:`verify_pt2pt` — run the simulator and report how close the
+  resulting machine is to its calibration targets (used by tests and
+  by anyone porting the model to a new cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import MachineParams, MemoryParams, NicParams
+from .analytic import eager_message_time
+
+
+def nic_from_microbenchmarks(
+    latency_us: float,
+    bandwidth_gbps: float,
+    message_rate_mps: float,
+    overhead_fraction: float = 0.4,
+) -> NicParams:
+    """NicParams from datasheet-style numbers.
+
+    ``latency_us`` is the osu_latency-style small-message half
+    round-trip; it is split between wire latency and the two endpoint
+    overheads using ``overhead_fraction`` (the CPU share — ~0.4 on
+    commodity stacks).  Bandwidth and message rate map directly to
+    ``G`` and ``g``.
+    """
+    if latency_us <= 0 or bandwidth_gbps <= 0 or message_rate_mps <= 0:
+        raise ValueError("calibration targets must be positive")
+    if not 0 < overhead_fraction < 1:
+        raise ValueError("overhead_fraction must be in (0, 1)")
+    total = latency_us * 1e-6
+    cpu_share = total * overhead_fraction
+    return NicParams(
+        latency=total * (1 - overhead_fraction),
+        inject_overhead=cpu_share * 0.57,
+        recv_overhead=cpu_share * 0.43,
+        msg_gap=1.0 / (message_rate_mps * 1e6),
+        byte_gap=8.0 / (bandwidth_gbps * 1e9),
+    )
+
+
+def memory_from_microbenchmarks(
+    copy_bandwidth_gbs: float,
+    node_bandwidth_gbs: float,
+    syscall_us: float = 0.4,
+    page_fault_us: float = 1.1,
+) -> MemoryParams:
+    """MemoryParams from single-core and node STREAM-style numbers."""
+    if copy_bandwidth_gbs <= 0 or node_bandwidth_gbs < copy_bandwidth_gbs:
+        raise ValueError(
+            "need 0 < single-core bandwidth <= node aggregate bandwidth"
+        )
+    return MemoryParams(
+        copy_byte_time=1.0 / (copy_bandwidth_gbs * 1e9),
+        bus_byte_time=1.0 / (node_bandwidth_gbs * 1e9),
+        syscall_overhead=syscall_us * 1e-6,
+        page_fault=page_fault_us * 1e-6,
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """How a machine model relates to its calibration targets."""
+
+    target_latency_us: float
+    model_latency_us: float
+    target_bandwidth_gbps: float
+    model_bandwidth_gbps: float
+
+    @property
+    def latency_error(self) -> float:
+        """Relative error of the small-message latency."""
+        return abs(self.model_latency_us - self.target_latency_us) / self.target_latency_us
+
+    @property
+    def bandwidth_error(self) -> float:
+        """Relative error of the link bandwidth."""
+        return (abs(self.model_bandwidth_gbps - self.target_bandwidth_gbps)
+                / self.target_bandwidth_gbps)
+
+    def ok(self, tolerance: float = 0.25) -> bool:
+        """True when both targets are met within ``tolerance``."""
+        return self.latency_error <= tolerance and self.bandwidth_error <= tolerance
+
+
+def verify_pt2pt(params: MachineParams, target_latency_us: float,
+                 target_bandwidth_gbps: float) -> CalibrationReport:
+    """Check a machine against its pt2pt targets (closed form —
+    the analytic model is itself validated against the simulator)."""
+    model_latency = eager_message_time(params, 8) * 1e6
+    model_bw = params.nic.bandwidth * 8 / 1e9
+    return CalibrationReport(
+        target_latency_us=target_latency_us,
+        model_latency_us=model_latency,
+        target_bandwidth_gbps=target_bandwidth_gbps,
+        model_bandwidth_gbps=model_bw,
+    )

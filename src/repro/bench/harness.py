@@ -1,0 +1,197 @@
+"""OSU-microbenchmark-style latency harness.
+
+For one (library, collective, message size, machine) point the harness
+builds a fresh world, allocates per-rank buffers once (so attach
+caches amortise exactly as they would in OSU's loop), then runs
+``warmup + iters`` iterations, each preceded by a zero-cost hard sync
+so all ranks start together.  The reported latency of an iteration is
+the **max across ranks** (OSU's convention for collectives), and the
+point's latency is the mean over measured iterations.
+
+Full-scale runs (2304 ranks) default to timing-only buffers; the same
+code path with functional buffers is what the correctness suite runs
+at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..machine import MachineParams
+from ..mpilibs import MpiLibrary, make_library
+from ..runtime.datatypes import FLOAT64
+from ..runtime.ops import SUM
+
+#: collectives needing (dtype, op) arguments
+_REDUCING = {"allreduce", "reduce", "reduce_scatter"}
+#: collectives with a root argument
+_ROOTED = {"bcast", "gather", "scatter", "reduce"}
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One measured (library, collective, size) point."""
+
+    library: str
+    collective: str
+    nbytes: int
+    latency_us: float  # mean over iterations of max-across-ranks
+    min_us: float
+    max_us: float
+    iterations: Tuple[float, ...]  # per-iteration max-across-ranks (µs)
+
+
+def _buffers(ctx, collective: str, nbytes: int, size: int, root: int):
+    """Allocate the per-rank buffers a collective needs (once)."""
+    if collective == "bcast":
+        return {"view": ctx.alloc(nbytes).view()}
+    if collective == "scatter":
+        send = ctx.alloc(nbytes * size) if ctx.comm_world.to_comm(ctx.rank) == root else None
+        return {"send": send.view() if send else None, "recv": ctx.alloc(nbytes).view()}
+    if collective == "gather":
+        recv = ctx.alloc(nbytes * size) if ctx.comm_world.to_comm(ctx.rank) == root else None
+        return {"send": ctx.alloc(nbytes).view(), "recv": recv.view() if recv else None}
+    if collective == "allgather":
+        return {"send": ctx.alloc(nbytes).view(), "recv": ctx.alloc(nbytes * size).view()}
+    if collective == "allreduce":
+        return {"send": ctx.alloc(nbytes).view(), "recv": ctx.alloc(nbytes).view()}
+    if collective == "reduce":
+        recv = ctx.alloc(nbytes) if ctx.comm_world.to_comm(ctx.rank) == root else None
+        return {"send": ctx.alloc(nbytes).view(), "recv": recv.view() if recv else None}
+    if collective == "alltoall":
+        return {"send": ctx.alloc(nbytes * size).view(),
+                "recv": ctx.alloc(nbytes * size).view()}
+    if collective == "reduce_scatter":
+        return {"send": ctx.alloc(nbytes * size).view(), "recv": ctx.alloc(nbytes).view()}
+    if collective == "barrier":
+        return {}
+    raise KeyError(f"unknown collective {collective!r}")
+
+
+def _invoke(algo, ctx, bufs, collective: str, root: int):
+    """One collective call with family-appropriate arguments."""
+    if collective == "bcast":
+        yield from algo(ctx, bufs["view"], root=root)
+    elif collective == "scatter":
+        yield from algo(ctx, bufs["send"], bufs["recv"], root=root)
+    elif collective == "gather":
+        yield from algo(ctx, bufs["send"], bufs["recv"], root=root)
+    elif collective == "allgather":
+        yield from algo(ctx, bufs["send"], bufs["recv"])
+    elif collective == "allreduce":
+        yield from algo(ctx, bufs["send"], bufs["recv"], FLOAT64, SUM)
+    elif collective == "reduce":
+        yield from algo(ctx, bufs["send"], bufs["recv"], FLOAT64, SUM, root=root)
+    elif collective == "alltoall":
+        yield from algo(ctx, bufs["send"], bufs["recv"])
+    elif collective == "reduce_scatter":
+        yield from algo(ctx, bufs["send"], bufs["recv"], FLOAT64, SUM)
+    elif collective == "barrier":
+        yield from algo(ctx)
+    else:  # pragma: no cover - guarded by _buffers
+        raise KeyError(collective)
+
+
+def bench_collective(
+    library: Union[str, MpiLibrary],
+    collective: str,
+    nbytes: int,
+    params: MachineParams,
+    warmup: int = 1,
+    iters: int = 3,
+    functional: bool = False,
+    root: int = 0,
+) -> BenchPoint:
+    """Measure one point (see module docstring)."""
+    lib = make_library(library) if isinstance(library, str) else library
+    if warmup < 0 or iters < 1:
+        raise ValueError("need warmup >= 0 and iters >= 1")
+    world = lib.make_world(params, functional=functional)
+    size = world.comm_world.size
+    algo = lib.wrapped(collective, nbytes, size)
+
+    def program(ctx):
+        bufs = _buffers(ctx, collective, nbytes, size, root)
+        lats: List[float] = []
+        for _ in range(warmup + iters):
+            yield from ctx.hard_sync()
+            t0 = ctx.now
+            yield from _invoke(algo, ctx, bufs, collective, root)
+            lats.append(ctx.now - t0)
+        return lats[warmup:]
+
+    per_rank = world.run(program)
+    world.assert_quiescent()
+    # Iteration latency = max across ranks (OSU collective convention).
+    per_iter_us = tuple(
+        max(per_rank[r][i] for r in range(size)) * 1e6 for i in range(iters)
+    )
+    return BenchPoint(
+        library=lib.profile.name,
+        collective=collective,
+        nbytes=nbytes,
+        latency_us=sum(per_iter_us) / len(per_iter_us),
+        min_us=min(per_iter_us),
+        max_us=max(per_iter_us),
+        iterations=per_iter_us,
+    )
+
+
+@dataclass
+class Sweep:
+    """A (collective × libraries × sizes) result grid."""
+
+    collective: str
+    params_name: str
+    sizes: List[int]
+    libraries: List[str]
+    points: Dict[Tuple[str, int], BenchPoint] = field(default_factory=dict)
+
+    def latency(self, library: str, nbytes: int) -> float:
+        """Latency (µs) of one grid point."""
+        return self.points[(library, nbytes)].latency_us
+
+    def best_other(self, target: str, nbytes: int) -> Tuple[str, float]:
+        """(name, µs) of the fastest non-``target`` library at a size."""
+        candidates = [
+            (self.latency(lib, nbytes), lib)
+            for lib in self.libraries
+            if lib != target
+        ]
+        lat, lib = min(candidates)
+        return lib, lat
+
+    def speedup(self, target: str, nbytes: int) -> float:
+        """fastest-other / target at one size (>1 means target wins)."""
+        _, other = self.best_other(target, nbytes)
+        return other / self.latency(target, nbytes)
+
+    def best_speedup(self, target: str) -> Tuple[int, float]:
+        """(size, factor) where the target's advantage peaks."""
+        best = max(self.sizes, key=lambda s: self.speedup(target, s))
+        return best, self.speedup(target, best)
+
+
+def run_sweep(
+    collective: str,
+    sizes: List[int],
+    params: MachineParams,
+    libraries: Optional[List[str]] = None,
+    warmup: int = 1,
+    iters: int = 3,
+    functional: bool = False,
+    root: int = 0,
+) -> Sweep:
+    """Benchmark ``collective`` across libraries × sizes."""
+    from ..mpilibs import PAPER_LINEUP
+
+    libs = list(libraries) if libraries is not None else list(PAPER_LINEUP)
+    sweep = Sweep(collective, params.name, list(sizes), libs)
+    for lib in libs:
+        for nbytes in sizes:
+            sweep.points[(lib, nbytes)] = bench_collective(
+                lib, collective, nbytes, params,
+                warmup=warmup, iters=iters, functional=functional, root=root,
+            )
+    return sweep

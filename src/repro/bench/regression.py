@@ -1,0 +1,108 @@
+"""Model-drift regression guard: golden latency baselines.
+
+The simulator is deterministic, so headline latencies are exactly
+reproducible — any change is a *model* change, intended or not.  This
+module captures a small grid of golden numbers to JSON and compares a
+fresh run against it, flagging drifts beyond a tolerance so parameter
+or choreography edits cannot silently move the paper-facing results.
+
+Workflow::
+
+    from repro.bench.regression import capture_baseline, compare_to_baseline
+    capture_baseline("benchmarks/golden.json")      # after intended changes
+    report = compare_to_baseline("benchmarks/golden.json")
+    assert report.ok(), report.format()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..machine import broadwell_opa
+from .harness import bench_collective
+
+#: the golden grid: small but covering every regime the figures use —
+#: (collective, per-process bytes, nodes, ppn, library)
+GOLDEN_GRID: Tuple[Tuple[str, int, int, int, str], ...] = (
+    ("allgather", 64, 16, 6, "MPICH"),
+    ("allgather", 64, 16, 6, "PiP-MColl"),
+    ("allgather", 4096, 8, 4, "PiP-MColl"),
+    ("scatter", 256, 16, 6, "MPICH"),
+    ("scatter", 256, 16, 6, "PiP-MColl"),
+    ("allreduce", 64, 8, 4, "PiP-MPICH"),
+    ("barrier", 0, 8, 4, "PiP-MColl"),
+    ("bcast", 1024, 8, 4, "MVAPICH2"),
+)
+
+
+def _key(entry: Tuple[str, int, int, int, str]) -> str:
+    coll, nbytes, nodes, ppn, lib = entry
+    return f"{lib}/{coll}/{nbytes}B@{nodes}x{ppn}"
+
+
+def measure_grid() -> Dict[str, float]:
+    """Run the golden grid; returns latency (µs) per key."""
+    out: Dict[str, float] = {}
+    for entry in GOLDEN_GRID:
+        coll, nbytes, nodes, ppn, lib = entry
+        point = bench_collective(lib, coll, nbytes,
+                                 broadwell_opa(nodes=nodes, ppn=ppn),
+                                 warmup=1, iters=1)
+        out[_key(entry)] = point.latency_us
+    return out
+
+
+def capture_baseline(path: Union[str, Path]) -> Dict[str, float]:
+    """Measure the grid and write it as the new golden baseline."""
+    values = measure_grid()
+    Path(path).write_text(json.dumps(values, indent=2, sort_keys=True) + "\n")
+    return values
+
+
+@dataclass
+class DriftReport:
+    """Comparison of a fresh run against the golden baseline."""
+
+    tolerance: float
+    drifts: List[Tuple[str, float, float]] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        """True when nothing drifted and nothing is missing."""
+        return not self.drifts and not self.missing
+
+    def format(self) -> str:
+        """Human-readable drift listing."""
+        if self.ok():
+            return "no drift"
+        lines = [f"model drift (tolerance {self.tolerance:.1%}):"]
+        for key, golden, fresh in self.drifts:
+            lines.append(
+                f"  {key}: golden {golden:.3f} us -> fresh {fresh:.3f} us "
+                f"({fresh / golden - 1.0:+.1%})"
+            )
+        for key in self.missing:
+            lines.append(f"  {key}: missing from baseline")
+        return "\n".join(lines)
+
+
+def compare_to_baseline(path: Union[str, Path],
+                        tolerance: float = 0.01) -> DriftReport:
+    """Measure the grid and diff it against the stored baseline.
+
+    The default tolerance is 1 % — the simulator is deterministic, so
+    any real drift is either an intended recalibration (re-capture the
+    baseline and say so in EXPERIMENTS.md) or a bug.
+    """
+    golden: Dict[str, float] = json.loads(Path(path).read_text())
+    fresh = measure_grid()
+    report = DriftReport(tolerance=tolerance)
+    for key, value in fresh.items():
+        if key not in golden:
+            report.missing.append(key)
+        elif abs(value - golden[key]) > tolerance * golden[key]:
+            report.drifts.append((key, golden[key], value))
+    return report

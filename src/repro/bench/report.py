@@ -1,0 +1,83 @@
+"""Table/series formatting for benchmark output.
+
+`format_paper_table` renders a sweep the way the paper's figures read:
+one row per message size, one column per library, latencies in µs —
+with entries more than ``exclude_factor`` × the PiP-MColl time marked
+the way the paper excluded them from its plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .harness import Sweep
+
+
+def _fmt_size(nbytes: int) -> str:
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes // 1024} KiB"
+    return f"{nbytes} B"
+
+
+def format_paper_table(sweep: Sweep, target: str = "PiP-MColl",
+                       exclude_factor: Optional[float] = 4.0) -> str:
+    """Figure-style latency table (µs), with paper-style exclusions."""
+    cols = sweep.libraries
+    header = ["size"] + cols + [f"speedup vs best other"]
+    rows: List[List[str]] = []
+    for nbytes in sweep.sizes:
+        row = [_fmt_size(nbytes)]
+        target_lat = sweep.latency(target, nbytes) if target in cols else None
+        for lib in cols:
+            lat = sweep.latency(lib, nbytes)
+            if (
+                exclude_factor is not None
+                and target_lat is not None
+                and lib != target
+                and lat > exclude_factor * target_lat
+            ):
+                row.append(f">({exclude_factor:.0f}x)")
+            else:
+                row.append(f"{lat:9.2f}")
+        if target in cols:
+            row.append(f"{sweep.speedup(target, nbytes):5.2f}x")
+        else:
+            row.append("-")
+        rows.append(row)
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines = [
+        f"{sweep.collective} latency (us), machine={sweep.params_name}",
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(sweep: Sweep) -> str:
+    """Machine-readable series (CSV-ish), one line per point."""
+    lines = ["collective,library,nbytes,latency_us,min_us,max_us"]
+    for lib in sweep.libraries:
+        for nbytes in sweep.sizes:
+            p = sweep.points[(lib, nbytes)]
+            lines.append(
+                f"{sweep.collective},{lib},{nbytes},"
+                f"{p.latency_us:.3f},{p.min_us:.3f},{p.max_us:.3f}"
+            )
+    return "\n".join(lines)
+
+
+def summarize_speedups(sweep: Sweep, target: str = "PiP-MColl") -> str:
+    """One line per size: target vs the fastest other library."""
+    lines = []
+    for nbytes in sweep.sizes:
+        other_name, other_lat = sweep.best_other(target, nbytes)
+        lines.append(
+            f"{_fmt_size(nbytes):>8}: {target} {sweep.latency(target, nbytes):8.2f} us"
+            f" vs best-other {other_name} {other_lat:8.2f} us"
+            f" -> {sweep.speedup(target, nbytes):5.2f}x"
+        )
+    size, factor = sweep.best_speedup(target)
+    lines.append(f"best speedup: {factor:.2f}x at {_fmt_size(size)}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Generic parameter-sweep driver (scale sweeps, CSV export).
+
+`run_sweep` in :mod:`repro.bench.harness` sweeps *message sizes*; the
+drivers here sweep **machine shape** — node count, ppn, or fabric
+oversubscription — holding the workload fixed.  Results come back as
+:class:`ScaleSweep` grids that render to CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..machine import FabricParams, broadwell_opa
+from ..mpilibs import make_library
+from .harness import BenchPoint, bench_collective
+
+
+@dataclass
+class ScaleSweep:
+    """Latency grid over (library × machine-shape point)."""
+
+    collective: str
+    nbytes: int
+    axis_name: str
+    axis: List
+    libraries: List[str]
+    points: Dict[Tuple[str, object], BenchPoint] = field(default_factory=dict)
+
+    def latency(self, library: str, value) -> float:
+        """Latency (µs) at one axis point."""
+        return self.points[(library, value)].latency_us
+
+    def speedup(self, target: str, value) -> float:
+        """fastest-other / target at one axis point."""
+        others = [self.latency(lib, value) for lib in self.libraries
+                  if lib != target]
+        return min(others) / self.latency(target, value)
+
+    def to_csv(self) -> str:
+        """CSV: axis value, then one latency column per library."""
+        lines = [",".join([self.axis_name] + self.libraries)]
+        for value in self.axis:
+            row = [str(value)] + [
+                f"{self.latency(lib, value):.3f}" for lib in self.libraries
+            ]
+            lines.append(",".join(row))
+        return "\n".join(lines)
+
+
+def node_scaling_sweep(
+    collective: str,
+    nbytes: int,
+    node_counts: Sequence[int],
+    ppn: int = 18,
+    libraries: Sequence[str] = ("MPICH", "PiP-MColl"),
+    warmup: int = 1,
+    iters: int = 1,
+) -> ScaleSweep:
+    """Latency vs node count at fixed ppn."""
+    sweep = ScaleSweep(collective, nbytes, "nodes", list(node_counts),
+                       list(libraries))
+    for nodes in node_counts:
+        params = broadwell_opa(nodes=nodes, ppn=ppn)
+        for lib in libraries:
+            sweep.points[(lib, nodes)] = bench_collective(
+                lib, collective, nbytes, params, warmup=warmup, iters=iters)
+    return sweep
+
+
+def ppn_scaling_sweep(
+    collective: str,
+    nbytes: int,
+    ppns: Sequence[int],
+    nodes: int = 32,
+    libraries: Sequence[str] = ("MPICH", "PiP-MColl"),
+    warmup: int = 1,
+    iters: int = 1,
+) -> ScaleSweep:
+    """Latency vs ranks-per-node at fixed node count."""
+    sweep = ScaleSweep(collective, nbytes, "ppn", list(ppns), list(libraries))
+    for ppn in ppns:
+        params = broadwell_opa(nodes=nodes, ppn=ppn)
+        for lib in libraries:
+            sweep.points[(lib, ppn)] = bench_collective(
+                lib, collective, nbytes, params, warmup=warmup, iters=iters)
+    return sweep
+
+
+def oversubscription_sweep(
+    collective: str,
+    nbytes: int,
+    factors: Sequence[float],
+    nodes: int = 32,
+    ppn: int = 8,
+    pod_size: int = 8,
+    libraries: Sequence[str] = ("MPICH", "PiP-MColl"),
+) -> ScaleSweep:
+    """Latency vs fabric oversubscription (needs the fabric extension)."""
+    from ..runtime import World
+    from .harness import _buffers, _invoke
+
+    sweep = ScaleSweep(collective, nbytes, "oversubscription", list(factors),
+                       list(libraries))
+    for factor in factors:
+        for lib_name in libraries:
+            lib = make_library(lib_name)
+            world = World(
+                broadwell_opa(nodes=nodes, ppn=ppn),
+                intra=lib.profile.intra,
+                functional=False,
+                fabric=FabricParams(pod_size=pod_size, oversubscription=factor),
+            )
+            size = world.comm_world.size
+            algo = lib.wrapped(collective, nbytes, size)
+
+            def program(ctx):
+                bufs = _buffers(ctx, collective, nbytes, size, 0)
+                lats = []
+                for _ in range(2):
+                    yield from ctx.hard_sync()
+                    t0 = ctx.now
+                    yield from _invoke(algo, ctx, bufs, collective, 0)
+                    lats.append(ctx.now - t0)
+                return lats[-1]
+
+            lat_us = max(world.run(program)) * 1e6
+            sweep.points[(lib_name, factor)] = BenchPoint(
+                library=lib_name, collective=collective, nbytes=nbytes,
+                latency_us=lat_us, min_us=lat_us, max_us=lat_us,
+                iterations=(lat_us,),
+            )
+    return sweep

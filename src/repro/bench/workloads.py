@@ -1,0 +1,159 @@
+"""Synthetic application workloads: collective traces and replay.
+
+Figures measure one collective at a time; applications issue *mixes*.
+A :class:`CollectiveTrace` is a deterministic sequence of collective
+calls (name, per-process bytes); generators below synthesize traces
+shaped like common HPC/ML communication patterns, and
+:func:`replay_trace` executes a whole trace under a library model and
+reports the end-to-end communication time — the number an application
+user actually feels.
+
+All generators take an explicit ``seed`` and use their own
+``random.Random``, so traces are reproducible across runs and
+machines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..machine import MachineParams
+from ..mpilibs import MpiLibrary, make_library
+from .harness import _buffers, _invoke
+
+Call = Tuple[str, int]  # (collective, per-process bytes)
+
+
+@dataclass(frozen=True)
+class CollectiveTrace:
+    """A reproducible sequence of collective calls."""
+
+    name: str
+    calls: Tuple[Call, ...]
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def total_bytes(self) -> int:
+        """Sum of per-process payload bytes across the trace."""
+        return sum(nbytes for _c, nbytes in self.calls)
+
+    def histogram(self) -> Dict[str, int]:
+        """Call count per collective."""
+        out: Dict[str, int] = {}
+        for coll, _n in self.calls:
+            out[coll] = out.get(coll, 0) + 1
+        return out
+
+
+def uniform_mix(n_calls: int = 50, seed: int = 1,
+                collectives: Sequence[str] = ("allgather", "allreduce",
+                                              "bcast", "barrier"),
+                sizes: Sequence[int] = (16, 64, 256, 1024)) -> CollectiveTrace:
+    """A uniformly random mix (stress test, no structure)."""
+    rng = random.Random(seed)
+    calls = tuple(
+        (rng.choice(list(collectives)),
+         0 if rng.random() < 0.1 else rng.choice(list(sizes)))
+        for _ in range(n_calls)
+    )
+    calls = tuple((c, 0 if c == "barrier" else max(n, 8)) for c, n in calls)
+    return CollectiveTrace(f"uniform_mix(seed={seed})", calls)
+
+
+def stencil_app(steps: int = 30, check_every: int = 5,
+                reduce_bytes: int = 8) -> CollectiveTrace:
+    """An iterative PDE solver's collective skeleton: a tiny allreduce
+    every ``check_every`` steps plus a final gather of diagnostics."""
+    calls: List[Call] = []
+    for step in range(1, steps + 1):
+        if step % check_every == 0:
+            calls.append(("allreduce", reduce_bytes))
+    calls.append(("gather", 64))
+    return CollectiveTrace(f"stencil_app(steps={steps})", tuple(calls))
+
+
+def training_step_mix(layers: Sequence[int] = (256, 1024, 4096, 1024, 256),
+                      steps: int = 5) -> CollectiveTrace:
+    """Data-parallel training: one allreduce per layer gradient per
+    step, plus a broadcast of updated scalars."""
+    calls: List[Call] = []
+    for _ in range(steps):
+        for layer_bytes in layers:
+            calls.append(("allreduce", layer_bytes))
+        calls.append(("bcast", 64))
+    return CollectiveTrace(f"training_step_mix(steps={steps})", tuple(calls))
+
+
+def analytics_shuffle(partitions_bytes: int = 512,
+                      rounds: int = 4) -> CollectiveTrace:
+    """Shuffle-heavy analytics: alltoall rounds with barrier epochs."""
+    calls: List[Call] = []
+    for _ in range(rounds):
+        calls.append(("alltoall", partitions_bytes))
+        calls.append(("barrier", 0))
+    calls.append(("allgather", 64))
+    return CollectiveTrace(f"analytics_shuffle(rounds={rounds})", tuple(calls))
+
+
+@dataclass
+class ReplayResult:
+    """End-to-end numbers for one (library, trace) replay."""
+
+    library: str
+    trace: str
+    total_us: float
+    per_call_us: List[float] = field(default_factory=list)
+
+    def slowest_call(self) -> Tuple[int, float]:
+        """(index, µs) of the most expensive call."""
+        idx = max(range(len(self.per_call_us)), key=self.per_call_us.__getitem__)
+        return idx, self.per_call_us[idx]
+
+
+def replay_trace(library: Union[str, MpiLibrary], trace: CollectiveTrace,
+                 params: MachineParams, functional: bool = False
+                 ) -> ReplayResult:
+    """Run every call of ``trace`` back-to-back under ``library``.
+
+    Buffers are allocated once per (collective, size) pair, as an
+    application would; call latency is max-across-ranks.
+    """
+    lib = make_library(library) if isinstance(library, str) else library
+    world = lib.make_world(params, functional=functional)
+    size = world.comm_world.size
+
+    def program(ctx):
+        cache = {}
+        laps: List[float] = []
+        for coll, nbytes in trace.calls:
+            key = (coll, nbytes)
+            if key not in cache:
+                cache[key] = _buffers(ctx, coll, nbytes, size, 0)
+            algo = lib.wrapped(coll, nbytes, size)
+            yield from ctx.hard_sync()
+            t0 = ctx.now
+            yield from _invoke(algo, ctx, cache[key], coll, 0)
+            laps.append(ctx.now - t0)
+        return laps
+
+    per_rank = world.run(program)
+    world.assert_quiescent()
+    per_call = [
+        max(per_rank[r][i] for r in range(size)) * 1e6
+        for i in range(len(trace.calls))
+    ]
+    return ReplayResult(
+        library=lib.profile.name,
+        trace=trace.name,
+        total_us=sum(per_call),
+        per_call_us=per_call,
+    )
+
+
+def compare_on_trace(trace: CollectiveTrace, params: MachineParams,
+                     libraries: Sequence[str]) -> Dict[str, ReplayResult]:
+    """Replay one trace under several libraries."""
+    return {name: replay_trace(name, trace, params) for name in libraries}

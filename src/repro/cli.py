@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``bench``
+    One (library, collective, size) latency point.
+``sweep``
+    A libraries × sizes grid with the paper-style table (and
+    optionally the ASCII figure).
+``figures``
+    Regenerate Figure 1 and Figure 2 (optionally at reduced scale).
+``info``
+    List presets, libraries, transports and their cost structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import bench_collective, format_paper_table, run_sweep, summarize_speedups
+from .bench.plot import ascii_figure
+from .machine import available_presets, preset
+from .mpilibs import COLLECTIVES, PAPER_LINEUP, available_libraries, make_library
+from .transport import available_transports, make_transport
+
+
+def _parse_sizes(text: str) -> List[int]:
+    sizes = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        factor = 1
+        if part.endswith("k"):
+            factor, part = 1024, part[:-1]
+        sizes.append(int(part) * factor)
+    if not sizes or any(s < 0 for s in sizes):
+        raise argparse.ArgumentTypeError(f"bad size list {text!r}")
+    return sizes
+
+
+def _machine(args) -> "object":
+    return preset(args.preset, nodes=args.nodes, ppn=args.ppn)
+
+
+def _add_machine_args(p: argparse.ArgumentParser, nodes: int, ppn: int) -> None:
+    p.add_argument("--preset", default="broadwell_opa", choices=available_presets())
+    p.add_argument("--nodes", type=int, default=nodes)
+    p.add_argument("--ppn", type=int, default=ppn)
+
+
+def cmd_bench(args) -> int:
+    point = bench_collective(
+        args.library, args.collective, args.size, _machine(args),
+        warmup=args.warmup, iters=args.iters,
+    )
+    print(f"{point.library} {point.collective} {point.nbytes} B: "
+          f"{point.latency_us:.2f} us "
+          f"(min {point.min_us:.2f}, max {point.max_us:.2f}, "
+          f"{len(point.iterations)} iters)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    libs = args.libraries.split(",") if args.libraries else list(PAPER_LINEUP)
+    sweep = run_sweep(args.collective, args.sizes, _machine(args),
+                      libraries=libs, warmup=args.warmup, iters=args.iters)
+    print(format_paper_table(sweep, exclude_factor=None))
+    print()
+    if "PiP-MColl" in libs:
+        print(summarize_speedups(sweep))
+    if args.plot:
+        print()
+        print(ascii_figure(sweep, title=f"{args.collective} on {sweep.params_name}"))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    for name, collective, sizes in (
+        ("Figure 1 (MPI_Scatter)", "scatter", [16, 32, 64, 128, 256, 512, 1024]),
+        ("Figure 2 (MPI_Allgather)", "allgather", [16, 32, 64, 128, 256, 512]),
+    ):
+        sweep = run_sweep(collective, sizes, _machine(args), warmup=1, iters=1)
+        print(f"=== {name} — {sweep.params_name} ===")
+        print(format_paper_table(sweep, exclude_factor=4.0))
+        print()
+        print(ascii_figure(sweep, title=name))
+        print()
+        print(summarize_speedups(sweep))
+        print()
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .bench.breakdown import profile_collective
+
+    for name in (args.libraries.split(",") if args.libraries
+                 else ["MPICH", "PiP-MColl"]):
+        profile = profile_collective(name, args.collective, args.size,
+                                     _machine(args))
+        print(profile.format())
+        print()
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .collectives.tuning import format_selection_tables
+
+    for name in (args.libraries.split(",") if args.libraries
+                 else available_libraries()):
+        print(format_selection_tables(name, args.ranks))
+        print()
+    return 0
+
+
+def cmd_info(args) -> int:
+    print("machine presets:")
+    for name in available_presets():
+        print(f"  {name}: {preset(name).describe()}")
+    print("\nMPI library models:")
+    for name in available_libraries():
+        profile = make_library(name).profile
+        print(f"  {profile.name:10s} intra={profile.intra:13s} "
+              f"call={profile.call_overhead * 1e9:5.0f} ns  {profile.description}")
+    print("\ntransports:")
+    for name in available_transports():
+        print(f"  {name:13s} {make_transport(name).describe()}")
+    print(f"\ncollectives: {', '.join(COLLECTIVES)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PiP-MColl reproduction (HPDC '23) — simulated MPI collectives",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bench", help="one latency point")
+    p.add_argument("--library", default="PiP-MColl", choices=available_libraries())
+    p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--iters", type=int, default=3)
+    _add_machine_args(p, nodes=16, ppn=6)
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("sweep", help="libraries × sizes grid")
+    p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
+    p.add_argument("--sizes", type=_parse_sizes, default=[16, 64, 256])
+    p.add_argument("--libraries", default="",
+                   help="comma-separated (default: the paper lineup)")
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--iters", type=int, default=2)
+    p.add_argument("--plot", action="store_true", help="ASCII figure too")
+    _add_machine_args(p, nodes=16, ppn=6)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("figures", help="regenerate Figures 1 and 2")
+    _add_machine_args(p, nodes=128, ppn=18)
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("profile", help="where a collective's time goes")
+    p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--libraries", default="",
+                   help="comma-separated (default: MPICH,PiP-MColl)")
+    _add_machine_args(p, nodes=16, ppn=6)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("tables", help="algorithm selection tables")
+    p.add_argument("--ranks", type=int, default=2304)
+    p.add_argument("--libraries", default="",
+                   help="comma-separated (default: all)")
+    p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("info", help="presets, libraries, transports")
+    p.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Baseline MPI collective algorithm library (subsystem S6)."""
+
+from .allgather import allgather_bruck, allgather_recursive_doubling, allgather_ring
+from .allreduce import allreduce_rabenseifner, allreduce_recursive_doubling
+from .alltoall import alltoall_bruck, alltoall_pairwise
+from .barrier import barrier_dissemination
+from .bcast import bcast_binomial, bcast_ring_pipeline
+from .gather import gather_binomial, gather_linear
+from .hierarchical import (
+    hier_allgather,
+    hier_allreduce,
+    hier_bcast,
+    hier_gather,
+    hier_reduce,
+    hier_scatter,
+)
+from .reduce import reduce_binomial
+from .reduce_scatter import (
+    reduce_scatter_recursive_halving,
+    reduce_scatter_reduce_then_scatter,
+)
+from .scan import exscan_linear, scan_linear, scan_recursive_doubling
+from .scatter import scatter_binomial, scatter_linear
+from .vector import (
+    allgatherv_ring,
+    alltoallv_pairwise,
+    gatherv_linear,
+    packed_displs,
+    scatterv_linear,
+)
+
+__all__ = [
+    "allgather_bruck",
+    "allgather_recursive_doubling",
+    "allgather_ring",
+    "allreduce_rabenseifner",
+    "allreduce_recursive_doubling",
+    "alltoall_bruck",
+    "alltoall_pairwise",
+    "allgatherv_ring",
+    "alltoallv_pairwise",
+    "barrier_dissemination",
+    "bcast_binomial",
+    "bcast_ring_pipeline",
+    "exscan_linear",
+    "gather_binomial",
+    "gather_linear",
+    "gatherv_linear",
+    "hier_allgather",
+    "hier_allreduce",
+    "hier_bcast",
+    "hier_gather",
+    "hier_reduce",
+    "hier_scatter",
+    "reduce_binomial",
+    "reduce_scatter_recursive_halving",
+    "reduce_scatter_reduce_then_scatter",
+    "packed_displs",
+    "scan_linear",
+    "scan_recursive_doubling",
+    "scatter_binomial",
+    "scatterv_linear",
+    "scatter_linear",
+]

@@ -1,0 +1,131 @@
+"""Allgather algorithms — the paper's Figure 2 baselines.
+
+* :func:`allgather_recursive_doubling` — the classic power-of-two
+  small-message algorithm (``log2 P`` rounds, doubling block counts).
+* :func:`allgather_bruck` — radix-2 Bruck: works for any ``P`` in
+  ``ceil(log2 P)`` rounds plus one final local rotation.  This is what
+  MPICH-family libraries run at 2304 ranks (not a power of two).
+* :func:`allgather_ring` — ``P - 1`` rounds of neighbour exchange;
+  bandwidth-optimal for large messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from .base import TAG_ALLGATHER, check_uniform_count, is_functional, local_copy, resolve_comm
+
+
+def allgather_recursive_doubling(ctx: RankContext, sendview: BufferView,
+                                 recvview: BufferView,
+                                 comm: Optional[Communicator] = None):
+    """Recursive doubling; requires a power-of-two communicator."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    if size & (size - 1):
+        raise ValueError(f"recursive doubling needs a power-of-two size, got {size}")
+    count = sendview.nbytes
+    check_uniform_count(recvview, count, size, "allgather recvbuf")
+    rank = comm.to_comm(ctx.rank)
+    yield from local_copy(ctx, sendview, recvview.sub(rank * count, count))
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        my_start = (rank & ~(mask - 1)) * count
+        partner_start = (partner & ~(mask - 1)) * count
+        yield from ctx.sendrecv(
+            recvview.sub(my_start, count * mask), partner, TAG_ALLGATHER,
+            recvview.sub(partner_start, count * mask), partner, TAG_ALLGATHER,
+            comm=comm,
+        )
+        mask <<= 1
+
+
+def allgather_bruck(ctx: RankContext, sendview: BufferView,
+                    recvview: BufferView,
+                    comm: Optional[Communicator] = None):
+    """Radix-2 Bruck allgather (any communicator size).
+
+    Invariant after ``k`` rounds: ``tmp`` block ``i`` holds the data of
+    comm rank ``(rank + i) % size`` for ``i < 2^k``.
+    """
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = sendview.nbytes
+    check_uniform_count(recvview, count, size, "allgather recvbuf")
+    rank = comm.to_comm(ctx.rank)
+    tmp = ctx.alloc(count * size)
+    tmp.view(0, count).copy_from(sendview)
+    yield from ctx.node_hw.mem_copy(count)
+
+    step = 1
+    while step < size:
+        block_cnt = min(step, size - step)
+        dst = (rank - step) % size
+        src = (rank + step) % size
+        yield from ctx.sendrecv(
+            tmp.view(0, block_cnt * count), dst, TAG_ALLGATHER,
+            tmp.view(step * count, block_cnt * count), src, TAG_ALLGATHER,
+            comm=comm,
+        )
+        step <<= 1
+
+    # tmp block i = data of rank (rank+i)%size → rotate into rank order.
+    if is_functional(recvview):
+        for i in range(size):
+            owner = (rank + i) % size
+            recvview.sub(owner * count, count).copy_from(tmp.view(i * count, count))
+    yield from ctx.node_hw.mem_copy(size * count)  # one rotation pass
+
+
+#: rounds simulated explicitly on each side of a fast-forwarded ring
+_RING_PROBE = 16
+
+
+def allgather_ring(ctx: RankContext, sendview: BufferView,
+                   recvview: BufferView,
+                   comm: Optional[Communicator] = None):
+    """Ring allgather: each round forwards one block to the successor.
+
+    Timing-only fast-forward: the ring is a uniform pipeline, so after
+    a handful of warmup rounds every further round costs the same.
+    When buffers carry no bytes (full-scale timing runs) and the ring
+    is long, the middle rounds are charged as ``per-round × skipped``
+    in one step — with the probe and tail rounds still simulated
+    message-by-message so NIC/pipe state stays warm.  All ranks skip
+    the same rounds, so matching stays consistent.  Functional runs
+    always simulate every round.
+    """
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = sendview.nbytes
+    check_uniform_count(recvview, count, size, "allgather recvbuf")
+    rank = comm.to_comm(ctx.rank)
+    yield from local_copy(ctx, sendview, recvview.sub(rank * count, count))
+    nxt = (rank + 1) % size
+    prev = (rank - 1) % size
+    rounds = size - 1
+    fast_forward = (not is_functional(sendview, recvview)
+                    and rounds > 3 * _RING_PROBE)
+    probe_start = None
+    step = 0
+    while step < rounds:
+        send_block = (rank - step) % size
+        recv_block = (rank - step - 1) % size
+        yield from ctx.sendrecv(
+            recvview.sub(send_block * count, count), nxt, TAG_ALLGATHER,
+            recvview.sub(recv_block * count, count), prev, TAG_ALLGATHER,
+            comm=comm,
+        )
+        step += 1
+        if fast_forward:
+            if step == _RING_PROBE:
+                probe_start = ctx.now
+            elif step == 2 * _RING_PROBE:
+                per_round = (ctx.now - probe_start) / _RING_PROBE
+                skipped = rounds - step - _RING_PROBE
+                yield ctx.sim.timeout(per_round * skipped)
+                step += skipped

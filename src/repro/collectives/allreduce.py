@@ -1,0 +1,149 @@
+"""Allreduce algorithms.
+
+* :func:`allreduce_recursive_doubling` — MPICH's small-message default.
+  Handles non-power-of-two sizes with the standard fold-in/fold-out
+  phases (the nearest power-of-two ranks do the exchange).
+* :func:`allreduce_rabenseifner` — reduce-scatter (recursive halving)
+  followed by allgather (recursive doubling); bandwidth-optimal for
+  large messages.  Power-of-two sizes; callers fall back otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from .base import TAG_ALLREDUCE, local_copy, resolve_comm
+from .reduce import _accumulate
+
+
+def _largest_pow2_leq(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p
+
+
+def allreduce_recursive_doubling(ctx: RankContext, sendview: BufferView,
+                                 recvview: BufferView, dtype: Datatype,
+                                 op: ReduceOp,
+                                 comm: Optional[Communicator] = None):
+    """Recursive-doubling allreduce (any size, via pow2 fold phases)."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = sendview.nbytes
+    if recvview.nbytes != count:
+        raise ValueError("allreduce: send/recv sizes differ")
+    rank = comm.to_comm(ctx.rank)
+    yield from local_copy(ctx, sendview, recvview)
+    if size == 1:
+        return
+
+    pow2 = _largest_pow2_leq(size)
+    rem = size - pow2
+    incoming = ctx.alloc(count)
+
+    # Fold-in: the first 2*rem ranks pair (even → odd); odd ranks carry
+    # the pair's sum into the power-of-two phase.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from ctx.send(recvview, dst=rank + 1, tag=TAG_ALLREDUCE, comm=comm)
+            new_rank = -1  # out of the pow2 phase
+        else:
+            yield from ctx.recv(incoming.view(), src=rank - 1, tag=TAG_ALLREDUCE, comm=comm)
+            yield from _accumulate(ctx, recvview, incoming.view(), dtype, op)
+            new_rank = rank // 2
+    else:
+        new_rank = rank - rem
+
+    if new_rank >= 0:
+        mask = 1
+        while mask < pow2:
+            new_partner = new_rank ^ mask
+            partner = new_partner * 2 + 1 if new_partner < rem else new_partner + rem
+            yield from ctx.sendrecv(
+                recvview, partner, TAG_ALLREDUCE + 1,
+                incoming.view(), partner, TAG_ALLREDUCE + 1,
+                comm=comm,
+            )
+            yield from _accumulate(ctx, recvview, incoming.view(), dtype, op)
+            mask <<= 1
+
+    # Fold-out: odd partners return the final result to the evens.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from ctx.recv(recvview, src=rank + 1, tag=TAG_ALLREDUCE + 2, comm=comm)
+        else:
+            yield from ctx.send(recvview, dst=rank - 1, tag=TAG_ALLREDUCE + 2, comm=comm)
+
+
+def allreduce_rabenseifner(ctx: RankContext, sendview: BufferView,
+                           recvview: BufferView, dtype: Datatype,
+                           op: ReduceOp,
+                           comm: Optional[Communicator] = None):
+    """Rabenseifner's algorithm (power-of-two sizes, divisible counts)."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    if size & (size - 1):
+        raise ValueError(f"rabenseifner needs a power-of-two size, got {size}")
+    count = sendview.nbytes
+    if recvview.nbytes != count:
+        raise ValueError("allreduce: send/recv sizes differ")
+    if count % (size * dtype.size):
+        raise ValueError(
+            f"rabenseifner needs count divisible into {size} element blocks"
+        )
+    rank = comm.to_comm(ctx.rank)
+    yield from local_copy(ctx, sendview, recvview)
+    if size == 1:
+        return
+    incoming = ctx.alloc(count)
+
+    # Phase 1: reduce-scatter by recursive halving.  After each step I
+    # keep responsibility for half of my previous byte range.
+    lo, hi = 0, count
+    step = 1
+    while step < size:
+        partner = rank ^ step
+        half = (hi - lo) // 2
+        if rank & step:
+            mine_lo, mine_hi = lo + half, hi
+            theirs_lo, theirs_hi = lo, lo + half
+        else:
+            mine_lo, mine_hi = lo, lo + half
+            theirs_lo, theirs_hi = lo + half, hi
+        yield from ctx.sendrecv(
+            recvview.sub(theirs_lo, theirs_hi - theirs_lo), partner, TAG_ALLREDUCE + 3,
+            incoming.view(mine_lo, mine_hi - mine_lo), partner, TAG_ALLREDUCE + 3,
+            comm=comm,
+        )
+        yield from _accumulate(
+            ctx,
+            recvview.sub(mine_lo, mine_hi - mine_lo),
+            incoming.view(mine_lo, mine_hi - mine_lo),
+            dtype, op,
+        )
+        lo, hi = mine_lo, mine_hi
+        step <<= 1
+
+    # Phase 2: allgather by recursive doubling (mirror of phase 1).
+    step = size // 2
+    while step >= 1:
+        partner = rank ^ step
+        span = hi - lo
+        if rank & step:
+            theirs_lo = lo - span
+        else:
+            theirs_lo = hi
+        yield from ctx.sendrecv(
+            recvview.sub(lo, span), partner, TAG_ALLREDUCE + 4,
+            recvview.sub(theirs_lo, span), partner, TAG_ALLREDUCE + 4,
+            comm=comm,
+        )
+        lo = min(lo, theirs_lo)
+        hi = lo + 2 * span
+        step >>= 1

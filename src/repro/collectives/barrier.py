@@ -1,0 +1,34 @@
+"""Barrier algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from .base import TAG_BARRIER, resolve_comm
+
+
+def barrier_dissemination(ctx: RankContext,
+                          comm: Optional[Communicator] = None):
+    """Dissemination barrier: ``ceil(log2 P)`` rounds of zero-byte
+    token exchanges at doubling circular distances."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    if size == 1:
+        return
+        yield  # pragma: no cover - keeps this a generator
+    rank = comm.to_comm(ctx.rank)
+    token = ctx.alloc(0)
+    step = 1
+    round_no = 0
+    while step < size:
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        yield from ctx.sendrecv(
+            token.view(), dst, TAG_BARRIER + round_no,
+            token.view(), src, TAG_BARRIER + round_no,
+            comm=comm,
+        )
+        step <<= 1
+        round_no += 1

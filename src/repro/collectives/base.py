@@ -1,0 +1,79 @@
+"""Shared machinery for collective algorithms.
+
+Every algorithm is a generator ``algo(ctx, ..., comm=None)`` run by all
+member ranks of ``comm``.  Algorithms are byte-oriented: they take
+:class:`~repro.runtime.buffer.BufferView` windows and move whole blocks;
+reduction algorithms additionally take a datatype + op.
+
+Conventions
+-----------
+* block ``i`` of an allgather/gather result is the contribution of comm
+  rank ``i``, at byte offset ``i * count``;
+* tag spaces: each algorithm family owns a disjoint base tag so nested
+  or back-to-back collectives can't cross-match;
+* "virtual ranks": tree algorithms renumber ranks so the root is vrank
+  0 (``vrank = (rank - root) % size``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView, NullBuffer
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+
+# -- tag spaces (disjoint per family) -----------------------------------
+TAG_BCAST = 0x1000
+TAG_GATHER = 0x2000
+TAG_SCATTER = 0x3000
+TAG_ALLGATHER = 0x4000
+TAG_ALLREDUCE = 0x5000
+TAG_REDUCE = 0x6000
+TAG_ALLTOALL = 0x7000
+TAG_REDUCE_SCATTER = 0x8000
+TAG_BARRIER = 0x9000
+TAG_SCAN = 0xA000
+TAG_MCOLL = 0xB000
+
+
+def resolve_comm(ctx: RankContext, comm: Optional[Communicator]) -> Communicator:
+    """Default to COMM_WORLD."""
+    return comm if comm is not None else ctx.comm_world
+
+
+def vrank_of(rank: int, root: int, size: int) -> int:
+    """Virtual rank with the tree rooted at vrank 0."""
+    return (rank - root) % size
+
+
+def rank_of_vrank(vrank: int, root: int, size: int) -> int:
+    """Inverse of :func:`vrank_of`."""
+    return (vrank + root) % size
+
+
+def local_copy(ctx: RankContext, src: BufferView, dst: BufferView):
+    """Functional copy within one rank, charged as one memcpy."""
+    if src.nbytes != dst.nbytes:
+        raise ValueError(f"size mismatch: {src.nbytes} != {dst.nbytes}")
+    dst.write(src.read())
+    yield from ctx.node_hw.mem_copy(src.nbytes)
+
+
+def is_functional(*views: BufferView) -> bool:
+    """True when every view carries real bytes.
+
+    Per-chunk Python loops (rotations, packing) are skipped for
+    timing-only buffers — they would be no-ops, and at 2304 ranks the
+    interpreter overhead of a million no-op copies dwarfs the
+    simulation itself.  Cost charges are never skipped.
+    """
+    return all(not isinstance(v.buffer, NullBuffer) for v in views)
+
+
+def check_uniform_count(view: BufferView, count: int, parties: int, what: str) -> None:
+    """Validate a rooted buffer that must hold ``parties × count`` bytes."""
+    if view.nbytes != count * parties:
+        raise ValueError(
+            f"{what}: buffer holds {view.nbytes} B, expected {parties} × {count} B"
+        )

@@ -1,0 +1,74 @@
+"""Broadcast algorithms.
+
+* :func:`bcast_binomial` — MPICH's small-message default: a binomial
+  tree rooted (via virtual ranks) at ``root``; ``ceil(log2 P)`` rounds.
+* :func:`bcast_ring_pipeline` — large-message store-and-forward ring
+  with segmentation, so bandwidth is pipelined instead of multiplied
+  by tree depth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from .base import TAG_BCAST, rank_of_vrank, resolve_comm, vrank_of
+
+
+def bcast_binomial(ctx: RankContext, view: BufferView, root: int = 0,
+                   comm: Optional[Communicator] = None):
+    """Binomial-tree broadcast (small/medium messages)."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.to_comm(ctx.rank)
+    vrank = vrank_of(rank, root, size)
+
+    # Receive once from the parent (lowest set bit determines it).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = rank_of_vrank(vrank - mask, root, size)
+            yield from ctx.recv(view, src=parent, tag=TAG_BCAST, comm=comm)
+            break
+        mask <<= 1
+    # Forward to children (higher bits below my receive bit).
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            child = rank_of_vrank(vrank + mask, root, size)
+            yield from ctx.send(view, dst=child, tag=TAG_BCAST, comm=comm)
+        mask >>= 1
+
+
+def bcast_ring_pipeline(ctx: RankContext, view: BufferView, root: int = 0,
+                        comm: Optional[Communicator] = None,
+                        segment: int = 8192):
+    """Segmented ring-pipeline broadcast (large messages).
+
+    The message is cut into ``segment``-byte pieces; each rank receives
+    piece ``k`` from its ring predecessor while its successor can
+    already be forwarding piece ``k-1``.
+    """
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    if size == 1:
+        return
+    if segment <= 0:
+        raise ValueError(f"segment must be > 0, got {segment}")
+    rank = comm.to_comm(ctx.rank)
+    vrank = vrank_of(rank, root, size)
+    prev = rank_of_vrank(vrank - 1, root, size)
+    nxt = rank_of_vrank(vrank + 1, root, size)
+    nbytes = view.nbytes
+    nsegs = max(1, -(-nbytes // segment))
+    for k in range(nsegs):
+        off = k * segment
+        piece = view.sub(off, min(segment, nbytes - off))
+        if vrank != 0:
+            yield from ctx.recv(piece, src=prev, tag=TAG_BCAST + 1 + k, comm=comm)
+        if vrank != size - 1:
+            yield from ctx.send(piece, dst=nxt, tag=TAG_BCAST + 1 + k, comm=comm)

@@ -1,0 +1,101 @@
+"""Gather algorithms.
+
+:func:`gather_binomial` is MPICH's default: leaves push their block to
+their binomial parent, inner nodes forward their whole accumulated
+subtree, so the root receives ``ceil(log2 P)`` messages instead of
+``P - 1``.  Subtree data is contiguous in *virtual* rank order; the
+root performs one rotation pass at the end when ``root != 0``.
+
+:func:`gather_linear` is the flat alternative (root receives from
+everyone) — it's what a single leader pays without a tree, and is used
+by the ablations as a worst-case single-object baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from .base import (TAG_GATHER, check_uniform_count, is_functional, local_copy,
+                   rank_of_vrank, resolve_comm, vrank_of)
+
+
+def gather_binomial(ctx: RankContext, sendview: BufferView,
+                    recvview: Optional[BufferView], root: int = 0,
+                    comm: Optional[Communicator] = None):
+    """Binomial-tree gather of equal ``sendview.nbytes`` blocks."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = sendview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    if rank == root:
+        if recvview is None:
+            raise ValueError("gather: root needs a receive buffer")
+        check_uniform_count(recvview, count, size, "gather recvbuf")
+    if size == 1:
+        yield from local_copy(ctx, sendview, recvview.sub(0, count))
+        return
+    vrank = vrank_of(rank, root, size)
+
+    # Staging buffer in vrank order; my block sits at offset 0.
+    subtree_cap = count * size
+    tmp = ctx.alloc(subtree_cap)
+    tmp.view(0, count).copy_from(sendview)
+    held = 1  # blocks currently held (own + received subtrees)
+
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = rank_of_vrank(vrank - mask, root, size)
+            yield from ctx.send(tmp.view(0, held * count), dst=parent,
+                                tag=TAG_GATHER, comm=comm)
+            break
+        if vrank + mask < size:
+            child_blocks = min(mask, size - (vrank + mask))
+            child = rank_of_vrank(vrank + mask, root, size)
+            yield from ctx.recv(
+                tmp.view(mask * count, child_blocks * count),
+                src=child, tag=TAG_GATHER, comm=comm,
+            )
+            held = mask + child_blocks
+        else:
+            pass  # no child at this distance
+        mask <<= 1
+
+    if rank == root:
+        # tmp holds blocks in vrank order; rotate into rank order.
+        if root == 0:
+            yield from local_copy(ctx, tmp.view(0, size * count), recvview)
+        else:
+            if is_functional(recvview):
+                for v in range(size):
+                    r = rank_of_vrank(v, root, size)
+                    recvview.sub(r * count, count).copy_from(tmp.view(v * count, count))
+            yield from ctx.node_hw.mem_copy(size * count)  # one rotation pass
+
+
+def gather_linear(ctx: RankContext, sendview: BufferView,
+                  recvview: Optional[BufferView], root: int = 0,
+                  comm: Optional[Communicator] = None):
+    """Flat gather: every rank sends straight to the root."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = sendview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    if rank != root:
+        yield from ctx.send(sendview, dst=root, tag=TAG_GATHER, comm=comm)
+        return
+    if recvview is None:
+        raise ValueError("gather: root needs a receive buffer")
+    check_uniform_count(recvview, count, size, "gather recvbuf")
+    recvview.sub(rank * count, count).copy_from(sendview)
+    reqs = []
+    for src in range(size):
+        if src == root:
+            continue
+        req = yield from ctx.irecv(recvview.sub(src * count, count),
+                                   src=src, tag=TAG_GATHER, comm=comm)
+        reqs.append(req)
+    yield from ctx.waitall(reqs)

@@ -1,0 +1,163 @@
+"""Hierarchical (leader-based, *single-object*) collectives.
+
+The classic two-level design (Parsons & Pai, MVAPICH2 2-level
+algorithms): all intra-node traffic funnels through one leader rank
+per node, leaders run the inter-node collective, results fan back out
+locally.  Exactly one process per node touches the network — the
+"single-object" structure whose injection bottleneck the paper's
+multi-object design removes.  These serve both as library-model
+building blocks and as the A1 ablation baseline.
+
+All algorithms here require the communicator to be COMM_WORLD (the
+node/leader sub-communicators are precomputed by the world).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from .allgather import allgather_bruck
+from .allreduce import allreduce_recursive_doubling
+from .base import resolve_comm
+from .bcast import bcast_binomial
+from .gather import gather_binomial
+from .reduce import reduce_binomial
+from .scatter import scatter_binomial
+
+
+def _require_world(ctx: RankContext, comm: Optional[Communicator]) -> Communicator:
+    comm = resolve_comm(ctx, comm)
+    if comm is not ctx.comm_world:
+        raise ValueError("hierarchical collectives require COMM_WORLD")
+    return comm
+
+
+def hier_bcast(ctx: RankContext, view: BufferView, root: int = 0,
+               comm: Optional[Communicator] = None):
+    """Leaders relay via binomial tree, then broadcast inside nodes.
+
+    For simplicity the implementation requires the root to be a node
+    leader (benchmarks use root 0), matching the common library case.
+    """
+    comm = _require_world(ctx, comm)
+    if not ctx.cluster.is_leader(root):
+        raise ValueError("hier_bcast requires a leader root")
+    leader_root = ctx.leader_comm.to_comm(root)
+    if ctx.is_leader:
+        yield from bcast_binomial(ctx, view, root=leader_root, comm=ctx.leader_comm)
+    yield from bcast_binomial(ctx, view, root=0, comm=ctx.node_comm)
+
+
+def hier_gather(ctx: RankContext, sendview: BufferView,
+                recvview: Optional[BufferView], root: int = 0,
+                comm: Optional[Communicator] = None):
+    """Node gather to leaders, then leader gather to the root.
+
+    Requires a leader root.  Because ranks are blocked by node, each
+    node's blocks are contiguous in the result — leader gather blocks
+    concatenate directly.
+    """
+    comm = _require_world(ctx, comm)
+    if not ctx.cluster.is_leader(root):
+        raise ValueError("hier_gather requires a leader root")
+    count = sendview.nbytes
+    ppn = ctx.cluster.ppn
+    node_buf = ctx.alloc(count * ppn) if ctx.is_leader else None
+    yield from gather_binomial(
+        ctx, sendview, node_buf.view() if node_buf is not None else None,
+        root=0, comm=ctx.node_comm,
+    )
+    if ctx.is_leader:
+        leader_root = ctx.leader_comm.to_comm(root)
+        yield from gather_binomial(
+            ctx, node_buf.view(),
+            recvview if ctx.rank == root else None,
+            root=leader_root, comm=ctx.leader_comm,
+        )
+
+
+def hier_scatter(ctx: RankContext, sendview: Optional[BufferView],
+                 recvview: BufferView, root: int = 0,
+                 comm: Optional[Communicator] = None):
+    """Leader scatter of node-sized slabs, then node scatter."""
+    comm = _require_world(ctx, comm)
+    if not ctx.cluster.is_leader(root):
+        raise ValueError("hier_scatter requires a leader root")
+    count = recvview.nbytes
+    ppn = ctx.cluster.ppn
+    node_buf = ctx.alloc(count * ppn) if ctx.is_leader else None
+    if ctx.is_leader:
+        leader_root = ctx.leader_comm.to_comm(root)
+        yield from scatter_binomial(
+            ctx, sendview if ctx.rank == root else None,
+            node_buf.view(), root=leader_root, comm=ctx.leader_comm,
+        )
+    yield from scatter_binomial(
+        ctx, node_buf.view() if node_buf is not None else None,
+        recvview, root=0, comm=ctx.node_comm,
+    )
+
+
+def hier_allgather(ctx: RankContext, sendview: BufferView,
+                   recvview: BufferView,
+                   comm: Optional[Communicator] = None):
+    """Node gather → leader allgather (Bruck) → node broadcast.
+
+    The single-object Figure 2 baseline: per round, one leader core
+    pays every injection while ``ppn - 1`` cores idle.
+    """
+    comm = _require_world(ctx, comm)
+    count = sendview.nbytes
+    ppn = ctx.cluster.ppn
+    node_buf = ctx.alloc(count * ppn) if ctx.is_leader else None
+    yield from gather_binomial(
+        ctx, sendview, node_buf.view() if node_buf is not None else None,
+        root=0, comm=ctx.node_comm,
+    )
+    if ctx.is_leader:
+        yield from allgather_bruck(ctx, node_buf.view(), recvview,
+                                   comm=ctx.leader_comm)
+    yield from bcast_binomial(ctx, recvview, root=0, comm=ctx.node_comm)
+
+
+def hier_reduce(ctx: RankContext, sendview: BufferView,
+                recvview: Optional[BufferView], dtype: Datatype,
+                op: ReduceOp, root: int = 0,
+                comm: Optional[Communicator] = None):
+    """Node reduce to leaders, then leader reduce to the root."""
+    comm = _require_world(ctx, comm)
+    if not ctx.cluster.is_leader(root):
+        raise ValueError("hier_reduce requires a leader root")
+    node_buf = ctx.alloc(sendview.nbytes) if ctx.is_leader else None
+    yield from reduce_binomial(
+        ctx, sendview, node_buf.view() if node_buf is not None else None,
+        dtype, op, root=0, comm=ctx.node_comm,
+    )
+    if ctx.is_leader:
+        leader_root = ctx.leader_comm.to_comm(root)
+        yield from reduce_binomial(
+            ctx, node_buf.view(), recvview if ctx.rank == root else None,
+            dtype, op, root=leader_root, comm=ctx.leader_comm,
+        )
+
+
+def hier_allreduce(ctx: RankContext, sendview: BufferView,
+                   recvview: BufferView, dtype: Datatype, op: ReduceOp,
+                   comm: Optional[Communicator] = None):
+    """Node reduce → leader allreduce → node broadcast."""
+    comm = _require_world(ctx, comm)
+    node_buf = ctx.alloc(sendview.nbytes) if ctx.is_leader else None
+    yield from reduce_binomial(
+        ctx, sendview, node_buf.view() if node_buf is not None else None,
+        dtype, op, root=0, comm=ctx.node_comm,
+    )
+    if ctx.is_leader:
+        yield from allreduce_recursive_doubling(
+            ctx, node_buf.view(), recvview, dtype, op, comm=ctx.leader_comm,
+        )
+    yield from bcast_binomial(ctx, recvview, root=0, comm=ctx.node_comm)

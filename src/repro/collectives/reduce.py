@@ -1,0 +1,59 @@
+"""Reduce algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from .base import TAG_REDUCE, local_copy, rank_of_vrank, resolve_comm, vrank_of
+
+
+def _accumulate(ctx: RankContext, acc: BufferView, incoming: BufferView,
+                dtype: Datatype, op: ReduceOp):
+    """``acc op= incoming`` (functional when buffers are real) plus the
+    modeled cost of one streaming pass over both operands."""
+    acc_bytes = acc.read()
+    inc_bytes = incoming.read()
+    if acc_bytes is not None and inc_bytes is not None:
+        a = acc_bytes.view(dtype.np_dtype)
+        op.accumulate(a, inc_bytes.view(dtype.np_dtype))
+        acc.write(a.view("uint8"))
+    yield from ctx.node_hw.mem_copy(acc.nbytes)
+
+
+def reduce_binomial(ctx: RankContext, sendview: BufferView,
+                    recvview: Optional[BufferView], dtype: Datatype,
+                    op: ReduceOp, root: int = 0,
+                    comm: Optional[Communicator] = None):
+    """Binomial-tree reduction to ``root``."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = sendview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    if rank == root and recvview is None:
+        raise ValueError("reduce: root needs a receive buffer")
+    if size == 1:
+        yield from local_copy(ctx, sendview, recvview)
+        return
+    vrank = vrank_of(rank, root, size)
+
+    acc = ctx.alloc(count)
+    acc.view().copy_from(sendview)
+    incoming = ctx.alloc(count)
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = rank_of_vrank(vrank - mask, root, size)
+            yield from ctx.send(acc.view(), dst=parent, tag=TAG_REDUCE, comm=comm)
+            return
+        if vrank + mask < size:
+            child = rank_of_vrank(vrank + mask, root, size)
+            yield from ctx.recv(incoming.view(), src=child, tag=TAG_REDUCE, comm=comm)
+            yield from _accumulate(ctx, acc.view(), incoming.view(), dtype, op)
+        mask <<= 1
+    # vrank 0 == root holds the total.
+    yield from local_copy(ctx, acc.view(), recvview)

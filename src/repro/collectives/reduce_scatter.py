@@ -1,0 +1,106 @@
+"""Reduce-scatter (block-regular) algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from .base import TAG_REDUCE_SCATTER, local_copy, resolve_comm
+from .reduce import _accumulate, reduce_binomial
+from .scatter import scatter_binomial
+
+
+def reduce_scatter_recursive_halving(ctx: RankContext, sendview: BufferView,
+                                     recvview: BufferView, dtype: Datatype,
+                                     op: ReduceOp,
+                                     comm: Optional[Communicator] = None):
+    """Recursive halving (power-of-two sizes).
+
+    Each round exchanges-and-reduces half of the remaining range with
+    the partner one bit away; after ``log2 P`` rounds every rank holds
+    the fully reduced block it owns.
+    """
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    if size & (size - 1):
+        raise ValueError(f"recursive halving needs a power-of-two size, got {size}")
+    count = recvview.nbytes
+    if sendview.nbytes != count * size:
+        raise ValueError(
+            f"reduce_scatter: sendbuf {sendview.nbytes} B != {size} × {count} B"
+        )
+    rank = comm.to_comm(ctx.rank)
+    work = ctx.alloc(sendview.nbytes)
+    work.view().copy_from(sendview)
+    yield from ctx.node_hw.mem_copy(sendview.nbytes)
+    incoming = ctx.alloc(sendview.nbytes)
+
+    lo, hi = 0, sendview.nbytes
+    step = 1
+    while step < size:
+        partner = rank ^ step
+        half = (hi - lo) // 2
+        if rank & step:
+            mine_lo, theirs_lo = lo + half, lo
+        else:
+            mine_lo, theirs_lo = lo, lo + half
+        yield from ctx.sendrecv(
+            work.view(theirs_lo, half), partner, TAG_REDUCE_SCATTER,
+            incoming.view(mine_lo, half), partner, TAG_REDUCE_SCATTER,
+            comm=comm,
+        )
+        yield from _accumulate(ctx, work.view(mine_lo, half),
+                               incoming.view(mine_lo, half), dtype, op)
+        lo, hi = mine_lo, mine_lo + half
+        step <<= 1
+
+    # My final range is my bit-pattern block; with ascending steps the
+    # placement is bit-reversed w.r.t. rank order, so locate my block
+    # by replaying the splits — [lo, hi) already is it — then check it
+    # really is my rank's block and copy out.
+    assert hi - lo == count
+    # Which rank's block is [lo, hi)?  Replaying: bit k of rank chose
+    # the upper half at level k (range shrinking by 2 each time), i.e.
+    # offset = sum(bit_k(rank) * count*size/2^(k+1)).  For rank order we
+    # must hand each rank block `rank`; exchange with the bit-owner if
+    # they differ.
+    owner_block = lo // count
+    if owner_block == rank:
+        yield from local_copy(ctx, work.view(lo, count), recvview)
+    else:
+        # Swap blocks with the rank whose block I computed (it computed
+        # mine, by symmetry of the bit permutation).
+        partner = owner_block
+        yield from ctx.sendrecv(
+            work.view(lo, count), partner, TAG_REDUCE_SCATTER + 1,
+            recvview, partner, TAG_REDUCE_SCATTER + 1,
+            comm=comm,
+        )
+
+
+def reduce_scatter_reduce_then_scatter(ctx: RankContext, sendview: BufferView,
+                                       recvview: BufferView, dtype: Datatype,
+                                       op: ReduceOp,
+                                       comm: Optional[Communicator] = None):
+    """Fallback for any size: binomial reduce to rank 0, then scatter."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = recvview.nbytes
+    if sendview.nbytes != count * size:
+        raise ValueError(
+            f"reduce_scatter: sendbuf {sendview.nbytes} B != {size} × {count} B"
+        )
+    rank = comm.to_comm(ctx.rank)
+    total = ctx.alloc(sendview.nbytes) if rank == 0 else None
+    yield from reduce_binomial(
+        ctx, sendview, total.view() if total is not None else None,
+        dtype, op, root=0, comm=comm,
+    )
+    yield from scatter_binomial(
+        ctx, total.view() if total is not None else None, recvview,
+        root=0, comm=comm,
+    )

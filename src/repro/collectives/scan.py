@@ -1,0 +1,90 @@
+"""Inclusive-scan algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from .base import TAG_SCAN, local_copy, resolve_comm
+from .reduce import _accumulate
+
+
+def scan_linear(ctx: RankContext, sendview: BufferView, recvview: BufferView,
+                dtype: Datatype, op: ReduceOp,
+                comm: Optional[Communicator] = None):
+    """Sequential pipeline scan: rank ``i`` waits for ``i-1``'s prefix."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    rank = comm.to_comm(ctx.rank)
+    yield from local_copy(ctx, sendview, recvview)
+    if rank > 0:
+        prefix = ctx.alloc(sendview.nbytes)
+        yield from ctx.recv(prefix.view(), src=rank - 1, tag=TAG_SCAN, comm=comm)
+        yield from _accumulate(ctx, recvview, prefix.view(), dtype, op)
+    if rank < size - 1:
+        yield from ctx.send(recvview, dst=rank + 1, tag=TAG_SCAN, comm=comm)
+
+
+def scan_recursive_doubling(ctx: RankContext, sendview: BufferView,
+                            recvview: BufferView, dtype: Datatype,
+                            op: ReduceOp,
+                            comm: Optional[Communicator] = None):
+    """Log-round scan.
+
+    Keeps two accumulators: ``recvview`` (my inclusive prefix) and a
+    running ``partial`` (the reduction of every contribution seen so
+    far).  At distance ``d`` the partial goes both ways; only the copy
+    arriving from a *lower* rank folds into the prefix.
+    """
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    rank = comm.to_comm(ctx.rank)
+    yield from local_copy(ctx, sendview, recvview)
+    partial = ctx.alloc(sendview.nbytes)
+    partial.view().copy_from(sendview)
+    yield from ctx.node_hw.mem_copy(sendview.nbytes)
+    incoming = ctx.alloc(sendview.nbytes)
+
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        if partner < size:
+            yield from ctx.sendrecv(
+                partial.view(), partner, TAG_SCAN + 1,
+                incoming.view(), partner, TAG_SCAN + 1,
+                comm=comm,
+            )
+            if partner < rank:
+                yield from _accumulate(ctx, recvview, incoming.view(), dtype, op)
+            yield from _accumulate(ctx, partial.view(), incoming.view(), dtype, op)
+        mask <<= 1
+
+
+def exscan_linear(ctx: RankContext, sendview: BufferView, recvview: BufferView,
+                  dtype: Datatype, op: ReduceOp,
+                  comm: Optional[Communicator] = None):
+    """Exclusive scan: rank ``i`` gets the prefix over ranks ``0..i-1``.
+
+    Rank 0's receive buffer is left untouched (MPI leaves it
+    undefined).  Pipeline structure mirrors :func:`scan_linear` with
+    the accumulate/forward order swapped.
+    """
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    rank = comm.to_comm(ctx.rank)
+    carry = ctx.alloc(sendview.nbytes)
+    if rank > 0:
+        yield from ctx.recv(carry.view(), src=rank - 1, tag=TAG_SCAN + 2, comm=comm)
+        recvview.write(carry.view().read())
+        yield from ctx.node_hw.mem_copy(recvview.nbytes)
+    if rank < size - 1:
+        if rank == 0:
+            carry.view().copy_from(sendview)
+            yield from ctx.node_hw.mem_copy(sendview.nbytes)
+        else:
+            yield from _accumulate(ctx, carry.view(), sendview, dtype, op)
+        yield from ctx.send(carry.view(), dst=rank + 1, tag=TAG_SCAN + 2, comm=comm)

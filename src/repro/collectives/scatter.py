@@ -1,0 +1,94 @@
+"""Scatter algorithms.
+
+:func:`scatter_binomial` mirrors the binomial gather in reverse: the
+root peels off subtree-sized chunks so only ``ceil(log2 P)`` messages
+leave the root (this is the Figure 1 baseline used by MPICH/OpenMPI).
+
+:func:`scatter_linear` is the flat variant (root sends ``P - 1``
+messages itself) — the purest single-object design, used by ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from .base import (TAG_SCATTER, check_uniform_count, is_functional, local_copy,
+                   rank_of_vrank, resolve_comm, vrank_of)
+
+
+def scatter_binomial(ctx: RankContext, sendview: Optional[BufferView],
+                     recvview: BufferView, root: int = 0,
+                     comm: Optional[Communicator] = None):
+    """Binomial-tree scatter of equal ``recvview.nbytes`` blocks."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = recvview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    if rank == root:
+        if sendview is None:
+            raise ValueError("scatter: root needs a send buffer")
+        check_uniform_count(sendview, count, size, "scatter sendbuf")
+    if size == 1:
+        yield from local_copy(ctx, sendview.sub(0, count), recvview)
+        return
+    vrank = vrank_of(rank, root, size)
+
+    # Staging buffer holding my subtree's blocks in vrank order
+    # (my own block at offset 0).
+    tmp = ctx.alloc(count * size)
+    if rank == root:
+        if root == 0:
+            tmp.view(0, count * size).copy_from(sendview)
+        elif is_functional(sendview):
+            for v in range(size):
+                r = rank_of_vrank(v, root, size)
+                tmp.view(v * count, count).copy_from(sendview.sub(r * count, count))
+        yield from ctx.node_hw.mem_copy(count * size)  # staging pass
+
+    # Receive my subtree from the parent.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = rank_of_vrank(vrank - mask, root, size)
+            my_blocks = min(mask, size - vrank)
+            yield from ctx.recv(tmp.view(0, my_blocks * count), src=parent,
+                                tag=TAG_SCATTER, comm=comm)
+            break
+        mask <<= 1
+
+    # Peel off and forward child subtrees, largest distance first.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            child = rank_of_vrank(vrank + mask, root, size)
+            child_blocks = min(mask, size - (vrank + mask))
+            yield from ctx.send(tmp.view(mask * count, child_blocks * count),
+                                dst=child, tag=TAG_SCATTER, comm=comm)
+        mask >>= 1
+
+    yield from local_copy(ctx, tmp.view(0, count), recvview)
+
+
+def scatter_linear(ctx: RankContext, sendview: Optional[BufferView],
+                   recvview: BufferView, root: int = 0,
+                   comm: Optional[Communicator] = None):
+    """Flat scatter: the root sends each rank its block directly."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    count = recvview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    if rank != root:
+        yield from ctx.recv(recvview, src=root, tag=TAG_SCATTER, comm=comm)
+        return
+    if sendview is None:
+        raise ValueError("scatter: root needs a send buffer")
+    check_uniform_count(sendview, count, size, "scatter sendbuf")
+    for dst in range(size):
+        if dst == root:
+            continue
+        yield from ctx.send(sendview.sub(dst * count, count), dst=dst,
+                            tag=TAG_SCATTER, comm=comm)
+    yield from local_copy(ctx, sendview.sub(root * count, count), recvview)

@@ -1,0 +1,88 @@
+"""Selection-table introspection.
+
+Real MPI libraries ship tuned decision tables; this repo's library
+models encode them as ``_pick_*`` methods.  The helpers here turn
+those rules back into *tables* — which algorithm fires for which
+(collective, message size, scale) — so tests can pin the tables, the
+CLI can print them, and cutoff behaviour (e.g. the Bruck→ring cliff at
+2304 ranks) is visible rather than buried in code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..mpilibs import MpiLibrary, make_library
+
+#: size grid used when none is given (covers every cutoff in the models)
+DEFAULT_SIZES = (
+    16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+def algorithm_name(algo) -> str:
+    """Human-readable name of a selected algorithm callable."""
+    return getattr(algo, "__name__", repr(algo))
+
+
+@dataclass(frozen=True)
+class SelectionRow:
+    """One (size → algorithm) row of a selection table."""
+
+    nbytes: int
+    algorithm: str
+
+
+def selection_table(library, collective: str, world_size: int,
+                    sizes: Sequence[int] = DEFAULT_SIZES) -> List[SelectionRow]:
+    """The algorithms ``library`` selects across ``sizes``."""
+    lib: MpiLibrary = (
+        make_library(library) if isinstance(library, str) else library
+    )
+    return [
+        SelectionRow(nbytes, algorithm_name(lib.algorithm(collective, nbytes,
+                                                          world_size)))
+        for nbytes in sizes
+    ]
+
+
+def cutoffs(library, collective: str, world_size: int,
+            sizes: Sequence[int] = DEFAULT_SIZES) -> List[Tuple[int, str]]:
+    """(first size, algorithm) pairs at each selection change."""
+    table = selection_table(library, collective, world_size, sizes)
+    out: List[Tuple[int, str]] = []
+    for row in table:
+        if not out or out[-1][1] != row.algorithm:
+            out.append((row.nbytes, row.algorithm))
+    return out
+
+
+def format_selection_tables(library, world_size: int,
+                            sizes: Sequence[int] = DEFAULT_SIZES) -> str:
+    """All collectives' selections for one library, as text."""
+    from ..mpilibs import COLLECTIVES, SCAN_COLLECTIVES
+
+    lib: MpiLibrary = (
+        make_library(library) if isinstance(library, str) else library
+    )
+    lines = [f"{lib.profile.name} selection table at {world_size} ranks "
+             f"(intra: {lib.profile.intra})"]
+    for coll in COLLECTIVES + SCAN_COLLECTIVES:
+        pieces = [
+            f"{name} (>={size} B)"
+            for size, name in cutoffs(lib, coll, world_size, sizes)
+        ]
+        lines.append(f"  {coll:14s} " + " -> ".join(pieces))
+    return "\n".join(lines)
+
+
+def compare_libraries(collective: str, world_size: int,
+                      libraries: Sequence[str],
+                      sizes: Sequence[int] = DEFAULT_SIZES
+                      ) -> Dict[str, List[SelectionRow]]:
+    """Selection tables of several libraries side by side."""
+    return {
+        name: selection_table(name, collective, world_size, sizes)
+        for name in libraries
+    }

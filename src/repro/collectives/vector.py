@@ -1,0 +1,173 @@
+"""Vector (v-) collectives: per-rank variable counts.
+
+MPI's production libraries use *linear* algorithms for rooted vector
+collectives (only the root knows the counts, so trees cannot split
+subtree payloads without an extra count exchange) and ring/pairwise
+for the symmetric ones — this module follows that.
+
+Count conventions (all in bytes):
+
+* ``gatherv`` / ``scatterv``: ``counts``/``displs`` are only
+  meaningful at the root (pass ``None`` elsewhere); ``displs`` default
+  to the packed prefix sums.
+* ``allgatherv``: every rank passes the same ``counts`` (as in MPI,
+  where the counts array is replicated).
+* ``alltoallv``: every rank passes its own ``send_counts`` and
+  ``recv_counts`` rows; ``recv_counts[j]`` must equal rank ``j``'s
+  ``send_counts[i]`` — checked functionally by the byte comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from .base import TAG_ALLGATHER, TAG_ALLTOALL, TAG_GATHER, TAG_SCATTER, local_copy, resolve_comm
+
+
+def packed_displs(counts: Sequence[int]) -> List[int]:
+    """Prefix-sum displacements for tightly packed blocks."""
+    displs = []
+    off = 0
+    for c in counts:
+        displs.append(off)
+        off += c
+    return displs
+
+
+def _check_counts(counts: Sequence[int], size: int, what: str) -> None:
+    if len(counts) != size:
+        raise ValueError(f"{what}: {len(counts)} counts for {size} ranks")
+    if any(c < 0 for c in counts):
+        raise ValueError(f"{what}: negative count in {counts}")
+
+
+def gatherv_linear(ctx: RankContext, sendview: BufferView,
+                   recvview: Optional[BufferView],
+                   counts: Optional[Sequence[int]] = None,
+                   displs: Optional[Sequence[int]] = None,
+                   root: int = 0,
+                   comm: Optional[Communicator] = None):
+    """Linear gatherv: every rank sends its block straight to the root."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    rank = comm.to_comm(ctx.rank)
+    if rank != root:
+        if sendview.nbytes:
+            yield from ctx.send(sendview, dst=root, tag=TAG_GATHER + 0x80, comm=comm)
+        return
+    if recvview is None or counts is None:
+        raise ValueError("gatherv: root needs recvview and counts")
+    _check_counts(counts, size, "gatherv counts")
+    displs = list(displs) if displs is not None else packed_displs(counts)
+    reqs = []
+    for src in range(size):
+        block = recvview.sub(displs[src], counts[src])
+        if src == root:
+            if counts[src]:
+                yield from local_copy(ctx, sendview.sub(0, counts[src]), block)
+        elif counts[src]:
+            req = yield from ctx.irecv(block, src=src, tag=TAG_GATHER + 0x80,
+                                       comm=comm)
+            reqs.append(req)
+    yield from ctx.waitall(reqs)
+
+
+def scatterv_linear(ctx: RankContext, sendview: Optional[BufferView],
+                    counts: Optional[Sequence[int]] = None,
+                    displs: Optional[Sequence[int]] = None,
+                    recvview: Optional[BufferView] = None,
+                    root: int = 0,
+                    comm: Optional[Communicator] = None):
+    """Linear scatterv: the root sends each rank its block directly."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    rank = comm.to_comm(ctx.rank)
+    if recvview is None:
+        raise ValueError("scatterv: every rank needs a recvview")
+    if rank != root:
+        if recvview.nbytes:
+            yield from ctx.recv(recvview, src=root, tag=TAG_SCATTER + 0x80,
+                                comm=comm)
+        return
+    if sendview is None or counts is None:
+        raise ValueError("scatterv: root needs sendview and counts")
+    _check_counts(counts, size, "scatterv counts")
+    displs = list(displs) if displs is not None else packed_displs(counts)
+    for dst in range(size):
+        block = sendview.sub(displs[dst], counts[dst])
+        if dst == root:
+            if counts[dst]:
+                yield from local_copy(ctx, block, recvview.sub(0, counts[dst]))
+        elif counts[dst]:
+            yield from ctx.send(block, dst=dst, tag=TAG_SCATTER + 0x80, comm=comm)
+
+
+def allgatherv_ring(ctx: RankContext, sendview: BufferView,
+                    recvview: BufferView,
+                    counts: Sequence[int],
+                    displs: Optional[Sequence[int]] = None,
+                    comm: Optional[Communicator] = None):
+    """Ring allgatherv: block ownership walks the ring, variable sizes."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    rank = comm.to_comm(ctx.rank)
+    _check_counts(counts, size, "allgatherv counts")
+    if sendview.nbytes != counts[rank]:
+        raise ValueError(
+            f"allgatherv: rank {rank} sends {sendview.nbytes} B, "
+            f"counts say {counts[rank]} B"
+        )
+    displs = list(displs) if displs is not None else packed_displs(counts)
+    if counts[rank]:
+        yield from local_copy(ctx, sendview,
+                              recvview.sub(displs[rank], counts[rank]))
+    nxt = (rank + 1) % size
+    prev = (rank - 1) % size
+    for step in range(size - 1):
+        send_block = (rank - step) % size
+        recv_block = (rank - step - 1) % size
+        # Zero-count blocks still make the exchange so the ring stays
+        # in lockstep (a zero-byte message, like real implementations).
+        yield from ctx.sendrecv(
+            recvview.sub(displs[send_block], counts[send_block]), nxt,
+            TAG_ALLGATHER + 0x80,
+            recvview.sub(displs[recv_block], counts[recv_block]), prev,
+            TAG_ALLGATHER + 0x80,
+            comm=comm,
+        )
+
+
+def alltoallv_pairwise(ctx: RankContext, sendview: BufferView,
+                       send_counts: Sequence[int],
+                       recvview: BufferView,
+                       recv_counts: Sequence[int],
+                       send_displs: Optional[Sequence[int]] = None,
+                       recv_displs: Optional[Sequence[int]] = None,
+                       comm: Optional[Communicator] = None):
+    """Pairwise alltoallv."""
+    comm = resolve_comm(ctx, comm)
+    size = comm.size
+    rank = comm.to_comm(ctx.rank)
+    _check_counts(send_counts, size, "alltoallv send_counts")
+    _check_counts(recv_counts, size, "alltoallv recv_counts")
+    sd = list(send_displs) if send_displs is not None else packed_displs(send_counts)
+    rd = list(recv_displs) if recv_displs is not None else packed_displs(recv_counts)
+    if send_counts[rank] != recv_counts[rank]:
+        raise ValueError("alltoallv: self block sizes disagree")
+    if send_counts[rank]:
+        yield from local_copy(
+            ctx,
+            sendview.sub(sd[rank], send_counts[rank]),
+            recvview.sub(rd[rank], recv_counts[rank]),
+        )
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        yield from ctx.sendrecv(
+            sendview.sub(sd[dst], send_counts[dst]), dst, TAG_ALLTOALL + 0x80,
+            recvview.sub(rd[src], recv_counts[src]), src, TAG_ALLTOALL + 0x80,
+            comm=comm,
+        )

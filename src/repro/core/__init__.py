@@ -1,0 +1,31 @@
+"""PiP-MColl: the paper's multi-object collectives (subsystem S7)."""
+
+from . import multiobject
+from .allgather import mcoll_allgather, mcoll_allgather_large
+from .allgatherv import mcoll_allgatherv
+from .allreduce import mcoll_allreduce
+from .alltoall import mcoll_alltoall
+from .barrier import mcoll_barrier
+from .bcast import mcoll_bcast
+from .gather import mcoll_gather
+from .reduce import mcoll_allreduce_rsag, mcoll_reduce
+from .reduce_scatter import mcoll_reduce_scatter
+from .scan import mcoll_scan
+from .scatter import mcoll_scatter
+
+__all__ = [
+    "mcoll_allgather",
+    "mcoll_allgather_large",
+    "mcoll_allgatherv",
+    "mcoll_allreduce",
+    "mcoll_allreduce_rsag",
+    "mcoll_alltoall",
+    "mcoll_barrier",
+    "mcoll_bcast",
+    "mcoll_gather",
+    "mcoll_reduce",
+    "mcoll_reduce_scatter",
+    "mcoll_scan",
+    "mcoll_scatter",
+    "multiobject",
+]

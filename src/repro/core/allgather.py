@@ -1,0 +1,144 @@
+"""PiP-MColl MPI_Allgather (the paper's worked example, §2 steps 1–6).
+
+Small messages — :func:`mcoll_allgather`:
+
+1. **Intra-node gather**: every local rank stores its block directly
+   into the local root's staging buffer (concurrent single copies; no
+   messages, no syscalls).
+2. **Init**: ``S_p = 1``, ``B_k = P + 1``.
+3. **Pairing**: local rank ``R_l`` (digit ``d = R_l + 1``) pairs with
+   the nodes ``d·S_p`` away in both circular directions.
+4. **Multi-object Bruck round**: each local rank sends the staging
+   buffer's first ``S_p`` node-chunks to its destination node's
+   counterpart rank and receives ``S_p`` chunks *directly into the
+   root's staging buffer* at chunk index ``d·S_p``.  ``S_p *= B_k``;
+   repeat while ``S_p·B_k ≤ N``.
+5. **Remainder**: if ``N`` is not a power of ``B_k``, one partial
+   round moves the remaining ``N − S_p`` chunks, digit ``d`` clipped
+   to ``max(min(S_p, N − d·S_p), 0)``.
+6. **Shift + distribute**: every local rank copies the staging buffer
+   into its own receive buffer, rotating node-chunks into rank order
+   (the root's "shift into the correct sequence" fused with the
+   intra-node broadcast — each rank reads the shared staging buffer
+   directly, so the broadcast is one parallel copy, not a tree).
+
+Large messages — :func:`mcoll_allgather_large`: node-level ring where
+each local rank owns a ``1/P`` stripe of every node-chunk, so all ``P``
+cores stream concurrently while each chunk still crosses the wire once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..collectives.base import TAG_MCOLL
+from .common import (
+    chunked_copy,
+    close_stage,
+    geometry,
+    open_stage,
+    require_pip_world,
+    straight_copy,
+)
+from .multiobject import bruck_schedule, dest_node, source_node, total_rounds
+
+_STAGE_KEY = "mcoll.allgather.stage"
+
+
+def mcoll_allgather(ctx: RankContext, sendview: BufferView,
+                    recvview: BufferView,
+                    comm: Optional[Communicator] = None):
+    """Multi-object Bruck allgather (small/medium messages)."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    cb = sendview.nbytes  # per-process block (the paper's C_b)
+    if recvview.nbytes != cb * comm.size:
+        raise ValueError(
+            f"allgather recvbuf holds {recvview.nbytes} B, expected "
+            f"{comm.size} × {cb} B"
+        )
+    chunk = cb * ppn  # one node-chunk
+
+    # Step 1 — intra-node gather into the root's staging buffer A_d.
+    stage = yield from open_stage(ctx, _STAGE_KEY, chunk * n_nodes)
+    yield from straight_copy(ctx, sendview, stage.view(rl * cb, cb))
+    yield from ctx.node_barrier()
+
+    # Steps 2–5 — multi-object Bruck rounds (incl. the partial round).
+    last_round = -1
+    for t in bruck_schedule(n_nodes, ppn, rl):
+        if t.round_no != last_round + 1:
+            raise AssertionError("schedule must be round-dense per rank")
+        last_round = t.round_no
+        dst = dest_node(node, t.dst_node_offset, n_nodes)
+        src = source_node(node, t.src_node_offset, n_nodes)
+        dst_rank = comm.to_comm(ctx.cluster.global_rank(dst, rl))
+        src_rank = comm.to_comm(ctx.cluster.global_rank(src, rl))
+        yield from ctx.sendrecv(
+            stage.view(0, t.chunks * chunk), dst_rank, TAG_MCOLL + t.round_no,
+            stage.view(t.recv_chunk_index * chunk, t.chunks * chunk),
+            src_rank, TAG_MCOLL + t.round_no,
+            comm=comm,
+        )
+        # Round synchronisation: the chunks a peer rank just received
+        # are part of what I send next round.
+        yield from ctx.node_barrier()
+
+    # Ranks whose digit moves nothing in the partial round still must
+    # arrive at that round's barrier (node_barrier counts arrivals).
+    for _ in range(total_rounds(n_nodes, ppn) - (last_round + 1)):
+        yield from ctx.node_barrier()
+
+    # Step 6 — fused shift + intra-node distribution: staging chunk j
+    # holds node (node + j) % N; every rank rotates it into rank order
+    # in its own receive buffer with one parallel pass.
+    yield from chunked_copy(ctx, stage, recvview, n_nodes, chunk, shift=node)
+    yield from close_stage(ctx, _STAGE_KEY)
+
+
+def mcoll_allgather_large(ctx: RankContext, sendview: BufferView,
+                          recvview: BufferView,
+                          comm: Optional[Communicator] = None):
+    """Multi-object striped ring allgather (large messages).
+
+    Every local rank owns byte stripe ``[rl·cb/P, (rl+1)·cb/P)`` — in
+    units of whole per-process blocks: local rank ``rl`` forwards the
+    blocks of local rank ``rl`` of every node.  ``N − 1`` ring rounds,
+    ``P`` concurrent streams, each byte crosses the wire once.
+    """
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    cb = sendview.nbytes
+    if recvview.nbytes != cb * comm.size:
+        raise ValueError(
+            f"allgather recvbuf holds {recvview.nbytes} B, expected "
+            f"{comm.size} × {cb} B"
+        )
+    chunk = cb * ppn
+
+    # Stage is laid out in *rank order* directly (no rotation needed):
+    # node-chunk j of the stage = node j's ppn blocks.
+    stage = yield from open_stage(ctx, _STAGE_KEY, chunk * n_nodes)
+    yield from straight_copy(ctx, sendview, stage.view(node * chunk + rl * cb, cb))
+    yield from ctx.node_barrier()
+
+    nxt = comm.to_comm(ctx.cluster.global_rank((node + 1) % n_nodes, rl))
+    prev = comm.to_comm(ctx.cluster.global_rank((node - 1) % n_nodes, rl))
+    for step in range(n_nodes - 1):
+        send_node = (node - step) % n_nodes
+        recv_node = (node - step - 1) % n_nodes
+        # My stripe of the node-chunk: the block of local rank rl.
+        yield from ctx.sendrecv(
+            stage.view(send_node * chunk + rl * cb, cb), nxt,
+            TAG_MCOLL + 0x100 + step,
+            stage.view(recv_node * chunk + rl * cb, cb), prev,
+            TAG_MCOLL + 0x100 + step,
+            comm=comm,
+        )
+        yield from ctx.node_barrier()
+
+    yield from straight_copy(ctx, stage.view(0, recvview.nbytes), recvview)
+    yield from close_stage(ctx, _STAGE_KEY)

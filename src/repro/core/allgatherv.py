@@ -1,0 +1,106 @@
+"""PiP-MColl MPI_Allgatherv — multi-object, variable counts.
+
+The paper's system would need a v-variant in production; this is the
+natural extension of :func:`~repro.core.allgather.mcoll_allgather_large`
+to per-rank counts:
+
+1. every local rank stores its (variable-size) block directly into a
+   rank-ordered shared staging buffer;
+2. a **node-level ring** runs with per-node *slabs* (the concatenation
+   of that node's blocks): local rank ``R_l`` forwards stripe ``R_l``
+   of the moving slab, all ``P`` streams concurrent, every byte
+   crossing the wire once;
+3. every rank copies the completed staging buffer out in parallel.
+
+Because node-slab sizes vary, the stripes are recomputed per slab
+(byte-balanced, dtype-free).  Zero-size blocks and even entirely empty
+nodes are handled (zero-byte ring messages keep the lockstep).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..collectives.base import TAG_MCOLL
+from ..collectives.vector import packed_displs
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+
+_STAGE_KEY = "mcoll.allgatherv.stage"
+_TAG = TAG_MCOLL + 0xA00
+
+
+def _byte_stripes(nbytes: int, parts: int) -> List[tuple]:
+    """Split ``nbytes`` into ``parts`` contiguous (offset, len) spans."""
+    base, extra = divmod(nbytes, parts)
+    spans = []
+    off = 0
+    for p in range(parts):
+        n = base + (1 if p < extra else 0)
+        spans.append((off, n))
+        off += n
+    return spans
+
+
+def mcoll_allgatherv(ctx: RankContext, sendview: BufferView,
+                     recvview: BufferView, counts: Sequence[int],
+                     displs: Optional[Sequence[int]] = None,
+                     comm: Optional[Communicator] = None):
+    """Multi-object allgatherv (any node count, any size mix)."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    size = comm.size
+    if len(counts) != size:
+        raise ValueError(f"allgatherv: {len(counts)} counts for {size} ranks")
+    rank = comm.to_comm(ctx.rank)
+    if sendview.nbytes != counts[rank]:
+        raise ValueError(
+            f"allgatherv: rank {rank} sends {sendview.nbytes} B, "
+            f"counts say {counts[rank]} B"
+        )
+    total = sum(counts)
+    packed = packed_displs(counts)
+    user_displs = list(displs) if displs is not None else packed
+
+    # Node-slab geometry over the *packed* staging layout.
+    slab_off = [packed[n * ppn] for n in range(n_nodes)]
+    slab_len = [
+        sum(counts[n * ppn:(n + 1) * ppn]) for n in range(n_nodes)
+    ]
+
+    # Step 1: everyone lands its block in the shared staging buffer.
+    stage = yield from open_stage(ctx, _STAGE_KEY, total)
+    if counts[rank]:
+        yield from straight_copy(
+            ctx, sendview, stage.view(packed[rank], counts[rank]))
+    yield from ctx.node_barrier()
+
+    # Step 2: node-level ring, striped across local ranks.
+    nxt = comm.to_comm(ctx.cluster.global_rank((node + 1) % n_nodes, rl))
+    prev = comm.to_comm(ctx.cluster.global_rank((node - 1) % n_nodes, rl))
+    for step in range(n_nodes - 1):
+        send_node = (node - step) % n_nodes
+        recv_node = (node - step - 1) % n_nodes
+        s_off, s_len = _byte_stripes(slab_len[send_node], ppn)[rl]
+        r_off, r_len = _byte_stripes(slab_len[recv_node], ppn)[rl]
+        yield from ctx.sendrecv(
+            stage.view(slab_off[send_node] + s_off, s_len), nxt, _TAG + step,
+            stage.view(slab_off[recv_node] + r_off, r_len), prev, _TAG + step,
+            comm=comm,
+        )
+        yield from ctx.node_barrier()
+
+    # Step 3: parallel copy-out, honouring the caller's displacements.
+    if user_displs == packed:
+        yield from straight_copy(ctx, stage.view(0, total),
+                                 recvview.sub(0, total))
+    else:
+        if recvview.read() is not None:
+            for r in range(size):
+                if counts[r]:
+                    recvview.sub(user_displs[r], counts[r]).write(
+                        stage.read_bytes(packed[r], counts[r]))
+        yield from ctx.node_hw.mem_copy(total)
+    yield from close_stage(ctx, _STAGE_KEY)

@@ -1,0 +1,137 @@
+"""PiP-MColl MPI_Allreduce.
+
+Three phases, all multi-object:
+
+1. **Shared-address-space intra-node reduction** (Hashmi-style, but
+   with PiP instead of XPMEM): every local rank exposes its send
+   buffer; the buffer is cut into ``P`` element-aligned chunks and
+   local rank ``R_l`` reduces chunk ``R_l`` across *all* local ranks
+   by reading peers directly — ``P`` cores each stream ``P`` chunk
+   inputs, no messages, no syscalls, result lands in the node staging
+   buffer.
+2. **Multi-object inter-node allreduce**: local rank ``R_l`` runs
+   recursive doubling over nodes on its own stripe of the staging
+   buffer — ``P`` concurrent log₂(N) exchanges of ``1/P``-sized
+   messages instead of one leader moving full-size messages.
+3. **Parallel distribution**: every rank copies the reduced staging
+   buffer into its own receive buffer directly.
+
+Falls back gracefully for stripes that don't divide evenly (the last
+stripe takes the remainder).  Requires a power-of-two node count for
+phase 2; the library model falls back to the baseline otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from ..collectives.base import TAG_MCOLL
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+
+_IN_KEY = "mcoll.allreduce.sendbuf"
+_STAGE_KEY = "mcoll.allreduce.stage"
+_TAG = TAG_MCOLL + 0x500
+
+
+def _stripes(nbytes: int, parts: int, align: int) -> List[tuple]:
+    """Cut ``nbytes`` into ``parts`` element-aligned (offset, length)
+    stripes; the last stripe absorbs the remainder."""
+    if nbytes % align:
+        raise ValueError(f"buffer of {nbytes} B is not {align}-byte aligned")
+    elems = nbytes // align
+    base = elems // parts
+    spans = []
+    off = 0
+    for p in range(parts):
+        n = (base + (1 if p < elems % parts else 0)) * align
+        spans.append((off, n))
+        off += n
+    return spans
+
+
+def _reduce_chunk(ctx: RankContext, inputs: List[BufferView],
+                  out: BufferView, dtype: Datatype, op: ReduceOp):
+    """Elementwise-reduce ``inputs`` into ``out`` (one streaming pass
+    per input is charged; compute is memory-bound)."""
+    first = inputs[0].read()
+    if first is not None:
+        acc = first.view(dtype.np_dtype).copy()
+        for view in inputs[1:]:
+            data = view.read()
+            op.accumulate(acc, data.view(dtype.np_dtype))
+        out.write(acc.view("uint8"))
+    for _ in inputs:
+        yield from ctx.node_hw.mem_copy(out.nbytes)
+
+
+def mcoll_allreduce(ctx: RankContext, sendview: BufferView,
+                    recvview: BufferView, dtype: Datatype, op: ReduceOp,
+                    comm: Optional[Communicator] = None):
+    """Multi-object allreduce (power-of-two node counts)."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    if n_nodes & (n_nodes - 1):
+        raise ValueError(
+            f"mcoll_allreduce phase 2 needs a power-of-two node count, got {n_nodes}"
+        )
+    nbytes = sendview.nbytes
+    if recvview.nbytes != nbytes:
+        raise ValueError("allreduce: send/recv sizes differ")
+
+    if sendview.offset != 0:
+        raise ValueError(
+            "mcoll_allreduce: send views must start at offset 0 of their "
+            "buffers (PiP peers address exposed buffers absolutely)"
+        )
+
+    # Phase 1: shared-address-space intra-node reduction.
+    ctx.expose(_IN_KEY, sendview.buffer)
+    stage = yield from open_stage(ctx, _STAGE_KEY, nbytes)
+    stripes = _stripes(nbytes, ppn, dtype.size)
+    off, length = stripes[rl]
+    if length > 0:
+        peer_inputs = []
+        for peer_rl in range(ppn):
+            peer_world = ctx.node_comm.to_world(peer_rl)
+            if peer_world == ctx.rank:
+                peer_inputs.append(sendview.sub(off, length))
+            else:
+                pbuf = ctx.peer_buffer(peer_world, _IN_KEY)
+                peer_inputs.append(pbuf.view(off, length))
+        yield from _reduce_chunk(ctx, peer_inputs, stage.view(off, length),
+                                 dtype, op)
+    yield from ctx.node_barrier()
+    ctx.withdraw(_IN_KEY)
+
+    # Phase 2: striped recursive doubling across nodes.
+    if length > 0 and n_nodes > 1:
+        incoming = ctx.alloc(length)
+        mask = 1
+        round_no = 0
+        while mask < n_nodes:
+            partner_node = node ^ mask
+            partner = comm.to_comm(ctx.cluster.global_rank(partner_node, rl))
+            yield from ctx.sendrecv(
+                stage.view(off, length), partner, _TAG + round_no,
+                incoming.view(), partner, _TAG + round_no,
+                comm=comm,
+            )
+            data = stage.view(off, length).read()
+            inc = incoming.view().read()
+            if data is not None and inc is not None:
+                acc = data.view(dtype.np_dtype)
+                op.accumulate(acc, inc.view(dtype.np_dtype))
+                stage.view(off, length).write(acc.view("uint8"))
+            yield from ctx.node_hw.mem_copy(length)
+            mask <<= 1
+            round_no += 1
+    yield from ctx.node_barrier()
+
+    # Phase 3: everyone copies the full result out in parallel.
+    yield from straight_copy(ctx, stage.view(0, nbytes), recvview)
+    yield from close_stage(ctx, _STAGE_KEY)

@@ -1,0 +1,46 @@
+"""PiP-MColl MPI_Barrier: node barrier + multi-object dissemination.
+
+Intra-node arrival is a flag barrier (no messages at all under PiP);
+across nodes, a radix-``(P+1)`` dissemination runs — in each round
+local rank ``R_l`` exchanges a zero-byte token with the nodes
+``(R_l+1)·span`` away, so the span multiplies by ``P+1`` per round:
+``ceil(log_{P+1} N)`` rounds instead of ``ceil(log2(N·P))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..collectives.base import TAG_MCOLL
+from .common import geometry, require_pip_world
+
+_TAG = TAG_MCOLL + 0x600
+
+
+def mcoll_barrier(ctx: RankContext, comm: Optional[Communicator] = None):
+    """Multi-object barrier."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    digit = rl + 1
+    token = ctx.alloc(0)
+
+    yield from ctx.node_barrier()  # everyone on this node has arrived
+    span = 1
+    round_no = 0
+    while span < n_nodes:
+        offset = digit * span
+        if offset < n_nodes:  # digits past the wrap are redundant
+            dst_node = (node - offset) % n_nodes
+            src_node = (node + offset) % n_nodes
+            dst = comm.to_comm(ctx.cluster.global_rank(dst_node, rl))
+            src = comm.to_comm(ctx.cluster.global_rank(src_node, rl))
+            yield from ctx.sendrecv(
+                token.view(), dst, _TAG + round_no,
+                token.view(), src, _TAG + round_no,
+                comm=comm,
+            )
+        yield from ctx.node_barrier()  # fold the P digit-arrivals together
+        span *= ppn + 1
+        round_no += 1

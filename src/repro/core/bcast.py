@@ -1,0 +1,71 @@
+"""PiP-MColl MPI_Bcast: a multi-object ``(P+1)``-ary node tree.
+
+In round ``t`` (span ``(P+1)^t``) every already-covered node fans the
+message out to ``P`` new nodes *simultaneously* — local rank ``R_l``
+(digit ``d = R_l + 1``) sends to the node ``d·span`` ahead.  Coverage
+multiplies by ``P+1`` per round instead of 2, and the per-node send
+cost is one message per core instead of ``P`` serial messages on a
+leader.  Delivery lands in a shared staging buffer; local ranks
+direct-copy it out in parallel (no intra-node tree).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..collectives.base import TAG_MCOLL
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+
+_STAGE_KEY = "mcoll.bcast.stage"
+_TAG = TAG_MCOLL + 0x400
+
+
+def mcoll_bcast(ctx: RankContext, view: BufferView, root: int = 0,
+                comm: Optional[Communicator] = None):
+    """Multi-object broadcast from ``root``."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    nbytes = view.nbytes
+    rank = comm.to_comm(ctx.rank)
+    root_world = comm.to_world(root)
+    root_node = ctx.cluster.node_of(root_world)
+    # Virtual node ids put the root's node at 0.
+    vnode = (node - root_node) % n_nodes
+    digit = rl + 1
+
+    stage = yield from open_stage(ctx, _STAGE_KEY, nbytes)
+    if rank == root:
+        yield from straight_copy(ctx, view, stage.view(0, nbytes))
+    yield from ctx.node_barrier()
+
+    span = 1
+    round_no = 0
+    while span < n_nodes:
+        if vnode < span:
+            # Covered: digit d feeds vnode + d*span, if it exists.
+            target = vnode + digit * span
+            if target < n_nodes:
+                dst_node = (target + root_node) % n_nodes
+                dst = comm.to_comm(ctx.cluster.global_rank(dst_node, rl))
+                yield from ctx.send(stage.view(0, nbytes), dst=dst,
+                                    tag=_TAG + round_no, comm=comm)
+        elif vnode < span * (ppn + 1):
+            # I get covered this round; the matching local rank receives.
+            d = vnode // span  # 1..P
+            if rl == d - 1:
+                src_vnode = vnode - d * span
+                src_node = (src_vnode + root_node) % n_nodes
+                src = comm.to_comm(ctx.cluster.global_rank(src_node, rl))
+                yield from ctx.recv(stage.view(0, nbytes), src=src,
+                                    tag=_TAG + round_no, comm=comm)
+            yield from ctx.node_barrier()  # staged data visible node-wide
+        span *= ppn + 1
+        round_no += 1
+
+    # Everyone copies the staged message out in parallel.
+    if rank != root:
+        yield from straight_copy(ctx, stage.view(0, nbytes), view)
+    yield from close_stage(ctx, _STAGE_KEY)

@@ -1,0 +1,81 @@
+"""Shared plumbing for PiP-MColl collectives.
+
+All PiP-MColl algorithms:
+
+* require the library's intra-node transport to be PiP (they are built
+  on direct peer loads/stores — enforced, not assumed);
+* run on COMM_WORLD (the node structure is the algorithm);
+* stage node-level data in a buffer owned by the node leader (the
+  paper's "local root") that every local rank addresses directly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ..pip.errors import AddressSpaceViolation
+from ..runtime.buffer import BaseBuffer, BufferView, NullBuffer
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+
+
+def require_pip_world(ctx: RankContext,
+                      comm: Optional[Communicator]) -> Communicator:
+    """Validate transport + communicator for a PiP-MColl collective."""
+    if not ctx.intra_transport.supports_peer_views:
+        raise AddressSpaceViolation(
+            "PiP-MColl collectives need the PiP transport; "
+            f"this library uses {ctx.intra_transport.name!r}"
+        )
+    comm = comm if comm is not None else ctx.comm_world
+    if comm is not ctx.comm_world:
+        raise ValueError("PiP-MColl collectives run on COMM_WORLD")
+    return comm
+
+
+def geometry(ctx: RankContext) -> Tuple[int, int, int, int]:
+    """(N nodes, P ppn, my node id, my local rank)."""
+    return ctx.cluster.nodes, ctx.cluster.ppn, ctx.node_id, ctx.local_rank
+
+
+def open_stage(ctx: RankContext, key: Hashable, nbytes: int):
+    """Leader allocates + exposes a staging buffer; everyone returns a
+    direct reference to it after a node barrier (generator)."""
+    if ctx.is_leader:
+        buf = ctx.alloc(nbytes)
+        ctx.expose(key, buf)
+    yield from ctx.node_barrier()
+    if ctx.is_leader:
+        return buf
+    leader = ctx.node_comm.to_world(0)
+    return ctx.peer_buffer(leader, key)
+
+
+def close_stage(ctx: RankContext, key: Hashable):
+    """Barrier, then the leader withdraws the staging buffer (generator)."""
+    yield from ctx.node_barrier()
+    if ctx.is_leader:
+        ctx.withdraw(key)
+
+
+def chunked_copy(ctx: RankContext, src: BaseBuffer, dst: BufferView,
+                 nchunks: int, chunk: int, shift: int):
+    """Rotated chunk copy ``dst[(shift + j) % nchunks] = src[j]``.
+
+    One streaming pass is charged; the functional per-chunk loop is
+    skipped for timing-only buffers (it would be a no-op).
+    """
+    total = nchunks * chunk
+    if not isinstance(src, NullBuffer) and not isinstance(dst.buffer, NullBuffer):
+        for j in range(nchunks):
+            target = ((shift + j) % nchunks) * chunk
+            dst.sub(target, chunk).write(src.read_bytes(j * chunk, chunk))
+    yield from ctx.node_hw.mem_copy(total)
+
+
+def straight_copy(ctx: RankContext, src: BufferView, dst: BufferView):
+    """Plain direct copy with one-pass cost (sizes must match)."""
+    if src.nbytes != dst.nbytes:
+        raise ValueError(f"size mismatch: {src.nbytes} != {dst.nbytes}")
+    dst.write(src.read())
+    yield from ctx.node_hw.mem_copy(dst.nbytes)

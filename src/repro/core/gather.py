@@ -1,0 +1,92 @@
+"""PiP-MColl MPI_Gather — the mirror image of the multi-object scatter.
+
+1. On every node, local ranks store their block directly into a shared
+   staging slab (concurrent single copies), then barrier.
+2. **Multi-object inter-node gather**: on each remote node the local
+   rank paired with that node (round-robin) ships the whole slab to
+   its counterpart rank on the root's node.
+3. Root-node ranks receive their share of slabs *directly into the
+   root's receive buffer* (multi-receiver: the recv landing zone is
+   the root's memory, addressed via PiP), and copy the root node's own
+   blocks in parallel.
+
+Contract: the root's receive view must start at offset 0 of its buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..collectives.base import TAG_MCOLL, check_uniform_count
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+from .multiobject import round_partition
+
+_ROOT_KEY = "mcoll.gather.rootbuf"
+_STAGE_KEY = "mcoll.gather.stage"
+_TAG = TAG_MCOLL + 0x300
+
+
+def mcoll_gather(ctx: RankContext, sendview: BufferView,
+                 recvview: Optional[BufferView], root: int = 0,
+                 comm: Optional[Communicator] = None):
+    """Multi-object gather to ``root``."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    cb = sendview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    root_world = comm.to_world(root)
+    root_node = ctx.cluster.node_of(root_world)
+    slab = cb * ppn
+    remote_nodes = [n for n in range(n_nodes) if n != root_node]
+
+    if node != root_node:
+        # Steps 1–2: stage the node slab, one rank ships it.
+        stage = yield from open_stage(ctx, _STAGE_KEY, slab)
+        yield from straight_copy(ctx, sendview, stage.view(rl * cb, cb))
+        yield from ctx.node_barrier()
+        sender_rl = remote_nodes.index(node) % ppn
+        if rl == sender_rl:
+            dst = comm.to_comm(ctx.cluster.global_rank(root_node, sender_rl))
+            yield from ctx.send(stage.view(0, slab), dst=dst, tag=_TAG, comm=comm)
+        yield from close_stage(ctx, _STAGE_KEY)
+        return
+
+    # Root node.
+    if rank == root:
+        if recvview is None:
+            raise ValueError("gather: root needs a receive buffer")
+        check_uniform_count(recvview, cb, comm.size, "gather recvbuf")
+        if recvview.offset != 0:
+            raise ValueError(
+                "mcoll_gather: root receive view must start at offset 0 "
+                "(PiP peers address the exposed buffer absolutely)"
+            )
+        ctx.expose(_ROOT_KEY, recvview.buffer)
+    yield from ctx.node_barrier()
+    root_buf = (
+        recvview.buffer if rank == root
+        else ctx.peer_buffer(root_world, _ROOT_KEY)
+    )
+
+    # Step 3a: my own block, straight into the root's buffer.
+    my_block = ctx.cluster.global_rank(node, rl)
+    yield from straight_copy(ctx, sendview, root_buf.view(my_block * cb, cb))
+
+    # Step 3b: receive my share of remote slabs directly in place.
+    reqs = []
+    for idx in round_partition(len(remote_nodes), ppn, rl):
+        src_node = remote_nodes[idx]
+        src_rank = comm.to_comm(ctx.cluster.global_rank(src_node, rl))
+        first_block = ctx.cluster.global_rank(src_node, 0)
+        req = yield from ctx.irecv(
+            root_buf.view(first_block * cb, slab), src=src_rank, tag=_TAG,
+            comm=comm,
+        )
+        reqs.append(req)
+    yield from ctx.waitall(reqs)
+    yield from ctx.node_barrier()  # root's buffer complete everywhere
+    if rank == root:
+        ctx.withdraw(_ROOT_KEY)

@@ -1,0 +1,148 @@
+"""PiP-MColl MPI_Reduce — multi-object, stripe-parallel.
+
+Phase 1 is the shared-address-space intra-node reduction (as in
+:mod:`repro.core.allreduce`).  Phase 2 runs ``P`` concurrent binomial
+trees over nodes — local rank ``R_l`` owns byte stripe ``R_l`` and
+reduces it toward the root's node alongside its counterparts, so the
+inter-node traffic is ``1/P``-sized per core with all cores active.
+Phase 3 lands stripes straight into the root's receive buffer via PiP
+(the root's peers write their stripes directly — no final gather).
+
+Contract: send views (all ranks) and the root's receive view start at
+offset 0 of their buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from ..collectives.base import TAG_MCOLL
+from .allreduce import _reduce_chunk, _stripes
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+
+_IN_KEY = "mcoll.reduce.sendbuf"
+_OUT_KEY = "mcoll.reduce.recvbuf"
+_STAGE_KEY = "mcoll.reduce.stage"
+_TAG = TAG_MCOLL + 0x900
+
+
+def mcoll_reduce(ctx: RankContext, sendview: BufferView,
+                 recvview: Optional[BufferView], dtype: Datatype,
+                 op: ReduceOp, root: int = 0,
+                 comm: Optional[Communicator] = None):
+    """Multi-object reduce to ``root``."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    nbytes = sendview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    root_world = comm.to_world(root)
+    root_node = ctx.cluster.node_of(root_world)
+    if rank == root:
+        if recvview is None:
+            raise ValueError("reduce: root needs a receive buffer")
+        if recvview.nbytes != nbytes:
+            raise ValueError("reduce: send/recv sizes differ")
+        if recvview.offset != 0:
+            raise ValueError("mcoll_reduce: root recv view must start at offset 0")
+        ctx.expose(_OUT_KEY, recvview.buffer)
+    if sendview.offset != 0:
+        raise ValueError("mcoll_reduce: send views must start at offset 0")
+
+    # Phase 1: intra-node reduction into the node staging buffer.
+    ctx.expose(_IN_KEY, sendview.buffer)
+    stage = yield from open_stage(ctx, _STAGE_KEY, nbytes)
+    stripes = _stripes(nbytes, ppn, dtype.size)
+    off, length = stripes[rl]
+    if length > 0:
+        inputs = []
+        for peer_rl in range(ppn):
+            peer_world = ctx.node_comm.to_world(peer_rl)
+            if peer_world == ctx.rank:
+                inputs.append(sendview.sub(off, length))
+            else:
+                inputs.append(ctx.peer_buffer(peer_world, _IN_KEY).view(off, length))
+        yield from _reduce_chunk(ctx, inputs, stage.view(off, length), dtype, op)
+    yield from ctx.node_barrier()
+    ctx.withdraw(_IN_KEY)
+
+    # Phase 2: P concurrent binomial node trees (virtual node ids put
+    # the root's node at 0).
+    vnode = (node - root_node) % n_nodes
+    if length > 0 and n_nodes > 1:
+        incoming = ctx.alloc(length)
+        mask = 1
+        round_no = 0
+        while mask < n_nodes:
+            if vnode & mask:
+                parent_v = vnode - mask
+                parent = comm.to_comm(ctx.cluster.global_rank(
+                    (parent_v + root_node) % n_nodes, rl))
+                yield from ctx.send(stage.view(off, length), dst=parent,
+                                    tag=_TAG + round_no, comm=comm)
+                break
+            if vnode + mask < n_nodes:
+                child_v = vnode + mask
+                child = comm.to_comm(ctx.cluster.global_rank(
+                    (child_v + root_node) % n_nodes, rl))
+                yield from ctx.recv(incoming.view(), src=child,
+                                    tag=_TAG + round_no, comm=comm)
+                data = stage.view(off, length).read()
+                inc = incoming.view().read()
+                if data is not None and inc is not None:
+                    acc = data.view(dtype.np_dtype)
+                    op.accumulate(acc, inc.view(dtype.np_dtype))
+                    stage.view(off, length).write(acc.view("uint8"))
+                yield from ctx.node_hw.mem_copy(length)
+            mask <<= 1
+            round_no += 1
+
+    # Phase 3: on the root's node, every rank writes its stripe of the
+    # total straight into the root's receive buffer.
+    if node == root_node:
+        yield from ctx.node_barrier()  # root's exposure + phase-2 data
+        root_buf = (
+            recvview.buffer if rank == root
+            else ctx.peer_buffer(root_world, _OUT_KEY)
+        )
+        if length > 0:
+            yield from straight_copy(ctx, stage.view(off, length),
+                                     root_buf.view(off, length))
+        yield from ctx.node_barrier()
+        if rank == root:
+            ctx.withdraw(_OUT_KEY)
+    yield from close_stage(ctx, _STAGE_KEY)
+
+
+def mcoll_allreduce_rsag(ctx: RankContext, sendview: BufferView,
+                         recvview: BufferView, dtype: Datatype,
+                         op: ReduceOp,
+                         comm: Optional[Communicator] = None):
+    """Rabenseifner-shaped multi-object allreduce for *any* node count.
+
+    Composition of the two multi-object primitives that already handle
+    arbitrary ``N``: block reduce-scatter, then allgather of the
+    reduced blocks.  Requires the payload to divide into ``comm.size``
+    equal dtype-aligned blocks (the library model falls back to
+    recursive doubling otherwise).
+    """
+    comm = require_pip_world(ctx, comm)
+    size = comm.size
+    nbytes = sendview.nbytes
+    if recvview.nbytes != nbytes:
+        raise ValueError("allreduce: send/recv sizes differ")
+    if nbytes % (size * dtype.size):
+        raise ValueError(
+            f"mcoll_allreduce_rsag needs {size} equal {dtype.name} blocks"
+        )
+    from .allgather import mcoll_allgather
+    from .reduce_scatter import mcoll_reduce_scatter
+
+    block = ctx.alloc(nbytes // size)
+    yield from mcoll_reduce_scatter(ctx, sendview, block.view(), dtype, op,
+                                    comm=comm)
+    yield from mcoll_allgather(ctx, block.view(), recvview, comm=comm)

@@ -1,0 +1,104 @@
+"""PiP-MColl MPI_Reduce_scatter (block-regular).
+
+Phase 1 reuses the shared-address-space intra-node reduction of
+:mod:`repro.core.allreduce` (striped across local ranks).  Phase 2 runs
+a multi-object *pairwise* reduce-scatter over nodes: local rank ``R_l``
+owns stripe ``R_l`` of every node-chunk and exchanges-and-reduces it
+with its counterparts, so all ``P`` cores stream concurrently.  The
+final block of each rank is then direct-copied out of the staging
+buffer.
+
+Node count may be any value (the node-level phase is pairwise, not
+recursive halving).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from ..collectives.base import TAG_MCOLL
+from .allreduce import _reduce_chunk, _stripes
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+
+_IN_KEY = "mcoll.rs.sendbuf"
+_STAGE_KEY = "mcoll.rs.stage"
+_TAG = TAG_MCOLL + 0x800
+
+
+def mcoll_reduce_scatter(ctx: RankContext, sendview: BufferView,
+                         recvview: BufferView, dtype: Datatype,
+                         op: ReduceOp,
+                         comm: Optional[Communicator] = None):
+    """Multi-object block reduce-scatter."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    size = comm.size
+    cb = recvview.nbytes
+    if sendview.nbytes != cb * size:
+        raise ValueError(
+            f"reduce_scatter sendbuf {sendview.nbytes} B != {size} × {cb} B"
+        )
+    if sendview.offset != 0:
+        raise ValueError(
+            "mcoll_reduce_scatter: send views must start at offset 0"
+        )
+    nbytes = sendview.nbytes
+
+    # Phase 1: intra-node reduction into the staging buffer, striped.
+    ctx.expose(_IN_KEY, sendview.buffer)
+    stage = yield from open_stage(ctx, _STAGE_KEY, nbytes)
+    stripes = _stripes(nbytes, ppn, dtype.size)
+    off, length = stripes[rl]
+    if length > 0:
+        inputs = []
+        for peer_rl in range(ppn):
+            peer_world = ctx.node_comm.to_world(peer_rl)
+            if peer_world == ctx.rank:
+                inputs.append(sendview.sub(off, length))
+            else:
+                inputs.append(ctx.peer_buffer(peer_world, _IN_KEY).view(off, length))
+        yield from _reduce_chunk(ctx, inputs, stage.view(off, length), dtype, op)
+    yield from ctx.node_barrier()
+    ctx.withdraw(_IN_KEY)
+
+    # Phase 2: pairwise node-level reduce-scatter, striped by local
+    # rank.  My node must end up owning the reduced node-chunk
+    # [node*ppn*cb, (node+1)*ppn*cb); I contribute my stripe of it.
+    chunk = ppn * cb
+    my_chunk_off = node * chunk
+    stripe_in_chunk = _stripes(chunk, ppn, dtype.size)
+    soff, slen = stripe_in_chunk[rl]
+    if slen > 0 and n_nodes > 1:
+        incoming = ctx.alloc(slen)
+        for step in range(1, n_nodes):
+            dst_node = (node + step) % n_nodes
+            src_node = (node - step) % n_nodes
+            dst = comm.to_comm(ctx.cluster.global_rank(dst_node, rl))
+            src = comm.to_comm(ctx.cluster.global_rank(src_node, rl))
+            # Send my stripe of dst_node's chunk; receive a
+            # contribution to my stripe of my own chunk.
+            send_off = dst_node * chunk + soff
+            yield from ctx.sendrecv(
+                stage.view(send_off, slen), dst, _TAG + step,
+                incoming.view(), src, _TAG + step,
+                comm=comm,
+            )
+            data = stage.view(my_chunk_off + soff, slen).read()
+            inc = incoming.view().read()
+            if data is not None and inc is not None:
+                acc = data.view(dtype.np_dtype)
+                op.accumulate(acc, inc.view(dtype.np_dtype))
+                stage.view(my_chunk_off + soff, slen).write(acc.view("uint8"))
+            yield from ctx.node_hw.mem_copy(slen)
+    yield from ctx.node_barrier()
+
+    # Distribute: my block is block `rank` of the reduced node-chunk.
+    yield from straight_copy(
+        ctx, stage.view(my_chunk_off + rl * cb, cb), recvview
+    )
+    yield from close_stage(ctx, _STAGE_KEY)

@@ -1,0 +1,129 @@
+"""PiP-MColl MPI_Scan — shared-address-space prefix reduction.
+
+Three phases:
+
+1. **Intra-node prefix, zero messages**: every rank exposes its send
+   buffer; rank ``R_l`` directly reads peers ``0..R_l-1`` and folds
+   them with its own contribution (all ranks concurrently — total
+   node work is O(P²) reads but the critical path is one rank reading
+   ``P-1`` buffers, the same as a serial intra-node scan's last hop,
+   without any message latency).
+2. **Node-level exclusive scan**: the node's *last* local rank holds
+   the node total; those representatives run a recursive-doubling
+   exscan across nodes (log₂ N rounds of node-total-sized messages —
+   one stream per node, which is fine: the payload here is tiny
+   compared to the data-parallel phases).
+3. **Local combine, zero messages**: the representative lands the
+   node's exclusive prefix in a shared staging cell; every rank folds
+   it into its intra-node prefix directly.
+
+Works for any node count (the exscan handles non-powers of two the
+same way the baseline recursive-doubling scan does).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..runtime.datatypes import Datatype
+from ..runtime.ops import ReduceOp
+from ..collectives.base import TAG_MCOLL
+from .allreduce import _reduce_chunk
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+
+_IN_KEY = "mcoll.scan.sendbuf"
+_STAGE_KEY = "mcoll.scan.nodeprefix"
+_TAG = TAG_MCOLL + 0xB00
+
+
+def mcoll_scan(ctx: RankContext, sendview: BufferView, recvview: BufferView,
+               dtype: Datatype, op: ReduceOp,
+               comm: Optional[Communicator] = None):
+    """Multi-object inclusive scan."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    nbytes = sendview.nbytes
+    if recvview.nbytes != nbytes:
+        raise ValueError("scan: send/recv sizes differ")
+    if sendview.offset != 0:
+        raise ValueError("mcoll_scan: send views must start at offset 0")
+
+    # Phase 1: direct-read intra-node prefix into recvview.
+    ctx.expose(_IN_KEY, sendview.buffer)
+    stage = yield from open_stage(ctx, _STAGE_KEY, nbytes)
+    inputs = [
+        ctx.peer_buffer(ctx.node_comm.to_world(peer), _IN_KEY).view(0, nbytes)
+        if ctx.node_comm.to_world(peer) != ctx.rank else sendview
+        for peer in range(rl + 1)
+    ]
+    yield from _reduce_chunk(ctx, inputs, recvview, dtype, op)
+    yield from ctx.node_barrier()
+    ctx.withdraw(_IN_KEY)
+
+    # Phase 2: node-level exscan among last-local-rank representatives.
+    is_rep = rl == ppn - 1
+    if is_rep and n_nodes > 1:
+        # recvview currently holds the node total on the representative.
+        carry = ctx.alloc(nbytes)  # exclusive prefix of node totals
+        have_carry = False
+        partial = ctx.alloc(nbytes)
+        partial.view().copy_from(recvview)
+        yield from ctx.node_hw.mem_copy(nbytes)
+        incoming = ctx.alloc(nbytes)
+        mask = 1
+        round_no = 0
+        while mask < n_nodes:
+            partner_node = node ^ mask
+            if partner_node < n_nodes:
+                partner = comm.to_comm(
+                    ctx.cluster.global_rank(partner_node, rl))
+                yield from ctx.sendrecv(
+                    partial.view(), partner, _TAG + round_no,
+                    incoming.view(), partner, _TAG + round_no,
+                    comm=comm,
+                )
+                if partner_node < node:
+                    # Exclusive prefix gains the lower partner's partial.
+                    if have_carry:
+                        yield from _accumulate_views(
+                            ctx, carry.view(), incoming.view(), dtype, op)
+                    else:
+                        carry.view().copy_from(incoming.view())
+                        yield from ctx.node_hw.mem_copy(nbytes)
+                        have_carry = True
+                yield from _accumulate_views(
+                    ctx, partial.view(), incoming.view(), dtype, op)
+            mask <<= 1
+            round_no += 1
+        if have_carry:
+            yield from straight_copy(ctx, carry.view(), stage.view(0, nbytes))
+        # Publish whether a carry exists via the staging cell: nodes 0
+        # has none.  (node > 0 always has one: some lower node exists
+        # and recursive doubling reaches it.)
+    yield from ctx.node_barrier()
+
+    # Phase 3: fold the node's exclusive prefix into every rank.
+    if node > 0:
+        inc = stage.view(0, nbytes).read()
+        mine = recvview.read()
+        if inc is not None and mine is not None:
+            acc = mine.view(dtype.np_dtype)
+            # scan order: lower nodes' total comes *before* my prefix.
+            folded = op.reduce_many([inc.view(dtype.np_dtype), acc])
+            recvview.write(folded.view("uint8"))
+        yield from ctx.node_hw.mem_copy(nbytes)
+    yield from close_stage(ctx, _STAGE_KEY)
+
+
+def _accumulate_views(ctx: RankContext, acc: BufferView, inc: BufferView,
+                      dtype: Datatype, op: ReduceOp):
+    data = acc.read()
+    other = inc.read()
+    if data is not None and other is not None:
+        a = data.view(dtype.np_dtype)
+        op.accumulate(a, other.view(dtype.np_dtype))
+        acc.write(a.view("uint8"))
+    yield from ctx.node_hw.mem_copy(acc.nbytes)

@@ -1,0 +1,103 @@
+"""PiP-MColl MPI_Scatter (the paper's Figure 1 collective).
+
+Multi-object design: the root's *entire node* acts as the sender.
+
+1. The root exposes its send buffer; after one node barrier every
+   local rank of the root node can read any block directly (PiP).
+2. **Multi-object inter-node scatter**: the root node's ``P`` ranks
+   partition the ``N − 1`` remote nodes round-robin; each rank sends
+   each of its nodes that node's whole slab (``P·C_b`` bytes) — taken
+   straight out of the root's buffer, no staging copy — addressed to
+   the *matching local rank* on the destination node, spreading the
+   receive work too (multi-sender *and* multi-receiver).
+3. On every remote node the receiving rank lands its slab in a shared
+   staging buffer; after a node barrier each local rank direct-copies
+   its own ``C_b`` block out (concurrent single copies).
+4. On the root node, local ranks direct-copy their block straight from
+   the root's send buffer.
+
+A binomial-tree root pushes ``log2(N·P)`` messages *serially*, the
+first carrying half the whole buffer; here no core sends more than
+``ceil((N−1)/P)`` slab-sized messages and nothing is copied twice.
+
+Contract: the root's send view must start at offset 0 of its buffer —
+PiP peers address the exposed buffer absolutely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.buffer import BufferView
+from ..runtime.communicator import Communicator
+from ..runtime.context import RankContext
+from ..collectives.base import TAG_MCOLL, check_uniform_count
+from .common import close_stage, geometry, open_stage, require_pip_world, straight_copy
+from .multiobject import round_partition
+
+_ROOT_KEY = "mcoll.scatter.rootbuf"
+_STAGE_KEY = "mcoll.scatter.stage"
+_TAG = TAG_MCOLL + 0x200
+
+
+def mcoll_scatter(ctx: RankContext, sendview: Optional[BufferView],
+                  recvview: BufferView, root: int = 0,
+                  comm: Optional[Communicator] = None):
+    """Multi-object scatter from ``root``."""
+    comm = require_pip_world(ctx, comm)
+    n_nodes, ppn, node, rl = geometry(ctx)
+    cb = recvview.nbytes
+    rank = comm.to_comm(ctx.rank)
+    root_world = comm.to_world(root)
+    root_node = ctx.cluster.node_of(root_world)
+    slab = cb * ppn
+    remote_nodes = [n for n in range(n_nodes) if n != root_node]
+
+    if node == root_node:
+        if rank == root:
+            if sendview is None:
+                raise ValueError("scatter: root needs a send buffer")
+            check_uniform_count(sendview, cb, comm.size, "scatter sendbuf")
+            if sendview.offset != 0:
+                raise ValueError(
+                    "mcoll_scatter: root send view must start at offset 0 "
+                    "(PiP peers address the exposed buffer absolutely)"
+                )
+            ctx.expose(_ROOT_KEY, sendview.buffer)
+        yield from ctx.node_barrier()  # exposure visible node-wide
+        root_buf = (
+            sendview.buffer if rank == root
+            else ctx.peer_buffer(root_world, _ROOT_KEY)
+        )
+
+        # Step 2: my share of the remote-node slabs, straight from the
+        # root's buffer.
+        reqs = []
+        for idx in round_partition(len(remote_nodes), ppn, rl):
+            dst_node = remote_nodes[idx]
+            dst_rank = comm.to_comm(ctx.cluster.global_rank(dst_node, rl))
+            first_block = ctx.cluster.global_rank(dst_node, 0)
+            req = yield from ctx.isend(
+                root_buf.view(first_block * cb, slab), dst_rank, _TAG, comm=comm
+            )
+            reqs.append(req)
+        yield from ctx.waitall(reqs)
+
+        # Step 4: my own block.
+        my_block = ctx.cluster.global_rank(node, rl)
+        yield from straight_copy(ctx, root_buf.view(my_block * cb, cb), recvview)
+        yield from ctx.node_barrier()  # all reads done before withdraw
+        if rank == root:
+            ctx.withdraw(_ROOT_KEY)
+        return
+
+    # Remote node: local rank `receiver_rl` (the round-robin sender's
+    # counterpart) lands the slab; everyone copies its block out.
+    stage = yield from open_stage(ctx, _STAGE_KEY, slab)
+    receiver_rl = remote_nodes.index(node) % ppn
+    if rl == receiver_rl:
+        sender = comm.to_comm(ctx.cluster.global_rank(root_node, receiver_rl))
+        yield from ctx.recv(stage.view(0, slab), src=sender, tag=_TAG, comm=comm)
+    yield from ctx.node_barrier()
+    yield from straight_copy(ctx, stage.view(rl * cb, cb), recvview)
+    yield from close_stage(ctx, _STAGE_KEY)

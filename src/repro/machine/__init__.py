@@ -1,0 +1,26 @@
+"""Machine model (subsystem S2): parameters, topology, live hardware."""
+
+from .fabric import Fabric, FabricParams, PodUplink
+from .hardware import ClusterHardware, NodeHardware
+from .params import CpuParams, MachineParams, MemoryParams, NicParams
+from .presets import available_presets, broadwell_opa, preset, single_node, skylake_ib, small_test
+from .topology import Cluster
+
+__all__ = [
+    "Cluster",
+    "Fabric",
+    "FabricParams",
+    "PodUplink",
+    "ClusterHardware",
+    "CpuParams",
+    "MachineParams",
+    "MemoryParams",
+    "NicParams",
+    "NodeHardware",
+    "available_presets",
+    "broadwell_opa",
+    "preset",
+    "single_node",
+    "skylake_ib",
+    "small_test",
+]

@@ -1,0 +1,165 @@
+"""Machine-model parameter sets.
+
+All times are **seconds**, all sizes **bytes**.  The network model is
+LogGP-shaped (Alexandrov et al.):
+
+``L``
+    end-to-end wire+switch latency,
+``o`` (``inject_overhead`` / ``recv_overhead``)
+    CPU time a core spends posting / draining one message — this is the
+    term that makes a *single* leader rank an injection bottleneck and
+    the paper's multi-object design a win,
+``g`` (``msg_gap``)
+    the NIC's per-message gap; ``1/g`` is the aggregate message rate the
+    adapter can sustain (97 Mmsg/s for the paper's Omni-Path),
+``G`` (``byte_gap``)
+    per-byte gap; ``1/G`` is the link bandwidth (100 Gbps).
+
+The memory model prices the operations the paper's §1 contrasts:
+plain user-space copies, kernel-crossing copies (CMA's
+``process_vm_readv``), address-space attach (XPMEM) and page faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def _require_nonnegative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+@dataclass(frozen=True)
+class NicParams:
+    """LogGP-style network interface parameters."""
+
+    latency: float = 1.0e-6  # L
+    inject_overhead: float = 4.0e-7  # o (send side, per message, per core)
+    recv_overhead: float = 3.0e-7  # o (receive side)
+    msg_gap: float = 1.0 / 97.0e6  # g: Omni-Path 97 Mmsg/s
+    byte_gap: float = 8.0e-11  # G: 100 Gbps = 12.5 GB/s
+    rendezvous_overhead: float = 1.2e-6  # extra handshake for large messages
+    eager_limit: int = 16384  # eager→rendezvous protocol switch
+
+    def __post_init__(self) -> None:
+        _require_nonnegative("latency", self.latency)
+        _require_nonnegative("inject_overhead", self.inject_overhead)
+        _require_nonnegative("recv_overhead", self.recv_overhead)
+        _require_positive("msg_gap", self.msg_gap)
+        _require_positive("byte_gap", self.byte_gap)
+        _require_nonnegative("rendezvous_overhead", self.rendezvous_overhead)
+        if self.eager_limit < 0:
+            raise ValueError("eager_limit must be >= 0")
+
+    @property
+    def message_rate(self) -> float:
+        """Aggregate adapter message rate (msg/s)."""
+        return 1.0 / self.msg_gap
+
+    @property
+    def bandwidth(self) -> float:
+        """Link bandwidth (bytes/s)."""
+        return 1.0 / self.byte_gap
+
+    def wire_time(self, nbytes: int) -> float:
+        """Time a message of ``nbytes`` occupies the adapter pipe."""
+        return max(self.msg_gap, nbytes * self.byte_gap)
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Intra-node memory-system costs."""
+
+    copy_latency: float = 6.0e-8  # fixed cost per memcpy call
+    copy_byte_time: float = 1.25e-10  # single-core memcpy: 8 GB/s
+    bus_byte_time: float = 1.0e-11  # node aggregate copy bandwidth: 100 GB/s
+    # (dual-socket Broadwell STREAM-triad territory; single-core memcpy
+    # stays at 8 GB/s, so ~12 concurrent copies saturate the node)
+    syscall_overhead: float = 4.0e-7  # one kernel crossing (CMA read/write)
+    page_fault: float = 1.1e-6  # cost of one soft page fault
+    page_size: int = 4096
+    attach_overhead: float = 2.2e-6  # XPMEM xpmem_get + xpmem_attach
+    attach_lookup: float = 1.5e-7  # XPMEM cached-attachment lookup/validation
+    flag_latency: float = 5.0e-8  # shared-memory flag signal→observe time
+
+    def __post_init__(self) -> None:
+        for name in (
+            "copy_latency",
+            "copy_byte_time",
+            "bus_byte_time",
+            "syscall_overhead",
+            "page_fault",
+            "attach_overhead",
+            "attach_lookup",
+            "flag_latency",
+        ):
+            _require_nonnegative(name, getattr(self, name))
+        if self.page_size <= 0:
+            raise ValueError("page_size must be > 0")
+
+    def copy_time(self, nbytes: int) -> float:
+        """Single-core user-space memcpy time (no contention)."""
+        return self.copy_latency + nbytes * self.copy_byte_time
+
+    def fault_time(self, nbytes: int) -> float:
+        """Cost of first-touch faults across ``nbytes`` of fresh mapping."""
+        pages = -(-max(nbytes, 1) // self.page_size)  # ceil-div
+        return pages * self.page_fault
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Per-core software costs independent of any transport."""
+
+    dispatch_overhead: float = 1.0e-7  # MPI entry / argument checking per call
+    progress_poll: float = 4.0e-8  # one pass of the progress engine
+
+    def __post_init__(self) -> None:
+        _require_nonnegative("dispatch_overhead", self.dispatch_overhead)
+        _require_nonnegative("progress_poll", self.progress_poll)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Everything the simulator needs to price a cluster."""
+
+    nodes: int = 128
+    ppn: int = 18
+    nic: NicParams = field(default_factory=NicParams)
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    cpu: CpuParams = field(default_factory=CpuParams)
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.ppn < 1:
+            raise ValueError(f"ppn must be >= 1, got {self.ppn}")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of ranks."""
+        return self.nodes * self.ppn
+
+    def scaled(self, **changes: Any) -> "MachineParams":
+        """A copy with some fields replaced (for sweeps)."""
+        return replace(self, **changes)
+
+    def describe(self) -> Dict[str, Any]:
+        """Human-oriented summary used by reports."""
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "ppn": self.ppn,
+            "ranks": self.world_size,
+            "nic_latency_us": self.nic.latency * 1e6,
+            "nic_msg_rate_M/s": self.nic.message_rate / 1e6,
+            "nic_bandwidth_Gbps": self.nic.bandwidth * 8 / 1e9,
+        }

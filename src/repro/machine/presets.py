@@ -1,0 +1,92 @@
+"""Named machine presets.
+
+``broadwell_opa`` is the paper's testbed (§3): 128 nodes, dual Xeon
+E5-2695v4 (18 ppn used), Intel Omni-Path at 100 Gbps and 97 Mmsg/s.
+The smaller presets exist so unit/integration tests and laptops can run
+full collectives in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .params import CpuParams, MachineParams, MemoryParams, NicParams
+
+_REGISTRY: Dict[str, Callable[..., MachineParams]] = {}
+
+
+def _register(fn: Callable[..., MachineParams]) -> Callable[..., MachineParams]:
+    _REGISTRY[fn.__name__] = fn
+    return fn
+
+
+@_register
+def broadwell_opa(nodes: int = 128, ppn: int = 18) -> MachineParams:
+    """The paper's cluster: Broadwell + Intel Omni-Path (100 Gbps)."""
+    return MachineParams(
+        nodes=nodes,
+        ppn=ppn,
+        nic=NicParams(
+            latency=1.0e-6,
+            inject_overhead=4.0e-7,
+            recv_overhead=3.0e-7,
+            msg_gap=1.0 / 97.0e6,
+            byte_gap=8.0e-11,
+            rendezvous_overhead=1.2e-6,
+            eager_limit=16384,
+        ),
+        memory=MemoryParams(),
+        cpu=CpuParams(),
+        name=f"broadwell_opa[{nodes}x{ppn}]",
+    )
+
+
+@_register
+def small_test(nodes: int = 4, ppn: int = 4) -> MachineParams:
+    """Tiny cluster for unit tests — same cost structure, fewer ranks."""
+    return broadwell_opa(nodes=nodes, ppn=ppn).scaled(name=f"small_test[{nodes}x{ppn}]")
+
+
+@_register
+def single_node(ppn: int = 18) -> MachineParams:
+    """One node — used by the intra-node transport ablation (A2)."""
+    return broadwell_opa(nodes=1, ppn=ppn).scaled(name=f"single_node[1x{ppn}]")
+
+
+@_register
+def skylake_ib(nodes: int = 64, ppn: int = 24) -> MachineParams:
+    """A second, differently balanced machine (EDR InfiniBand-like).
+
+    Used to check that PiP-MColl's advantage is not an artifact of one
+    parameter point: higher message rate, slightly lower latency.
+    """
+    return MachineParams(
+        nodes=nodes,
+        ppn=ppn,
+        nic=NicParams(
+            latency=0.9e-6,
+            inject_overhead=3.5e-7,
+            recv_overhead=2.8e-7,
+            msg_gap=1.0 / 150.0e6,
+            byte_gap=8.0e-11,  # 100 Gbps EDR
+            rendezvous_overhead=1.0e-6,
+            eager_limit=16384,
+        ),
+        memory=MemoryParams(),
+        cpu=CpuParams(),
+        name=f"skylake_ib[{nodes}x{ppn}]",
+    )
+
+
+def preset(name: str, **kwargs) -> MachineParams:
+    """Look up a preset by name (``preset('broadwell_opa', nodes=8)``)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; available: {sorted(_REGISTRY)}") from None
+    return factory(**kwargs)
+
+
+def available_presets() -> List[str]:
+    """Names accepted by :func:`preset`."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,94 @@
+"""Cluster topology: node ↔ rank arithmetic.
+
+Ranks are laid out **block by node** (the layout the paper assumes):
+global rank ``r`` lives on node ``r // ppn`` with local rank ``r % ppn``.
+The local rank 0 of every node is that node's *leader* (the paper's
+"local root process").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A cluster of ``nodes`` nodes with ``ppn`` ranks each."""
+
+    nodes: int
+    ppn: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.ppn < 1:
+            raise ValueError(f"ppn must be >= 1, got {self.ppn}")
+
+    @property
+    def world_size(self) -> int:
+        """Total rank count."""
+        return self.nodes * self.ppn
+
+    # -- rank arithmetic ------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        """Node hosting global ``rank``."""
+        self._check_rank(rank)
+        return rank // self.ppn
+
+    def local_rank(self, rank: int) -> int:
+        """Position of ``rank`` within its node."""
+        self._check_rank(rank)
+        return rank % self.ppn
+
+    def global_rank(self, node: int, local: int) -> int:
+        """Global rank of ``local`` on ``node``."""
+        self._check_node(node)
+        if not 0 <= local < self.ppn:
+            raise ValueError(f"local rank {local} out of range [0, {self.ppn})")
+        return node * self.ppn + local
+
+    def leader_of(self, node: int) -> int:
+        """The node's leader rank (local rank 0)."""
+        return self.global_rank(node, 0)
+
+    def leader_of_rank(self, rank: int) -> int:
+        """Leader rank of the node hosting ``rank``."""
+        return self.node_of(rank) * self.ppn
+
+    def is_leader(self, rank: int) -> bool:
+        """True if ``rank`` is its node's leader."""
+        return self.local_rank(rank) == 0
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True if ranks ``a`` and ``b`` share a node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> range:
+        """All global ranks on ``node``, ascending."""
+        self._check_node(node)
+        return range(node * self.ppn, (node + 1) * self.ppn)
+
+    def leaders(self) -> List[int]:
+        """All leader ranks, ascending by node."""
+        return [n * self.ppn for n in range(self.nodes)]
+
+    def ranks(self) -> Iterator[int]:
+        """All ranks, ascending."""
+        return iter(range(self.world_size))
+
+    def node_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All ordered pairs of distinct nodes (test helper)."""
+        for a in range(self.nodes):
+            for b in range(self.nodes):
+                if a != b:
+                    yield (a, b)
+
+    # -- validation -----------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range [0, {self.world_size})")
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} out of range [0, {self.nodes})")

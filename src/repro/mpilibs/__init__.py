@@ -1,0 +1,28 @@
+"""MPI library models (subsystem S8)."""
+
+from .base import COLLECTIVES, SCAN_COLLECTIVES, V_COLLECTIVES, LibraryProfile, MpiLibrary
+from .intelmpi import IntelMpi
+from .mpich import Mpich
+from .mvapich import Mvapich
+from .openmpi import OpenMpi
+from .pip_mcoll import PipMColl
+from .pip_mpich import PipMpich
+from .registry import BASELINES, PAPER_LINEUP, available_libraries, make_library
+
+__all__ = [
+    "BASELINES",
+    "COLLECTIVES",
+    "SCAN_COLLECTIVES",
+    "V_COLLECTIVES",
+    "IntelMpi",
+    "LibraryProfile",
+    "Mpich",
+    "MpiLibrary",
+    "Mvapich",
+    "OpenMpi",
+    "PAPER_LINEUP",
+    "PipMColl",
+    "PipMpich",
+    "available_libraries",
+    "make_library",
+]

@@ -1,0 +1,133 @@
+"""MPI library models.
+
+A library model = an intra-node transport choice + an algorithm
+selection table + a per-call software overhead.  That triple is what
+actually differs between the five stacks the paper benchmarks (plus
+PiP-MColl itself); encoding it explicitly keeps the comparison honest
+and auditable.
+
+``algorithm(collective, nbytes, world_size)`` returns a generator
+function with the standard signature for that collective family (see
+:mod:`repro.collectives.base`), already selected for the message size
+— mirroring the tuned decision tables real libraries ship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..machine import MachineParams
+from ..runtime import World
+
+#: collectives every library must provide (benchmarkable surface)
+COLLECTIVES = (
+    "bcast",
+    "gather",
+    "scatter",
+    "allgather",
+    "allreduce",
+    "reduce",
+    "alltoall",
+    "reduce_scatter",
+    "barrier",
+)
+
+#: vector variants (variable per-rank counts); also selectable via
+#: :meth:`MpiLibrary.algorithm`
+V_COLLECTIVES = ("gatherv", "scatterv", "allgatherv", "alltoallv")
+
+#: prefix reductions; also selectable via :meth:`MpiLibrary.algorithm`
+SCAN_COLLECTIVES = ("scan", "exscan")
+
+
+@dataclass(frozen=True)
+class LibraryProfile:
+    """Static facts about one library model."""
+
+    name: str
+    intra: str  # transport registry name
+    call_overhead: float  # software stack depth per collective call (s)
+    description: str
+
+
+class MpiLibrary:
+    """Base library model.  Subclasses fill in the selection table."""
+
+    profile: LibraryProfile
+
+    def make_world(self, params: MachineParams, functional: bool = True) -> World:
+        """A fresh world wired with this library's transport."""
+        return World(params, intra=self.profile.intra, functional=functional)
+
+    # -- selection table -------------------------------------------------
+    def algorithm(self, collective: str, nbytes: int, world_size: int) -> Callable:
+        """The algorithm this library runs for ``collective`` at
+        ``nbytes`` per-process bytes on ``world_size`` ranks."""
+        if (collective not in COLLECTIVES and collective not in V_COLLECTIVES
+                and collective not in SCAN_COLLECTIVES):
+            raise KeyError(
+                f"unknown collective {collective!r}; available: "
+                f"{COLLECTIVES + V_COLLECTIVES + SCAN_COLLECTIVES}"
+            )
+        picker: Optional[Callable] = getattr(self, f"_pick_{collective}", None)
+        if picker is None:
+            raise NotImplementedError(
+                f"{self.profile.name} does not implement {collective}"
+            )
+        return picker(nbytes, world_size)
+
+    def wrapped(self, collective: str, nbytes: int, world_size: int) -> Callable:
+        """Like :meth:`algorithm` but with the library's per-call
+        software overhead charged at entry (what benchmarks run)."""
+        algo = self.algorithm(collective, nbytes, world_size)
+        overhead = self.profile.call_overhead
+
+        def with_overhead(ctx, *args, **kwargs):
+            yield ctx.sim.timeout(overhead)
+            yield from algo(ctx, *args, **kwargs)
+
+        with_overhead.__name__ = f"{self.profile.name}:{collective}"
+        return with_overhead
+
+    # -- vector collectives: production libraries all use linear /
+    # ring / pairwise here (trees can't split unknown counts), so the
+    # defaults live in the base class; PiP-MColl overrides what the
+    # paper's design generalises to.
+    def _pick_gatherv(self, nbytes, size):
+        from ..collectives import gatherv_linear
+
+        return gatherv_linear
+
+    def _pick_scatterv(self, nbytes, size):
+        from ..collectives import scatterv_linear
+
+        return scatterv_linear
+
+    def _pick_allgatherv(self, nbytes, size):
+        from ..collectives import allgatherv_ring
+
+        return allgatherv_ring
+
+    def _pick_alltoallv(self, nbytes, size):
+        from ..collectives import alltoallv_pairwise
+
+        return alltoallv_pairwise
+
+    def _pick_scan(self, nbytes, size):
+        from ..collectives import scan_recursive_doubling
+
+        return scan_recursive_doubling
+
+    def _pick_exscan(self, nbytes, size):
+        from ..collectives import exscan_linear
+
+        return exscan_linear
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MpiLibrary {self.profile.name}>"
+
+
+def is_pow2(n: int) -> bool:
+    """True for powers of two (algorithm selection guard)."""
+    return n > 0 and (n & (n - 1)) == 0

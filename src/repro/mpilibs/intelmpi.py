@@ -1,0 +1,87 @@
+"""Intel MPI model: tuned SHM transport + autotuned decision table.
+
+Intel MPI's strengths in published OSU numbers are a very lean
+software path (lowest per-call overhead of the four) and aggressive
+topology-aware selection; its shared memory is a classic double-copy
+SHM segment (like MPICH's nemesis, with better constants absorbed into
+the call overhead).
+"""
+
+from __future__ import annotations
+
+from ..collectives import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    alltoall_bruck,
+    alltoall_pairwise,
+    barrier_dissemination,
+    bcast_binomial,
+    bcast_ring_pipeline,
+    gather_binomial,
+    hier_allreduce,
+    reduce_binomial,
+    reduce_scatter_recursive_halving,
+    reduce_scatter_reduce_then_scatter,
+    scatter_binomial,
+)
+from .base import LibraryProfile, MpiLibrary, is_pow2
+
+
+class IntelMpi(MpiLibrary):
+    """Intel MPI (impi) model."""
+
+    profile = LibraryProfile(
+        name="IntelMPI",
+        intra="posix_shmem",
+        call_overhead=1.0e-7,
+        description="tuned SHM double copy; autotuner-style selection",
+    )
+
+    def _pick_bcast(self, nbytes, size):
+        return bcast_binomial if nbytes <= 16384 else bcast_ring_pipeline
+
+    def _pick_gather(self, nbytes, size):
+        return gather_binomial
+
+    def _pick_scatter(self, nbytes, size):
+        return scatter_binomial
+
+    def _pick_allgather(self, nbytes, size):
+        total = nbytes * size
+        if is_pow2(size) and total <= 524288:
+            return allgather_recursive_doubling
+        if total <= 524288:
+            return allgather_bruck
+        return allgather_ring
+
+    def _pick_allreduce(self, nbytes, size):
+        if nbytes <= 8192:
+            return hier_allreduce
+
+        def rabenseifner_or_rd(ctx, send, recv, dtype, op, comm=None):
+            if is_pow2(comm.size if comm else ctx.size) and \
+                    not send.nbytes % ((comm.size if comm else ctx.size) * dtype.size):
+                yield from allreduce_rabenseifner(ctx, send, recv, dtype, op,
+                                                  comm=comm)
+            else:
+                yield from allreduce_recursive_doubling(ctx, send, recv, dtype,
+                                                        op, comm=comm)
+
+        return rabenseifner_or_rd
+
+    def _pick_reduce(self, nbytes, size):
+        return reduce_binomial
+
+    def _pick_alltoall(self, nbytes, size):
+        return alltoall_bruck if nbytes <= 512 else alltoall_pairwise
+
+    def _pick_reduce_scatter(self, nbytes, size):
+        if is_pow2(size):
+            return reduce_scatter_recursive_halving
+        return reduce_scatter_reduce_then_scatter
+
+    def _pick_barrier(self, nbytes, size):
+        return barrier_dissemination

@@ -1,0 +1,88 @@
+"""MPICH model: Nemesis POSIX-SHMEM intra-node + public decision table.
+
+Cutoffs follow MPICH's shipped defaults (coll tuning in
+``src/mpi/coll``): binomial trees for rooted small messages, Bruck /
+recursive doubling for small allgathers, ring for large, Rabenseifner
+above the short-allreduce cutoff.
+"""
+
+from __future__ import annotations
+
+from ..collectives import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    alltoall_bruck,
+    alltoall_pairwise,
+    barrier_dissemination,
+    bcast_binomial,
+    bcast_ring_pipeline,
+    gather_binomial,
+    reduce_binomial,
+    reduce_scatter_recursive_halving,
+    reduce_scatter_reduce_then_scatter,
+    scatter_binomial,
+)
+from .base import LibraryProfile, MpiLibrary, is_pow2
+
+#: MPICH decision-table cutoffs (bytes)
+BCAST_SHORT = 12288
+ALLGATHER_LONG_TOTAL = 524288
+ALLREDUCE_SHORT = 2048
+ALLTOALL_SHORT = 256
+
+
+class Mpich(MpiLibrary):
+    """Stock MPICH (ch3:nemesis-style shared memory)."""
+
+    profile = LibraryProfile(
+        name="MPICH",
+        intra="posix_shmem",
+        call_overhead=1.5e-7,
+        description="nemesis POSIX-SHMEM double copy; public decision table",
+    )
+
+    def _pick_bcast(self, nbytes, size):
+        return bcast_binomial if nbytes <= BCAST_SHORT else bcast_ring_pipeline
+
+    def _pick_gather(self, nbytes, size):
+        return gather_binomial
+
+    def _pick_scatter(self, nbytes, size):
+        return scatter_binomial
+
+    def _pick_allgather(self, nbytes, size):
+        total = nbytes * size
+        if total <= ALLGATHER_LONG_TOTAL:
+            return allgather_recursive_doubling if is_pow2(size) else allgather_bruck
+        return allgather_ring
+
+    def _pick_allreduce(self, nbytes, size):
+        if nbytes <= ALLREDUCE_SHORT or not is_pow2(size):
+            return allreduce_recursive_doubling
+
+        def rabenseifner_or_rd(ctx, send, recv, dtype, op, comm=None):
+            if send.nbytes % (size * dtype.size):
+                yield from allreduce_recursive_doubling(ctx, send, recv, dtype,
+                                                        op, comm=comm)
+            else:
+                yield from allreduce_rabenseifner(ctx, send, recv, dtype, op,
+                                                  comm=comm)
+
+        return rabenseifner_or_rd
+
+    def _pick_reduce(self, nbytes, size):
+        return reduce_binomial
+
+    def _pick_alltoall(self, nbytes, size):
+        return alltoall_bruck if nbytes <= ALLTOALL_SHORT else alltoall_pairwise
+
+    def _pick_reduce_scatter(self, nbytes, size):
+        if is_pow2(size):
+            return reduce_scatter_recursive_halving
+        return reduce_scatter_reduce_then_scatter
+
+    def _pick_barrier(self, nbytes, size):
+        return barrier_dissemination

@@ -1,0 +1,84 @@
+"""Open MPI model: vader/CMA intra-node + tuned-module decision table.
+
+Open MPI's ``coll/tuned`` defaults are close to MPICH's shapes but
+with different cutoffs, and the BTL stack is deeper (component
+dispatch), which shows up as a higher per-call overhead — consistent
+with Open MPI trailing in small-message OSU collectives on Omni-Path
+systems (and with its placement in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from ..collectives import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    alltoall_bruck,
+    alltoall_pairwise,
+    barrier_dissemination,
+    bcast_binomial,
+    bcast_ring_pipeline,
+    gather_binomial,
+    reduce_binomial,
+    reduce_scatter_recursive_halving,
+    reduce_scatter_reduce_then_scatter,
+    scatter_binomial,
+)
+from .base import LibraryProfile, MpiLibrary, is_pow2
+
+
+class OpenMpi(MpiLibrary):
+    """Open MPI with vader (CMA single copy) shared memory."""
+
+    profile = LibraryProfile(
+        name="OpenMPI",
+        intra="cma",
+        call_overhead=2.8e-7,
+        description="vader/CMA single copy + syscall; coll/tuned table",
+    )
+
+    def _pick_bcast(self, nbytes, size):
+        return bcast_binomial if nbytes <= 8192 else bcast_ring_pipeline
+
+    def _pick_gather(self, nbytes, size):
+        return gather_binomial
+
+    def _pick_scatter(self, nbytes, size):
+        return scatter_binomial
+
+    def _pick_allgather(self, nbytes, size):
+        if nbytes <= 1024:
+            return allgather_bruck
+        if is_pow2(size) and nbytes * size <= 262144:
+            return allgather_recursive_doubling
+        return allgather_ring
+
+    def _pick_allreduce(self, nbytes, size):
+        if nbytes <= 4096 or not is_pow2(size):
+            return allreduce_recursive_doubling
+
+        def rabenseifner_or_rd(ctx, send, recv, dtype, op, comm=None):
+            if send.nbytes % (size * dtype.size):
+                yield from allreduce_recursive_doubling(ctx, send, recv, dtype,
+                                                        op, comm=comm)
+            else:
+                yield from allreduce_rabenseifner(ctx, send, recv, dtype, op,
+                                                  comm=comm)
+
+        return rabenseifner_or_rd
+
+    def _pick_reduce(self, nbytes, size):
+        return reduce_binomial
+
+    def _pick_alltoall(self, nbytes, size):
+        return alltoall_bruck if nbytes <= 128 else alltoall_pairwise
+
+    def _pick_reduce_scatter(self, nbytes, size):
+        if is_pow2(size):
+            return reduce_scatter_recursive_halving
+        return reduce_scatter_reduce_then_scatter
+
+    def _pick_barrier(self, nbytes, size):
+        return barrier_dissemination

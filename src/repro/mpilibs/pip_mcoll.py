@@ -1,0 +1,100 @@
+"""PiP-MColl: the paper's contribution as a library model.
+
+Multi-object collectives over the PiP transport.  Small/medium
+messages use the multi-object Bruck/tree algorithms; large messages
+switch to the multi-object striped ring (the paper's "also boosts
+performance for larger messages").  Collectives the paper leaves
+untouched (reduce) fall back to sane baselines that still benefit from
+the PiP transport.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    mcoll_allgather,
+    mcoll_allreduce_rsag,
+    mcoll_allgather_large,
+    mcoll_allreduce,
+    mcoll_alltoall,
+    mcoll_barrier,
+    mcoll_bcast,
+    mcoll_gather,
+    mcoll_reduce,
+    mcoll_reduce_scatter,
+    mcoll_scatter,
+)
+from ..collectives import (
+    allreduce_recursive_doubling,
+    bcast_ring_pipeline,
+)
+from .base import LibraryProfile, MpiLibrary, is_pow2
+
+#: per-process size above which allgather switches to the striped ring
+ALLGATHER_LARGE = 8192
+#: message size above which bcast switches to the pipelined ring
+BCAST_LARGE = 262144
+
+
+class PipMColl(MpiLibrary):
+    """The paper's system."""
+
+    profile = LibraryProfile(
+        name="PiP-MColl",
+        intra="pip",
+        call_overhead=1.2e-7,
+        description="multi-object collectives over PiP address-space sharing",
+    )
+
+    def _pick_bcast(self, nbytes, size):
+        return mcoll_bcast if nbytes <= BCAST_LARGE else bcast_ring_pipeline
+
+    def _pick_gather(self, nbytes, size):
+        return mcoll_gather
+
+    def _pick_scatter(self, nbytes, size):
+        return mcoll_scatter
+
+    def _pick_allgather(self, nbytes, size):
+        return mcoll_allgather if nbytes <= ALLGATHER_LARGE else mcoll_allgather_large
+
+    def _pick_allreduce(self, nbytes, size):
+        def pick(ctx, send, recv, dtype, op, comm=None):
+            if is_pow2(ctx.cluster.nodes):
+                yield from mcoll_allreduce(ctx, send, recv, dtype, op, comm=comm)
+            elif not send.nbytes % (size * dtype.size):
+                # Any node count: multi-object reduce-scatter + allgather.
+                yield from mcoll_allreduce_rsag(ctx, send, recv, dtype, op,
+                                                comm=comm)
+            else:
+                yield from allreduce_recursive_doubling(ctx, send, recv, dtype,
+                                                        op, comm=comm)
+
+        pick.__name__ = "mcoll_allreduce_auto"
+        return pick
+
+    def _pick_reduce(self, nbytes, size):
+        return mcoll_reduce
+
+    def _pick_alltoall(self, nbytes, size):
+        return mcoll_alltoall
+
+    def _pick_reduce_scatter(self, nbytes, size):
+        return mcoll_reduce_scatter
+
+    def _pick_barrier(self, nbytes, size):
+        return mcoll_barrier
+
+    def _pick_scan(self, nbytes, size):
+        from ..core import mcoll_scan
+
+        return mcoll_scan
+
+    def _pick_allgatherv(self, nbytes, size):
+        from ..core import mcoll_allgatherv
+
+        def adapter(ctx, sendview, recvview, counts, displs=None, comm=None):
+            yield from mcoll_allgatherv(ctx, sendview, recvview, counts,
+                                        displs=displs, comm=comm)
+
+        adapter.__name__ = "mcoll_allgatherv"
+        return adapter

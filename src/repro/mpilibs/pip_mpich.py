@@ -1,0 +1,24 @@
+"""PiP-MPICH: the paper's *naive* baseline (§3).
+
+MPICH's algorithms, unchanged, running over the PiP transport with its
+per-message size synchronisation.  PiP removes the double copy, but
+the size handshake stalls the sender on every intra-node message —
+which is why the paper observes PiP-MPICH "sometimes has the worst
+performance among all the MPI implementations" at small sizes.
+"""
+
+from __future__ import annotations
+
+from .base import LibraryProfile
+from .mpich import Mpich
+
+
+class PipMpich(Mpich):
+    """MPICH algorithms over naive PiP (size-sync per message)."""
+
+    profile = LibraryProfile(
+        name="PiP-MPICH",
+        intra="pip_sizesync",
+        call_overhead=1.5e-7,
+        description="MPICH decision table over PiP with per-message size sync",
+    )

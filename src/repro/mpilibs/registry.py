@@ -1,0 +1,39 @@
+"""Library registry — the paper's benchmark lineup."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import MpiLibrary
+from .intelmpi import IntelMpi
+from .mpich import Mpich
+from .mvapich import Mvapich
+from .openmpi import OpenMpi
+from .pip_mcoll import PipMColl
+from .pip_mpich import PipMpich
+
+_LIBRARIES: Dict[str, Type[MpiLibrary]] = {
+    cls.profile.name: cls
+    for cls in (Mpich, OpenMpi, Mvapich, IntelMpi, PipMpich, PipMColl)
+}
+
+#: the lineup of the paper's figures, in plot order
+PAPER_LINEUP = ("OpenMPI", "MVAPICH2", "IntelMPI", "MPICH", "PiP-MPICH", "PiP-MColl")
+#: every comparator except the paper's system
+BASELINES = tuple(n for n in PAPER_LINEUP if n != "PiP-MColl")
+
+
+def make_library(name: str) -> MpiLibrary:
+    """Instantiate a library model by its display name."""
+    try:
+        cls = _LIBRARIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown MPI library {name!r}; available: {sorted(_LIBRARIES)}"
+        ) from None
+    return cls()
+
+
+def available_libraries() -> List[str]:
+    """Names accepted by :func:`make_library`."""
+    return sorted(_LIBRARIES)

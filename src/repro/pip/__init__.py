@@ -1,0 +1,18 @@
+"""Process-in-Process substrate emulation (subsystem S3)."""
+
+from .address_space import AddressSpace
+from .errors import AddressSpaceViolation, BufferNotExposed, PipError
+from .sync import NodeBarrier, SharedFlag, SizeSync
+from .task import PipTask, spawn_tasks
+
+__all__ = [
+    "AddressSpace",
+    "AddressSpaceViolation",
+    "BufferNotExposed",
+    "NodeBarrier",
+    "PipError",
+    "PipTask",
+    "SharedFlag",
+    "SizeSync",
+    "spawn_tasks",
+]

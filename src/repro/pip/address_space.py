@@ -1,0 +1,109 @@
+"""Emulation of PiP address-space sharing (Hori et al., HPDC '18).
+
+Process-in-Process loads every task (process) on a node into one
+virtual address space, so task A can dereference a pointer into task
+B's private memory exactly as a thread would — no ``mmap`` of shared
+segments (POSIX-SHMEM), no kernel-mediated copy (CMA), no
+expose/attach (XPMEM).
+
+In this reproduction every simulated rank lives inside one Python
+interpreter, so *physically* any rank could touch any buffer.  The
+:class:`AddressSpace` makes the paper's distinction enforceable: ranks
+must *expose* buffers, and :meth:`peer_view` hands out a direct numpy
+view **only** when both tasks are in the same PiP-enabled address
+space.  Transports and collectives for non-PiP libraries never get a
+view and must move bytes through staged copies with their own modeled
+costs; PiP-based collectives get the view plus a cost model of a plain
+user-space copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from .errors import AddressSpaceViolation, BufferNotExposed
+
+Handle = Tuple[int, Hashable]  # (owner world-rank, buffer key)
+
+
+class AddressSpace:
+    """One node's virtual address space.
+
+    Parameters
+    ----------
+    node_id:
+        The node this space belongs to.
+    pip_enabled:
+        True when tasks on the node were spawned as PiP tasks.  When
+        False, :meth:`peer_view` refuses (models classic processes with
+        isolated address spaces).
+    """
+
+    def __init__(self, node_id: int, pip_enabled: bool) -> None:
+        self.node_id = node_id
+        self.pip_enabled = pip_enabled
+        self._exposed: Dict[Handle, np.ndarray] = {}
+        self._members: set[int] = set()
+
+    # -- membership -----------------------------------------------------
+    def join(self, rank: int) -> None:
+        """Register ``rank`` as a task living in this address space."""
+        self._members.add(rank)
+
+    def is_member(self, rank: int) -> bool:
+        """True if ``rank`` was loaded into this space."""
+        return rank in self._members
+
+    # -- buffer exposure --------------------------------------------------
+    def expose(self, owner: int, key: Hashable, array: np.ndarray) -> None:
+        """Publish ``array`` under ``(owner, key)``.
+
+        With PiP this is free (the memory is already addressable); we
+        still require the call so access patterns stay explicit and
+        auditable in tests.
+        """
+        if not self.is_member(owner):
+            raise AddressSpaceViolation(
+                f"rank {owner} is not a task in node {self.node_id}'s address space"
+            )
+        self._exposed[(owner, key)] = array
+
+    def withdraw(self, owner: int, key: Hashable) -> None:
+        """Remove a previously exposed buffer."""
+        self._exposed.pop((owner, key), None)
+
+    def peer_view(self, requester: int, owner: int, key: Hashable) -> np.ndarray:
+        """Direct view of a peer's buffer — the PiP superpower.
+
+        Raises
+        ------
+        AddressSpaceViolation
+            If the space is not PiP-enabled, or either rank is not a
+            member (e.g. ranks on different nodes).
+        BufferNotExposed
+            If the owner never exposed ``key``.
+        """
+        if not self.pip_enabled:
+            raise AddressSpaceViolation(
+                f"node {self.node_id}: address space is not shared "
+                "(tasks are classic processes); direct peer access is impossible"
+            )
+        if not self.is_member(requester):
+            raise AddressSpaceViolation(
+                f"rank {requester} is not a task in node {self.node_id}'s address space"
+            )
+        if not self.is_member(owner):
+            raise AddressSpaceViolation(
+                f"rank {owner} is not a task in node {self.node_id}'s address space"
+            )
+        try:
+            return self._exposed[(owner, key)]
+        except KeyError:
+            raise BufferNotExposed(f"rank {owner} has not exposed buffer {key!r}") from None
+
+    @property
+    def exposed_count(self) -> int:
+        """Number of currently exposed buffers (leak probe for tests)."""
+        return len(self._exposed)

@@ -1,0 +1,20 @@
+"""PiP substrate errors."""
+
+from __future__ import annotations
+
+
+class PipError(Exception):
+    """Base class for PiP substrate errors."""
+
+
+class AddressSpaceViolation(PipError):
+    """Direct load/store on a peer buffer without PiP address-space sharing.
+
+    Raised when code tries to obtain a peer view while the owning and
+    requesting tasks are not in the same (PiP-shared) address space —
+    i.e. when a non-PiP MPI library's collective tries to cheat.
+    """
+
+
+class BufferNotExposed(PipError):
+    """Lookup of a buffer handle the owner never exposed."""

@@ -1,0 +1,66 @@
+"""Virtual MPI runtime (subsystem S5)."""
+
+from . import datatypes, ops
+from .buffer import ArrayBuffer, BaseBuffer, BufferView, NullBuffer, alloc
+from .cart import CartTopology, dims_create
+from .communicator import Communicator
+from .context import RankContext
+from .datatypes import BYTE, DOUBLE, FLOAT32, FLOAT64, INT32, INT64, Datatype, datatype
+from .errors import DatatypeError, MpiError, RankMismatchError, TruncationError
+from .matching import MatchingEngine
+from .message import ANY_SOURCE, ANY_TAG, Envelope, MessageDescriptor, Status
+from .ops import MAX, MIN, PROD, SUM, ReduceOp, reduce_op
+from .derived import VectorLayout, pack, unpack
+from .persistent import PersistentOp, recv_init, send_init, start_all
+from .request import OperationRequest, RecvRequest, Request, SendRequest
+from .world import World
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ArrayBuffer",
+    "BYTE",
+    "BaseBuffer",
+    "BufferView",
+    "CartTopology",
+    "Communicator",
+    "DOUBLE",
+    "Datatype",
+    "DatatypeError",
+    "Envelope",
+    "FLOAT32",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "MAX",
+    "MIN",
+    "MatchingEngine",
+    "MessageDescriptor",
+    "MpiError",
+    "NullBuffer",
+    "OperationRequest",
+    "PersistentOp",
+    "PROD",
+    "RankContext",
+    "RankMismatchError",
+    "RecvRequest",
+    "ReduceOp",
+    "Request",
+    "SUM",
+    "SendRequest",
+    "Status",
+    "TruncationError",
+    "VectorLayout",
+    "World",
+    "alloc",
+    "dims_create",
+    "datatype",
+    "datatypes",
+    "ops",
+    "pack",
+    "recv_init",
+    "reduce_op",
+    "send_init",
+    "start_all",
+    "unpack",
+]

@@ -1,0 +1,132 @@
+"""Cartesian process topologies (MPI_Cart_* equivalents).
+
+A :class:`CartTopology` lays a communicator's ranks on an N-dimensional
+grid (row-major, like MPI_Cart_create) and answers the usual queries:
+coordinates, neighbour shifts (with or without periodic wraparound),
+and sub-grids.  Pure arithmetic — no communication — so it lives
+beside the communicator rather than in the collective layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .communicator import Communicator
+from .errors import RankMismatchError
+
+
+def dims_create(nnodes: int, ndims: int) -> List[int]:
+    """Balanced grid dimensions for ``nnodes`` (MPI_Dims_create).
+
+    Factors ``nnodes`` into ``ndims`` dimensions as squarely as
+    possible, largest first.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("need nnodes >= 1 and ndims >= 1")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Repeatedly peel the largest prime factor onto the smallest dim.
+    factors: List[int] = []
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return sorted(dims, reverse=True)
+
+
+@dataclass(frozen=True)
+class CartTopology:
+    """A row-major Cartesian layout over a communicator."""
+
+    comm: Communicator
+    dims: Tuple[int, ...]
+    periods: Tuple[bool, ...]
+
+    @classmethod
+    def create(cls, comm: Communicator, dims: Sequence[int],
+               periods: Optional[Sequence[bool]] = None) -> "CartTopology":
+        """MPI_Cart_create (without reordering)."""
+        dims = tuple(dims)
+        if any(d < 1 for d in dims):
+            raise ValueError(f"dims must be >= 1: {dims}")
+        if math.prod(dims) != comm.size:
+            raise RankMismatchError(
+                f"grid {dims} holds {math.prod(dims)} ranks, "
+                f"communicator has {comm.size}"
+            )
+        if periods is None:
+            periods = (False,) * len(dims)
+        periods = tuple(bool(p) for p in periods)
+        if len(periods) != len(dims):
+            raise ValueError("periods must match dims in length")
+        return cls(comm, dims, periods)
+
+    @property
+    def ndims(self) -> int:
+        """Number of grid dimensions."""
+        return len(self.dims)
+
+    # -- coordinate arithmetic -------------------------------------------
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of a comm rank (MPI_Cart_coords)."""
+        if not 0 <= rank < self.comm.size:
+            raise RankMismatchError(f"rank {rank} out of range")
+        out = []
+        for extent in reversed(self.dims):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Comm rank at ``coords`` (MPI_Cart_rank); honours periodicity."""
+        if len(coords) != self.ndims:
+            raise ValueError(f"need {self.ndims} coordinates, got {len(coords)}")
+        rank = 0
+        for extent, periodic, c in zip(self.dims, self.periods, coords):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise RankMismatchError(
+                    f"coordinate {c} outside non-periodic extent {extent}"
+                )
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, rank: int, dim: int, displacement: int = 1
+              ) -> Tuple[Optional[int], Optional[int]]:
+        """(source, dest) for a shift along ``dim`` (MPI_Cart_shift).
+
+        ``None`` stands for MPI_PROC_NULL at a non-periodic edge.
+        """
+        if not 0 <= dim < self.ndims:
+            raise ValueError(f"dim {dim} out of range")
+        coords = list(self.coords(rank))
+
+        def neighbour(delta: int) -> Optional[int]:
+            c = coords[dim] + delta
+            if self.periods[dim]:
+                c %= self.dims[dim]
+            elif not 0 <= c < self.dims[dim]:
+                return None
+            moved = coords.copy()
+            moved[dim] = c
+            return self.rank_of(moved)
+
+        return neighbour(-displacement), neighbour(+displacement)
+
+    def neighbours(self, rank: int) -> List[int]:
+        """All distinct existing ±1 neighbours (for halo exchanges)."""
+        out = []
+        for dim in range(self.ndims):
+            for nb in self.shift(rank, dim):
+                if nb is not None and nb != rank and nb not in out:
+                    out.append(nb)
+        return out

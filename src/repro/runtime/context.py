@@ -1,0 +1,423 @@
+"""Per-rank API: what a simulated MPI rank can do.
+
+A rank program is a generator taking a :class:`RankContext` and using
+``yield from`` on its methods, e.g.::
+
+    def program(ctx):
+        buf = ctx.alloc(64)
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=1, tag=7)
+        elif ctx.rank == 1:
+            yield from ctx.recv(buf.view(), src=0, tag=7)
+
+All rank arguments are communicator ranks (default communicator:
+``COMM_WORLD``).  The context also exposes the PiP-only direct-access
+primitives (:meth:`expose` / :meth:`peer_buffer` / :meth:`direct_copy`)
+that PiP-MColl's collectives are built from; these raise
+:class:`~repro.pip.errors.AddressSpaceViolation` under non-PiP
+libraries, so tests can prove the baselines aren't cheating.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence
+
+from ..pip.errors import AddressSpaceViolation
+from ..transport.base import Transport, WireDescriptor
+from .buffer import BaseBuffer, BufferView, alloc
+from .communicator import Communicator
+from .message import ANY_SOURCE, Envelope, MessageDescriptor, Status
+from .request import OperationRequest, RecvRequest, Request, SendRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .world import World
+
+
+class RankContext:
+    """The face of the runtime, bound to one rank."""
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.sim = world.sim
+        self.cluster = world.cluster
+        self.params = world.params
+        self.node_id = world.cluster.node_of(rank)
+        self.local_rank = world.cluster.local_rank(rank)
+        self.node_hw = world.hw[self.node_id]
+        self.task = world.tasks[rank]
+        self.matching = world.matching[rank]
+        self.comm_world = world.comm_world
+        self.node_comm = world.node_comms[self.node_id]
+        self.leader_comm = world.leader_comm
+        self._node_barrier = world.node_barriers[self.node_id]
+        self._hard_sync = world.hard_sync_barrier
+        #: dispatch-overhead rebate applied by persistent-request starts
+        self._dispatch_discount = 0.0
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.sim.now
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self.comm_world.size
+
+    @property
+    def is_leader(self) -> bool:
+        """True for the node's local rank 0 (the paper's local root)."""
+        return self.local_rank == 0
+
+    @property
+    def intra_transport(self) -> Transport:
+        """The library's intra-node transport."""
+        return self.world.intra
+
+    def alloc(self, nbytes: int) -> BaseBuffer:
+        """Allocate a buffer honouring the world's functional mode."""
+        return alloc(nbytes, functional=self.world.functional)
+
+    # -- transport selection ----------------------------------------------
+    def _transport_to(self, dst_world: int) -> Transport:
+        if dst_world == self.rank:
+            return self.world.loopback
+        if self.cluster.same_node(self.rank, dst_world):
+            return self.world.intra
+        return self.world.network
+
+    # -- point-to-point -----------------------------------------------------
+    def isend(self, view: BufferView, dst: int, tag: int = 0,
+              comm: Optional[Communicator] = None):
+        """Nonblocking send (generator; returns a :class:`SendRequest`).
+
+        The sender-side CPU work (protocol entry, injection overhead,
+        staging copies) is paid inline — which is precisely why a
+        single leader rank saturates: it pays this serially per message.
+        """
+        if tag < 0:
+            raise ValueError(f"send tag must be >= 0, got {tag}")
+        comm = comm or self.comm_world
+        my_cr = comm.to_comm(self.rank)
+        dst_world = comm.to_world(dst)
+        transport = self._transport_to(dst_world)
+        wire = WireDescriptor(
+            src=self.rank, dst=dst_world, nbytes=view.nbytes, buf_key=view.key
+        )
+        desc = MessageDescriptor(
+            envelope=Envelope(comm.comm_id, my_cr, tag),
+            nbytes=view.nbytes,
+            payload=view.read(),
+            wire=wire,
+            transport=transport,
+            src_world=self.rank,
+            dst_world=dst_world,
+        )
+        # Sender-side CPU: one scheduled event when the transport has a
+        # closed form, else the full choreography.
+        dispatch = self.params.cpu.dispatch_overhead - self._dispatch_discount
+        flat = transport.sender_flat_time(self.node_hw, wire)
+        if flat is not None:
+            yield self.sim.timeout(dispatch + flat)
+        else:
+            yield self.sim.timeout(dispatch)
+            yield from transport.sender_steps(self.node_hw, wire)
+        if dst_world == self.rank:
+            self.matching.deliver(desc)
+            return SendRequest(done_event=None)
+        dst_hw = self.world.hw[self.cluster.node_of(dst_world)]
+        matching = self.world.matching
+        tracer = self.world.tracer
+
+        def _on_delivered(matching=matching, desc=desc, tracer=tracer):
+            if tracer is not None:
+                tracer.record(
+                    self.sim.now, "message",
+                    src=desc.src_world, dst=desc.dst_world,
+                    nbytes=desc.nbytes, transport=desc.transport.name,
+                    tag=desc.envelope.tag,
+                )
+            matching[desc.dst_world].deliver(desc)
+
+        done = transport.schedule_delivery(self.node_hw, dst_hw, wire, _on_delivered)
+        if done is None:
+            def _delivery(desc=desc, wire=wire, src_hw=self.node_hw,
+                          dst_hw=dst_hw, transport=transport):
+                yield from transport.delivery_steps(src_hw, dst_hw, wire)
+                _on_delivered()
+
+            done = self.sim.process(
+                _delivery(), name=f"deliver:{self.rank}->{dst_world}"
+            )
+        rendezvous = (
+            transport is self.world.network
+            and view.nbytes > self.params.nic.eager_limit
+        )
+        return SendRequest(done_event=done if rendezvous else None)
+
+    def irecv(self, view: BufferView, src: int = ANY_SOURCE, tag: int = -1,
+              comm: Optional[Communicator] = None):
+        """Nonblocking receive (generator; returns a :class:`RecvRequest`).
+
+        ``src`` / ``tag`` default to wildcards (ANY_SOURCE / ANY_TAG).
+        """
+        comm = comm or self.comm_world
+        comm.to_comm(self.rank)  # membership check
+        if src != ANY_SOURCE:
+            comm.to_world(src)  # range check
+        yield self.sim.timeout(
+            self.params.cpu.dispatch_overhead - self._dispatch_discount)
+        pattern = Envelope(comm.comm_id, src, tag)
+        desc = self.matching.claim(pattern)
+        if desc is not None:
+            return RecvRequest(view, desc=desc)
+        ev = self.sim.event()
+        self.matching.post(pattern, ev)
+        return RecvRequest(view, event=ev)
+
+    def wait(self, request: Request):
+        """Block until ``request`` completes; returns its status."""
+        result = yield from request._complete(self)
+        return result
+
+    def waitall(self, requests: Sequence[Request]) -> "object":
+        """Complete every request; returns the list of statuses."""
+        statuses: List[Optional[Status]] = []
+        for req in requests:
+            status = yield from req._complete(self)
+            statuses.append(status)
+        return statuses
+
+    def waitany(self, requests: Sequence[Request]):
+        """MPI_Waitany (generator): complete ONE request; returns
+        ``(index, result)``.
+
+        Completes the lowest-indexed ready *active* request if any;
+        otherwise blocks until one becomes ready.  Already-completed
+        requests are inactive (as in MPI); if every request is
+        inactive the result is ``(None, None)`` (MPI_UNDEFINED).
+        """
+        if not requests:
+            raise ValueError("waitany needs at least one request")
+        if all(req.completed for req in requests):
+            return (None, None)
+        while True:
+            for idx, req in enumerate(requests):
+                if req.ready and not req.completed:
+                    result = yield from req._complete(self)
+                    return (idx, result)
+            pending = []
+            for req in requests:
+                if req.completed:
+                    continue
+                signal = req._signal()
+                if signal is not None and not signal.processed:
+                    pending.append(signal)
+            yield self.sim.any_of(pending)
+
+    def send(self, view: BufferView, dst: int, tag: int = 0,
+             comm: Optional[Communicator] = None):
+        """Blocking send."""
+        req = yield from self.isend(view, dst, tag, comm)
+        yield from self.wait(req)
+
+    def recv(self, view: BufferView, src: int = ANY_SOURCE, tag: int = -1,
+             comm: Optional[Communicator] = None):
+        """Blocking receive; returns a :class:`Status`."""
+        req = yield from self.irecv(view, src, tag, comm)
+        status = yield from self.wait(req)
+        return status
+
+    def sendrecv(self, send_view: BufferView, dst: int, send_tag: int,
+                 recv_view: BufferView, src: int, recv_tag: int,
+                 comm: Optional[Communicator] = None):
+        """Paired exchange (deadlock-free); returns the receive status."""
+        rreq = yield from self.irecv(recv_view, src, recv_tag, comm)
+        sreq = yield from self.isend(send_view, dst, send_tag, comm)
+        yield from self.wait(sreq)
+        status = yield from self.wait(rreq)
+        return status
+
+    def test(self, request: Request):
+        """MPI_Test (generator): ``(flag, result)``.
+
+        If the request could complete without blocking, completes it
+        (paying completion-side costs) and returns ``(True, result)``;
+        otherwise returns ``(False, None)`` immediately.
+        """
+        if not request.ready:
+            return (False, None)
+        result = yield from request._complete(self)
+        return (True, result)
+
+    def iprobe(self, src: int = ANY_SOURCE, tag: int = -1,
+               comm: Optional[Communicator] = None) -> Optional[Status]:
+        """MPI_Iprobe: a matching unexpected message's status, or None.
+
+        Non-consuming and instantaneous (no generator): probing reads
+        the already-delivered unexpected queue.
+        """
+        comm = comm or self.comm_world
+        desc = self.matching.peek(Envelope(comm.comm_id, src, tag))
+        if desc is None:
+            return None
+        return Status(desc.envelope.src, desc.envelope.tag, desc.nbytes)
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = -1,
+              comm: Optional[Communicator] = None):
+        """MPI_Probe (generator): block until a matching message is
+        queued; returns its :class:`Status` without consuming it."""
+        while True:
+            status = self.iprobe(src, tag, comm)
+            if status is not None:
+                return status
+            yield self.sim.timeout(self.params.cpu.progress_poll)
+
+    # -- persistent requests -----------------------------------------------------
+    def send_init(self, view: BufferView, dst: int, tag: int = 0,
+                  comm: Optional[Communicator] = None):
+        """MPI_Send_init: a reusable frozen send (see
+        :mod:`repro.runtime.persistent`)."""
+        from .persistent import send_init
+
+        return send_init(self, view, dst, tag, comm)
+
+    def recv_init(self, view: BufferView, src: int, tag: int = -1,
+                  comm: Optional[Communicator] = None):
+        """MPI_Recv_init: a reusable frozen receive."""
+        from .persistent import recv_init
+
+        return recv_init(self, view, src, tag, comm)
+
+    def start_all(self, ops):
+        """MPI_Startall (generator): returns the live requests."""
+        from .persistent import start_all
+
+        live = yield from start_all(self, ops)
+        return live
+
+    # -- nonblocking operations ------------------------------------------------
+    def start(self, operation) -> OperationRequest:
+        """Launch a generator (e.g. a collective) as a nonblocking
+        operation; complete with :meth:`wait`.
+
+        This is how nonblocking collectives (``MPI_Iallgather`` etc.)
+        are expressed::
+
+            req = ctx.start(allgather_bruck(ctx, send, recv))
+            ...overlapped work...
+            yield from ctx.wait(req)
+
+        The operation runs concurrently with the rank's own progress;
+        the caller must not reuse the operation's buffers or issue
+        matching-conflicting traffic until completion, as in MPI.
+        """
+        proc = self.sim.process(operation, name=f"op@rank{self.rank}")
+        return OperationRequest(proc)
+
+    # -- communicator management ------------------------------------------------
+    def comm_split(self, color: Optional[int], key: int = 0,
+                   comm: Optional[Communicator] = None):
+        """Collective split, MPI_Comm_split semantics (generator).
+
+        Ranks passing the same ``color`` form a new communicator,
+        ordered by ``(key, old rank)``; ``color=None`` (MPI_UNDEFINED)
+        yields ``None``.  All members of ``comm`` must call this.
+
+        The exchange itself is modeled: a flat gather of (color, key)
+        pairs to comm rank 0 and a broadcast back — control-plane
+        traffic priced like any other messages.
+        """
+        import numpy as np
+
+        from .buffer import ArrayBuffer
+
+        comm = comm or self.comm_world
+        my_cr = comm.to_comm(self.rank)
+        entry = np.array(
+            [-1 if color is None else color, key, self.rank], dtype=np.int64
+        )
+        # Gather the (color, key, world rank) table to comm rank 0.
+        mine = ArrayBuffer.from_array(entry)
+        split_tag = 0xC000
+        if my_cr == 0:
+            gathered = ArrayBuffer.zeros(24 * comm.size)
+            gathered.view(0, 24).copy_from(mine.view())
+            reqs = []
+            for src in range(1, comm.size):
+                req = yield from self.irecv(gathered.view(24 * src, 24),
+                                            src=src, tag=split_tag, comm=comm)
+                reqs.append(req)
+            yield from self.waitall(reqs)
+            # Broadcast the full table back (flat — control plane).
+            for dst in range(1, comm.size):
+                yield from self.send(gathered.view(), dst=dst,
+                                     tag=split_tag + 1, comm=comm)
+        else:
+            yield from self.send(mine.view(), dst=0, tag=split_tag, comm=comm)
+            gathered = ArrayBuffer.zeros(24 * comm.size)
+            yield from self.recv(gathered.view(), src=0, tag=split_tag + 1,
+                                 comm=comm)
+        table = gathered.bytes_view.view(np.int64).reshape(comm.size, 3)
+        if color is None:
+            return None
+        members = sorted(
+            (int(k), int(wr)) for c, k, wr in table if c == color
+        )
+        return self.world.intern_comm(tuple(wr for _k, wr in members))
+
+    # -- PiP direct access ---------------------------------------------------
+    def expose(self, key: Hashable, buffer: BaseBuffer) -> None:
+        """Publish a buffer for same-node direct access (free with PiP)."""
+        self.task.space.expose(self.rank, key, buffer)
+
+    def withdraw(self, key: Hashable) -> None:
+        """Remove a published buffer."""
+        self.task.space.withdraw(self.rank, key)
+
+    def peer_buffer(self, owner: int, key: Hashable) -> BaseBuffer:
+        """Direct reference to a same-node peer's exposed buffer.
+
+        Only legal when the library's intra-node transport is PiP;
+        others get :class:`AddressSpaceViolation` — there is no way to
+        dereference another process's pointer without shared address
+        spaces.
+        """
+        if not self.world.intra.supports_peer_views:
+            raise AddressSpaceViolation(
+                f"intra-node transport {self.world.intra.name!r} does not "
+                "support direct peer access (PiP only)"
+            )
+        return self.task.space.peer_view(self.rank, owner, key)
+
+    def direct_copy(self, src: BufferView, dst: BufferView):
+        """One user-space memcpy between directly addressable buffers.
+
+        Functional copy plus the modeled single-copy cost.  The caller
+        is responsible for synchronisation (flags / node barriers), as
+        PiP code would be.
+        """
+        if src.nbytes != dst.nbytes:
+            raise ValueError(f"size mismatch: {src.nbytes} != {dst.nbytes}")
+        dst.write(src.read())
+        yield from self.node_hw.mem_copy(dst.nbytes)
+
+    # -- synchronisation -------------------------------------------------------
+    def node_barrier(self):
+        """Barrier across this node's ranks (flag-cost model)."""
+        yield self._node_barrier.arrive()
+
+    def hard_sync(self):
+        """Zero-cost world alignment for benchmark iteration boundaries.
+
+        Not an MPI call: the harness uses it to start every rank's
+        timed region at the same instant, like OSU's pre-iteration
+        ``MPI_Barrier`` but without polluting the measurement.
+        """
+        yield self._hard_sync.arrive()
+
+    def compute(self, seconds: float):
+        """Charge ``seconds`` of local CPU work (for app examples)."""
+        yield self.sim.timeout(seconds)

@@ -1,0 +1,69 @@
+"""MPI-style datatypes mapped onto numpy dtypes.
+
+Only the basic fixed-width types the benchmarks and examples need;
+derived datatypes are out of scope for this reproduction (the paper's
+collectives operate on contiguous byte ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A fixed-width element type."""
+
+    name: str
+    np_dtype: np.dtype
+
+    @property
+    def size(self) -> int:
+        """Extent in bytes."""
+        return self.np_dtype.itemsize
+
+    def __repr__(self) -> str:
+        return f"Datatype({self.name})"
+
+
+def _dt(name: str, np_name: str) -> Datatype:
+    return Datatype(name, np.dtype(np_name))
+
+
+BYTE = _dt("BYTE", "uint8")
+INT8 = _dt("INT8", "int8")
+INT32 = _dt("INT32", "int32")
+INT64 = _dt("INT64", "int64")
+UINT32 = _dt("UINT32", "uint32")
+UINT64 = _dt("UINT64", "uint64")
+FLOAT32 = _dt("FLOAT32", "float32")
+FLOAT64 = _dt("FLOAT64", "float64")
+#: MPI_DOUBLE alias
+DOUBLE = FLOAT64
+#: MPI_FLOAT alias
+FLOAT = FLOAT32
+
+_BY_NAME: Dict[str, Datatype] = {
+    dt.name: dt
+    for dt in (BYTE, INT8, INT32, INT64, UINT32, UINT64, FLOAT32, FLOAT64)
+}
+
+
+def datatype(name: str) -> Datatype:
+    """Look a datatype up by name (``datatype("FLOAT64")``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown datatype {name!r}; available: {sorted(_BY_NAME)}") from None
+
+
+def from_numpy(dtype: np.dtype) -> Datatype:
+    """The :class:`Datatype` matching a numpy dtype."""
+    dtype = np.dtype(dtype)
+    for dt in _BY_NAME.values():
+        if dt.np_dtype == dtype:
+            return dt
+    raise KeyError(f"no Datatype for numpy dtype {dtype}")

@@ -1,0 +1,19 @@
+"""Virtual-MPI runtime errors."""
+
+from __future__ import annotations
+
+
+class MpiError(Exception):
+    """Base class for runtime errors."""
+
+
+class TruncationError(MpiError):
+    """A message arrived larger than the posted receive buffer."""
+
+
+class RankMismatchError(MpiError):
+    """A rank or communicator argument is out of range / inconsistent."""
+
+
+class DatatypeError(MpiError):
+    """Buffer and datatype sizes do not line up."""

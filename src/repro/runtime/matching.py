@@ -1,0 +1,143 @@
+"""MPI message matching: posted-receive and unexpected-message queues.
+
+Matching follows MPI's rules: a receive matches the *oldest* message
+whose envelope satisfies its ``(comm, src, tag)`` pattern, where source
+and tag may be wildcards; messages between the same (src, dst, comm,
+tag) are non-overtaking.
+
+Implementation: exact-envelope traffic (all of this project's
+collectives) goes through dict-keyed deques — O(1) per message.
+Wildcard patterns fall back to ordered scans; global FIFO between the
+two paths is kept via monotonically increasing sequence numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sim import Event
+from .message import ANY_SOURCE, ANY_TAG, Envelope, MessageDescriptor
+
+_Key = Tuple[int, int, int]  # (comm_id, src, tag)
+
+
+@dataclass
+class PostedRecv:
+    """A receive waiting for its message."""
+
+    seq: int
+    pattern: Envelope
+    event: Event  # succeeds with the MessageDescriptor
+
+
+@dataclass
+class MatchingEngine:
+    """Per-rank matching state."""
+
+    _seq: int = 0
+    _posted_exact: Dict[_Key, Deque[PostedRecv]] = field(default_factory=dict)
+    _posted_wild: List[PostedRecv] = field(default_factory=list)
+    _unexpected_exact: Dict[_Key, Deque[Tuple[int, MessageDescriptor]]] = field(
+        default_factory=dict
+    )
+    _unexpected_count: int = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- receive side ---------------------------------------------------
+    def claim(self, pattern: Envelope) -> Optional[MessageDescriptor]:
+        """Take the oldest unexpected message matching ``pattern``."""
+        if not self._unexpected_count:
+            return None
+        if pattern.src != ANY_SOURCE and pattern.tag != ANY_TAG:
+            key = (pattern.comm_id, pattern.src, pattern.tag)
+            queue = self._unexpected_exact.get(key)
+            if not queue:
+                return None
+            _seq, desc = queue.popleft()
+            self._unexpected_count -= 1
+            return desc
+        # Wildcard: oldest matching across all exact queues.
+        best_key: Optional[_Key] = None
+        best_seq = None
+        for key, queue in self._unexpected_exact.items():
+            if not queue:
+                continue
+            seq, desc = queue[0]
+            if desc.envelope.matches(pattern) and (best_seq is None or seq < best_seq):
+                best_seq, best_key = seq, key
+        if best_key is None:
+            return None
+        _seq, desc = self._unexpected_exact[best_key].popleft()
+        self._unexpected_count -= 1
+        return desc
+
+    def peek(self, pattern: Envelope) -> Optional[MessageDescriptor]:
+        """Like :meth:`claim` but leaves the message queued (probe)."""
+        if not self._unexpected_count:
+            return None
+        if pattern.src != ANY_SOURCE and pattern.tag != ANY_TAG:
+            queue = self._unexpected_exact.get(
+                (pattern.comm_id, pattern.src, pattern.tag))
+            return queue[0][1] if queue else None
+        best = None
+        best_seq = None
+        for queue in self._unexpected_exact.values():
+            if not queue:
+                continue
+            seq, desc = queue[0]
+            if desc.envelope.matches(pattern) and (best_seq is None or seq < best_seq):
+                best_seq, best = seq, desc
+        return best
+
+    def post(self, pattern: Envelope, event: Event) -> None:
+        """Register a posted receive (call :meth:`claim` first)."""
+        posted = PostedRecv(self._next_seq(), pattern, event)
+        if pattern.src != ANY_SOURCE and pattern.tag != ANY_TAG:
+            key = (pattern.comm_id, pattern.src, pattern.tag)
+            self._posted_exact.setdefault(key, deque()).append(posted)
+        else:
+            self._posted_wild.append(posted)
+
+    # -- delivery side ----------------------------------------------------
+    def deliver(self, desc: MessageDescriptor) -> None:
+        """Hand an arriving message to the oldest matching posted recv,
+        or queue it as unexpected."""
+        env = desc.envelope
+        key = (env.comm_id, env.src, env.tag)
+        exact_queue = self._posted_exact.get(key)
+        exact_head = exact_queue[0] if exact_queue else None
+        wild_match = None
+        for posted in self._posted_wild:
+            if env.matches(posted.pattern):
+                wild_match = posted
+                break
+        chosen: Optional[PostedRecv] = None
+        if exact_head and wild_match:
+            chosen = exact_head if exact_head.seq < wild_match.seq else wild_match
+        else:
+            chosen = exact_head or wild_match
+        if chosen is None:
+            self._unexpected_exact.setdefault(key, deque()).append((self._next_seq(), desc))
+            self._unexpected_count += 1
+            return
+        if chosen is exact_head:
+            exact_queue.popleft()
+        else:
+            self._posted_wild.remove(chosen)
+        chosen.event.succeed(desc)
+
+    # -- probes -----------------------------------------------------------
+    @property
+    def unexpected_messages(self) -> int:
+        """Currently queued unexpected messages (leak probe)."""
+        return self._unexpected_count
+
+    @property
+    def pending_receives(self) -> int:
+        """Currently posted, unmatched receives (leak probe)."""
+        return sum(len(q) for q in self._posted_exact.values()) + len(self._posted_wild)

@@ -1,0 +1,69 @@
+"""Message envelopes and in-flight descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..transport.base import Transport, WireDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+#: wildcard source for receives (MPI_ANY_SOURCE)
+ANY_SOURCE = -1
+#: wildcard tag for receives (MPI_ANY_TAG)
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The matchable part of a message: (communicator, source, tag).
+
+    ``src`` is a *communicator* rank, as in MPI matching rules.
+    """
+
+    comm_id: int
+    src: int
+    tag: int
+
+    def matches(self, pattern: "Envelope") -> bool:
+        """True if this concrete envelope satisfies a recv ``pattern``
+        (which may hold :data:`ANY_SOURCE` / :data:`ANY_TAG`)."""
+        if self.comm_id != pattern.comm_id:
+            return False
+        if pattern.src != ANY_SOURCE and self.src != pattern.src:
+            return False
+        if pattern.tag != ANY_TAG and self.tag != pattern.tag:
+            return False
+        return True
+
+
+@dataclass
+class MessageDescriptor:
+    """One message in flight.
+
+    ``payload`` is a byte snapshot taken at post time (``None`` in
+    timing-only mode).  ``wire`` carries the size/identity data the
+    transport prices; ``transport`` is the mechanism that moved it and
+    is also what the receiver pays on match.
+    """
+
+    envelope: Envelope
+    nbytes: int
+    payload: Optional[np.ndarray]
+    wire: WireDescriptor
+    transport: Transport
+    src_world: int
+    dst_world: int
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion record of a receive."""
+
+    source: int
+    tag: int
+    nbytes: int

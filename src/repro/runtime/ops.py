@@ -1,0 +1,72 @@
+"""Reduction operators for reduce-style collectives.
+
+Each op wraps a numpy ufunc applied elementwise:
+``accumulate(acc, incoming)`` computes ``acc op= incoming`` in place —
+vectorised, no Python loops (per the project's HPC-Python guides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An associative, commutative reduction operator."""
+
+    name: str
+    ufunc: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+    def accumulate(self, acc: np.ndarray, incoming: np.ndarray) -> None:
+        """In-place ``acc = acc (op) incoming``."""
+        if acc.shape != incoming.shape:
+            raise ValueError(f"shape mismatch: {acc.shape} vs {incoming.shape}")
+        self.ufunc(acc, incoming, out=acc)
+
+    def reduce_many(self, arrays: list) -> np.ndarray:
+        """Fold a list of arrays (reference/validation helper)."""
+        if not arrays:
+            raise ValueError("reduce_many needs at least one array")
+        acc = np.array(arrays[0], copy=True)
+        for arr in arrays[1:]:
+            self.accumulate(acc, np.asarray(arr))
+        return acc
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+def _logical(fn: Callable) -> Callable:
+    """Wrap a boolean ufunc so results keep the integer input dtype."""
+
+    def apply(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.copyto(out, fn(a != 0, b != 0).astype(out.dtype))
+        return out
+
+    return apply
+
+
+SUM = ReduceOp("SUM", np.add)
+PROD = ReduceOp("PROD", np.multiply)
+MAX = ReduceOp("MAX", np.maximum)
+MIN = ReduceOp("MIN", np.minimum)
+BAND = ReduceOp("BAND", np.bitwise_and)
+BOR = ReduceOp("BOR", np.bitwise_or)
+BXOR = ReduceOp("BXOR", np.bitwise_xor)
+LAND = ReduceOp("LAND", _logical(np.logical_and))
+LOR = ReduceOp("LOR", _logical(np.logical_or))
+
+_BY_NAME: Dict[str, ReduceOp] = {
+    op.name: op for op in (SUM, PROD, MAX, MIN, BAND, BOR, BXOR, LAND, LOR)
+}
+
+
+def reduce_op(name: str) -> ReduceOp:
+    """Look an operator up by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown reduce op {name!r}; available: {sorted(_BY_NAME)}") from None

@@ -1,0 +1,82 @@
+"""Persistent communication requests (MPI_Send_init / MPI_Recv_init).
+
+Iterative applications re-issue the same transfers every step; MPI's
+persistent requests let them pay argument processing once.  Here a
+:class:`PersistentOp` captures the call's arguments and hands out a
+fresh live request per :meth:`start` — and, mirroring the real
+motivation, the runtime charges *half* the dispatch overhead on
+started operations (the envelope and routing are precomputed).
+
+Usage::
+
+    sreq = ctx.send_init(view, dst=1, tag=7)
+    rreq = ctx.recv_init(view2, src=1, tag=9)
+    for _ in range(steps):
+        live = yield from ctx.start_all([sreq, rreq])
+        ...
+        yield from ctx.waitall(live)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from .buffer import BufferView
+from .communicator import Communicator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import RankContext
+    from .request import Request
+
+
+@dataclass(frozen=True)
+class PersistentOp:
+    """A frozen send or receive, startable many times."""
+
+    kind: str  # "send" | "recv"
+    view: BufferView
+    peer: int  # dst for sends, src for recvs
+    tag: int
+    comm: Optional[Communicator]
+
+    def start(self, ctx: "RankContext"):
+        """Generator: begin one instance; returns a live request."""
+        saved = ctx.params.cpu.dispatch_overhead
+        # Persistent ops pay half the dispatch (precomputed envelope).
+        discount = saved * 0.5
+        yield ctx.sim.timeout(0.0)  # keep generator shape uniform
+        ctx._dispatch_discount = discount
+        try:
+            if self.kind == "send":
+                req = yield from ctx.isend(self.view, self.peer, self.tag,
+                                           self.comm)
+            else:
+                req = yield from ctx.irecv(self.view, self.peer, self.tag,
+                                           self.comm)
+        finally:
+            ctx._dispatch_discount = 0.0
+        return req
+
+
+def send_init(ctx: "RankContext", view: BufferView, dst: int, tag: int = 0,
+              comm: Optional[Communicator] = None) -> PersistentOp:
+    """MPI_Send_init: freeze a send's arguments."""
+    comm_ = comm if comm is not None else ctx.comm_world
+    comm_.to_world(dst)  # validate now, as MPI does
+    return PersistentOp("send", view, dst, tag, comm)
+
+
+def recv_init(ctx: "RankContext", view: BufferView, src: int, tag: int = -1,
+              comm: Optional[Communicator] = None) -> PersistentOp:
+    """MPI_Recv_init: freeze a receive's arguments."""
+    return PersistentOp("recv", view, src, tag, comm)
+
+
+def start_all(ctx: "RankContext", ops: Sequence[PersistentOp]):
+    """MPI_Startall (generator): start every op; returns live requests."""
+    live: List["Request"] = []
+    for op in ops:
+        req = yield from op.start(ctx)
+        live.append(req)
+    return live

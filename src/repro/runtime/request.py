@@ -1,0 +1,166 @@
+"""Nonblocking-communication requests."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Event
+from .buffer import BufferView
+from .errors import TruncationError
+from .message import MessageDescriptor, Status
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import RankContext
+
+
+class Request:
+    """Base request; complete via ``yield from ctx.wait(request)``."""
+
+    __slots__ = ("_done",)
+
+    def __init__(self) -> None:
+        self._done = False
+
+    @property
+    def completed(self) -> bool:
+        """True once the request has been waited on."""
+        return self._done
+
+    @property
+    def ready(self) -> bool:
+        """True when :meth:`RankContext.wait` would finish without
+        blocking (MPI_Test's flag)."""
+        return self._done
+
+    def _complete(self, ctx: "RankContext"):
+        """Finish the operation (generator); idempotent."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _signal(self) -> Optional[Event]:
+        """The kernel event whose firing makes this request ready
+        (``None`` when it is born ready)."""
+        return None
+
+
+class SendRequest(Request):
+    """An in-flight send.
+
+    For eager messages the buffer is reusable as soon as the sender's
+    own work is done, so ``done_event`` is ``None`` and waiting is
+    free.  For rendezvous messages completion tracks the delivery
+    process (the payload leaves the buffer only after CTS).
+    """
+
+    __slots__ = ("done_event",)
+
+    def __init__(self, done_event: Optional[Event]) -> None:
+        super().__init__()
+        self.done_event = done_event
+
+    @property
+    def ready(self) -> bool:
+        return (self._done or self.done_event is None
+                or self.done_event.triggered)
+
+    def _signal(self) -> Optional[Event]:
+        return self.done_event
+
+    def _complete(self, ctx: "RankContext"):
+        if not self._done and self.done_event is not None:
+            yield self.done_event
+        self._done = True
+        return None
+
+
+class OperationRequest(Request):
+    """A whole in-flight operation running as its own process.
+
+    Returned by :meth:`RankContext.start` — the general nonblocking
+    launcher used for nonblocking collectives (``MPI_Iallgather``
+    et al.): the operation's generator runs concurrently with the
+    rank's own work; waiting joins the process and yields its return
+    value.
+    """
+
+    __slots__ = ("process", "result")
+
+    def __init__(self, process) -> None:
+        super().__init__()
+        self.process = process
+        self.result = None
+
+    @property
+    def ready(self) -> bool:
+        return self._done or self.process.triggered
+
+    def _signal(self) -> Optional[Event]:
+        return self.process
+
+    def _complete(self, ctx: "RankContext"):
+        if self._done:
+            return self.result
+        if self.process.triggered:
+            if not self.process.ok:
+                raise self.process.value
+            self.result = self.process.value
+        else:
+            self.result = yield self.process
+        self._done = True
+        return self.result
+
+
+class RecvRequest(Request):
+    """An in-flight receive.
+
+    Either already matched against the unexpected queue (``desc``) or
+    posted and waiting (``event``).  Completion pays the receiver-side
+    transport costs and lands the payload in ``view``.
+    """
+
+    __slots__ = ("view", "desc", "event", "status")
+
+    def __init__(
+        self,
+        view: BufferView,
+        desc: Optional[MessageDescriptor] = None,
+        event: Optional[Event] = None,
+    ) -> None:
+        super().__init__()
+        if (desc is None) == (event is None):
+            raise ValueError("exactly one of desc/event must be given")
+        self.view = view
+        self.desc = desc
+        self.event = event
+        self.status: Optional[Status] = None
+
+    @property
+    def ready(self) -> bool:
+        return self._done or self.desc is not None or self.event.triggered
+
+    def _signal(self) -> Optional[Event]:
+        return self.event
+
+    def _complete(self, ctx: "RankContext"):
+        if self._done:
+            return self.status
+        if self.desc is None:
+            self.desc = yield self.event
+        desc = self.desc
+        if desc.nbytes > self.view.nbytes:
+            raise TruncationError(
+                f"rank {ctx.rank}: message of {desc.nbytes} B arrived for a "
+                f"{self.view.nbytes} B receive buffer "
+                f"(src={desc.envelope.src}, tag={desc.envelope.tag})"
+            )
+        flat = desc.transport.receiver_flat_time(ctx.node_hw, desc.wire)
+        if flat is not None:
+            if flat > 0.0:
+                yield ctx.sim.timeout(flat)
+        else:
+            yield from desc.transport.receiver_steps(ctx.node_hw, desc.wire)
+        if desc.payload is not None:
+            self.view.sub(0, desc.nbytes).write(desc.payload)
+        self.status = Status(desc.envelope.src, desc.envelope.tag, desc.nbytes)
+        self._done = True
+        return self.status

@@ -1,0 +1,216 @@
+"""The World: wires machine, PiP substrate, transports and ranks together."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from ..machine import Cluster, ClusterHardware, MachineParams
+from ..pip import NodeBarrier, spawn_tasks
+from ..machine.params import MemoryParams
+from ..sim import Simulator
+from ..sim.trace import Tracer
+from ..machine.fabric import FabricParams
+from ..transport import NetworkTransport, Transport, make_transport
+from .buffer import BaseBuffer, alloc
+from .communicator import Communicator
+from .context import RankContext
+from .matching import MatchingEngine
+
+#: a rank program: ``program(ctx, *args)`` yielding simulation events
+RankProgram = Callable[..., Any]
+
+
+class _LoopbackTransport(Transport):
+    """Self-sends: free and instant (they never leave the rank)."""
+
+    name = "loopback"
+
+    def sender_flat_time(self, node, desc):
+        return 0.0
+
+    def receiver_flat_time(self, node, desc):
+        return 0.0
+
+
+class World:
+    """One simulated MPI job.
+
+    Parameters
+    ----------
+    params:
+        The machine (see :mod:`repro.machine.presets`).
+    intra:
+        Intra-node transport — a registry name
+        (``"posix_shmem" | "cma" | "xpmem" | "pip" | "pip_sizesync"``)
+        or a :class:`Transport` instance.
+    functional:
+        When True (default) buffers are numpy-backed and every byte
+        really moves; when False buffers are size-only (full-scale
+        timing runs).
+    pip_enabled:
+        Whether node address spaces are shared.  Defaults to the
+        transport's capability; passing an explicit value lets tests
+        build deliberately broken configurations.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        intra: Union[str, Transport] = "posix_shmem",
+        functional: bool = True,
+        pip_enabled: Optional[bool] = None,
+        tracer: Optional["Tracer"] = None,
+        fabric: Optional["FabricParams"] = None,
+    ) -> None:
+        self.params = params
+        self.sim = Simulator(tracer=tracer)
+        #: when a tracer is attached, every delivered message is
+        #: recorded as kind "message" with src/dst/bytes/transport/tag
+        self.tracer = tracer
+        self.cluster = Cluster(params.nodes, params.ppn)
+        self.hw = ClusterHardware(self.sim, params)
+        self.intra = make_transport(intra) if isinstance(intra, str) else intra
+        if fabric is not None:
+            from ..machine.fabric import Fabric
+            from ..transport.fabric_network import FabricNetworkTransport
+
+            #: live fat-tree state (None for the flat full-bisection model)
+            self.fabric = Fabric(self.sim, params, fabric)
+            self.network = FabricNetworkTransport(self.fabric)
+        else:
+            self.fabric = None
+            self.network = NetworkTransport()
+        self.loopback = _LoopbackTransport()
+        self.functional = functional
+        if pip_enabled is None:
+            pip_enabled = self.intra.supports_peer_views
+        self.pip_enabled = pip_enabled
+        self.tasks = spawn_tasks(self.cluster, pip_enabled)
+        self.matching: List[MatchingEngine] = [
+            MatchingEngine() for _ in range(self.cluster.world_size)
+        ]
+        # Communicators: world, one per node, and the leaders' comm.
+        self.comm_world = Communicator(0, range(self.cluster.world_size), "world")
+        self.node_comms: List[Communicator] = [
+            Communicator(1 + node, self.cluster.ranks_on_node(node), f"node{node}")
+            for node in range(self.cluster.nodes)
+        ]
+        self.leader_comm = Communicator(
+            1 + self.cluster.nodes, self.cluster.leaders(), "leaders"
+        )
+        self.node_barriers: List[NodeBarrier] = [
+            NodeBarrier(self.sim, params.memory, params.ppn)
+            for _ in range(self.cluster.nodes)
+        ]
+        # Zero-cost alignment barrier for harness timing.
+        self.hard_sync_barrier = NodeBarrier(
+            self.sim,
+            MemoryParams(flag_latency=0.0),
+            self.cluster.world_size,
+        )
+        self._interned_comms: dict = {}
+        self._next_comm_id = 2 + self.cluster.nodes
+        self.contexts: List[RankContext] = [
+            RankContext(self, rank) for rank in range(self.cluster.world_size)
+        ]
+
+    def intern_comm(self, world_ranks) -> Communicator:
+        """The shared :class:`Communicator` for an ordered rank tuple.
+
+        Every rank of a ``comm_split`` group computes the same member
+        list; interning guarantees they all use the *same* object (and
+        therefore the same matching context), like a real communicator
+        id agreement.
+        """
+        key = tuple(world_ranks)
+        comm = self._interned_comms.get(key)
+        if comm is None:
+            comm = Communicator(self._next_comm_id, key, f"split{self._next_comm_id}")
+            self._next_comm_id += 1
+            self._interned_comms[key] = comm
+        return comm
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, nbytes: int) -> BaseBuffer:
+        """A buffer in this world's functional mode."""
+        return alloc(nbytes, functional=self.functional)
+
+    # -- execution ------------------------------------------------------------
+    def run(
+        self,
+        program: RankProgram,
+        args: Sequence[Any] = (),
+        per_rank_args: Optional[Sequence[Sequence[Any]]] = None,
+        allow_unfinished: bool = False,
+    ) -> List[Any]:
+        """Run ``program(ctx, *args)`` on every rank to completion.
+
+        ``per_rank_args`` (one tuple per rank) overrides ``args`` when
+        ranks need distinct inputs.  Returns each rank's return value,
+        indexed by world rank.  May be called repeatedly on the same
+        world; simulated time keeps advancing.
+
+        If the event queue drains while some ranks are still blocked —
+        a deadlock (e.g. an unmatched receive) — a
+        :class:`~repro.runtime.errors.MpiError` names the stuck ranks.
+        Pass ``allow_unfinished=True`` to get ``None`` for them
+        instead (fault-injection tests use this).
+        """
+        if per_rank_args is not None and len(per_rank_args) != self.cluster.world_size:
+            raise ValueError(
+                f"per_rank_args has {len(per_rank_args)} entries for "
+                f"{self.cluster.world_size} ranks"
+            )
+        procs = []
+        for rank, ctx in enumerate(self.contexts):
+            rank_args = per_rank_args[rank] if per_rank_args is not None else args
+            procs.append(self.sim.process(program(ctx, *rank_args), name=f"rank{rank}"))
+        self.sim.run()
+        stuck = [rank for rank, proc in enumerate(procs) if not proc.triggered]
+        if stuck and not allow_unfinished:
+            from .errors import MpiError
+
+            shown = ", ".join(map(str, stuck[:8]))
+            more = f" (+{len(stuck) - 8} more)" if len(stuck) > 8 else ""
+            raise MpiError(
+                f"deadlock: ranks [{shown}]{more} never finished — "
+                "likely an unmatched send/recv or a barrier someone skipped"
+            )
+        return [proc.value if proc.triggered else None for proc in procs]
+
+    # -- diagnostics -------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hardware utilisation counters (probe for tests/reports).
+
+        Returns per-run totals: messages injected/extracted by NICs,
+        NIC pipe busy times, memory-bus busy time, and (when a fabric
+        is attached) inter-pod bytes.
+        """
+        out = {
+            "tx_messages": sum(n.tx_messages for n in self.hw.nodes),
+            "rx_messages": sum(n.rx_messages for n in self.hw.nodes),
+            "tx_busy_s": sum(n.tx.busy_time for n in self.hw.nodes),
+            "rx_busy_s": sum(n.rx.busy_time for n in self.hw.nodes),
+            "membus_busy_s": sum(n.membus.busy_time for n in self.hw.nodes),
+            "sim_events": self.sim.event_count,
+            "sim_time_s": self.sim.now,
+        }
+        if self.fabric is not None:
+            out["interpod_bytes"] = self.fabric.total_interpod_bytes()
+        return out
+
+    def assert_quiescent(self) -> None:
+        """Raise if any matching engine still holds messages/receives.
+
+        Called by tests after collectives to prove no message leaks.
+        """
+        for rank, engine in enumerate(self.matching):
+            if engine.unexpected_messages:
+                raise AssertionError(
+                    f"rank {rank}: {engine.unexpected_messages} unexpected "
+                    "messages left behind"
+                )
+            if engine.pending_receives:
+                raise AssertionError(
+                    f"rank {rank}: {engine.pending_receives} receives never matched"
+                )

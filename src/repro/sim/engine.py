@@ -1,0 +1,113 @@
+"""The simulation engine: a deterministic event loop over virtual time.
+
+Time is a ``float`` in **seconds** throughout the project (machine-model
+parameters are expressed in seconds too; reports convert to µs).  Events
+scheduled for the same timestamp are processed in schedule order, which
+makes every simulation fully deterministic — a property the test suite
+relies on heavily.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from .errors import StopSimulation
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import ProcGen, Process
+
+_QueueItem = Tuple[float, int, Event]
+
+
+class Simulator:
+    """Owns the event queue and the virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def hello(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(hello(sim))
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self.now: float = 0.0
+        self._queue: List[_QueueItem] = []
+        self._seq: int = 0
+        self._event_count: int = 0
+        #: optional :class:`~repro.sim.trace.Tracer`
+        self.tracer = tracer
+
+    # -- factories -----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcGen, name: Optional[str] = None) -> Process:
+        """Start a process driving ``generator``; returns its join event."""
+        return Process(self, generator, name)
+
+    def all_of(self, events) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event for processing ``delay`` from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        when, _, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - guarded by _push
+            raise StopSimulation(f"time went backwards: {when} < {self.now}")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self._event_count += 1
+        if self.tracer is not None:
+            self.tracer.record(self.now, f"event:{type(event).__name__}")
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks:
+            # A failure nobody was waiting on: surface it rather than
+            # silently dropping a crashed process.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until``
+        (if the simulation got that far).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._queue and self.peek() <= until:
+            self.step()
+        self.now = until
+
+    @property
+    def event_count(self) -> int:
+        """Number of events processed so far (a determinism/perf probe)."""
+        return self._event_count

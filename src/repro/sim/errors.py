@@ -1,0 +1,26 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class EventAlreadyTriggered(SimError):
+    """An event was succeeded or failed more than once."""
+
+
+class StopSimulation(SimError):
+    """Raised internally to stop :meth:`Simulator.run` at a deadline."""
+
+
+class Interrupt(SimError):
+    """Delivered into a process that another process interrupted.
+
+    The interrupting party may attach a ``cause`` describing why.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause

@@ -1,0 +1,184 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic event/process co-routine design (as in
+SimPy): an :class:`Event` is a one-shot future with callbacks; a process
+(see :mod:`repro.sim.process`) is a generator that yields events and is
+resumed when the yielded event fires.
+
+Only the pieces the virtual-MPI runtime needs are implemented, but they
+are implemented completely: success/failure values, composite conditions
+(:class:`AllOf` / :class:`AnyOf`), and deterministic FIFO ordering of
+same-timestamp events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from .errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+# Sentinel distinguishing "not yet triggered" from a ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event is created *pending*; it becomes *triggered* when
+    :meth:`succeed` or :meth:`fail` is called (which schedules it on the
+    simulator's queue) and *processed* once the simulator has popped it
+    and run its callbacks.
+
+    Attributes
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    callbacks:
+        Callables invoked with the event when it is processed.  ``None``
+        after processing (appending then is an error).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is _PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns the event so calls can be chained/scheduled inline.
+        """
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        A failed event re-raises ``exception`` inside every process
+        waiting on it.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._push(self)
+        return self
+
+    # -- composition ---------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._push(self, delay)
+
+
+class Condition(Event):
+    """Base for composite events over a set of child events.
+
+    Subclasses define :meth:`_evaluate`, which decides when the
+    condition has been met.  The condition's value is a dict mapping
+    each *triggered* child event to its value, in trigger order.
+    """
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._done: List[Event] = []
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+            if ev.processed:
+                self._child_fired(ev)
+            else:
+                ev.callbacks.append(self._child_fired)
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done.append(event)
+        if self._evaluate():
+            self.succeed({ev: ev.value for ev in self._done})
+
+    def _evaluate(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when *all* child events have fired."""
+
+    __slots__ = ()
+
+    def _evaluate(self) -> bool:
+        return len(self._done) == len(self.events)
+
+
+class AnyOf(Condition):
+    """Fires when *any one* child event has fired."""
+
+    __slots__ = ()
+
+    def _evaluate(self) -> bool:
+        return len(self._done) >= 1

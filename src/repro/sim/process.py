@@ -1,0 +1,116 @@
+"""Generator-based processes for the simulation kernel.
+
+A *process* wraps a Python generator that yields :class:`Event` objects.
+Each time a yielded event is processed, the generator is resumed with the
+event's value (or the event's exception is thrown into it, if the event
+failed).  The process itself is an :class:`Event` that fires when the
+generator returns; its value is the generator's return value, which lets
+simulated MPI ranks ``return`` results and callers ``yield proc`` to join
+them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .errors import Interrupt
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+ProcGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        The generator to drive.  Must yield :class:`Event` instances.
+    name:
+        Optional label used in error messages and ``repr``.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcGen, name: Optional[str] = None) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick-start at the current time via an initialisation event.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        sim._push(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is detached; if it fires
+        later it is simply ignored by this process.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        hit = Event(self.sim)
+        hit.callbacks.append(self._resume)
+        hit._ok = False
+        hit._value = Interrupt(cause)
+        self.sim._push(hit)
+
+    # -- internal ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # Propagate failure to joiners; if nobody is listening the
+            # simulator surfaces it (see Simulator.step).
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            err = TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+            self.generator.close()
+            self.fail(err)
+            return
+        if target.processed:
+            # Already-processed event: resume immediately (same timestamp).
+            hop = Event(self.sim)
+            hop.callbacks.append(self._resume)
+            hop._ok = target.ok
+            hop._value = target._value
+            self.sim._push(hop)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

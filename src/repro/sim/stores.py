@@ -1,0 +1,87 @@
+"""FIFO message stores (process mailboxes).
+
+A :class:`Store` is an unbounded FIFO queue connecting producer and
+consumer processes.  ``put`` never blocks; ``get`` returns an event that
+fires when an item is available.  Items are delivered in put order and
+getters are served in get order — both strictly FIFO, for determinism.
+
+:class:`FilterStore` additionally lets a getter wait for the first item
+matching a predicate (used for MPI tag matching fallbacks in tests; the
+real runtime keeps its own matching queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Tuple
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+
+class Store:
+    """Unbounded FIFO store."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class FilterStore:
+    """FIFO store whose getters may specify a predicate.
+
+    Each pending getter holds a predicate; on ``put`` the oldest getter
+    whose predicate accepts the item receives it.  On ``get`` the oldest
+    matching stored item is returned.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: List[Any] = []
+        self._getters: List[Tuple[Event, Callable[[Any], bool]]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, serving the oldest matching getter."""
+        for idx, (ev, pred) in enumerate(self._getters):
+            if pred(item):
+                del self._getters[idx]
+                ev.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event firing with the oldest item matching ``predicate``."""
+        pred = predicate if predicate is not None else (lambda _item: True)
+        ev = Event(self.sim)
+        for idx, item in enumerate(self._items):
+            if pred(item):
+                del self._items[idx]
+                ev.succeed(item)
+                return ev
+        self._getters.append((ev, pred))
+        return ev

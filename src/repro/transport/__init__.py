@@ -1,0 +1,23 @@
+"""Data-movement transports (subsystem S4)."""
+
+from .base import Transport, WireDescriptor
+from .cma import CmaTransport
+from .fabric_network import FabricNetworkTransport
+from .network import NetworkTransport
+from .pip_transport import PipTransport
+from .posix_shmem import PosixShmemTransport
+from .registry import available_transports, make_transport
+from .xpmem import XpmemTransport
+
+__all__ = [
+    "CmaTransport",
+    "FabricNetworkTransport",
+    "NetworkTransport",
+    "PipTransport",
+    "PosixShmemTransport",
+    "Transport",
+    "WireDescriptor",
+    "XpmemTransport",
+    "available_transports",
+    "make_transport",
+]

@@ -1,0 +1,108 @@
+"""Inter-node transport routed through a fat-tree fabric.
+
+Same endpoint behaviour as :class:`NetworkTransport` (eager/rendezvous,
+NIC pipes, injection overheads); the transit between NICs additionally
+crosses the fabric: leaf hop for intra-pod traffic, leaf → uplink →
+spine → downlink → leaf for inter-pod traffic, with the uplink pipes
+enforcing the pod's (possibly oversubscribed) aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..machine.fabric import Fabric
+from ..machine.hardware import NodeHardware
+from .base import WireDescriptor
+from .network import NetworkTransport
+
+
+class FabricNetworkTransport(NetworkTransport):
+    """LogGP endpoints + fat-tree transit."""
+
+    name = "fabric_network"
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+
+    def schedule_delivery(self, src_node: NodeHardware, dst_node: NodeHardware,
+                          desc: WireDescriptor, on_delivered):
+        nic = src_node.params.nic
+        fabric = self.fabric
+        lead = 0.0
+        if not self._is_eager(src_node, desc):
+            lead = nic.rendezvous_overhead + 2.0 * nic.latency
+        wire = nic.wire_time(desc.nbytes)
+        src_pod = fabric.pod_of(src_node.node_id)
+        dst_pod = fabric.pod_of(dst_node.node_id)
+        src_node.tx_messages += 1
+
+        if src_pod == dst_pod:
+            # NIC → leaf → NIC.
+            on_wire = src_node.tx.occupy(
+                wire, lead_delay=lead, tail_delay=fabric.fp.leaf_latency)
+
+            def _arrived(_ev):
+                dst_node.rx_messages += 1
+                done = dst_node.rx.occupy(wire)
+                done.callbacks.append(lambda _e: on_delivered())
+
+            on_wire.callbacks.append(_arrived)
+            return on_wire
+
+        # NIC → leaf → uplink → spine → downlink → leaf → NIC.
+        up = fabric.uplinks[src_pod]
+        down = fabric.uplinks[dst_pod]
+        up.bytes_up += desc.nbytes
+        down.bytes_down += desc.nbytes
+        up_time = fabric.uplink_time(desc.nbytes)
+        on_wire = src_node.tx.occupy(
+            wire, lead_delay=lead, tail_delay=fabric.fp.leaf_latency)
+
+        def _at_leaf(_ev):
+            crossed_up = up.up.occupy(up_time, tail_delay=fabric.fp.spine_latency)
+
+            def _at_spine(_ev2):
+                crossed_down = down.down.occupy(
+                    up_time, tail_delay=fabric.fp.leaf_latency)
+
+                def _at_dst_leaf(_ev3):
+                    dst_node.rx_messages += 1
+                    done = dst_node.rx.occupy(wire)
+                    done.callbacks.append(lambda _e: on_delivered())
+
+                crossed_down.callbacks.append(_at_dst_leaf)
+
+            crossed_up.callbacks.append(_at_spine)
+
+        on_wire.callbacks.append(_at_leaf)
+        return on_wire
+
+    def delivery_steps(self, src_node: NodeHardware, dst_node: NodeHardware,
+                       desc: WireDescriptor):
+        """Generator fallback (kept equivalent for the reference path)."""
+        sim = src_node.sim
+        nic = src_node.params.nic
+        fabric = self.fabric
+        if not self._is_eager(src_node, desc):
+            yield sim.timeout(nic.rendezvous_overhead + 2.0 * nic.latency)
+        yield src_node.inject(desc.nbytes)
+        src_pod = fabric.pod_of(src_node.node_id)
+        dst_pod = fabric.pod_of(dst_node.node_id)
+        if src_pod == dst_pod:
+            yield sim.timeout(fabric.fp.leaf_latency)
+        else:
+            up = fabric.uplinks[src_pod]
+            down = fabric.uplinks[dst_pod]
+            up.bytes_up += desc.nbytes
+            down.bytes_down += desc.nbytes
+            up_time = fabric.uplink_time(desc.nbytes)
+            yield sim.timeout(fabric.fp.leaf_latency)
+            yield up.up.occupy(up_time)
+            yield sim.timeout(fabric.fp.spine_latency)
+            yield down.down.occupy(up_time)
+            yield sim.timeout(fabric.fp.leaf_latency)
+        yield dst_node.extract(desc.nbytes)
+
+    def describe(self) -> str:
+        fp = self.fabric.fp
+        return (f"fabric_network: fat-tree pods of {fp.pod_size}, "
+                f"{fp.oversubscription:g}:1 oversubscription")

@@ -1,0 +1,60 @@
+"""POSIX shared-memory transport (double copy).
+
+The classic ``shm_open``/``mmap`` design (MPICH Nemesis, Intel MPI shm,
+Parsons & Pai's multisender substrate): sender copies the payload into
+a shared-segment cell, receiver copies it out.  Two full traversals of
+the payload through the memory system — the "inherent double copy
+overhead" the paper's §1 pins on POSIX-SHMEM — plus per-cell protocol
+bookkeeping when a message spans multiple cells.
+"""
+
+from __future__ import annotations
+
+from ..machine.hardware import NodeHardware
+from .base import Transport, WireDescriptor
+
+
+class PosixShmemTransport(Transport):
+    """Copy-in / copy-out through a shared segment."""
+
+    name = "posix_shmem"
+    supports_peer_views = False
+
+    #: shared-queue cell size (MPICH nemesis fastbox/cell scale)
+    CELL_SIZE = 8192
+    #: bookkeeping per cell: enqueue, sequence stamp, cacheline flush
+    CELL_OVERHEAD = 8.0e-8
+
+    def _cells(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.CELL_SIZE))
+
+    def sender_steps(self, node: NodeHardware, desc: WireDescriptor):
+        """Copy-in: payload into the shared cell(s)."""
+        yield node.sim.timeout(self._cells(desc.nbytes) * self.CELL_OVERHEAD)
+        yield from node.mem_copy(desc.nbytes)
+
+    def delivery_steps(self, src_node: NodeHardware, dst_node: NodeHardware,
+                       desc: WireDescriptor):
+        """Cell-full flag becomes visible one flag hop later."""
+        yield src_node.sim.timeout(src_node.params.memory.flag_latency)
+
+    def receiver_steps(self, node: NodeHardware, desc: WireDescriptor):
+        """Copy-out: shared cell(s) into the user receive buffer."""
+        yield node.sim.timeout(self._cells(desc.nbytes) * self.CELL_OVERHEAD)
+        yield from node.mem_copy(desc.nbytes)
+
+    def sender_flat_time(self, node, desc):
+        return (self._cells(desc.nbytes) * self.CELL_OVERHEAD
+                + node.copy_cost(desc.nbytes))
+
+    def receiver_flat_time(self, node, desc):
+        return (self._cells(desc.nbytes) * self.CELL_OVERHEAD
+                + node.copy_cost(desc.nbytes))
+
+    def schedule_delivery(self, src_node, dst_node, desc, on_delivered):
+        ev = src_node.sim.timeout(src_node.params.memory.flag_latency)
+        ev.callbacks.append(lambda _e: on_delivered())
+        return ev
+
+    def describe(self) -> str:
+        return "posix_shmem: 2 copies, 0 syscalls/msg, cell protocol"

@@ -1,0 +1,39 @@
+"""Transport factory: build intra-node transports by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Transport
+from .cma import CmaTransport
+from .pip_transport import PipTransport
+from .posix_shmem import PosixShmemTransport
+from .xpmem import XpmemTransport
+
+_FACTORIES: Dict[str, Callable[[], Transport]] = {
+    "posix_shmem": PosixShmemTransport,
+    "cma": CmaTransport,
+    "xpmem": XpmemTransport,
+    "pip": PipTransport,
+    "pip_sizesync": lambda: PipTransport(size_sync=True),
+}
+
+
+def make_transport(name: str) -> Transport:
+    """Instantiate a fresh intra-node transport by registry name.
+
+    A fresh instance matters: transports with caches (XPMEM) must not
+    leak amortised state across worlds/libraries.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown transport {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_transports() -> List[str]:
+    """Names accepted by :func:`make_transport`."""
+    return sorted(_FACTORIES)

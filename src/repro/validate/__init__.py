@@ -1,0 +1,6 @@
+"""Validation substrate (subsystem S10): references and checkers."""
+
+from . import checker, reference
+from .checker import int_pattern, pattern
+
+__all__ = ["checker", "int_pattern", "pattern", "reference"]

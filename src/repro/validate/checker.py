@@ -1,0 +1,416 @@
+"""Byte-exact validation harness for collective algorithms.
+
+Each ``check_*`` function builds rank-stamped inputs in a functional
+world, runs the algorithm under test on every rank, and compares every
+output byte against :mod:`repro.validate.reference`.  All checkers
+also assert the world is quiescent afterwards (no leaked messages or
+dangling receives) and return the per-rank completion times so callers
+can make coarse timing assertions too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..runtime import ArrayBuffer, World
+from ..runtime.communicator import Communicator
+from ..runtime.datatypes import Datatype, INT64
+from ..runtime.ops import ReduceOp, SUM
+from . import reference
+
+
+def pattern(rank: int, nbytes: int) -> np.ndarray:
+    """A deterministic per-rank byte pattern (distinct across ranks)."""
+    return ((rank * 131 + np.arange(nbytes) * 17 + 7) % 251).astype(np.uint8)
+
+
+def int_pattern(rank: int, count: int) -> np.ndarray:
+    """Per-rank int64 values for reductions (overflow-safe for SUM/MAX)."""
+    return (rank * 1000 + np.arange(count) * 3 + 1).astype(np.int64)
+
+
+def _compare(kind: str, rank: int, got: np.ndarray, want: np.ndarray) -> None:
+    if got is None:
+        raise AssertionError(f"{kind}: rank {rank} produced no data (null buffer?)")
+    if not np.array_equal(got, want):
+        bad = np.nonzero(got != want)[0]
+        raise AssertionError(
+            f"{kind}: rank {rank} wrong at {bad.size}/{want.size} bytes "
+            f"(first at offset {bad[0]}: got {got[bad[0]]}, want {want[bad[0]]})"
+        )
+
+
+def _comm_of(world: World, comm: Optional[Communicator]) -> Communicator:
+    return comm if comm is not None else world.comm_world
+
+
+def check_bcast(world: World, algo: Callable, count: int, root: int = 0,
+                comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [pattern(r, count) for r in range(comm_.size)]
+    want = reference.bcast(inputs, root)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        buf = ArrayBuffer.from_array(
+            inputs[cr].copy() if cr == root else np.zeros(count, dtype=np.uint8)
+        )
+        yield from algo(ctx, buf.view(), root=root, comm=comm_)
+        _compare("bcast", cr, buf.read_bytes(0, count), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_gather(world: World, algo: Callable, count: int, root: int = 0,
+                 comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [pattern(r, count) for r in range(comm_.size)]
+    want = reference.gather(inputs, root)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(count * comm_.size) if cr == root else None
+        yield from algo(
+            ctx,
+            sendbuf.view(),
+            recvbuf.view() if recvbuf is not None else None,
+            root=root,
+            comm=comm_,
+        )
+        if cr == root:
+            _compare("gather", cr, recvbuf.read_bytes(0, count * comm_.size), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_scatter(world: World, algo: Callable, count: int, root: int = 0,
+                  comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    root_data = pattern(root, count * comm_.size)
+    want = reference.scatter(root_data, comm_.size, root)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(root_data.copy()) if cr == root else None
+        recvbuf = ArrayBuffer.zeros(count)
+        yield from algo(
+            ctx,
+            sendbuf.view() if sendbuf is not None else None,
+            recvbuf.view(),
+            root=root,
+            comm=comm_,
+        )
+        _compare("scatter", cr, recvbuf.read_bytes(0, count), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_allgather(world: World, algo: Callable, count: int,
+                    comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [pattern(r, count) for r in range(comm_.size)]
+    want = reference.allgather(inputs)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(count * comm_.size)
+        yield from algo(ctx, sendbuf.view(), recvbuf.view(), comm=comm_)
+        _compare("allgather", cr, recvbuf.read_bytes(0, count * comm_.size), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_alltoall(world: World, algo: Callable, count: int,
+                   comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [pattern(r, count * comm_.size) for r in range(comm_.size)]
+    want = reference.alltoall(inputs)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(count * comm_.size)
+        yield from algo(ctx, sendbuf.view(), recvbuf.view(), comm=comm_)
+        _compare("alltoall", cr, recvbuf.read_bytes(0, count * comm_.size), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_reduce(world: World, algo: Callable, count: int, root: int = 0,
+                 op: ReduceOp = SUM, dtype: Datatype = INT64,
+                 comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [int_pattern(r, count) for r in range(comm_.size)]
+    want = reference.reduce(inputs, op, dtype.np_dtype, root)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(sendbuf.nbytes) if cr == root else None
+        yield from algo(
+            ctx,
+            sendbuf.view(),
+            recvbuf.view() if recvbuf is not None else None,
+            dtype,
+            op,
+            root=root,
+            comm=comm_,
+        )
+        if cr == root:
+            _compare("reduce", cr, recvbuf.read_bytes(0, recvbuf.nbytes), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_allreduce(world: World, algo: Callable, count: int,
+                    op: ReduceOp = SUM, dtype: Datatype = INT64,
+                    comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [int_pattern(r, count) for r in range(comm_.size)]
+    want = reference.allreduce(inputs, op, dtype.np_dtype)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(sendbuf.nbytes)
+        yield from algo(ctx, sendbuf.view(), recvbuf.view(), dtype, op, comm=comm_)
+        _compare("allreduce", cr, recvbuf.read_bytes(0, recvbuf.nbytes), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_reduce_scatter(world: World, algo: Callable, count_per_rank: int,
+                         op: ReduceOp = SUM, dtype: Datatype = INT64,
+                         comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    total = count_per_rank * comm_.size
+    inputs = [int_pattern(r, total) for r in range(comm_.size)]
+    want = reference.reduce_scatter_block(inputs, op, dtype.np_dtype)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(count_per_rank * dtype.size)
+        yield from algo(ctx, sendbuf.view(), recvbuf.view(), dtype, op, comm=comm_)
+        _compare("reduce_scatter", cr, recvbuf.read_bytes(0, recvbuf.nbytes), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_scan(world: World, algo: Callable, count: int,
+               op: ReduceOp = SUM, dtype: Datatype = INT64,
+               comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [int_pattern(r, count) for r in range(comm_.size)]
+    want = reference.scan(inputs, op, dtype.np_dtype)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(sendbuf.nbytes)
+        yield from algo(ctx, sendbuf.view(), recvbuf.view(), dtype, op, comm=comm_)
+        _compare("scan", cr, recvbuf.read_bytes(0, recvbuf.nbytes), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_barrier(world: World, algo: Callable,
+                  comm: Optional[Communicator] = None) -> None:
+    """A barrier is correct if nobody exits before the last arrival."""
+    comm_ = _comm_of(world, comm)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        yield from ctx.compute(cr * 1.0e-6)  # staggered arrivals
+        arrived = ctx.now
+        yield from algo(ctx, comm=comm_)
+        return (arrived, ctx.now)
+
+    results = [r for r in world.run(program) if r is not None]
+    world.assert_quiescent()
+    last_arrival = max(arr for arr, _exit in results)
+    for arr, exit_ in results:
+        if exit_ < last_arrival:
+            raise AssertionError(
+                f"barrier violated: a rank exited at {exit_} before the "
+                f"last arrival at {last_arrival}"
+            )
+
+
+def check_gatherv(world: World, algo: Callable, counts, root: int = 0,
+                  comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    assert len(counts) == comm_.size
+    inputs = [pattern(r, counts[r]) for r in range(comm_.size)]
+    want = reference.gatherv(inputs, root)
+    total = sum(counts)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy()) if counts[cr] else ArrayBuffer.zeros(0)
+        recvbuf = ArrayBuffer.zeros(total) if cr == root else None
+        yield from algo(
+            ctx, sendbuf.view(),
+            recvbuf.view() if recvbuf is not None else None,
+            counts=counts if cr == root else None,
+            root=root, comm=comm_,
+        )
+        if cr == root:
+            _compare("gatherv", cr, recvbuf.read_bytes(0, total), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_scatterv(world: World, algo: Callable, counts, root: int = 0,
+                   comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    total = sum(counts)
+    root_data = pattern(root, total)
+    want = reference.scatterv(root_data, counts, root)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(root_data.copy()) if cr == root else None
+        recvbuf = ArrayBuffer.zeros(counts[cr]) if counts[cr] else ArrayBuffer.zeros(0)
+        yield from algo(
+            ctx,
+            sendbuf.view() if sendbuf is not None else None,
+            counts=counts if cr == root else None,
+            recvview=recvbuf.view(),
+            root=root, comm=comm_,
+        )
+        _compare("scatterv", cr, recvbuf.read_bytes(0, counts[cr]), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_allgatherv(world: World, algo: Callable, counts,
+                     comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [pattern(r, counts[r]) for r in range(comm_.size)]
+    want = reference.allgatherv(inputs)
+    total = sum(counts)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy()) if counts[cr] else ArrayBuffer.zeros(0)
+        recvbuf = ArrayBuffer.zeros(total)
+        yield from algo(ctx, sendbuf.view(), recvbuf.view(), counts=counts, comm=comm_)
+        _compare("allgatherv", cr, recvbuf.read_bytes(0, total), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_alltoallv(world: World, algo: Callable, count_matrix,
+                    comm: Optional[Communicator] = None) -> List[float]:
+    """``count_matrix[i][j]`` bytes flow from rank i to rank j."""
+    comm_ = _comm_of(world, comm)
+    size = comm_.size
+    inputs = [pattern(r, sum(count_matrix[r])) for r in range(size)]
+    want = reference.alltoallv(inputs, count_matrix)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        send_counts = list(count_matrix[cr])
+        recv_counts = [count_matrix[j][cr] for j in range(size)]
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(sum(recv_counts))
+        yield from algo(ctx, sendbuf.view(), send_counts,
+                        recvbuf.view(), recv_counts, comm=comm_)
+        _compare("alltoallv", cr, recvbuf.read_bytes(0, recvbuf.nbytes), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times
+
+
+def check_exscan(world: World, algo: Callable, count: int,
+                 op: ReduceOp = SUM, dtype: Datatype = INT64,
+                 comm: Optional[Communicator] = None) -> List[float]:
+    comm_ = _comm_of(world, comm)
+    inputs = [int_pattern(r, count) for r in range(comm_.size)]
+    want = reference.exscan(inputs, op, dtype.np_dtype)
+
+    def program(ctx):
+        if not comm_.contains(ctx.rank):
+            return None
+        cr = comm_.to_comm(ctx.rank)
+        sendbuf = ArrayBuffer.from_array(inputs[cr].copy())
+        recvbuf = ArrayBuffer.zeros(sendbuf.nbytes)
+        yield from algo(ctx, sendbuf.view(), recvbuf.view(), dtype, op, comm=comm_)
+        if cr > 0:  # rank 0's buffer is undefined in MPI
+            _compare("exscan", cr, recvbuf.read_bytes(0, recvbuf.nbytes), want[cr])
+        return ctx.now
+
+    times = world.run(program)
+    world.assert_quiescent()
+    return times

@@ -1,0 +1,142 @@
+"""Pure-numpy reference semantics for every collective.
+
+Each function takes per-rank *input* byte arrays (index = comm rank)
+and returns the per-rank expected *output* byte arrays.  Algorithms are
+validated against these references byte-for-byte, so a correct-looking
+latency curve can never hide a wrong permutation (the classic Bruck
+bug class).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..runtime.ops import ReduceOp
+
+
+def _as_u8(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    return [np.asarray(a).reshape(-1).view(np.uint8) for a in arrays]
+
+
+def bcast(inputs: Sequence[np.ndarray], root: int) -> List[np.ndarray]:
+    """Everyone ends with the root's data."""
+    data = _as_u8(inputs)[root]
+    return [data.copy() for _ in inputs]
+
+
+def gather(inputs: Sequence[np.ndarray], root: int) -> List[np.ndarray]:
+    """Root gets the rank-ordered concatenation; others get nothing."""
+    cat = np.concatenate(_as_u8(inputs))
+    return [cat.copy() if r == root else np.empty(0, dtype=np.uint8) for r in range(len(inputs))]
+
+
+def scatter(root_input: np.ndarray, size: int, root: int) -> List[np.ndarray]:
+    """Rank ``i`` gets block ``i`` of the root's buffer."""
+    flat = np.asarray(root_input).reshape(-1).view(np.uint8)
+    if flat.nbytes % size:
+        raise ValueError(f"scatter buffer of {flat.nbytes} B not divisible by {size}")
+    blocks = flat.reshape(size, -1)
+    return [blocks[i].copy() for i in range(size)]
+
+
+def allgather(inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Everyone gets the rank-ordered concatenation."""
+    cat = np.concatenate(_as_u8(inputs))
+    return [cat.copy() for _ in inputs]
+
+
+def alltoall(inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Output block ``j`` of rank ``i`` is input block ``i`` of rank ``j``."""
+    size = len(inputs)
+    u8 = _as_u8(inputs)
+    per = u8[0].nbytes // size
+    if any(a.nbytes != per * size for a in u8):
+        raise ValueError("alltoall inputs must all be size × per-block bytes")
+    mats = [a.reshape(size, per) for a in u8]
+    return [np.concatenate([mats[j][i] for j in range(size)]) for i in range(size)]
+
+
+def reduce(inputs: Sequence[np.ndarray], op: ReduceOp, dtype: np.dtype,
+           root: int) -> List[np.ndarray]:
+    """Root gets the elementwise reduction; others get nothing."""
+    typed = [np.asarray(a).reshape(-1).view(dtype) for a in inputs]
+    out = op.reduce_many(typed).view(np.uint8)
+    return [out.copy() if r == root else np.empty(0, dtype=np.uint8) for r in range(len(inputs))]
+
+
+def allreduce(inputs: Sequence[np.ndarray], op: ReduceOp, dtype: np.dtype) -> List[np.ndarray]:
+    """Everyone gets the elementwise reduction."""
+    typed = [np.asarray(a).reshape(-1).view(dtype) for a in inputs]
+    out = op.reduce_many(typed).view(np.uint8)
+    return [out.copy() for _ in inputs]
+
+
+def reduce_scatter_block(inputs: Sequence[np.ndarray], op: ReduceOp,
+                         dtype: np.dtype) -> List[np.ndarray]:
+    """Rank ``i`` gets block ``i`` of the elementwise reduction."""
+    size = len(inputs)
+    typed = [np.asarray(a).reshape(-1).view(dtype) for a in inputs]
+    total = op.reduce_many(typed)
+    if total.size % size:
+        raise ValueError("reduce_scatter inputs not divisible into equal blocks")
+    blocks = total.reshape(size, -1)
+    return [blocks[i].view(np.uint8).copy() for i in range(size)]
+
+
+def scan(inputs: Sequence[np.ndarray], op: ReduceOp, dtype: np.dtype) -> List[np.ndarray]:
+    """Rank ``i`` gets the inclusive prefix reduction over ranks 0..i."""
+    typed = [np.asarray(a).reshape(-1).view(dtype) for a in inputs]
+    outs = []
+    for i in range(len(inputs)):
+        outs.append(op.reduce_many(typed[: i + 1]).view(np.uint8))
+    return outs
+
+
+def gatherv(inputs: Sequence[np.ndarray], root: int) -> List[np.ndarray]:
+    """Root gets the rank-ordered concatenation of variable blocks."""
+    cat = np.concatenate(_as_u8(inputs)) if inputs else np.empty(0, np.uint8)
+    return [cat.copy() if r == root else np.empty(0, dtype=np.uint8) for r in range(len(inputs))]
+
+
+def allgatherv(inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Everyone gets the rank-ordered concatenation of variable blocks."""
+    cat = np.concatenate(_as_u8(inputs))
+    return [cat.copy() for _ in inputs]
+
+
+def scatterv(root_input: np.ndarray, counts: Sequence[int], root: int) -> List[np.ndarray]:
+    """Rank ``i`` gets ``counts[i]`` bytes at the packed offset."""
+    flat = np.asarray(root_input).reshape(-1).view(np.uint8)
+    if sum(counts) > flat.nbytes:
+        raise ValueError("scatterv counts exceed the root buffer")
+    outs, off = [], 0
+    for c in counts:
+        outs.append(flat[off : off + c].copy())
+        off += c
+    return outs
+
+
+def alltoallv(inputs: Sequence[np.ndarray], count_matrix: Sequence[Sequence[int]]) -> List[np.ndarray]:
+    """``count_matrix[i][j]`` bytes go from rank i to rank j (packed)."""
+    size = len(inputs)
+    u8 = _as_u8(inputs)
+    outs = []
+    for j in range(size):
+        parts = []
+        for i in range(size):
+            off = sum(count_matrix[i][:j])
+            parts.append(u8[i][off : off + count_matrix[i][j]])
+        outs.append(np.concatenate(parts) if parts else np.empty(0, np.uint8))
+    return outs
+
+
+def exscan(inputs: Sequence[np.ndarray], op: ReduceOp, dtype: np.dtype) -> List[np.ndarray]:
+    """Rank ``i`` gets the reduction over ranks 0..i-1 (rank 0:
+    undefined in MPI; we return an empty array)."""
+    typed = [np.asarray(a).reshape(-1).view(dtype) for a in inputs]
+    outs = [np.empty(0, dtype=np.uint8)]
+    for i in range(1, len(inputs)):
+        outs.append(op.reduce_many(typed[:i]).view(np.uint8))
+    return outs

@@ -1,0 +1,115 @@
+"""Simulator vs closed-form LogGP algebra.
+
+On contention-free single-rank-per-node cases the DES must agree with
+pencil-and-paper to within a few percent; larger gaps would mean the
+event choreography drifted from the model it claims to implement.
+"""
+
+import pytest
+
+from repro.bench.analytic import (
+    binomial_bcast_time,
+    binomial_depth,
+    bruck_allgather_time,
+    dissemination_barrier_time,
+    eager_message_time,
+    flat_bruck_round_count,
+    mcoll_allgather_bound,
+    mcoll_round_count,
+)
+from repro.bench import bench_collective
+from repro.machine import broadwell_opa
+from repro.runtime import World
+
+
+def flat_params(nodes):
+    return broadwell_opa(nodes=nodes, ppn=1)
+
+
+def test_eager_message_time_matches_sim():
+    params = flat_params(2)
+    world = World(params, functional=False)
+    nbytes = 256
+
+    def program(ctx):
+        buf = ctx.alloc(nbytes)
+        t0 = ctx.now
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=1, tag=0)
+        else:
+            yield from ctx.recv(buf.view(), src=0, tag=0)
+            return ctx.now - t0
+        return None
+
+    sim_time = world.run(program)[1]
+    assert sim_time == pytest.approx(eager_message_time(params, nbytes), rel=0.02)
+
+
+def test_eager_formula_rejects_rendezvous_sizes():
+    with pytest.raises(ValueError):
+        eager_message_time(flat_params(2), 1 << 20)
+
+
+@pytest.mark.parametrize("nodes", [2, 8, 32, 33])
+def test_binomial_bcast_matches_sim(nodes):
+    params = flat_params(nodes)
+    point = bench_collective("MPICH", "bcast", 64, params, warmup=1, iters=1)
+    analytic = binomial_bcast_time(params, 64) * 1e6
+    # The library wrapper adds one call overhead; allow a few percent.
+    assert point.latency_us == pytest.approx(analytic, rel=0.08)
+
+
+@pytest.mark.parametrize("nodes", [4, 16, 33])
+def test_bruck_allgather_matches_sim(nodes):
+    params = flat_params(nodes)
+    point = bench_collective("MPICH", "allgather", 64, params, warmup=1, iters=1)
+    analytic = bruck_allgather_time(params, 64) * 1e6
+    assert point.latency_us == pytest.approx(analytic, rel=0.08)
+
+
+@pytest.mark.parametrize("nodes", [2, 8, 31])
+def test_dissemination_barrier_matches_sim(nodes):
+    params = flat_params(nodes)
+    point = bench_collective("MPICH", "barrier", 0, params, warmup=1, iters=1)
+    analytic = dissemination_barrier_time(params) * 1e6
+    assert point.latency_us == pytest.approx(analytic, rel=0.08)
+
+
+def test_formulas_require_flat_geometry():
+    fat = broadwell_opa(nodes=4, ppn=2)
+    with pytest.raises(ValueError):
+        binomial_bcast_time(fat, 64)
+    with pytest.raises(ValueError):
+        bruck_allgather_time(fat, 64)
+    with pytest.raises(ValueError):
+        dissemination_barrier_time(fat)
+
+
+def test_mcoll_bound_is_a_lower_bound():
+    params = broadwell_opa(nodes=16, ppn=6)
+    point = bench_collective("PiP-MColl", "allgather", 64, params,
+                             warmup=1, iters=1)
+    bound = mcoll_allgather_bound(params, 64) * 1e6
+    assert point.latency_us >= bound
+    # ...and not absurdly loose: within 4x at this scale.
+    assert point.latency_us <= 4 * bound
+
+
+def test_round_counts_paper_scale():
+    """The round-count argument of the paper, as pure numbers."""
+    assert flat_bruck_round_count(2304) == 12
+    assert mcoll_round_count(128, 18) == 2
+    assert mcoll_round_count(1, 18) == 0
+    assert flat_bruck_round_count(1) == 0
+
+
+def test_binomial_depth_values():
+    assert binomial_depth(1) == 0
+    assert binomial_depth(2) == 1
+    assert binomial_depth(32) == 5
+    assert binomial_depth(33) == 5   # deepest leaf is vrank 31
+    assert binomial_depth(48) == 5   # vrank 47 = 0b101111
+    # Brute force agreement for all small n.
+    for n in range(1, 600):
+        want = max(bin(v).count("1") for v in range(n))
+        assert binomial_depth(n) == want, n

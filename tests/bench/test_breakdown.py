@@ -1,0 +1,49 @@
+"""Tests for the collective profiler (latency attribution)."""
+
+import pytest
+
+from repro.bench.breakdown import profile_collective
+from repro.machine import small_test
+
+
+def test_profile_fields_and_attribution():
+    params = small_test(nodes=2, ppn=2)
+    profile = profile_collective("MPICH", "allgather", 64, params)
+    assert profile.library == "MPICH"
+    assert profile.latency_us > 0
+    # 4 ranks is a power of two → recursive doubling: round 1 is
+    # fully intra-node (rank^1 pairs), round 2 fully inter-node.
+    assert profile.messages_by_transport["network"] == 4
+    assert profile.messages_by_transport["posix_shmem"] == 4
+    assert profile.total_messages == 8
+    assert profile.total_bytes > 0
+    assert profile.sim_events > 0
+    assert profile.nic_tx_busy_us > 0
+
+
+def test_profile_shows_mcoll_zero_intra_messages():
+    """The headline structural fact, via the profiler."""
+    params = small_test(nodes=3, ppn=2)
+    ours = profile_collective("PiP-MColl", "allgather", 64, params)
+    base = profile_collective("MPICH", "allgather", 64, params)
+    assert set(ours.messages_by_transport) == {"network"}
+    assert "posix_shmem" in base.messages_by_transport
+    assert ours.total_bytes < base.total_bytes
+    assert ours.latency_us < base.latency_us
+
+
+def test_profile_format_readable():
+    params = small_test(nodes=1, ppn=2)
+    text = profile_collective("PiP-MPICH", "bcast", 64, params).format()
+    assert "PiP-MPICH bcast 64 B" in text
+    assert "pip+sizesync" in text
+    assert "membus busy" in text
+
+
+def test_profile_measures_warm_iteration_only():
+    """XPMEM's cold attach must not pollute the measured iteration."""
+    params = small_test(nodes=1, ppn=2)
+    profile = profile_collective("MVAPICH2", "bcast", 4096, params)
+    mem = params.memory
+    # Warm latency: well under one attach (2.2 us) + fault chain.
+    assert profile.latency_us * 1e-6 < mem.attach_overhead + mem.fault_time(4096)

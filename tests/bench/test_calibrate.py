@@ -1,0 +1,62 @@
+"""Tests for the calibration utilities."""
+
+import pytest
+
+from repro.bench.calibrate import (
+    memory_from_microbenchmarks,
+    nic_from_microbenchmarks,
+    verify_pt2pt,
+)
+from repro.machine import MachineParams, broadwell_opa
+
+
+def test_nic_from_datasheet_numbers():
+    nic = nic_from_microbenchmarks(
+        latency_us=1.8, bandwidth_gbps=100.0, message_rate_mps=97.0)
+    assert nic.bandwidth * 8 == pytest.approx(100e9)
+    assert nic.message_rate == pytest.approx(97e6)
+    # Latency budget is split: wire + endpoint overheads ≈ target.
+    total = nic.latency + nic.inject_overhead + nic.recv_overhead
+    assert total == pytest.approx(1.8e-6, rel=0.01)
+
+
+def test_nic_validation():
+    with pytest.raises(ValueError):
+        nic_from_microbenchmarks(0, 100, 97)
+    with pytest.raises(ValueError):
+        nic_from_microbenchmarks(1, 100, 97, overhead_fraction=1.5)
+
+
+def test_memory_from_stream_numbers():
+    mem = memory_from_microbenchmarks(copy_bandwidth_gbs=8.0,
+                                      node_bandwidth_gbs=100.0)
+    assert 1.0 / mem.copy_byte_time == pytest.approx(8e9)
+    assert 1.0 / mem.bus_byte_time == pytest.approx(100e9)
+    with pytest.raises(ValueError):
+        memory_from_microbenchmarks(10.0, 5.0)
+
+
+def test_calibrated_machine_meets_targets():
+    nic = nic_from_microbenchmarks(
+        latency_us=1.8, bandwidth_gbps=100.0, message_rate_mps=97.0)
+    params = MachineParams(nodes=2, ppn=1, nic=nic)
+    report = verify_pt2pt(params, target_latency_us=1.8,
+                          target_bandwidth_gbps=100.0)
+    assert report.ok(tolerance=0.25), report
+    assert report.bandwidth_error < 1e-9
+
+
+def test_paper_preset_is_consistent_with_its_own_targets():
+    """broadwell_opa was calibrated to ~2 µs pt2pt and 100 Gbps."""
+    report = verify_pt2pt(broadwell_opa(), target_latency_us=2.0,
+                          target_bandwidth_gbps=100.0)
+    assert report.ok(tolerance=0.25), report
+
+
+def test_report_flags_a_bad_machine():
+    bad = broadwell_opa().scaled(
+        nic=broadwell_opa().nic.__class__(latency=50e-6))
+    report = verify_pt2pt(bad, target_latency_us=2.0,
+                          target_bandwidth_gbps=100.0)
+    assert not report.ok()
+    assert report.latency_error > 1.0

@@ -1,0 +1,99 @@
+"""Tests for the CLI and the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench import run_sweep
+from repro.bench.plot import ascii_figure
+from repro.cli import _parse_sizes, build_parser, main
+from repro.machine import small_test
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep("allgather", [16, 64], small_test(nodes=2, ppn=2),
+                     libraries=["MPICH", "PiP-MColl"], iters=1)
+
+
+def test_parse_sizes():
+    assert _parse_sizes("16,64,1k") == [16, 64, 1024]
+    with pytest.raises(Exception):
+        _parse_sizes("banana")
+
+
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--library", "MPICH", "--size", "32"])
+    assert args.library == "MPICH" and args.size == 32
+    args = parser.parse_args(["sweep", "--sizes", "16,32"])
+    assert args.sizes == [16, 32]
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bench", "--library", "NotALib"])
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_cli_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "broadwell_opa" in out
+    assert "PiP-MColl" in out
+    assert "xpmem" in out
+
+
+def test_cli_bench(capsys):
+    rc = main(["bench", "--library", "MPICH", "--collective", "barrier",
+               "--size", "0", "--nodes", "2", "--ppn", "2", "--iters", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MPICH barrier" in out and "us" in out
+
+
+def test_cli_sweep_with_plot(capsys):
+    rc = main(["sweep", "--sizes", "16,64", "--nodes", "2", "--ppn", "2",
+               "--libraries", "MPICH,PiP-MColl", "--iters", "1", "--plot"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "o=MPICH" in out
+
+
+def test_ascii_figure_contains_all_series(small_sweep):
+    chart = ascii_figure(small_sweep, width=40, height=12)
+    assert "o=MPICH" in chart and "x=PiP-MColl" in chart
+    assert "16B" in chart and "64B" in chart
+    # Both markers actually plotted.
+    body = chart.split("latency")[0]
+    assert "o" in body and "x" in body
+
+
+def test_ascii_figure_single_point():
+    sweep = run_sweep("barrier", [0], small_test(nodes=1, ppn=2),
+                      libraries=["MPICH"], iters=1)
+    # Zero-size label and a single column must not crash.
+    chart = ascii_figure(sweep, width=30, height=8)
+    assert "o=MPICH" in chart
+
+
+def test_ascii_figure_rejects_empty():
+    sweep = run_sweep("barrier", [0], small_test(nodes=1, ppn=1),
+                      libraries=["MPICH"], iters=1)
+    sweep.sizes = []
+    with pytest.raises(ValueError):
+        ascii_figure(sweep)
+
+
+def test_cli_figures_tiny_scale(capsys):
+    rc = main(["figures", "--nodes", "4", "--ppn", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 1 (MPI_Scatter)" in out
+    assert "Figure 2 (MPI_Allgather)" in out
+    assert "best speedup" in out
+
+
+def test_cli_tables(capsys):
+    rc = main(["tables", "--ranks", "96", "--libraries", "MPICH"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MPICH selection table at 96 ranks" in out
+    assert "allgather" in out

@@ -1,0 +1,104 @@
+"""Unit tests for the benchmark harness and reporting."""
+
+import pytest
+
+from repro.bench import (
+    bench_collective,
+    format_paper_table,
+    format_series,
+    run_sweep,
+    summarize_speedups,
+)
+from repro.machine import small_test
+
+PARAMS = small_test(nodes=2, ppn=2)
+
+
+def test_bench_point_fields():
+    p = bench_collective("MPICH", "allgather", 64, PARAMS, warmup=1, iters=3)
+    assert p.library == "MPICH"
+    assert p.collective == "allgather"
+    assert p.nbytes == 64
+    assert len(p.iterations) == 3
+    assert p.min_us <= p.latency_us <= p.max_us
+    assert p.latency_us > 0
+
+
+def test_bench_deterministic_across_repeats():
+    a = bench_collective("MPICH", "allgather", 64, PARAMS, warmup=1, iters=2)
+    b = bench_collective("MPICH", "allgather", 64, PARAMS, warmup=1, iters=2)
+    assert a.iterations == b.iterations
+
+
+def test_bench_iterations_stable_after_warmup():
+    """The simulator is deterministic: measured iterations agree once
+    caches (XPMEM attach) are warm."""
+    p = bench_collective("MVAPICH2", "allgather", 64, PARAMS, warmup=1, iters=3)
+    assert max(p.iterations) - min(p.iterations) < 0.05 * p.latency_us
+
+
+def test_warmup_matters_for_xpmem():
+    cold = bench_collective("MVAPICH2", "bcast", 4096, PARAMS, warmup=0, iters=1)
+    warm = bench_collective("MVAPICH2", "bcast", 4096, PARAMS, warmup=1, iters=1)
+    assert warm.latency_us < cold.latency_us
+
+
+@pytest.mark.parametrize("collective", [
+    "bcast", "gather", "scatter", "allgather", "allreduce", "reduce",
+    "alltoall", "reduce_scatter", "barrier",
+])
+@pytest.mark.parametrize("library", ["MPICH", "PiP-MColl"])
+def test_every_collective_benches(library, collective):
+    p = bench_collective(library, collective, 64, PARAMS, warmup=0, iters=1)
+    assert p.latency_us > 0
+
+
+def test_functional_and_timing_modes_agree():
+    f = bench_collective("MPICH", "allgather", 64, PARAMS, functional=True)
+    t = bench_collective("MPICH", "allgather", 64, PARAMS, functional=False)
+    assert f.iterations == pytest.approx(t.iterations)
+
+
+def test_invalid_iteration_counts():
+    with pytest.raises(ValueError):
+        bench_collective("MPICH", "barrier", 0, PARAMS, iters=0)
+    with pytest.raises(ValueError):
+        bench_collective("MPICH", "barrier", 0, PARAMS, warmup=-1)
+
+
+def test_sweep_grid_and_speedups():
+    sweep = run_sweep("allgather", [16, 64], PARAMS,
+                      libraries=["MPICH", "PiP-MColl"], iters=1)
+    assert sweep.latency("MPICH", 16) > 0
+    lib, lat = sweep.best_other("PiP-MColl", 16)
+    assert lib == "MPICH"
+    assert sweep.speedup("PiP-MColl", 16) == pytest.approx(
+        lat / sweep.latency("PiP-MColl", 16))
+    size, factor = sweep.best_speedup("PiP-MColl")
+    assert size in (16, 64) and factor > 0
+
+
+def test_format_paper_table_marks_exclusions():
+    sweep = run_sweep("allgather", [16], PARAMS,
+                      libraries=["MPICH", "PiP-MColl"], iters=1)
+    # Force an exclusion by using a tiny factor.
+    table = format_paper_table(sweep, exclude_factor=0.5)
+    assert ">(0x)" in table or ">" in table
+    full = format_paper_table(sweep, exclude_factor=None)
+    assert "MPICH" in full and "PiP-MColl" in full and "16 B" in full
+
+
+def test_format_series_csv_shape():
+    sweep = run_sweep("barrier", [0], PARAMS,
+                      libraries=["MPICH", "PiP-MColl"], iters=1)
+    lines = format_series(sweep).splitlines()
+    assert lines[0].startswith("collective,library")
+    assert len(lines) == 1 + 2  # header + 2 libs × 1 size
+
+
+def test_summarize_speedups_mentions_best():
+    sweep = run_sweep("allgather", [16, 64], PARAMS,
+                      libraries=["MPICH", "PiP-MColl"], iters=1)
+    text = summarize_speedups(sweep)
+    assert "best speedup" in text
+    assert "PiP-MColl" in text

@@ -1,0 +1,58 @@
+"""Tests for the golden-baseline drift guard."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.regression import (
+    GOLDEN_GRID,
+    capture_baseline,
+    compare_to_baseline,
+    measure_grid,
+)
+
+GOLDEN = Path(__file__).resolve().parents[2] / "benchmarks" / "golden.json"
+
+
+def test_repo_baseline_has_no_drift():
+    """The committed golden numbers must match a fresh run exactly
+    (the simulator is deterministic)."""
+    report = compare_to_baseline(GOLDEN, tolerance=0.001)
+    assert report.ok(), report.format()
+
+
+def test_capture_roundtrip(tmp_path):
+    path = tmp_path / "golden.json"
+    values = capture_baseline(path)
+    assert len(values) == len(GOLDEN_GRID)
+    stored = json.loads(path.read_text())
+    assert stored == values
+    assert compare_to_baseline(path).ok()
+
+
+def test_drift_detected(tmp_path):
+    path = tmp_path / "golden.json"
+    values = capture_baseline(path)
+    key = sorted(values)[0]
+    values[key] *= 1.5  # simulate a model change
+    path.write_text(json.dumps(values))
+    report = compare_to_baseline(path, tolerance=0.01)
+    assert not report.ok()
+    assert any(k == key for k, _g, _f in report.drifts)
+    assert "+" in report.format() or "-" in report.format()
+
+
+def test_missing_key_detected(tmp_path):
+    path = tmp_path / "golden.json"
+    values = capture_baseline(path)
+    key = sorted(values)[0]
+    del values[key]
+    path.write_text(json.dumps(values))
+    report = compare_to_baseline(path)
+    assert report.missing == [key]
+    assert "missing" in report.format()
+
+
+def test_deterministic_measurement():
+    assert measure_grid() == measure_grid()

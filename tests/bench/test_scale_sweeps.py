@@ -1,0 +1,41 @@
+"""Tests for the scale-sweep drivers and CSV export."""
+
+import pytest
+
+from repro.bench.sweep import (
+    node_scaling_sweep,
+    oversubscription_sweep,
+    ppn_scaling_sweep,
+)
+
+
+def test_node_scaling_sweep_grid():
+    sweep = node_scaling_sweep("allgather", 64, [2, 4], ppn=2,
+                               libraries=["MPICH", "PiP-MColl"])
+    assert sweep.axis == [2, 4]
+    assert sweep.latency("MPICH", 4) > sweep.latency("MPICH", 2)
+    assert sweep.speedup("PiP-MColl", 4) > 1.0
+
+
+def test_ppn_scaling_sweep_grid():
+    sweep = ppn_scaling_sweep("allgather", 64, [2, 4], nodes=4,
+                              libraries=["MPICH", "PiP-MColl"])
+    # Speedup grows with ppn (A5's property, at tiny scale).
+    assert sweep.speedup("PiP-MColl", 4) > sweep.speedup("PiP-MColl", 2)
+
+
+def test_oversubscription_sweep():
+    sweep = oversubscription_sweep("allgather", 256, [1.0, 4.0],
+                                   nodes=8, ppn=4, pod_size=4)
+    for lib in ("MPICH", "PiP-MColl"):
+        assert sweep.latency(lib, 4.0) > sweep.latency(lib, 1.0)
+    assert sweep.speedup("PiP-MColl", 4.0) >= sweep.speedup("PiP-MColl", 1.0)
+
+
+def test_csv_export_shape():
+    sweep = node_scaling_sweep("barrier", 0, [2], ppn=2,
+                               libraries=["MPICH", "PiP-MColl"])
+    lines = sweep.to_csv().splitlines()
+    assert lines[0] == "nodes,MPICH,PiP-MColl"
+    assert lines[1].startswith("2,")
+    assert len(lines) == 2

@@ -1,0 +1,87 @@
+"""Tests for the workload generators and trace replay."""
+
+import pytest
+
+from repro.bench.workloads import (
+    CollectiveTrace,
+    analytics_shuffle,
+    compare_on_trace,
+    replay_trace,
+    stencil_app,
+    training_step_mix,
+    uniform_mix,
+)
+from repro.machine import small_test
+
+PARAMS = small_test(nodes=2, ppn=2)
+
+
+def test_uniform_mix_reproducible():
+    a = uniform_mix(n_calls=30, seed=7)
+    b = uniform_mix(n_calls=30, seed=7)
+    c = uniform_mix(n_calls=30, seed=8)
+    assert a.calls == b.calls
+    assert a.calls != c.calls
+    assert len(a) == 30
+    # Barriers carry zero bytes; everything else at least 8.
+    for coll, nbytes in a.calls:
+        assert (nbytes == 0) == (coll == "barrier")
+
+
+def test_stencil_trace_shape():
+    t = stencil_app(steps=30, check_every=5)
+    hist = t.histogram()
+    assert hist == {"allreduce": 6, "gather": 1}
+    assert t.total_bytes() == 6 * 8 + 64
+
+
+def test_training_mix_shape():
+    t = training_step_mix(layers=(128, 256), steps=3)
+    assert t.histogram() == {"allreduce": 6, "bcast": 3}
+
+
+def test_analytics_shuffle_shape():
+    t = analytics_shuffle(rounds=2)
+    assert t.histogram() == {"alltoall": 2, "barrier": 2, "allgather": 1}
+
+
+def test_replay_returns_per_call_latencies():
+    trace = stencil_app(steps=10, check_every=5)
+    result = replay_trace("MPICH", trace, PARAMS)
+    assert len(result.per_call_us) == len(trace)
+    assert result.total_us == pytest.approx(sum(result.per_call_us))
+    idx, worst = result.slowest_call()
+    assert result.per_call_us[idx] == worst
+
+
+def test_replay_deterministic():
+    trace = uniform_mix(n_calls=12, seed=3)
+    a = replay_trace("MPICH", trace, PARAMS)
+    b = replay_trace("MPICH", trace, PARAMS)
+    assert a.per_call_us == b.per_call_us
+
+
+def test_replay_functional_mode_matches_timing_mode():
+    trace = training_step_mix(layers=(64,), steps=2)
+    t = replay_trace("MPICH", trace, PARAMS, functional=False)
+    f = replay_trace("MPICH", trace, PARAMS, functional=True)
+    assert t.per_call_us == pytest.approx(f.per_call_us)
+
+
+def test_pip_mcoll_wins_end_to_end_on_every_workload():
+    """The application-level claim: whole traces, not single calls."""
+    params = small_test(nodes=4, ppn=4)
+    for trace in (
+        uniform_mix(n_calls=20, seed=2),
+        stencil_app(),
+        training_step_mix(),
+        analytics_shuffle(),
+    ):
+        results = compare_on_trace(trace, params, ["MPICH", "PiP-MColl"])
+        assert results["PiP-MColl"].total_us < results["MPICH"].total_us, trace.name
+
+
+def test_trace_dataclass_basics():
+    t = CollectiveTrace("custom", (("bcast", 64), ("barrier", 0)))
+    assert len(t) == 2
+    assert t.total_bytes() == 64

@@ -1,0 +1,26 @@
+"""Shared fixtures for collective correctness tests."""
+
+import pytest
+
+from repro.machine import small_test
+from repro.runtime import World
+
+# (nodes, ppn) shapes covering: single node, power-of-two world,
+# non-power-of-two world, ppn=1 (no intra-node), tall and wide.
+WORLD_SHAPES = [(1, 4), (2, 2), (3, 2), (2, 3), (4, 1), (5, 3)]
+
+
+def make_world(nodes, ppn, intra="posix_shmem"):
+    return World(small_test(nodes=nodes, ppn=ppn), intra=intra)
+
+
+@pytest.fixture(params=WORLD_SHAPES, ids=lambda s: f"{s[0]}x{s[1]}")
+def world(request):
+    nodes, ppn = request.param
+    return make_world(nodes, ppn)
+
+
+@pytest.fixture(params=[(2, 2), (4, 1), (2, 4)], ids=lambda s: f"{s[0]}x{s[1]}")
+def pow2_world(request):
+    nodes, ppn = request.param
+    return make_world(nodes, ppn)

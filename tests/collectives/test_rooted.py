@@ -1,0 +1,125 @@
+"""Byte-exact correctness of rooted collectives (bcast/gather/scatter/reduce)."""
+
+import pytest
+
+from repro.runtime.ops import MAX, SUM
+from repro.validate.checker import (
+    check_bcast,
+    check_gather,
+    check_reduce,
+    check_scatter,
+)
+from repro.collectives import (
+    bcast_binomial,
+    bcast_ring_pipeline,
+    gather_binomial,
+    gather_linear,
+    reduce_binomial,
+    scatter_binomial,
+    scatter_linear,
+)
+
+from .conftest import make_world
+
+
+@pytest.mark.parametrize("count", [1, 64, 1000])
+def test_bcast_binomial(world, count):
+    check_bcast(world, bcast_binomial, count)
+
+
+@pytest.mark.parametrize("root", [1, 3])
+def test_bcast_binomial_nonzero_root(root):
+    check_bcast(make_world(2, 3), bcast_binomial, 128, root=root)
+
+
+@pytest.mark.parametrize("segment", [64, 1000, 4096])
+def test_bcast_ring_pipeline(world, segment):
+    check_bcast(world, lambda ctx, v, root, comm: bcast_ring_pipeline(
+        ctx, v, root, comm, segment=segment), 3000)
+
+
+def test_bcast_ring_pipeline_nonzero_root():
+    check_bcast(make_world(3, 2), bcast_ring_pipeline, 512, root=2)
+
+
+def test_bcast_ring_bad_segment():
+    with pytest.raises(ValueError):
+        check_bcast(make_world(1, 2), lambda ctx, v, root, comm:
+                    bcast_ring_pipeline(ctx, v, root, comm, segment=0), 64)
+
+
+@pytest.mark.parametrize("count", [1, 64, 500])
+def test_gather_binomial(world, count):
+    check_gather(world, gather_binomial, count)
+
+
+@pytest.mark.parametrize("root", [1, 4])
+def test_gather_binomial_nonzero_root(root):
+    check_gather(make_world(3, 2), gather_binomial, 64, root=root)
+
+
+def test_gather_linear(world):
+    check_gather(world, gather_linear, 64)
+
+
+def test_gather_linear_nonzero_root():
+    check_gather(make_world(2, 3), gather_linear, 64, root=5)
+
+
+@pytest.mark.parametrize("count", [1, 64, 500])
+def test_scatter_binomial(world, count):
+    check_scatter(world, scatter_binomial, count)
+
+
+@pytest.mark.parametrize("root", [1, 5])
+def test_scatter_binomial_nonzero_root(root):
+    check_scatter(make_world(3, 2), scatter_binomial, 64, root=root)
+
+
+def test_scatter_linear(world):
+    check_scatter(world, scatter_linear, 64)
+
+
+@pytest.mark.parametrize("count", [8, 256])
+def test_reduce_binomial_sum(world, count):
+    check_reduce(world, reduce_binomial, count, op=SUM)
+
+
+def test_reduce_binomial_max():
+    check_reduce(make_world(3, 2), reduce_binomial, 32, op=MAX)
+
+
+def test_reduce_binomial_nonzero_root():
+    check_reduce(make_world(2, 3), reduce_binomial, 16, root=4)
+
+
+def test_gather_root_missing_recvbuf_raises():
+    world = make_world(1, 2)
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        yield from gather_binomial(ctx, buf.view(), None, root=0)
+
+    with pytest.raises(ValueError, match="needs a receive buffer"):
+        world.run(program)
+
+
+def test_scatter_wrong_sendbuf_size_raises():
+    world = make_world(1, 2)
+
+    def program(ctx):
+        recv = ctx.alloc(8)
+        send = ctx.alloc(8)  # should be 16 for 2 ranks
+        yield from scatter_binomial(
+            ctx, send.view() if ctx.rank == 0 else None, recv.view(), root=0)
+
+    with pytest.raises(ValueError, match="expected 2"):
+        world.run(program)
+
+
+def test_single_rank_world_rooted_collectives():
+    world = make_world(1, 1)
+    check_bcast(world, bcast_binomial, 64)
+    check_gather(world, gather_binomial, 64)
+    check_scatter(world, scatter_binomial, 64)
+    check_reduce(world, reduce_binomial, 64)

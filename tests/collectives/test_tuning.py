@@ -1,0 +1,66 @@
+"""Tests pinning the library selection tables (tuning introspection)."""
+
+import pytest
+
+from repro.collectives.tuning import (
+    compare_libraries,
+    cutoffs,
+    format_selection_tables,
+    selection_table,
+)
+from repro.mpilibs import PAPER_LINEUP
+
+
+def test_mpich_allgather_cliff_at_paper_scale():
+    """The Bruck→ring switch at 2304 ranks falls between 128 B and
+    256 B per process (512 KB total) — the cliff EXPERIMENTS.md
+    discusses."""
+    cuts = cutoffs("MPICH", "allgather", 2304, sizes=(16, 128, 256, 1024))
+    assert cuts[0][1] == "allgather_bruck"
+    names = [name for _size, name in cuts]
+    assert "allgather_ring" in names
+    ring_from = next(size for size, name in cuts if name == "allgather_ring")
+    assert ring_from == 256
+
+
+def test_mpich_allgather_rd_for_pow2():
+    cuts = cutoffs("MPICH", "allgather", 2048, sizes=(16,))
+    assert cuts[0][1] == "allgather_recursive_doubling"
+
+
+def test_pip_mcoll_size_switch():
+    cuts = cutoffs("PiP-MColl", "allgather", 2304,
+                   sizes=(64, 8192, 16384))
+    assert cuts[0][1] == "mcoll_allgather"
+    assert cuts[-1][1] == "mcoll_allgather_large"
+
+
+def test_selection_table_shape():
+    table = selection_table("MPICH", "bcast", 96, sizes=(64, 65536))
+    assert [row.nbytes for row in table] == [64, 65536]
+    assert table[0].algorithm == "bcast_binomial"
+    assert table[1].algorithm == "bcast_ring_pipeline"
+
+
+def test_format_tables_mentions_every_collective():
+    text = format_selection_tables("PiP-MColl", 2304)
+    for coll in ("bcast", "allgather", "scatter", "barrier"):
+        assert coll in text
+    assert "mcoll_scatter" in text
+
+
+def test_compare_libraries_keys():
+    grid = compare_libraries("allgather", 2304, PAPER_LINEUP, sizes=(64,))
+    assert set(grid) == set(PAPER_LINEUP)
+    # Every baseline picks a *different function* than PiP-MColl.
+    ours = grid["PiP-MColl"][0].algorithm
+    assert all(grid[lib][0].algorithm != ours
+               for lib in PAPER_LINEUP if lib != "PiP-MColl")
+
+
+def test_selection_accepts_library_instance():
+    from repro.mpilibs import make_library
+
+    lib = make_library("MPICH")
+    assert selection_table(lib, "barrier", 8, sizes=(0,))[0].algorithm == \
+        "barrier_dissemination"

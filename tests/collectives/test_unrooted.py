@@ -1,0 +1,152 @@
+"""Byte-exact correctness of unrooted collectives."""
+
+import pytest
+
+from repro.collectives import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    alltoall_bruck,
+    alltoall_pairwise,
+    barrier_dissemination,
+    reduce_scatter_recursive_halving,
+    reduce_scatter_reduce_then_scatter,
+    scan_linear,
+    scan_recursive_doubling,
+)
+from repro.runtime.ops import MAX, SUM
+from repro.validate.checker import (
+    check_allgather,
+    check_allreduce,
+    check_alltoall,
+    check_barrier,
+    check_reduce_scatter,
+    check_scan,
+)
+
+from .conftest import make_world
+
+
+@pytest.mark.parametrize("count", [1, 16, 300])
+def test_allgather_bruck(world, count):
+    check_allgather(world, allgather_bruck, count)
+
+
+@pytest.mark.parametrize("count", [16, 300])
+def test_allgather_recursive_doubling(pow2_world, count):
+    check_allgather(pow2_world, allgather_recursive_doubling, count)
+
+
+def test_allgather_recursive_doubling_rejects_non_pow2():
+    with pytest.raises(ValueError, match="power-of-two"):
+        check_allgather(make_world(3, 2), allgather_recursive_doubling, 16)
+
+
+@pytest.mark.parametrize("count", [16, 300])
+def test_allgather_ring(world, count):
+    check_allgather(world, allgather_ring, count)
+
+
+@pytest.mark.parametrize("count", [8, 256])
+def test_allreduce_recursive_doubling(world, count):
+    check_allreduce(world, allreduce_recursive_doubling, count, op=SUM)
+
+
+def test_allreduce_recursive_doubling_max():
+    check_allreduce(make_world(5, 3), allreduce_recursive_doubling, 32, op=MAX)
+
+
+@pytest.mark.parametrize("count", [16, 64])
+def test_allreduce_rabenseifner(pow2_world, count):
+    check_allreduce(pow2_world, allreduce_rabenseifner, count, op=SUM)
+
+
+def test_allreduce_rabenseifner_rejects_non_pow2():
+    with pytest.raises(ValueError, match="power-of-two"):
+        check_allreduce(make_world(3, 2), allreduce_rabenseifner, 16)
+
+
+def test_allreduce_rabenseifner_rejects_indivisible():
+    with pytest.raises(ValueError, match="divisible"):
+        check_allreduce(make_world(2, 4), allreduce_rabenseifner, 3)
+
+
+@pytest.mark.parametrize("count", [1, 8, 100])
+def test_alltoall_pairwise(world, count):
+    check_alltoall(world, alltoall_pairwise, count)
+
+
+@pytest.mark.parametrize("count", [1, 8, 100])
+def test_alltoall_bruck(world, count):
+    check_alltoall(world, alltoall_bruck, count)
+
+
+@pytest.mark.parametrize("count", [4, 64])
+def test_reduce_scatter_recursive_halving(pow2_world, count):
+    check_reduce_scatter(pow2_world, reduce_scatter_recursive_halving, count, op=SUM)
+
+
+def test_reduce_scatter_recursive_halving_rejects_non_pow2():
+    with pytest.raises(ValueError, match="power-of-two"):
+        check_reduce_scatter(make_world(3, 2), reduce_scatter_recursive_halving, 4)
+
+
+@pytest.mark.parametrize("count", [4, 64])
+def test_reduce_scatter_fallback_any_size(world, count):
+    check_reduce_scatter(world, reduce_scatter_reduce_then_scatter, count, op=SUM)
+
+
+@pytest.mark.parametrize("count", [8, 128])
+def test_scan_linear(world, count):
+    check_scan(world, scan_linear, count, op=SUM)
+
+
+@pytest.mark.parametrize("count", [8, 128])
+def test_scan_recursive_doubling(world, count):
+    check_scan(world, scan_recursive_doubling, count, op=SUM)
+
+
+def test_scan_recursive_doubling_max():
+    check_scan(make_world(5, 3), scan_recursive_doubling, 16, op=MAX)
+
+
+def test_barrier_dissemination(world):
+    check_barrier(world, barrier_dissemination)
+
+
+def test_barrier_single_rank():
+    check_barrier(make_world(1, 1), barrier_dissemination)
+
+
+def test_allgather_on_subcommunicator():
+    """Collectives must work on node/leader communicators too."""
+    world = make_world(3, 2)
+
+    def program(ctx):
+        import numpy as np
+
+        from repro.runtime import ArrayBuffer
+        from repro.validate.checker import pattern
+
+        comm = ctx.node_comm
+        cr = comm.to_comm(ctx.rank)
+        send = ArrayBuffer.from_array(pattern(ctx.rank, 32))
+        recv = ArrayBuffer.zeros(32 * comm.size)
+        yield from allgather_bruck(ctx, send.view(), recv.view(), comm=comm)
+        want = np.concatenate([pattern(w, 32) for w in comm.world_ranks])
+        assert np.array_equal(recv.read_bytes(0, recv.nbytes), want), f"rank {ctx.rank}"
+        return cr
+
+    world.run(program)
+    world.assert_quiescent()
+
+
+def test_back_to_back_collectives_do_not_cross_match():
+    """Tag spaces keep two successive collectives separate."""
+    world = make_world(2, 2)
+    check_allgather(world, allgather_bruck, 16)
+    check_allreduce(world, allreduce_recursive_doubling, 16)
+    check_alltoall(world, alltoall_bruck, 16)
+    check_barrier(world, barrier_dissemination)

@@ -1,0 +1,163 @@
+"""Byte-exact correctness of vector collectives and exscan."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    allgatherv_ring,
+    alltoallv_pairwise,
+    exscan_linear,
+    gatherv_linear,
+    packed_displs,
+    scatterv_linear,
+)
+from repro.runtime.ops import MAX, SUM
+from repro.validate.checker import (
+    check_allgatherv,
+    check_alltoallv,
+    check_exscan,
+    check_gatherv,
+    check_scatterv,
+)
+
+from .conftest import make_world
+
+PROP = dict(max_examples=12, deadline=None,
+            suppress_health_check=[HealthCheck.too_slow])
+
+
+def test_packed_displs():
+    assert packed_displs([3, 0, 5]) == [0, 3, 3]
+    assert packed_displs([]) == []
+
+
+def test_gatherv_uneven_counts(world):
+    size = world.comm_world.size
+    counts = [(r * 7) % 13 + 1 for r in range(size)]
+    check_gatherv(world, gatherv_linear, counts)
+
+
+def test_gatherv_with_zero_counts():
+    counts = [4, 0, 9, 0, 1, 16]
+    check_gatherv(make_world(3, 2), gatherv_linear, counts)
+
+
+def test_gatherv_nonzero_root():
+    counts = [5, 3, 8, 2, 7, 1]
+    check_gatherv(make_world(2, 3), gatherv_linear, counts, root=4)
+
+
+def test_gatherv_root_missing_counts():
+    world = make_world(1, 2)
+
+    def program(ctx):
+        buf = ctx.alloc(4)
+        yield from gatherv_linear(ctx, buf.view(), buf.view(), counts=None, root=0)
+
+    with pytest.raises(ValueError, match="root needs"):
+        world.run(program)
+
+
+def test_scatterv_uneven_counts(world):
+    size = world.comm_world.size
+    counts = [(r * 5) % 11 + 1 for r in range(size)]
+    check_scatterv(world, scatterv_linear, counts)
+
+
+def test_scatterv_with_zero_counts():
+    counts = [0, 6, 0, 2, 12, 3]
+    check_scatterv(make_world(3, 2), scatterv_linear, counts)
+
+
+def test_scatterv_nonzero_root():
+    counts = [2, 9, 4, 1, 6, 8]
+    check_scatterv(make_world(2, 3), scatterv_linear, counts, root=5)
+
+
+def test_allgatherv_uneven_counts(world):
+    size = world.comm_world.size
+    counts = [(r * 3) % 9 + 1 for r in range(size)]
+    check_allgatherv(world, allgatherv_ring, counts)
+
+
+def test_allgatherv_zero_count_blocks():
+    counts = [4, 0, 7, 0, 2, 5]
+    check_allgatherv(make_world(3, 2), allgatherv_ring, counts)
+
+
+def test_allgatherv_count_mismatch_raises():
+    world = make_world(1, 2)
+
+    def program(ctx):
+        send = ctx.alloc(5)
+        recv = ctx.alloc(8)
+        yield from allgatherv_ring(ctx, send.view(), recv.view(), counts=[4, 4])
+
+    with pytest.raises(ValueError, match="counts say"):
+        world.run(program)
+
+
+def test_alltoallv_full_matrix(world):
+    size = world.comm_world.size
+    matrix = [[(i * size + j) % 7 + 1 for j in range(size)] for i in range(size)]
+    check_alltoallv(world, alltoallv_pairwise, matrix)
+
+
+def test_alltoallv_sparse_matrix():
+    size = 6
+    matrix = [[(3 if (i + j) % 2 else 0) if i != j else 2 for j in range(size)]
+              for i in range(size)]
+    check_alltoallv(make_world(2, 3), alltoallv_pairwise, matrix)
+
+
+def test_alltoallv_wrong_count_len():
+    world = make_world(1, 2)
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        yield from alltoallv_pairwise(ctx, buf.view(), [4], buf.view(), [4, 4])
+
+    with pytest.raises(ValueError, match="counts"):
+        world.run(program)
+
+
+@pytest.mark.parametrize("count", [4, 64])
+def test_exscan_linear(world, count):
+    check_exscan(world, exscan_linear, count, op=SUM)
+
+
+def test_exscan_max():
+    check_exscan(make_world(5, 3), exscan_linear, 8, op=MAX)
+
+
+@given(data=st.data(), nodes=st.integers(1, 4), ppn=st.integers(1, 4))
+@settings(**PROP)
+def test_gatherv_random_counts(data, nodes, ppn):
+    size = nodes * ppn
+    counts = data.draw(st.lists(st.integers(0, 40), min_size=size, max_size=size))
+    if sum(counts) == 0:
+        counts[0] = 1
+    check_gatherv(make_world(nodes, ppn), gatherv_linear, counts)
+
+
+@given(data=st.data(), nodes=st.integers(1, 4), ppn=st.integers(1, 4))
+@settings(**PROP)
+def test_allgatherv_random_counts(data, nodes, ppn):
+    size = nodes * ppn
+    counts = data.draw(st.lists(st.integers(0, 40), min_size=size, max_size=size))
+    if sum(counts) == 0:
+        counts[0] = 1
+    check_allgatherv(make_world(nodes, ppn), allgatherv_ring, counts)
+
+
+@given(data=st.data(), nodes=st.integers(1, 3), ppn=st.integers(1, 3))
+@settings(**PROP)
+def test_alltoallv_random_matrix(data, nodes, ppn):
+    size = nodes * ppn
+    matrix = data.draw(st.lists(
+        st.lists(st.integers(0, 20), min_size=size, max_size=size),
+        min_size=size, max_size=size))
+    for i in range(size):
+        matrix[i][i] = max(matrix[i][i], 0)
+    check_alltoallv(make_world(nodes, ppn), alltoallv_pairwise, matrix)

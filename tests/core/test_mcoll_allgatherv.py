@@ -1,0 +1,73 @@
+"""Correctness of the multi-object allgatherv extension."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import mcoll_allgatherv
+from repro.machine import small_test
+from repro.runtime import World
+from repro.validate.checker import check_allgatherv
+
+SHAPES = [(1, 4), (2, 2), (3, 2), (5, 3), (4, 1)]
+
+
+def pip_world(nodes, ppn):
+    return World(small_test(nodes=nodes, ppn=ppn), intra="pip")
+
+
+def adapt(ctx, sendview, recvview, counts, comm=None):
+    yield from mcoll_allgatherv(ctx, sendview, recvview, counts, comm=comm)
+
+
+@pytest.mark.parametrize("nodes,ppn", SHAPES, ids=lambda v: str(v))
+def test_mcoll_allgatherv_uneven(nodes, ppn):
+    size = nodes * ppn
+    counts = [(r * 7) % 13 + 1 for r in range(size)]
+    check_allgatherv(pip_world(nodes, ppn), adapt, counts)
+
+
+def test_mcoll_allgatherv_zero_blocks():
+    counts = [4, 0, 9, 0, 1, 16]
+    check_allgatherv(pip_world(3, 2), adapt, counts)
+
+
+def test_mcoll_allgatherv_empty_node():
+    # Node 1 (ranks 2-3) contributes nothing at all.
+    counts = [5, 3, 0, 0, 7, 2]
+    check_allgatherv(pip_world(3, 2), adapt, counts)
+
+
+def test_mcoll_allgatherv_count_mismatch():
+    world = pip_world(1, 2)
+
+    def program(ctx):
+        send = ctx.alloc(5)
+        recv = ctx.alloc(8)
+        yield from mcoll_allgatherv(ctx, send.view(), recv.view(), [4, 4])
+
+    with pytest.raises(ValueError, match="counts say"):
+        world.run(program)
+
+
+def test_mcoll_allgatherv_wrong_count_len():
+    world = pip_world(1, 2)
+
+    def program(ctx):
+        send = ctx.alloc(4)
+        recv = ctx.alloc(4)
+        yield from mcoll_allgatherv(ctx, send.view(), recv.view(), [4])
+
+    with pytest.raises(ValueError, match="counts for"):
+        world.run(program)
+
+
+@given(data=st.data(), nodes=st.integers(1, 4), ppn=st.integers(1, 4))
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mcoll_allgatherv_random_counts(data, nodes, ppn):
+    size = nodes * ppn
+    counts = data.draw(st.lists(st.integers(0, 40), min_size=size, max_size=size))
+    if sum(counts) == 0:
+        counts[0] = 1
+    check_allgatherv(pip_world(nodes, ppn), adapt, counts)

@@ -1,0 +1,79 @@
+"""Correctness of mcoll_reduce and the any-N rsag allreduce."""
+
+import pytest
+
+from repro.core import mcoll_allreduce_rsag, mcoll_reduce
+from repro.machine import small_test
+from repro.runtime import World
+from repro.runtime.ops import MAX, SUM
+from repro.validate.checker import check_allreduce, check_reduce
+
+SHAPES = [(1, 4), (2, 2), (3, 2), (9, 2), (5, 3), (7, 4), (4, 1)]
+
+
+def pip_world(nodes, ppn):
+    return World(small_test(nodes=nodes, ppn=ppn), intra="pip")
+
+
+@pytest.fixture(params=SHAPES, ids=lambda s: f"{s[0]}x{s[1]}")
+def world(request):
+    return pip_world(*request.param)
+
+
+@pytest.mark.parametrize("count", [8, 240])
+def test_mcoll_reduce(world, count):
+    check_reduce(world, mcoll_reduce, count, op=SUM)
+
+
+def test_mcoll_reduce_max():
+    check_reduce(pip_world(4, 3), mcoll_reduce, 32, op=MAX)
+
+
+@pytest.mark.parametrize("root", [1, 5, 8])
+def test_mcoll_reduce_nonzero_root(root):
+    check_reduce(pip_world(3, 3), mcoll_reduce, 16, root=root)
+
+
+def test_mcoll_reduce_root_needs_buffer():
+    world = pip_world(1, 2)
+
+    def program(ctx):
+        from repro.runtime.datatypes import INT64
+
+        buf = ctx.alloc(16)
+        yield from mcoll_reduce(ctx, buf.view(), None, INT64, SUM, root=0)
+
+    with pytest.raises(ValueError, match="needs a receive buffer"):
+        world.run(program)
+
+
+@pytest.mark.parametrize("count", [12, 120])
+def test_mcoll_allreduce_rsag_any_nodes(world, count):
+    """count chosen divisible by every world size in SHAPES."""
+    size = world.comm_world.size
+    if (count * 8) % (size * 8):
+        count = size * 3  # ensure divisibility
+    check_allreduce(world, mcoll_allreduce_rsag, count, op=SUM)
+
+
+def test_mcoll_allreduce_rsag_rejects_indivisible():
+    with pytest.raises(ValueError, match="equal"):
+        check_allreduce(pip_world(3, 2), mcoll_allreduce_rsag, 7)
+
+
+def test_library_allreduce_non_pow2_nodes_uses_rsag():
+    """End-to-end: the PiP-MColl library handles non-pow2 node counts."""
+    from repro.mpilibs import make_library
+
+    lib = make_library("PiP-MColl")
+    world = lib.make_world(small_test(nodes=3, ppn=2))
+    check_allreduce(world, lib.wrapped("allreduce", 48, 6), 6)  # 6 int64 = 48 B
+
+
+def test_library_reduce_is_multiobject():
+    from repro.mpilibs import make_library
+
+    lib = make_library("PiP-MColl")
+    assert lib.algorithm("reduce", 64, 2304) is mcoll_reduce
+    world = lib.make_world(small_test(nodes=3, ppn=3))
+    check_reduce(world, lib.wrapped("reduce", 64, 9), 8)

@@ -1,0 +1,104 @@
+"""Unit + property tests for the multi-object schedule math (paper §2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multiobject import (
+    bruck_schedule,
+    coverage_check,
+    dest_node,
+    final_span,
+    full_spans,
+    paired_rank,
+    radix,
+    remainder_count,
+    round_partition,
+    source_node,
+    total_rounds,
+)
+
+
+def test_radix_is_ppn_plus_one():
+    assert radix(18) == 19  # the paper's B_k = P + 1
+    assert radix(1) == 2  # degenerates to classic radix-2 Bruck
+    with pytest.raises(ValueError):
+        radix(0)
+
+
+def test_paper_scale_two_rounds():
+    """128 nodes, 18 ppn: one full round (span 19) + one partial."""
+    assert full_spans(128, 18) == [1]
+    assert final_span(128, 18) == 19
+    assert total_rounds(128, 18) == 2
+    # Radix-2 baseline needs ceil(log2 128) = 7 rounds; multi-object
+    # needs 2 — the round-count part of the paper's speedup.
+    assert total_rounds(128, 1) == 7
+
+
+def test_full_spans_power_of_radix():
+    # 27 nodes, ppn 2 → radix 3 → spans 1, 3, 9; no partial round.
+    assert full_spans(27, 2) == [1, 3, 9]
+    assert final_span(27, 2) == 27
+    assert total_rounds(27, 2) == 3
+
+
+def test_remainder_counts_paper_example():
+    """N=128, span 19: digits 1-5 move 19 chunks, digit 6 moves 14,
+    digits 7+ move none; total = 128 - 19."""
+    counts = [remainder_count(128, 19, d) for d in range(1, 19)]
+    assert counts[:5] == [19] * 5
+    assert counts[5] == 14
+    assert all(c == 0 for c in counts[6:])
+    assert sum(counts) == 128 - 19
+
+
+def test_remainder_count_validates_digit():
+    with pytest.raises(ValueError):
+        remainder_count(10, 1, 0)
+
+
+def test_pairing_directions():
+    # Paper step 3: src = (N_id + off) % N, dst = (N_id - off) % N.
+    assert source_node(0, 3, 8) == 3
+    assert dest_node(0, 3, 8) == 5
+    assert paired_rank(4, 2, 18) == 74  # node*P + R_l (corrected typo)
+
+
+def test_bruck_schedule_shape_at_paper_scale():
+    sched = bruck_schedule(128, 18, local_rank=0)  # digit 1
+    assert len(sched) == 2
+    assert sched[0].span == 1 and sched[0].chunks == 1
+    assert sched[1].span == 19 and sched[1].chunks == 19
+    # Digit 6 (local rank 5) is clipped in the partial round.
+    assert bruck_schedule(128, 18, local_rank=5)[1].chunks == 14
+    # Digit 7 (local rank 6) has no partial-round work.
+    assert len(bruck_schedule(128, 18, local_rank=6)) == 1
+
+
+def test_bruck_schedule_validates_local_rank():
+    with pytest.raises(ValueError):
+        bruck_schedule(8, 4, local_rank=4)
+
+
+@given(n_nodes=st.integers(1, 200), ppn=st.integers(1, 36))
+def test_schedule_covers_every_chunk_exactly_once(n_nodes, ppn):
+    """Across all local ranks, chunks 1..N-1 are each received exactly
+    once — the allgather coverage invariant (paper steps 3-5)."""
+    total, seen = coverage_check(n_nodes, ppn)
+    assert total == n_nodes - 1
+    assert seen == list(range(1, n_nodes))
+
+
+@given(n_nodes=st.integers(2, 200), ppn=st.integers(1, 36))
+def test_round_count_is_log_radix(n_nodes, ppn):
+    import math
+
+    rounds = total_rounds(n_nodes, ppn)
+    assert rounds == math.ceil(math.log(n_nodes, ppn + 1) - 1e-12)
+
+
+@given(n_items=st.integers(0, 100), ppn=st.integers(1, 20))
+def test_round_partition_covers_all_items(n_items, ppn):
+    seen = sorted(i for rl in range(ppn) for i in round_partition(n_items, ppn, rl))
+    assert seen == list(range(n_items))

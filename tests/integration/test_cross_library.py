@@ -1,0 +1,105 @@
+"""Cross-library integration: performance *ordering* invariants.
+
+These are the small-scale versions of the paper's claims — fast enough
+for the unit-test suite, asserting orderings rather than magnitudes.
+"""
+
+import pytest
+
+from repro.bench import bench_collective
+from repro.machine import broadwell_opa, small_test
+from repro.mpilibs import PAPER_LINEUP
+
+PARAMS = broadwell_opa(nodes=8, ppn=6)
+
+
+@pytest.fixture(scope="module")
+def allgather_64():
+    return {
+        name: bench_collective(name, "allgather", 64, PARAMS, warmup=1, iters=1)
+        for name in PAPER_LINEUP
+    }
+
+
+def test_pip_mcoll_wins_allgather(allgather_64):
+    ours = allgather_64["PiP-MColl"].latency_us
+    for name, point in allgather_64.items():
+        if name != "PiP-MColl":
+            assert ours < point.latency_us, name
+
+
+def test_pip_mpich_never_beats_mpich(allgather_64):
+    assert allgather_64["PiP-MPICH"].latency_us >= \
+        allgather_64["MPICH"].latency_us * 0.999
+
+
+def test_scatter_ordering():
+    pts = {
+        name: bench_collective(name, "scatter", 256, PARAMS, warmup=1, iters=1)
+        for name in ("MPICH", "PiP-MColl")
+    }
+    assert pts["PiP-MColl"].latency_us < pts["MPICH"].latency_us
+
+
+def test_barrier_ordering():
+    pts = {
+        name: bench_collective(name, "barrier", 0, PARAMS, warmup=1, iters=1)
+        for name in ("MPICH", "PiP-MColl")
+    }
+    assert pts["PiP-MColl"].latency_us < pts["MPICH"].latency_us
+
+
+def test_latency_grows_with_message_size():
+    for name in ("MPICH", "PiP-MColl"):
+        lats = [
+            bench_collective(name, "allgather", n, PARAMS, warmup=1,
+                             iters=1).latency_us
+            for n in (16, 256, 4096)
+        ]
+        assert lats[0] < lats[1] < lats[2], (name, lats)
+
+
+def test_latency_grows_with_scale():
+    small = bench_collective("PiP-MColl", "allgather", 64,
+                             broadwell_opa(nodes=4, ppn=6), warmup=1, iters=1)
+    big = bench_collective("PiP-MColl", "allgather", 64,
+                           broadwell_opa(nodes=16, ppn=6), warmup=1, iters=1)
+    assert big.latency_us > small.latency_us
+
+
+def test_mcoll_advantage_grows_with_nodes():
+    """The A4 trend at test-suite scale: the absolute saving grows
+    with node count (the ratio saturates — see A4's docstring)."""
+    gaps = []
+    for nodes in (8, 32):
+        base = bench_collective("MPICH", "allgather", 64,
+                                broadwell_opa(nodes=nodes, ppn=6),
+                                warmup=1, iters=1)
+        ours = bench_collective("PiP-MColl", "allgather", 64,
+                                broadwell_opa(nodes=nodes, ppn=6),
+                                warmup=1, iters=1)
+        assert ours.latency_us < base.latency_us
+        gaps.append(base.latency_us - ours.latency_us)
+    assert gaps[1] > gaps[0]
+
+
+def test_second_machine_preset_same_ordering():
+    """The win is not an artifact of the Broadwell/OPA point."""
+    from repro.machine import skylake_ib
+
+    params = skylake_ib(nodes=8, ppn=6)
+    base = bench_collective("MPICH", "allgather", 64, params, warmup=1, iters=1)
+    ours = bench_collective("PiP-MColl", "allgather", 64, params, warmup=1, iters=1)
+    assert ours.latency_us < base.latency_us
+
+
+def test_functional_mode_full_stack():
+    """Every library moves correct bytes through its selected allgather
+    at a non-trivial (12-rank, non-pow2-node) shape."""
+    from repro.mpilibs import make_library
+    from repro.validate.checker import check_allgather
+
+    for name in PAPER_LINEUP:
+        lib = make_library(name)
+        world = lib.make_world(small_test(nodes=3, ppn=4))
+        check_allgather(world, lib.wrapped("allgather", 48, 12), 48)

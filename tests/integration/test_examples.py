@@ -1,0 +1,71 @@
+"""Smoke tests: the example scripts must run and report success.
+
+Each example is executed in-process (imported with a unique module
+name and its ``main()`` called) so failures surface as ordinary test
+failures with stdout attached.  The slowest examples are trimmed via
+their module-level knobs where possible.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    present = sorted(p.stem for p in EXAMPLES.glob("*.py"))
+    assert "quickstart" in present
+    assert len(present) >= 5
+
+
+def test_transport_shootout_runs(capsys):
+    mod = load_example("transport_shootout")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "posix_shmem" in out and "pip" in out
+    assert "cost structure" in out
+
+
+def test_halo_exchange_runs(capsys):
+    mod = load_example("halo_exchange")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "residual history identical" in out
+    assert "PiP-MColl" in out
+
+
+def test_kmeans_runs(capsys):
+    mod = load_example("kmeans_allreduce")
+    mod.ITERS = 4  # trim for test time
+    mod.main()
+    out = capsys.readouterr().out
+    assert "identical convergence" in out
+
+
+def test_quickstart_correctness_section(capsys):
+    mod = load_example("quickstart")
+    # Run only the byte-verification part (the sweep is benchmarked
+    # elsewhere and takes ~1 min).
+    mod.verify_allgather_bytes()
+    out = capsys.readouterr().out
+    assert "OK" in out
+
+
+def test_conjugate_gradient_single_library(capsys):
+    mod = load_example("conjugate_gradient")
+    mod.MAX_ITERS = 40  # converges at 128; 40 is enough for the smoke
+    residuals, elapsed = mod.run("PiP-MColl")
+    assert len(residuals) == 41
+    assert elapsed > 0

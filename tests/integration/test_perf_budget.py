@@ -1,0 +1,70 @@
+"""Event-count regression guards.
+
+The simulator's wall-clock cost is proportional to processed events.
+These tests pin loose upper bounds on the event counts of
+representative operations; an accidental choreography change that,
+say, reintroduces a per-chunk event loop would blow the bound long
+before anyone notices benchmarks taking ten times longer.
+
+Counts are deterministic, so the bounds can be tight-ish; they are
+still ~2× above current values to absorb legitimate model additions.
+"""
+
+from repro.bench.harness import _buffers, _invoke
+from repro.machine import broadwell_opa, small_test
+from repro.mpilibs import make_library
+
+
+def events_for(lib_name, collective, nbytes, params):
+    lib = make_library(lib_name)
+    world = lib.make_world(params, functional=False)
+    size = world.comm_world.size
+    algo = lib.wrapped(collective, nbytes, size)
+
+    def program(ctx):
+        bufs = _buffers(ctx, collective, nbytes, size, 0)
+        yield from _invoke(algo, ctx, bufs, collective, 0)
+
+    world.run(program)
+    return world.sim.event_count, size
+
+
+def test_eager_message_event_budget():
+    world = make_library("MPICH").make_world(small_test(nodes=2, ppn=1),
+                                             functional=False)
+
+    def program(ctx):
+        buf = ctx.alloc(64)
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=1, tag=0)
+        else:
+            yield from ctx.recv(buf.view(), src=0, tag=0)
+
+    world.run(program)
+    # One message: sender event, delivery chain (2), recv dispatch +
+    # completion, process bootstraps... budget 16.
+    assert world.sim.event_count <= 16, world.sim.event_count
+
+
+def test_flat_bruck_event_budget_per_message():
+    events, size = events_for("MPICH", "allgather", 64,
+                              broadwell_opa(nodes=16, ppn=6))
+    import math
+
+    messages = size * math.ceil(math.log2(size))
+    per_msg = events / messages
+    assert per_msg <= 12, f"{per_msg:.1f} events per message"
+
+
+def test_mcoll_allgather_event_budget():
+    events, size = events_for("PiP-MColl", "allgather", 64,
+                              broadwell_opa(nodes=16, ppn=6))
+    # 2 rounds × 96 messages + barriers + copies; budget 40/rank.
+    assert events <= 40 * size, f"{events} events for {size} ranks"
+
+
+def test_full_scale_mcoll_stays_under_a_million_events():
+    """The paper-scale PiP-MColl allgather must stay cheap to simulate
+    (it is the point that gets re-run hundreds of times)."""
+    events, _ = events_for("PiP-MColl", "allgather", 64, broadwell_opa())
+    assert events < 1_000_000, events

@@ -1,0 +1,107 @@
+"""Property-based integration tests: random shapes × counts × roots.
+
+Hypothesis drives the full stack — runtime, transports, algorithms —
+through randomized cluster shapes and message sizes, checking byte
+exactness against the numpy references every time.  Settings are tuned
+so the whole module stays in tens of seconds.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    allgather_bruck,
+    alltoall_bruck,
+    bcast_binomial,
+    gather_binomial,
+    scatter_binomial,
+)
+from repro.core import mcoll_allgather, mcoll_bcast, mcoll_gather, mcoll_scatter
+from repro.machine import small_test
+from repro.runtime import World
+from repro.validate.checker import (
+    check_allgather,
+    check_alltoall,
+    check_bcast,
+    check_gather,
+    check_scatter,
+)
+
+SHAPE = st.tuples(st.integers(1, 7), st.integers(1, 6))
+COUNT = st.integers(1, 97)  # deliberately includes odd sizes
+PROP_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def world(shape, intra="posix_shmem"):
+    return World(small_test(nodes=shape[0], ppn=shape[1]), intra=intra)
+
+
+@given(shape=SHAPE, count=COUNT, data=st.data())
+@settings(**PROP_SETTINGS)
+def test_bcast_binomial_any_shape_any_root(shape, count, data):
+    size = shape[0] * shape[1]
+    root = data.draw(st.integers(0, size - 1))
+    check_bcast(world(shape), bcast_binomial, count, root=root)
+
+
+@given(shape=SHAPE, count=COUNT, data=st.data())
+@settings(**PROP_SETTINGS)
+def test_gather_binomial_any_shape_any_root(shape, count, data):
+    size = shape[0] * shape[1]
+    root = data.draw(st.integers(0, size - 1))
+    check_gather(world(shape), gather_binomial, count, root=root)
+
+
+@given(shape=SHAPE, count=COUNT, data=st.data())
+@settings(**PROP_SETTINGS)
+def test_scatter_binomial_any_shape_any_root(shape, count, data):
+    size = shape[0] * shape[1]
+    root = data.draw(st.integers(0, size - 1))
+    check_scatter(world(shape), scatter_binomial, count, root=root)
+
+
+@given(shape=SHAPE, count=COUNT)
+@settings(**PROP_SETTINGS)
+def test_allgather_bruck_any_shape(shape, count):
+    check_allgather(world(shape), allgather_bruck, count)
+
+
+@given(shape=SHAPE, count=st.integers(1, 33))
+@settings(**PROP_SETTINGS)
+def test_alltoall_bruck_any_shape(shape, count):
+    check_alltoall(world(shape), alltoall_bruck, count)
+
+
+@given(shape=SHAPE, count=COUNT)
+@settings(**PROP_SETTINGS)
+def test_mcoll_allgather_any_shape(shape, count):
+    """The paper's algorithm incl. remainder rounds, random shapes."""
+    check_allgather(world(shape, intra="pip"), mcoll_allgather, count)
+
+
+@given(shape=SHAPE, count=COUNT, data=st.data())
+@settings(**PROP_SETTINGS)
+def test_mcoll_scatter_any_shape_any_root(shape, count, data):
+    size = shape[0] * shape[1]
+    root = data.draw(st.integers(0, size - 1))
+    check_scatter(world(shape, intra="pip"), mcoll_scatter, count, root=root)
+
+
+@given(shape=SHAPE, count=COUNT, data=st.data())
+@settings(**PROP_SETTINGS)
+def test_mcoll_gather_any_shape_any_root(shape, count, data):
+    size = shape[0] * shape[1]
+    root = data.draw(st.integers(0, size - 1))
+    check_gather(world(shape, intra="pip"), mcoll_gather, count, root=root)
+
+
+@given(shape=SHAPE, count=COUNT, data=st.data())
+@settings(**PROP_SETTINGS)
+def test_mcoll_bcast_any_shape_any_root(shape, count, data):
+    size = shape[0] * shape[1]
+    root = data.draw(st.integers(0, size - 1))
+    check_bcast(world(shape, intra="pip"), mcoll_bcast, count, root=root)

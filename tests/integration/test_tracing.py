@@ -1,0 +1,167 @@
+"""Trace-based verification: message counts and transport usage.
+
+An independent correctness axis: for each algorithm we know exactly
+how many messages must cross which transport.  The tracer counts them,
+so an algorithm silently doing extra (or missing) communication cannot
+pass even if its bytes come out right.
+
+Self-sends are delivered inline and do not appear as "message" records.
+"""
+
+import math
+
+from repro.collectives import (
+    allgather_bruck,
+    barrier_dissemination,
+    bcast_binomial,
+    gather_binomial,
+    scatter_binomial,
+)
+from repro.core import mcoll_allgather, mcoll_scatter
+from repro.core.multiobject import bruck_schedule
+from repro.machine import small_test
+from repro.runtime import World
+from repro.sim import Tracer
+from repro.validate.checker import check_allgather, check_barrier, check_bcast, check_gather, check_scatter
+
+
+def traced_world(nodes, ppn, intra="posix_shmem"):
+    tracer = Tracer()
+    return World(small_test(nodes=nodes, ppn=ppn), intra=intra, tracer=tracer), tracer
+
+
+def messages(tracer):
+    return tracer.of_kind("message")
+
+
+def test_binomial_bcast_message_count():
+    world, tracer = traced_world(3, 2)
+    check_bcast(world, bcast_binomial, 64)
+    assert len(messages(tracer)) == world.comm_world.size - 1
+
+
+def test_binomial_gather_message_count():
+    world, tracer = traced_world(3, 2)
+    check_gather(world, gather_binomial, 64)
+    assert len(messages(tracer)) == world.comm_world.size - 1
+
+
+def test_binomial_scatter_message_count():
+    world, tracer = traced_world(2, 3)
+    check_scatter(world, scatter_binomial, 64)
+    assert len(messages(tracer)) == world.comm_world.size - 1
+
+
+def test_bruck_allgather_message_count():
+    world, tracer = traced_world(2, 2)
+    check_allgather(world, allgather_bruck, 16)
+    size = world.comm_world.size
+    assert len(messages(tracer)) == size * math.ceil(math.log2(size))
+
+
+def test_dissemination_barrier_message_count():
+    world, tracer = traced_world(2, 3)
+    check_barrier(world, barrier_dissemination)
+    size = world.comm_world.size
+    assert len(messages(tracer)) == size * math.ceil(math.log2(size))
+
+
+def test_mcoll_allgather_message_count_and_transports():
+    """The paper's core property, verified structurally: the
+    multi-object allgather sends exactly the scheduled inter-node
+    messages and *zero* intra-node messages (all local movement is
+    direct shared-address-space copies)."""
+    nodes, ppn = 5, 3
+    world, tracer = traced_world(nodes, ppn, intra="pip")
+    check_allgather(world, mcoll_allgather, 16)
+    msgs = messages(tracer)
+    expected = nodes * sum(
+        len(bruck_schedule(nodes, ppn, rl)) for rl in range(ppn)
+    )
+    assert len(msgs) == expected
+    assert all(m.detail["transport"] == "network" for m in msgs)
+
+
+def test_mcoll_scatter_transports():
+    nodes, ppn = 3, 2
+    world, tracer = traced_world(nodes, ppn, intra="pip")
+    check_scatter(world, mcoll_scatter, 16)
+    msgs = messages(tracer)
+    # One slab per remote node, nothing else.
+    assert len(msgs) == nodes - 1
+    assert all(m.detail["transport"] == "network" for m in msgs)
+    assert all(m.detail["nbytes"] == 16 * ppn for m in msgs)
+
+
+def test_baseline_uses_intra_transport():
+    world, tracer = traced_world(1, 4, intra="posix_shmem")
+    check_bcast(world, bcast_binomial, 64)
+    assert all(m.detail["transport"] == "posix_shmem" for m in messages(tracer))
+
+
+def test_tracer_counts_kernel_events():
+    world, tracer = traced_world(1, 2)
+    check_bcast(world, bcast_binomial, 64)
+    assert tracer.count("event:Timeout") > 0
+    assert "trace summary" in tracer.summary()
+    first, last = tracer.span()
+    assert first <= last
+
+
+def test_tracer_counters_only_mode():
+    tracer = Tracer(keep_records=False)
+    world = World(small_test(nodes=1, ppn=2), tracer=tracer)
+    check_bcast(world, bcast_binomial, 64)
+    assert tracer.count("message") == 1
+    assert tracer.records == []
+
+
+def test_world_stats_counters():
+    from repro.collectives import allgather_bruck
+    from repro.validate.checker import check_allgather
+
+    world, _tracer = traced_world(2, 2)
+    check_allgather(world, allgather_bruck, 64)
+    stats = world.stats()
+    # Bruck over 2x2: 6 of the 8 messages cross the network.
+    assert stats["rx_messages"] == stats["tx_messages"] > 0
+    assert stats["tx_busy_s"] > 0
+    assert stats["membus_busy_s"] > 0
+    assert stats["sim_time_s"] > 0
+    assert stats["sim_events"] > 50
+    assert "interpod_bytes" not in stats  # no fabric attached
+
+
+def test_world_stats_with_fabric():
+    from repro.collectives import allgather_bruck
+    from repro.machine import FabricParams, small_test
+    from repro.runtime import World
+    from repro.validate.checker import check_allgather
+
+    world = World(small_test(nodes=4, ppn=1),
+                  fabric=FabricParams(pod_size=2))
+    check_allgather(world, allgather_bruck, 64)
+    assert world.stats()["interpod_bytes"] > 0
+
+
+def test_chrome_trace_export():
+    import json
+
+    world, tracer = traced_world(2, 2)
+    check_bcast(world, bcast_binomial, 64)
+    events = tracer.to_chrome_trace()
+    msg_events = [e for e in events if e["cat"] != "sim"]
+    assert len(msg_events) == world.comm_world.size - 1
+    for e in msg_events:
+        assert e["ph"] == "i"
+        assert e["ts"] >= 0
+        assert "nbytes" in e["args"]
+    json.dumps(events)  # must be serialisable as-is
+
+
+def test_chrome_trace_skips_kernel_noise():
+    world, tracer = traced_world(1, 2)
+    check_bcast(world, bcast_binomial, 64)
+    assert tracer.count("event:Timeout") > 0  # kernel events recorded...
+    events = tracer.to_chrome_trace()
+    assert all(not e["name"].startswith("event:") for e in events)  # ...but not exported

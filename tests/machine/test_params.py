@@ -1,0 +1,94 @@
+"""Unit tests for machine-model parameters and presets."""
+
+import pytest
+
+from repro.machine import (
+    MachineParams,
+    MemoryParams,
+    NicParams,
+    available_presets,
+    broadwell_opa,
+    preset,
+    small_test,
+)
+
+
+def test_broadwell_matches_paper_testbed():
+    p = broadwell_opa()
+    assert p.nodes == 128
+    assert p.ppn == 18
+    assert p.world_size == 2304
+    # 97 Mmsg/s, 100 Gbps — the paper's Omni-Path numbers.
+    assert p.nic.message_rate == pytest.approx(97e6)
+    assert p.nic.bandwidth * 8 == pytest.approx(100e9)
+
+
+def test_wire_time_message_rate_bound_for_small():
+    nic = NicParams()
+    # A 64 B message is gap-bound, not bandwidth-bound.
+    assert nic.wire_time(64) == pytest.approx(nic.msg_gap)
+
+
+def test_wire_time_bandwidth_bound_for_large():
+    nic = NicParams()
+    one_mib = 1 << 20
+    assert nic.wire_time(one_mib) == pytest.approx(one_mib * nic.byte_gap)
+
+
+def test_copy_time_affine():
+    mem = MemoryParams()
+    assert mem.copy_time(0) == pytest.approx(mem.copy_latency)
+    assert mem.copy_time(8000) == pytest.approx(mem.copy_latency + 8000 * mem.copy_byte_time)
+
+
+def test_fault_time_rounds_up_to_pages():
+    mem = MemoryParams(page_size=4096)
+    assert mem.fault_time(1) == pytest.approx(mem.page_fault)
+    assert mem.fault_time(4096) == pytest.approx(mem.page_fault)
+    assert mem.fault_time(4097) == pytest.approx(2 * mem.page_fault)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        NicParams(msg_gap=0.0)
+    with pytest.raises(ValueError):
+        NicParams(latency=-1.0)
+    with pytest.raises(ValueError):
+        MemoryParams(page_size=0)
+    with pytest.raises(ValueError):
+        MachineParams(nodes=0)
+    with pytest.raises(ValueError):
+        MachineParams(ppn=0)
+
+
+def test_scaled_returns_modified_copy():
+    p = broadwell_opa()
+    q = p.scaled(nodes=16)
+    assert q.nodes == 16 and p.nodes == 128
+    assert q.nic == p.nic
+
+
+def test_preset_lookup_and_kwargs():
+    p = preset("broadwell_opa", nodes=8, ppn=4)
+    assert (p.nodes, p.ppn) == (8, 4)
+    with pytest.raises(KeyError):
+        preset("nonexistent")
+
+
+def test_available_presets_contains_paper_machine():
+    names = available_presets()
+    assert "broadwell_opa" in names
+    assert "small_test" in names
+
+
+def test_small_test_same_cost_structure():
+    small = small_test()
+    big = broadwell_opa()
+    assert small.nic == big.nic
+    assert small.memory == big.memory
+
+
+def test_describe_reports_key_figures():
+    d = broadwell_opa().describe()
+    assert d["ranks"] == 2304
+    assert d["nic_bandwidth_Gbps"] == pytest.approx(100.0)

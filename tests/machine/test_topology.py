@@ -1,0 +1,79 @@
+"""Unit and property tests for cluster topology arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import Cluster
+
+
+def test_basic_layout():
+    c = Cluster(nodes=4, ppn=3)
+    assert c.world_size == 12
+    assert c.node_of(0) == 0
+    assert c.node_of(11) == 3
+    assert c.local_rank(7) == 1
+    assert c.global_rank(2, 1) == 7
+    assert c.leader_of(2) == 6
+    assert c.leader_of_rank(7) == 6
+    assert c.is_leader(6) and not c.is_leader(7)
+
+
+def test_ranks_on_node():
+    c = Cluster(nodes=3, ppn=4)
+    assert list(c.ranks_on_node(1)) == [4, 5, 6, 7]
+
+
+def test_leaders_list():
+    c = Cluster(nodes=3, ppn=4)
+    assert c.leaders() == [0, 4, 8]
+
+
+def test_same_node():
+    c = Cluster(nodes=2, ppn=2)
+    assert c.same_node(0, 1)
+    assert not c.same_node(1, 2)
+
+
+def test_out_of_range_rejected():
+    c = Cluster(nodes=2, ppn=2)
+    with pytest.raises(ValueError):
+        c.node_of(4)
+    with pytest.raises(ValueError):
+        c.node_of(-1)
+    with pytest.raises(ValueError):
+        c.global_rank(2, 0)
+    with pytest.raises(ValueError):
+        c.global_rank(0, 2)
+    with pytest.raises(ValueError):
+        c.ranks_on_node(5)
+    with pytest.raises(ValueError):
+        Cluster(nodes=0, ppn=1)
+
+
+def test_node_pairs_excludes_self():
+    c = Cluster(nodes=3, ppn=1)
+    pairs = list(c.node_pairs())
+    assert len(pairs) == 6
+    assert all(a != b for a, b in pairs)
+
+
+@given(
+    nodes=st.integers(min_value=1, max_value=64),
+    ppn=st.integers(min_value=1, max_value=36),
+    data=st.data(),
+)
+def test_rank_roundtrip(nodes, ppn, data):
+    """global_rank(node_of(r), local_rank(r)) == r for every rank."""
+    c = Cluster(nodes=nodes, ppn=ppn)
+    rank = data.draw(st.integers(min_value=0, max_value=c.world_size - 1))
+    assert c.global_rank(c.node_of(rank), c.local_rank(rank)) == rank
+
+
+@given(nodes=st.integers(min_value=1, max_value=32), ppn=st.integers(min_value=1, max_value=16))
+def test_every_rank_on_exactly_one_node(nodes, ppn):
+    c = Cluster(nodes=nodes, ppn=ppn)
+    seen = []
+    for node in range(nodes):
+        seen.extend(c.ranks_on_node(node))
+    assert seen == list(range(c.world_size))

@@ -1,0 +1,152 @@
+"""Unit tests for the MPI library models."""
+
+import pytest
+
+from repro.collectives import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    bcast_binomial,
+    scatter_binomial,
+)
+from repro.core import mcoll_allgather, mcoll_allgather_large, mcoll_scatter
+from repro.machine import small_test
+from repro.mpilibs import (
+    BASELINES,
+    COLLECTIVES,
+    PAPER_LINEUP,
+    available_libraries,
+    make_library,
+)
+from repro.validate.checker import check_allgather, check_allreduce, check_scatter
+
+
+def test_registry_matches_paper_lineup():
+    assert set(available_libraries()) == set(PAPER_LINEUP)
+    assert "PiP-MColl" not in BASELINES
+    assert len(PAPER_LINEUP) == 6
+    with pytest.raises(KeyError):
+        make_library("CrayMPI")
+
+
+def test_profiles_are_distinct():
+    profiles = [make_library(n).profile for n in PAPER_LINEUP]
+    assert len({p.intra for p in profiles}) >= 4  # transports genuinely differ
+    assert all(p.call_overhead > 0 for p in profiles)
+
+
+def test_transport_assignments_match_design():
+    assert make_library("MPICH").profile.intra == "posix_shmem"
+    assert make_library("OpenMPI").profile.intra == "cma"
+    assert make_library("MVAPICH2").profile.intra == "xpmem"
+    assert make_library("IntelMPI").profile.intra == "posix_shmem"
+    assert make_library("PiP-MPICH").profile.intra == "pip_sizesync"
+    assert make_library("PiP-MColl").profile.intra == "pip"
+
+
+def test_every_library_covers_every_collective():
+    for name in PAPER_LINEUP:
+        lib = make_library(name)
+        for coll in COLLECTIVES:
+            algo = lib.algorithm(coll, 64, 2304)
+            assert callable(algo), (name, coll)
+
+
+def test_unknown_collective_rejected():
+    with pytest.raises(KeyError):
+        make_library("MPICH").algorithm("alltoallw", 64, 16)
+
+
+def test_mpich_selection_table():
+    lib = make_library("MPICH")
+    # 2304 ranks is not a power of two → Bruck for small allgather.
+    assert lib.algorithm("allgather", 64, 2304) is allgather_bruck
+    assert lib.algorithm("allgather", 64, 2048) is allgather_recursive_doubling
+    assert lib.algorithm("allgather", 1 << 20, 2048) is allgather_ring
+    assert lib.algorithm("scatter", 64, 2304) is scatter_binomial
+    assert lib.algorithm("bcast", 64, 2304) is bcast_binomial
+
+
+def test_pip_mcoll_selection_table():
+    lib = make_library("PiP-MColl")
+    assert lib.algorithm("allgather", 64, 2304) is mcoll_allgather
+    assert lib.algorithm("allgather", 1 << 20, 2304) is mcoll_allgather_large
+    assert lib.algorithm("scatter", 64, 2304) is mcoll_scatter
+
+
+def test_pip_mpich_is_mpich_over_naive_pip():
+    naive = make_library("PiP-MPICH")
+    stock = make_library("MPICH")
+    for coll in COLLECTIVES:
+        assert naive.algorithm(coll, 64, 96).__name__ == \
+            stock.algorithm(coll, 64, 96).__name__, coll
+    assert naive.profile.intra == "pip_sizesync"
+
+
+@pytest.mark.parametrize("name", PAPER_LINEUP)
+def test_each_library_runs_allgather_correctly(name):
+    """End-to-end: each library's selected allgather is byte-exact."""
+    lib = make_library(name)
+    world = lib.make_world(small_test(nodes=2, ppn=2))
+    check_allgather(world, lib.wrapped("allgather", 32, 4), 32)
+
+
+@pytest.mark.parametrize("name", PAPER_LINEUP)
+def test_each_library_runs_scatter_correctly(name):
+    lib = make_library(name)
+    world = lib.make_world(small_test(nodes=2, ppn=2))
+    check_scatter(world, lib.wrapped("scatter", 32, 4), 32)
+
+
+@pytest.mark.parametrize("name", PAPER_LINEUP)
+def test_each_library_runs_allreduce_correctly(name):
+    lib = make_library(name)
+    world = lib.make_world(small_test(nodes=2, ppn=2))
+    check_allreduce(world, lib.wrapped("allreduce", 32, 4), 32)
+
+
+def test_wrapped_charges_call_overhead():
+    lib = make_library("OpenMPI")
+    world = lib.make_world(small_test(nodes=1, ppn=2), functional=False)
+    plain = lib.algorithm("barrier", 0, 2)
+    wrapped = lib.wrapped("barrier", 0, 2)
+
+    def program(ctx, algo):
+        t0 = ctx.now
+        yield from algo(ctx)
+        return ctx.now - t0
+
+    t_plain = world.run(program, args=(plain,))[0]
+    t_wrapped = world.run(program, args=(wrapped,))[0]
+    assert t_wrapped - t_plain == pytest.approx(lib.profile.call_overhead, rel=0.2)
+
+
+@pytest.mark.parametrize("name", PAPER_LINEUP)
+def test_each_library_runs_vector_collectives(name):
+    """Every library provides gatherv/scatterv/allgatherv/alltoallv."""
+    from repro.mpilibs import V_COLLECTIVES
+    from repro.validate.checker import (
+        check_allgatherv,
+        check_alltoallv,
+        check_gatherv,
+        check_scatterv,
+    )
+
+    lib = make_library(name)
+    size = 6
+    counts = [(r * 5) % 9 + 1 for r in range(size)]
+    world = lib.make_world(small_test(nodes=3, ppn=2))
+    check_gatherv(world, lib.wrapped("gatherv", 64, size), counts)
+    check_scatterv(world, lib.wrapped("scatterv", 64, size), counts)
+    check_allgatherv(world, lib.wrapped("allgatherv", 64, size), counts)
+    matrix = [[(i + j) % 4 + 1 for j in range(size)] for i in range(size)]
+    check_alltoallv(world, lib.wrapped("alltoallv", 64, size), matrix)
+    for coll in V_COLLECTIVES:
+        assert callable(lib.algorithm(coll, 64, size))
+
+
+def test_pip_mcoll_allgatherv_is_multiobject():
+    lib = make_library("PiP-MColl")
+    assert lib.algorithm("allgatherv", 64, 2304).__name__ == "mcoll_allgatherv"
+    baseline = make_library("MPICH")
+    assert baseline.algorithm("allgatherv", 64, 2304).__name__ == "allgatherv_ring"

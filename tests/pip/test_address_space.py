@@ -1,0 +1,96 @@
+"""Tests for the PiP address-space emulation."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Cluster
+from repro.pip import (
+    AddressSpace,
+    AddressSpaceViolation,
+    BufferNotExposed,
+    spawn_tasks,
+)
+
+
+def test_peer_view_is_the_same_memory():
+    space = AddressSpace(node_id=0, pip_enabled=True)
+    space.join(0)
+    space.join(1)
+    arr = np.zeros(16, dtype=np.uint8)
+    space.expose(0, "buf", arr)
+    view = space.peer_view(1, 0, "buf")
+    view[3] = 99
+    assert arr[3] == 99  # direct load/store, not a copy
+
+
+def test_non_pip_space_refuses_peer_view():
+    space = AddressSpace(node_id=0, pip_enabled=False)
+    space.join(0)
+    space.join(1)
+    space_arr = np.zeros(4, dtype=np.uint8)
+    space.expose(0, "buf", space_arr)
+    with pytest.raises(AddressSpaceViolation):
+        space.peer_view(1, 0, "buf")
+
+
+def test_non_member_cannot_expose_or_view():
+    space = AddressSpace(node_id=0, pip_enabled=True)
+    space.join(0)
+    with pytest.raises(AddressSpaceViolation):
+        space.expose(5, "buf", np.zeros(4, dtype=np.uint8))
+    space.expose(0, "buf", np.zeros(4, dtype=np.uint8))
+    with pytest.raises(AddressSpaceViolation):
+        space.peer_view(5, 0, "buf")
+    space.join(1)
+    with pytest.raises(AddressSpaceViolation):
+        space.peer_view(1, 7, "buf")
+
+
+def test_unexposed_buffer_raises():
+    space = AddressSpace(node_id=0, pip_enabled=True)
+    space.join(0)
+    space.join(1)
+    with pytest.raises(BufferNotExposed):
+        space.peer_view(1, 0, "never")
+
+
+def test_withdraw_removes_exposure():
+    space = AddressSpace(node_id=0, pip_enabled=True)
+    space.join(0)
+    space.join(1)
+    space.expose(0, "buf", np.zeros(4, dtype=np.uint8))
+    assert space.exposed_count == 1
+    space.withdraw(0, "buf")
+    assert space.exposed_count == 0
+    with pytest.raises(BufferNotExposed):
+        space.peer_view(1, 0, "buf")
+    space.withdraw(0, "buf")  # idempotent
+
+
+def test_spawn_tasks_one_space_per_node():
+    cluster = Cluster(nodes=3, ppn=2)
+    tasks = spawn_tasks(cluster, pip_enabled=True)
+    assert len(tasks) == 6
+    # Same node → same space; different node → different space.
+    assert tasks[0].space is tasks[1].space
+    assert tasks[0].space is not tasks[2].space
+    assert all(t.is_pip for t in tasks.values())
+    assert tasks[5].local_rank == 1
+
+
+def test_spawn_tasks_classic_processes():
+    cluster = Cluster(nodes=2, ppn=2)
+    tasks = spawn_tasks(cluster, pip_enabled=False)
+    assert not tasks[0].is_pip
+    tasks[0].space.expose(0, "b", np.zeros(4, dtype=np.uint8))
+    with pytest.raises(AddressSpaceViolation):
+        tasks[0].space.peer_view(1, 0, "b")
+
+
+def test_cross_node_access_impossible_even_with_pip():
+    cluster = Cluster(nodes=2, ppn=2)
+    tasks = spawn_tasks(cluster, pip_enabled=True)
+    tasks[0].space.expose(0, "b", np.zeros(4, dtype=np.uint8))
+    # Rank 2 lives on node 1; node 0's space refuses it.
+    with pytest.raises(AddressSpaceViolation):
+        tasks[0].space.peer_view(2, 0, "b")

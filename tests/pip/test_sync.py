@@ -1,0 +1,132 @@
+"""Tests for PiP intra-node synchronisation primitives."""
+
+import math
+
+import pytest
+
+from repro.machine import MemoryParams
+from repro.pip import NodeBarrier, SharedFlag, SizeSync
+from repro.sim import Simulator
+
+MEM = MemoryParams()
+
+
+def test_flag_wait_then_signal_costs_latency():
+    sim = Simulator()
+    flag = SharedFlag(sim, MEM)
+    seen = []
+
+    def waiter(sim):
+        gen = yield flag.wait(1)
+        seen.append((sim.now, gen))
+
+    def signaller(sim):
+        yield sim.timeout(1.0)
+        flag.signal()
+
+    sim.process(waiter(sim))
+    sim.process(signaller(sim))
+    sim.run()
+    assert seen == [(1.0 + MEM.flag_latency, 1)]
+
+
+def test_flag_signal_before_wait_still_costs_latency():
+    sim = Simulator()
+    flag = SharedFlag(sim, MEM)
+    flag.signal()
+    seen = []
+
+    def waiter(sim):
+        yield flag.wait(1)
+        seen.append(sim.now)
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert seen == [MEM.flag_latency]
+
+
+def test_flag_generations_accumulate():
+    sim = Simulator()
+    flag = SharedFlag(sim, MEM)
+    seen = []
+
+    def waiter(sim):
+        yield flag.wait(3)
+        seen.append(sim.now)
+
+    def signaller(sim):
+        for _ in range(3):
+            yield sim.timeout(1.0)
+            flag.signal()
+
+    sim.process(waiter(sim))
+    sim.process(signaller(sim))
+    sim.run()
+    assert seen == [3.0 + MEM.flag_latency]
+
+
+def test_barrier_releases_all_at_once():
+    sim = Simulator()
+    nranks = 8
+    bar = NodeBarrier(sim, MEM, nranks)
+    releases = []
+
+    def member(sim, tag):
+        yield sim.timeout(float(tag))  # staggered arrivals
+        yield bar.arrive()
+        releases.append((tag, sim.now))
+
+    for tag in range(nranks):
+        sim.process(member(sim, tag))
+    sim.run()
+    expected = (nranks - 1) + math.ceil(math.log2(nranks)) * MEM.flag_latency
+    assert all(t == pytest.approx(expected) for _, t in releases)
+    assert len(releases) == nranks
+
+
+def test_barrier_reusable_across_rounds():
+    sim = Simulator()
+    bar = NodeBarrier(sim, MEM, 2)
+    log = []
+
+    def member(sim, tag):
+        for round_no in range(3):
+            yield bar.arrive()
+            log.append((round_no, tag))
+            yield sim.timeout(1.0)
+
+    sim.process(member(sim, 0))
+    sim.process(member(sim, 1))
+    sim.run()
+    # Rounds complete in order, both members present in each.
+    assert sorted(log[:2]) == [(0, 0), (0, 1)]
+    assert sorted(log[2:4]) == [(1, 0), (1, 1)]
+    assert sorted(log[4:]) == [(2, 0), (2, 1)]
+
+
+def test_single_rank_barrier_is_free():
+    sim = Simulator()
+    bar = NodeBarrier(sim, MEM, 1)
+    times = []
+
+    def solo(sim):
+        yield bar.arrive()
+        times.append(sim.now)
+
+    sim.process(solo(sim))
+    sim.run()
+    assert times == [0.0]
+
+
+def test_barrier_invalid_nranks():
+    with pytest.raises(ValueError):
+        NodeBarrier(Simulator(), MEM, 0)
+
+
+def test_size_sync_cost_is_two_hops_plus_header():
+    ss = SizeSync(MEM)
+    assert ss.cost() == pytest.approx(2 * MEM.flag_latency + SizeSync.HEADER_COST)
+    # It must be large enough to hurt at small sizes: more than one copy
+    # of a 64 B message, which is the paper's explanation for PiP-MPICH
+    # sometimes placing last.
+    assert ss.cost() > MEM.copy_time(64)

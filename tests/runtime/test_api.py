@@ -1,0 +1,198 @@
+"""Tests for the mpi4py-style facade (repro.api)."""
+
+import numpy as np
+import pytest
+
+from repro.api import VComm, run_app
+from repro.machine import small_test
+from repro.mpilibs import PAPER_LINEUP
+from repro.runtime.ops import MAX
+
+
+def test_send_recv_roundtrip():
+    def app(comm):
+        data = np.arange(10, dtype=np.float64)
+        if comm.rank == 0:
+            yield from comm.Send(data * 2, dest=1, tag=3)
+            return None
+        if comm.rank == 1:
+            out = np.empty(10, dtype=np.float64)
+            status = yield from comm.Recv(out, source=0, tag=3)
+            return (status.source, out.tolist())
+        return None
+
+    results = run_app(app, nodes=1, ppn=2)
+    assert results[1] == (0, (np.arange(10) * 2.0).tolist())
+
+
+def test_sendrecv_ring():
+    def app(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        mine = np.array([comm.rank], dtype=np.int64)
+        got = np.empty(1, dtype=np.int64)
+        yield from comm.Sendrecv(mine, right, 0, got, left, 0)
+        return int(got[0])
+
+    assert run_app(app, nodes=2, ppn=2) == [3, 0, 1, 2]
+
+
+def test_bcast_in_place():
+    def app(comm):
+        data = (np.arange(6, dtype=np.int32) + 5 if comm.rank == 2
+                else np.zeros(6, dtype=np.int32))
+        yield from comm.Bcast(data, root=2)
+        return data.tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert all(r == list(range(5, 11)) for r in results)
+
+
+def test_scatter_gather_roundtrip():
+    def app(comm):
+        send = (np.arange(comm.size * 3, dtype=np.float64)
+                if comm.rank == 0 else None)
+        block = np.empty(3, dtype=np.float64)
+        yield from comm.Scatter(send, block, root=0)
+        block += 100.0
+        out = np.empty(comm.size * 3, dtype=np.float64) if comm.rank == 0 else None
+        yield from comm.Gather(block, out, root=0)
+        return out.tolist() if comm.rank == 0 else block.tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert results[0] == (np.arange(12) + 100.0).tolist()
+    assert results[1] == [103.0, 104.0, 105.0]
+
+
+def test_allgather():
+    def app(comm):
+        mine = np.full(2, comm.rank, dtype=np.int64)
+        out = np.empty(2 * comm.size, dtype=np.int64)
+        yield from comm.Allgather(mine, out)
+        return out.tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert all(r == [0, 0, 1, 1, 2, 2, 3, 3] for r in results)
+
+
+@pytest.mark.parametrize("library", PAPER_LINEUP)
+def test_allreduce_same_answer_under_every_library(library):
+    def app(comm):
+        data = np.arange(4, dtype=np.float64) * (comm.rank + 1)
+        total = np.empty_like(data)
+        yield from comm.Allreduce(data, total)
+        return total.tolist()
+
+    results = run_app(app, library=library, nodes=2, ppn=2)
+    want = (np.arange(4) * (1 + 2 + 3 + 4)).astype(float).tolist()
+    assert all(r == want for r in results)
+
+
+def test_allreduce_max_and_dtype_mismatch():
+    def app(comm):
+        data = np.array([comm.rank * 1.5], dtype=np.float64)
+        out = np.empty(1, dtype=np.float64)
+        yield from comm.Allreduce(data, out, op=MAX)
+        return float(out[0])
+
+    assert run_app(app, nodes=1, ppn=3) == [3.0, 3.0, 3.0]
+
+    def bad(comm):
+        yield from comm.Allreduce(np.zeros(2, np.float64), np.zeros(2, np.float32))
+
+    with pytest.raises(ValueError, match="share a dtype"):
+        run_app(bad, nodes=1, ppn=2)
+
+
+def test_reduce_to_root():
+    def app(comm):
+        data = np.full(3, comm.rank + 1, dtype=np.int64)
+        out = np.empty(3, dtype=np.int64) if comm.rank == 1 else None
+        yield from comm.Reduce(data, out, root=1)
+        return out.tolist() if comm.rank == 1 else None
+
+    results = run_app(app, nodes=1, ppn=4)
+    assert results[1] == [10, 10, 10]
+
+
+def test_alltoall():
+    def app(comm):
+        send = np.array([comm.rank * 10 + j for j in range(comm.size)],
+                        dtype=np.int64)
+        recv = np.empty(comm.size, dtype=np.int64)
+        yield from comm.Alltoall(send, recv)
+        return recv.tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    for i, row in enumerate(results):
+        assert row == [j * 10 + i for j in range(4)]
+
+
+def test_barrier_and_properties():
+    def app(comm):
+        assert comm.size == 4
+        assert comm.ctx.rank == comm.rank
+        yield from comm.Barrier()
+        return (comm.rank, comm.node, comm.now > 0)
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert [r[0] for r in results] == [0, 1, 2, 3]
+    assert [r[1] for r in results] == [0, 0, 1, 1]
+    assert all(r[2] for r in results)
+
+
+def test_custom_params():
+    from repro.machine import skylake_ib
+
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.size
+
+    assert run_app(app, params=skylake_ib(nodes=2, ppn=3)) == [6] * 6
+
+
+def test_allgatherv_facade():
+    def app(comm):
+        counts = [r + 1 for r in range(comm.size)]
+        mine = np.full(counts[comm.rank], comm.rank, dtype=np.int64)
+        out = np.empty(sum(counts), dtype=np.int64)
+        yield from comm.Allgatherv(mine, out, counts)
+        return out.tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    want = [0, 1, 1, 2, 2, 2, 3, 3, 3, 3]
+    assert all(r == want for r in results)
+
+
+def test_gatherv_scatterv_facade_roundtrip():
+    def app(comm):
+        counts = [2 * (r + 1) for r in range(comm.size)]
+        total = sum(counts)
+        send = (np.arange(total, dtype=np.float64)
+                if comm.rank == 0 else None)
+        block = np.empty(counts[comm.rank], dtype=np.float64)
+        yield from comm.Scatterv(send, counts if comm.rank == 0 else None,
+                                 block, root=0)
+        block *= -1.0
+        out = np.empty(total, dtype=np.float64) if comm.rank == 0 else None
+        yield from comm.Gatherv(block, out,
+                                counts=counts if comm.rank == 0 else None,
+                                root=0)
+        return out.tolist() if comm.rank == 0 else block.tolist()
+
+    results = run_app(app, nodes=1, ppn=3)
+    total = sum(2 * (r + 1) for r in range(3))
+    assert results[0] == (-np.arange(total, dtype=float)).tolist()
+
+
+def test_istart_wait_overlap():
+    def app(comm):
+        mine = np.full(4, comm.rank, dtype=np.int64)
+        out = np.empty(4 * comm.size, dtype=np.int64)
+        req = comm.Istart(comm.Allgather(mine, out))
+        yield from comm.ctx.compute(1e-6)
+        yield from comm.Wait(req)
+        return out[::4].tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert all(r == [0, 1, 2, 3] for r in results)

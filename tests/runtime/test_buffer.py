@@ -1,0 +1,148 @@
+"""Unit tests for buffers, views, datatypes and reduce ops."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ArrayBuffer,
+    DatatypeError,
+    NullBuffer,
+    alloc,
+    datatype,
+    datatypes,
+    ops,
+    reduce_op,
+)
+
+
+def test_array_buffer_roundtrip():
+    buf = ArrayBuffer.zeros(16)
+    data = np.arange(4, dtype=np.uint8)
+    buf.write_bytes(4, data)
+    out = buf.read_bytes(4, 4)
+    assert np.array_equal(out, data)
+    assert buf.nbytes == 16
+
+
+def test_read_is_a_snapshot():
+    buf = ArrayBuffer.zeros(8)
+    snap = buf.read_bytes(0, 8)
+    buf.write_bytes(0, np.full(8, 9, dtype=np.uint8))
+    assert snap.sum() == 0
+
+
+def test_from_array_typed_view():
+    arr = np.arange(10, dtype=np.float64)
+    buf = ArrayBuffer.from_array(arr)
+    assert buf.nbytes == 80
+    typed = buf.typed(datatypes.FLOAT64)
+    assert np.array_equal(typed, arr)
+    typed[0] = -1.0
+    assert buf.typed(datatypes.FLOAT64)[0] == -1.0  # a view, not a copy
+
+
+def test_typed_size_mismatch_raises():
+    buf = ArrayBuffer.zeros(10)
+    with pytest.raises(DatatypeError):
+        buf.typed(datatypes.FLOAT64)
+
+
+def test_out_of_range_rejected():
+    buf = ArrayBuffer.zeros(8)
+    with pytest.raises(IndexError):
+        buf.read_bytes(4, 5)
+    with pytest.raises(IndexError):
+        buf.write_bytes(7, np.zeros(2, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        NullBuffer(-1)
+
+
+def test_view_sub_and_copy():
+    a = ArrayBuffer.from_array(np.arange(16, dtype=np.uint8))
+    b = ArrayBuffer.zeros(16)
+    b.view(8, 4).copy_from(a.view(0, 4))
+    assert np.array_equal(b.read_bytes(8, 4), np.arange(4, dtype=np.uint8))
+    with pytest.raises(ValueError):
+        b.view(0, 4).copy_from(a.view(0, 8))
+    with pytest.raises(IndexError):
+        a.view(0, 4).sub(2, 4)
+
+
+def test_view_write_overflow_rejected():
+    buf = ArrayBuffer.zeros(8)
+    with pytest.raises(IndexError):
+        buf.view(0, 4).write(np.zeros(5, dtype=np.uint8))
+
+
+def test_null_buffer_tracks_sizes_only():
+    buf = NullBuffer(64)
+    assert buf.read_bytes(0, 32) is None
+    buf.write_bytes(0, np.zeros(8, dtype=np.uint8))  # dropped
+    with pytest.raises(IndexError):
+        buf.write_bytes(60, np.zeros(8, dtype=np.uint8))
+    assert buf.typed(datatypes.FLOAT64) is None
+    view = buf.view(8, 8)
+    assert view.read() is None
+
+
+def test_null_buffer_accepts_none_payload_into_functional():
+    buf = ArrayBuffer.zeros(8)
+    buf.write_bytes(0, None)  # timing-only payload: dropped, no error
+
+
+def test_alloc_mode_switch():
+    assert isinstance(alloc(8, functional=True), ArrayBuffer)
+    assert isinstance(alloc(8, functional=False), NullBuffer)
+
+
+def test_buffer_keys_unique():
+    assert ArrayBuffer.zeros(1).key != ArrayBuffer.zeros(1).key
+
+
+def test_datatype_lookup():
+    assert datatype("FLOAT64").size == 8
+    assert datatypes.BYTE.size == 1
+    assert datatypes.from_numpy(np.dtype("int32")) is datatypes.INT32
+    with pytest.raises(KeyError):
+        datatype("COMPLEX")
+    with pytest.raises(KeyError):
+        datatypes.from_numpy(np.dtype("complex128"))
+
+
+@pytest.mark.parametrize(
+    "name,a,b,expected",
+    [
+        ("SUM", [1, 2], [3, 4], [4, 6]),
+        ("PROD", [2, 3], [4, 5], [8, 15]),
+        ("MAX", [1, 9], [5, 2], [5, 9]),
+        ("MIN", [1, 9], [5, 2], [1, 2]),
+        ("BAND", [0b1100, 0b1010], [0b1010, 0b1010], [0b1000, 0b1010]),
+        ("BOR", [0b1100, 0], [0b0011, 0], [0b1111, 0]),
+        ("BXOR", [0b1100, 1], [0b1010, 1], [0b0110, 0]),
+        ("LAND", [1, 0], [2, 3], [1, 0]),
+        ("LOR", [0, 0], [0, 5], [0, 1]),
+    ],
+)
+def test_reduce_ops(name, a, b, expected):
+    op = reduce_op(name)
+    acc = np.array(a, dtype=np.int64)
+    op.accumulate(acc, np.array(b, dtype=np.int64))
+    assert acc.tolist() == expected
+
+
+def test_reduce_many_matches_numpy():
+    arrays = [np.arange(5, dtype=np.float64) * k for k in range(1, 5)]
+    out = ops.SUM.reduce_many(arrays)
+    assert np.allclose(out, np.sum(arrays, axis=0))
+    with pytest.raises(ValueError):
+        ops.SUM.reduce_many([])
+
+
+def test_accumulate_shape_mismatch():
+    with pytest.raises(ValueError):
+        ops.SUM.accumulate(np.zeros(3), np.zeros(4))
+
+
+def test_unknown_op():
+    with pytest.raises(KeyError):
+        reduce_op("AVG")

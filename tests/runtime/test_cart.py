@@ -1,0 +1,101 @@
+"""Unit + property tests for Cartesian topologies."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.cart import CartTopology, dims_create
+from repro.runtime.communicator import Communicator
+from repro.runtime.errors import RankMismatchError
+
+
+def comm(size):
+    return Communicator(0, range(size))
+
+
+def test_dims_create_balanced():
+    assert dims_create(12, 2) == [4, 3]
+    assert dims_create(16, 2) == [4, 4]
+    assert dims_create(18, 2) == [6, 3]
+    assert dims_create(7, 2) == [7, 1]
+    assert dims_create(8, 3) == [2, 2, 2]
+    assert dims_create(1, 2) == [1, 1]
+    with pytest.raises(ValueError):
+        dims_create(0, 2)
+
+
+@given(nnodes=st.integers(1, 2000), ndims=st.integers(1, 4))
+def test_dims_create_product_invariant(nnodes, ndims):
+    dims = dims_create(nnodes, ndims)
+    assert math.prod(dims) == nnodes
+    assert len(dims) == ndims
+    assert dims == sorted(dims, reverse=True)
+
+
+def test_create_validates_size():
+    with pytest.raises(RankMismatchError):
+        CartTopology.create(comm(6), (2, 2))
+    with pytest.raises(ValueError):
+        CartTopology.create(comm(4), (2, 2), periods=(True,))
+    with pytest.raises(ValueError):
+        CartTopology.create(comm(4), (4, 0))
+
+
+def test_coords_row_major():
+    cart = CartTopology.create(comm(6), (2, 3))
+    assert cart.coords(0) == (0, 0)
+    assert cart.coords(2) == (0, 2)
+    assert cart.coords(3) == (1, 0)
+    assert cart.coords(5) == (1, 2)
+    with pytest.raises(RankMismatchError):
+        cart.coords(6)
+
+
+@given(dims=st.lists(st.integers(1, 5), min_size=1, max_size=3), data=st.data())
+def test_rank_coords_roundtrip(dims, data):
+    size = math.prod(dims)
+    cart = CartTopology.create(comm(size), dims)
+    rank = data.draw(st.integers(0, size - 1))
+    assert cart.rank_of(cart.coords(rank)) == rank
+
+
+def test_shift_non_periodic_edges():
+    cart = CartTopology.create(comm(6), (2, 3))
+    src, dst = cart.shift(0, dim=0)  # column shift at the top edge
+    assert src is None and dst == 3
+    src, dst = cart.shift(5, dim=1)  # row shift at the right edge
+    assert src == 4 and dst is None
+
+
+def test_shift_periodic_wraps():
+    cart = CartTopology.create(comm(6), (2, 3), periods=(True, True))
+    src, dst = cart.shift(0, dim=0)
+    assert (src, dst) == (3, 3)  # only two rows: both directions wrap to 3
+    src, dst = cart.shift(2, dim=1)
+    assert (src, dst) == (1, 0)
+
+
+def test_rank_of_periodic_coordinates():
+    cart = CartTopology.create(comm(6), (2, 3), periods=(True, True))
+    assert cart.rank_of((-1, 4)) == cart.rank_of((1, 1))
+    non_periodic = CartTopology.create(comm(6), (2, 3))
+    with pytest.raises(RankMismatchError):
+        non_periodic.rank_of((-1, 0))
+
+
+def test_neighbours_interior_and_corner():
+    cart = CartTopology.create(comm(9), (3, 3))
+    assert sorted(cart.neighbours(4)) == [1, 3, 5, 7]  # interior
+    assert sorted(cart.neighbours(0)) == [1, 3]  # corner
+    ring = CartTopology.create(comm(3), (3,), periods=(True,))
+    assert sorted(ring.neighbours(0)) == [1, 2]
+
+
+def test_shift_validates_dim():
+    cart = CartTopology.create(comm(4), (2, 2))
+    with pytest.raises(ValueError):
+        cart.shift(0, dim=2)
+    with pytest.raises(ValueError):
+        cart.rank_of((0,))

@@ -1,0 +1,109 @@
+"""Unit tests for the matching engine (MPI matching semantics)."""
+
+import pytest
+
+from repro.runtime import ANY_SOURCE, ANY_TAG, Envelope, MatchingEngine
+from repro.runtime.message import MessageDescriptor
+from repro.sim import Simulator
+from repro.transport import Transport, WireDescriptor
+
+
+def make_desc(comm_id=0, src=0, tag=0, nbytes=8):
+    wire = WireDescriptor(src=src, dst=1, nbytes=nbytes)
+    return MessageDescriptor(
+        envelope=Envelope(comm_id, src, tag),
+        nbytes=nbytes,
+        payload=None,
+        wire=wire,
+        transport=Transport(),
+        src_world=src,
+        dst_world=1,
+    )
+
+
+def test_envelope_matching_rules():
+    concrete = Envelope(0, 3, 7)
+    assert concrete.matches(Envelope(0, 3, 7))
+    assert concrete.matches(Envelope(0, ANY_SOURCE, 7))
+    assert concrete.matches(Envelope(0, 3, ANY_TAG))
+    assert concrete.matches(Envelope(0, ANY_SOURCE, ANY_TAG))
+    assert not concrete.matches(Envelope(1, 3, 7))  # different comm
+    assert not concrete.matches(Envelope(0, 4, 7))
+    assert not concrete.matches(Envelope(0, 3, 8))
+
+
+def test_unexpected_then_claim_exact():
+    eng = MatchingEngine()
+    eng.deliver(make_desc(src=2, tag=5))
+    assert eng.unexpected_messages == 1
+    assert eng.claim(Envelope(0, 2, 6)) is None
+    desc = eng.claim(Envelope(0, 2, 5))
+    assert desc is not None and desc.envelope.src == 2
+    assert eng.unexpected_messages == 0
+
+
+def test_post_then_deliver_fires_event():
+    sim = Simulator()
+    eng = MatchingEngine()
+    ev = sim.event()
+    eng.post(Envelope(0, 1, 2), ev)
+    assert eng.pending_receives == 1
+    eng.deliver(make_desc(src=1, tag=2))
+    assert ev.triggered
+    assert eng.pending_receives == 0
+
+
+def test_non_overtaking_same_envelope():
+    """Two messages with identical envelopes are matched in send order."""
+    eng = MatchingEngine()
+    first = make_desc(src=1, tag=2, nbytes=10)
+    second = make_desc(src=1, tag=2, nbytes=20)
+    eng.deliver(first)
+    eng.deliver(second)
+    assert eng.claim(Envelope(0, 1, 2)).nbytes == 10
+    assert eng.claim(Envelope(0, 1, 2)).nbytes == 20
+
+
+def test_wildcard_claim_takes_oldest_across_sources():
+    eng = MatchingEngine()
+    eng.deliver(make_desc(src=3, tag=1, nbytes=30))
+    eng.deliver(make_desc(src=1, tag=1, nbytes=10))
+    got = eng.claim(Envelope(0, ANY_SOURCE, 1))
+    assert got.nbytes == 30  # arrival order, not source order
+
+
+def test_wildcard_posted_receives_fifo_priority():
+    """A wildcard recv posted before an exact one wins an arriving match."""
+    sim = Simulator()
+    eng = MatchingEngine()
+    wild = sim.event()
+    exact = sim.event()
+    eng.post(Envelope(0, ANY_SOURCE, ANY_TAG), wild)
+    eng.post(Envelope(0, 1, 2), exact)
+    eng.deliver(make_desc(src=1, tag=2))
+    assert wild.triggered and not exact.triggered
+
+
+def test_exact_posted_before_wildcard_wins():
+    sim = Simulator()
+    eng = MatchingEngine()
+    exact = sim.event()
+    wild = sim.event()
+    eng.post(Envelope(0, 1, 2), exact)
+    eng.post(Envelope(0, ANY_SOURCE, ANY_TAG), wild)
+    eng.deliver(make_desc(src=1, tag=2))
+    assert exact.triggered and not wild.triggered
+
+
+def test_different_comms_do_not_match():
+    eng = MatchingEngine()
+    eng.deliver(make_desc(comm_id=1, src=0, tag=0))
+    assert eng.claim(Envelope(0, 0, 0)) is None
+    assert eng.claim(Envelope(1, 0, 0)) is not None
+
+
+def test_any_tag_with_exact_source():
+    eng = MatchingEngine()
+    eng.deliver(make_desc(src=2, tag=9))
+    got = eng.claim(Envelope(0, 2, ANY_TAG))
+    assert got is not None and got.envelope.tag == 9

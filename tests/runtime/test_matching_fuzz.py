@@ -1,0 +1,145 @@
+"""Property-based fuzz of the matching engine against a naive oracle.
+
+The production :class:`MatchingEngine` uses dict-keyed deques for
+speed; the oracle below implements MPI matching with nothing but
+ordered lists.  Hypothesis drives both with random interleavings of
+posts, deliveries and claims; any divergence in which message matches
+which receive is a bug in the fast structure.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Envelope, MatchingEngine
+from repro.runtime.matching import PostedRecv
+from repro.runtime.message import ANY_SOURCE, ANY_TAG, MessageDescriptor
+from repro.sim import Simulator
+from repro.transport import Transport, WireDescriptor
+
+
+@dataclass
+class OracleEngine:
+    """Straight-from-the-standard matching: ordered scans only."""
+
+    posted: List[PostedRecv] = field(default_factory=list)
+    unexpected: List[MessageDescriptor] = field(default_factory=list)
+    _seq: int = 0
+
+    def claim(self, pattern):
+        for i, desc in enumerate(self.unexpected):
+            if desc.envelope.matches(pattern):
+                return self.unexpected.pop(i)
+        return None
+
+    def post(self, pattern, event):
+        self._seq += 1
+        self.posted.append(PostedRecv(self._seq, pattern, event))
+
+    def deliver(self, desc):
+        for i, posted in enumerate(self.posted):
+            if desc.envelope.matches(posted.pattern):
+                self.posted.pop(i)
+                posted.event.succeed(desc)
+                return
+        self.unexpected.append(desc)
+
+
+def make_desc(uid, comm_id, src, tag):
+    return MessageDescriptor(
+        envelope=Envelope(comm_id, src, tag),
+        nbytes=uid,  # unique id smuggled through nbytes
+        payload=None,
+        wire=WireDescriptor(src=src, dst=0, nbytes=uid),
+        transport=Transport(),
+        src_world=src,
+        dst_world=0,
+    )
+
+
+# Action alphabet: deliveries and posts over a tiny envelope space so
+# collisions (the interesting part) are common.
+ACTIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("deliver"), st.integers(0, 1), st.integers(0, 2),
+                  st.integers(0, 2)),
+        st.tuples(st.just("post"), st.integers(0, 1),
+                  st.sampled_from([0, 1, 2, ANY_SOURCE]),
+                  st.sampled_from([0, 1, 2, ANY_TAG])),
+        st.tuples(st.just("claim"), st.integers(0, 1),
+                  st.sampled_from([0, 1, 2, ANY_SOURCE]),
+                  st.sampled_from([0, 1, 2, ANY_TAG])),
+    ),
+    max_size=60,
+)
+
+
+@given(actions=ACTIONS)
+@settings(max_examples=400, deadline=None)
+def test_fast_engine_matches_oracle(actions):
+    sim = Simulator()
+    fast = MatchingEngine()
+    slow = OracleEngine()
+    fast_matches: List[tuple] = []
+    slow_matches: List[tuple] = []
+    uid = 0
+
+    def watcher(log, post_id):
+        def cb(event):
+            log.append((post_id, event.value.nbytes))
+        return cb
+
+    post_id = 0
+    for action in actions:
+        kind = action[0]
+        if kind == "deliver":
+            _, comm_id, src, tag = action
+            uid += 1
+            fast.deliver(make_desc(uid, comm_id, src, tag))
+            slow.deliver(make_desc(uid, comm_id, src, tag))
+        elif kind == "post":
+            _, comm_id, src, tag = action
+            post_id += 1
+            ev_fast, ev_slow = sim.event(), sim.event()
+            ev_fast.callbacks.append(watcher(fast_matches, post_id))
+            ev_slow.callbacks.append(watcher(slow_matches, post_id))
+            fast.post(Envelope(comm_id, src, tag), ev_fast)
+            slow.post(Envelope(comm_id, src, tag), ev_slow)
+        else:
+            _, comm_id, src, tag = action
+            got_fast = fast.claim(Envelope(comm_id, src, tag))
+            got_slow = slow.claim(Envelope(comm_id, src, tag))
+            assert (got_fast is None) == (got_slow is None)
+            if got_fast is not None:
+                assert got_fast.nbytes == got_slow.nbytes
+        sim.run()  # flush match events
+        assert fast_matches == slow_matches
+        # Structural probes agree too.
+        assert fast.unexpected_messages == len(slow.unexpected)
+        assert fast.pending_receives == len(slow.posted)
+
+
+@given(actions=ACTIONS)
+@settings(max_examples=100, deadline=None)
+def test_peek_never_mutates(actions):
+    sim = Simulator()
+    engine = MatchingEngine()
+    uid = 0
+    for action in actions:
+        kind, comm_id, src, tag = action
+        if kind == "deliver":
+            uid += 1
+            engine.deliver(make_desc(uid, comm_id, src, tag))
+        elif kind == "claim":
+            before = engine.unexpected_messages
+            peeked = engine.peek(Envelope(comm_id, src, tag))
+            assert engine.unexpected_messages == before
+            claimed = engine.claim(Envelope(comm_id, src, tag))
+            # peek must preview exactly what claim takes.
+            assert (peeked is None) == (claimed is None)
+            if peeked is not None:
+                assert peeked.nbytes == claimed.nbytes
+        # "post" actions skipped: peek is only defined for unexpected.
+    sim.run()

@@ -1,0 +1,117 @@
+"""Tests for persistent requests (Send_init/Recv_init/Startall)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import small_test
+from repro.runtime import ArrayBuffer, World
+
+
+def make_world():
+    return World(small_test(nodes=1, ppn=2))
+
+
+def test_persistent_roundtrip_many_iterations():
+    world = make_world()
+
+    def program(ctx):
+        buf = ArrayBuffer.zeros(8)
+        if ctx.rank == 0:
+            op = ctx.send_init(buf.view(), dst=1, tag=5)
+            for it in range(4):
+                buf.bytes_view[:] = it + 1
+                req = yield from op.start(ctx)
+                yield from ctx.wait(req)
+            return None
+        op = ctx.recv_init(buf.view(), src=0, tag=5)
+        seen = []
+        for _ in range(4):
+            req = yield from op.start(ctx)
+            yield from ctx.wait(req)
+            seen.append(int(buf.bytes_view[0]))
+        return seen
+
+    assert world.run(program)[1] == [1, 2, 3, 4]
+    world.assert_quiescent()
+
+
+def test_startall_pairs():
+    world = make_world()
+
+    def program(ctx):
+        sbuf, rbuf = ArrayBuffer.zeros(8), ArrayBuffer.zeros(8)
+        partner = ctx.rank ^ 1
+        sbuf.bytes_view[:] = ctx.rank + 10
+        ops = [
+            ctx.recv_init(rbuf.view(), src=partner, tag=1),
+            ctx.send_init(sbuf.view(), dst=partner, tag=1),
+        ]
+        live = yield from ctx.start_all(ops)
+        yield from ctx.waitall(live)
+        return int(rbuf.bytes_view[0])
+
+    assert world.run(program) == [11, 10]
+
+
+def test_persistent_start_is_cheaper_than_fresh_call():
+    world = World(small_test(nodes=1, ppn=2), functional=False)
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        partner = ctx.rank ^ 1
+        # Fresh isend/irecv pair.
+        t0 = ctx.now
+        if ctx.rank == 0:
+            req = yield from ctx.isend(buf.view(), dst=partner, tag=0)
+        else:
+            req = yield from ctx.irecv(buf.view(), src=partner, tag=0)
+        yield from ctx.wait(req)
+        fresh = ctx.now - t0
+        yield from ctx.hard_sync()
+        # Persistent restart of the same operation.
+        op = (ctx.send_init(buf.view(), dst=partner, tag=1) if ctx.rank == 0
+              else ctx.recv_init(buf.view(), src=partner, tag=1))
+        t0 = ctx.now
+        req = yield from op.start(ctx)
+        yield from ctx.wait(req)
+        persistent = ctx.now - t0
+        return (fresh, persistent)
+
+    for fresh, persistent in world.run(program):
+        assert persistent < fresh
+
+
+def test_send_init_validates_peer():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        ctx.send_init(buf.view(), dst=99)
+        return None
+        yield  # pragma: no cover
+
+    with pytest.raises(Exception, match="out of range"):
+        world.run(program)
+
+
+def test_persistent_discount_does_not_leak():
+    """After a persistent start, plain calls pay full dispatch again."""
+    world = World(small_test(nodes=1, ppn=2), functional=False)
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        partner = ctx.rank ^ 1
+        op = (ctx.send_init(buf.view(), dst=partner, tag=0) if ctx.rank == 0
+              else ctx.recv_init(buf.view(), src=partner, tag=0))
+        req = yield from op.start(ctx)
+        yield from ctx.wait(req)
+        assert ctx._dispatch_discount == 0.0
+        yield from ctx.hard_sync()
+        # A fresh exchange still works (and pays full dispatch).
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=partner, tag=1)
+        else:
+            yield from ctx.recv(buf.view(), src=partner, tag=1)
+        return True
+
+    assert world.run(program) == [True, True]

@@ -1,0 +1,185 @@
+"""Tests for MPI_Test / MPI_Probe / MPI_Iprobe semantics."""
+
+import numpy as np
+import pytest
+
+from repro.machine import small_test
+from repro.runtime import ANY_SOURCE, World
+
+
+def make_world(nodes=1, ppn=2):
+    return World(small_test(nodes=nodes, ppn=ppn))
+
+
+def test_test_returns_false_before_arrival_true_after():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            yield from ctx.compute(5e-6)
+            yield from ctx.send(buf.view(), dst=1, tag=1)
+            return None
+        req = yield from ctx.irecv(buf.view(), src=0, tag=1)
+        flag_early, _ = yield from ctx.test(req)
+        yield from ctx.compute(20e-6)  # message arrives meanwhile
+        flag_late, status = yield from ctx.test(req)
+        return (flag_early, flag_late, status.nbytes)
+
+    assert world.run(program)[1] == (False, True, 8)
+
+
+def test_test_idempotent_after_completion():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=1, tag=0)
+            return None
+        yield from ctx.compute(20e-6)
+        req = yield from ctx.irecv(buf.view(), src=0, tag=0)
+        f1, s1 = yield from ctx.test(req)
+        f2, s2 = yield from ctx.test(req)
+        return (f1, f2, s1 is s2 or s1 == s2)
+
+    assert world.run(program)[1] == (True, True, True)
+
+
+def test_eager_send_request_is_immediately_ready():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            req = yield from ctx.isend(buf.view(), dst=1, tag=0)
+            flag, _ = yield from ctx.test(req)
+            return flag
+        yield from ctx.recv(buf.view(), src=0, tag=0)
+        return None
+
+    assert world.run(program)[0] is True
+
+
+def test_iprobe_sees_unexpected_without_consuming():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            data = ctx.alloc(8)
+            data.write_bytes(0, np.full(8, 3, dtype=np.uint8))
+            yield from ctx.send(data.view(), dst=1, tag=9)
+            return None
+        assert ctx.iprobe(src=0, tag=9) is None  # nothing yet
+        yield from ctx.compute(20e-6)
+        st1 = ctx.iprobe(src=0, tag=9)
+        st2 = ctx.iprobe(src=ANY_SOURCE, tag=-1)
+        status = yield from ctx.recv(buf.view(), src=0, tag=9)
+        st3 = ctx.iprobe(src=0, tag=9)
+        return (st1.nbytes, st2.source, status.nbytes, st3,
+                int(buf.read_bytes(0, 1)[0]))
+
+    assert world.run(program)[1] == (8, 0, 8, None, 3)
+
+
+def test_probe_blocks_until_message():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            yield from ctx.compute(30e-6)
+            yield from ctx.send(buf.view(), dst=1, tag=4)
+            return None
+        status = yield from ctx.probe(src=0, tag=4)
+        arrived_at = ctx.now
+        yield from ctx.recv(buf.view(), src=0, tag=4)
+        return (status.nbytes, arrived_at >= 30e-6)
+
+    assert world.run(program)[1] == (8, True)
+    world.assert_quiescent()
+
+
+def test_operation_request_ready_tracks_process():
+    world = make_world()
+
+    def program(ctx):
+        def op(ctx):
+            yield from ctx.compute(10e-6)
+            return 7
+
+        req = ctx.start(op(ctx))
+        assert not req.ready
+        yield from ctx.compute(20e-6)
+        flag, value = yield from ctx.test(req)
+        return (flag, value)
+
+    assert world.run(program) == [(True, 7)] * 2
+
+
+def test_waitany_returns_first_ready():
+    world = make_world(nodes=1, ppn=3)
+
+    def program(ctx):
+        buf1, buf2 = ctx.alloc(8), ctx.alloc(8)
+        if ctx.rank == 0:
+            r1 = yield from ctx.irecv(buf1.view(), src=1, tag=1)
+            r2 = yield from ctx.irecv(buf2.view(), src=2, tag=2)
+            idx, status = yield from ctx.waitany([r1, r2])
+            first = (idx, status.source)
+            idx2, status2 = yield from ctx.waitany([r1, r2])
+            return (first, (idx2, status2.source))
+        if ctx.rank == 1:
+            yield from ctx.compute(50e-6)  # arrives second
+            yield from ctx.send(buf1.view(), dst=0, tag=1)
+        else:
+            yield from ctx.compute(5e-6)  # arrives first
+            yield from ctx.send(buf2.view(), dst=0, tag=2)
+        return None
+
+    first, second = world.run(program)[0]
+    assert first == (1, 2)   # rank 2's message completed first
+    assert second == (0, 1)  # then rank 1's
+
+
+def test_waitany_rejects_empty():
+    world = make_world()
+
+    def program(ctx):
+        yield from ctx.waitany([])
+
+    with pytest.raises(ValueError, match="at least one"):
+        world.run(program)
+
+
+def test_waitany_with_already_completed_request():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=1, tag=0)
+            return None
+        yield from ctx.compute(20e-6)
+        req = yield from ctx.irecv(buf.view(), src=0, tag=0)
+        idx, status = yield from ctx.waitany([req])  # ready, not completed
+        return (idx, status.nbytes)
+
+    assert world.run(program)[1] == (0, 8)
+
+
+def test_waitany_all_completed_returns_undefined():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=1, tag=0)
+            return None
+        yield from ctx.compute(20e-6)
+        req = yield from ctx.irecv(buf.view(), src=0, tag=0)
+        yield from ctx.wait(req)
+        return (yield from ctx.waitany([req]))
+
+    assert world.run(program)[1] == (None, None)

@@ -1,0 +1,351 @@
+"""Integration tests: point-to-point over the full runtime stack."""
+
+import numpy as np
+import pytest
+
+from repro.machine import small_test
+from repro.pip import AddressSpaceViolation
+from repro.runtime import ANY_SOURCE, TruncationError, World
+
+
+def make_world(nodes=2, ppn=2, intra="posix_shmem", **kw):
+    return World(small_test(nodes=nodes, ppn=ppn), intra=intra, **kw)
+
+
+def fill(buf, value):
+    buf.write_bytes(0, np.full(buf.nbytes, value, dtype=np.uint8))
+
+
+def test_intra_node_send_recv_moves_bytes():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(32)
+        if ctx.rank == 0:
+            fill(buf, 7)
+            yield from ctx.send(buf.view(), dst=1, tag=3)
+            return None
+        if ctx.rank == 1:
+            status = yield from ctx.recv(buf.view(), src=0, tag=3)
+            return (status.source, status.tag, status.nbytes, int(buf.read_bytes(0, 1)[0]))
+        return None
+
+    results = world.run(program)
+    assert results[1] == (0, 3, 32, 7)
+    world.assert_quiescent()
+
+
+def test_inter_node_send_recv_moves_bytes():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(64)
+        if ctx.rank == 0:
+            fill(buf, 42)
+            yield from ctx.send(buf.view(), dst=3, tag=1)  # rank 3 is on node 1
+        elif ctx.rank == 3:
+            yield from ctx.recv(buf.view(), src=0, tag=1)
+            return int(buf.read_bytes(63, 1)[0])
+        return None
+
+    assert world.run(program)[3] == 42
+
+
+def test_inter_node_latency_exceeds_wire_latency():
+    world = make_world()
+    params = world.params
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        start = ctx.now
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=2, tag=0)
+        elif ctx.rank == 2:
+            yield from ctx.recv(buf.view(), src=0, tag=0)
+            return ctx.now - start
+        return None
+
+    latency = world.run(program)[2]
+    assert latency > params.nic.latency
+    assert latency < 20e-6  # sanity: microseconds, not milliseconds
+
+
+def test_self_send_is_cheap_and_correct():
+    world = make_world()
+
+    def program(ctx):
+        if ctx.rank != 0:
+            return None
+        buf = ctx.alloc(16)
+        fill(buf, 5)
+        out = ctx.alloc(16)
+        start = ctx.now
+        yield from ctx.send(buf.view(), dst=0, tag=9)
+        yield from ctx.recv(out.view(), src=0, tag=9)
+        return (ctx.now - start, int(out.read_bytes(0, 1)[0]))
+
+    elapsed, value = world.run(program)[0]
+    assert value == 5
+    assert elapsed < 1e-6
+
+
+def test_recv_before_send_posted_matches():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 1:
+            status = yield from ctx.recv(buf.view(), src=0, tag=4)
+            return status.nbytes
+        if ctx.rank == 0:
+            yield from ctx.compute(5e-6)  # recv is posted well before
+            fill(buf, 1)
+            yield from ctx.send(buf.view(), dst=1, tag=4)
+        return None
+
+    assert world.run(program)[1] == 8
+
+
+def test_wildcard_recv_reports_actual_source():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 2:
+            yield from ctx.send(buf.view(), dst=0, tag=11)
+        elif ctx.rank == 0:
+            status = yield from ctx.recv(buf.view(), src=ANY_SOURCE, tag=11)
+            return status.source
+        return None
+
+    assert world.run(program)[0] == 2
+
+
+def test_truncation_raises():
+    world = make_world()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            big = ctx.alloc(64)
+            yield from ctx.send(big.view(), dst=1, tag=0)
+        elif ctx.rank == 1:
+            small = ctx.alloc(8)
+            yield from ctx.recv(small.view(), src=0, tag=0)
+        return None
+
+    with pytest.raises(TruncationError):
+        world.run(program)
+
+
+def test_isend_irecv_overlap():
+    world = make_world()
+
+    def program(ctx):
+        bufs = [ctx.alloc(8) for _ in range(4)]
+        if ctx.rank == 0:
+            reqs = []
+            for i, buf in enumerate(bufs):
+                fill(buf, i + 1)
+                req = yield from ctx.isend(buf.view(), dst=1, tag=i)
+                reqs.append(req)
+            yield from ctx.waitall(reqs)
+        elif ctx.rank == 1:
+            reqs = []
+            for i, buf in enumerate(bufs):
+                req = yield from ctx.irecv(buf.view(), src=0, tag=i)
+                reqs.append(req)
+            yield from ctx.waitall(reqs)
+            return [int(b.read_bytes(0, 1)[0]) for b in bufs]
+        return None
+
+    assert world.run(program)[1] == [1, 2, 3, 4]
+
+
+def test_sendrecv_pairwise_exchange_no_deadlock():
+    world = make_world(nodes=1, ppn=4)
+
+    def program(ctx):
+        sbuf, rbuf = ctx.alloc(8), ctx.alloc(8)
+        fill(sbuf, ctx.rank + 1)
+        partner = ctx.rank ^ 1
+        yield from ctx.sendrecv(sbuf.view(), partner, 0, rbuf.view(), partner, 0)
+        return int(rbuf.read_bytes(0, 1)[0])
+
+    assert world.run(program) == [2, 1, 4, 3]
+
+
+def test_message_ordering_same_pair():
+    world = make_world()
+
+    def program(ctx):
+        if ctx.rank == 0:
+            for i in range(5):
+                buf = ctx.alloc(8)
+                fill(buf, i)
+                yield from ctx.send(buf.view(), dst=1, tag=7)
+        elif ctx.rank == 1:
+            seen = []
+            for _ in range(5):
+                buf = ctx.alloc(8)
+                yield from ctx.recv(buf.view(), src=0, tag=7)
+                seen.append(int(buf.read_bytes(0, 1)[0]))
+            return seen
+        return None
+
+    assert world.run(program)[1] == [0, 1, 2, 3, 4]
+
+
+def test_rendezvous_send_blocks_until_delivery():
+    world = make_world()
+    params = world.params
+    big = params.nic.eager_limit * 4
+
+    def program(ctx):
+        buf = ctx.alloc(big)
+        if ctx.rank == 0:
+            start = ctx.now
+            yield from ctx.send(buf.view(), dst=2, tag=0)
+            return ctx.now - start
+        if ctx.rank == 2:
+            yield from ctx.recv(buf.view(), src=0, tag=0)
+        return None
+
+    elapsed = world.run(program)[0]
+    # Rendezvous: at least handshake + transfer time on the wire.
+    assert elapsed >= params.nic.rendezvous_overhead + big * params.nic.byte_gap
+
+
+def test_eager_send_returns_before_delivery():
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            yield from ctx.send(buf.view(), dst=2, tag=0)
+            return ctx.now
+        if ctx.rank == 2:
+            yield from ctx.recv(buf.view(), src=0, tag=0)
+            return ctx.now
+        return None
+
+    results = world.run(program)
+    assert results[0] < results[2]  # sender done before receiver
+
+
+def test_send_buffer_reusable_after_eager_send():
+    """Overwriting the send buffer after send() must not corrupt the
+    message (the runtime snapshots at post time, as eager MPI does)."""
+    world = make_world()
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        if ctx.rank == 0:
+            fill(buf, 1)
+            yield from ctx.send(buf.view(), dst=1, tag=0)
+            fill(buf, 99)  # reuse immediately
+            yield from ctx.compute(1e-3)
+        elif ctx.rank == 1:
+            yield from ctx.compute(1e-4)  # recv long after sender reused
+            yield from ctx.recv(buf.view(), src=0, tag=0)
+            return int(buf.read_bytes(0, 1)[0])
+        return None
+
+    assert world.run(program)[1] == 1
+
+
+def test_peer_buffer_requires_pip_transport():
+    world = make_world(intra="posix_shmem")
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        ctx.expose("b", buf)
+        yield from ctx.node_barrier()
+        if ctx.rank == 1:
+            try:
+                ctx.peer_buffer(0, "b")
+            except AddressSpaceViolation:
+                return "refused"
+        return None
+
+    assert world.run(program)[1] == "refused"
+
+
+def test_peer_buffer_and_direct_copy_with_pip():
+    world = make_world(intra="pip")
+
+    def program(ctx):
+        buf = ctx.alloc(8)
+        ctx.expose("b", buf)
+        if ctx.rank == 0:
+            fill(buf, 77)
+        yield from ctx.node_barrier()
+        if ctx.rank == 1:
+            peer = ctx.peer_buffer(0, "b")
+            mine = ctx.alloc(8)
+            t0 = ctx.now
+            yield from ctx.direct_copy(peer.view(), mine.view())
+            cost = ctx.now - t0
+            return (int(mine.read_bytes(0, 1)[0]), cost)
+        return None
+
+    value, cost = world.run(program)[1]
+    assert value == 77
+    assert cost == pytest.approx(world.params.memory.copy_time(8))
+
+
+def test_node_barrier_aligns_node_ranks_only():
+    world = make_world(nodes=2, ppn=2)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.compute(1e-3)
+        yield from ctx.node_barrier()
+        return ctx.now
+
+    times = world.run(program)
+    assert times[0] == pytest.approx(times[1])  # node 0 aligned
+    assert times[2] == pytest.approx(times[3])  # node 1 aligned
+    assert times[2] < times[0]  # node 1 not delayed by node 0
+
+
+def test_hard_sync_aligns_world_at_zero_cost():
+    world = make_world()
+
+    def program(ctx):
+        yield from ctx.compute(ctx.rank * 1e-4)
+        yield from ctx.hard_sync()
+        return ctx.now
+
+    times = world.run(program)
+    assert len(set(times)) == 1
+    assert times[0] == pytest.approx(3e-4)
+
+
+def test_null_buffer_world_runs_same_timing():
+    latencies = []
+    for functional in (True, False):
+        world = make_world(functional=functional)
+
+        def program(ctx):
+            buf = ctx.alloc(256)
+            if ctx.rank == 0:
+                yield from ctx.send(buf.view(), dst=3, tag=0)
+            elif ctx.rank == 3:
+                yield from ctx.recv(buf.view(), src=0, tag=0)
+                return ctx.now
+            return None
+
+        latencies.append(world.run(program)[3])
+    assert latencies[0] == pytest.approx(latencies[1])
+
+
+def test_run_per_rank_args():
+    world = make_world(nodes=1, ppn=2)
+
+    def program(ctx, x):
+        yield from ctx.compute(0.0)
+        return x * 2
+
+    assert world.run(program, per_rank_args=[(1,), (5,)]) == [2, 10]
+    with pytest.raises(ValueError):
+        world.run(program, per_rank_args=[(1,)])

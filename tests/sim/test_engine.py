@@ -1,0 +1,289 @@
+"""Unit tests for the simulation engine and event primitives."""
+
+import pytest
+
+from repro.sim import (
+    EventAlreadyTriggered,
+    Interrupt,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.peek() == float("inf")
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_deadline_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.timeout(10.0)
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(3.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def job(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    proc = sim.process(job(sim))
+    sim.run()
+    assert proc.triggered and proc.ok
+    assert proc.value == 42
+    assert sim.now == 1.0
+
+
+def test_process_join_via_yield():
+    sim = Simulator()
+    order = []
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        order.append("child")
+        return "payload"
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        order.append("parent")
+        return value
+
+    proc = sim.process(parent(sim))
+    sim.run()
+    assert proc.value == "payload"
+    assert order == ["child", "parent"]
+
+
+def test_same_timestamp_events_fifo():
+    sim = Simulator()
+    order = []
+
+    def job(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(job(sim, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_once_only():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed(2)
+    with pytest.raises(EventAlreadyTriggered):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(AttributeError):
+        _ = ev.value
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+
+    def waiter(sim):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            seen.append(str(exc))
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    sim.process(waiter(sim))
+    sim.process(failer(sim))
+    sim.run()
+    assert seen == ["boom"]
+
+
+def test_unhandled_process_crash_surfaces():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("crashed")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="crashed"):
+        sim.run()
+
+
+def test_crash_propagates_to_joiner_not_engine():
+    sim = Simulator()
+    caught = []
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("crashed")
+
+    def joiner(sim):
+        try:
+            yield sim.process(bad(sim))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(joiner(sim))
+    sim.run()
+    assert caught == ["crashed"]
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(TypeError, match="must yield Event"):
+        sim.run()
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("x")
+    sim.run()
+    assert ev.processed
+
+    times = []
+
+    def job(sim):
+        yield sim.timeout(3.0)
+        value = yield ev
+        times.append((sim.now, value))
+
+    sim.process(job(sim))
+    sim.run()
+    assert times == [(3.0, "x")]
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    results = []
+
+    def job(sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        got = yield t1 & t2
+        results.append((sim.now, sorted(got.values())))
+
+    sim.process(job(sim))
+    sim.run()
+    assert results == [(2.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def job(sim):
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(5.0, value="slow")
+        got = yield t1 | t2
+        results.append((sim.now, list(got.values())))
+
+    sim.process(job(sim))
+    sim.run()
+    assert results == [(1.0, ["fast"])]
+    assert sim.now == 5.0  # the slow timeout still drains
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    cond = sim.all_of([])
+    assert cond.triggered
+    assert cond.ok
+
+
+def test_interrupt_detaches_from_waited_event():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+        yield sim.timeout(1.0)
+        log.append(("done", sim.now))
+
+    proc = sim.process(sleeper(sim))
+
+    def killer(sim):
+        yield sim.timeout(2.0)
+        proc.interrupt(cause="hurry")
+
+    sim.process(killer(sim))
+    sim.run()
+    assert ("interrupted", 2.0, "hurry") in log
+    assert ("done", 3.0) in log
+
+
+def test_interrupt_dead_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.5)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_event_count_increments():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.timeout(2.0)
+    sim.run()
+    assert sim.event_count == 2
+
+
+def test_mixed_simulator_condition_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+    e1, e2 = sim1.event(), sim2.event()
+    with pytest.raises(ValueError):
+        sim1.all_of([e1, e2])

@@ -1,0 +1,226 @@
+"""Unit tests for Resource, RateLimiter, Store and FilterStore."""
+
+import pytest
+
+from repro.sim import FilterStore, RateLimiter, Resource, Simulator, Store
+
+
+def test_resource_capacity_serialises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(sim, tag):
+        yield from res.use(2.0)
+        spans.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.process(worker(sim, tag))
+    sim.run()
+    assert spans == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def worker(sim, tag):
+        yield from res.use(2.0)
+        done.append((tag, sim.now))
+
+    for tag in range(4):
+        sim.process(worker(sim, tag))
+    sim.run()
+    assert done == [(0, 2.0), (1, 2.0), (2, 4.0), (3, 4.0)]
+
+
+def test_resource_fifo_grant_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grants = []
+
+    def worker(sim, tag):
+        yield res.request()
+        grants.append(tag)
+        yield sim.timeout(1.0)
+        res.release()
+
+    for tag in range(5):
+        sim.process(worker(sim, tag))
+    sim.run()
+    assert grants == [0, 1, 2, 3, 4]
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_counters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim):
+        yield res.request()
+        assert res.in_use == 1
+        yield sim.timeout(1.0)
+        res.release()
+
+    def waiter(sim):
+        req = res.request()
+        assert res.queued == 1
+        yield req
+        res.release()
+
+    sim.process(holder(sim))
+    sim.process(waiter(sim))
+    sim.run()
+    assert res.in_use == 0 and res.queued == 0
+
+
+def test_rate_limiter_pipelines_back_to_back():
+    sim = Simulator()
+    pipe = RateLimiter(sim)
+    finishes = []
+
+    def job(sim, tag):
+        yield pipe.occupy(1.0)
+        finishes.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.process(job(sim, tag))
+    sim.run()
+    # All submitted at t=0; the pipe serves them back to back.
+    assert finishes == [(0, 1.0), (1, 2.0), (2, 3.0)]
+    assert pipe.busy_time == 3.0
+
+
+def test_rate_limiter_idle_gap_resets():
+    sim = Simulator()
+    pipe = RateLimiter(sim)
+    finishes = []
+
+    def job(sim):
+        yield pipe.occupy(1.0)
+        finishes.append(sim.now)
+        yield sim.timeout(5.0)  # idle gap
+        yield pipe.occupy(1.0)
+        finishes.append(sim.now)
+
+    sim.process(job(sim))
+    sim.run()
+    assert finishes == [1.0, 7.0]
+
+
+def test_rate_limiter_negative_duration():
+    sim = Simulator()
+    pipe = RateLimiter(sim)
+    with pytest.raises(ValueError):
+        pipe.occupy(-1.0)
+
+
+def test_store_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for i in range(3):
+            yield sim.timeout(1.0)
+            store.put(i)
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+
+def test_store_buffers_when_no_getter():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2
+    got = []
+
+    def consumer(sim):
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_filter_store_predicate_match():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get(lambda m: m["tag"] == 7)
+        got.append(item["tag"])
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        store.put({"tag": 3})
+        store.put({"tag": 7})
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [7]
+    assert len(store) == 1  # tag 3 still buffered
+
+
+def test_filter_store_oldest_matching_item():
+    sim = Simulator()
+    store = FilterStore(sim)
+    store.put(1)
+    store.put(2)
+    store.put(3)
+    got = []
+
+    def consumer(sim):
+        got.append((yield store.get(lambda x: x % 2 == 1)))
+        got.append((yield store.get()))
+
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [1, 2]
+
+
+def test_filter_store_oldest_matching_getter_served_first():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer(sim, tag, pred):
+        item = yield store.get(pred)
+        got.append((tag, item))
+
+    sim.process(consumer(sim, "evens", lambda x: x % 2 == 0))
+    sim.process(consumer(sim, "any", lambda x: True))
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        store.put(4)
+        store.put(5)
+
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [("evens", 4), ("any", 5)]

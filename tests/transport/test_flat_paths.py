@@ -1,0 +1,125 @@
+"""The flat fast paths must time exactly like the reference generators.
+
+Each transport ships two implementations of its cost model: generator
+phases (the reference choreography) and closed-form flat times (the
+fast path the pt2pt engine prefers).  Divergence between them would
+silently change benchmark results, so this suite pins them together.
+"""
+
+import pytest
+
+from repro.machine import ClusterHardware, single_node, small_test
+from repro.sim import Simulator
+from repro.transport import (
+    NetworkTransport,
+    WireDescriptor,
+    available_transports,
+    make_transport,
+)
+
+PARAMS = single_node(ppn=2)
+
+
+def run_gen(gen_factory):
+    """Execute one generator phase; return its simulated duration."""
+    sim = Simulator()
+    hw = ClusterHardware(sim, PARAMS)
+    out = {}
+
+    def driver(sim):
+        t0 = sim.now
+        yield from gen_factory(hw)
+        out["t"] = sim.now - t0
+
+    sim.process(driver(sim))
+    sim.run()
+    return out["t"]
+
+
+@pytest.mark.parametrize("name", available_transports())
+@pytest.mark.parametrize("nbytes", [16, 4096])
+def test_sender_flat_matches_generator(name, nbytes):
+    desc = WireDescriptor(src=0, dst=1, nbytes=nbytes)
+    ref = run_gen(lambda hw, t=make_transport(name): t.sender_steps(hw[0], desc))
+    flat = make_transport(name).sender_flat_time(
+        ClusterHardware(Simulator(), PARAMS)[0], desc)
+    if flat is None:
+        pytest.skip(f"{name} has no sender fast path at {nbytes} B")
+    assert flat == pytest.approx(ref)
+
+
+@pytest.mark.parametrize("name", available_transports())
+@pytest.mark.parametrize("nbytes", [16, 4096])
+def test_receiver_flat_matches_generator(name, nbytes):
+    desc = WireDescriptor(src=0, dst=1, nbytes=nbytes, buf_key="k")
+    ref = run_gen(lambda hw, t=make_transport(name): t.receiver_steps(hw[0], desc))
+    flat = make_transport(name).receiver_flat_time(
+        ClusterHardware(Simulator(), PARAMS)[0], desc)
+    if flat is None:
+        pytest.skip(f"{name} has no receiver fast path at {nbytes} B")
+    assert flat == pytest.approx(ref)
+
+
+@pytest.mark.parametrize("nbytes", [16, 4096])
+def test_network_flat_matches_generator(nbytes):
+    net = NetworkTransport()
+    desc = WireDescriptor(src=0, dst=2, nbytes=nbytes)
+    ref_s = run_gen(lambda hw: net.sender_steps(hw[0], desc))
+    ref_r = run_gen(lambda hw: net.receiver_steps(hw[0], desc))
+    hw0 = ClusterHardware(Simulator(), PARAMS)[0]
+    assert net.sender_flat_time(hw0, desc) == pytest.approx(ref_s)
+    assert net.receiver_flat_time(hw0, desc) == pytest.approx(ref_r)
+
+
+@pytest.mark.parametrize("nbytes", [64, 100_000])  # eager and rendezvous
+def test_network_schedule_delivery_matches_generator(nbytes):
+    """Callback delivery and generator delivery arrive at the same time."""
+    params = small_test(nodes=2, ppn=1)
+    desc = WireDescriptor(src=0, dst=1, nbytes=nbytes)
+
+    def timed_generator():
+        sim = Simulator()
+        hw = ClusterHardware(sim, params)
+        net = NetworkTransport()
+        out = {}
+
+        def driver(sim):
+            yield from net.delivery_steps(hw[0], hw[1], desc)
+            out["t"] = sim.now
+
+        sim.process(driver(sim))
+        sim.run()
+        return out["t"]
+
+    def timed_callback():
+        sim = Simulator()
+        hw = ClusterHardware(sim, params)
+        net = NetworkTransport()
+        out = {}
+        net.schedule_delivery(hw[0], hw[1], desc, lambda: out.setdefault("t", sim.now))
+        sim.run()
+        return out["t"]
+
+    assert timed_callback() == pytest.approx(timed_generator())
+
+
+def test_intra_schedule_delivery_is_flag_hop():
+    sim = Simulator()
+    hw = ClusterHardware(sim, PARAMS)
+    t = make_transport("pip")
+    desc = WireDescriptor(src=0, dst=1, nbytes=64)
+    out = {}
+    t.schedule_delivery(hw[0], hw[0], desc, lambda: out.setdefault("t", sim.now))
+    sim.run()
+    assert out["t"] == pytest.approx(PARAMS.memory.flag_latency)
+
+
+def test_xpmem_flat_path_maintains_attach_cache():
+    """The fast path must warm the same cache the generator uses."""
+    t = make_transport("xpmem")
+    hw0 = ClusterHardware(Simulator(), PARAMS)[0]
+    desc = WireDescriptor(src=0, dst=1, nbytes=256, buf_key="bufZ")
+    cold = t.receiver_flat_time(hw0, desc)
+    warm = t.receiver_flat_time(hw0, desc)
+    assert t.attach_cache_size == 1
+    assert warm < cold

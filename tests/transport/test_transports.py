@@ -1,0 +1,145 @@
+"""Unit tests for the intra-node transports' cost structure.
+
+These tests measure each transport phase in isolation on a single
+node and check the *relationships* the paper's §1 is built on:
+
+* POSIX-SHMEM pays two payload copies; the others pay one.
+* CMA pays a syscall per message; PiP pays none.
+* XPMEM's first touch is expensive (attach + faults) and later uses
+  are cheap but still cost a lookup.
+* PiP is the cheapest at small sizes; PiP+sizesync stalls the sender.
+"""
+
+import pytest
+
+from repro.machine import ClusterHardware, single_node
+from repro.sim import Simulator
+from repro.transport import (
+    WireDescriptor,
+    available_transports,
+    make_transport,
+)
+
+PARAMS = single_node(ppn=2)
+
+
+def run_phases(transport, nbytes, buf_key=None, repeat=1):
+    """Run sender/delivery/receiver once each; return (s, d, r) times."""
+    timings = []
+    for _ in range(repeat):
+        sim = Simulator()
+        hw = ClusterHardware(sim, PARAMS)
+        desc = WireDescriptor(src=0, dst=1, nbytes=nbytes, buf_key=buf_key)
+        spans = {}
+
+        def phase(sim, name, gen):
+            start = sim.now
+            yield from gen
+            spans[name] = sim.now - start
+
+        def driver(sim):
+            yield sim.process(phase(sim, "s", transport.sender_steps(hw[0], desc)))
+            yield sim.process(phase(sim, "d", transport.delivery_steps(hw[0], hw[0], desc)))
+            yield sim.process(phase(sim, "r", transport.receiver_steps(hw[0], desc)))
+
+        sim.process(driver(sim))
+        sim.run()
+        timings.append((spans["s"], spans["d"], spans["r"]))
+    return timings[-1]
+
+
+def total(transport, nbytes, **kw):
+    return sum(run_phases(transport, nbytes, **kw))
+
+
+def test_registry_lists_all_five():
+    names = available_transports()
+    assert names == ["cma", "pip", "pip_sizesync", "posix_shmem", "xpmem"]
+    for name in names:
+        assert make_transport(name).name.startswith(name.split("_")[0])
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError):
+        make_transport("tcp")
+
+
+def test_registry_returns_fresh_instances():
+    a = make_transport("xpmem")
+    b = make_transport("xpmem")
+    assert a is not b
+
+
+def test_posix_double_copy_vs_pip_single_copy():
+    """At large sizes POSIX costs ~2 copies, PiP ~1."""
+    nbytes = 1 << 20
+    mem = PARAMS.memory
+    posix = total(make_transport("posix_shmem"), nbytes)
+    pip = total(make_transport("pip"), nbytes)
+    one_copy = mem.copy_time(nbytes)
+    assert posix == pytest.approx(2 * one_copy, rel=0.1)
+    assert pip == pytest.approx(one_copy, rel=0.1)
+
+
+def test_cma_small_message_dominated_by_syscall():
+    mem = PARAMS.memory
+    s, d, r = run_phases(make_transport("cma"), 64)
+    assert r >= mem.syscall_overhead
+    # The syscall is the biggest term at 64 B.
+    assert mem.syscall_overhead > mem.copy_time(64)
+
+
+def test_pip_beats_others_at_small_sizes():
+    nbytes = 64
+    pip = total(make_transport("pip"), nbytes)
+    for other in ("posix_shmem", "cma", "xpmem"):
+        assert pip < total(make_transport(other), nbytes), other
+
+
+def test_pip_sizesync_slower_than_posix_at_tiny_sizes():
+    """The paper's PiP-MPICH observation: naive PiP can place last."""
+    nbytes = 16
+    naive = total(make_transport("pip_sizesync"), nbytes)
+    posix = total(make_transport("posix_shmem"), nbytes)
+    assert naive > posix
+
+
+def test_xpmem_attach_amortises():
+    t = make_transport("xpmem")
+    first = total(t, 4096, buf_key="bufA")
+    assert t.attach_cache_size == 1
+    second = total(t, 4096, buf_key="bufA")
+    assert second < first
+    # First touch pays attach + at least one page fault.
+    mem = PARAMS.memory
+    assert first - second >= mem.attach_overhead - mem.attach_lookup
+
+
+def test_xpmem_unkeyed_buffers_never_amortise():
+    t = make_transport("xpmem")
+    first = total(t, 4096, buf_key=None)
+    second = total(t, 4096, buf_key=None)
+    assert first == pytest.approx(second)
+    assert t.attach_cache_size == 0
+
+
+def test_xpmem_cached_still_beats_cma_small():
+    """After warmup, XPMEM's lookup < CMA's syscall (both 1 copy)."""
+    x = make_transport("xpmem")
+    total(x, 256, buf_key="b")  # warm the cache
+    warm = total(x, 256, buf_key="b")
+    cma = total(make_transport("cma"), 256)
+    assert warm < cma
+
+
+def test_only_pip_supports_peer_views():
+    for name in available_transports():
+        t = make_transport(name)
+        expected = name.startswith("pip")
+        assert t.supports_peer_views is expected, name
+
+
+def test_describe_mentions_copy_count():
+    assert "2 copies" in make_transport("posix_shmem").describe()
+    assert "1 copy" in make_transport("cma").describe()
+    assert "1 copy" in make_transport("pip").describe()

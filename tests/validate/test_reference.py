@@ -1,0 +1,113 @@
+"""Unit + property tests for the numpy reference collectives.
+
+The references are the ground truth every algorithm is compared
+against, so they get their own sanity suite (small hand-checked cases
+plus hypothesis properties relating the collectives to one another).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.ops import MAX, SUM
+from repro.validate import reference
+from repro.validate.checker import int_pattern, pattern
+
+
+def arrays(size, count):
+    return [pattern(r, count) for r in range(size)]
+
+
+def test_bcast_everyone_gets_root_data():
+    ins = arrays(4, 8)
+    outs = reference.bcast(ins, root=2)
+    assert all(np.array_equal(o, ins[2]) for o in outs)
+
+
+def test_gather_concatenates_in_rank_order():
+    ins = arrays(3, 4)
+    outs = reference.gather(ins, root=1)
+    assert outs[0].size == 0 and outs[2].size == 0
+    assert np.array_equal(outs[1], np.concatenate(ins))
+
+
+def test_scatter_blocks():
+    root_data = np.arange(12, dtype=np.uint8)
+    outs = reference.scatter(root_data, size=3, root=0)
+    assert [o.tolist() for o in outs] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11]]
+    with pytest.raises(ValueError):
+        reference.scatter(np.arange(10, dtype=np.uint8), size=3, root=0)
+
+
+def test_alltoall_transposes_blocks():
+    ins = [np.array([10 * r + c for c in range(3)], dtype=np.uint8) for r in range(3)]
+    outs = reference.alltoall(ins)
+    # Block j of rank i == block i of rank j.
+    for i in range(3):
+        assert outs[i].tolist() == [10 * j + i for j in range(3)]
+    with pytest.raises(ValueError):
+        reference.alltoall([np.zeros(3, np.uint8), np.zeros(6, np.uint8), np.zeros(3, np.uint8)])
+
+
+def test_reduce_scatter_needs_divisible_blocks():
+    ins = [int_pattern(r, 5) for r in range(2)]
+    with pytest.raises(ValueError):
+        reference.reduce_scatter_block(ins, SUM, np.dtype(np.int64))
+
+
+@given(size=st.integers(1, 12), count=st.integers(1, 32))
+def test_allgather_equals_bcast_of_gather(size, count):
+    ins = arrays(size, count)
+    ag = reference.allgather(ins)
+    gathered = reference.gather(ins, root=0)[0]
+    assert all(np.array_equal(a, gathered) for a in ag)
+
+
+@given(size=st.integers(1, 12), count=st.integers(1, 16))
+def test_allreduce_equals_reduce_everywhere(size, count):
+    ins = [int_pattern(r, count) for r in range(size)]
+    ar = reference.allreduce(ins, SUM, np.dtype(np.int64))
+    red = reference.reduce(ins, SUM, np.dtype(np.int64), root=0)[0]
+    assert all(np.array_equal(a, red) for a in ar)
+
+
+@given(size=st.integers(1, 12), count=st.integers(1, 8))
+def test_scan_last_rank_equals_allreduce(size, count):
+    ins = [int_pattern(r, count) for r in range(size)]
+    sc = reference.scan(ins, SUM, np.dtype(np.int64))
+    ar = reference.allreduce(ins, SUM, np.dtype(np.int64))[0]
+    assert np.array_equal(sc[-1], ar)
+
+
+@given(size=st.integers(1, 10), count=st.integers(1, 8))
+def test_reduce_scatter_concatenates_to_allreduce(size, count):
+    ins = [int_pattern(r, count * size) for r in range(size)]
+    rs = reference.reduce_scatter_block(ins, SUM, np.dtype(np.int64))
+    ar = reference.allreduce(ins, SUM, np.dtype(np.int64))[0]
+    assert np.array_equal(np.concatenate(rs), ar)
+
+
+@given(size=st.integers(1, 10), count=st.integers(1, 16))
+def test_scatter_inverts_gather(size, count):
+    ins = arrays(size, count)
+    gathered = reference.gather(ins, root=0)[0]
+    scattered = reference.scatter(gathered, size, root=0)
+    for r in range(size):
+        assert np.array_equal(scattered[r], ins[r])
+
+
+@given(size=st.integers(1, 8), count=st.integers(1, 8))
+def test_alltoall_is_an_involution_under_transpose(size, count):
+    ins = [pattern(r, size * count) for r in range(size)]
+    once = reference.alltoall(ins)
+    twice = reference.alltoall(once)
+    for r in range(size):
+        assert np.array_equal(twice[r], ins[r])
+
+
+def test_reduce_max_vs_sum_differ():
+    ins = [int_pattern(r, 4) for r in range(3)]
+    s = reference.reduce(ins, SUM, np.dtype(np.int64), 0)[0]
+    m = reference.reduce(ins, MAX, np.dtype(np.int64), 0)[0]
+    assert not np.array_equal(s, m)
