@@ -1,0 +1,67 @@
+"""R1 — Chaos resilience: latency vs drop rate under reliable delivery.
+
+The paper's multi-object design pushes every rank onto the NIC, so it
+rides many more concurrent eager flows than a single-leader schedule —
+the question this sweep answers is whether that extra wire exposure
+costs it its advantage on a lossy fabric.  Each point runs the
+standard harness over the reliable (ack/timeout/retransmit) transport
+with a seeded drop plan; lost transmissions cost retransmission
+timeouts, all accrued in simulated time.
+
+Scale note: chaos points run functional (every byte really moves), so
+this sweep uses a 4x4 machine rather than the paper's 128x18.
+
+Expected physics, asserted:
+
+* at drop 0 the protocol is quiet (no retransmits) and PiP-MColl wins
+  as in the clean benchmarks;
+* latency is non-decreasing in drop rate for both libraries, and the
+  20% point is strictly slower than clean;
+* every point completes byte-exact (the harness validates buffers) —
+  loss degrades latency, never correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import chaos_sweep, resilience_report
+from repro.machine import small_test
+
+from conftest import save_result
+
+NODES, PPN, NBYTES = 4, 4, 64
+DROP_RATES = (0.0, 0.05, 0.1, 0.2)
+LIBS = ("MPICH", "PiP-MColl")
+SEED = 20230616
+
+
+def _run():
+    return chaos_sweep(
+        "allgather", NBYTES, small_test(nodes=NODES, ppn=PPN),
+        drop_rates=DROP_RATES, libraries=LIBS, seed=SEED,
+    )
+
+
+@pytest.mark.benchmark(group="r1")
+def test_r1_chaos_resilience(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("r1_chaos_resilience", resilience_report(points))
+
+    grid = {(p.library, p.drop_rate): p for p in points}
+    for lib in LIBS:
+        clean = grid[(lib, 0.0)]
+        assert clean.completed and clean.retransmits == 0
+        # Loss costs latency monotonically, never correctness.
+        prev = clean.latency_us
+        for rate in DROP_RATES[1:]:
+            point = grid[(lib, rate)]
+            assert point.completed, f"{lib} failed at {rate:.0%} drop"
+            assert point.latency_us >= prev * 0.95  # near-monotone
+            prev = max(prev, point.latency_us)
+        worst = grid[(lib, DROP_RATES[-1])]
+        assert worst.latency_us > clean.latency_us
+        assert worst.retransmits >= 1
+    # The multi-object design keeps its clean-wire win.
+    assert grid[("PiP-MColl", 0.0)].latency_us < \
+        grid[("MPICH", 0.0)].latency_us

@@ -40,6 +40,9 @@ class BenchPoint:
     min_us: float
     max_us: float
     iterations: Tuple[float, ...]  # per-iteration max-across-ranks (µs)
+    #: the world's post-run hardware/protocol counters (retransmits,
+    #: injected faults, ...); chaos sweeps read these
+    stats: Optional[dict] = None
 
 
 def _buffers(ctx, collective: str, nbytes: int, size: int, root: int):
@@ -102,12 +105,20 @@ def bench_collective(
     iters: int = 3,
     functional: bool = False,
     root: int = 0,
+    faults=None,
+    reliable: bool = False,
 ) -> BenchPoint:
-    """Measure one point (see module docstring)."""
+    """Measure one point (see module docstring).
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) and ``reliable``
+    turn the measurement into a chaos point: same harness, same
+    timing convention, lossy wire underneath.
+    """
     lib = make_library(library) if isinstance(library, str) else library
     if warmup < 0 or iters < 1:
         raise ValueError("need warmup >= 0 and iters >= 1")
-    world = lib.make_world(params, functional=functional)
+    world = lib.make_world(params, functional=functional,
+                           faults=faults, reliable=reliable)
     size = world.comm_world.size
     algo = lib.wrapped(collective, nbytes, size)
 
@@ -135,6 +146,7 @@ def bench_collective(
         min_us=min(per_iter_us),
         max_us=max(per_iter_us),
         iterations=per_iter_us,
+        stats=world.stats(),
     )
 
 

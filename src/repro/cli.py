@@ -11,6 +11,9 @@ Commands
     Regenerate Figure 1 and Figure 2 (optionally at reduced scale).
 ``info``
     List presets, libraries, transports and their cost structure.
+``faults``
+    Seeded chaos sweep: latency vs drop rate under reliable delivery,
+    printed as a resilience report.
 """
 
 from __future__ import annotations
@@ -113,6 +116,32 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def _parse_rates(text: str) -> List[float]:
+    try:
+        rates = [float(part) for part in text.split(",")]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad drop-rate list {text!r}")
+    if not rates or any(not 0.0 <= r <= 1.0 for r in rates):
+        raise argparse.ArgumentTypeError("drop rates must be in [0, 1]")
+    return rates
+
+
+def cmd_faults(args) -> int:
+    from .faults import chaos_sweep, resilience_report
+
+    libs = args.libraries.split(",") if args.libraries else ["MPICH", "PiP-MColl"]
+    points = chaos_sweep(
+        args.collective, args.size, _machine(args),
+        drop_rates=args.drop_rates, libraries=libs,
+        seed=args.seed, iters=args.iters,
+    )
+    print(resilience_report(points))
+    if any(not p.completed for p in points):
+        print("\nsome points did not complete — the error names above "
+              "(DeliveryFailedError etc.) are the diagnosis, not a crash")
+    return 0
+
+
 def cmd_info(args) -> int:
     print("machine presets:")
     for name in available_presets():
@@ -173,6 +202,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--libraries", default="",
                    help="comma-separated (default: all)")
     p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("faults", help="seeded chaos sweep (resilience report)")
+    p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--drop-rates", type=_parse_rates,
+                   default=[0.0, 0.05, 0.1, 0.2],
+                   help="comma-separated drop probabilities in [0, 1]")
+    p.add_argument("--libraries", default="",
+                   help="comma-separated (default: MPICH,PiP-MColl)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iters", type=int, default=1)
+    _add_machine_args(p, nodes=4, ppn=4)
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("info", help="presets, libraries, transports")
     p.set_defaults(fn=cmd_info)

@@ -1,0 +1,40 @@
+"""Fault injection and chaos testing (subsystem S12).
+
+Three layers:
+
+* :mod:`repro.faults.plan` — declarative, seeded :class:`FaultPlan`
+  (what to break, scoped by rank/node/size/tag predicates);
+* :mod:`repro.faults.injector` — the bound :class:`FaultInjector`
+  (first-class hooks in the transport and matching layers);
+* :mod:`repro.faults.chaos` — resilience sweeps over the reliable
+  delivery protocol (latency vs drop rate).
+
+Entry point: ``World(params, faults=FaultPlan(...).drop(rate=0.1),
+reliable=True)``.
+"""
+
+from .chaos import (
+    DEFAULT_DROP_RATES,
+    ChaosPoint,
+    chaos_point,
+    chaos_sweep,
+    resilience_report,
+)
+from .injector import FaultEvent, FaultInjector, WireFault
+from .plan import ALL_KINDS, LAYERS, MESSAGE_KINDS, FaultPlan, FaultRule
+
+__all__ = [
+    "ALL_KINDS",
+    "ChaosPoint",
+    "DEFAULT_DROP_RATES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "LAYERS",
+    "MESSAGE_KINDS",
+    "WireFault",
+    "chaos_point",
+    "chaos_sweep",
+    "resilience_report",
+]

@@ -1,0 +1,135 @@
+"""Seeded chaos sweeps: latency-vs-drop-rate resilience reports.
+
+This is the consumer-facing layer over :mod:`repro.faults`: build a
+drop plan at each rate, run the normal benchmark harness over the
+reliable transport, and report how much the retransmission protocol
+costs — or where a library stops completing at all.  Used by the
+``python -m repro faults`` CLI subcommand and the
+``benchmarks/test_r1_chaos_resilience.py`` sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .plan import FaultPlan
+
+#: drop rates a default resilience sweep probes
+DEFAULT_DROP_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One (library, collective, size, drop rate) resilience sample."""
+
+    library: str
+    collective: str
+    nbytes: int
+    drop_rate: float
+    seed: int
+    latency_us: float
+    retransmits: int
+    faults_injected: int
+    completed: bool
+    error: Optional[str] = None
+
+    @property
+    def verdict(self) -> str:
+        return "ok" if self.completed else f"FAILED ({self.error})"
+
+
+def chaos_point(
+    library: str,
+    collective: str,
+    nbytes: int,
+    params,
+    drop_rate: float,
+    seed: int = 0,
+    warmup: int = 0,
+    iters: int = 1,
+    root: int = 0,
+) -> ChaosPoint:
+    """Benchmark one point under a seeded drop plan + reliable delivery.
+
+    A run that degrades into a diagnosed failure (``DeliveryFailedError``
+    after retry exhaustion, a watchdog timeout, a deadlock report) is
+    captured as a non-completing point, not an exception — that *is*
+    the resilience result.
+    """
+    from ..bench.harness import bench_collective
+    from ..runtime.errors import MpiError
+
+    plan = None
+    if drop_rate > 0.0:
+        plan = FaultPlan(seed=seed).drop(rate=drop_rate)
+    try:
+        bp = bench_collective(
+            library, collective, nbytes, params,
+            warmup=warmup, iters=iters, functional=True, root=root,
+            faults=plan, reliable=True,
+        )
+    except MpiError as exc:
+        return ChaosPoint(
+            library=library, collective=collective, nbytes=nbytes,
+            drop_rate=drop_rate, seed=seed, latency_us=float("inf"),
+            retransmits=0, faults_injected=0, completed=False,
+            error=type(exc).__name__,
+        )
+    stats = bp.stats or {}
+    return ChaosPoint(
+        library=library, collective=collective, nbytes=nbytes,
+        drop_rate=drop_rate, seed=seed, latency_us=bp.latency_us,
+        retransmits=int(stats.get("retransmits", 0)),
+        faults_injected=int(stats.get("faults_injected", 0)),
+        completed=True,
+    )
+
+
+def chaos_sweep(
+    collective: str,
+    nbytes: int,
+    params,
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    libraries: Sequence[str] = ("MPICH", "PiP-MColl"),
+    seed: int = 0,
+    iters: int = 1,
+) -> List[ChaosPoint]:
+    """All (library × drop rate) points, same seed per rate column."""
+    return [
+        chaos_point(lib, collective, nbytes, params, rate, seed=seed,
+                    iters=iters)
+        for lib in libraries
+        for rate in drop_rates
+    ]
+
+
+def resilience_report(points: Sequence[ChaosPoint]) -> str:
+    """The human-readable latency-vs-drop-rate table."""
+    if not points:
+        return "no chaos points"
+    head = points[0]
+    lines = [
+        f"chaos resilience — {head.collective} {head.nbytes} B "
+        f"(seed={head.seed}, reliable delivery on)",
+        f"{'library':<12} {'drop':>6} {'latency':>12} {'slowdown':>9} "
+        f"{'rexmits':>8} {'faults':>7}  verdict",
+    ]
+    baselines = {
+        p.library: p.latency_us
+        for p in points
+        if p.drop_rate == 0.0 and p.completed
+    }
+    for p in points:
+        base = baselines.get(p.library)
+        if p.completed:
+            latency = f"{p.latency_us:10.2f}us"
+            slow = f"x{p.latency_us / base:7.2f}" if base else f"{'—':>8}"
+        else:
+            latency = f"{'—':>12}"
+            slow = f"{'—':>8}"
+        lines.append(
+            f"{p.library:<12} {p.drop_rate * 100:5.1f}% {latency:>12} "
+            f"{slow:>9} {p.retransmits:>8} {p.faults_injected:>7}  {p.verdict}"
+        )
+    return "\n".join(lines)

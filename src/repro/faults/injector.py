@@ -1,0 +1,319 @@
+"""The live fault injector: *where* a plan's rules bite.
+
+One :class:`FaultInjector` is bound to one
+:class:`~repro.runtime.world.World` (``World(..., faults=plan)``).  It
+exposes exactly three hook surfaces, all first-class (no
+monkeypatching):
+
+``deliver_hook(desc, engine)``
+    called by the pt2pt engine instead of ``engine.deliver(desc)`` for
+    every message of every transport.  Applies ``layer="deliver"``
+    rules always, and ``layer="wire"`` rules to inter-node messages
+    whose transport did *not* already handle them (i.e. the plain,
+    unreliable network — where a wire drop is a permanent loss).
+
+``wire_fault(wire, attempt)`` / ``rate_factor(node_id)``
+    called by the reliable network transport once per transmission
+    attempt / per pipe occupancy, so wire faults become retransmission
+    and degraded NICs become longer wire times.
+
+``crash_gate(rank)``
+    called at each send/recv dispatch; returns a never-firing event
+    once the rank's fail-stop instant has passed, freezing the rank
+    exactly like a dead process (peers then time out or deadlock with
+    a diagnosis, which is the point).
+
+Every decision is drawn from per-rule seeded streams and recorded in
+:attr:`events`, so two runs of the same (plan, world, program) produce
+byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .plan import CRASH, DEGRADE, FaultPlan, FaultRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.matching import MatchingEngine
+    from ..runtime.message import MessageDescriptor
+    from ..runtime.world import World
+    from ..transport.base import WireDescriptor
+
+#: fallback release delay for held (reordered) messages with no
+#: successor to overtake them — prevents a reorder from becoming a drop
+REORDER_FLUSH_S = 2.0e-5
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the deterministic trace."""
+
+    t: float
+    kind: str
+    src: int
+    dst: int
+    nbytes: int
+    attempt: int = 0
+    note: str = ""
+
+
+@dataclass
+class WireFault:
+    """What the injector decided for one wire transmission attempt."""
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+    extra_delay: float = 0.0
+
+    @property
+    def lost(self) -> bool:
+        """Does this attempt fail to deliver a clean payload?"""
+        return self.drop or self.corrupt
+
+
+@dataclass
+class _RuleState:
+    """Mutable per-rule bookkeeping (match/apply counters + RNG)."""
+
+    rule: FaultRule
+    rng: random.Random
+    seen: int = 0
+    applied: int = 0
+
+    def fires(self) -> bool:
+        """Sample the rule against its scoping throttles (mutates)."""
+        rule = self.rule
+        self.seen += 1
+        if self.seen <= rule.after:
+            return False
+        if rule.limit is not None and self.applied >= rule.limit:
+            return False
+        if rule.rate < 1.0 and self.rng.random() >= rule.rate:
+            return False
+        self.applied += 1
+        return True
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one world (see module doc)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.world: Optional["World"] = None
+        #: deterministic trace of every injected fault
+        self.events: List[FaultEvent] = []
+        #: per-kind totals (cheap probe for tests/reports)
+        self.counts: Dict[str, int] = {}
+        self._states: List[_RuleState] = [
+            _RuleState(rule, random.Random(f"{plan.seed}:{i}:{rule.kind}"))
+            for i, rule in enumerate(plan.rules)
+        ]
+        self._message_states = [s for s in self._states
+                                if s.rule.kind not in (DEGRADE, CRASH)]
+        self._crash_rules = [s.rule for s in self._states if s.rule.kind == CRASH]
+        self._degrade_rules = [s.rule for s in self._states if s.rule.kind == DEGRADE]
+        self._crashed_noted: set = set()
+        #: reordered messages held per destination world rank
+        self._held: Dict[int, List[Tuple["MessageDescriptor", "MatchingEngine"]]] = {}
+
+    # -- binding --------------------------------------------------------
+    def bind(self, world: "World") -> None:
+        """Attach to a world; an injector serves exactly one world."""
+        if self.world is not None:
+            raise RuntimeError(
+                "FaultInjector is already bound to a world; build a fresh "
+                "injector (or pass the FaultPlan itself) per world"
+            )
+        self.world = world
+
+    # -- trace ----------------------------------------------------------
+    def note(self, kind: str, src: int, dst: int, nbytes: int,
+             attempt: int = 0, note: str = "") -> None:
+        """Record one fault occurrence in the deterministic trace."""
+        self.events.append(FaultEvent(
+            self.world.sim.now, kind, src, dst, nbytes, attempt, note))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def trace_signature(self) -> Tuple[FaultEvent, ...]:
+        """Hashable snapshot of the full trace (replay comparisons)."""
+        return tuple(self.events)
+
+    # -- crash (rank-scoped) -------------------------------------------
+    def crash_time(self, rank: int) -> Optional[float]:
+        """The rank's fail-stop instant, or None if it never crashes."""
+        times = [r.at_time for r in self._crash_rules if r.src == rank]
+        return min(times) if times else None
+
+    def is_crashed(self, rank: int, now: float) -> bool:
+        """Has ``rank`` passed its fail-stop instant?"""
+        when = self.crash_time(rank)
+        return when is not None and now >= when
+
+    def crash_gate(self, rank: int):
+        """A never-firing event if ``rank`` is dead, else None.
+
+        The pt2pt engine yields the event, freezing the rank's
+        coroutine forever — the fail-stop model.
+        """
+        now = self.world.sim.now
+        if not self.is_crashed(rank, now):
+            return None
+        if rank not in self._crashed_noted:
+            self._crashed_noted.add(rank)
+            self.note(CRASH, rank, -1, 0, note=f"fail-stop at t<={now:.3e}s")
+        return self.world.sim.event()  # pending forever
+
+    # -- degrade (node-scoped) -----------------------------------------
+    def rate_factor(self, node_id: int) -> float:
+        """Product of wire-time multipliers for a node's NIC."""
+        factor = 1.0
+        for rule in self._degrade_rules:
+            if rule.node is None or rule.node == node_id:
+                factor *= rule.factor
+        return factor
+
+    # -- wire layer (reliable transport) -------------------------------
+    def wire_fault(self, wire: "WireDescriptor", attempt: int) -> WireFault:
+        """Sample wire-layer rules for one transmission attempt."""
+        fault = WireFault()
+        tag = wire.meta.get("tag")
+        node = self.world.cluster.node_of(wire.src)
+        for state in self._message_states:
+            rule = state.rule
+            if rule.layer != "wire":
+                continue
+            if not rule.matches(wire.src, wire.dst, wire.nbytes, tag, node):
+                continue
+            if not state.fires():
+                continue
+            if rule.kind == "drop":
+                fault.drop = True
+            elif rule.kind == "corrupt":
+                fault.corrupt = True
+            elif rule.kind == "duplicate":
+                fault.duplicate = True
+            elif rule.kind == "delay":
+                fault.extra_delay += rule.delay
+            elif rule.kind == "reorder":
+                # The wire protocol is FIFO per flow; a wire "reorder"
+                # manifests as straggling behind the flush window.
+                fault.extra_delay += REORDER_FLUSH_S
+            self.note(rule.kind, wire.src, wire.dst, wire.nbytes,
+                      attempt=attempt, note="wire")
+        return fault
+
+    # -- deliver layer (matching engines) ------------------------------
+    def deliver_hook(self, desc: "MessageDescriptor",
+                     engine: "MatchingEngine") -> None:
+        """Fault-filtered replacement for ``engine.deliver(desc)``."""
+        sim = self.world.sim
+        if self.is_crashed(desc.dst_world, sim.now):
+            # A dead process drains nothing; the message evaporates.
+            self.note("drop", desc.src_world, desc.dst_world, desc.nbytes,
+                      note="dst crashed")
+            return
+        wire_handled = bool(desc.wire.meta.get("reliable"))
+        on_network = bool(getattr(desc.transport, "inter_node", False))
+        env = desc.envelope
+        node = self.world.cluster.node_of(desc.src_world)
+        extra_delay = 0.0
+        duplicate = False
+        hold = False
+        for state in self._message_states:
+            rule = state.rule
+            if rule.layer == "wire" and (wire_handled or not on_network):
+                continue
+            if not rule.matches(desc.src_world, desc.dst_world, desc.nbytes,
+                                env.tag, node):
+                continue
+            if not state.fires():
+                continue
+            if rule.kind == "drop":
+                self.note("drop", desc.src_world, desc.dst_world, desc.nbytes)
+                return
+            if rule.kind == "corrupt":
+                if rule.detect:
+                    from ..runtime.errors import CorruptionError
+
+                    self.note("corrupt", desc.src_world, desc.dst_world,
+                              desc.nbytes, note="detected")
+                    raise CorruptionError(
+                        f"checksum mismatch on {desc.nbytes} B message "
+                        f"{desc.src_world}->{desc.dst_world} "
+                        f"(tag={env.tag}) — payload corrupted in flight"
+                    )
+                self._corrupt_payload(state, desc)
+            elif rule.kind == "duplicate":
+                duplicate = True
+                self.note("duplicate", desc.src_world, desc.dst_world, desc.nbytes)
+            elif rule.kind == "delay":
+                extra_delay += rule.delay
+                self.note("delay", desc.src_world, desc.dst_world, desc.nbytes,
+                          note=f"+{rule.delay:.3e}s")
+            elif rule.kind == "reorder":
+                hold = True
+                self.note("reorder", desc.src_world, desc.dst_world, desc.nbytes)
+        if hold:
+            self._hold(desc, engine)
+            return
+        if extra_delay > 0.0:
+            ev = sim.timeout(extra_delay)
+            ev.callbacks.append(lambda _e, d=desc, e=engine: self._release(d, e))
+            if duplicate:
+                ev.callbacks.append(
+                    lambda _e, d=replace(desc), e=engine: self._release(d, e))
+            return
+        self._release(desc, engine)
+        if duplicate:
+            self._release(replace(desc), engine)
+
+    def _corrupt_payload(self, state: _RuleState, desc: "MessageDescriptor") -> None:
+        if desc.payload is None or not desc.payload.size:
+            self.note("corrupt", desc.src_world, desc.dst_world, desc.nbytes,
+                      note="null buffer — size-only world, no bytes to flip")
+            return
+        idx = state.rng.randrange(desc.payload.size)
+        desc.payload[idx] ^= 0xFF
+        self.note("corrupt", desc.src_world, desc.dst_world, desc.nbytes,
+                  note=f"byte {idx} flipped")
+
+    # -- reorder plumbing ----------------------------------------------
+    def _release(self, desc: "MessageDescriptor",
+                 engine: "MatchingEngine") -> None:
+        """Deliver ``desc``, then flush anything it was overtaking."""
+        engine.deliver(desc)
+        held = self._held.pop(desc.dst_world, None)
+        if held:
+            for held_desc, held_engine in held:
+                held_engine.deliver(held_desc)
+
+    def _hold(self, desc: "MessageDescriptor", engine: "MatchingEngine") -> None:
+        self._held.setdefault(desc.dst_world, []).append((desc, engine))
+        ev = self.world.sim.timeout(REORDER_FLUSH_S)
+        ev.callbacks.append(
+            lambda _e, d=desc, dst=desc.dst_world: self._flush_one(dst, d))
+
+    def _flush_one(self, dst: int, desc: "MessageDescriptor") -> None:
+        """Fallback: release a held message nobody overtook."""
+        held = self._held.get(dst)
+        if not held:
+            return
+        for i, (held_desc, held_engine) in enumerate(held):
+            if held_desc is desc:
+                held.pop(i)
+                if not held:
+                    del self._held[dst]
+                held_engine.deliver(held_desc)
+                return
+
+    # -- reporting ------------------------------------------------------
+    def summary(self) -> str:
+        """One-paragraph totals for reports and the CLI."""
+        if not self.counts:
+            return "no faults injected"
+        parts = [f"{kind}={count}" for kind, count in sorted(self.counts.items())]
+        return f"{len(self.events)} faults injected ({', '.join(parts)})"

@@ -1,0 +1,218 @@
+"""Declarative fault plans: *what* to break, scoped and seeded.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultRule` objects
+plus a seed.  It is pure data — building a plan injects nothing; the
+plan only takes effect when handed to a
+:class:`~repro.runtime.world.World` (``World(..., faults=plan)``),
+which binds a :class:`~repro.faults.injector.FaultInjector` to it.
+
+Rules are scoped by predicates (src/dst rank, source node, payload
+size band, tag) and throttled by ``after`` (skip the first N matching
+messages) and ``limit`` (apply at most N times).  Every probabilistic
+decision draws from a per-rule ``random.Random`` stream derived from
+``(seed, rule index, kind)``, so a plan replayed on the deterministic
+simulator reproduces the *identical* fault sequence — the property the
+chaos acceptance tests pin.
+
+Layers
+------
+``"wire"`` (the default for message faults)
+    the fault happens on the inter-node fabric.  Under the reliable
+    transport (``World(reliable=True)``) the protocol detects and
+    retransmits; under the plain network transport the loss is
+    permanent (delivered corrupt / never delivered).  Wire rules never
+    touch intra-node or self-send traffic — shared memory does not
+    lose stores.
+``"deliver"``
+    the fault is applied at the matching engine of the destination
+    rank, for *any* transport.  This is the sabotage hook the
+    validation suite uses to prove the checkers catch planted bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+#: message-scoped fault kinds (samplable per message / per attempt)
+MESSAGE_KINDS = ("drop", "corrupt", "duplicate", "reorder", "delay")
+#: node-scoped: multiply NIC wire time (rate degradation)
+DEGRADE = "degrade"
+#: rank-scoped: fail-stop at a simulated instant
+CRASH = "crash"
+
+ALL_KINDS = MESSAGE_KINDS + (DEGRADE, CRASH)
+LAYERS = ("wire", "deliver")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scoped fault directive (see module docstring for layers)."""
+
+    kind: str
+    #: probability of applying to each matching message / attempt
+    rate: float = 1.0
+    #: predicates — ``None`` matches anything; ranks are world ranks
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    node: Optional[int] = None  # source node id
+    tag: Optional[int] = None
+    min_bytes: int = 0
+    max_bytes: Optional[int] = None
+    #: skip the first ``after`` matching messages
+    after: int = 0
+    #: apply at most ``limit`` times (None = unbounded)
+    limit: Optional[int] = None
+    #: extra delivery delay in seconds (kind="delay")
+    delay: float = 0.0
+    #: wire-time multiplier (kind="degrade"; > 1 slows the NIC)
+    factor: float = 1.0
+    #: crash instant in simulated seconds (kind="crash")
+    at_time: float = 0.0
+    #: corrupt only: raise CorruptionError instead of silently
+    #: flipping bytes (models a checksum-verifying receiver on an
+    #: unreliable path)
+    detect: bool = False
+    layer: str = "wire"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {ALL_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate!r}")
+        if self.layer not in LAYERS:
+            raise ValueError(f"layer must be one of {LAYERS}, got {self.layer!r}")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.limit is not None and self.limit < 1:
+            raise ValueError("limit must be >= 1 (or None)")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        if self.kind == DEGRADE and self.factor <= 0:
+            raise ValueError("degrade factor must be > 0")
+        if self.kind == CRASH:
+            if self.src is None:
+                raise ValueError("crash rules must name a rank via src=")
+            if self.at_time < 0:
+                raise ValueError("at_time must be >= 0")
+
+    def matches(self, src: int, dst: int, nbytes: int,
+                tag: Optional[int], node: int) -> bool:
+        """Do the scoping predicates accept this message?"""
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.node is not None and node != self.node:
+            return False
+        if self.tag is not None and tag != self.tag:
+            return False
+        if nbytes < self.min_bytes:
+            return False
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """One-line summary used by reports and the CLI."""
+        scope = []
+        for name in ("src", "dst", "node", "tag"):
+            value = getattr(self, name)
+            if value is not None:
+                scope.append(f"{name}={value}")
+        if self.min_bytes:
+            scope.append(f">={self.min_bytes}B")
+        if self.max_bytes is not None:
+            scope.append(f"<={self.max_bytes}B")
+        extras = {
+            "delay": f"+{self.delay * 1e6:.2f}us" if self.kind == "delay" else "",
+            "degrade": f"x{self.factor:g}" if self.kind == DEGRADE else "",
+            "crash": f"at t={self.at_time:g}s" if self.kind == CRASH else "",
+        }.get(self.kind, "")
+        bits = [self.kind, f"p={self.rate:g}", self.layer]
+        if extras:
+            bits.append(extras)
+        if scope:
+            bits.append(",".join(scope))
+        if self.limit is not None:
+            bits.append(f"limit={self.limit}")
+        return " ".join(bits)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, ordered collection of fault rules (builder-style).
+
+    Example::
+
+        plan = (FaultPlan(seed=7)
+                .drop(rate=0.1)                       # lossy fabric
+                .degrade(node=2, factor=4.0)          # one slow NIC
+                .crash(rank=5, at_time=2e-4))         # fail-stop
+        world = World(small_test(), faults=plan, reliable=True)
+    """
+
+    seed: int = 0
+    rules: List[FaultRule] = field(default_factory=list)
+
+    def _add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    # -- builders -------------------------------------------------------
+    def drop(self, rate: float = 1.0, **scope) -> "FaultPlan":
+        """Lose matching messages (retransmitted under reliable delivery)."""
+        return self._add(FaultRule(kind="drop", rate=rate, **scope))
+
+    def corrupt(self, rate: float = 1.0, **scope) -> "FaultPlan":
+        """Flip a payload byte in flight (checksum-caught on the
+        reliable path; delivered corrupt otherwise)."""
+        return self._add(FaultRule(kind="corrupt", rate=rate, **scope))
+
+    def duplicate(self, rate: float = 1.0, **scope) -> "FaultPlan":
+        """Deliver matching messages twice (deduplicated by the
+        reliable protocol's sequence numbers)."""
+        return self._add(FaultRule(kind="duplicate", rate=rate, **scope))
+
+    def reorder(self, rate: float = 1.0, **scope) -> "FaultPlan":
+        """Hold a message back so a later one overtakes it
+        (deliver-layer only — the wire protocol is FIFO)."""
+        scope.setdefault("layer", "deliver")
+        return self._add(FaultRule(kind="reorder", rate=rate, **scope))
+
+    def delay(self, delay: float, rate: float = 1.0, **scope) -> "FaultPlan":
+        """Straggle matching messages by ``delay`` seconds."""
+        return self._add(FaultRule(kind="delay", delay=delay, rate=rate, **scope))
+
+    def degrade(self, factor: float, node: Optional[int] = None,
+                **scope) -> "FaultPlan":
+        """Multiply a node's NIC wire time by ``factor`` (reliable
+        transport path)."""
+        return self._add(FaultRule(kind=DEGRADE, factor=factor, node=node, **scope))
+
+    def crash(self, rank: int, at_time: float = 0.0, **scope) -> "FaultPlan":
+        """Fail-stop ``rank`` at simulated time ``at_time``: its later
+        sends/receives silently hang (a dead process), and messages
+        addressed to it are swallowed."""
+        return self._add(FaultRule(kind=CRASH, src=rank, at_time=at_time, **scope))
+
+    # -- introspection --------------------------------------------------
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """A copy of this plan under a different seed."""
+        return FaultPlan(seed=seed, rules=list(self.rules))
+
+    def scaled(self, **changes) -> "FaultPlan":  # pragma: no cover - convenience
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed={self.seed}, {len(self.rules)} rules)"]
+        lines += [f"  [{i}] {rule.describe()}" for i, rule in enumerate(self.rules)]
+        return "\n".join(lines)
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The distinct fault kinds this plan can inject."""
+        seen: List[str] = []
+        for rule in self.rules:
+            if rule.kind not in seen:
+                seen.append(rule.kind)
+        return tuple(seen)

@@ -56,9 +56,16 @@ class MpiLibrary:
 
     profile: LibraryProfile
 
-    def make_world(self, params: MachineParams, functional: bool = True) -> World:
-        """A fresh world wired with this library's transport."""
-        return World(params, intra=self.profile.intra, functional=functional)
+    def make_world(self, params: MachineParams, functional: bool = True,
+                   **world_kwargs) -> World:
+        """A fresh world wired with this library's transport.
+
+        Extra keyword arguments go straight to :class:`World` — how
+        chaos runs thread ``faults=`` / ``reliable=`` through the
+        benchmark harness without per-library plumbing.
+        """
+        return World(params, intra=self.profile.intra, functional=functional,
+                     **world_kwargs)
 
     # -- selection table -------------------------------------------------
     def algorithm(self, collective: str, nbytes: int, world_size: int) -> Callable:

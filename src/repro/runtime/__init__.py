@@ -6,7 +6,15 @@ from .cart import CartTopology, dims_create
 from .communicator import Communicator
 from .context import RankContext
 from .datatypes import BYTE, DOUBLE, FLOAT32, FLOAT64, INT32, INT64, Datatype, datatype
-from .errors import DatatypeError, MpiError, RankMismatchError, TruncationError
+from .errors import (
+    CorruptionError,
+    DatatypeError,
+    DeliveryFailedError,
+    MpiError,
+    MpiTimeoutError,
+    RankMismatchError,
+    TruncationError,
+)
 from .matching import MatchingEngine
 from .message import ANY_SOURCE, ANY_TAG, Envelope, MessageDescriptor, Status
 from .ops import MAX, MIN, PROD, SUM, ReduceOp, reduce_op
@@ -24,9 +32,11 @@ __all__ = [
     "BufferView",
     "CartTopology",
     "Communicator",
+    "CorruptionError",
     "DOUBLE",
     "Datatype",
     "DatatypeError",
+    "DeliveryFailedError",
     "Envelope",
     "FLOAT32",
     "FLOAT64",
@@ -37,6 +47,7 @@ __all__ = [
     "MatchingEngine",
     "MessageDescriptor",
     "MpiError",
+    "MpiTimeoutError",
     "NullBuffer",
     "OperationRequest",
     "PersistentOp",

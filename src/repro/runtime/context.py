@@ -54,6 +54,9 @@ class RankContext:
         self._hard_sync = world.hard_sync_barrier
         #: dispatch-overhead rebate applied by persistent-request starts
         self._dispatch_discount = 0.0
+        #: last pt2pt op dispatched: ("send"|"recv", peer, tag) — feeds
+        #: the deadlock/watchdog blocked report
+        self.last_op = None
 
     # -- introspection ----------------------------------------------------
     @property
@@ -102,10 +105,18 @@ class RankContext:
         comm = comm or self.comm_world
         my_cr = comm.to_comm(self.rank)
         dst_world = comm.to_world(dst)
+        faults = self.world.faults
+        if faults is not None:
+            gate = faults.crash_gate(self.rank)
+            if gate is not None:
+                yield gate  # fail-stop: never resumes
+        self.last_op = ("send", dst_world, tag)
         transport = self._transport_to(dst_world)
         wire = WireDescriptor(
             src=self.rank, dst=dst_world, nbytes=view.nbytes, buf_key=view.key
         )
+        if faults is not None:
+            wire.meta["tag"] = tag
         desc = MessageDescriptor(
             envelope=Envelope(comm.comm_id, my_cr, tag),
             nbytes=view.nbytes,
@@ -125,13 +136,13 @@ class RankContext:
             yield self.sim.timeout(dispatch)
             yield from transport.sender_steps(self.node_hw, wire)
         if dst_world == self.rank:
-            self.matching.deliver(desc)
+            self.world.deliver(desc)
             return SendRequest(done_event=None)
         dst_hw = self.world.hw[self.cluster.node_of(dst_world)]
-        matching = self.world.matching
+        world = self.world
         tracer = self.world.tracer
 
-        def _on_delivered(matching=matching, desc=desc, tracer=tracer):
+        def _on_delivered(world=world, desc=desc, tracer=tracer):
             if tracer is not None:
                 tracer.record(
                     self.sim.now, "message",
@@ -139,7 +150,7 @@ class RankContext:
                     nbytes=desc.nbytes, transport=desc.transport.name,
                     tag=desc.envelope.tag,
                 )
-            matching[desc.dst_world].deliver(desc)
+            world.deliver(desc)
 
         done = transport.schedule_delivery(self.node_hw, dst_hw, wire, _on_delivered)
         if done is None:
@@ -167,6 +178,12 @@ class RankContext:
         comm.to_comm(self.rank)  # membership check
         if src != ANY_SOURCE:
             comm.to_world(src)  # range check
+        faults = self.world.faults
+        if faults is not None:
+            gate = faults.crash_gate(self.rank)
+            if gate is not None:
+                yield gate  # fail-stop: never resumes
+        self.last_op = ("recv", src, tag)
         yield self.sim.timeout(
             self.params.cpu.dispatch_overhead - self._dispatch_discount)
         pattern = Envelope(comm.comm_id, src, tag)

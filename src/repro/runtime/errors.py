@@ -17,3 +17,38 @@ class RankMismatchError(MpiError):
 
 class DatatypeError(MpiError):
     """Buffer and datatype sizes do not line up."""
+
+
+class TimeoutError(MpiError):
+    """A watchdog deadline expired before the job finished.
+
+    Raised by ``World.run(watchdog=...)`` with a per-rank blocked
+    report attached, so a livelocked or straggling run degrades into a
+    diagnosis instead of spinning forever.
+    """
+
+
+#: alias that does not shadow the builtin at import sites
+MpiTimeoutError = TimeoutError
+
+
+class CorruptionError(MpiError):
+    """A message payload failed its integrity check on delivery.
+
+    Only raised by fault plans with ``corrupt(detect=True)`` — models a
+    checksum-verifying receiver on a path with no retransmission.
+    """
+
+
+class DeliveryFailedError(MpiError):
+    """The reliable protocol exhausted its retries for one message.
+
+    ``src`` / ``dst`` name the world ranks of the failed flow so the
+    diagnosis points at the lossy path instead of a generic deadlock.
+    """
+
+    def __init__(self, message: str, src: "int | None" = None,
+                 dst: "int | None" = None) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst

@@ -141,3 +141,14 @@ class MatchingEngine:
     def pending_receives(self) -> int:
         """Currently posted, unmatched receives (leak probe)."""
         return sum(len(q) for q in self._posted_exact.values()) + len(self._posted_wild)
+
+    def pending_patterns(self) -> List[Tuple[int, int]]:
+        """(src, tag) of every posted, unmatched receive, in post
+        order — the raw material of the deadlock blocked report
+        (wildcards appear as -1)."""
+        posted: List[PostedRecv] = [
+            p for q in self._posted_exact.values() for p in q
+        ]
+        posted += self._posted_wild
+        posted.sort(key=lambda p: p.seq)
+        return [(p.pattern.src, p.pattern.tag) for p in posted]

@@ -51,6 +51,15 @@ class World:
         Whether node address spaces are shared.  Defaults to the
         transport's capability; passing an explicit value lets tests
         build deliberately broken configurations.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (or a fresh
+        :class:`~repro.faults.FaultInjector`) to bind to this world.
+        ``None`` (default) keeps the zero-overhead perfect-wire path.
+    reliable:
+        Use :class:`~repro.transport.ReliableNetworkTransport`
+        (ack/timeout/retransmit) for inter-node eager traffic, so
+        wire-layer faults are recovered (at a time cost) instead of
+        being permanent losses.
     """
 
     def __init__(
@@ -61,6 +70,8 @@ class World:
         pip_enabled: Optional[bool] = None,
         tracer: Optional["Tracer"] = None,
         fabric: Optional["FabricParams"] = None,
+        faults: Optional[Any] = None,
+        reliable: bool = False,
     ) -> None:
         self.params = params
         self.sim = Simulator(tracer=tracer)
@@ -70,13 +81,33 @@ class World:
         self.cluster = Cluster(params.nodes, params.ppn)
         self.hw = ClusterHardware(self.sim, params)
         self.intra = make_transport(intra) if isinstance(intra, str) else intra
+        #: bound FaultInjector, or None (the default, zero-overhead)
+        self.faults = None
+        if faults is not None:
+            from ..faults import FaultInjector, FaultPlan
+
+            injector = FaultInjector(faults) if isinstance(faults, FaultPlan) \
+                else faults
+            injector.bind(self)
+            self.faults = injector
         if fabric is not None:
+            if reliable:
+                raise ValueError(
+                    "reliable delivery is modeled on the flat network only; "
+                    "pass fabric=None (fat-tree links model their own "
+                    "link-level retry)"
+                )
             from ..machine.fabric import Fabric
             from ..transport.fabric_network import FabricNetworkTransport
 
             #: live fat-tree state (None for the flat full-bisection model)
             self.fabric = Fabric(self.sim, params, fabric)
             self.network = FabricNetworkTransport(self.fabric)
+        elif reliable:
+            from ..transport import ReliableNetworkTransport
+
+            self.fabric = None
+            self.network = ReliableNetworkTransport(injector=self.faults)
         else:
             self.fabric = None
             self.network = NetworkTransport()
@@ -135,6 +166,21 @@ class World:
         """A buffer in this world's functional mode."""
         return alloc(nbytes, functional=self.functional)
 
+    # -- delivery -------------------------------------------------------------
+    def deliver(self, desc) -> None:
+        """Hand an arrived message to its destination's matching engine.
+
+        The single funnel every transport's completion goes through —
+        which is where a bound :class:`~repro.faults.FaultInjector`
+        gets to sabotage delivery.  Without one this is a plain
+        forward (no extra events, so the perf budgets hold).
+        """
+        engine = self.matching[desc.dst_world]
+        if self.faults is not None:
+            self.faults.deliver_hook(desc, engine)
+        else:
+            engine.deliver(desc)
+
     # -- execution ------------------------------------------------------------
     def run(
         self,
@@ -142,6 +188,7 @@ class World:
         args: Sequence[Any] = (),
         per_rank_args: Optional[Sequence[Sequence[Any]]] = None,
         allow_unfinished: bool = False,
+        watchdog: Optional[float] = None,
     ) -> List[Any]:
         """Run ``program(ctx, *args)`` on every rank to completion.
 
@@ -152,9 +199,16 @@ class World:
 
         If the event queue drains while some ranks are still blocked —
         a deadlock (e.g. an unmatched receive) — a
-        :class:`~repro.runtime.errors.MpiError` names the stuck ranks.
-        Pass ``allow_unfinished=True`` to get ``None`` for them
-        instead (fault-injection tests use this).
+        :class:`~repro.runtime.errors.MpiError` names the stuck ranks,
+        with a per-rank report of what each is blocked on.  Pass
+        ``allow_unfinished=True`` to get ``None`` for them instead
+        (fault-injection tests use this).
+
+        ``watchdog`` (simulated seconds, measured from the current
+        clock) bounds the run: if ranks are still busy past the
+        deadline a :class:`~repro.runtime.errors.TimeoutError` carries
+        the same blocked report — the escape hatch for livelocks and
+        runaway retransmission storms.
         """
         if per_rank_args is not None and len(per_rank_args) != self.cluster.world_size:
             raise ValueError(
@@ -165,18 +219,71 @@ class World:
         for rank, ctx in enumerate(self.contexts):
             rank_args = per_rank_args[rank] if per_rank_args is not None else args
             procs.append(self.sim.process(program(ctx, *rank_args), name=f"rank{rank}"))
-        self.sim.run()
+        if watchdog is not None:
+            deadline = self.sim.now + watchdog
+            self.sim.run(until=deadline)
+            unfinished = [r for r, p in enumerate(procs) if not p.triggered]
+            if unfinished and self.sim.peek() != float("inf"):
+                from .errors import TimeoutError
+
+                raise TimeoutError(
+                    f"watchdog: {watchdog:g}s of simulated time expired with "
+                    f"ranks {unfinished} still running\n"
+                    + self.blocked_report(unfinished)
+                )
+        else:
+            self.sim.run()
         stuck = [rank for rank, proc in enumerate(procs) if not proc.triggered]
         if stuck and not allow_unfinished:
             from .errors import MpiError
 
-            shown = ", ".join(map(str, stuck[:8]))
-            more = f" (+{len(stuck) - 8} more)" if len(stuck) > 8 else ""
+            shown = ", ".join(map(str, stuck))
             raise MpiError(
-                f"deadlock: ranks [{shown}]{more} never finished — "
-                "likely an unmatched send/recv or a barrier someone skipped"
+                f"deadlock: ranks [{shown}] never finished — "
+                "likely an unmatched send/recv or a barrier someone skipped\n"
+                + self.blocked_report(stuck)
             )
         return [proc.value if proc.triggered else None for proc in procs]
+
+    def blocked_report(self, ranks: Sequence[int],
+                       max_lines: int = 32) -> str:
+        """Per-rank diagnosis of what each blocked rank is waiting on.
+
+        Combines the matching engines' pending receive patterns, each
+        context's last point-to-point operation, and (with faults
+        bound) crash knowledge into one readable report.
+        """
+        lines = []
+        for rank in list(ranks)[:max_lines]:
+            engine = self.matching[rank]
+            ctx = self.contexts[rank]
+            if self.faults is not None and self.faults.is_crashed(rank, self.sim.now):
+                lines.append(f"  rank {rank}: crashed (fail-stop at "
+                             f"t={self.faults.crash_time(rank):g}s)")
+                continue
+            pending = engine.pending_patterns()
+            if pending:
+                shown = ", ".join(
+                    f"recv(src={'ANY' if src == -1 else src}, "
+                    f"tag={'ANY' if tag == -1 else tag})"
+                    for src, tag in pending[:4]
+                )
+                more = f" (+{len(pending) - 4} more)" if len(pending) > 4 else ""
+                lines.append(f"  rank {rank}: blocked on {shown}{more}")
+            elif ctx.last_op is not None:
+                op, peer, tag = ctx.last_op
+                lines.append(f"  rank {rank}: last op was "
+                             f"{op}(peer={peer}, tag={tag}) — "
+                             "waiting on its completion")
+            else:
+                lines.append(f"  rank {rank}: no pending receives — "
+                             "blocked in a barrier/flag wait")
+            if engine.unexpected_messages:
+                lines.append(f"           ({engine.unexpected_messages} "
+                             "unexpected messages queued but unmatched)")
+        if len(ranks) > max_lines:
+            lines.append(f"  ... +{len(ranks) - max_lines} more ranks")
+        return "\n".join(lines)
 
     # -- diagnostics -------------------------------------------------------------
     def stats(self) -> dict:
@@ -197,6 +304,12 @@ class World:
         }
         if self.fabric is not None:
             out["interpod_bytes"] = self.fabric.total_interpod_bytes()
+        retransmits = getattr(self.network, "retransmits", None)
+        if retransmits is not None:
+            out["retransmits"] = retransmits
+            out["acks"] = self.network.acks
+        if self.faults is not None:
+            out["faults_injected"] = len(self.faults.events)
         return out
 
     def assert_quiescent(self) -> None:

@@ -3,7 +3,7 @@
 from .base import Transport, WireDescriptor
 from .cma import CmaTransport
 from .fabric_network import FabricNetworkTransport
-from .network import NetworkTransport
+from .network import NetworkTransport, ReliableNetworkTransport
 from .pip_transport import PipTransport
 from .posix_shmem import PosixShmemTransport
 from .registry import available_transports, make_transport
@@ -15,6 +15,7 @@ __all__ = [
     "NetworkTransport",
     "PipTransport",
     "PosixShmemTransport",
+    "ReliableNetworkTransport",
     "Transport",
     "WireDescriptor",
     "XpmemTransport",

@@ -54,6 +54,9 @@ class Transport:
     name: str = "null"
     #: True only for PiP: collectives may take direct peer views.
     supports_peer_views: bool = False
+    #: True for transports that cross the fabric — the only place
+    #: wire-layer faults (drop/corrupt/...) can physically occur.
+    inter_node: bool = False
 
     def sender_steps(self, node: NodeHardware, desc: WireDescriptor):
         """Sender-side CPU work (generator)."""

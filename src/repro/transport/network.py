@@ -28,6 +28,7 @@ class NetworkTransport(Transport):
 
     name = "network"
     supports_peer_views = False
+    inter_node = True
 
     def _is_eager(self, node: NodeHardware, desc: WireDescriptor) -> bool:
         return desc.nbytes <= node.params.nic.eager_limit
@@ -93,3 +94,129 @@ class NetworkTransport(Transport):
 
     def describe(self) -> str:
         return "network: LogGP eager/rendezvous over shared NIC pipes"
+
+
+class ReliableNetworkTransport(NetworkTransport):
+    """Eager delivery with per-message ack / timeout / retransmit.
+
+    The plain transport assumes a perfect wire; this one runs a stop-
+    and-wait reliability protocol per eager message, which is what
+    makes chaos sweeps meaningful: a dropped or corrupted transmission
+    costs a retransmission timeout (exponential backoff over an RTT
+    estimate) and another trip through the NIC pipes, all accrued in
+    simulated time.  After ``max_retries`` retransmissions the flow
+    gives up and raises
+    :class:`~repro.runtime.errors.DeliveryFailedError` naming the
+    src/dst ranks — a diagnosis instead of a silent deadlock.
+
+    Protocol costs on the success path: the receiver returns an ack
+    (one ``msg_gap`` through its TX pipe plus wire latency); the sender
+    frees its bounce buffer on ack receipt, but eager completion does
+    not block on it — matching MPI eager semantics.
+
+    Retransmission could reorder messages of one (src, dst) flow, so
+    deliveries are chained per flow: a retransmitted message must be
+    delivered before any later message of the same flow becomes
+    matchable (go-back-N-style in-order delivery), preserving MPI's
+    non-overtaking guarantee that the collectives rely on.
+
+    Rendezvous messages keep the base-class path: RDMA is modeled as
+    hardware-reliable (link-level retry), as on real fabrics.
+
+    Faults come from the bound
+    :class:`~repro.faults.FaultInjector` (``injector``), which also
+    supplies per-node NIC degradation factors; without an injector the
+    protocol still runs (acks and all) over a perfect wire.
+    """
+
+    name = "reliable_network"
+
+    def __init__(self, injector=None, max_retries: int = 8,
+                 backoff: float = 2.0) -> None:
+        #: the world's FaultInjector (None = perfect wire)
+        self.injector = injector
+        #: retransmissions allowed before DeliveryFailedError
+        self.max_retries = max_retries
+        #: RTO multiplier per consecutive loss
+        self.backoff = backoff
+        #: protocol counters (stats/report probes)
+        self.retransmits = 0
+        self.acks = 0
+        #: per-(src, dst) tail of the in-order delivery chain
+        self._flow_tail = {}
+
+    def rto(self, nic, wire_t: float, attempt: int) -> float:
+        """Retransmission timeout for the ``attempt``-th transmission."""
+        rtt = 2.0 * nic.latency + wire_t + nic.msg_gap
+        return (rtt + 1e-6) * (self.backoff ** (attempt - 1))
+
+    def schedule_delivery(self, src_node, dst_node, desc, on_delivered):
+        if not self._is_eager(src_node, desc):
+            return super().schedule_delivery(src_node, dst_node, desc,
+                                             on_delivered)
+        desc.meta["reliable"] = True
+        sim = src_node.sim
+        flow = (desc.src, desc.dst)
+        prev = self._flow_tail.get(flow)
+        arrival = sim.event()
+        self._flow_tail[flow] = arrival
+        return sim.process(
+            self._send_eager(src_node, dst_node, desc, on_delivered,
+                             prev, arrival),
+            name=f"rsend:{desc.src}->{desc.dst}",
+        )
+
+    def _send_eager(self, src_node, dst_node, desc, on_delivered,
+                    prev, arrival):
+        sim = src_node.sim
+        nic = src_node.params.nic
+        injector = self.injector
+        src_f = injector.rate_factor(src_node.node_id) if injector else 1.0
+        dst_f = injector.rate_factor(dst_node.node_id) if injector else 1.0
+        wire_t = nic.wire_time(desc.nbytes)
+        attempt = 0
+        while True:
+            attempt += 1
+            fault = injector.wire_fault(desc, attempt) if injector else None
+            extra = fault.extra_delay if fault is not None else 0.0
+            src_node.tx_messages += 1
+            yield src_node.tx.occupy(wire_t * src_f, lead_delay=extra,
+                                     tail_delay=nic.latency)
+            if fault is None or not fault.lost:
+                dst_node.rx_messages += 1
+                if fault is not None and fault.duplicate:
+                    # The duplicate copy transits the RX pipe too, but
+                    # the sequence number dedups it before matching.
+                    dst_node.rx.occupy(wire_t * dst_f)
+                yield dst_node.rx.occupy(wire_t * dst_f)
+                if prev is not None and not prev.processed:
+                    yield prev  # in-order delivery within the flow
+                on_delivered()
+                arrival.succeed()
+                self.acks += 1
+                yield dst_node.tx.occupy(nic.msg_gap, tail_delay=nic.latency)
+                return
+            if fault.corrupt and not fault.drop:
+                # Junk bytes still transit the RX pipe; the checksum
+                # discards them there, so no ack comes back.
+                dst_node.rx_messages += 1
+                dst_node.rx.occupy(wire_t * dst_f)
+            if attempt > self.max_retries:
+                from ..runtime.errors import DeliveryFailedError
+
+                raise DeliveryFailedError(
+                    f"delivery failed: rank {desc.src} -> rank {desc.dst} "
+                    f"({desc.nbytes} B, tag={desc.meta.get('tag')}) gave up "
+                    f"after {attempt} transmissions "
+                    f"({self.max_retries} retries)",
+                    src=desc.src, dst=desc.dst,
+                )
+            self.retransmits += 1
+            if injector is not None:
+                injector.note("retransmit", desc.src, desc.dst, desc.nbytes,
+                              attempt=attempt)
+            yield sim.timeout(self.rto(nic, wire_t, attempt))
+
+    def describe(self) -> str:
+        return ("reliable network: LogGP eager with ack/timeout/retransmit "
+                f"(<= {self.max_retries} retries, x{self.backoff:g} backoff)")

@@ -1,0 +1,68 @@
+"""The issue's acceptance scenario, pinned as a test.
+
+With a seeded FaultPlan dropping 10% of eager messages, allgather at
+64 B on small_test(nodes=4, ppn=4):
+
+* completes byte-exact via retransmission,
+* accrues strictly more sim time than the fault-free run,
+* reproduces the identical fault trace under the same seed,
+* and with retries exhausted raises DeliveryFailedError naming the
+  src/dst ranks instead of deadlocking.
+"""
+
+import pytest
+
+from repro.collectives import allgather_bruck
+from repro.faults import FaultPlan
+from repro.machine import small_test
+from repro.runtime import World
+from repro.runtime.errors import DeliveryFailedError
+
+PARAMS = small_test(nodes=4, ppn=4)
+DROP10 = FaultPlan(seed=7).drop(rate=0.1)
+
+
+def _run_allgather(faults):
+    from repro.validate.checker import check_allgather
+
+    world = World(PARAMS, faults=faults, reliable=True)
+    check_allgather(world, allgather_bruck, 64)  # asserts byte-exact
+    return world
+
+
+def test_allgather_byte_exact_under_10pct_drop():
+    world = _run_allgather(DROP10)
+    stats = world.stats()
+    assert stats["retransmits"] >= 1
+    assert world.faults.counts["drop"] >= 1
+
+
+def test_faulty_run_accrues_strictly_more_sim_time():
+    clean = _run_allgather(None)
+    faulty = _run_allgather(DROP10)
+    assert faulty.sim.now > clean.sim.now
+
+
+def test_same_seed_reproduces_identical_trace():
+    first = _run_allgather(DROP10)
+    second = _run_allgather(DROP10)
+    assert first.faults.trace_signature() == second.faults.trace_signature()
+    assert first.sim.now == second.sim.now
+    assert first.stats() == second.stats()
+
+
+def test_different_seed_diverges():
+    a = _run_allgather(DROP10)
+    b = _run_allgather(DROP10.with_seed(8))
+    assert a.faults.trace_signature() != b.faults.trace_signature()
+
+
+def test_exhausted_retries_raise_instead_of_deadlocking():
+    # Kill one inter-node flow completely: rank 4 -> rank 0.
+    plan = FaultPlan(seed=1).drop(rate=1.0, src=4, dst=0)
+    world = World(PARAMS, faults=plan, reliable=True)
+    from repro.validate.checker import check_allgather
+
+    with pytest.raises(DeliveryFailedError, match="rank 4 -> rank 0") as err:
+        check_allgather(world, allgather_bruck, 64)
+    assert err.value.src == 4 and err.value.dst == 0

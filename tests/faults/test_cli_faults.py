@@ -1,0 +1,75 @@
+"""`python -m repro faults` and the chaos sweep/report helpers."""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import ChaosPoint, chaos_point, chaos_sweep, resilience_report
+from repro.machine import small_test
+
+
+class TestChaosPoint:
+    def test_clean_point_completes(self):
+        p = chaos_point("MPICH", "allgather", 32, small_test(nodes=2, ppn=2),
+                        drop_rate=0.0)
+        assert p.completed and p.retransmits == 0 and p.verdict == "ok"
+
+    def test_lossy_point_records_recovery(self):
+        # PiP-MColl's leader-based schedule sends few inter-node eager
+        # messages at 2x2, so use a (rate, seed) pair that does sample
+        # a loss.
+        p = chaos_point("PiP-MColl", "allgather", 32,
+                        small_test(nodes=2, ppn=2), drop_rate=0.3, seed=1)
+        assert p.completed
+        assert p.faults_injected >= 1
+        assert p.retransmits >= 1
+
+    def test_failure_degrades_to_a_verdict(self):
+        # drop_rate=1.0 kills every transmission: retries exhaust and
+        # the point reports the error class instead of raising.
+        p = chaos_point("MPICH", "allgather", 32, small_test(nodes=2, ppn=2),
+                        drop_rate=1.0)
+        assert not p.completed
+        assert p.error == "DeliveryFailedError"
+        assert "DeliveryFailedError" in p.verdict
+
+
+class TestReport:
+    def test_report_table_shape(self):
+        points = chaos_sweep("allgather", 32, small_test(nodes=2, ppn=2),
+                             drop_rates=(0.0, 0.1), libraries=("MPICH",),
+                             seed=0)
+        text = resilience_report(points)
+        assert "chaos resilience" in text
+        assert "MPICH" in text
+        assert "0.0%" in text and "10.0%" in text
+        assert "ok" in text
+
+    def test_report_handles_failures(self):
+        points = [
+            ChaosPoint("X", "allgather", 64, 0.0, 0, 10.0, 0, 0, True),
+            ChaosPoint("X", "allgather", 64, 0.5, 0, float("inf"), 0, 9,
+                       False, error="DeliveryFailedError"),
+        ]
+        text = resilience_report(points)
+        assert "FAILED (DeliveryFailedError)" in text
+
+    def test_empty_report(self):
+        assert resilience_report([]) == "no chaos points"
+
+
+class TestCli:
+    def test_faults_subcommand_prints_report(self, capsys):
+        rc = main([
+            "faults", "--collective", "allgather", "--size", "32",
+            "--nodes", "2", "--ppn", "2", "--drop-rates", "0,0.1",
+            "--libraries", "MPICH", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos resilience" in out and "MPICH" in out
+
+    def test_bad_drop_rates_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--drop-rates", "1.5"])
+        with pytest.raises(SystemExit):
+            main(["faults", "--drop-rates", "abc"])

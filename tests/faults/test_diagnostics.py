@@ -1,0 +1,120 @@
+"""Deadlock/watchdog diagnostics: per-rank blocked reports."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.machine import small_test
+from repro.runtime import World
+from repro.runtime.errors import MpiError, MpiTimeoutError
+
+
+def _all_block(ctx):
+    buf = ctx.alloc(8)
+    # Every rank posts a receive nobody sends: total deadlock.
+    yield from ctx.recv(buf.view(), src=(ctx.rank + 1) % ctx.size, tag=42)
+
+
+class TestDeadlockReport:
+    def test_all_blocked_ranks_are_listed(self):
+        """No more silent truncation: 12 stuck ranks, 12 named."""
+        world = World(small_test(nodes=3, ppn=4))
+        with pytest.raises(MpiError) as err:
+            world.run(_all_block)
+        text = str(err.value)
+        assert "deadlock: ranks [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]" in text
+        for rank in range(12):
+            assert f"rank {rank}:" in text
+
+    def test_report_names_the_blocking_recv(self):
+        world = World(small_test(nodes=1, ppn=2))
+        with pytest.raises(MpiError) as err:
+            world.run(_all_block)
+        assert "rank 0: blocked on recv(src=1, tag=42)" in str(err.value)
+        assert "rank 1: blocked on recv(src=0, tag=42)" in str(err.value)
+
+    def test_report_shows_wildcards(self):
+        def program(ctx):
+            buf = ctx.alloc(8)
+            if ctx.rank == 0:
+                yield from ctx.recv(buf.view())  # ANY_SOURCE / ANY_TAG
+
+        world = World(small_test(nodes=1, ppn=2))
+        with pytest.raises(MpiError) as err:
+            world.run(program)
+        assert "recv(src=ANY, tag=ANY)" in str(err.value)
+
+    def test_report_notes_unexpected_messages(self):
+        def program(ctx):
+            buf = ctx.alloc(8)
+            if ctx.rank == 0:
+                yield from ctx.send(buf.view(), dst=1, tag=1)
+            else:
+                # Wrong tag: the arrived message sits unexpected.
+                yield from ctx.recv(buf.view(), src=0, tag=2)
+
+        world = World(small_test(nodes=1, ppn=2))
+        with pytest.raises(MpiError) as err:
+            world.run(program)
+        assert "unexpected messages queued but unmatched" in str(err.value)
+
+    def test_report_marks_crashed_ranks(self):
+        plan = FaultPlan(seed=0).crash(rank=1, at_time=0.0)
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+
+        def program(ctx):
+            buf = ctx.alloc(8)
+            if ctx.rank == 0:
+                yield from ctx.recv(buf.view(), src=1, tag=0)
+            else:
+                yield from ctx.send(buf.view(), dst=0, tag=0)
+
+        with pytest.raises(MpiError) as err:
+            world.run(program)
+        assert "rank 1: crashed (fail-stop" in str(err.value)
+
+    def test_report_caps_very_wide_jobs(self):
+        world = World(small_test(nodes=3, ppn=4))
+        report = world.blocked_report(list(range(12)), max_lines=4)
+        assert "+8 more ranks" in report
+
+
+class TestWatchdog:
+    def test_watchdog_raises_on_livelock(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                # Probes for a message that never comes: polls forever.
+                yield from ctx.probe(src=1, tag=9)
+            return True
+
+        world = World(small_test(nodes=1, ppn=2))
+        with pytest.raises(MpiTimeoutError, match="watchdog") as err:
+            world.run(program, watchdog=1e-3)
+        assert "rank 0" in str(err.value)
+
+    def test_watchdog_passes_finishing_runs(self):
+        def program(ctx):
+            yield ctx.sim.timeout(1e-6)
+            return ctx.rank
+
+        world = World(small_test(nodes=1, ppn=2))
+        assert world.run(program, watchdog=1.0) == [0, 1]
+
+    def test_watchdog_does_not_mask_deadlock_diagnosis(self):
+        """A drained queue inside the window is still a deadlock."""
+        world = World(small_test(nodes=1, ppn=2))
+        with pytest.raises(MpiError, match="deadlock"):
+            world.run(_all_block, watchdog=1.0)
+
+
+class TestPendingPatterns:
+    def test_patterns_in_post_order(self):
+        from repro.runtime.matching import MatchingEngine
+        from repro.runtime.message import Envelope
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        engine = MatchingEngine()
+        engine.post(Envelope(0, 3, 7), sim.event())
+        engine.post(Envelope(0, -1, -1), sim.event())
+        engine.post(Envelope(0, 1, 2), sim.event())
+        assert engine.pending_patterns() == [(3, 7), (-1, -1), (1, 2)]

@@ -1,0 +1,163 @@
+"""FaultInjector semantics: layers, throttles, crash, degrade, trace."""
+
+import pytest
+
+from repro.collectives import allgather_bruck, bcast_binomial
+from repro.faults import FaultInjector, FaultPlan
+from repro.machine import small_test
+from repro.runtime import World
+from repro.runtime.errors import CorruptionError, MpiError
+from repro.validate.checker import check_allgather, check_bcast
+
+
+def _pingpong(ctx):
+    buf = ctx.alloc(32)
+    peer = 1 - ctx.rank
+    if ctx.rank == 0:
+        yield from ctx.send(buf.view(), dst=peer, tag=1)
+        yield from ctx.recv(buf.view(), src=peer, tag=2)
+    else:
+        yield from ctx.recv(buf.view(), src=peer, tag=1)
+        yield from ctx.send(buf.view(), dst=peer, tag=2)
+    return ctx.now
+
+
+class TestBinding:
+    def test_injector_binds_once(self):
+        injector = FaultInjector(FaultPlan())
+        World(small_test(nodes=1, ppn=2), faults=injector)
+        with pytest.raises(RuntimeError, match="already bound"):
+            World(small_test(nodes=1, ppn=2), faults=injector)
+
+    def test_plan_reusable_across_worlds(self):
+        plan = FaultPlan(seed=1).drop(rate=0.5, layer="deliver")
+        w1 = World(small_test(nodes=1, ppn=2), faults=plan)
+        w2 = World(small_test(nodes=1, ppn=2), faults=plan)
+        assert w1.faults is not w2.faults
+
+    def test_no_plan_means_no_injector(self):
+        world = World(small_test(nodes=1, ppn=2))
+        assert world.faults is None
+
+
+class TestLayers:
+    def test_wire_rules_never_touch_intra_node(self):
+        """Shared memory does not lose stores: a wire drop on a
+        single-node world is a no-op."""
+        plan = FaultPlan(seed=0).drop(rate=1.0, layer="wire")
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        results = world.run(_pingpong)
+        assert all(r is not None for r in results)
+        assert world.faults.counts == {}
+
+    def test_deliver_rules_hit_any_transport(self):
+        plan = FaultPlan(seed=0).drop(rate=1.0, dst=1, layer="deliver")
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        with pytest.raises(MpiError, match="deadlock"):
+            world.run(_pingpong)
+        assert world.faults.counts["drop"] >= 1
+
+    def test_wire_drop_on_plain_network_is_permanent(self):
+        """Without reliable delivery a wire drop deadlocks the job."""
+        plan = FaultPlan(seed=0).drop(rate=1.0, layer="wire")
+        world = World(small_test(nodes=2, ppn=1), faults=plan)
+        with pytest.raises(MpiError, match="deadlock"):
+            world.run(_pingpong)
+
+
+class TestThrottles:
+    def test_limit_caps_applications(self):
+        plan = FaultPlan(seed=0).corrupt(rate=1.0, layer="deliver", limit=2)
+        world = World(small_test(nodes=1, ppn=4), faults=plan)
+        with pytest.raises(AssertionError):
+            check_allgather(world, allgather_bruck, 64)
+        assert world.faults.counts["corrupt"] == 2
+
+    def test_after_skips_first_matches(self):
+        # Drop only the 3rd+ message to rank 1; the bcast tree on 4
+        # ranks sends rank 1 exactly one message, so nothing fires.
+        plan = FaultPlan(seed=0).drop(rate=1.0, dst=1, layer="deliver", after=2)
+        world = World(small_test(nodes=1, ppn=4), faults=plan)
+        check_bcast(world, bcast_binomial, 64)
+        assert world.faults.counts == {}
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=0).drop(rate=0.0, layer="deliver")
+        world = World(small_test(nodes=1, ppn=4), faults=plan)
+        check_allgather(world, allgather_bruck, 64)
+        assert world.faults.counts == {}
+
+
+class TestKinds:
+    def test_detected_corruption_raises(self):
+        plan = FaultPlan(seed=0).corrupt(rate=1.0, dst=1, layer="deliver",
+                                         limit=1, detect=True)
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        with pytest.raises(CorruptionError, match="checksum mismatch"):
+            world.run(_pingpong)
+
+    def test_duplicate_leaves_unexpected_message(self):
+        plan = FaultPlan(seed=0).duplicate(rate=1.0, dst=1, layer="deliver",
+                                           limit=1)
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        world.run(_pingpong)
+        assert world.matching[1].unexpected_messages == 1
+        with pytest.raises(AssertionError, match="unexpected"):
+            world.assert_quiescent()
+
+    def test_delay_accrues_sim_time(self):
+        base = World(small_test(nodes=1, ppn=2))
+        base.run(_pingpong)
+        plan = FaultPlan(seed=0).delay(5e-6, rate=1.0, layer="deliver")
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        world.run(_pingpong)
+        assert world.sim.now > base.sim.now + 5e-6 * 0.9
+
+    def test_reorder_still_byte_exact(self):
+        """Held-back messages are flushed, so collectives stay correct
+        (matching is by envelope, not arrival order)."""
+        plan = FaultPlan(seed=4).reorder(rate=0.5)
+        world = World(small_test(nodes=2, ppn=2), faults=plan)
+        check_allgather(world, allgather_bruck, 64)
+        assert world.faults.counts.get("reorder", 0) >= 1
+
+
+class TestCrash:
+    def test_crash_gate_freezes_rank(self):
+        plan = FaultPlan(seed=0).crash(rank=1, at_time=0.0)
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        results = world.run(_pingpong, allow_unfinished=True)
+        assert results[1] is None  # dead rank never finished
+        assert results[0] is None  # peer starves waiting for it
+        assert world.faults.counts["crash"] == 1
+
+    def test_messages_to_crashed_rank_are_swallowed(self):
+        plan = FaultPlan(seed=0).crash(rank=1, at_time=0.0)
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        world.run(_pingpong, allow_unfinished=True)
+        assert world.matching[1].unexpected_messages == 0
+
+    def test_crash_at_future_time_spares_early_traffic(self):
+        plan = FaultPlan(seed=0).crash(rank=1, at_time=1.0)
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        results = world.run(_pingpong)
+        assert all(r is not None for r in results)
+
+
+class TestDegradeAndTrace:
+    def test_rate_factor_composes(self):
+        plan = FaultPlan().degrade(factor=2.0, node=1).degrade(factor=3.0)
+        world = World(small_test(nodes=2, ppn=1), faults=plan)
+        assert world.faults.rate_factor(1) == pytest.approx(6.0)
+        assert world.faults.rate_factor(0) == pytest.approx(3.0)
+
+    def test_trace_is_recorded_with_times(self):
+        plan = FaultPlan(seed=0).drop(rate=1.0, dst=1, layer="deliver",
+                                      limit=1)
+        world = World(small_test(nodes=1, ppn=2), faults=plan)
+        world.run(_pingpong, allow_unfinished=True)
+        events = world.faults.events
+        assert len(events) == 1
+        assert events[0].kind == "drop" and events[0].dst == 1
+        assert events[0].t >= 0.0
+        assert "drop=1" in world.faults.summary()

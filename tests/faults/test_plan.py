@@ -1,0 +1,94 @@
+"""FaultPlan / FaultRule: validation, scoping predicates, builders."""
+
+import pytest
+
+from repro.faults import ALL_KINDS, FaultPlan, FaultRule
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="melt")
+
+    def test_rate_must_be_probability(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(kind="drop", rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule(kind="drop", rate=-0.1)
+
+    def test_layer_must_be_known(self):
+        with pytest.raises(ValueError, match="layer"):
+            FaultRule(kind="drop", layer="tcp")
+
+    def test_crash_requires_rank(self):
+        with pytest.raises(ValueError, match="crash rules must name a rank"):
+            FaultRule(kind="crash")
+
+    def test_limit_and_after_bounds(self):
+        with pytest.raises(ValueError, match="limit"):
+            FaultRule(kind="drop", limit=0)
+        with pytest.raises(ValueError, match="after"):
+            FaultRule(kind="drop", after=-1)
+
+    def test_degrade_factor_positive(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultRule(kind="degrade", factor=0.0)
+
+
+class TestPredicates:
+    def test_unscoped_rule_matches_everything(self):
+        rule = FaultRule(kind="drop")
+        assert rule.matches(src=0, dst=5, nbytes=64, tag=3, node=0)
+
+    def test_rank_scoping(self):
+        rule = FaultRule(kind="drop", src=2, dst=7)
+        assert rule.matches(2, 7, 8, 0, 0)
+        assert not rule.matches(3, 7, 8, 0, 0)
+        assert not rule.matches(2, 6, 8, 0, 0)
+
+    def test_size_band(self):
+        rule = FaultRule(kind="drop", min_bytes=64, max_bytes=1024)
+        assert rule.matches(0, 1, 64, 0, 0)
+        assert rule.matches(0, 1, 1024, 0, 0)
+        assert not rule.matches(0, 1, 63, 0, 0)
+        assert not rule.matches(0, 1, 1025, 0, 0)
+
+    def test_tag_and_node_scoping(self):
+        rule = FaultRule(kind="drop", tag=9, node=1)
+        assert rule.matches(0, 1, 8, 9, 1)
+        assert not rule.matches(0, 1, 8, 8, 1)
+        assert not rule.matches(0, 1, 8, 9, 0)
+
+
+class TestPlanBuilders:
+    def test_builders_chain_and_accumulate(self):
+        plan = (FaultPlan(seed=3)
+                .drop(rate=0.1)
+                .corrupt(rate=0.05, dst=1)
+                .duplicate()
+                .reorder()
+                .delay(1e-6)
+                .degrade(factor=2.0, node=0)
+                .crash(rank=3, at_time=1e-4))
+        assert len(plan.rules) == 7
+        assert plan.kinds() == ("drop", "corrupt", "duplicate", "reorder",
+                                "delay", "degrade", "crash")
+        assert set(plan.kinds()) <= set(ALL_KINDS)
+
+    def test_reorder_defaults_to_deliver_layer(self):
+        plan = FaultPlan().reorder()
+        assert plan.rules[0].layer == "deliver"
+
+    def test_with_seed_copies(self):
+        plan = FaultPlan(seed=1).drop(rate=0.5)
+        other = plan.with_seed(2)
+        assert other.seed == 2 and plan.seed == 1
+        assert other.rules == plan.rules
+        other.drop(rate=0.1)
+        assert len(plan.rules) == 1  # rule lists are independent
+
+    def test_describe_lists_every_rule(self):
+        plan = FaultPlan(seed=5).drop(rate=0.1, dst=2).crash(rank=1)
+        text = plan.describe()
+        assert "seed=5" in text and "2 rules" in text
+        assert "drop" in text and "dst=2" in text and "crash" in text

@@ -1,0 +1,172 @@
+"""ReliableNetworkTransport: ack/timeout/retransmit protocol."""
+
+import pytest
+
+from repro.collectives import allgather_bruck
+from repro.faults import FaultPlan
+from repro.machine import small_test
+from repro.runtime import World
+from repro.runtime.errors import DeliveryFailedError
+from repro.transport import NetworkTransport, ReliableNetworkTransport
+from repro.validate.checker import check_allgather
+
+
+def _pingpong(ctx, nbytes=64):
+    buf = ctx.alloc(nbytes)
+    peer = 1 - ctx.rank
+    if ctx.rank == 0:
+        yield from ctx.send(buf.view(), dst=peer, tag=1)
+        yield from ctx.recv(buf.view(), src=peer, tag=2)
+    else:
+        yield from ctx.recv(buf.view(), src=peer, tag=1)
+        yield from ctx.send(buf.view(), dst=peer, tag=2)
+    return ctx.now
+
+
+def _two_node(reliable=True, faults=None):
+    return World(small_test(nodes=2, ppn=1), faults=faults, reliable=reliable)
+
+
+class TestProtocolBasics:
+    def test_fault_free_run_completes_with_acks(self):
+        world = _two_node()
+        assert isinstance(world.network, ReliableNetworkTransport)
+        world.run(_pingpong)
+        stats = world.stats()
+        assert stats["retransmits"] == 0
+        assert stats["acks"] == 2  # one per eager message
+
+    def test_reliable_costs_at_least_as_much_as_plain(self):
+        plain = World(small_test(nodes=2, ppn=1))
+        plain.run(_pingpong)
+        reliable = _two_node()
+        reliable.run(_pingpong)
+        assert reliable.sim.now >= plain.sim.now
+
+    def test_rto_backs_off_exponentially(self):
+        t = ReliableNetworkTransport(backoff=2.0)
+        nic = small_test(nodes=2, ppn=1).nic
+        wire = nic.wire_time(64)
+        assert t.rto(nic, wire, 2) == pytest.approx(2.0 * t.rto(nic, wire, 1))
+        assert t.rto(nic, wire, 3) == pytest.approx(4.0 * t.rto(nic, wire, 1))
+
+    def test_rendezvous_messages_take_base_path(self):
+        """Large sends bypass the eager protocol (RDMA is modeled as
+        hardware-reliable) but still complete."""
+        world = _two_node()
+        big = world.params.nic.eager_limit + 1
+        world.run(_pingpong, args=(big,))
+        assert world.stats()["acks"] == 0
+
+
+class TestRetransmission:
+    def test_dropped_message_is_retransmitted(self):
+        plan = FaultPlan(seed=0).drop(rate=1.0, limit=1)
+        world = _two_node(faults=plan)
+        world.run(_pingpong)
+        stats = world.stats()
+        assert stats["retransmits"] == 1
+        assert world.faults.counts["drop"] == 1
+
+    def test_corrupted_transmission_is_retransmitted(self):
+        plan = FaultPlan(seed=0).corrupt(rate=1.0, limit=1)
+        world = _two_node(faults=plan)
+        world.run(_pingpong)
+        assert world.stats()["retransmits"] == 1
+
+    def test_duplicate_is_deduplicated(self):
+        plan = FaultPlan(seed=0).duplicate(rate=1.0)
+        world = _two_node(faults=plan)
+        world.run(_pingpong)
+        world.assert_quiescent()  # no double delivery
+
+    def test_retry_cost_accrues_in_sim_time(self):
+        clean = _two_node()
+        clean.run(_pingpong)
+        plan = FaultPlan(seed=0).drop(rate=1.0, limit=2)
+        lossy = _two_node(faults=plan)
+        lossy.run(_pingpong)
+        assert lossy.sim.now > clean.sim.now
+
+    def test_degraded_nic_slows_the_wire(self):
+        clean = _two_node()
+        clean.run(_pingpong, args=(8192,))
+        slow = _two_node(faults=FaultPlan().degrade(factor=50.0, node=0))
+        slow.run(_pingpong, args=(8192,))
+        assert slow.sim.now > clean.sim.now
+
+
+class TestExhaustion:
+    def test_exhausted_retries_raise_naming_ranks(self):
+        plan = FaultPlan(seed=0).drop(rate=1.0)  # every transmission dies
+        world = _two_node(faults=plan)
+        with pytest.raises(DeliveryFailedError,
+                           match=r"rank 0 -> rank 1") as err:
+            world.run(_pingpong)
+        assert err.value.src == 0 and err.value.dst == 1
+
+    def test_exhaustion_counts_configured_retries(self):
+        plan = FaultPlan(seed=0).drop(rate=1.0)
+        world = _two_node(faults=plan)
+        world.network.max_retries = 3
+        with pytest.raises(DeliveryFailedError, match="3 retries"):
+            world.run(_pingpong)
+        assert world.faults.counts["drop"] == 4  # 1 original + 3 retries
+
+
+class TestOrdering:
+    def test_flow_stays_in_order_under_loss(self):
+        """A retransmitted message must not be overtaken by a later
+        same-flow message (MPI non-overtaking)."""
+        import numpy as np
+
+        from repro.runtime.buffer import ArrayBuffer
+
+        # Drop the first transmission of the first message only.
+        plan = FaultPlan(seed=0).drop(rate=1.0, limit=1)
+        world = _two_node(faults=plan)
+
+        def program(ctx):
+            n = 8
+            if ctx.rank == 0:
+                for i in range(4):
+                    buf = ArrayBuffer.from_array(
+                        np.full(n, i, dtype=np.uint8))
+                    yield from ctx.send(buf.view(), dst=1, tag=5)
+            else:
+                got = []
+                buf = ctx.alloc(n)
+                for _ in range(4):
+                    yield from ctx.recv(buf.view(), src=0, tag=5)
+                    got.append(int(buf.view().read()[0]))
+                return got
+
+        results = world.run(program)
+        assert results[1] == [0, 1, 2, 3]
+        assert world.stats()["retransmits"] == 1
+
+    def test_collective_byte_exact_under_heavy_loss(self):
+        plan = FaultPlan(seed=11).drop(rate=0.3)
+        world = World(small_test(nodes=4, ppn=2), faults=plan, reliable=True)
+        check_allgather(world, allgather_bruck, 64)
+        assert world.stats()["retransmits"] >= 1
+
+
+class TestConfiguration:
+    def test_reliable_plus_fabric_rejected(self):
+        from repro.machine.fabric import FabricParams
+
+        with pytest.raises(ValueError, match="flat network"):
+            World(small_test(nodes=4, ppn=2), reliable=True,
+                  fabric=FabricParams())
+
+    def test_inter_node_flag(self):
+        assert NetworkTransport.inter_node
+        assert ReliableNetworkTransport.inter_node
+        world = World(small_test(nodes=1, ppn=2))
+        assert not world.intra.inter_node
+        assert not world.loopback.inter_node
+
+    def test_describe_mentions_protocol(self):
+        text = ReliableNetworkTransport().describe()
+        assert "retransmit" in text and "8 retries" in text

@@ -1,0 +1,96 @@
+"""Property-based chaos: collectives stay byte-exact under random
+message loss once reliable delivery is on.
+
+Hypothesis draws a drop rate (<= 20%), a seed, and a message size, and
+every collective family must still produce byte-exact results on a
+lossy wire — the retransmission protocol absorbs the losses, the
+checkers verify every output byte, and the quiescence probe proves no
+message leaked.  A world where this fails is a world where the chaos
+benchmark numbers would be fiction.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    allgather_bruck,
+    allreduce_recursive_doubling,
+    alltoall_bruck,
+    bcast_binomial,
+    gather_binomial,
+    scatter_binomial,
+)
+from repro.faults import FaultPlan
+from repro.machine import small_test
+from repro.runtime import World
+from repro.validate.checker import (
+    check_allgather,
+    check_allreduce,
+    check_alltoall,
+    check_bcast,
+    check_gather,
+    check_scatter,
+)
+
+DROP = st.floats(0.0, 0.2)
+SEED = st.integers(0, 2**16)
+COUNT = st.integers(1, 97)
+CHAOS_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def lossy_world(drop, seed):
+    plan = FaultPlan(seed=seed).drop(rate=drop)
+    return World(small_test(nodes=2, ppn=2), faults=plan, reliable=True)
+
+
+@given(drop=DROP, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_bcast_byte_exact_under_drop(drop, seed, count):
+    check_bcast(lossy_world(drop, seed), bcast_binomial, count)
+
+
+@given(drop=DROP, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_gather_byte_exact_under_drop(drop, seed, count):
+    check_gather(lossy_world(drop, seed), gather_binomial, count)
+
+
+@given(drop=DROP, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_scatter_byte_exact_under_drop(drop, seed, count):
+    check_scatter(lossy_world(drop, seed), scatter_binomial, count)
+
+
+@given(drop=DROP, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_allgather_byte_exact_under_drop(drop, seed, count):
+    check_allgather(lossy_world(drop, seed), allgather_bruck, count)
+
+
+@given(drop=DROP, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_alltoall_byte_exact_under_drop(drop, seed, count):
+    check_alltoall(lossy_world(drop, seed), alltoall_bruck, count)
+
+
+@given(drop=DROP, seed=SEED, count=st.integers(1, 24))
+@settings(**CHAOS_SETTINGS)
+def test_allreduce_byte_exact_under_drop(drop, seed, count):
+    check_allreduce(lossy_world(drop, seed), allreduce_recursive_doubling,
+                    count)
+
+
+@given(drop=DROP, seed=SEED)
+@settings(**CHAOS_SETTINGS)
+def test_drop_replay_is_deterministic(drop, seed):
+    """The same (plan, program) replays the identical fault trace."""
+    w1 = lossy_world(drop, seed)
+    check_allgather(w1, allgather_bruck, 32)
+    w2 = lossy_world(drop, seed)
+    check_allgather(w2, allgather_bruck, 32)
+    assert w1.faults.trace_signature() == w2.faults.trace_signature()
+    assert w1.sim.now == w2.sim.now

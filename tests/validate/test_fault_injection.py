@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.collectives import allgather_bruck, bcast_binomial
+from repro.faults import FaultPlan
 from repro.machine import small_test
 from repro.runtime import World
 from repro.runtime.ops import SUM
@@ -21,30 +22,22 @@ from repro.validate.checker import (
 )
 
 def test_checker_catches_corrupted_bytes():
-    """Flip one payload byte in flight → checker must raise."""
-    world = World(small_test(nodes=1, ppn=4), intra="posix_shmem")
+    """Flip one payload byte in flight → checker must raise.
 
-    # Monkeypatch matching deliver to corrupt the first payload.
-    engine = world.matching[1]
-    original_deliver = engine.deliver
-    state = {"done": False}
-
-    def corrupt_deliver(desc):
-        if not state["done"] and desc.payload is not None and desc.payload.size:
-            desc.payload[0] ^= 0xFF
-            state["done"] = True
-        original_deliver(desc)
-
-    engine.deliver = corrupt_deliver
+    Driven by the first-class FaultInjector (deliver-layer corrupt
+    rule scoped to rank 1, applied once) — no monkeypatching.
+    """
+    plan = FaultPlan(seed=0).corrupt(rate=1.0, dst=1, layer="deliver", limit=1)
+    world = World(small_test(nodes=1, ppn=4), intra="posix_shmem", faults=plan)
     with pytest.raises(AssertionError, match="wrong at"):
         check_bcast(world, bcast_binomial, 64)
+    assert world.faults.counts.get("corrupt") == 1
 
 def test_quiescence_catches_dropped_message():
     """Silently dropping a delivery leaves a dangling posted recv —
     the run deadlocks benignly (sim drains) and quiescence fails."""
-    world = World(small_test(nodes=1, ppn=2), intra="posix_shmem")
-    engine = world.matching[1]
-    engine.deliver = lambda desc: None  # drop everything to rank 1
+    plan = FaultPlan(seed=0).drop(rate=1.0, dst=1, layer="deliver")
+    world = World(small_test(nodes=1, ppn=2), intra="posix_shmem", faults=plan)
 
     def program(ctx):
         buf = ctx.alloc(8)
@@ -58,8 +51,8 @@ def test_quiescence_catches_dropped_message():
     with pytest.raises(Exception, match="deadlock: ranks \\[1\\]"):
         world.run(program)
 
-    world2 = World(small_test(nodes=1, ppn=2), intra="posix_shmem")
-    world2.matching[1].deliver = lambda desc: None
+    world2 = World(small_test(nodes=1, ppn=2), intra="posix_shmem",
+                   faults=plan.with_seed(0))
     results = world2.run(program, allow_unfinished=True)
     assert results[1] is None  # rank 1 never finished
     with pytest.raises(AssertionError, match="never matched"):
