@@ -9,9 +9,14 @@ would select for the call's message size — so application code written
 against :class:`VComm` can be re-run under every library in the paper
 by changing one string.
 
-Usage::
+The entry point is :class:`Session`: configure the library and machine
+once, then ``session.run(app)`` executes the app on every rank and
+returns a :class:`RunResult` carrying the per-rank values *and* the
+run's observability artifacts — span timeline, derived metrics, a
+Perfetto exporter and critical-path extraction (see
+:mod:`repro.obs`)::
 
-    from repro.api import run_app
+    from repro.api import Session
     import numpy as np
 
     def app(comm):
@@ -20,7 +25,14 @@ Usage::
         yield from comm.Allreduce(data, total)
         return total.sum()
 
-    results = run_app(app, library="PiP-MColl", nodes=4, ppn=4)
+    result = Session(library="PiP-MColl", nodes=4, ppn=4).run(app)
+    result.values          # per-rank return values
+    result.elapsed         # simulated seconds
+    result.write_perfetto("trace.json")   # → ui.perfetto.dev
+    print(result.critical_path("allreduce").describe())
+
+:func:`run_app` remains as a thin shim with the original signature and
+return type (a plain list of per-rank values, tracing off).
 
 Rank programs remain generators (``yield from`` every communication),
 matching the cooperative simulation underneath.
@@ -28,13 +40,19 @@ matching the cooperative simulation underneath.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+import warnings
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
 from .machine import MachineParams, broadwell_opa
 from .mpilibs import MpiLibrary, make_library
+from .obs import CriticalPath, Metrics, SpanRecorder, TraceTree
+from .obs import critical_path as _critical_path
+from .obs import to_perfetto as _to_perfetto
+from .obs import write_perfetto as _write_perfetto
 from .runtime import ArrayBuffer, World
+from .runtime.communicator import Communicator
 from .runtime.context import RankContext
 from .runtime.datatypes import from_numpy
 from .runtime.ops import ReduceOp, SUM
@@ -46,21 +64,39 @@ def _as_buffer(array: np.ndarray) -> ArrayBuffer:
 
 
 class VComm:
-    """An mpi4py-style communicator bound to one simulated rank."""
+    """An mpi4py-style communicator bound to one simulated rank.
 
-    def __init__(self, ctx: RankContext, library: MpiLibrary) -> None:
+    Bound either to COMM_WORLD (the default) or — after
+    :meth:`Split` — to a sub-communicator.  On a sub-communicator the
+    library falls back to its geometry-agnostic algorithm table
+    (:meth:`~repro.mpilibs.MpiLibrary.subcomm_algorithm`), exactly as
+    real libraries abandon their topology-aware paths off COMM_WORLD.
+    """
+
+    def __init__(self, ctx: RankContext, library: MpiLibrary,
+                 comm: Optional[Communicator] = None) -> None:
         self._ctx = ctx
         self._lib = library
+        self._comm = comm  # None → COMM_WORLD
 
     # -- introspection -------------------------------------------------
     @property
+    def _is_sub(self) -> bool:
+        return (self._comm is not None
+                and self._comm is not self._ctx.comm_world)
+
+    @property
     def rank(self) -> int:
-        """This rank (COMM_WORLD numbering)."""
+        """This rank, in this communicator's numbering."""
+        if self._is_sub:
+            return self._comm.to_comm(self._ctx.rank)
         return self._ctx.rank
 
     @property
     def size(self) -> int:
-        """World size."""
+        """Number of ranks in this communicator."""
+        if self._is_sub:
+            return self._comm.size
         return self._ctx.size
 
     @property
@@ -79,18 +115,38 @@ class VComm:
         return self._ctx
 
     def _algo(self, collective: str, nbytes: int):
+        if self._is_sub:
+            return self._lib.wrapped(collective, nbytes, self._comm.size,
+                                     subcomm=True)
         return self._lib.wrapped(collective, nbytes, self.size)
+
+    # -- communicator management -----------------------------------------
+    def Split(self, color: Optional[int], key: int = 0):
+        """MPI_Comm_split (generator): ranks with equal ``color`` form a
+        new communicator ordered by ``(key, old rank)``.
+
+        Returns a new :class:`VComm` over the sub-communicator, or
+        ``None`` for ``color=None`` (MPI_UNDEFINED).  Collective over
+        this communicator — every rank must call it.
+        """
+        new_comm = yield from self._ctx.comm_split(color, key,
+                                                   comm=self._comm)
+        if new_comm is None:
+            return None
+        return VComm(self._ctx, self._lib, new_comm)
 
     # -- point-to-point --------------------------------------------------
     def Send(self, array: np.ndarray, dest: int, tag: int = 0):
         """Blocking send of a contiguous numpy array."""
         buf = _as_buffer(array)
-        yield from self._ctx.send(buf.view(), dst=dest, tag=tag)
+        yield from self._ctx.send(buf.view(), dst=dest, tag=tag,
+                                  comm=self._comm)
 
     def Recv(self, array: np.ndarray, source: int, tag: int = -1):
         """Blocking receive into a contiguous numpy array."""
         buf = ArrayBuffer(np.ascontiguousarray(array))
-        status = yield from self._ctx.recv(buf.view(), src=source, tag=tag)
+        status = yield from self._ctx.recv(buf.view(), src=source, tag=tag,
+                                           comm=self._comm)
         array.reshape(-1).view(np.uint8)[:] = buf.bytes_view
         return status
 
@@ -100,19 +156,21 @@ class VComm:
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
         status = yield from self._ctx.sendrecv(
-            sbuf.view(), dest, sendtag, rbuf.view(), source, recvtag)
+            sbuf.view(), dest, sendtag, rbuf.view(), source, recvtag,
+            comm=self._comm)
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
         return status
 
     # -- collectives ---------------------------------------------------------
     def Barrier(self):
-        """World barrier."""
-        yield from self._algo("barrier", 0)(self._ctx)
+        """Barrier over this communicator."""
+        yield from self._algo("barrier", 0)(self._ctx, comm=self._comm)
 
     def Bcast(self, array: np.ndarray, root: int = 0):
         """Broadcast ``array`` from ``root`` (in place everywhere)."""
         buf = ArrayBuffer(np.ascontiguousarray(array))
-        yield from self._algo("bcast", buf.nbytes)(self._ctx, buf.view(), root=root)
+        yield from self._algo("bcast", buf.nbytes)(
+            self._ctx, buf.view(), root=root, comm=self._comm)
         array.reshape(-1).view(np.uint8)[:] = buf.bytes_view
 
     def Scatter(self, send_array: Optional[np.ndarray],
@@ -121,7 +179,8 @@ class VComm:
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
         sbuf = _as_buffer(send_array) if send_array is not None else None
         yield from self._algo("scatter", rbuf.nbytes)(
-            self._ctx, sbuf.view() if sbuf else None, rbuf.view(), root=root)
+            self._ctx, sbuf.view() if sbuf else None, rbuf.view(),
+            root=root, comm=self._comm)
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Gather(self, send_array: np.ndarray,
@@ -130,7 +189,8 @@ class VComm:
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array)) if recv_array is not None else None
         yield from self._algo("gather", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view() if rbuf else None, root=root)
+            self._ctx, sbuf.view(), rbuf.view() if rbuf else None,
+            root=root, comm=self._comm)
         if recv_array is not None:
             recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
@@ -139,7 +199,7 @@ class VComm:
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
         yield from self._algo("allgather", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view())
+            self._ctx, sbuf.view(), rbuf.view(), comm=self._comm)
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Allreduce(self, send_array: np.ndarray, recv_array: np.ndarray,
@@ -151,7 +211,7 @@ class VComm:
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
         yield from self._algo("allreduce", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view(), dtype, op)
+            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Reduce(self, send_array: np.ndarray,
@@ -163,7 +223,7 @@ class VComm:
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array)) if recv_array is not None else None
         yield from self._algo("reduce", sbuf.nbytes)(
             self._ctx, sbuf.view(), rbuf.view() if rbuf else None,
-            dtype, op, root=root)
+            dtype, op, root=root, comm=self._comm)
         if recv_array is not None:
             recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
@@ -172,7 +232,62 @@ class VComm:
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
         yield from self._algo("alltoall", sbuf.nbytes // self.size)(
-            self._ctx, sbuf.view(), rbuf.view())
+            self._ctx, sbuf.view(), rbuf.view(), comm=self._comm)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Reduce_scatter(self, send_array: np.ndarray,
+                       recv_array: np.ndarray, recvcounts=None,
+                       op: ReduceOp = SUM):
+        """Reduce-scatter: elementwise reduce ``send_array`` across the
+        communicator, block ``i`` lands on rank ``i``.
+
+        Only the block-regular case is modeled (uniform
+        ``recvcounts``); that is also all the paper's benchmark surface
+        exercises.  ``recvcounts=None`` infers the uniform block from
+        ``recv_array``.
+        """
+        if recvcounts is not None and len(set(recvcounts)) > 1:
+            raise NotImplementedError(
+                "Reduce_scatter models uniform recvcounts only "
+                "(block-regular reduce-scatter)"
+            )
+        if send_array.dtype != recv_array.dtype:
+            raise ValueError("Reduce_scatter arrays must share a dtype")
+        dtype = from_numpy(send_array.dtype)
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        yield from self._algo("reduce_scatter", rbuf.nbytes)(
+            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Reduce_scatter_block(self, send_array: np.ndarray,
+                             recv_array: np.ndarray, op: ReduceOp = SUM):
+        """MPI_Reduce_scatter_block — alias of the uniform case."""
+        yield from self.Reduce_scatter(send_array, recv_array, op=op)
+
+    def Scan(self, send_array: np.ndarray, recv_array: np.ndarray,
+             op: ReduceOp = SUM):
+        """Inclusive prefix reduction: rank ``i`` gets ranks ``0..i``."""
+        if send_array.dtype != recv_array.dtype:
+            raise ValueError("Scan arrays must share a dtype")
+        dtype = from_numpy(send_array.dtype)
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        yield from self._algo("scan", sbuf.nbytes)(
+            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Exscan(self, send_array: np.ndarray, recv_array: np.ndarray,
+               op: ReduceOp = SUM):
+        """Exclusive prefix reduction: rank ``i`` gets ranks ``0..i-1``
+        (rank 0's receive buffer is left untouched, as in MPI)."""
+        if send_array.dtype != recv_array.dtype:
+            raise ValueError("Exscan arrays must share a dtype")
+        dtype = from_numpy(send_array.dtype)
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        yield from self._algo("exscan", sbuf.nbytes)(
+            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     # -- vector collectives (counts in elements, mpi4py-style) -----------
@@ -184,7 +299,8 @@ class VComm:
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
         algo = self._algo("allgatherv", sbuf.nbytes)
-        yield from algo(self._ctx, sbuf.view(), rbuf.view(), byte_counts)
+        yield from algo(self._ctx, sbuf.view(), rbuf.view(), byte_counts,
+                        comm=self._comm)
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Gatherv(self, send_array: np.ndarray,
@@ -202,7 +318,7 @@ class VComm:
         algo = self._algo("gatherv", sbuf.nbytes)
         yield from algo(self._ctx, sbuf.view(),
                         rbuf.view() if rbuf else None,
-                        counts=byte_counts, root=root)
+                        counts=byte_counts, root=root, comm=self._comm)
         if recv_array is not None:
             recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
@@ -216,23 +332,179 @@ class VComm:
             byte_counts = [c * recv_array.dtype.itemsize for c in counts]
         algo = self._algo("scatterv", rbuf.nbytes)
         yield from algo(self._ctx, sbuf.view() if sbuf else None,
-                        counts=byte_counts, recvview=rbuf.view(), root=root)
+                        counts=byte_counts, recvview=rbuf.view(), root=root,
+                        comm=self._comm)
+        recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
+
+    def Alltoallv(self, send_array: np.ndarray, sendcounts: Sequence[int],
+                  recv_array: np.ndarray, recvcounts: Sequence[int]):
+        """Alltoallv; per-destination / per-source element counts,
+        blocks packed contiguously (displacements = running sums)."""
+        itemsize = send_array.dtype.itemsize
+        send_bytes = [c * itemsize for c in sendcounts]
+        recv_bytes = [c * recv_array.dtype.itemsize for c in recvcounts]
+        sbuf = _as_buffer(send_array)
+        rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
+        algo = self._algo("alltoallv", max(send_bytes, default=0))
+        yield from algo(self._ctx, sbuf.view(), send_bytes, rbuf.view(),
+                        recv_bytes, comm=self._comm)
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     # -- nonblocking -----------------------------------------------------
-    def Istart(self, operation):
-        """Launch any of this communicator's operations nonblocking::
+    def Ibcast(self, array: np.ndarray, root: int = 0):
+        """Nonblocking broadcast; returns a request for :meth:`Wait`."""
+        return self._ctx.start(self.Bcast(array, root=root))
 
-            req = comm.Istart(comm.Allgather(send, recv))
-            ...
-            yield from comm.Wait(req)
+    def Iallgather(self, send_array: np.ndarray, recv_array: np.ndarray):
+        """Nonblocking allgather; returns a request for :meth:`Wait`."""
+        return self._ctx.start(self.Allgather(send_array, recv_array))
+
+    def Iallreduce(self, send_array: np.ndarray, recv_array: np.ndarray,
+                   op: ReduceOp = SUM):
+        """Nonblocking allreduce; returns a request for :meth:`Wait`."""
+        return self._ctx.start(self.Allreduce(send_array, recv_array, op=op))
+
+    def Ibarrier(self):
+        """Nonblocking barrier; returns a request for :meth:`Wait`."""
+        return self._ctx.start(self.Barrier())
+
+    def Istart(self, operation):
+        """Launch any of this communicator's operations nonblocking.
+
+        .. deprecated::
+            Use the first-class nonblocking collectives
+            (:meth:`Ibcast`, :meth:`Iallgather`, :meth:`Iallreduce`,
+            :meth:`Ibarrier`) instead.
         """
+        warnings.warn(
+            "VComm.Istart(generator) is deprecated; use the I-prefixed "
+            "nonblocking collectives (Ibcast/Iallgather/Iallreduce/...)",
+            DeprecationWarning, stacklevel=2,
+        )
         return self._ctx.start(operation)
 
     def Wait(self, request):
-        """Complete a request from :meth:`Istart`."""
+        """Complete a request from a nonblocking operation."""
         result = yield from self._ctx.wait(request)
         return result
+
+
+class RunResult:
+    """Everything one :meth:`Session.run` produced.
+
+    Sequence protocol delegates to :attr:`values`, so code written for
+    the old ``run_app`` list (``result[0]``, ``len(result)``,
+    iteration) keeps working on a :class:`RunResult`.
+    """
+
+    def __init__(self, values: List[Any], elapsed: float,
+                 trace: Optional[TraceTree], metrics: Optional[Metrics],
+                 stats: dict, library: str, world: World) -> None:
+        #: per-rank app return values, indexed by world rank
+        self.values = values
+        #: simulated wall-clock of the whole run (seconds)
+        self.elapsed = elapsed
+        #: span timeline (:class:`~repro.obs.TraceTree`), or None when
+        #: the session ran with ``trace=False``
+        self.trace = trace
+        #: derived :class:`~repro.obs.Metrics`, or None untraced
+        self.metrics = metrics
+        #: end-of-run hardware counters (``World.stats()``)
+        self.stats = stats
+        #: library model name the session ran under
+        self.library = library
+        #: the simulated world (hardware state, cluster geometry)
+        self.world = world
+
+    # -- sequence protocol over the per-rank values -----------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, idx):
+        return self.values[idx]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def _require_trace(self) -> TraceTree:
+        if self.trace is None:
+            raise RuntimeError(
+                "this run was not traced; construct the Session with "
+                "trace=True (the default) to record spans"
+            )
+        return self.trace
+
+    # -- observability exports -------------------------------------------
+    def to_perfetto(self) -> dict:
+        """The run as a Chrome trace-event object (ui.perfetto.dev)."""
+        return _to_perfetto(self._require_trace(),
+                            node_of=self.world.node_of())
+
+    def write_perfetto(self, path) -> None:
+        """Write :meth:`to_perfetto` as JSON to ``path``."""
+        _write_perfetto(self._require_trace(), path,
+                        node_of=self.world.node_of())
+
+    def critical_path(self, collective: Optional[str] = None) -> CriticalPath:
+        """Critical path through the message-dependency graph (of one
+        ``collective`` span by name, or of the whole run)."""
+        return _critical_path(self._require_trace(), collective=collective)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        traced = "traced" if self.trace is not None else "untraced"
+        return (f"<RunResult {self.library} ranks={len(self.values)} "
+                f"elapsed={self.elapsed:.3e}s {traced}>")
+
+
+class Session:
+    """Configured entry point: library + machine + observability.
+
+    A session is reusable — every :meth:`run` builds a fresh
+    :class:`World` so runs never share simulator or hardware state.
+    """
+
+    def __init__(self, library: str = "PiP-MColl", nodes: int = 4,
+                 ppn: int = 4, params: Optional[MachineParams] = None,
+                 trace: bool = True, **world_kwargs) -> None:
+        self.library = library
+        self._lib = make_library(library)
+        self.machine = (params if params is not None
+                        else broadwell_opa(nodes=nodes, ppn=ppn))
+        #: record spans + metrics during runs (adds zero simulated time)
+        self.trace = trace
+        self._world_kwargs = world_kwargs
+
+    def run(self, app: Callable[[VComm], Any]) -> RunResult:
+        """Run an mpi4py-style generator app on every rank."""
+        world: World = self._lib.make_world(self.machine,
+                                            **self._world_kwargs)
+        recorder = None
+        if self.trace:
+            recorder = SpanRecorder()
+            world.attach_obs(recorder)
+        lib = self._lib
+
+        def program(ctx):
+            comm = VComm(ctx, lib)
+            if recorder is None:
+                result = yield from app(comm)
+                return result
+            with recorder.span(ctx.rank, "run", cat="run",
+                               library=lib.profile.name):
+                result = yield from app(comm)
+            return result
+
+        values = world.run(program)
+        elapsed = world.sim.now
+        trace = None
+        metrics = None
+        if recorder is not None:
+            recorder.finalize(world)
+            trace = recorder.tree()
+            metrics = recorder.metrics
+        return RunResult(values=values, elapsed=elapsed, trace=trace,
+                         metrics=metrics, stats=world.stats(),
+                         library=self.library, world=world)
 
 
 def run_app(
@@ -243,14 +515,11 @@ def run_app(
     params: Optional[MachineParams] = None,
 ) -> List[Any]:
     """Run an mpi4py-style generator app on every rank; returns the
-    per-rank return values (indexed by rank)."""
-    lib = make_library(library)
-    machine = params if params is not None else broadwell_opa(nodes=nodes, ppn=ppn)
-    world: World = lib.make_world(machine)
+    per-rank return values (indexed by rank).
 
-    def program(ctx):
-        comm = VComm(ctx, lib)
-        result = yield from app(comm)
-        return result
-
-    return world.run(program)
+    Thin shim over :class:`Session` kept for existing callers — same
+    signature, same plain-list return, tracing off.
+    """
+    session = Session(library=library, nodes=nodes, ppn=ppn, params=params,
+                      trace=False)
+    return session.run(app).values

@@ -1,10 +1,10 @@
 """Collective profiling: where the simulated time goes.
 
-:func:`profile_collective` runs one collective under a tracer and
-reduces the record stream plus hardware counters into an attribution
-report: message counts and bytes per transport, NIC/bus busy time,
-and the headline latency.  The CLI exposes it as
-``python -m repro profile``.
+:func:`profile_collective` runs one collective under a
+:class:`~repro.obs.SpanRecorder` and reduces the derived metrics plus
+hardware counters into an attribution report: message counts and bytes
+per transport, NIC/bus busy time, and the headline latency.  The CLI
+exposes it as ``python -m repro profile``.
 """
 
 from __future__ import annotations
@@ -14,7 +14,7 @@ from typing import Dict, Union
 
 from ..machine import MachineParams
 from ..mpilibs import MpiLibrary, make_library
-from ..sim import Tracer
+from ..obs import SpanRecorder
 from .harness import _buffers, _invoke
 
 
@@ -69,12 +69,11 @@ def profile_collective(
     params: MachineParams,
     root: int = 0,
 ) -> CollectiveProfile:
-    """Run one (warm) collective invocation under a tracer."""
+    """Run one (warm) collective invocation under a span recorder."""
     lib = make_library(library) if isinstance(library, str) else library
-    tracer = Tracer(keep_records=True)
     world = lib.make_world(params, functional=False)
-    world.tracer = tracer
-    world.sim.tracer = None  # kernel-event noise off; messages still log
+    recorder = SpanRecorder()
+    world.attach_obs(recorder)
     size = world.comm_world.size
     algo = lib.wrapped(collective, nbytes, size)
 
@@ -85,9 +84,9 @@ def profile_collective(
             yield from ctx.hard_sync()
             if it == 1 and ctx.rank == 0:
                 # All ranks are aligned and every warmup delivery has
-                # been recorded; wipe the warmup exactly once.
-                tracer.records.clear()
-                tracer.counters.clear()
+                # been recorded; wipe the warmup exactly once (closed
+                # spans + metrics; in-flight spans survive).
+                recorder.reset()
             t0 = ctx.now
             yield from _invoke(algo, ctx, bufs, collective, root)
             lats.append(ctx.now - t0)
@@ -101,12 +100,13 @@ def profile_collective(
         nbytes=nbytes,
         latency_us=max(per_rank) * 1e6,
     )
-    for rec in tracer.of_kind("message"):
-        transport = rec.detail["transport"]
-        profile.messages_by_transport[transport] = (
-            profile.messages_by_transport.get(transport, 0) + 1)
-        profile.bytes_by_transport[transport] = (
-            profile.bytes_by_transport.get(transport, 0) + rec.detail["nbytes"])
+    metrics = recorder.metrics
+    profile.messages_by_transport = {
+        k: int(v) for k, v in
+        metrics.by_label("messages_total", "transport").items()}
+    profile.bytes_by_transport = {
+        k: int(v) for k, v in
+        metrics.by_label("bytes_total", "transport").items()}
     stats = world.stats()
     profile.nic_tx_busy_us = stats["tx_busy_s"] * 1e6
     profile.membus_busy_us = stats["membus_busy_s"] * 1e6

@@ -14,6 +14,9 @@ Commands
 ``faults``
     Seeded chaos sweep: latency vs drop rate under reliable delivery,
     printed as a resilience report.
+``trace``
+    Run one collective under span tracing, export a Perfetto/Chrome
+    trace JSON, and print the critical path plus derived metrics.
 """
 
 from __future__ import annotations
@@ -142,6 +145,39 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .api import Session
+    from .bench.harness import _buffers, _invoke
+    from .obs import validate_chrome_trace
+
+    session = Session(library=args.library, params=_machine(args), trace=True)
+    lib = session._lib
+    size = session.machine.nodes * session.machine.ppn
+    algo = lib.wrapped(args.collective, args.size, size)
+
+    def app(comm):
+        ctx = comm.ctx
+        bufs = _buffers(ctx, args.collective, args.size, size, 0)
+        yield from _invoke(algo, ctx, bufs, args.collective, 0)
+        return ctx.now
+
+    result = session.run(app)
+    result.write_perfetto(args.out)
+    events = None
+    if args.validate:
+        events = validate_chrome_trace(result.to_perfetto())
+    print(f"{args.library} {args.collective} {args.size} B on "
+          f"{session.machine.nodes}x{session.machine.ppn} ranks: "
+          f"{result.elapsed * 1e6:.2f} us simulated")
+    suffix = f" ({events} events, schema OK)" if events is not None else ""
+    print(f"wrote {args.out}{suffix} — load it at ui.perfetto.dev")
+    print()
+    print(result.critical_path(args.collective).describe())
+    print()
+    print(result.metrics.format())
+    return 0
+
+
 def cmd_info(args) -> int:
     print("machine presets:")
     for name in available_presets():
@@ -215,6 +251,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=1)
     _add_machine_args(p, nodes=4, ppn=4)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser("trace", help="span-trace one collective (Perfetto JSON)")
+    p.add_argument("--library", default="PiP-MColl", choices=available_libraries())
+    p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--out", default="trace.json")
+    p.add_argument("--validate", action="store_true",
+                   help="check the export against the Chrome trace-event schema")
+    _add_machine_args(p, nodes=4, ppn=4)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("info", help="presets, libraries, transports")
     p.set_defaults(fn=cmd_info)

@@ -32,16 +32,20 @@ def allgather_recursive_doubling(ctx: RankContext, sendview: BufferView,
     rank = comm.to_comm(ctx.rank)
     yield from local_copy(ctx, sendview, recvview.sub(rank * count, count))
     mask = 1
+    round_no = 0
     while mask < size:
         partner = rank ^ mask
         my_start = (rank & ~(mask - 1)) * count
         partner_start = (partner & ~(mask - 1)) * count
-        yield from ctx.sendrecv(
-            recvview.sub(my_start, count * mask), partner, TAG_ALLGATHER,
-            recvview.sub(partner_start, count * mask), partner, TAG_ALLGATHER,
-            comm=comm,
-        )
+        with ctx.span("round", cat="round", idx=round_no,
+                      algorithm="recursive_doubling"):
+            yield from ctx.sendrecv(
+                recvview.sub(my_start, count * mask), partner, TAG_ALLGATHER,
+                recvview.sub(partner_start, count * mask), partner, TAG_ALLGATHER,
+                comm=comm,
+            )
         mask <<= 1
+        round_no += 1
 
 
 def allgather_bruck(ctx: RankContext, sendview: BufferView,
@@ -62,16 +66,19 @@ def allgather_bruck(ctx: RankContext, sendview: BufferView,
     yield from ctx.node_hw.mem_copy(count)
 
     step = 1
+    round_no = 0
     while step < size:
         block_cnt = min(step, size - step)
         dst = (rank - step) % size
         src = (rank + step) % size
-        yield from ctx.sendrecv(
-            tmp.view(0, block_cnt * count), dst, TAG_ALLGATHER,
-            tmp.view(step * count, block_cnt * count), src, TAG_ALLGATHER,
-            comm=comm,
-        )
+        with ctx.span("round", cat="round", idx=round_no, algorithm="bruck"):
+            yield from ctx.sendrecv(
+                tmp.view(0, block_cnt * count), dst, TAG_ALLGATHER,
+                tmp.view(step * count, block_cnt * count), src, TAG_ALLGATHER,
+                comm=comm,
+            )
         step <<= 1
+        round_no += 1
 
     # tmp block i = data of rank (rank+i)%size → rotate into rank order.
     if is_functional(recvview):
@@ -115,11 +122,12 @@ def allgather_ring(ctx: RankContext, sendview: BufferView,
     while step < rounds:
         send_block = (rank - step) % size
         recv_block = (rank - step - 1) % size
-        yield from ctx.sendrecv(
-            recvview.sub(send_block * count, count), nxt, TAG_ALLGATHER,
-            recvview.sub(recv_block * count, count), prev, TAG_ALLGATHER,
-            comm=comm,
-        )
+        with ctx.span("round", cat="round", idx=step, algorithm="ring"):
+            yield from ctx.sendrecv(
+                recvview.sub(send_block * count, count), nxt, TAG_ALLGATHER,
+                recvview.sub(recv_block * count, count), prev, TAG_ALLGATHER,
+                comm=comm,
+            )
         step += 1
         if fast_forward:
             if step == _RING_PROBE:

@@ -77,15 +77,17 @@ def mcoll_allgather(ctx: RankContext, sendview: BufferView,
         src = source_node(node, t.src_node_offset, n_nodes)
         dst_rank = comm.to_comm(ctx.cluster.global_rank(dst, rl))
         src_rank = comm.to_comm(ctx.cluster.global_rank(src, rl))
-        yield from ctx.sendrecv(
-            stage.view(0, t.chunks * chunk), dst_rank, TAG_MCOLL + t.round_no,
-            stage.view(t.recv_chunk_index * chunk, t.chunks * chunk),
-            src_rank, TAG_MCOLL + t.round_no,
-            comm=comm,
-        )
-        # Round synchronisation: the chunks a peer rank just received
-        # are part of what I send next round.
-        yield from ctx.node_barrier()
+        with ctx.span("round", cat="round", idx=t.round_no,
+                      algorithm="mcoll_bruck", chunks=t.chunks):
+            yield from ctx.sendrecv(
+                stage.view(0, t.chunks * chunk), dst_rank, TAG_MCOLL + t.round_no,
+                stage.view(t.recv_chunk_index * chunk, t.chunks * chunk),
+                src_rank, TAG_MCOLL + t.round_no,
+                comm=comm,
+            )
+            # Round synchronisation: the chunks a peer rank just received
+            # are part of what I send next round.
+            yield from ctx.node_barrier()
 
     # Ranks whose digit moves nothing in the partial round still must
     # arrive at that round's barrier (node_barrier counts arrivals).
@@ -131,14 +133,16 @@ def mcoll_allgather_large(ctx: RankContext, sendview: BufferView,
         send_node = (node - step) % n_nodes
         recv_node = (node - step - 1) % n_nodes
         # My stripe of the node-chunk: the block of local rank rl.
-        yield from ctx.sendrecv(
-            stage.view(send_node * chunk + rl * cb, cb), nxt,
-            TAG_MCOLL + 0x100 + step,
-            stage.view(recv_node * chunk + rl * cb, cb), prev,
-            TAG_MCOLL + 0x100 + step,
-            comm=comm,
-        )
-        yield from ctx.node_barrier()
+        with ctx.span("round", cat="round", idx=step,
+                      algorithm="mcoll_ring"):
+            yield from ctx.sendrecv(
+                stage.view(send_node * chunk + rl * cb, cb), nxt,
+                TAG_MCOLL + 0x100 + step,
+                stage.view(recv_node * chunk + rl * cb, cb), prev,
+                TAG_MCOLL + 0x100 + step,
+                comm=comm,
+            )
+            yield from ctx.node_barrier()
 
     yield from straight_copy(ctx, stage.view(0, recvview.nbytes), recvview)
     yield from close_stage(ctx, _STAGE_KEY)

@@ -84,15 +84,47 @@ class MpiLibrary:
             )
         return picker(nbytes, world_size)
 
-    def wrapped(self, collective: str, nbytes: int, world_size: int) -> Callable:
+    def subcomm_algorithm(self, collective: str, nbytes: int,
+                          comm_size: int) -> Callable:
+        """The algorithm to run for ``collective`` on a **split**
+        communicator of ``comm_size`` ranks.
+
+        The tuned tables above may select algorithms that exploit
+        COMM_WORLD's node structure (PiP-MColl's multi-object schedules,
+        the hierarchical leader variants) — structure an arbitrary
+        ``comm_split`` group does not have.  Real libraries fall back to
+        flat, geometry-agnostic algorithms there; so do we.
+        """
+        return flat_algorithm(collective, nbytes, comm_size)
+
+    def wrapped(self, collective: str, nbytes: int, world_size: int,
+                subcomm: bool = False) -> Callable:
         """Like :meth:`algorithm` but with the library's per-call
-        software overhead charged at entry (what benchmarks run)."""
-        algo = self.algorithm(collective, nbytes, world_size)
+        software overhead charged at entry (what benchmarks run).
+
+        With an attached :class:`~repro.obs.SpanRecorder` the whole
+        call is wrapped in a ``collective`` span carrying the library,
+        algorithm and payload size.  ``subcomm=True`` selects via
+        :meth:`subcomm_algorithm` (split-communicator calls).
+        """
+        if subcomm:
+            algo = self.subcomm_algorithm(collective, nbytes, world_size)
+        else:
+            algo = self.algorithm(collective, nbytes, world_size)
         overhead = self.profile.call_overhead
+        library = self.profile.name
 
         def with_overhead(ctx, *args, **kwargs):
-            yield ctx.sim.timeout(overhead)
-            yield from algo(ctx, *args, **kwargs)
+            obs = ctx.world.obs
+            if obs is None:
+                yield ctx.sim.timeout(overhead)
+                yield from algo(ctx, *args, **kwargs)
+                return
+            with obs.span(ctx.rank, collective, cat="collective",
+                          library=library, algorithm=algo.__name__,
+                          nbytes=nbytes):
+                yield ctx.sim.timeout(overhead)
+                yield from algo(ctx, *args, **kwargs)
 
         with_overhead.__name__ = f"{self.profile.name}:{collective}"
         return with_overhead
@@ -138,3 +170,50 @@ class MpiLibrary:
 def is_pow2(n: int) -> bool:
     """True for powers of two (algorithm selection guard)."""
     return n > 0 and (n & (n - 1)) == 0
+
+
+def flat_algorithm(collective: str, nbytes: int, size: int) -> Callable:
+    """Geometry-agnostic selection for arbitrary communicators.
+
+    Every algorithm here honours the ``comm=`` argument and assumes
+    nothing about node placement, so it is safe on any
+    ``MPI_Comm_split`` result.  Message-size tuning is deliberately
+    coarse — split communicators are control plane, not the hot path.
+    """
+    from .. import collectives as C
+
+    if collective == "bcast":
+        return C.bcast_binomial
+    if collective == "gather":
+        return C.gather_binomial
+    if collective == "scatter":
+        return C.scatter_binomial
+    if collective == "allgather":
+        return (C.allgather_recursive_doubling if is_pow2(size)
+                else C.allgather_bruck)
+    if collective == "allreduce":
+        return C.allreduce_recursive_doubling
+    if collective == "reduce":
+        return C.reduce_binomial
+    if collective == "alltoall":
+        return C.alltoall_bruck
+    if collective == "reduce_scatter":
+        return (C.reduce_scatter_recursive_halving if is_pow2(size)
+                else C.reduce_scatter_reduce_then_scatter)
+    if collective == "barrier":
+        return C.barrier_dissemination
+    if collective == "scan":
+        return C.scan_recursive_doubling
+    if collective == "exscan":
+        return C.exscan_linear
+    if collective == "gatherv":
+        return C.gatherv_linear
+    if collective == "scatterv":
+        return C.scatterv_linear
+    if collective == "allgatherv":
+        return C.allgatherv_ring
+    if collective == "alltoallv":
+        return C.alltoallv_pairwise
+    raise KeyError(
+        f"no split-communicator algorithm for {collective!r}"
+    )

@@ -1,0 +1,47 @@
+"""repro.obs — span-based observability for simulated runs.
+
+The layer the flat :class:`~repro.sim.trace.Tracer` cannot be: where
+the tracer keeps a list of instants, this subsystem records
+**hierarchical spans** (``run > collective > round > message``) on
+every rank's timeline, derives a **metrics registry** from them
+(bytes by transport, retransmits, sync waits, NIC busy), exports
+**Chrome/Perfetto JSON** loadable in ``ui.perfetto.dev``, and extracts
+the **critical path** over the message-dependency graph — which rank,
+round and transport actually bound a collective.
+
+Attach via the high-level API (:class:`repro.api.Session` with
+tracing on) or directly::
+
+    from repro.obs import SpanRecorder
+    recorder = SpanRecorder()
+    world.attach_obs(recorder)
+    ... run ...
+    tree = recorder.tree()
+    trace_json = to_perfetto(tree)
+    path = critical_path(tree, collective="allgather")
+
+With no recorder attached every instrumentation point is a single
+``is None`` check — the traced-off hot path stays as fast as before
+this subsystem existed.
+"""
+
+from .critical_path import CriticalPath, Hop, critical_path
+from .metrics import Histogram, Metrics
+from .perfetto import to_perfetto, validate_chrome_trace, write_perfetto
+from .spans import NULL_SPAN, Span, SpanRecorder
+from .timeline import TraceTree
+
+__all__ = [
+    "CriticalPath",
+    "Histogram",
+    "Hop",
+    "Metrics",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecorder",
+    "TraceTree",
+    "critical_path",
+    "to_perfetto",
+    "validate_chrome_trace",
+    "write_perfetto",
+]

@@ -1,0 +1,185 @@
+"""Critical-path extraction over the message-dependency graph.
+
+Why did the collective take as long as it did?  The answer is a chain
+of messages: the last rank to finish was released by some arrival,
+whose sender was in turn released by an earlier arrival, and so on
+back to the start.  :func:`critical_path` walks that chain backwards
+through the recorded message spans and names, per hop, the
+source/destination ranks, the transport, and (when the algorithm
+annotated its rounds) the round the message belonged to.
+
+This is the paper's §3 diagnosis made mechanical: "PiP-MPICH loses to
+size-synchronization overhead" becomes a path whose hops sit in
+``sizesync`` spans; a leader-bottlenecked hierarchical collective
+shows every hop funnelling through one rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .spans import Span
+from .timeline import TraceTree
+
+#: tolerance when comparing simulated timestamps
+_EPS = 1e-12
+
+
+@dataclass
+class Hop:
+    """One message on the critical path."""
+
+    src: int
+    dst: int
+    t0: float
+    t1: float
+    nbytes: int
+    transport: str
+    round: Optional[int] = None
+    collective: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class CriticalPath:
+    """The bounding chain of one run (or one collective within it)."""
+
+    hops: List[Hop] = field(default_factory=list)
+    #: rank whose work ends the path (finishes last)
+    end_rank: int = -1
+    #: simulated time the path ends
+    end_time: float = 0.0
+    collective: Optional[str] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Start of the first hop → path end (0 with no hops)."""
+        return (self.end_time - self.hops[0].t0) if self.hops else 0.0
+
+    @property
+    def bounding_rank(self) -> int:
+        """The rank that finishes last — what the run waits on."""
+        return self.end_rank
+
+    @property
+    def bounding_transport(self) -> Optional[str]:
+        """Transport carrying the most path time."""
+        totals: Dict[str, float] = {}
+        for hop in self.hops:
+            totals[hop.transport] = totals.get(hop.transport, 0.0) + hop.duration
+        if not totals:
+            return None
+        return max(totals, key=lambda t: totals[t])
+
+    @property
+    def bounding_round(self) -> Optional[int]:
+        """Round of the single longest hop (None if unannotated)."""
+        if not self.hops:
+            return None
+        return max(self.hops, key=lambda h: h.duration).round
+
+    def describe(self) -> str:
+        """Human-readable path report."""
+        head = self.collective or "run"
+        lines = [
+            f"critical path ({head}): {len(self.hops)} hops, "
+            f"{self.elapsed * 1e6:.2f} us"
+        ]
+        for hop in self.hops:
+            rnd = f" round {hop.round}" if hop.round is not None else ""
+            lines.append(
+                f"  rank {hop.src} --{hop.transport}--> rank {hop.dst}"
+                f"{rnd}  {hop.nbytes} B  "
+                f"[{hop.t0 * 1e6:.2f}us → {hop.t1 * 1e6:.2f}us]"
+            )
+        lines.append(
+            f"  bounded by: rank {self.bounding_rank} (finishes last), "
+            f"transport {self.bounding_transport}, "
+            f"round {self.bounding_round}"
+        )
+        return "\n".join(lines)
+
+
+def _round_of(tree: TraceTree, span: Span) -> Optional[int]:
+    enclosing = tree.enclosing(span, cat="round")
+    if enclosing is None:
+        return None
+    idx = enclosing.attrs.get("idx")
+    return int(idx) if idx is not None else None
+
+
+def critical_path(tree: TraceTree,
+                  collective: Optional[str] = None) -> CriticalPath:
+    """Extract the bounding message chain from a span tree.
+
+    With ``collective`` given, only messages enclosed by a span of
+    that name count, and the path ends where the slowest rank's
+    instance of that collective closes; otherwise the whole tree's
+    message graph is used.
+    """
+    messages = [s for s in tree if s.cat == "message" and s.t1 is not None]
+    if collective is not None:
+        scopes = [s for s in tree.find(name=collective, cat="collective")]
+        if not scopes:
+            raise ValueError(
+                f"no collective spans named {collective!r} in this trace"
+            )
+        messages = [
+            m for m in messages
+            if tree.enclosing(m, name=collective, cat="collective") is not None
+        ]
+
+    # Index arrivals per destination rank, by delivery time.
+    arrivals: Dict[int, List[Span]] = {}
+    for m in messages:
+        arrivals.setdefault(m.attrs.get("dst", m.rank), []).append(m)
+    for chain in arrivals.values():
+        chain.sort(key=lambda m: m.t1)
+
+    def last_arrival(rank: int, horizon: float) -> float:
+        times = [m.t1 for m in arrivals.get(rank, ())
+                 if m.t1 <= horizon + _EPS]
+        return max(times, default=float("-inf"))
+
+    if collective is not None:
+        # The slowest instance; on exact ties (lock-step collectives)
+        # prefer a rank that actually waited on an arrival, so the walk
+        # has a chain to follow.
+        end_span = max(scopes,
+                       key=lambda s: (s.t1, last_arrival(s.rank, s.t1)))
+        end_rank, end_time = end_span.rank, end_span.t1
+    elif messages:
+        last = max(messages, key=lambda m: m.t1)
+        end_rank, end_time = last.attrs.get("dst", last.rank), last.t1
+    else:
+        return CriticalPath(collective=collective)
+
+    hops: List[Hop] = []
+    rank, horizon = end_rank, end_time
+    for _ in range(len(messages) + 1):
+        candidates = arrivals.get(rank, ())
+        best = None
+        for m in candidates:
+            if m.t1 <= horizon + _EPS:
+                best = m  # sorted ascending: last match is the latest
+        if best is None:
+            break
+        hops.append(Hop(
+            src=best.attrs.get("src", best.rank),
+            dst=best.attrs.get("dst", best.rank),
+            t0=best.t0,
+            t1=best.t1,
+            nbytes=int(best.attrs.get("nbytes", 0)),
+            transport=str(best.attrs.get("transport", "?")),
+            round=_round_of(tree, best),
+            collective=collective,
+        ))
+        # Continue upstream of the sender, strictly before the send.
+        rank, horizon = hops[-1].src, hops[-1].t0 - _EPS
+    hops.reverse()
+    return CriticalPath(hops=hops, end_rank=end_rank, end_time=end_time,
+                        collective=collective)

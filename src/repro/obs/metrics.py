@@ -1,0 +1,170 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+One :class:`Metrics` instance collects everything a run wants to
+count — bytes by transport, retransmits, NIC busy time, sync waits —
+under Prometheus-flavoured names (``bytes_total{transport="network"}``).
+The :class:`~repro.obs.spans.SpanRecorder` feeds it automatically from
+span closures; anything else (hardware counters, protocol state) is
+folded in at end of run by :meth:`SpanRecorder.finalize`.
+
+All values are plain Python numbers; a :meth:`Metrics.snapshot` is a
+nested dict safe to ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: a metric key: (name, sorted label items)
+_Key = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _Key:
+    return (name, tuple(sorted(labels.items())))
+
+
+@dataclass
+class Histogram:
+    """Log2-bucketed distribution (count/sum/min/max + buckets).
+
+    Buckets are keyed by ``floor(log2(value))`` — coarse, but enough to
+    tell 64 B messages from 64 KiB ones without configuration.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        exp = math.floor(math.log2(value)) if value > 0 else -math.inf
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Labelled counters, gauges and histograms.
+
+    ``inc``/``set_gauge``/``observe`` write; ``counter``/``gauge``/
+    ``histogram`` read one series; :meth:`by_label` pivots one metric
+    into ``{label value: number}`` (how the profiler gets its
+    bytes-by-transport table).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+
+    # -- writes ----------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` to a counter (creating it at 0)."""
+        k = _key(name, labels)
+        self._counters[k] = self._counters.get(k, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge to ``value``."""
+        self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one histogram sample."""
+        k = _key(name, labels)
+        hist = self._histograms.get(k)
+        if hist is None:
+            hist = self._histograms[k] = Histogram()
+        hist.observe(value)
+
+    def reset(self) -> None:
+        """Drop every series (warmup wipes)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- reads -----------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current value of one counter series (0 if never written)."""
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge(self, name: str, **labels: Any) -> float:
+        """Current value of one gauge series (0 if never written)."""
+        return self._gauges.get(_key(name, labels), 0.0)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """One histogram series (empty if never written)."""
+        return self._histograms.get(_key(name, labels), Histogram())
+
+    def by_label(self, name: str, label: str) -> Dict[Any, float]:
+        """Pivot a counter over one label: ``{label value: total}``.
+
+        Series missing the label are skipped; series with extra labels
+        are summed into their ``label`` value.
+        """
+        out: Dict[Any, float] = {}
+        for (metric, items), value in self._counters.items():
+            if metric != name:
+                continue
+            labels = dict(items)
+            if label not in labels:
+                continue
+            out[labels[label]] = out.get(labels[label], 0.0) + value
+        return out
+
+    def names(self) -> List[str]:
+        """Every metric name with at least one series."""
+        seen = []
+        for store in (self._counters, self._gauges, self._histograms):
+            for metric, _items in store:
+                if metric not in seen:
+                    seen.append(metric)
+        return sorted(seen)
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe nested view of every series."""
+
+        def fmt(items: Tuple[Tuple[str, Any], ...]) -> str:
+            if not items:
+                return ""
+            return "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, items), value in sorted(self._counters.items()):
+            out["counters"][name + fmt(items)] = value
+        for (name, items), value in sorted(self._gauges.items()):
+            out["gauges"][name + fmt(items)] = value
+        for (name, items), hist in sorted(self._histograms.items()):
+            out["histograms"][name + fmt(items)] = hist.as_dict()
+        return out
+
+    def format(self) -> str:
+        """Readable one-line-per-series table."""
+        snap = self.snapshot()
+        lines = ["metrics:"]
+        for series, value in snap["counters"].items():
+            lines.append(f"  {series:42s} {value:g}")
+        for series, value in snap["gauges"].items():
+            lines.append(f"  {series:42s} {value:g}")
+        for series, h in snap["histograms"].items():
+            lines.append(
+                f"  {series:42s} n={h['count']} mean={h['mean']:g}"
+            )
+        return "\n".join(lines)

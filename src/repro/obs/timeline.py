@@ -1,0 +1,123 @@
+"""Per-rank timeline model over recorded spans.
+
+A :class:`TraceTree` is an immutable snapshot of a run's closed spans
+with parent/child indices built, so callers can ask structural
+questions ("which rounds ran inside this collective?", "which
+collective encloses this message?") without re-deriving the hierarchy
+from timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from .spans import Span
+
+
+class TraceTree:
+    """Queryable span hierarchy (see :mod:`repro.obs`)."""
+
+    def __init__(self, spans: List[Span]) -> None:
+        #: every closed span, in (t0, sid) order
+        self.spans: List[Span] = sorted(spans, key=lambda s: (s.t0, s.sid))
+        self._by_id: Dict[int, Span] = {s.sid: s for s in self.spans}
+        self._children: Dict[Optional[int], List[Span]] = {}
+        for span in self.spans:
+            self._children.setdefault(span.parent, []).append(span)
+
+    # -- container protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def get(self, sid: int) -> Span:
+        """Span by id (KeyError for unknown/still-open ids)."""
+        return self._by_id[sid]
+
+    # -- structure -------------------------------------------------------
+    def roots(self) -> List[Span]:
+        """Top-level spans (no recorded parent)."""
+        return [s for s in self.spans
+                if s.parent is None or s.parent not in self._by_id]
+
+    def children(self, span: Union[Span, int]) -> List[Span]:
+        """Direct children of a span, in start order."""
+        sid = span.sid if isinstance(span, Span) else span
+        return list(self._children.get(sid, ()))
+
+    def parent_of(self, span: Span) -> Optional[Span]:
+        """The span's recorded parent (None at the top)."""
+        if span.parent is None:
+            return None
+        return self._by_id.get(span.parent)
+
+    def enclosing(self, span: Span, name: Optional[str] = None,
+                  cat: Optional[str] = None) -> Optional[Span]:
+        """Nearest ancestor matching ``name``/``cat`` (or None)."""
+        cur = self.parent_of(span)
+        while cur is not None:
+            if ((name is None or cur.name == name)
+                    and (cat is None or cur.cat == cat)):
+                return cur
+            cur = self.parent_of(cur)
+        return None
+
+    # -- queries ---------------------------------------------------------
+    def find(self, name: Optional[str] = None, cat: Optional[str] = None,
+             rank: Optional[int] = None) -> List[Span]:
+        """Spans matching every given filter, in start order."""
+        return [
+            s for s in self.spans
+            if (name is None or s.name == name)
+            and (cat is None or s.cat == cat)
+            and (rank is None or s.rank == rank)
+        ]
+
+    def by_rank(self, rank: int) -> List[Span]:
+        """All of one rank's spans, in start order."""
+        return [s for s in self.spans if s.rank == rank]
+
+    def ranks(self) -> List[int]:
+        """Every rank with at least one span."""
+        return sorted({s.rank for s in self.spans})
+
+    @property
+    def start_time(self) -> float:
+        """Earliest span start (0.0 for an empty tree)."""
+        return self.spans[0].t0 if self.spans else 0.0
+
+    @property
+    def end_time(self) -> float:
+        """Latest span end (0.0 for an empty tree)."""
+        return max((s.t1 for s in self.spans if s.t1 is not None),
+                   default=0.0)
+
+    # -- reporting -------------------------------------------------------
+    def render(self, max_spans: int = 64) -> str:
+        """ASCII tree (rank-major, indentation = nesting) for the CLI."""
+        lines: List[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            if len(lines) >= max_spans:
+                return
+            us = span.duration * 1e6
+            lines.append(
+                f"  {'  ' * depth}{span.cat}:{span.name} "
+                f"@{span.t0 * 1e6:.2f}us +{us:.2f}us"
+            )
+            for child in self.children(span):
+                emit(child, depth + 1)
+
+        for rank in self.ranks():
+            if len(lines) >= max_spans:
+                break
+            lines.append(f"rank {rank}:")
+            for root in self.roots():
+                if root.rank == rank:
+                    emit(root, 1)
+        total = len(self.spans)
+        if total > max_spans:
+            lines.append(f"  ... ({total} spans total)")
+        return "\n".join(lines)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence
 
+from ..obs.spans import NULL_SPAN
 from ..pip.errors import AddressSpaceViolation
 from ..transport.base import Transport, WireDescriptor
 from .buffer import BaseBuffer, BufferView, alloc
@@ -83,6 +84,23 @@ class RankContext:
         """Allocate a buffer honouring the world's functional mode."""
         return alloc(nbytes, functional=self.world.functional)
 
+    # -- observability -----------------------------------------------------
+    def span(self, name: str, cat: str = "phase", **attrs):
+        """A ``with``-able span on this rank's timeline.
+
+        Algorithms annotate their phases with::
+
+            with ctx.span("round", cat="round", idx=k):
+                yield from ctx.sendrecv(...)
+
+        With no recorder attached (the default) this returns a shared
+        no-op handle — one attribute check, no allocation.
+        """
+        obs = self.world.obs
+        if obs is None:
+            return NULL_SPAN
+        return obs.span(self.rank, name, cat, **attrs)
+
     # -- transport selection ----------------------------------------------
     def _transport_to(self, dst_world: int) -> Transport:
         if dst_world == self.rank:
@@ -126,6 +144,13 @@ class RankContext:
             src_world=self.rank,
             dst_world=dst_world,
         )
+        # Message span: send-post → delivery (self-sends never leave
+        # the rank and stay invisible, matching the tracer).
+        obs = self.world.obs
+        msg_sid = None
+        if obs is not None and dst_world != self.rank:
+            msg_sid = obs.open_message(
+                self.rank, dst_world, view.nbytes, transport.name, tag)
         # Sender-side CPU: one scheduled event when the transport has a
         # closed form, else the full choreography.
         dispatch = self.params.cpu.dispatch_overhead - self._dispatch_discount
@@ -142,7 +167,8 @@ class RankContext:
         world = self.world
         tracer = self.world.tracer
 
-        def _on_delivered(world=world, desc=desc, tracer=tracer):
+        def _on_delivered(world=world, desc=desc, tracer=tracer,
+                          obs=obs, msg_sid=msg_sid):
             if tracer is not None:
                 tracer.record(
                     self.sim.now, "message",
@@ -150,6 +176,8 @@ class RankContext:
                     nbytes=desc.nbytes, transport=desc.transport.name,
                     tag=desc.envelope.tag,
                 )
+            if msg_sid is not None:
+                obs.close(msg_sid)
             world.deliver(desc)
 
         done = transport.schedule_delivery(self.node_hw, dst_hw, wire, _on_delivered)
@@ -424,7 +452,14 @@ class RankContext:
     # -- synchronisation -------------------------------------------------------
     def node_barrier(self):
         """Barrier across this node's ranks (flag-cost model)."""
-        yield self._node_barrier.arrive()
+        obs = self.world.obs
+        if obs is None:
+            yield self._node_barrier.arrive()
+            return
+        # Sync span: how long this rank idled waiting for its node —
+        # the "sync waits" series in the metrics registry.
+        with obs.span(self.rank, "node_barrier", cat="sync"):
+            yield self._node_barrier.arrive()
 
     def hard_sync(self):
         """Zero-cost world alignment for benchmark iteration boundaries.

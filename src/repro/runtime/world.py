@@ -60,6 +60,10 @@ class World:
         (ack/timeout/retransmit) for inter-node eager traffic, so
         wire-layer faults are recovered (at a time cost) instead of
         being permanent losses.
+    obs:
+        A :class:`~repro.obs.SpanRecorder` to bind to this world (see
+        :meth:`attach_obs`).  ``None`` (default) keeps every
+        instrumentation site a single attribute check.
     """
 
     def __init__(
@@ -72,12 +76,15 @@ class World:
         fabric: Optional["FabricParams"] = None,
         faults: Optional[Any] = None,
         reliable: bool = False,
+        obs: Optional[Any] = None,
     ) -> None:
         self.params = params
         self.sim = Simulator(tracer=tracer)
         #: when a tracer is attached, every delivered message is
         #: recorded as kind "message" with src/dst/bytes/transport/tag
         self.tracer = tracer
+        #: bound SpanRecorder, or None — set via attach_obs() below
+        self.obs = None
         self.cluster = Cluster(params.nodes, params.ppn)
         self.hw = ClusterHardware(self.sim, params)
         self.intra = make_transport(intra) if isinstance(intra, str) else intra
@@ -144,6 +151,25 @@ class World:
         self.contexts: List[RankContext] = [
             RankContext(self, rank) for rank in range(self.cluster.world_size)
         ]
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, recorder) -> None:
+        """Bind a :class:`~repro.obs.SpanRecorder` to this world.
+
+        Binds the recorder to this world's clock, turns on span
+        recording at every instrumentation site (collectives, rounds,
+        messages, sync waits), and hands the network transport the
+        recorder so its retransmit path can annotate backoff windows.
+        """
+        recorder.bind(self.sim)
+        self.obs = recorder
+        self.network.obs = recorder
+
+    def node_of(self) -> dict:
+        """rank → node id mapping (Perfetto process grouping)."""
+        return {rank: self.cluster.node_of(rank)
+                for rank in range(self.cluster.world_size)}
 
     def intern_comm(self, world_ranks) -> Communicator:
         """The shared :class:`Communicator` for an ordered rank tuple.

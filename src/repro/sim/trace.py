@@ -8,6 +8,12 @@ in benchmarks.
 The runtime adds higher-level records through the same object (message
 deliveries, collective phases), so one trace tells the whole story of
 a simulation — see :attr:`Tracer.records`.
+
+This is the *flat* record stream at kernel granularity.  For
+hierarchical, per-rank span timelines (nested collective → round →
+message spans, critical-path extraction, a full Perfetto exporter and
+a metrics registry) use :mod:`repro.obs` — the tracer stays as the
+low-level kernel-event log underneath it.
 """
 
 from __future__ import annotations
@@ -46,6 +52,11 @@ class Tracer:
         self.counters[kind] += 1
         if self.keep_records:
             self.records.append(TraceRecord(time, kind, detail))
+
+    def clear(self) -> None:
+        """Drop every record and counter (e.g. after a warmup phase)."""
+        self.records.clear()
+        self.counters.clear()
 
     # -- queries ---------------------------------------------------------
     def count(self, kind: str) -> int:

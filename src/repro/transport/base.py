@@ -57,6 +57,10 @@ class Transport:
     #: True for transports that cross the fabric — the only place
     #: wire-layer faults (drop/corrupt/...) can physically occur.
     inter_node: bool = False
+    #: bound :class:`~repro.obs.SpanRecorder` (set by
+    #: ``World.attach_obs``), or None — transports with interesting
+    #: internal phases (retransmits) annotate them through this.
+    obs = None
 
     def sender_steps(self, node: NodeHardware, desc: WireDescriptor):
         """Sender-side CPU work (generator)."""

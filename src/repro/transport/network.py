@@ -215,7 +215,18 @@ class ReliableNetworkTransport(NetworkTransport):
             if injector is not None:
                 injector.note("retransmit", desc.src, desc.dst, desc.nbytes,
                               attempt=attempt)
-            yield sim.timeout(self.rto(nic, wire_t, attempt))
+            if self.obs is not None:
+                # Span covering the RTO backoff window before the next
+                # transmission — what a chaos timeline is made of.
+                rto_sid = self.obs.open(
+                    desc.src, f"retransmit→{desc.dst}", cat="retransmit",
+                    on_stack=False, src=desc.src, dst=desc.dst,
+                    nbytes=desc.nbytes, attempt=attempt,
+                )
+                yield sim.timeout(self.rto(nic, wire_t, attempt))
+                self.obs.close(rto_sid)
+            else:
+                yield sim.timeout(self.rto(nic, wire_t, attempt))
 
     def describe(self) -> str:
         return ("reliable network: LogGP eager with ack/timeout/retransmit "

@@ -1,0 +1,52 @@
+"""Cross-checks between Session metrics and the profiler."""
+
+import numpy as np
+
+from repro.api import Session
+from repro.bench.breakdown import profile_collective
+from repro.machine import small_test
+
+
+def _allgather_app(nbytes):
+    def app(comm):
+        mine = np.zeros(nbytes, dtype=np.uint8)
+        out = np.empty(nbytes * comm.size, dtype=np.uint8)
+        yield from comm.Allgather(mine, out)
+        return comm.now
+
+    return app
+
+
+def test_session_metrics_reproduce_profiler_bytes_by_transport():
+    """Acceptance: one traced Session invocation counts exactly the
+    bytes/messages per transport that profile_collective attributes to
+    its measured iteration."""
+    params = small_test(nodes=2, ppn=2)
+    for library in ("MPICH", "PiP-MColl"):
+        profile = profile_collective(library, "allgather", 64, params)
+        result = Session(library=library, params=params).run(_allgather_app(64))
+        assert result.metrics.by_label("bytes_total", "transport") == \
+            profile.bytes_by_transport, library
+        assert result.metrics.by_label("messages_total", "transport") == \
+            profile.messages_by_transport, library
+
+
+def test_traced_run_simulated_time_equals_untraced():
+    """Spans must add zero simulated time — the latency acceptance
+    budget is trivially met because the clock cannot move."""
+    params = small_test(nodes=2, ppn=2)
+    traced = Session(library="PiP-MColl", params=params, trace=True)
+    untraced = Session(library="PiP-MColl", params=params, trace=False)
+    app = _allgather_app(256)
+    assert traced.run(app).elapsed == untraced.run(app).elapsed
+
+
+def test_no_spans_leak_open_after_a_run():
+    from repro.obs import SpanRecorder
+
+    # run through Session, then assert via the world's recorder
+    session = Session(library="PiP-MColl", params=small_test(nodes=2, ppn=2))
+    result = session.run(_allgather_app(64))
+    recorder = result.world.obs
+    assert isinstance(recorder, SpanRecorder)
+    assert recorder.open_spans == []

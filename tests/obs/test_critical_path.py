@@ -1,0 +1,120 @@
+"""Critical-path extraction: synthetic chains + a real allgather."""
+
+import pytest
+
+from repro.api import Session
+from repro.machine import small_test
+from repro.obs import SpanRecorder, critical_path
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def build_chain_tree():
+    """Rank 0 sends to 1 at t=1..2; rank 1 sends to 2 at t=3..5."""
+    rec = SpanRecorder()
+    sim = FakeSim()
+    rec.bind(sim)
+
+    handles = {}
+    for rank in (0, 1, 2):
+        handles[rank] = rec.span(rank, "allgather", cat="collective")
+        handles[rank].__enter__()
+    sim.now = 1.0
+    with rec.span(0, "round", cat="round", idx=0):
+        m0 = rec.open_message(0, 1, 64, "network", tag=0)
+        sim.now = 2.0
+        rec.close(m0)
+    sim.now = 3.0
+    with rec.span(1, "round", cat="round", idx=1):
+        m1 = rec.open_message(1, 2, 128, "posix_shmem", tag=0)
+        sim.now = 5.0
+        rec.close(m1)
+    sim.now = 6.0
+    for rank in (0, 1, 2):
+        handles[rank].__exit__(None, None, None)
+    return rec.tree()
+
+
+def test_synthetic_chain_walks_backwards():
+    tree = build_chain_tree()
+    cp = critical_path(tree, collective="allgather")
+    assert [(h.src, h.dst) for h in cp.hops] == [(0, 1), (1, 2)]
+    assert [h.round for h in cp.hops] == [0, 1]
+    assert cp.hops[0].transport == "network"
+    assert cp.hops[1].nbytes == 128
+    assert cp.elapsed == pytest.approx(5.0)  # 1.0 → 6.0
+    # the shmem hop is longer (2s vs 1s) → it bounds transport + round
+    assert cp.bounding_transport == "posix_shmem"
+    assert cp.bounding_round == 1
+
+
+def test_whole_run_path_without_collective_filter():
+    cp = critical_path(build_chain_tree())
+    assert len(cp.hops) == 2
+    assert cp.end_rank == 2  # destination of the last arrival
+
+
+def test_unknown_collective_raises():
+    with pytest.raises(ValueError, match="no collective spans"):
+        critical_path(build_chain_tree(), collective="bcast")
+
+
+def test_empty_tree_gives_empty_path():
+    from repro.obs import TraceTree
+
+    cp = critical_path(TraceTree([]))
+    assert cp.hops == [] and cp.elapsed == 0.0
+    assert cp.bounding_transport is None and cp.bounding_round is None
+
+
+def test_real_allgather_names_bounding_rank_round_transport():
+    """Acceptance: a traced 2-node allgather's critical path names the
+    bounding rank, round and transport."""
+    import numpy as np
+
+    def app(comm):
+        mine = np.full(8, comm.rank, dtype=np.int64)
+        out = np.empty(8 * comm.size, dtype=np.int64)
+        yield from comm.Allgather(mine, out)
+        return out[::8].tolist()
+
+    session = Session(library="PiP-MColl", params=small_test(nodes=2, ppn=2))
+    result = session.run(app)
+    assert all(r == [0, 1, 2, 3] for r in result)
+
+    cp = result.critical_path("allgather")
+    assert cp.hops, "an inter-node allgather must have message hops"
+    # PiP-MColl moves bytes inter-node only → every hop is network, and
+    # 2 nodes at radix P+1=3 finish in a single multi-object round.
+    assert cp.bounding_transport == "network"
+    assert cp.bounding_round == 0
+    assert cp.bounding_rank in range(4)
+    text = cp.describe()
+    assert f"rank {cp.bounding_rank}" in text
+    assert "network" in text and "round 0" in text
+
+
+def test_retransmit_spans_show_up_under_faults():
+    """The reliable transport's RTO windows land in the trace."""
+    import numpy as np
+
+    from repro.faults import FaultInjector, FaultPlan
+
+    def app(comm):
+        mine = np.full(4, comm.rank, dtype=np.int64)
+        out = np.empty(4 * comm.size, dtype=np.int64)
+        yield from comm.Allgather(mine, out)
+        return out[::4].tolist()
+
+    plan = FaultPlan(seed=7).drop(rate=0.4)
+    session = Session(library="MPICH", params=small_test(nodes=2, ppn=2),
+                      faults=FaultInjector(plan), reliable=True)
+    result = session.run(app)
+    assert all(r == [0, 1, 2, 3] for r in result)
+    retrans = result.trace.find(cat="retransmit")
+    assert retrans, "40% drop over 4 inter-node sends must retransmit"
+    assert result.metrics.counter("retransmits_total") == len(retrans)
+    assert all(s.duration > 0 for s in retrans)

@@ -1,0 +1,105 @@
+"""Perfetto/Chrome trace export: golden file + schema validator."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import SpanRecorder, to_perfetto, validate_chrome_trace, write_perfetto
+
+GOLDEN = pathlib.Path(__file__).with_name("golden_trace.json")
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+def build_reference_tree():
+    """A tiny deterministic two-rank trace (the golden-file scenario)."""
+    rec = SpanRecorder()
+    sim = FakeSim()
+    rec.bind(sim)
+    with rec.span(0, "allgather", cat="collective", library="PiP-MColl",
+                  nbytes=64):
+        sim.now = 1e-6
+        with rec.span(0, "round", cat="round", idx=0):
+            msg = rec.open_message(0, 1, 64, "network", tag=7)
+            sim.now = 3e-6
+            rec.close(msg)
+            sim.now = 4e-6
+        sim.now = 5e-6
+    with rec.span(1, "allgather", cat="collective", library="PiP-MColl",
+                  nbytes=64):
+        sim.now = 6e-6
+    return rec.tree()
+
+
+def test_export_matches_golden_file():
+    """The exported JSON is byte-stable for a fixed span tree.
+
+    Regenerate deliberately with:
+    ``python -c "from tests.obs.test_perfetto import regenerate; regenerate()"``
+    """
+    got = to_perfetto(build_reference_tree(), node_of={0: 0, 1: 1})
+    want = json.loads(GOLDEN.read_text())
+    assert got == want
+
+
+def test_export_structure():
+    obj = to_perfetto(build_reference_tree(), node_of={0: 0, 1: 1})
+    events = obj["traceEvents"]
+    assert obj["displayTimeUnit"] == "ns"
+    # metadata rows name both node processes and both rank threads
+    names = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+    assert {e["args"]["name"] for e in names} == {"node0", "node1"}
+    # spans become X events with microsecond timestamps
+    xs = [e for e in events if e["ph"] == "X"]
+    round_ev = next(e for e in xs if e["name"] == "round")
+    assert round_ev["ts"] == pytest.approx(1.0)  # 1e-6 s → 1 us
+    assert round_ev["dur"] == pytest.approx(3.0)
+    # the message emits a flow arrow pair landing on the destination
+    flows = [e for e in events if e["ph"] in ("s", "f")]
+    assert len(flows) == 2
+    s, f = (e for e in sorted(flows, key=lambda e: e["ph"], reverse=True))
+    assert s["id"] == f["id"]
+    assert s["tid"] == 0 and f["tid"] == 1
+
+
+def test_write_perfetto_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    obj = write_perfetto(build_reference_tree(), str(path), node_of={0: 0, 1: 1})
+    loaded = json.loads(path.read_text())
+    assert loaded == obj
+    assert validate_chrome_trace(loaded) == len(obj["traceEvents"])
+
+
+def test_validator_accepts_bare_event_list():
+    assert validate_chrome_trace(
+        [{"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0}]) == 1
+
+
+@pytest.mark.parametrize("bad,match", [
+    ({"name": "a", "ph": "Z", "ts": 0}, "bad phase"),
+    ({"ph": "X", "ts": 0, "dur": 1}, "missing event name"),
+    ({"name": "a", "ph": "X", "ts": -1, "dur": 1}, "bad timestamp"),
+    ({"name": "a", "ph": "X", "ts": 0}, "needs dur"),
+    ({"name": "a", "ph": "s", "ts": 0}, "needs an id"),
+    ({"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": "x"}, "integer"),
+])
+def test_validator_rejects_malformed_events(bad, match):
+    with pytest.raises(ValueError, match=match):
+        validate_chrome_trace([bad])
+
+
+def test_validator_rejects_non_trace_objects():
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_chrome_trace({"events": []})
+    with pytest.raises(ValueError, match="dict or list"):
+        validate_chrome_trace("nope")
+
+
+def regenerate():  # pragma: no cover - maintenance helper
+    """Rewrite the golden file after an intentional format change."""
+    obj = to_perfetto(build_reference_tree(), node_of={0: 0, 1: 1})
+    GOLDEN.write_text(json.dumps(obj, indent=1) + "\n")

@@ -1,0 +1,139 @@
+"""Span recorder semantics: nesting, async spans, metrics, reset."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, Metrics, SpanRecorder
+
+
+class FakeSim:
+    """A clock the test can move by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+@pytest.fixture
+def rec():
+    recorder = SpanRecorder()
+    recorder.bind(FakeSim())
+    return recorder
+
+
+def test_stack_spans_nest_per_rank(rec):
+    sim = rec._sim
+    with rec.span(0, "run", cat="run"):
+        sim.now = 1.0
+        with rec.span(0, "allgather", cat="collective"):
+            sim.now = 2.0
+            with rec.span(0, "round", cat="round", idx=0):
+                sim.now = 3.0
+        sim.now = 4.0
+    tree = rec.tree()
+    rnd = tree.find(cat="round")[0]
+    coll = tree.find(cat="collective")[0]
+    run = tree.find(cat="run")[0]
+    assert tree.parent_of(rnd) is coll
+    assert tree.parent_of(coll) is run
+    assert run.parent is None
+    assert (rnd.t0, rnd.t1) == (2.0, 3.0)
+    assert (coll.t0, coll.t1) == (1.0, 3.0)
+    assert (run.t0, run.t1) == (0.0, 4.0)
+    assert tree.enclosing(rnd, cat="collective") is coll
+
+
+def test_ranks_have_independent_stacks(rec):
+    a = rec.open(0, "phase_a")
+    b = rec.open(1, "phase_b")
+    rec.close(a)
+    rec.close(b)
+    tree = rec.tree()
+    assert tree.find(rank=0)[0].parent is None
+    assert tree.find(rank=1)[0].parent is None
+
+
+def test_async_message_span_does_not_disturb_the_stack(rec):
+    sim = rec._sim
+    with rec.span(0, "collective", cat="collective"):
+        sid = rec.open_message(0, 1, 64, "network", tag=5)
+        # The opener's stack moves on; a later stack span must parent
+        # under the collective, not under the in-flight message.
+        with rec.span(0, "sync", cat="sync"):
+            sim.now = 1.0
+        sim.now = 2.0
+        rec.close(sid)  # delivery callback fires later
+    tree = rec.tree()
+    msg = tree.find(cat="message")[0]
+    sync = tree.find(cat="sync")[0]
+    coll = tree.find(cat="collective")[0]
+    assert tree.parent_of(msg) is coll
+    assert tree.parent_of(sync) is coll
+    assert msg.t1 == 2.0
+    assert msg.attrs["transport"] == "network"
+
+
+def test_metrics_derived_on_close(rec):
+    sim = rec._sim
+    sid = rec.open_message(0, 1, 100, "network", tag=0)
+    sim.now = 2.0
+    rec.close(sid)
+    sid = rec.open_message(1, 0, 50, "posix_shmem", tag=0)
+    sim.now = 3.0
+    rec.close(sid)
+    m = rec.metrics
+    assert m.counter("messages_total", transport="network") == 1
+    assert m.counter("bytes_total", transport="network") == 100
+    assert m.by_label("bytes_total", "transport") == {
+        "network": 100, "posix_shmem": 50}
+    assert m.histogram("message_seconds", transport="network").count == 1
+
+
+def test_sync_and_collective_metrics(rec):
+    with rec.span(2, "allreduce", cat="collective"):
+        with rec.span(2, "node_barrier", cat="sync"):
+            pass
+    m = rec.metrics
+    assert m.counter("collectives_total", collective="allreduce") == 1
+    assert m.counter("sync_waits_total", kind="node_barrier") == 1
+
+
+def test_null_span_is_a_noop_context_manager():
+    with NULL_SPAN as handle:
+        assert handle is NULL_SPAN
+    # exceptions propagate (no silent swallowing)
+    with pytest.raises(RuntimeError):
+        with NULL_SPAN:
+            raise RuntimeError("boom")
+
+
+def test_reset_keeps_in_flight_spans(rec):
+    sim = rec._sim
+    sid = rec.open_message(0, 1, 64, "network", tag=0)
+    done = rec.open(0, "warmup")
+    rec.close(done)
+    assert len(rec.spans) == 1
+    rec.reset()
+    assert rec.spans == []
+    assert rec.metrics.by_label("messages_total", "transport") == {}
+    # the in-flight message survived the wipe and closes normally
+    sim.now = 5.0
+    rec.close(sid)
+    assert rec.metrics.counter("messages_total", transport="network") == 1
+    assert rec.tree().find(cat="message")[0].duration == 5.0
+
+
+def test_metrics_standalone():
+    m = Metrics()
+    m.inc("x_total", 3, kind="a")
+    m.inc("x_total", 4, kind="b")
+    m.set_gauge("g", 7.5)
+    m.observe("h_seconds", 0.5)
+    m.observe("h_seconds", 1.5)
+    assert m.counter("x_total", kind="a") == 3
+    assert m.by_label("x_total", "kind") == {"a": 3, "b": 4}
+    assert m.gauge("g") == 7.5
+    h = m.histogram("h_seconds")
+    assert h.count == 2 and h.mean == 1.0 and h.min == 0.5 and h.max == 1.5
+    assert "x_total" in m.names()
+    snap = m.snapshot()
+    assert snap["counters"]["x_total{kind=a}"] == 3
+    assert "h_seconds" in m.format()

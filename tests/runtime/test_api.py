@@ -185,14 +185,212 @@ def test_gatherv_scatterv_facade_roundtrip():
     assert results[0] == (-np.arange(total, dtype=float)).tolist()
 
 
-def test_istart_wait_overlap():
+def test_istart_wait_overlap_and_deprecation():
     def app(comm):
         mine = np.full(4, comm.rank, dtype=np.int64)
         out = np.empty(4 * comm.size, dtype=np.int64)
-        req = comm.Istart(comm.Allgather(mine, out))
+        with pytest.warns(DeprecationWarning, match="Istart"):
+            req = comm.Istart(comm.Allgather(mine, out))
         yield from comm.ctx.compute(1e-6)
         yield from comm.Wait(req)
         return out[::4].tolist()
 
     results = run_app(app, nodes=2, ppn=2)
     assert all(r == [0, 1, 2, 3] for r in results)
+
+
+# -- Session / RunResult ---------------------------------------------------
+
+
+def test_session_returns_run_result():
+    from repro.api import RunResult, Session
+
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.rank * 10
+
+    session = Session(library="PiP-MColl", nodes=2, ppn=2)
+    result = session.run(app)
+    assert isinstance(result, RunResult)
+    assert result.values == [0, 10, 20, 30]
+    # sequence protocol matches the old run_app list
+    assert len(result) == 4 and result[2] == 20
+    assert list(result) == result.values
+    assert result.elapsed > 0
+    assert result.library == "PiP-MColl"
+    assert result.trace is not None and len(result.trace.spans) > 0
+    assert result.metrics is not None
+    assert result.stats["sim_events"] > 0
+
+
+def test_session_is_reusable():
+    from repro.api import Session
+
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.now
+
+    session = Session(library="MPICH", nodes=1, ppn=2)
+    a, b = session.run(app), session.run(app)
+    assert a.values == b.values  # fresh world each run — deterministic
+    assert a.world is not b.world
+
+
+def test_session_untraced_has_no_artifacts():
+    from repro.api import Session
+
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.rank
+
+    result = Session(nodes=1, ppn=2, trace=False).run(app)
+    assert result.trace is None and result.metrics is None
+    with pytest.raises(RuntimeError, match="not traced"):
+        result.to_perfetto()
+
+
+def test_run_app_stays_a_plain_list():
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.rank
+
+    results = run_app(app, nodes=1, ppn=2)
+    assert type(results) is list
+    assert results == [0, 1]
+
+
+# -- Split -----------------------------------------------------------------
+
+
+def test_split_subcommunicator():
+    def app(comm):
+        sub = yield from comm.Split(comm.rank % 2, key=comm.rank)
+        assert sub.size == comm.size // 2
+        mine = np.full(1, comm.rank, dtype=np.int64)
+        out = np.empty(sub.size, dtype=np.int64)
+        yield from sub.Allgather(mine, out)
+        return (sub.rank, out.tolist())
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert results[0] == (0, [0, 2])
+    assert results[1] == (0, [1, 3])
+    assert results[2] == (1, [0, 2])
+    assert results[3] == (1, [1, 3])
+
+
+@pytest.mark.parametrize("library", ["PiP-MColl", "MPICH"])
+def test_split_collectives_work_under_any_library(library):
+    """PiP-MColl's COMM_WORLD-only algorithms must not leak onto split
+    communicators — the library falls back to flat algorithms there."""
+
+    def app(comm):
+        sub = yield from comm.Split(comm.node)
+        data = np.full(2, comm.rank + 1, dtype=np.float64)
+        total = np.empty_like(data)
+        yield from sub.Allreduce(data, total)
+        yield from sub.Barrier()
+        return total[0]
+
+    results = run_app(app, library=library, nodes=2, ppn=2)
+    assert results == [3.0, 3.0, 7.0, 7.0]
+
+
+def test_split_undefined_color():
+    def app(comm):
+        sub = yield from comm.Split(None if comm.rank == 0 else 1)
+        if comm.rank == 0:
+            return sub
+        return sub.size
+
+    results = run_app(app, nodes=1, ppn=3)
+    assert results == [None, 2, 2]
+
+
+# -- first-class nonblocking collectives -----------------------------------
+
+
+def test_iallgather_wait():
+    def app(comm):
+        mine = np.full(4, comm.rank, dtype=np.int64)
+        out = np.empty(4 * comm.size, dtype=np.int64)
+        req = comm.Iallgather(mine, out)
+        yield from comm.ctx.compute(1e-6)
+        yield from comm.Wait(req)
+        return out[::4].tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert all(r == [0, 1, 2, 3] for r in results)
+
+
+def test_ibcast_and_iallreduce():
+    def app(comm):
+        data = np.full(3, comm.rank, dtype=np.float64)
+        req = comm.Ibcast(data, root=1)
+        yield from comm.Wait(req)
+        total = np.empty(3, dtype=np.float64)
+        req = comm.Iallreduce(np.full(3, comm.rank, dtype=np.float64), total)
+        yield from comm.Wait(req)
+        return (data[0], total[0])
+
+    results = run_app(app, nodes=1, ppn=4)
+    assert all(r == (1.0, 6.0) for r in results)
+
+
+def test_ibarrier():
+    def app(comm):
+        req = comm.Ibarrier()
+        yield from comm.Wait(req)
+        return comm.now > 0
+
+    assert all(run_app(app, nodes=1, ppn=2))
+
+
+# -- new collective surface ------------------------------------------------
+
+
+def test_reduce_scatter_facade():
+    def app(comm):
+        send = np.arange(comm.size * 2, dtype=np.float64)
+        recv = np.empty(2, dtype=np.float64)
+        yield from comm.Reduce_scatter(send, recv)
+        return recv.tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    for rank, got in enumerate(results):
+        assert got == [4.0 * (2 * rank), 4.0 * (2 * rank + 1)]
+
+
+def test_reduce_scatter_rejects_ragged_counts():
+    def app(comm):
+        send = np.arange(comm.size, dtype=np.float64)
+        recv = np.empty(1, dtype=np.float64)
+        yield from comm.Reduce_scatter(send, recv, recvcounts=[1, 3])
+
+    with pytest.raises(NotImplementedError, match="uniform"):
+        run_app(app, nodes=1, ppn=2)
+
+
+def test_scan_exscan_facade():
+    def app(comm):
+        mine = np.full(1, comm.rank + 1, dtype=np.int64)
+        inc = np.empty(1, dtype=np.int64)
+        yield from comm.Scan(mine, inc)
+        exc = np.zeros(1, dtype=np.int64)
+        yield from comm.Exscan(mine, exc)
+        return (int(inc[0]), int(exc[0]))
+
+    results = run_app(app, nodes=1, ppn=4)
+    assert [r[0] for r in results] == [1, 3, 6, 10]
+    assert [r[1] for r in results][1:] == [1, 3, 6]  # rank 0 undefined
+
+
+def test_alltoallv_facade():
+    def app(comm):
+        n = comm.size
+        send = np.full(n, comm.rank, dtype=np.float64)
+        recv = np.empty(n, dtype=np.float64)
+        yield from comm.Alltoallv(send, [1] * n, recv, [1] * n)
+        return recv.tolist()
+
+    results = run_app(app, nodes=2, ppn=2)
+    assert all(r == [0.0, 1.0, 2.0, 3.0] for r in results)
