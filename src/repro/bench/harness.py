@@ -107,18 +107,23 @@ def bench_collective(
     root: int = 0,
     faults=None,
     reliable: bool = False,
+    fastpath: Optional[bool] = None,
 ) -> BenchPoint:
     """Measure one point (see module docstring).
 
     ``faults`` (a :class:`~repro.faults.FaultPlan`) and ``reliable``
     turn the measurement into a chaos point: same harness, same
-    timing convention, lossy wire underneath.
+    timing convention, lossy wire underneath.  ``fastpath`` forwards
+    to :class:`~repro.runtime.world.World` (``False`` forces the
+    reference event path — what the perf-regression gate compares
+    against).
     """
     lib = make_library(library) if isinstance(library, str) else library
     if warmup < 0 or iters < 1:
         raise ValueError("need warmup >= 0 and iters >= 1")
     world = lib.make_world(params, functional=functional,
-                           faults=faults, reliable=reliable)
+                           faults=faults, reliable=reliable,
+                           fastpath=fastpath)
     size = world.comm_world.size
     algo = lib.wrapped(collective, nbytes, size)
 

@@ -37,16 +37,28 @@ GOLDEN_GRID: Tuple[Tuple[str, int, int, int, str], ...] = (
     ("bcast", 1024, 8, 4, "MVAPICH2"),
 )
 
+#: the paper-scale grid: Fig. 2's headline point (allgather, 64 B) on
+#: the full 128-node × 18-ppn machine, every library in the lineup.
+#: Checked by benchmarks/test_a10_paper_scale.py rather than tier-1
+#: (a full-scale run per library is a tier-3 cost).
+PAPER_GRID: Tuple[Tuple[str, int, int, int, str], ...] = tuple(
+    ("allgather", 64, 128, 18, lib)
+    for lib in ("IntelMPI", "MPICH", "MVAPICH2", "OpenMPI",
+                "PiP-MColl", "PiP-MPICH")
+)
+
+Grid = Tuple[Tuple[str, int, int, int, str], ...]
+
 
 def _key(entry: Tuple[str, int, int, int, str]) -> str:
     coll, nbytes, nodes, ppn, lib = entry
     return f"{lib}/{coll}/{nbytes}B@{nodes}x{ppn}"
 
 
-def measure_grid() -> Dict[str, float]:
-    """Run the golden grid; returns latency (µs) per key."""
+def measure_grid(grid: Grid = GOLDEN_GRID) -> Dict[str, float]:
+    """Run a golden grid; returns latency (µs) per key."""
     out: Dict[str, float] = {}
-    for entry in GOLDEN_GRID:
+    for entry in grid:
         coll, nbytes, nodes, ppn, lib = entry
         point = bench_collective(lib, coll, nbytes,
                                  broadwell_opa(nodes=nodes, ppn=ppn),
@@ -55,9 +67,14 @@ def measure_grid() -> Dict[str, float]:
     return out
 
 
-def capture_baseline(path: Union[str, Path]) -> Dict[str, float]:
-    """Measure the grid and write it as the new golden baseline."""
-    values = measure_grid()
+def capture_baseline(path: Union[str, Path],
+                     grid: Grid = GOLDEN_GRID) -> Dict[str, float]:
+    """Measure a grid and write it as the new golden baseline.
+
+    To re-bless the paper-scale keys too (docs/TESTING.md):
+    ``capture_baseline(path, GOLDEN_GRID + PAPER_GRID)``.
+    """
+    values = measure_grid(grid)
     Path(path).write_text(json.dumps(values, indent=2, sort_keys=True) + "\n")
     return values
 
@@ -90,15 +107,18 @@ class DriftReport:
 
 
 def compare_to_baseline(path: Union[str, Path],
-                        tolerance: float = 0.01) -> DriftReport:
-    """Measure the grid and diff it against the stored baseline.
+                        tolerance: float = 0.01,
+                        grid: Grid = GOLDEN_GRID) -> DriftReport:
+    """Measure a grid and diff it against the stored baseline.
 
     The default tolerance is 1 % — the simulator is deterministic, so
     any real drift is either an intended recalibration (re-capture the
-    baseline and say so in EXPERIMENTS.md) or a bug.
+    baseline and say so in EXPERIMENTS.md) or a bug.  Keys present in
+    the baseline but not in ``grid`` are ignored, so one golden file
+    can hold both the tier-1 grid and the paper-scale grid.
     """
     golden: Dict[str, float] = json.loads(Path(path).read_text())
-    fresh = measure_grid()
+    fresh = measure_grid(grid)
     report = DriftReport(tolerance=tolerance)
     for key, value in fresh.items():
         if key not in golden:

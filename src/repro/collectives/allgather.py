@@ -81,10 +81,13 @@ def allgather_bruck(ctx: RankContext, sendview: BufferView,
         round_no += 1
 
     # tmp block i = data of rank (rank+i)%size → rotate into rank order.
+    # The rotation is two contiguous block moves (no wrap inside each),
+    # so it is two bulk copies rather than `size` per-block ones.
     if is_functional(recvview):
-        for i in range(size):
-            owner = (rank + i) % size
-            recvview.sub(owner * count, count).copy_from(tmp.view(i * count, count))
+        head = (size - rank) * count  # blocks 0..size-rank-1 → ranks rank..size-1
+        recvview.sub(rank * count, head).copy_from(tmp.view(0, head))
+        if rank:
+            recvview.sub(0, rank * count).copy_from(tmp.view(head, rank * count))
     yield from ctx.node_hw.mem_copy(size * count)  # one rotation pass
 
 

@@ -21,7 +21,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class NodeHardware:
     """The shared facilities of one node."""
 
-    __slots__ = ("sim", "params", "node_id", "tx", "rx", "membus", "tx_messages", "rx_messages")
+    __slots__ = ("sim", "params", "node_id", "tx", "rx", "membus",
+                 "tx_messages", "rx_messages",
+                 "_copy_latency", "_copy_byte", "_bus_byte")
 
     def __init__(self, sim: Simulator, params: MachineParams, node_id: int) -> None:
         self.sim = sim
@@ -35,6 +37,10 @@ class NodeHardware:
         self.membus = RateLimiter(sim)
         self.tx_messages = 0
         self.rx_messages = 0
+        # Copy-cost coefficients, hoisted out of the per-message path.
+        self._copy_latency = params.memory.copy_latency
+        self._copy_byte = params.memory.copy_byte_time
+        self._bus_byte = params.memory.bus_byte_time
 
     # -- NIC --------------------------------------------------------
     def inject(self, nbytes: int) -> Event:
@@ -60,10 +66,10 @@ class NodeHardware:
         exactly once per modeled copy, at the simulated instant the
         copy starts.
         """
-        mem = self.params.memory
-        core_done = self.sim.now + mem.copy_time(nbytes)
-        bus_done = self.membus.reserve(nbytes * mem.bus_byte_time)
-        return max(core_done, bus_done) - self.sim.now
+        now = self.sim.now
+        core_done = now + self._copy_latency + nbytes * self._copy_byte
+        bus_done = self.membus.reserve(nbytes * self._bus_byte)
+        return (core_done if core_done > bus_done else bus_done) - now
 
     def mem_copy(self, nbytes: int):
         """Generator: one user-space memcpy of ``nbytes`` on this node.

@@ -41,6 +41,16 @@ class BaseBuffer:
     def read_bytes(self, offset: int, nbytes: int) -> Optional[np.ndarray]:
         raise NotImplementedError
 
+    def slice_bytes(self, offset: int, nbytes: int) -> Optional[np.ndarray]:
+        """A zero-copy window (``None`` for timing-only buffers).
+
+        Unlike :meth:`read_bytes` this is a *live view* of the buffer's
+        memory — mutating it mutates the buffer.  Used for single-copy
+        data movement (``BufferView.copy_from``); anything needing a
+        stable snapshot (message payloads) must use :meth:`read_bytes`.
+        """
+        raise NotImplementedError
+
     def write_bytes(self, offset: int, data: Optional[np.ndarray]) -> None:
         raise NotImplementedError
 
@@ -62,12 +72,16 @@ class BaseBuffer:
 class ArrayBuffer(BaseBuffer):
     """A numpy-backed buffer; the byte image is authoritative."""
 
-    __slots__ = ("array",)
+    __slots__ = ("array", "_flat")
 
     def __init__(self, array: np.ndarray) -> None:
         array = np.ascontiguousarray(array)
         super().__init__(array.nbytes)
         self.array = array
+        # The flat uint8 image is computed once; every byte-level
+        # operation below is a plain numpy slice on it (no per-call
+        # reshape/view allocations).
+        self._flat = array.reshape(-1).view(np.uint8)
 
     @classmethod
     def zeros(cls, nbytes: int) -> "ArrayBuffer":
@@ -82,19 +96,24 @@ class ArrayBuffer(BaseBuffer):
     @property
     def bytes_view(self) -> np.ndarray:
         """The whole buffer as a flat uint8 array (a view, not a copy)."""
-        return self.array.reshape(-1).view(np.uint8)
+        return self._flat
 
     def read_bytes(self, offset: int, nbytes: int) -> np.ndarray:
         """Copy out ``nbytes`` starting at ``offset`` (a snapshot)."""
         self._check_range(offset, nbytes)
-        return self.bytes_view[offset : offset + nbytes].copy()
+        return self._flat[offset : offset + nbytes].copy()
+
+    def slice_bytes(self, offset: int, nbytes: int) -> np.ndarray:
+        """Zero-copy live window (see :meth:`BaseBuffer.slice_bytes`)."""
+        self._check_range(offset, nbytes)
+        return self._flat[offset : offset + nbytes]
 
     def write_bytes(self, offset: int, data: Optional[np.ndarray]) -> None:
         """Copy ``data`` into the buffer at ``offset``."""
         if data is None:
             return  # timing-only payload arriving in a functional buffer
         self._check_range(offset, data.nbytes)
-        self.bytes_view[offset : offset + data.nbytes] = data.reshape(-1).view(np.uint8)
+        self._flat[offset : offset + data.nbytes] = data.reshape(-1).view(np.uint8)
 
     def typed(self, datatype: Datatype) -> np.ndarray:
         """The whole buffer viewed as ``datatype`` elements."""
@@ -111,6 +130,10 @@ class NullBuffer(BaseBuffer):
     __slots__ = ()
 
     def read_bytes(self, offset: int, nbytes: int) -> None:
+        self._check_range(offset, nbytes)
+        return None
+
+    def slice_bytes(self, offset: int, nbytes: int) -> None:
         self._check_range(offset, nbytes)
         return None
 
@@ -152,11 +175,33 @@ class BufferView:
             raise IndexError(f"writing {data.nbytes} B into a {self.nbytes} B view")
         self.buffer.write_bytes(self.offset, data)
 
+    def raw(self) -> Optional[np.ndarray]:
+        """Zero-copy live window onto the underlying bytes.
+
+        ``None`` for timing-only buffers.  Mutating the returned array
+        mutates the buffer — use :meth:`read` for snapshots.
+        """
+        return self.buffer.slice_bytes(self.offset, self.nbytes)
+
     def copy_from(self, other: "BufferView") -> None:
-        """Functional copy ``other → self`` (sizes must match)."""
-        if other.nbytes != self.nbytes:
-            raise ValueError(f"size mismatch: {other.nbytes} != {self.nbytes}")
-        self.write(other.read())
+        """Functional copy ``other → self`` (sizes must match).
+
+        A single memcpy when both sides are functional: the source is
+        taken as a zero-copy slice and written straight into the
+        destination, instead of snapshot-then-write (two copies).
+        Overlapping windows of the same buffer fall back to the
+        snapshot path (numpy slice assignment does not define overlap).
+        """
+        nbytes = self.nbytes
+        if other.nbytes != nbytes:
+            raise ValueError(f"size mismatch: {other.nbytes} != {nbytes}")
+        if other.buffer is self.buffer:
+            lo, hi = self.offset, self.offset + nbytes
+            if other.offset < hi and lo < other.offset + nbytes:
+                self.write(other.read())
+                return
+        self.buffer.write_bytes(
+            self.offset, other.buffer.slice_bytes(other.offset, nbytes))
 
     @property
     def key(self):

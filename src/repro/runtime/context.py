@@ -27,11 +27,68 @@ from ..pip.errors import AddressSpaceViolation
 from ..transport.base import Transport, WireDescriptor
 from .buffer import BaseBuffer, BufferView, alloc
 from .communicator import Communicator
+from .errors import TruncationError
 from .message import ANY_SOURCE, Envelope, MessageDescriptor, Status
 from .request import OperationRequest, RecvRequest, Request, SendRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .world import World
+
+#: fast-path routing kinds (see :class:`_PeerPlan`)
+_LOOP, _INTRA, _NET = 0, 1, 2
+
+
+def _net_handoff(arg):
+    """Scheduled-tuple trampoline: run the network handoff at its
+    instant without resuming the sender's generator (the tuple is
+    pushed in the same queue position the resume would occupy, so
+    pipe-reservation order is unchanged)."""
+    transport, src_hw, dst_hw, desc, world = arg
+    transport.schedule_delivery_fast(src_hw, dst_hw, desc, world)
+
+
+def _intra_handoff(arg):
+    """Scheduled-tuple trampoline for the intra-node flag delay."""
+    world, flag, desc = arg
+    world.sim.call_in(flag, (world.deliver, desc))
+
+
+class _PeerPlan:
+    """Cached routing decision for one ``(communicator, dst)`` pair.
+
+    The slow path re-derives the destination world rank, transport,
+    destination hardware and eligibility on *every* message; at paper
+    scale (2304 ranks × thousands of messages each) that bookkeeping
+    dominates.  A plan freezes it all after the first message.
+    """
+
+    __slots__ = ("dst_world", "kind", "transport", "dst_hw", "flag_delay",
+                 "eager_limit", "fast")
+
+    def __init__(self, ctx: "RankContext", comm: Communicator, dst: int) -> None:
+        dst_world = comm.to_world(dst)
+        world = ctx.world
+        transport = ctx._transport_to(dst_world)
+        self.dst_world = dst_world
+        self.transport = transport
+        self.flag_delay = 0.0
+        self.eager_limit = None
+        if dst_world == ctx.rank:
+            self.kind = _LOOP
+            self.dst_hw = None
+            self.fast = True
+        elif world.cluster.same_node(ctx.rank, dst_world):
+            self.kind = _INTRA
+            self.dst_hw = world.hw[world.cluster.node_of(dst_world)]
+            delay = transport.delivery_flat_delay(ctx.node_hw) \
+                if transport.fast_pt2pt else None
+            self.fast = delay is not None
+            self.flag_delay = delay if delay is not None else 0.0
+        else:
+            self.kind = _NET
+            self.dst_hw = world.hw[world.cluster.node_of(dst_world)]
+            self.fast = transport.fast_pt2pt
+            self.eager_limit = world.params.nic.eager_limit
 
 
 class RankContext:
@@ -58,6 +115,12 @@ class RankContext:
         #: last pt2pt op dispatched: ("send"|"recv", peer, tag) — feeds
         #: the deadlock/watchdog blocked report
         self.last_op = None
+        # -- fast-path caches (per peer / per envelope) ----------------
+        self._plans: dict = {}
+        self._send_envs: dict = {}
+        self._recv_envs: dict = {}
+        self._base_dispatch = world.params.cpu.dispatch_overhead
+        self._functional = world.functional
 
     # -- introspection ----------------------------------------------------
     @property
@@ -262,28 +325,248 @@ class RankContext:
                     pending.append(signal)
             yield self.sim.any_of(pending)
 
+    # -- fast-path caches --------------------------------------------------
+    def _plan(self, comm: Communicator, dst: int) -> _PeerPlan:
+        key = (comm.comm_id, dst)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = _PeerPlan(self, comm, dst)
+            self._plans[key] = plan
+        return plan
+
+    def _send_env(self, comm: Communicator, tag: int) -> Envelope:
+        key = (comm.comm_id, tag)
+        env = self._send_envs.get(key)
+        if env is None:
+            env = Envelope(comm.comm_id, comm.to_comm(self.rank), tag)
+            self._send_envs[key] = env
+        return env
+
+    def _recv_pattern(self, comm: Communicator, src: int, tag: int) -> Envelope:
+        key = (comm.comm_id, src, tag)
+        pattern = self._recv_envs.get(key)
+        if pattern is None:
+            comm.to_comm(self.rank)  # membership check
+            if src != ANY_SOURCE:
+                comm.to_world(src)  # range check
+            pattern = Envelope(comm.comm_id, src, tag)
+            self._recv_envs[key] = pattern
+        return pattern
+
+    # -- blocking pt2pt ----------------------------------------------------
+    # send/recv/sendrecv are plain functions returning the appropriate
+    # generator (callers ``yield from`` them either way): the reference
+    # composition over isend/irecv, or — when the world's macro-event
+    # fast path is on and the route supports it — a fused generator
+    # that reproduces the reference timestamps with a fraction of the
+    # allocations (no Timeouts, no request objects, no sub-generators).
+
     def send(self, view: BufferView, dst: int, tag: int = 0,
              comm: Optional[Communicator] = None):
         """Blocking send."""
+        comm = comm or self.comm_world
+        if self.world._fast:
+            plan = self._plan(comm, dst)
+            if plan.fast and (plan.eager_limit is None
+                              or view.nbytes <= plan.eager_limit):
+                if tag < 0:
+                    raise ValueError(f"send tag must be >= 0, got {tag}")
+                return self._send_fast(plan, view, tag, comm)
+        return self._send_slow(view, dst, tag, comm)
+
+    def _send_slow(self, view, dst, tag, comm):
         req = yield from self.isend(view, dst, tag, comm)
         yield from self.wait(req)
+
+    def _send_fast(self, plan: _PeerPlan, view: BufferView, tag: int,
+                   comm: Communicator):
+        # Mirrors isend + wait for an eager message: the sender-side
+        # flat time (which may reserve membus bandwidth) is computed at
+        # the call instant, exactly as the reference isend body does.
+        world = self.world
+        sim = self.sim
+        dst_world = plan.dst_world
+        transport = plan.transport
+        self.last_op = ("send", dst_world, tag)
+        nbytes = view.nbytes
+        wire = WireDescriptor(self.rank, dst_world, nbytes, view.key)
+        desc = MessageDescriptor(
+            self._send_env(comm, tag), nbytes,
+            view.read() if self._functional else None, wire,
+            transport, self.rank, dst_world,
+        )
+        sflat = transport.sender_flat_time(self.node_hw, wire)
+        yield self._base_dispatch - self._dispatch_discount + sflat
+        kind = plan.kind
+        if kind == _NET:
+            transport.schedule_delivery_fast(self.node_hw, plan.dst_hw,
+                                             desc, world)
+        elif kind == _INTRA:
+            sim.call_at(sim.now + plan.flag_delay, (world.deliver, desc))
+        else:
+            world.deliver(desc)
+        # Eager: the buffer is reusable now, waiting is free.
 
     def recv(self, view: BufferView, src: int = ANY_SOURCE, tag: int = -1,
              comm: Optional[Communicator] = None):
         """Blocking receive; returns a :class:`Status`."""
+        comm = comm or self.comm_world
+        if self.world._fast:
+            return self._recv_fast(view, src, tag, comm)
+        return self._recv_slow(view, src, tag, comm)
+
+    def _recv_slow(self, view, src, tag, comm):
         req = yield from self.irecv(view, src, tag, comm)
         status = yield from self.wait(req)
         return status
+
+    def _recv_fast(self, view: BufferView, src: int, tag: int,
+                   comm: Communicator):
+        # Mirrors irecv + wait; works for any delivering transport
+        # (completion costs come from the descriptor).
+        pattern = self._recv_pattern(comm, src, tag)
+        self.last_op = ("recv", src, tag)
+        yield self._base_dispatch - self._dispatch_discount
+        matching = self.matching
+        desc = matching.claim(pattern)
+        if desc is None:
+            ev = self.sim.event()
+            matching.post(pattern, ev)
+            desc = yield ev
+        if desc.nbytes > view.nbytes:
+            raise TruncationError(
+                f"rank {self.rank}: message of {desc.nbytes} B arrived for a "
+                f"{view.nbytes} B receive buffer "
+                f"(src={desc.envelope.src}, tag={desc.envelope.tag})"
+            )
+        transport = desc.transport
+        rflat = transport.receiver_flat_time(self.node_hw, desc.wire)
+        if rflat is None:
+            yield from transport.receiver_steps(self.node_hw, desc.wire)
+        elif rflat > 0.0:
+            yield rflat
+        payload = desc.payload
+        if payload is not None:
+            if desc.nbytes == view.nbytes:
+                view.write(payload)
+            else:
+                view.sub(0, desc.nbytes).write(payload)
+        env = desc.envelope
+        return Status(env.src, env.tag, desc.nbytes)
 
     def sendrecv(self, send_view: BufferView, dst: int, send_tag: int,
                  recv_view: BufferView, src: int, recv_tag: int,
                  comm: Optional[Communicator] = None):
         """Paired exchange (deadlock-free); returns the receive status."""
+        comm = comm or self.comm_world
+        if self.world._fast:
+            plan = self._plan(comm, dst)
+            if plan.fast and (plan.eager_limit is None
+                              or send_view.nbytes <= plan.eager_limit):
+                if send_tag < 0:
+                    raise ValueError(f"send tag must be >= 0, got {send_tag}")
+                return self._sendrecv_fast(plan, send_view, send_tag,
+                                           recv_view, src, recv_tag, comm)
+        return self._sendrecv_slow(send_view, dst, send_tag,
+                                   recv_view, src, recv_tag, comm)
+
+    def _sendrecv_slow(self, send_view, dst, send_tag, recv_view, src,
+                       recv_tag, comm):
         rreq = yield from self.irecv(recv_view, src, recv_tag, comm)
         sreq = yield from self.isend(send_view, dst, send_tag, comm)
         yield from self.wait(sreq)
         status = yield from self.wait(rreq)
         return status
+
+    def _sendrecv_fast(self, plan: _PeerPlan, send_view: BufferView,
+                       send_tag: int, recv_view: BufferView, src: int,
+                       recv_tag: int, comm: Communicator):
+        # One fused generator reproducing the reference choreography's
+        # timestamps and same-instant ordering exactly:
+        #   t        : recv dispatch starts
+        #   t+d      : receive posted; send body runs inline (its flat
+        #              time — possibly a membus reservation — computed
+        #              in the same pop, as the reference path does)
+        #   t+2d+flat: message handed to the wire (pipe reservations)
+        #   match    : receiver-side flat, payload landing, Status
+        sim = self.sim
+        world = self.world
+        pattern = self._recv_pattern(comm, src, recv_tag)
+        self.last_op = ("recv", src, recv_tag)
+        yield self._base_dispatch - self._dispatch_discount
+        matching = self.matching
+        desc_r = matching.claim(pattern)
+        ev = None
+        if desc_r is None:
+            ev = sim.event()
+            matching.post(pattern, ev)
+        # -- send side (inline, same pop) --
+        dst_world = plan.dst_world
+        transport = plan.transport
+        self.last_op = ("send", dst_world, send_tag)
+        nbytes = send_view.nbytes
+        wire = WireDescriptor(self.rank, dst_world, nbytes, send_view.key)
+        desc_s = MessageDescriptor(
+            self._send_env(comm, send_tag), nbytes,
+            send_view.read() if self._functional else None, wire,
+            transport, self.rank, dst_world,
+        )
+        sflat = transport.sender_flat_time(self.node_hw, wire)
+        delay = self._base_dispatch - self._dispatch_discount + sflat
+        kind = plan.kind
+        if desc_r is not None:
+            # Claimed: the message is already here — stay inline.
+            yield delay
+            if kind == _NET:
+                transport.schedule_delivery_fast(self.node_hw, plan.dst_hw,
+                                                 desc_s, world)
+            elif kind == _INTRA:
+                sim.call_in(plan.flag_delay, (world.deliver, desc_s))
+            else:
+                world.deliver(desc_s)
+        else:
+            # Posted: hand the send off as a bare scheduled tuple and
+            # wait for the match directly, skipping one generator
+            # resume per exchange.  The tuple occupies the queue
+            # position the dispatch-resume would have (last push of
+            # this pop), so same-instant reservation order — and hence
+            # every timestamp — is unchanged.
+            if kind == _NET:
+                sim.call_in(delay, (_net_handoff,
+                                    (transport, self.node_hw, plan.dst_hw,
+                                     desc_s, world)))
+            elif kind == _INTRA:
+                sim.call_in(delay, (_intra_handoff,
+                                    (world, plan.flag_delay, desc_s)))
+            else:
+                sim.call_in(delay, (world.deliver, desc_s))
+            handoff_at = sim.now + delay
+            # -- recv completion (the reference wait(rreq)) --
+            desc_r = yield ev
+            if sim.now < handoff_at:
+                # Early arrival: the rank is still busy dispatching its
+                # own send until ``handoff_at``.
+                yield handoff_at - sim.now
+        if desc_r.nbytes > recv_view.nbytes:
+            raise TruncationError(
+                f"rank {self.rank}: message of {desc_r.nbytes} B arrived for "
+                f"a {recv_view.nbytes} B receive buffer "
+                f"(src={desc_r.envelope.src}, tag={desc_r.envelope.tag})"
+            )
+        r_transport = desc_r.transport
+        rflat = r_transport.receiver_flat_time(self.node_hw, desc_r.wire)
+        if rflat is None:
+            yield from r_transport.receiver_steps(self.node_hw, desc_r.wire)
+        elif rflat > 0.0:
+            yield rflat
+        payload = desc_r.payload
+        if payload is not None:
+            if desc_r.nbytes == recv_view.nbytes:
+                recv_view.write(payload)
+            else:
+                recv_view.sub(0, desc_r.nbytes).write(payload)
+        env = desc_r.envelope
+        return Status(env.src, env.tag, desc_r.nbytes)
 
     def test(self, request: Request):
         """MPI_Test (generator): ``(flag, result)``.

@@ -14,8 +14,7 @@ two paths is kept via monotonically increasing sequence numbers.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from ..sim import Event
 from .message import ANY_SOURCE, ANY_TAG, Envelope, MessageDescriptor
@@ -23,26 +22,39 @@ from .message import ANY_SOURCE, ANY_TAG, Envelope, MessageDescriptor
 _Key = Tuple[int, int, int]  # (comm_id, src, tag)
 
 
-@dataclass
-class PostedRecv:
-    """A receive waiting for its message."""
+class PostedRecv(NamedTuple):
+    """A receive waiting for its message.
+
+    A (named) tuple because at paper scale one is allocated per
+    message; the engine itself appends bare ``(seq, pattern, event)``
+    tuples — same layout, cheapest possible allocation.
+    """
 
     seq: int
     pattern: Envelope
     event: Event  # succeeds with the MessageDescriptor
 
 
-@dataclass
 class MatchingEngine:
-    """Per-rank matching state."""
+    """Per-rank matching state.
 
-    _seq: int = 0
-    _posted_exact: Dict[_Key, Deque[PostedRecv]] = field(default_factory=dict)
-    _posted_wild: List[PostedRecv] = field(default_factory=list)
-    _unexpected_exact: Dict[_Key, Deque[Tuple[int, MessageDescriptor]]] = field(
-        default_factory=dict
-    )
-    _unexpected_count: int = 0
+    Hash-bucketed: exact ``(comm, src, tag)`` traffic — everything the
+    collectives generate — is one dict probe plus one deque operation
+    per message on both the post and the deliver side, independent of
+    how many receives are outstanding.  Wildcard receives keep the
+    ordered-scan fallback; sequence numbers keep global FIFO between
+    the two paths.
+    """
+
+    __slots__ = ("_seq", "_posted_exact", "_posted_wild",
+                 "_unexpected_exact", "_unexpected_count")
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._posted_exact: Dict[_Key, Deque[PostedRecv]] = {}
+        self._posted_wild: List[PostedRecv] = []
+        self._unexpected_exact: Dict[_Key, Deque[Tuple[int, MessageDescriptor]]] = {}
+        self._unexpected_count = 0
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -54,8 +66,8 @@ class MatchingEngine:
         if not self._unexpected_count:
             return None
         if pattern.src != ANY_SOURCE and pattern.tag != ANY_TAG:
-            key = (pattern.comm_id, pattern.src, pattern.tag)
-            queue = self._unexpected_exact.get(key)
+            queue = self._unexpected_exact.get(
+                (pattern.comm_id, pattern.src, pattern.tag))
             if not queue:
                 return None
             _seq, desc = queue.popleft()
@@ -96,12 +108,17 @@ class MatchingEngine:
 
     def post(self, pattern: Envelope, event: Event) -> None:
         """Register a posted receive (call :meth:`claim` first)."""
-        posted = PostedRecv(self._next_seq(), pattern, event)
+        self._seq = seq = self._seq + 1
+        entry = (seq, pattern, event)
         if pattern.src != ANY_SOURCE and pattern.tag != ANY_TAG:
             key = (pattern.comm_id, pattern.src, pattern.tag)
-            self._posted_exact.setdefault(key, deque()).append(posted)
+            queue = self._posted_exact.get(key)
+            if queue is None:
+                self._posted_exact[key] = deque((entry,))
+            else:
+                queue.append(entry)
         else:
-            self._posted_wild.append(posted)
+            self._posted_wild.append(entry)
 
     # -- delivery side ----------------------------------------------------
     def deliver(self, desc: MessageDescriptor) -> None:
@@ -110,15 +127,20 @@ class MatchingEngine:
         env = desc.envelope
         key = (env.comm_id, env.src, env.tag)
         exact_queue = self._posted_exact.get(key)
+        if exact_queue and not self._posted_wild:
+            # Hot path: exact match, no wildcards outstanding — one
+            # dict probe and one deque pop.
+            exact_queue.popleft()[2].succeed(desc)
+            return
         exact_head = exact_queue[0] if exact_queue else None
         wild_match = None
         for posted in self._posted_wild:
-            if env.matches(posted.pattern):
+            if env.matches(posted[1]):
                 wild_match = posted
                 break
         chosen: Optional[PostedRecv] = None
         if exact_head and wild_match:
-            chosen = exact_head if exact_head.seq < wild_match.seq else wild_match
+            chosen = exact_head if exact_head[0] < wild_match[0] else wild_match
         else:
             chosen = exact_head or wild_match
         if chosen is None:
@@ -129,7 +151,7 @@ class MatchingEngine:
             exact_queue.popleft()
         else:
             self._posted_wild.remove(chosen)
-        chosen.event.succeed(desc)
+        chosen[2].succeed(desc)
 
     # -- probes -----------------------------------------------------------
     @property
@@ -150,5 +172,5 @@ class MatchingEngine:
             p for q in self._posted_exact.values() for p in q
         ]
         posted += self._posted_wild
-        posted.sort(key=lambda p: p.seq)
-        return [(p.pattern.src, p.pattern.tag) for p in posted]
+        posted.sort(key=lambda p: p[0])
+        return [(p[1].src, p[1].tag) for p in posted]

@@ -18,7 +18,7 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """The matchable part of a message: (communicator, source, tag).
 
@@ -41,7 +41,7 @@ class Envelope:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageDescriptor:
     """One message in flight.
 
@@ -60,7 +60,7 @@ class MessageDescriptor:
     dst_world: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Status:
     """Completion record of a receive."""
 

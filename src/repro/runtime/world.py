@@ -64,6 +64,18 @@ class World:
         A :class:`~repro.obs.SpanRecorder` to bind to this world (see
         :meth:`attach_obs`).  ``None`` (default) keeps every
         instrumentation site a single attribute check.
+    fastpath:
+        The macro-event fast path: blocking pt2pt calls run fused
+        generators (no request objects, no Timeout events, batched
+        message completion) that reproduce the reference path's
+        timestamps *exactly*.  Defaults to on; it disarms itself
+        automatically whenever a tracer, fault injector or span
+        recorder is attached (those need the full choreography).
+        ``fastpath=False`` forces the reference path — the
+        differential tests run both and assert identical results.
+    queue:
+        Event-queue backend for the simulator: ``"calendar"``
+        (default, O(1) near-future ops) or ``"heap"``.
     """
 
     def __init__(
@@ -77,9 +89,11 @@ class World:
         faults: Optional[Any] = None,
         reliable: bool = False,
         obs: Optional[Any] = None,
+        fastpath: Optional[bool] = None,
+        queue: str = "calendar",
     ) -> None:
         self.params = params
-        self.sim = Simulator(tracer=tracer)
+        self.sim = Simulator(tracer=tracer, queue=queue)
         #: when a tracer is attached, every delivered message is
         #: recorded as kind "message" with src/dst/bytes/transport/tag
         self.tracer = tracer
@@ -148,6 +162,13 @@ class World:
         )
         self._interned_comms: dict = {}
         self._next_comm_id = 2 + self.cluster.nodes
+        #: macro-event fast path armed?  Anything that must observe the
+        #: full per-message choreography (tracer, faults, obs) clears it.
+        self._fast = (
+            (fastpath if fastpath is not None else True)
+            and self.faults is None
+            and tracer is None
+        )
         self.contexts: List[RankContext] = [
             RankContext(self, rank) for rank in range(self.cluster.world_size)
         ]
@@ -165,6 +186,9 @@ class World:
         recorder.bind(self.sim)
         self.obs = recorder
         self.network.obs = recorder
+        # Spans need the per-message choreography (message spans open
+        # in isend); the fused fast path would skip them.
+        self._fast = False
 
     def node_of(self) -> dict:
         """rank → node id mapping (Perfetto process grouping)."""

@@ -7,6 +7,17 @@ failed).  The process itself is an :class:`Event` that fires when the
 generator returns; its value is the generator's return value, which lets
 simulated MPI ranks ``return`` results and callers ``yield proc`` to join
 them.
+
+Fast-path sleeps
+----------------
+Besides events, a generator may yield a bare ``float``: *sleep that many
+seconds*.  A float sleep schedules the process's cached wake callable
+directly on the queue — no :class:`~repro.sim.events.Timeout`, no
+callback list, no per-sleep allocation at all — and is the backbone of
+the macro-event fast path.  A sleeping process cannot be interrupted
+(:meth:`Process.interrupt` raises); code that needs interruptible waits
+yields a real ``Timeout``.  Ints are *not* accepted (``yield 42`` stays
+a bug, not a 42-second nap).
 """
 
 from __future__ import annotations
@@ -21,6 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 ProcGen = Generator[Event, Any, Any]
 
+#: sentinel marking a process suspended in a float sleep
+_SLEEPING = object()
+
 
 class Process(Event):
     """A running simulated activity.
@@ -30,12 +44,14 @@ class Process(Event):
     sim:
         Owning simulator.
     generator:
-        The generator to drive.  Must yield :class:`Event` instances.
+        The generator to drive.  Must yield :class:`Event` instances
+        or floats (sleeps).
     name:
         Optional label used in error messages and ``repr``.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_wake_cb", "_send_cb",
+                 "_throw_cb")
 
     def __init__(self, sim: "Simulator", generator: ProcGen, name: Optional[str] = None) -> None:
         super().__init__(sim)
@@ -43,13 +59,15 @@ class Process(Event):
             raise TypeError(f"Process requires a generator, got {generator!r}")
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
-        # Kick-start at the current time via an initialisation event.
-        init = Event(sim)
-        init.callbacks.append(self._resume)
-        init._ok = True
-        init._value = None
-        sim._push(init)
+        self._waiting_on: Optional[Any] = None
+        # Bound methods are cached once so scheduling a resume never
+        # allocates (these are pushed on the queue as bare callables).
+        self._wake_cb = self._wake
+        self._send_cb = self._send
+        self._throw_cb = self._throw
+        # Kick-start at the current time (starts the generator).
+        sim._seq += 1
+        sim._queue.push(sim.now, sim._seq, (self._send_cb, None))
 
     @property
     def is_alive(self) -> bool:
@@ -60,31 +78,36 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time.
 
         The event the process was waiting on is detached; if it fires
-        later it is simply ignored by this process.
+        later it is simply ignored by this process.  A process suspended
+        in a fast-path float sleep cannot be interrupted.
         """
         if self.triggered:
             raise RuntimeError(f"{self!r} has already terminated")
         target = self._waiting_on
+        if target is _SLEEPING:
+            raise RuntimeError(
+                f"{self!r} is in a fast-path sleep and cannot be interrupted; "
+                "yield a Timeout event for interruptible waits"
+            )
         if target is not None and target.callbacks is not None:
             try:
                 target.callbacks.remove(self._resume)
             except ValueError:  # pragma: no cover - defensive
                 pass
         self._waiting_on = None
-        hit = Event(self.sim)
-        hit.callbacks.append(self._resume)
-        hit._ok = False
-        hit._value = Interrupt(cause)
-        self.sim._push(hit)
+        sim = self.sim
+        sim._seq += 1
+        sim._queue.push(sim.now, sim._seq, (self._throw_cb, Interrupt(cause)))
 
     # -- internal ------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        """Event callback: resume the generator with the event's outcome."""
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self.generator.send(event.value)
+            if event._ok:
+                target = self.generator.send(event._value)
             else:
-                target = self.generator.throw(event.value)
+                target = self.generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -93,23 +116,79 @@ class Process(Event):
             # simulator surfaces it (see Simulator.step).
             self.fail(exc)
             return
-        if not isinstance(target, Event):
-            err = TypeError(
-                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
-            )
-            self.generator.close()
-            self.fail(err)
+        self._proceed(target)
+
+    def _wake(self) -> None:
+        """Queue callable: resume after a float sleep."""
+        self._waiting_on = None
+        try:
+            target = self.generator.send(None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
             return
-        if target.processed:
-            # Already-processed event: resume immediately (same timestamp).
-            hop = Event(self.sim)
-            hop.callbacks.append(self._resume)
-            hop._ok = target.ok
-            hop._value = target._value
-            self.sim._push(hop)
-        else:
-            self._waiting_on = target
-            target.callbacks.append(self._resume)
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        self._proceed(target)
+
+    def _send(self, value: Any) -> None:
+        """Queue callable: resume (or start) with ``value``."""
+        self._waiting_on = None
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        self._proceed(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        """Queue callable: throw ``exc`` into the generator."""
+        self._waiting_on = None
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as caught:
+            self.fail(caught)
+            return
+        self._proceed(target)
+
+    def _proceed(self, target: Any) -> None:
+        """Suspend on whatever the generator yielded."""
+        if target.__class__ is float:
+            # Sleep: push the cached wake callable, nothing else.
+            self._waiting_on = _SLEEPING
+            sim = self.sim
+            sim._seq += 1
+            sim._queue.push(sim.now + target, sim._seq, self._wake_cb)
+            return
+        if isinstance(target, Event):
+            if target.callbacks is None:
+                # Already-processed event: resume at the same timestamp
+                # via a lightweight hop (keeps FIFO fairness without
+                # allocating an Event).
+                sim = self.sim
+                sim._seq += 1
+                if target._ok:
+                    sim._queue.push(sim.now, sim._seq,
+                                    (self._send_cb, target._value))
+                else:
+                    sim._queue.push(sim.now, sim._seq,
+                                    (self._throw_cb, target._value))
+            else:
+                self._waiting_on = target
+                target.callbacks.append(self._resume)
+            return
+        err = TypeError(
+            f"process {self.name!r} yielded {target!r}; processes "
+            f"must yield Event objects or float sleeps"
+        )
+        self.generator.close()
+        self.fail(err)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "alive"

@@ -124,7 +124,10 @@ class RateLimiter:
         """
         if duration < 0 or lead_delay < 0:
             raise ValueError("durations/delays must be >= 0")
-        start = max(self._next_free, self.sim.now + lead_delay)
+        start = self.sim.now + lead_delay
+        free = self._next_free
+        if free > start:
+            start = free
         finish = start + duration
         self._next_free = finish
         self._busy_time += duration

@@ -29,7 +29,7 @@ from typing import Any, Hashable
 from ..machine.hardware import NodeHardware
 
 
-@dataclass
+@dataclass(slots=True)
 class WireDescriptor:
     """What the pt2pt engine hands to a transport for one message."""
 
@@ -61,6 +61,13 @@ class Transport:
     #: ``World.attach_obs``), or None — transports with interesting
     #: internal phases (retransmits) annotate them through this.
     obs = None
+    #: True when this transport supports the macro-event pt2pt fast
+    #: path: its flat times are always available and its delivery can
+    #: be scheduled without Events (``delivery_flat_delay`` for a
+    #: constant-delay delivery, or ``schedule_delivery_fast`` for
+    #: pipe-based transit).  Timing must be identical to the reference
+    #: choreography — the differential suite asserts it.
+    fast_pt2pt: bool = False
 
     def sender_steps(self, node: NodeHardware, desc: WireDescriptor):
         """Sender-side CPU work (generator)."""
@@ -108,6 +115,30 @@ class Transport:
         fires then (used as the rendezvous completion).
         """
         return None
+
+    # -- macro-event fast path (optional) ----------------------------
+    def delivery_flat_delay(self, src_node: NodeHardware) -> "float | None":
+        """Constant delivery delay (flag visibility), or None.
+
+        Intra-node transports deliver after one flag-latency hop with
+        no contended resource in between; returning that constant lets
+        the pt2pt fast path schedule delivery as a single bare queue
+        item instead of a Timeout + callback chain.
+        """
+        return None
+
+    def schedule_delivery_fast(self, src_node: NodeHardware,
+                               dst_node: NodeHardware, desc,
+                               world) -> bool:
+        """Schedule delivery of ``desc`` using bare queue items.
+
+        Returns True when handled; False falls the message back to the
+        reference choreography (e.g. rendezvous-size messages).  Only
+        called when :attr:`fast_pt2pt` is True and no faults/tracing
+        are attached; the scheduled items must reproduce the reference
+        path's timestamps and same-instant ordering exactly.
+        """
+        return False
 
     def describe(self) -> str:
         """One-line cost-structure summary for reports."""

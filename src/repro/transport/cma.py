@@ -17,6 +17,10 @@ class CmaTransport(Transport):
 
     name = "cma"
     supports_peer_views = False
+    fast_pt2pt = True
+
+    def delivery_flat_delay(self, src_node):
+        return src_node.params.memory.flag_latency
 
     #: the kernel performs one copy per iovec span of this size
     MAX_IOV_SPAN = 2 << 20

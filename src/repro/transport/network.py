@@ -23,12 +23,27 @@ from ..machine.hardware import NodeHardware
 from .base import Transport, WireDescriptor
 
 
+def _eager_arrive(arg):
+    """Fast-path arrival: reserve the RX pipe, schedule the completion.
+
+    Runs as a bare ``(fn, arg)`` queue item at the instant the message
+    reaches the destination NIC — the same instant the reference path's
+    ``on_wire`` event fires — so the RX reservation order (and with it
+    every downstream timestamp) is identical to the slow path.
+    """
+    dst_node, wire, desc, world = arg
+    dst_node.rx_messages += 1
+    finish = dst_node.rx.reserve(wire)
+    world.sim.call_at(finish, (world.deliver, desc))
+
+
 class NetworkTransport(Transport):
     """LogGP-style inter-node messaging."""
 
     name = "network"
     supports_peer_views = False
     inter_node = True
+    fast_pt2pt = True
 
     def _is_eager(self, node: NodeHardware, desc: WireDescriptor) -> bool:
         return desc.nbytes <= node.params.nic.eager_limit
@@ -92,6 +107,26 @@ class NetworkTransport(Transport):
         on_wire.callbacks.append(_arrived)
         return on_wire
 
+    def schedule_delivery_fast(self, src_node, dst_node, desc, world) -> bool:
+        """Batched eager completion: two bare queue items per message.
+
+        The whole TX-pipe → wire → RX-pipe → matchable pipeline of one
+        eager message costs one ``_eager_arrive`` item (at NIC arrival)
+        plus one ``world.deliver`` item (at RX drain) — no Events, no
+        callback lists, no closures.  Rendezvous messages keep the
+        reference choreography (their completion event is the send
+        request's completion).
+        """
+        wire_desc = desc.wire
+        nic = src_node.params.nic
+        if wire_desc.nbytes > nic.eager_limit:
+            return False
+        src_node.tx_messages += 1
+        wire = nic.wire_time(wire_desc.nbytes)
+        arrival = src_node.tx.reserve(wire) + nic.latency
+        world.sim.call_at(arrival, (_eager_arrive, (dst_node, wire, desc, world)))
+        return True
+
     def describe(self) -> str:
         return "network: LogGP eager/rendezvous over shared NIC pipes"
 
@@ -130,6 +165,8 @@ class ReliableNetworkTransport(NetworkTransport):
     """
 
     name = "reliable_network"
+    #: the ack/retransmit protocol needs its full process choreography
+    fast_pt2pt = False
 
     def __init__(self, injector=None, max_retries: int = 8,
                  backoff: float = 2.0) -> None:

@@ -25,6 +25,10 @@ class PipTransport(Transport):
     """Direct load/store through the shared address space."""
 
     supports_peer_views = True
+    fast_pt2pt = True
+
+    def delivery_flat_delay(self, src_node):
+        return src_node.params.memory.flag_latency
 
     def __init__(self, size_sync: bool = False) -> None:
         self.size_sync = size_sync

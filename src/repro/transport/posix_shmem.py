@@ -19,6 +19,10 @@ class PosixShmemTransport(Transport):
 
     name = "posix_shmem"
     supports_peer_views = False
+    fast_pt2pt = True
+
+    def delivery_flat_delay(self, src_node):
+        return src_node.params.memory.flag_latency
 
     #: shared-queue cell size (MPICH nemesis fastbox/cell scale)
     CELL_SIZE = 8192

@@ -25,6 +25,10 @@ class XpmemTransport(Transport):
 
     name = "xpmem"
     supports_peer_views = False
+    fast_pt2pt = True
+
+    def delivery_flat_delay(self, src_node):
+        return src_node.params.memory.flag_latency
 
     def __init__(self) -> None:
         self._attached: Set[_CacheKey] = set()

@@ -1,0 +1,328 @@
+"""Differential + property harness: every collective, every library,
+fast path vs reference path vs the numpy oracle.
+
+Three-way agreement is checked for each sampled case:
+
+* the macro-event **fast path** (``fastpath=True``, the default) and
+  the reference event path (``fastpath=False``) must produce
+  **byte-identical per-rank results and the exact same simulated
+  time** — the fast path is an engine optimisation, never a model
+  change;
+* both must match :mod:`repro.validate.reference`, the pure-numpy
+  oracle, byte-for-byte — a correct-looking latency can never hide a
+  wrong permutation.
+
+Two layers:
+
+* a **pinned matrix** running every collective × every library on a
+  fixed geometry (deterministic, exhaustive over the API surface,
+  including the nonblocking I* forms);
+* **hypothesis sweeps** drawing random (nodes, ppn, counts, dtype,
+  op, root, library) per collective family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.machine import broadwell_opa
+from repro.mpilibs import PAPER_LINEUP
+from repro.runtime.ops import BXOR, MAX, MIN, SUM
+from repro.validate import reference
+
+# Exact (order-insensitive) ops on integer dtypes: every algorithm may
+# reduce in a different association order, so the oracle comparison
+# must be bitwise-independent of that order.
+OPS = {"SUM": SUM, "MAX": MAX, "MIN": MIN, "BXOR": BXOR}
+DTYPES = {"int32": np.int32, "int64": np.int64}
+
+#: sentinel byte for buffers MPI leaves undefined (Exscan rank 0)
+_SENTINEL = 0xA5
+
+
+def _input_bytes(seed: int, rank: int, nbytes: int) -> np.ndarray:
+    rng = np.random.default_rng((seed, rank))
+    return rng.integers(0, 256, nbytes, dtype=np.uint8)
+
+
+def _typed_input(seed: int, rank: int, count: int, dtype) -> np.ndarray:
+    itemsize = np.dtype(dtype).itemsize
+    return _input_bytes(seed, rank, count * itemsize).view(dtype)
+
+
+class Case:
+    """One drawn differential case (geometry + data shape)."""
+
+    def __init__(self, collective: str, library: str, nodes: int, ppn: int,
+                 count: int, dtype_name: str, op_name: str, root: int,
+                 seed: int) -> None:
+        self.collective = collective
+        self.library = library
+        self.nodes = nodes
+        self.ppn = ppn
+        self.size = nodes * ppn
+        self.count = count
+        self.dtype = DTYPES[dtype_name]
+        self.op = OPS[op_name]
+        # Hierarchical algorithms model the common library restriction
+        # that the root is a node leader; the harness (like the paper's
+        # benchmarks) roots everything at 0.
+        self.root = root
+        self.seed = seed
+
+    def __repr__(self) -> str:  # shown by hypothesis on failure
+        return (f"Case({self.collective}, {self.library}, "
+                f"{self.nodes}x{self.ppn}, count={self.count}, "
+                f"dtype={np.dtype(self.dtype).name}, op={self.op.name}, "
+                f"root={self.root}, seed={self.seed})")
+
+
+def _app_and_oracle(case: Case):
+    """Build (app generator fn, expected per-rank output bytes)."""
+    c, size, root = case, case.size, case.root
+    itemsize = np.dtype(c.dtype).itemsize
+    nbytes = c.count * itemsize
+    ins_typed = [_typed_input(c.seed, r, c.count, c.dtype)
+                 for r in range(size)]
+    ins_bytes = [a.view(np.uint8) for a in ins_typed]
+    dt = np.dtype(c.dtype)
+
+    def out(app, expected):
+        return app, [np.asarray(e).reshape(-1).view(np.uint8)
+                     for e in expected]
+
+    if c.collective == "barrier":
+        def app(comm):
+            yield from comm.Barrier()
+            return b""
+        return app, [np.empty(0, np.uint8)] * size
+
+    if c.collective == "ibarrier":
+        def app(comm):
+            req = comm.Ibarrier()
+            result = yield from comm.Wait(req)
+            assert result is None or result == []  # no payload
+            return b""
+        return app, [np.empty(0, np.uint8)] * size
+
+    if c.collective in ("bcast", "ibcast"):
+        nonblocking = c.collective.startswith("i")
+
+        def app(comm):
+            buf = ins_bytes[comm.rank].copy()
+            if nonblocking:
+                req = comm.Ibcast(buf, root=root)
+                yield from comm.Wait(req)
+            else:
+                yield from comm.Bcast(buf, root=root)
+            return buf.tobytes()
+        return out(app, reference.bcast(ins_bytes, root=root))
+
+    if c.collective == "scatter":
+        root_data = np.concatenate(ins_bytes)
+
+        def app(comm):
+            send = root_data.copy() if comm.rank == root else None
+            recv = np.full(nbytes, _SENTINEL, np.uint8)
+            yield from comm.Scatter(send, recv, root=root)
+            return recv.tobytes()
+        return out(app, reference.scatter(root_data, size, root=root))
+
+    if c.collective == "gather":
+        def app(comm):
+            recv = (np.full(nbytes * size, _SENTINEL, np.uint8)
+                    if comm.rank == root else None)
+            yield from comm.Gather(ins_bytes[comm.rank].copy(), recv,
+                                   root=root)
+            return recv.tobytes() if recv is not None else b""
+        return out(app, reference.gather(ins_bytes, root=root))
+
+    if c.collective in ("allgather", "iallgather"):
+        nonblocking = c.collective.startswith("i")
+
+        def app(comm):
+            recv = np.full(nbytes * size, _SENTINEL, np.uint8)
+            send = ins_bytes[comm.rank].copy()
+            if nonblocking:
+                req = comm.Iallgather(send, recv)
+                yield from comm.Wait(req)
+            else:
+                yield from comm.Allgather(send, recv)
+            return recv.tobytes()
+        return out(app, reference.allgather(ins_bytes))
+
+    if c.collective in ("allreduce", "iallreduce"):
+        nonblocking = c.collective.startswith("i")
+
+        def app(comm):
+            recv = np.zeros(c.count, c.dtype)
+            send = ins_typed[comm.rank].copy()
+            if nonblocking:
+                req = comm.Iallreduce(send, recv, op=c.op)
+                yield from comm.Wait(req)
+            else:
+                yield from comm.Allreduce(send, recv, op=c.op)
+            return recv.tobytes()
+        return out(app, reference.allreduce(ins_bytes, c.op, dt))
+
+    if c.collective == "reduce":
+        def app(comm):
+            recv = (np.zeros(c.count, c.dtype)
+                    if comm.rank == root else None)
+            yield from comm.Reduce(ins_typed[comm.rank].copy(), recv,
+                                   op=c.op, root=root)
+            return recv.tobytes() if recv is not None else b""
+        return out(app, reference.reduce(ins_bytes, c.op, dt, root=root))
+
+    if c.collective == "alltoall":
+        full = [_input_bytes(c.seed, r, nbytes * size) for r in range(size)]
+
+        def app(comm):
+            recv = np.full(nbytes * size, _SENTINEL, np.uint8)
+            yield from comm.Alltoall(full[comm.rank].copy(), recv)
+            return recv.tobytes()
+        return out(app, reference.alltoall(full))
+
+    if c.collective in ("reduce_scatter", "reduce_scatter_block"):
+        full = [_typed_input(c.seed, r, c.count * size, c.dtype)
+                for r in range(size)]
+        block = c.collective == "reduce_scatter_block"
+
+        def app(comm):
+            recv = np.zeros(c.count, c.dtype)
+            send = full[comm.rank].copy()
+            if block:
+                yield from comm.Reduce_scatter_block(send, recv, op=c.op)
+            else:
+                yield from comm.Reduce_scatter(send, recv, op=c.op)
+            return recv.tobytes()
+        return out(app, reference.reduce_scatter_block(
+            [a.view(np.uint8) for a in full], c.op, dt))
+
+    if c.collective == "scan":
+        def app(comm):
+            recv = np.zeros(c.count, c.dtype)
+            yield from comm.Scan(ins_typed[comm.rank].copy(), recv, op=c.op)
+            return recv.tobytes()
+        return out(app, reference.scan(ins_bytes, c.op, dt))
+
+    if c.collective == "exscan":
+        expected = reference.exscan(ins_bytes, c.op, dt)
+        # Rank 0's buffer is undefined in MPI → ours must be untouched.
+        sentinel = np.full(nbytes, _SENTINEL, np.uint8)
+        expected = [sentinel] + list(expected[1:])
+
+        def app(comm):
+            recv = np.full(nbytes, _SENTINEL, np.uint8).view(c.dtype)
+            yield from comm.Exscan(ins_typed[comm.rank].copy(), recv,
+                                   op=c.op)
+            return recv.tobytes()
+        return out(app, expected)
+
+    if c.collective == "allgatherv":
+        counts = [((c.seed + r) % c.count) + 1 for r in range(size)]
+        var_ins = [_input_bytes(c.seed, r, counts[r]) for r in range(size)]
+        total = sum(counts)
+
+        def app(comm):
+            recv = np.full(total, _SENTINEL, np.uint8)
+            yield from comm.Allgatherv(var_ins[comm.rank].copy(), recv,
+                                       counts)
+            return recv.tobytes()
+        return out(app, reference.allgatherv(var_ins))
+
+    if c.collective == "alltoallv":
+        matrix = [[((c.seed + i * size + j) % c.count) + 1
+                   for j in range(size)] for i in range(size)]
+        var_ins = [_input_bytes(c.seed, i, sum(matrix[i]))
+                   for i in range(size)]
+
+        def app(comm):
+            i = comm.rank
+            recvcounts = [matrix[j][i] for j in range(size)]
+            recv = np.full(sum(recvcounts), _SENTINEL, np.uint8)
+            yield from comm.Alltoallv(var_ins[i].copy(), matrix[i],
+                                      recv, recvcounts)
+            return recv.tobytes()
+        return out(app, reference.alltoallv(var_ins, matrix))
+
+    raise KeyError(f"unknown collective {c.collective!r}")
+
+
+def _run(case: Case, app, fastpath: bool):
+    session = Session(library=case.library,
+                      params=broadwell_opa(nodes=case.nodes, ppn=case.ppn),
+                      trace=False, functional=True, fastpath=fastpath)
+    result = session.run(app)
+    return result.elapsed, list(result.values)
+
+
+def check_case(case: Case) -> None:
+    """Run one case on both engine paths and diff against the oracle."""
+    app, expected = _app_and_oracle(case)
+    fast_t, fast_out = _run(case, app, fastpath=True)
+    slow_t, slow_out = _run(case, app, fastpath=False)
+    assert fast_t == slow_t, \
+        f"{case}: fast path moved simulated time {fast_t} != {slow_t}"
+    assert fast_out == slow_out, f"{case}: fast path changed rank results"
+    for rank, (got, want) in enumerate(zip(fast_out, expected)):
+        assert got == want.tobytes(), \
+            f"{case}: rank {rank} result differs from the numpy oracle"
+
+
+#: every collective the differential harness covers (API surface)
+ALL_COLLECTIVES = (
+    "barrier", "bcast", "scatter", "gather", "allgather", "allreduce",
+    "reduce", "alltoall", "reduce_scatter", "reduce_scatter_block",
+    "scan", "exscan", "allgatherv", "alltoallv",
+    "ibarrier", "ibcast", "iallgather", "iallreduce",
+)
+
+#: reduction-shaped collectives (draw dtype and op)
+_REDUCING = {"allreduce", "iallreduce", "reduce", "reduce_scatter",
+             "reduce_scatter_block", "scan", "exscan"}
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: pinned matrix — every collective × every library, fixed
+# geometry.  Deterministic and exhaustive over the API surface.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("library", PAPER_LINEUP)
+@pytest.mark.parametrize("collective", ALL_COLLECTIVES)
+def test_pinned_matrix(collective, library):
+    check_case(Case(collective, library, nodes=2, ppn=2, count=3,
+                    dtype_name="int64", op_name="SUM", root=0, seed=7))
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: hypothesis sweeps — random geometry / counts / dtype / op.
+# ---------------------------------------------------------------------------
+def _cases(collective):
+    ops = st.sampled_from(sorted(OPS)) if collective in _REDUCING \
+        else st.just("SUM")
+    dtypes = st.sampled_from(sorted(DTYPES)) if collective in _REDUCING \
+        else st.just("int64")
+    return st.builds(
+        Case,
+        collective=st.just(collective),
+        library=st.sampled_from(list(PAPER_LINEUP)),
+        nodes=st.integers(1, 4),
+        ppn=st.integers(1, 4),
+        count=st.integers(1, 8),
+        dtype_name=dtypes,
+        op_name=ops,
+        root=st.just(0),
+        seed=st.integers(0, 2**16),
+    )
+
+
+@pytest.mark.parametrize("collective", ALL_COLLECTIVES)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_differential_sweep(collective, data):
+    check_case(data.draw(_cases(collective)))
