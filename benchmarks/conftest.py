@@ -30,6 +30,21 @@ def save_result(name: str, text: str) -> None:
     print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
 
 
+def save_records(name: str, records) -> None:
+    """Persist BenchRecords under benchmarks/results/<name>.records.json.
+
+    The schema-validated companion to :func:`save_result`: text tables
+    are for EXPERIMENTS.md, records are for ``python -m repro report``.
+    """
+    from repro.bench.record import write_records
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.records.json"
+    write_records(path, records)
+    print(f"[saved {len(records)} records to "
+          f"benchmarks/results/{name}.records.json]")
+
+
 def bench_scale() -> str:
     """'full' (paper scale) unless REPRO_BENCH_SCALE=small is set."""
     return os.environ.get("REPRO_BENCH_SCALE", "full")

@@ -23,30 +23,30 @@ import pytest
 from repro.bench import bench_collective
 from repro.machine import broadwell_opa
 
-from conftest import RESULTS_DIR, save_result
+from conftest import RESULTS_DIR, save_records, save_result
 
 NODE_COUNTS = [8, 32, 128]
 
 
 def _run():
-    speedups = {}
+    points = {}
     for nodes in NODE_COUNTS:
         params = broadwell_opa(nodes=nodes, ppn=18)
         base = bench_collective("MPICH", "allgather", 64, params,
-                                warmup=1, iters=1)
+                                warmup=1, iters=1, resources=True)
         ours = bench_collective("PiP-MColl", "allgather", 64, params,
-                                warmup=1, iters=1)
-        speedups[nodes] = (base.latency_us, ours.latency_us)
-    return speedups
+                                warmup=1, iters=1, resources=True)
+        points[nodes] = (base, ours)
+    return points
 
 
 @pytest.mark.benchmark(group="a4")
 def test_a4_node_scaling(benchmark):
-    speedups = benchmark.pedantic(_run, rounds=1, iterations=1)
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
     lines = ["A4 node scaling: allgather 64 B, ppn=18 (us)"]
     ratios, gaps = [], []
     for nodes in NODE_COUNTS:
-        base, ours = speedups[nodes]
+        base, ours = (pt.latency_us for pt in points[nodes])
         ratios.append(base / ours)
         gaps.append(base - ours)
         lines.append(
@@ -54,6 +54,9 @@ def test_a4_node_scaling(benchmark):
             f"  ->  {base / ours:5.2f}x  (saves {base - ours:8.2f} us)"
         )
     save_result("a4_node_scaling", "\n".join(lines))
+    save_records("a4_node_scaling",
+                 [pt.to_record(experiment="a4")
+                  for pair in points.values() for pt in pair])
 
     assert all(r > 2.5 for r in ratios), f"ratio collapsed: {ratios}"
     for lo, hi in zip(gaps, gaps[1:]):

@@ -12,33 +12,70 @@ Shape asserted here:
   band for the paper's 4.6×);
 * allgather's best speedup exceeds scatter's (cross-figure shape);
 * PiP-MPICH is never faster than MPICH (same algorithms + sync tax).
+
+This experiment also feeds the reporting pipeline: every grid point
+runs with resource telemetry, a single-leader baseline arm rides
+along, attribution decomposes the 64 B point per library, and the
+whole grid lands in ``benchmarks/results/fig2_allgather.records.json``
+for ``python -m repro report``.  The paper's §2–3 occupancy claim is
+asserted directly: PiP-MColl engages ≥ ``ppn``× more NIC injection
+engines than the single-leader schedule.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.bench import format_paper_table, run_sweep, summarize_speedups
+from repro.bench.breakdown import measure_attribution
+from repro.bench.harness import single_leader_allgather
 from repro.machine import broadwell_opa
+from repro.report import occupancy_ratios
 
-from conftest import bench_scale, save_result
+from conftest import bench_scale, save_records, save_result
 
 SIZES = [16, 32, 64, 128, 256, 512]
+ATTRIBUTION_SIZE = 64  # the paper's headline point
+
+
+def _params():
+    if bench_scale() == "small":
+        return broadwell_opa(nodes=16, ppn=6)
+    return broadwell_opa()  # the paper's 128 × 18
 
 
 def _run():
-    if bench_scale() == "small":
-        params = broadwell_opa(nodes=16, ppn=6)
-    else:
-        params = broadwell_opa()  # the paper's 128 × 18
-    return run_sweep("allgather", SIZES, params, warmup=1, iters=1)
+    params = _params()
+    sweep = run_sweep("allgather", SIZES, params, warmup=1, iters=1,
+                      resources=True)
+    leaders = [single_leader_allgather(nbytes, params, warmup=1, iters=1,
+                                       resources=True)
+               for nbytes in SIZES]
+    attributions = {
+        lib: measure_attribution(lib, "allgather", ATTRIBUTION_SIZE, params)
+        for lib in sweep.libraries
+    }
+    return sweep, leaders, attributions
 
 
 @pytest.mark.benchmark(group="fig2")
 def test_fig2_allgather(benchmark):
-    sweep = benchmark.pedantic(_run, rounds=1, iterations=1)
+    sweep, leaders, attributions = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
     table = format_paper_table(sweep, exclude_factor=4.0)
     save_result("fig2_allgather", table + "\n\n" + summarize_speedups(sweep))
+
+    # Emit the grid (+ the single-leader arm) as BenchRecords.
+    records = []
+    for (lib, nbytes), point in sorted(sweep.points.items()):
+        if nbytes == ATTRIBUTION_SIZE:
+            point = dataclasses.replace(
+                point, attribution=attributions[lib].as_dict())
+        records.append(point.to_record(experiment="fig2"))
+    records.extend(pt.to_record(experiment="fig2") for pt in leaders)
+    save_records("fig2_allgather", records)
 
     # "PiP-MColl outperforms other MPI implementations in all cases."
     for nbytes in SIZES:
@@ -57,3 +94,22 @@ def test_fig2_allgather(benchmark):
     for nbytes in (16, 32, 64):
         assert sweep.latency("PiP-MPICH", nbytes) >= \
             sweep.latency("MPICH", nbytes) * 0.999, f"sync tax vanished at {nbytes} B"
+
+    # §2–3 occupancy claim: the multi-object schedule engages ≥ P× more
+    # NIC injection engines than the single-leader schedule, at every
+    # size of the grid (P = ppn; radix-(P+1) Bruck round 1 activates
+    # every local digit whenever N ≥ P+1).
+    ratios = occupancy_ratios({rec.key: rec.as_dict() for rec in records})
+    assert len(ratios) == len(SIZES)
+    ppn = _params().ppn
+    for row in ratios:
+        assert row["clears_bar"], (
+            f"{row['nbytes']} B: engine ratio {row['engine_ratio']:.1f}x "
+            f"below the ppn={ppn} bar"
+        )
+
+    # Attribution is exact by construction and names a dominant term.
+    for lib, att in attributions.items():
+        att.check(tolerance=1e-6)  # components sum to measured ±1 µs
+        assert att.dominant in att.terms, lib
+        assert att.dominant_resource, lib

@@ -399,7 +399,8 @@ class RunResult:
 
     def __init__(self, values: List[Any], elapsed: float,
                  trace: Optional[TraceTree], metrics: Optional[Metrics],
-                 stats: dict, library: str, world: World) -> None:
+                 stats: dict, library: str, world: World,
+                 resources: "Optional[Any]" = None) -> None:
         #: per-rank app return values, indexed by world rank
         self.values = values
         #: simulated wall-clock of the whole run (seconds)
@@ -415,6 +416,9 @@ class RunResult:
         self.library = library
         #: the simulated world (hardware state, cluster geometry)
         self.world = world
+        #: :class:`~repro.obs.ResourceMonitor` with per-facility busy
+        #: timelines, or None when the session ran ``resources=False``
+        self.resources = resources
 
     # -- sequence protocol over the per-rank values -----------------------
     def __len__(self) -> int:
@@ -436,14 +440,20 @@ class RunResult:
 
     # -- observability exports -------------------------------------------
     def to_perfetto(self) -> dict:
-        """The run as a Chrome trace-event object (ui.perfetto.dev)."""
+        """The run as a Chrome trace-event object (ui.perfetto.dev).
+
+        When the session ran with ``resources=True``, per-facility
+        busy/queue counter tracks ride along with the spans.
+        """
         return _to_perfetto(self._require_trace(),
-                            node_of=self.world.node_of())
+                            node_of=self.world.node_of(),
+                            resources=self.resources)
 
     def write_perfetto(self, path) -> None:
         """Write :meth:`to_perfetto` as JSON to ``path``."""
         _write_perfetto(self._require_trace(), path,
-                        node_of=self.world.node_of())
+                        node_of=self.world.node_of(),
+                        resources=self.resources)
 
     def critical_path(self, collective: Optional[str] = None) -> CriticalPath:
         """Critical path through the message-dependency graph (of one
@@ -465,18 +475,22 @@ class Session:
 
     def __init__(self, library: str = "PiP-MColl", nodes: int = 4,
                  ppn: int = 4, params: Optional[MachineParams] = None,
-                 trace: bool = True, **world_kwargs) -> None:
+                 trace: bool = True, resources: bool = False,
+                 **world_kwargs) -> None:
         self.library = library
         self._lib = make_library(library)
         self.machine = (params if params is not None
                         else broadwell_opa(nodes=nodes, ppn=ppn))
         #: record spans + metrics during runs (adds zero simulated time)
         self.trace = trace
+        #: record per-resource busy/queue timelines during runs
+        self.resources = resources
         self._world_kwargs = world_kwargs
 
     def run(self, app: Callable[[VComm], Any]) -> RunResult:
         """Run an mpi4py-style generator app on every rank."""
         world: World = self._lib.make_world(self.machine,
+                                            resources=self.resources,
                                             **self._world_kwargs)
         recorder = None
         if self.trace:
@@ -504,7 +518,8 @@ class Session:
             metrics = recorder.metrics
         return RunResult(values=values, elapsed=elapsed, trace=trace,
                          metrics=metrics, stats=world.stats(),
-                         library=self.library, world=world)
+                         library=self.library, world=world,
+                         resources=world.resources)
 
 
 def run_app(

@@ -112,3 +112,45 @@ def profile_collective(
     profile.membus_busy_us = stats["membus_busy_s"] * 1e6
     profile.sim_events = stats["sim_events"]
     return profile
+
+
+def measure_attribution(
+    library: Union[str, MpiLibrary],
+    collective: str,
+    nbytes: int,
+    params: MachineParams,
+    functional: bool = False,
+    root: int = 0,
+):
+    """LogGP attribution of one (warm) collective invocation.
+
+    Same pattern as :func:`profile_collective` — fresh world, span
+    recorder, one warmup call, recorder wiped at a hard-sync point,
+    one measured call — then
+    :func:`repro.obs.attribution.attribute` decomposes the measured
+    window along its critical path.  Returns the
+    :class:`~repro.obs.attribution.Attribution` (components sum to the
+    measured window exactly; ``.check()`` asserts it).
+    """
+    from ..obs import attribute
+
+    lib = make_library(library) if isinstance(library, str) else library
+    world = lib.make_world(params, functional=functional)
+    recorder = SpanRecorder()
+    world.attach_obs(recorder)
+    size = world.comm_world.size
+    algo = lib.wrapped(collective, nbytes, size)
+
+    def program(ctx):
+        bufs = _buffers(ctx, collective, nbytes, size, root)
+        for it in range(2):  # warmup + measured
+            yield from ctx.hard_sync()
+            if it == 1 and ctx.rank == 0:
+                recorder.reset()
+            yield from _invoke(algo, ctx, bufs, collective, root)
+
+    world.run(program)
+    world.assert_quiescent()
+    att = attribute(recorder.tree(), collective, params)
+    att.check()
+    return att

@@ -43,6 +43,33 @@ class BenchPoint:
     #: the world's post-run hardware/protocol counters (retransmits,
     #: injected faults, ...); chaos sweeps read these
     stats: Optional[dict] = None
+    #: machine geometry of the run (record keys need it)
+    nodes: int = 0
+    ppn: int = 0
+    #: ResourceMonitor.summary() over the measured window (resources=True)
+    resources: Optional[dict] = None
+    #: Attribution.as_dict() of a profiled call (attribution=True)
+    attribution: Optional[dict] = None
+
+    def to_record(self, **meta):
+        """This point as a schema'd :class:`~repro.bench.record.BenchRecord`."""
+        from .record import BenchRecord
+
+        return BenchRecord(
+            library=self.library,
+            collective=self.collective,
+            nbytes=self.nbytes,
+            nodes=self.nodes,
+            ppn=self.ppn,
+            latency_us=self.latency_us,
+            min_us=self.min_us,
+            max_us=self.max_us,
+            iterations_us=list(self.iterations),
+            stats=self.stats,
+            resources=self.resources,
+            attribution=self.attribution,
+            meta=dict(meta),
+        )
 
 
 def _buffers(ctx, collective: str, nbytes: int, size: int, root: int):
@@ -108,6 +135,8 @@ def bench_collective(
     faults=None,
     reliable: bool = False,
     fastpath: Optional[bool] = None,
+    resources: bool = False,
+    attribution: bool = False,
 ) -> BenchPoint:
     """Measure one point (see module docstring).
 
@@ -117,21 +146,36 @@ def bench_collective(
     to :class:`~repro.runtime.world.World` (``False`` forces the
     reference event path — what the perf-regression gate compares
     against).
+
+    ``resources=True`` attaches a
+    :class:`~repro.obs.resources.ResourceMonitor` (fast-path safe) and
+    fills ``point.resources`` with its summary over the measured
+    iterations (warmup excluded).  ``attribution=True`` additionally
+    profiles one span-traced call in a fresh world
+    (:func:`repro.bench.breakdown.measure_attribution`) and fills
+    ``point.attribution`` — the timing numbers still come from the
+    untraced run.
     """
     lib = make_library(library) if isinstance(library, str) else library
     if warmup < 0 or iters < 1:
         raise ValueError("need warmup >= 0 and iters >= 1")
     world = lib.make_world(params, functional=functional,
                            faults=faults, reliable=reliable,
-                           fastpath=fastpath)
+                           fastpath=fastpath, resources=resources)
     size = world.comm_world.size
     algo = lib.wrapped(collective, nbytes, size)
+    monitor = world.resources
 
     def program(ctx):
         bufs = _buffers(ctx, collective, nbytes, size, root)
         lats: List[float] = []
-        for _ in range(warmup + iters):
+        for i in range(warmup + iters):
             yield from ctx.hard_sync()
+            if i == warmup and ctx.rank == 0 and monitor is not None:
+                # All ranks sit at the same hard-sync instant and every
+                # cost is paid strictly later, so wiping here scopes
+                # the telemetry window to the measured iterations.
+                monitor.reset()
             t0 = ctx.now
             yield from _invoke(algo, ctx, bufs, collective, root)
             lats.append(ctx.now - t0)
@@ -143,6 +187,12 @@ def bench_collective(
     per_iter_us = tuple(
         max(per_rank[r][i] for r in range(size)) * 1e6 for i in range(iters)
     )
+    attr = None
+    if attribution:
+        from .breakdown import measure_attribution
+
+        attr = measure_attribution(lib, collective, nbytes, params,
+                                   functional=functional, root=root).as_dict()
     return BenchPoint(
         library=lib.profile.name,
         collective=collective,
@@ -152,6 +202,71 @@ def bench_collective(
         max_us=max(per_iter_us),
         iterations=per_iter_us,
         stats=world.stats(),
+        nodes=params.nodes,
+        ppn=params.ppn,
+        resources=monitor.summary() if monitor is not None else None,
+        attribution=attr,
+    )
+
+
+def single_leader_allgather(
+    nbytes: int,
+    params: MachineParams,
+    warmup: int = 1,
+    iters: int = 3,
+    functional: bool = False,
+    resources: bool = False,
+) -> BenchPoint:
+    """The single-object Fig. 2 baseline as a benchable point.
+
+    Every lineup library at small sizes selects a *flat* allgather, so
+    the paper's "single-leader idles P−1 NICs per node" foil has to be
+    timed explicitly: ``hier_allgather`` (node gather → leader Bruck →
+    node bcast) over the same PiP transport PiP-MColl uses.  Reported
+    under the synthetic library name ``"SingleLeader"`` — it is a
+    schedule arm, not a registry library, so library-enumeration tests
+    stay untouched.
+    """
+    from ..collectives import hier_allgather
+    from ..runtime import World
+
+    if warmup < 0 or iters < 1:
+        raise ValueError("need warmup >= 0 and iters >= 1")
+    world = World(params, intra="pip", functional=functional,
+                  resources=resources)
+    size = world.comm_world.size
+    monitor = world.resources
+
+    def program(ctx):
+        send = ctx.alloc(nbytes)
+        recv = ctx.alloc(nbytes * size)
+        lats: List[float] = []
+        for i in range(warmup + iters):
+            yield from ctx.hard_sync()
+            if i == warmup and ctx.rank == 0 and monitor is not None:
+                monitor.reset()
+            t0 = ctx.now
+            yield from hier_allgather(ctx, send.view(), recv.view())
+            lats.append(ctx.now - t0)
+        return lats[warmup:]
+
+    per_rank = world.run(program)
+    world.assert_quiescent()
+    per_iter_us = tuple(
+        max(per_rank[r][i] for r in range(size)) * 1e6 for i in range(iters)
+    )
+    return BenchPoint(
+        library="SingleLeader",
+        collective="allgather",
+        nbytes=nbytes,
+        latency_us=sum(per_iter_us) / len(per_iter_us),
+        min_us=min(per_iter_us),
+        max_us=max(per_iter_us),
+        iterations=per_iter_us,
+        stats=world.stats(),
+        nodes=params.nodes,
+        ppn=params.ppn,
+        resources=monitor.summary() if monitor is not None else None,
     )
 
 
@@ -199,6 +314,8 @@ def run_sweep(
     iters: int = 3,
     functional: bool = False,
     root: int = 0,
+    resources: bool = False,
+    attribution: bool = False,
 ) -> Sweep:
     """Benchmark ``collective`` across libraries × sizes."""
     from ..mpilibs import PAPER_LINEUP
@@ -210,5 +327,6 @@ def run_sweep(
             sweep.points[(lib, nbytes)] = bench_collective(
                 lib, collective, nbytes, params,
                 warmup=warmup, iters=iters, functional=functional, root=root,
+                resources=resources, attribution=attribution,
             )
     return sweep

@@ -1,0 +1,167 @@
+"""BenchRecord: the standard benchmark-result JSON schema.
+
+Every benchmark that wants to feed the reporting pipeline
+(``python -m repro report``) emits records of this shape into
+``benchmarks/results/*.records.json``.  A record is one measured
+(library, collective, size, geometry) point plus optional resource
+telemetry and LogGP attribution; its ``key`` uses the exact golden-
+baseline format (``lib/coll/{n}B@{nodes}x{ppn}``,
+:mod:`repro.bench.regression`) so regression flagging is a dict lookup,
+not a re-run.
+
+File format::
+
+    {"schema": 1, "records": [ {record}, ... ]}
+
+``validate_record`` / ``validate_file`` are the structural checks CI
+runs on every emitted file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+#: bump on any incompatible record-shape change
+SCHEMA_VERSION = 1
+
+#: required record fields → required python types
+_REQUIRED = {
+    "schema": int,
+    "key": str,
+    "library": str,
+    "collective": str,
+    "nbytes": int,
+    "nodes": int,
+    "ppn": int,
+    "latency_us": (int, float),
+    "min_us": (int, float),
+    "max_us": (int, float),
+    "iterations_us": list,
+}
+
+#: optional fields → allowed types (None always allowed)
+_OPTIONAL = {
+    "stats": dict,
+    "resources": dict,
+    "attribution": dict,
+    "meta": dict,
+}
+
+
+def record_key(library: str, collective: str, nbytes: int,
+               nodes: int, ppn: int) -> str:
+    """The golden-baseline key format (regression ``_key``)."""
+    return f"{library}/{collective}/{nbytes}B@{nodes}x{ppn}"
+
+
+@dataclass
+class BenchRecord:
+    """One schema'd benchmark measurement."""
+
+    library: str
+    collective: str
+    nbytes: int
+    nodes: int
+    ppn: int
+    latency_us: float
+    min_us: float
+    max_us: float
+    iterations_us: List[float]
+    stats: Optional[Dict[str, Any]] = None
+    #: ResourceMonitor.summary() of the measured window, or None
+    resources: Optional[Dict[str, Any]] = None
+    #: Attribution.as_dict(), or None
+    attribution: Optional[Dict[str, Any]] = None
+    #: free-form provenance (bench name, scale, machine preset)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def key(self) -> str:
+        return record_key(self.library, self.collective, self.nbytes,
+                          self.nodes, self.ppn)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["key"] = self.key
+        return out
+
+
+def validate_record(obj: Any, where: str = "record") -> None:
+    """Raise :class:`ValueError` naming the first schema violation."""
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: must be an object, got {type(obj).__name__}")
+    for name, types in _REQUIRED.items():
+        if name not in obj:
+            raise ValueError(f"{where}: missing required field {name!r}")
+        if isinstance(obj[name], bool) or not isinstance(obj[name], types):
+            raise ValueError(
+                f"{where}: field {name!r} has type "
+                f"{type(obj[name]).__name__}, expected {types}"
+            )
+    if obj["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"{where}: schema {obj['schema']} != supported {SCHEMA_VERSION}"
+        )
+    expected = record_key(obj["library"], obj["collective"], obj["nbytes"],
+                          obj["nodes"], obj["ppn"])
+    if obj["key"] != expected:
+        raise ValueError(f"{where}: key {obj['key']!r} != derived {expected!r}")
+    for name, types in _OPTIONAL.items():
+        if name in obj and obj[name] is not None \
+                and not isinstance(obj[name], types):
+            raise ValueError(
+                f"{where}: field {name!r} has type "
+                f"{type(obj[name]).__name__}, expected {types} or null"
+            )
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in obj["iterations_us"]):
+        raise ValueError(f"{where}: iterations_us must hold numbers")
+
+
+def validate_file(obj: Any, where: str = "file") -> int:
+    """Validate one records file object; returns the record count."""
+    if not isinstance(obj, dict) or not isinstance(obj.get("records"), list):
+        raise ValueError(f"{where}: must be {{'schema': .., 'records': [..]}}")
+    if obj.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{where}: schema {obj.get('schema')} != supported {SCHEMA_VERSION}"
+        )
+    for i, rec in enumerate(obj["records"]):
+        validate_record(rec, where=f"{where}: records[{i}]")
+    return len(obj["records"])
+
+
+def write_records(path: Union[str, Path],
+                  records: Iterable[BenchRecord]) -> Path:
+    """Write (and validate) one records file; returns its path."""
+    path = Path(path)
+    obj = {
+        "schema": SCHEMA_VERSION,
+        "records": [r.as_dict() for r in records],
+    }
+    validate_file(obj, where=str(path))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_records(root: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Load every ``*.records.json`` under ``root``; key → record dict.
+
+    ``root`` may also be a single records file.  Validates everything
+    it reads; later files win on duplicate keys (sorted path order, so
+    ingestion is deterministic).
+    """
+    root = Path(root)
+    paths = [root] if root.is_file() else sorted(root.glob("*.records.json"))
+    out: Dict[str, Dict[str, Any]] = {}
+    for path in paths:
+        obj = json.loads(path.read_text())
+        validate_file(obj, where=str(path))
+        for rec in obj["records"]:
+            out[rec["key"]] = rec
+    return out

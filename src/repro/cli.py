@@ -16,7 +16,12 @@ Commands
     printed as a resilience report.
 ``trace``
     Run one collective under span tracing, export a Perfetto/Chrome
-    trace JSON, and print the critical path plus derived metrics.
+    trace JSON, and print the critical path plus derived metrics
+    (``--resources`` adds per-facility counter tracks).
+``report``
+    Ingest ``benchmarks/results/*.records.json`` and write the
+    Fig. 2–7-style comparison report (CSV + JSON + self-contained
+    HTML) plus the repo-root ``BENCH_summary.json``.
 """
 
 from __future__ import annotations
@@ -150,7 +155,8 @@ def cmd_trace(args) -> int:
     from .bench.harness import _buffers, _invoke
     from .obs import validate_chrome_trace
 
-    session = Session(library=args.library, params=_machine(args), trace=True)
+    session = Session(library=args.library, params=_machine(args), trace=True,
+                      resources=args.resources)
     lib = session._lib
     size = session.machine.nodes * session.machine.ppn
     algo = lib.wrapped(args.collective, args.size, size)
@@ -175,6 +181,50 @@ def cmd_trace(args) -> int:
     print(result.critical_path(args.collective).describe())
     print()
     print(result.metrics.format())
+    if result.resources is not None:
+        inj = result.resources.injection_summary()
+        occ = result.resources.occupancy_by_kind()
+        print()
+        print("resource occupancy: " + "  ".join(
+            f"{kind}={val:.4f}" for kind, val in sorted(occ.items())))
+        print(f"injection engines: {inj['active_ranks']} active "
+              f"({inj['engine_utilization']:.0%}), aggregate occupancy "
+              f"{inj['aggregate_occupancy']:.4f}, "
+              f"{inj['total_msgs']} msgs / {inj['total_bytes']} B")
+    return 0
+
+
+def cmd_report(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .report import build_report, render_html, write_summary
+
+    golden = args.golden if args.golden and Path(args.golden).exists() else None
+    report = build_report(args.results, golden=golden,
+                          tolerance=args.tolerance)
+    if not report.records:
+        print(f"no *.records.json under {args.results} — run the "
+              "benchmarks first (PYTHONPATH=src python -m pytest benchmarks)")
+        return 1
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "report.json").write_text(
+        json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+    for name, text in report.to_csv().items():
+        (out / name).write_text(text)
+    (out / "report.html").write_text(render_html(report))
+    if args.summary:
+        write_summary(args.summary, report)
+    print(report.format())
+    print()
+    wrote = sorted(p.name for p in out.iterdir())
+    print(f"wrote {out}/: {', '.join(wrote)}"
+          + (f" and {args.summary}" if args.summary else ""))
+    if args.strict and report.drifted:
+        print(f"FAIL: {len(report.drifted)} benchmark(s) drifted beyond "
+              f"±{report.tolerance:.0%} of golden")
+        return 1
     return 0
 
 
@@ -259,8 +309,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="trace.json")
     p.add_argument("--validate", action="store_true",
                    help="check the export against the Chrome trace-event schema")
+    p.add_argument("--resources", action="store_true",
+                   help="record per-resource busy/queue timelines and "
+                        "export them as Perfetto counter tracks")
     _add_machine_args(p, nodes=4, ppn=4)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("report", help="benchmark records → paper-figure report")
+    p.add_argument("--results", default="benchmarks/results",
+                   help="directory of *.records.json (or one file)")
+    p.add_argument("--out", default="benchmarks/results/report",
+                   help="output directory for CSV/JSON/HTML")
+    p.add_argument("--summary", default="BENCH_summary.json",
+                   help="trajectory summary path ('' to skip)")
+    p.add_argument("--golden", default="benchmarks/golden.json",
+                   help="golden latency baseline for drift flags")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="drift tolerance vs golden (fraction)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when any benchmark drifted")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("info", help="presets, libraries, transports")
     p.set_defaults(fn=cmd_info)

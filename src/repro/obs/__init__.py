@@ -25,21 +25,32 @@ With no recorder attached every instrumentation point is a single
 this subsystem existed.
 """
 
+from .attribution import COMPONENTS, Attribution, RoundAttribution, attribute
 from .critical_path import CriticalPath, Hop, critical_path
-from .metrics import Histogram, Metrics
-from .perfetto import to_perfetto, validate_chrome_trace, write_perfetto
+from .metrics import CardinalityError, Histogram, Metrics
+from .perfetto import (counter_events, to_perfetto, validate_chrome_trace,
+                       write_perfetto)
+from .resources import ResourceMonitor, ResourceTimeline
 from .spans import NULL_SPAN, Span, SpanRecorder
 from .timeline import TraceTree
 
 __all__ = [
+    "Attribution",
+    "COMPONENTS",
+    "CardinalityError",
     "CriticalPath",
     "Histogram",
     "Hop",
     "Metrics",
     "NULL_SPAN",
+    "ResourceMonitor",
+    "ResourceTimeline",
+    "RoundAttribution",
     "Span",
     "SpanRecorder",
     "TraceTree",
+    "attribute",
+    "counter_events",
     "critical_path",
     "to_perfetto",
     "validate_chrome_trace",

@@ -1,0 +1,349 @@
+"""Model-vs-measured bottleneck attribution in LogGP terms.
+
+Where did the collective's time go?  :func:`attribute` walks the
+critical path of one collective (see :mod:`repro.obs.critical_path`)
+and decomposes every segment of the bounding timeline — message hops
+and the compute/sync gaps between them — into the cost model's terms
+(COSTMODEL.md):
+
+``L``
+    wire / flag-visibility latency
+``o``
+    per-message CPU overhead (``inject_overhead`` / ``recv_overhead``
+    and protocol handshakes)
+``gG``
+    pipe serialisation (``max(g, n*G)`` per pipe traversal)
+``copy``
+    payload memcpy time (bounce buffers, copy-in/copy-out, peer reads)
+``sync``
+    measured overlap with ``cat="sync"`` spans (barriers, flag waits,
+    size synchronisation)
+``compute``
+    dispatch overhead and unattributed local work between messages
+``queue``
+    residual inside message hops — time the message waited behind
+    other traffic in a FIFO pipe (or bus contention beyond the
+    single-core copy model)
+
+Allocation is *sequential-min*: each segment's model terms are taken
+in priority order, each clipped to the time still unexplained, and
+whatever remains lands in the residual bucket.  Components therefore
+sum to the measured window **exactly** (the ±1 µs acceptance bound has
+zero slack by construction); the unclipped model values are kept
+separately so callers can diff model-predicted vs measured per term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .critical_path import CriticalPath, Hop, critical_path
+from .timeline import TraceTree
+
+#: every attribution component, in report order
+COMPONENTS = ("L", "o", "gG", "copy", "sync", "compute", "queue")
+
+#: component → the facility it points the finger at
+RESOURCE_OF = {
+    "L": "wire",
+    "o": "cpu",
+    "gG": "nic_pipe",
+    "copy": "membus",
+    "sync": "peer",
+    "compute": "cpu",
+    "queue": "pipe_backlog",
+}
+
+#: transports that cross the fabric
+_NET_NAMES = {"network", "reliable_network", "fabric_network"}
+
+
+def _zero() -> Dict[str, float]:
+    return {c: 0.0 for c in COMPONENTS}
+
+
+def _hop_model(transport: str, nbytes: int, params) -> List[Tuple[str, float]]:
+    """Model terms of one message hop (post → matchable), in
+    allocation priority order."""
+    nic = params.nic
+    mem = params.memory
+    dispatch = params.cpu.dispatch_overhead
+    if transport in _NET_NAMES:
+        if nbytes <= nic.eager_limit:
+            return [
+                ("compute", dispatch),
+                ("o", nic.inject_overhead),
+                ("copy", mem.copy_time(nbytes)),
+                ("L", nic.latency),
+                ("gG", 2.0 * nic.wire_time(nbytes)),
+            ]
+        return [
+            ("compute", dispatch),
+            ("o", nic.inject_overhead + nic.rendezvous_overhead),
+            ("L", 3.0 * nic.latency),  # RTS/CTS round trip + payload
+            ("gG", 2.0 * nic.wire_time(nbytes)),
+        ]
+    if transport == "loopback":
+        return [("compute", dispatch)]
+    # Intra-node: dispatch + transport-specific sender work + one
+    # flag-visibility hop.  Sender-side copies (copy-in designs) count
+    # as copy; the naive PiP size handshake counts as sync.
+    terms: List[Tuple[str, float]] = [("compute", dispatch)]
+    if transport == "pip+sizesync":
+        from ..pip.sync import SizeSync
+
+        terms.append(("sync", SizeSync(mem).cost()))
+    elif transport == "posix_shmem":
+        from ..transport.posix_shmem import PosixShmemTransport as _T
+
+        cells = max(1, -(-nbytes // _T.CELL_SIZE))
+        terms.append(("compute", cells * _T.CELL_OVERHEAD))
+        terms.append(("copy", mem.copy_time(nbytes)))
+    elif transport == "cma":
+        from ..transport.cma import CmaTransport as _T
+
+        terms.append(("compute", _T.HEADER_COST))
+    elif transport == "xpmem":
+        terms.append(("compute", 1.0e-7))  # header publish
+    terms.append(("L", mem.flag_latency))
+    return terms
+
+
+def _recv_model(transport: str, nbytes: int, params) -> List[Tuple[str, float]]:
+    """Receiver-side model terms paid after a message matches."""
+    nic = params.nic
+    mem = params.memory
+    terms: List[Tuple[str, float]] = [("compute", params.cpu.dispatch_overhead)]
+    if transport in _NET_NAMES:
+        terms.append(("o", nic.recv_overhead))
+        if nbytes <= nic.eager_limit:
+            terms.append(("copy", mem.copy_time(nbytes)))
+    elif transport != "loopback":
+        terms.append(("copy", mem.copy_time(nbytes)))
+    return terms
+
+
+def _allocate(duration: float, model: List[Tuple[str, float]],
+              terms: Dict[str, float], model_acc: Dict[str, float],
+              residual: str) -> None:
+    """Sequential-min allocation of ``duration`` over ``model`` terms."""
+    remaining = duration
+    for comp, value in model:
+        model_acc[comp] += value
+        take = value if value < remaining else remaining
+        if take > 0.0:
+            terms[comp] += take
+            remaining -= take
+    if remaining > 0.0:
+        terms[residual] += remaining
+
+
+def _sync_overlap(tree: TraceTree, rank: int, t0: float, t1: float) -> float:
+    """Measured seconds of ``[t0, t1]`` that rank spent in sync spans."""
+    total = 0.0
+    for span in tree.find(cat="sync", rank=rank):
+        if span.t1 is None:
+            continue
+        lo = max(span.t0, t0)
+        hi = min(span.t1, t1)
+        if hi > lo:
+            total += hi - lo
+    return min(total, t1 - t0) if t1 > t0 else 0.0
+
+
+@dataclass
+class RoundAttribution:
+    """One round's share of the critical-path timeline."""
+
+    round: Optional[int]
+    measured: float = 0.0
+    terms: Dict[str, float] = field(default_factory=_zero)
+
+    @property
+    def dominant(self) -> str:
+        return max(COMPONENTS, key=lambda c: self.terms[c])
+
+
+@dataclass
+class Attribution:
+    """LogGP decomposition of one collective's measured window."""
+
+    collective: str
+    #: the measured window (first span open → slowest instance close)
+    start_time: float
+    end_time: float
+    #: allocated seconds per component — sums to ``measured`` exactly
+    terms: Dict[str, float]
+    #: unclipped model-predicted seconds per component
+    model: Dict[str, float]
+    rounds: List[RoundAttribution]
+    path: CriticalPath
+
+    @property
+    def measured(self) -> float:
+        """The measured sim time being explained."""
+        return self.end_time - self.start_time
+
+    @property
+    def dominant(self) -> str:
+        """The component carrying the most measured time."""
+        return max(COMPONENTS, key=lambda c: self.terms[c])
+
+    @property
+    def dominant_resource(self) -> str:
+        """The facility the dominant term points at."""
+        return RESOURCE_OF[self.dominant]
+
+    def residual(self) -> float:
+        """Sum of components minus measured time (0 by construction)."""
+        return sum(self.terms.values()) - self.measured
+
+    def check(self, tolerance: float = 1e-6) -> None:
+        """Assert the decomposition explains the measured time."""
+        err = self.residual()
+        assert abs(err) <= tolerance, (
+            f"{self.collective}: components sum to "
+            f"{sum(self.terms.values()) * 1e6:.3f} us but measured "
+            f"{self.measured * 1e6:.3f} us (err {err * 1e6:+.3f} us)"
+        )
+
+    def diff(self) -> Dict[str, float]:
+        """Measured-minus-model seconds per component.
+
+        Negative values mean the model over-predicts (the run pipelined
+        or overlapped that cost); positive means unmodelled time
+        (typically contention surfacing as ``queue``).
+        """
+        return {c: self.terms[c] - self.model[c] for c in COMPONENTS}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe dump for BenchRecords."""
+        return {
+            "collective": self.collective,
+            "measured_s": self.measured,
+            "dominant": self.dominant,
+            "dominant_resource": self.dominant_resource,
+            "terms_s": dict(self.terms),
+            "model_s": dict(self.model),
+            "rounds": [
+                {"round": r.round, "measured_s": r.measured,
+                 "terms_s": dict(r.terms), "dominant": r.dominant}
+                for r in self.rounds
+            ],
+        }
+
+    def format(self) -> str:
+        """Readable stack: per-term share of the measured window."""
+        total = self.measured
+        lines = [
+            f"attribution ({self.collective}): "
+            f"{total * 1e6:.2f} us measured, dominant {self.dominant} "
+            f"({RESOURCE_OF[self.dominant]})"
+        ]
+        for comp in COMPONENTS:
+            t = self.terms[comp]
+            if t <= 0.0:
+                continue
+            share = t / total if total > 0 else 0.0
+            delta = t - self.model[comp]
+            lines.append(
+                f"  {comp:8s} {t * 1e6:9.2f} us  {share:6.1%}  "
+                f"(model {self.model[comp] * 1e6:.2f} us, "
+                f"{delta * 1e6:+.2f})"
+            )
+        return "\n".join(lines)
+
+
+def attribute(tree: TraceTree, collective: str, params,
+              path: Optional[CriticalPath] = None) -> Attribution:
+    """Decompose one collective's measured window along its critical path.
+
+    Expects one instance of the collective per rank in the tree (the
+    profiling pattern: warmup, ``recorder.reset()`` at a hard-sync
+    point, then the measured call).  ``params`` is the world's
+    :class:`~repro.machine.params.MachineParams`.
+    """
+    if path is None:
+        path = critical_path(tree, collective)
+    scopes = tree.find(name=collective, cat="collective")
+    if not scopes:
+        raise ValueError(f"no collective spans named {collective!r}")
+    start = min(s.t0 for s in scopes)
+    end = max(s.t1 for s in scopes if s.t1 is not None)
+    if path.end_time > end:
+        end = path.end_time
+
+    terms = _zero()
+    model = _zero()
+    per_round: Dict[Optional[int], RoundAttribution] = {}
+
+    def round_bucket(idx: Optional[int]) -> RoundAttribution:
+        bucket = per_round.get(idx)
+        if bucket is None:
+            bucket = per_round[idx] = RoundAttribution(idx)
+        return bucket
+
+    def charge(duration: float, model_terms: List[Tuple[str, float]],
+               residual: str, rank: int, t0: float,
+               rnd: Optional[int], sync_first: bool = True) -> None:
+        if duration <= 0.0:
+            return
+        seg_terms = _zero()
+        seg_model = _zero()
+        remaining = duration
+        if sync_first:
+            sync = _sync_overlap(tree, rank, t0, t0 + duration)
+            if sync > 0.0:
+                seg_terms["sync"] += sync
+                remaining -= sync
+        _allocate(remaining, model_terms, seg_terms, seg_model, residual)
+        bucket = round_bucket(rnd)
+        bucket.measured += duration
+        for comp in COMPONENTS:
+            terms[comp] += seg_terms[comp]
+            model[comp] += seg_model[comp]
+            bucket.terms[comp] += seg_terms[comp]
+
+    hops = path.hops
+    if not hops:
+        # No message chain (single rank, or an intra-only pattern the
+        # walk could not chain): the whole window is the end rank's
+        # local work.
+        rank = path.end_rank if path.end_rank >= 0 else 0
+        charge(end - start, [], "compute", rank, start, None)
+    else:
+        # Lead-in: window start → first send post, on the first sender.
+        charge(hops[0].t0 - start, [], "compute",
+               hops[0].src, start, hops[0].round)
+        for i, hop in enumerate(hops):
+            # The hop itself: send post → matchable at the receiver.
+            charge(hop.duration,
+                   _hop_model(hop.transport, hop.nbytes, params),
+                   "queue", hop.src, hop.t0, hop.round, sync_first=False)
+            # The gap after arrival: receiver-side completion costs,
+            # sync waits, local work until the next send (or window end).
+            gap_end = hops[i + 1].t0 if i + 1 < len(hops) else end
+            gap_rank = hops[i + 1].src if i + 1 < len(hops) else path.end_rank
+            gap_round = hops[i + 1].round if i + 1 < len(hops) else hop.round
+            charge(gap_end - hop.t1,
+                   _recv_model(hop.transport, hop.nbytes, params),
+                   "compute", gap_rank, hop.t1, gap_round)
+
+    rounds = [per_round[idx] for idx in sorted(
+        per_round, key=lambda r: (r is None, r))]
+    annotate_hops(hops, params)
+    return Attribution(collective=collective, start_time=start, end_time=end,
+                       terms=terms, model=model, rounds=rounds, path=path)
+
+
+def annotate_hops(hops: List[Hop], params) -> None:
+    """Set each hop's ``waited_on`` to the facility its dominant
+    allocated term points at (sequential-min over the hop model)."""
+    for hop in hops:
+        seg_terms = _zero()
+        seg_model = _zero()
+        _allocate(hop.duration, _hop_model(hop.transport, hop.nbytes, params),
+                  seg_terms, seg_model, "queue")
+        dominant = max(COMPONENTS, key=lambda c: seg_terms[c])
+        hop.waited_on = RESOURCE_OF[dominant]

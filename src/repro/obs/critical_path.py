@@ -38,6 +38,10 @@ class Hop:
     transport: str
     round: Optional[int] = None
     collective: Optional[str] = None
+    #: facility this edge mostly waited on ("nic_pipe" | "wire" |
+    #: "membus" | "cpu" | "pipe_backlog" | ...) — set when the caller
+    #: passes machine params (see :func:`repro.obs.attribution.annotate_hops`)
+    waited_on: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -54,6 +58,11 @@ class CriticalPath:
     #: simulated time the path ends
     end_time: float = 0.0
     collective: Optional[str] = None
+
+    @property
+    def start_time(self) -> float:
+        """Start of the first hop (``end_time`` with no hops)."""
+        return self.hops[0].t0 if self.hops else self.end_time
 
     @property
     def elapsed(self) -> float:
@@ -91,10 +100,12 @@ class CriticalPath:
         ]
         for hop in self.hops:
             rnd = f" round {hop.round}" if hop.round is not None else ""
+            waited = f"  waited on {hop.waited_on}" \
+                if hop.waited_on is not None else ""
             lines.append(
                 f"  rank {hop.src} --{hop.transport}--> rank {hop.dst}"
                 f"{rnd}  {hop.nbytes} B  "
-                f"[{hop.t0 * 1e6:.2f}us → {hop.t1 * 1e6:.2f}us]"
+                f"[{hop.t0 * 1e6:.2f}us → {hop.t1 * 1e6:.2f}us]{waited}"
             )
         lines.append(
             f"  bounded by: rank {self.bounding_rank} (finishes last), "
@@ -113,13 +124,16 @@ def _round_of(tree: TraceTree, span: Span) -> Optional[int]:
 
 
 def critical_path(tree: TraceTree,
-                  collective: Optional[str] = None) -> CriticalPath:
+                  collective: Optional[str] = None,
+                  params=None) -> CriticalPath:
     """Extract the bounding message chain from a span tree.
 
     With ``collective`` given, only messages enclosed by a span of
     that name count, and the path ends where the slowest rank's
     instance of that collective closes; otherwise the whole tree's
-    message graph is used.
+    message graph is used.  With ``params`` (the world's
+    :class:`~repro.machine.params.MachineParams`) each hop is
+    annotated with the facility it mostly waited on (``waited_on``).
     """
     messages = [s for s in tree if s.cat == "message" and s.t1 is not None]
     if collective is not None:
@@ -181,5 +195,9 @@ def critical_path(tree: TraceTree,
         # Continue upstream of the sender, strictly before the send.
         rank, horizon = hops[-1].src, hops[-1].t0 - _EPS
     hops.reverse()
+    if params is not None:
+        from .attribution import annotate_hops
+
+        annotate_hops(hops, params)
     return CriticalPath(hops=hops, end_rank=end_rank, end_time=end_time,
                         collective=collective)

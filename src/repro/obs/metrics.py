@@ -25,6 +25,15 @@ def _key(name: str, labels: Dict[str, Any]) -> _Key:
     return (name, tuple(sorted(labels.items())))
 
 
+class CardinalityError(RuntimeError):
+    """Raised when a registry exceeds its label-set budget.
+
+    High-cardinality labels (per-rank, per-message ids) belong in
+    structured dumps (BenchRecords, monitor summaries), not in the
+    metric registry — this guard catches them at the write site.
+    """
+
+
 @dataclass
 class Histogram:
     """Log2-bucketed distribution (count/sum/min/max + buckets).
@@ -70,26 +79,47 @@ class Metrics:
     bytes-by-transport table).
     """
 
-    def __init__(self) -> None:
+    #: default bound on distinct (name, label-set) series
+    MAX_SERIES = 1000
+
+    def __init__(self, max_series: int = MAX_SERIES) -> None:
         self._counters: Dict[_Key, float] = {}
         self._gauges: Dict[_Key, float] = {}
         self._histograms: Dict[_Key, Histogram] = {}
+        self.max_series = max_series
+        self._series = 0
+
+    def _grow(self, k: _Key) -> None:
+        self._series += 1
+        if self._series > self.max_series:
+            name, items = k
+            raise CardinalityError(
+                f"metrics registry exceeded {self.max_series} distinct "
+                f"label sets (while writing {name}{dict(items)!r}) — move "
+                "high-cardinality data into a structured dump instead"
+            )
 
     # -- writes ----------------------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
         """Add ``value`` to a counter (creating it at 0)."""
         k = _key(name, labels)
+        if k not in self._counters:
+            self._grow(k)
         self._counters[k] = self._counters.get(k, 0.0) + value
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set a gauge to ``value``."""
-        self._gauges[_key(name, labels)] = value
+        k = _key(name, labels)
+        if k not in self._gauges:
+            self._grow(k)
+        self._gauges[k] = value
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record one histogram sample."""
         k = _key(name, labels)
         hist = self._histograms.get(k)
         if hist is None:
+            self._grow(k)
             hist = self._histograms[k] = Histogram()
         hist.observe(value)
 
@@ -98,6 +128,7 @@ class Metrics:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._series = 0
 
     # -- reads -----------------------------------------------------------
     def counter(self, name: str, **labels: Any) -> float:

@@ -26,11 +26,15 @@ _PHASES = {"X", "i", "s", "f", "M", "B", "E", "C"}
 
 
 def to_perfetto(tree: TraceTree,
-                node_of: Optional[Dict[int, int]] = None) -> Dict[str, Any]:
+                node_of: Optional[Dict[int, int]] = None,
+                resources: Optional[Any] = None) -> Dict[str, Any]:
     """Export a span tree as a Trace Event Format object.
 
     ``node_of`` maps rank → node id so ranks group into per-node
     process tracks; without it everything lands in process 0.
+    ``resources`` (a :class:`~repro.obs.resources.ResourceMonitor`)
+    adds ``"C"`` counter tracks — per-node pipe busy edges and queue
+    depth — alongside the span slices.
     """
     node_of = node_of or {}
     events: List[Dict[str, Any]] = []
@@ -82,13 +86,52 @@ def to_perfetto(tree: TraceTree,
                 "tid": dst,
             })
 
+    if resources is not None:
+        events.extend(counter_events(resources))
+
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
+def counter_events(resources: Any,
+                   max_edges_per_track: int = 4000) -> List[Dict[str, Any]]:
+    """``"C"`` counter-track events from a ResourceMonitor.
+
+    One busy track (0/1 edges per busy interval) and one queue track
+    per facility, grouped under the owning node's process row.  Long
+    runs are downsampled to ``max_edges_per_track`` edges per track so
+    full-scale traces stay loadable.
+    """
+    out: List[Dict[str, Any]] = []
+    for tl in resources.timelines:
+        pid = int(tl.node) if tl.node is not None else 0
+        track = tl.name
+        intervals = tl.intervals
+        if len(intervals) > max_edges_per_track // 2:
+            step = -(-len(intervals) * 2 // max_edges_per_track)
+            intervals = intervals[::step]
+        for start, end in intervals:
+            out.append({"name": f"{track} busy", "ph": "C",
+                        "ts": start * 1e6, "pid": pid, "tid": 0,
+                        "args": {"busy": 1}})
+            out.append({"name": f"{track} busy", "ph": "C",
+                        "ts": end * 1e6, "pid": pid, "tid": 0,
+                        "args": {"busy": 0}})
+        samples = tl.queue_samples
+        if len(samples) > max_edges_per_track:
+            step = -(-len(samples) // max_edges_per_track)
+            samples = samples[::step]
+        for sample in samples:
+            out.append({"name": f"{track} queue", "ph": "C",
+                        "ts": sample[0] * 1e6, "pid": pid, "tid": 0,
+                        "args": {"depth": sample[1]}})
+    return out
+
+
 def write_perfetto(tree: TraceTree, path: str,
-                   node_of: Optional[Dict[int, int]] = None) -> Dict[str, Any]:
+                   node_of: Optional[Dict[int, int]] = None,
+                   resources: Optional[Any] = None) -> Dict[str, Any]:
     """Export and write ``path``; returns the exported object."""
-    obj = to_perfetto(tree, node_of=node_of)
+    obj = to_perfetto(tree, node_of=node_of, resources=resources)
     with open(path, "w") as fh:
         json.dump(obj, fh)
     return obj

@@ -1,0 +1,295 @@
+"""Per-resource utilization telemetry on the simulation clock.
+
+Every shared facility of the simulated machine — NIC injection and
+extraction pipes, the per-node memory bus, fabric pod uplinks and any
+:class:`~repro.sim.resources.Resource` slots — can record its busy
+intervals and queue pressure into a :class:`ResourceTimeline`.  A
+:class:`ResourceMonitor` attaches one timeline per facility of a
+:class:`~repro.runtime.world.World`, derives occupancy gauges, and
+feeds Perfetto counter tracks (:mod:`repro.obs.perfetto`).
+
+The hooks live inside :meth:`RateLimiter.reserve
+<repro.sim.resources.RateLimiter.reserve>` — the single FIFO funnel
+both the reference choreography *and* the macro-event fast path go
+through with identical timestamps — so the recorded telemetry is
+byte-identical across engine paths (enforced by
+``tests/validate/test_differential.py``).
+
+Occupancy definitions
+---------------------
+*Pipe occupancy* is wall-clock fraction the pipe spent serving jobs:
+``busy_time / elapsed``.  *Injection-engine occupancy* — the paper's
+lens (PAPER.md §2–3: multi-object schedules keep all ``P`` per-node
+engines busy; single-object schedules idle ``P-1``) — has two faces:
+time-integrated load, ``Σ msgs×o / (elapsed × nranks)``, and
+*engine utilization*, the fraction of injection engines the schedule
+engages at all (``active_ranks / nranks``).  The paper's ``P×`` claim
+is literally the second (busy engines vs idled engines), so the Fig. 2
+report checks the ``≥ P×`` bar against engine utilization while also
+tabulating the time-integrated ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: tolerance for interval-overlap validation (simulated seconds)
+_EPS = 1e-15
+
+
+class ResourceTimeline:
+    """Busy intervals + queue samples for one facility, on the sim clock.
+
+    Intervals arrive in non-decreasing start order (the limiter is
+    FIFO); back-to-back intervals are merged so the list stays compact
+    even for million-message runs.
+    """
+
+    __slots__ = ("kind", "name", "node", "intervals", "queue_samples")
+
+    def __init__(self, kind: str, name: str, node: Optional[int] = None) -> None:
+        #: facility class: "nic_tx" | "nic_rx" | "membus" | "uplink" | "slots"
+        self.kind = kind
+        #: unique instance name, e.g. "nic_tx/node3"
+        self.name = name
+        #: owning node id (None for fabric links)
+        self.node = node
+        #: merged busy windows, ``[[start, end], ...]``
+        self.intervals: List[List[float]] = []
+        #: ``(t, depth)`` or ``(t, depth, in_use)`` pressure samples —
+        #: backlog seconds for pipes, waiter count for slot resources
+        self.queue_samples: List[Tuple[float, ...]] = []
+
+    # -- recording (hot path) -------------------------------------------
+    def record_busy(self, start: float, end: float) -> None:
+        """Append one busy interval ``[start, end)``; merges contiguity."""
+        if end <= start:
+            return  # zero-length reservations carry no busy time
+        iv = self.intervals
+        if iv:
+            last = iv[-1]
+            if start <= last[1] + _EPS:
+                if end > last[1]:
+                    last[1] = end
+                return
+        iv.append([start, end])
+
+    def sample_queue(self, t: float, depth: float,
+                     in_use: Optional[int] = None) -> None:
+        """Record queue pressure at time ``t``.
+
+        Consecutive samples with equal depth are collapsed (the counter
+        track only needs edges).
+        """
+        qs = self.queue_samples
+        if qs and qs[-1][0] == t:
+            qs[-1] = (t, depth) if in_use is None else (t, depth, in_use)
+            return
+        if qs and qs[-1][1] == depth and (in_use is None
+                                          or qs[-1][2:] == (in_use,)):
+            return
+        qs.append((t, depth) if in_use is None else (t, depth, in_use))
+
+    # -- derived views ---------------------------------------------------
+    @property
+    def busy_time(self) -> float:
+        """Total seconds the facility spent busy."""
+        return sum(end - start for start, end in self.intervals)
+
+    def busy_between(self, t0: float, t1: float) -> float:
+        """Busy seconds clipped to the window ``[t0, t1]``."""
+        total = 0.0
+        for start, end in self.intervals:
+            lo = start if start > t0 else t0
+            hi = end if end < t1 else t1
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def occupancy(self, t0: float, t1: float) -> float:
+        """Busy fraction of the window ``[t0, t1]`` — always in [0, 1]."""
+        if t1 <= t0:
+            return 0.0
+        frac = self.busy_between(t0, t1) / (t1 - t0)
+        return 1.0 if frac > 1.0 else frac
+
+    @property
+    def max_queue(self) -> float:
+        """Largest queue-pressure sample seen."""
+        return max((s[1] for s in self.queue_samples), default=0.0)
+
+    def validate(self) -> None:
+        """Raise AssertionError on overlapping or non-monotone intervals."""
+        prev_end = -float("inf")
+        for start, end in self.intervals:
+            assert end > start, f"{self.name}: empty interval [{start}, {end})"
+            assert start >= prev_end - _EPS, (
+                f"{self.name}: interval [{start}, {end}) overlaps previous "
+                f"ending at {prev_end}"
+            )
+            prev_end = end
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump (byte-identity probe for the differential tests)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "node": self.node,
+            "busy_time": self.busy_time,
+            "intervals": [[s, e] for s, e in self.intervals],
+            "queue_samples": [list(s) for s in self.queue_samples],
+        }
+
+
+class ResourceMonitor:
+    """Attaches a :class:`ResourceTimeline` to every facility of a world.
+
+    Built by ``World(..., resources=True)``.  Unlike a span recorder,
+    attaching a monitor does **not** disarm the macro-event fast path:
+    the hooks sit below both engine paths.
+    """
+
+    def __init__(self, world: "Any") -> None:
+        self.world = world
+        self.timelines: List[ResourceTimeline] = []
+        self._t0 = world.sim.now
+        for node in world.hw.nodes:
+            nid = node.node_id
+            node.tx.timeline = self._add("nic_tx", f"nic_tx/node{nid}", nid)
+            node.rx.timeline = self._add("nic_rx", f"nic_rx/node{nid}", nid)
+            node.membus.timeline = self._add("membus", f"membus/node{nid}", nid)
+        if world.fabric is not None:
+            for pod, link in enumerate(world.fabric.uplinks):
+                link.up.timeline = self._add("uplink", f"uplink_up/pod{pod}")
+                link.down.timeline = self._add("uplink", f"uplink_down/pod{pod}")
+
+    def _add(self, kind: str, name: str,
+             node: Optional[int] = None) -> ResourceTimeline:
+        tl = ResourceTimeline(kind, name, node)
+        self.timelines.append(tl)
+        return tl
+
+    # -- windows ---------------------------------------------------------
+    def reset(self) -> None:
+        """Drop recorded telemetry and restart the measurement window
+        at the current sim time (warmup wipes, mirroring Metrics.reset)."""
+        for tl in self.timelines:
+            tl.intervals.clear()
+            tl.queue_samples.clear()
+        self._t0 = self.world.sim.now
+        for ctx in self.world.contexts:
+            ctx.nic_msgs = 0
+            ctx.nic_bytes = 0
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        """The measurement window ``(t0, now)``."""
+        return (self._t0, self.world.sim.now)
+
+    def by_kind(self, kind: str) -> List[ResourceTimeline]:
+        """Every timeline of one facility class."""
+        return [tl for tl in self.timelines if tl.kind == kind]
+
+    def occupancy_by_kind(self) -> Dict[str, float]:
+        """Mean pipe occupancy per facility class over the window."""
+        t0, t1 = self.window
+        out: Dict[str, float] = {}
+        for kind in ("nic_tx", "nic_rx", "membus", "uplink", "slots"):
+            tls = self.by_kind(kind)
+            if tls:
+                out[kind] = sum(tl.occupancy(t0, t1) for tl in tls) / len(tls)
+        return out
+
+    # -- the paper's lens ------------------------------------------------
+    def injection_summary(self) -> Dict[str, Any]:
+        """Per-rank injection-engine telemetry vs the LogGP ceiling.
+
+        The injection engine of rank *r* is the CPU time it spends
+        paying ``o`` (``inject_overhead``) for inter-node messages.
+        ``aggregate_occupancy`` is ``Σ msgs×o / (elapsed × nranks)`` —
+        time-integrated engine load.  ``engine_utilization`` is the
+        fraction of injection engines the schedule *engages at all*
+        (``active_ranks / nranks``) — the paper's §2–3 busy-vs-idle
+        claim ("multi-object keeps all ``P`` per-node engines busy;
+        single-object idles ``P-1``") is about this quantity, and the
+        Fig. 2 ``≥ P×`` bar is checked against it.  ``rate_ceiling``
+        is the hardware's ``1/g`` message rate for comparison with
+        ``rate_per_rank``.
+        """
+        world = self.world
+        t0, t1 = self.window
+        elapsed = t1 - t0
+        o = world.params.nic.inject_overhead
+        g = world.params.nic.msg_gap
+        msgs = [ctx.nic_msgs for ctx in world.contexts]
+        nbytes = [ctx.nic_bytes for ctx in world.contexts]
+        nranks = len(msgs)
+        total_msgs = sum(msgs)
+        busy = [m * o for m in msgs]
+        agg = (sum(busy) / (elapsed * nranks)) if elapsed > 0 and nranks else 0.0
+        return {
+            "window_s": elapsed,
+            "inject_overhead_s": o,
+            "rate_ceiling_per_rank": 1.0 / g,
+            "total_msgs": total_msgs,
+            "total_bytes": sum(nbytes),
+            "active_ranks": sum(1 for m in msgs if m),
+            "engine_utilization": (sum(1 for m in msgs if m) / nranks
+                                   if nranks else 0.0),
+            "msgs_per_rank": msgs,
+            "rate_per_rank": [m / elapsed if elapsed > 0 else 0.0
+                              for m in msgs],
+            "aggregate_occupancy": agg,
+        }
+
+    # -- registry / reporting -------------------------------------------
+    def register_gauges(self, metrics: "Any") -> None:
+        """Fold aggregate occupancy gauges into a metrics registry.
+
+        Only per-*kind* aggregates are registered — per-node series at
+        128 nodes would blow the registry's cardinality guard; the
+        per-node arrays live in :meth:`summary` / BenchRecords instead.
+        """
+        for kind, occ in self.occupancy_by_kind().items():
+            metrics.set_gauge("resource_occupancy", occ, resource=kind)
+        for kind in ("nic_tx", "nic_rx", "membus", "uplink"):
+            tls = self.by_kind(kind)
+            if tls:
+                metrics.set_gauge("resource_busy_seconds",
+                                  sum(tl.busy_time for tl in tls),
+                                  resource=kind)
+                metrics.set_gauge("resource_max_queue",
+                                  max(tl.max_queue for tl in tls),
+                                  resource=kind)
+        inj = self.injection_summary()
+        metrics.set_gauge("injection_occupancy", inj["aggregate_occupancy"])
+        metrics.set_gauge("injection_active_ranks", inj["active_ranks"])
+        metrics.set_gauge("injection_engine_utilization",
+                          inj["engine_utilization"])
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact per-kind + per-node rollup for BenchRecords."""
+        t0, t1 = self.window
+        per_node: Dict[str, List[float]] = {}
+        for kind in ("nic_tx", "nic_rx", "membus"):
+            tls = sorted(self.by_kind(kind), key=lambda tl: tl.node)
+            per_node[kind] = [tl.occupancy(t0, t1) for tl in tls]
+        return {
+            "window": [t0, t1],
+            "occupancy_by_kind": self.occupancy_by_kind(),
+            "occupancy_per_node": per_node,
+            "injection": self.injection_summary(),
+        }
+
+    def validate(self) -> None:
+        """Check every timeline's interval invariants."""
+        for tl in self.timelines:
+            tl.validate()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Full JSON-safe dump of every timeline (byte-identity probe)."""
+        return {
+            "window": list(self.window),
+            "timelines": [tl.as_dict() for tl in self.timelines],
+            "injection": self.injection_summary(),
+        }

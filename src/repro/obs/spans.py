@@ -187,17 +187,28 @@ class SpanRecorder:
         self.metrics.reset()
 
     def finalize(self, world) -> None:
-        """Fold end-of-run hardware/protocol state into the metrics."""
+        """Fold end-of-run hardware/protocol state into the metrics.
+
+        Hardware busy times use the same canonical
+        ``resource_busy_seconds{resource=...}`` series a
+        :class:`~repro.obs.resources.ResourceMonitor` registers, so a
+        world with both never double-names the counters.
+        """
         stats = world.stats()
         m = self.metrics
-        m.set_gauge("nic_tx_busy_seconds", stats["tx_busy_s"])
-        m.set_gauge("nic_rx_busy_seconds", stats["rx_busy_s"])
-        m.set_gauge("membus_busy_seconds", stats["membus_busy_s"])
+        m.set_gauge("resource_busy_seconds", stats["tx_busy_s"],
+                    resource="nic_tx")
+        m.set_gauge("resource_busy_seconds", stats["rx_busy_s"],
+                    resource="nic_rx")
+        m.set_gauge("resource_busy_seconds", stats["membus_busy_s"],
+                    resource="membus")
         m.set_gauge("sim_events", stats["sim_events"])
         m.set_gauge("sim_time_seconds", stats["sim_time_s"])
         if "retransmits" in stats:
             m.set_gauge("transport_retransmits", stats["retransmits"])
             m.set_gauge("transport_acks", stats["acks"])
+        if world.resources is not None:
+            world.resources.register_gauges(m)
 
     def tree(self) -> "TraceTree":
         """Snapshot the closed spans as a queryable timeline."""

@@ -1,0 +1,40 @@
+"""repro.report — the paper-figure reporting pipeline.
+
+Ingests :mod:`repro.bench.record` BenchRecords from
+``benchmarks/results/*.records.json`` and produces the paper's
+Fig. 2–7-style comparison artifacts:
+
+* latency + speedup-vs-PiP-MPICH tables per (collective, geometry)
+  grid (CSV / JSON / text),
+* per-transport occupancy tables and the multi-object vs single-leader
+  NIC-injection-occupancy ratio (the paper's §2–3 claim, checked
+  against the ``≥ P×`` bar),
+* LogGP attribution stacks naming each point's dominant term,
+* golden-aware regression flags (±10 % by default, against the same
+  ``benchmarks/golden.json`` keys :mod:`repro.bench.regression` uses),
+* one self-contained HTML page with all of the above, and
+* the repo-root ``BENCH_summary.json`` trajectory file.
+
+Entry point: ``python -m repro report`` (see :mod:`repro.cli`).
+"""
+
+from .html import render_html
+from .ingest import build_report
+from .summary import build_summary, validate_summary, write_summary
+from .tables import (GroupTable, Report, attribution_rows, occupancy_ratios,
+                     occupancy_rows, regression_flags, speedup_groups)
+
+__all__ = [
+    "GroupTable",
+    "Report",
+    "attribution_rows",
+    "build_report",
+    "build_summary",
+    "occupancy_ratios",
+    "occupancy_rows",
+    "regression_flags",
+    "render_html",
+    "speedup_groups",
+    "validate_summary",
+    "write_summary",
+]

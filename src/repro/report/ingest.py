@@ -1,0 +1,45 @@
+"""Record ingestion → :class:`~repro.report.tables.Report`.
+
+The one function the CLI calls: read every ``*.records.json`` under a
+results directory (validating the schema on the way in), derive the
+comparison tables, and (when a golden baseline is given) flag latency
+drift — without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..bench.record import load_records
+from .tables import (Report, attribution_rows, occupancy_ratios,
+                     occupancy_rows, regression_flags, speedup_groups)
+
+
+def build_report(results: Union[str, Path, Dict[str, dict]],
+                 golden: Optional[Union[str, Path]] = None,
+                 tolerance: float = 0.10) -> Report:
+    """Build the full report from records (a dir, file, or dict).
+
+    ``golden`` points at ``benchmarks/golden.json`` (the regression
+    baseline); latency flags compare record keys directly against it
+    with ``tolerance`` slack.
+    """
+    if isinstance(results, (str, Path)):
+        records = load_records(results)
+    else:
+        records = dict(results)
+    flags = []
+    if golden is not None:
+        golden_values: Dict[str, float] = json.loads(Path(golden).read_text())
+        flags = regression_flags(records, golden_values, tolerance)
+    return Report(
+        records=records,
+        groups=speedup_groups(records),
+        occupancy=occupancy_rows(records),
+        ratios=occupancy_ratios(records),
+        attribution=attribution_rows(records),
+        flags=flags,
+        tolerance=tolerance,
+    )

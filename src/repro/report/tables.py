@@ -1,0 +1,327 @@
+"""Comparison tables derived from BenchRecords.
+
+Pure functions from ``{key: record}`` dicts (see
+:func:`repro.bench.record.load_records`) to row lists that the CSV,
+text and HTML renderers share.  The speedup baseline is **PiP-MPICH**
+— the paper's own naive-port foil — so every figure reads "how much
+does the redesigned schedule buy over just porting MPICH onto PiP".
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: the speedup denominator (the paper's naive-port baseline)
+BASELINE_LIBRARY = "PiP-MPICH"
+#: the multi-object arm the occupancy claim is about
+TARGET_LIBRARY = "PiP-MColl"
+#: the single-object schedule foil (bench/harness.single_leader_allgather)
+SINGLE_LEADER = "SingleLeader"
+
+#: a (collective, nodes, ppn) grid id
+GridKey = Tuple[str, int, int]
+
+
+@dataclass
+class GroupTable:
+    """One Fig.-2-style grid: sizes × libraries for one geometry."""
+
+    collective: str
+    nodes: int
+    ppn: int
+    sizes: List[int]
+    libraries: List[str]
+    #: (library, nbytes) → latency µs
+    latency: Dict[Tuple[str, int], float]
+
+    @property
+    def title(self) -> str:
+        return f"{self.collective} @ {self.nodes}x{self.ppn}"
+
+    def speedup(self, library: str, nbytes: int) -> Optional[float]:
+        """``BASELINE_LIBRARY`` latency / ``library`` latency (>1 wins)."""
+        base = self.latency.get((BASELINE_LIBRARY, nbytes))
+        mine = self.latency.get((library, nbytes))
+        if base is None or mine is None or mine <= 0.0:
+            return None
+        return base / mine
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One row per size: latencies and speedups per library."""
+        out = []
+        for nbytes in self.sizes:
+            row: Dict[str, Any] = {
+                "collective": self.collective, "nodes": self.nodes,
+                "ppn": self.ppn, "nbytes": nbytes,
+            }
+            for lib in self.libraries:
+                lat = self.latency.get((lib, nbytes))
+                row[f"{lib}_us"] = lat
+                if lib != BASELINE_LIBRARY:
+                    row[f"{lib}_speedup"] = self.speedup(lib, nbytes)
+            out.append(row)
+        return out
+
+
+def speedup_groups(records: Dict[str, dict]) -> List[GroupTable]:
+    """Group records into per-(collective, geometry) grids."""
+    grids: Dict[GridKey, Dict[Tuple[str, int], float]] = {}
+    for rec in records.values():
+        key: GridKey = (rec["collective"], rec["nodes"], rec["ppn"])
+        grids.setdefault(key, {})[(rec["library"], rec["nbytes"])] = \
+            rec["latency_us"]
+    out = []
+    for (coll, nodes, ppn), latency in sorted(grids.items()):
+        sizes = sorted({n for _lib, n in latency})
+        libs = sorted({lib for lib, _n in latency})
+        out.append(GroupTable(coll, nodes, ppn, sizes, libs, latency))
+    return out
+
+
+def occupancy_rows(records: Dict[str, dict]) -> List[Dict[str, Any]]:
+    """Per-record resource occupancy (records without telemetry skipped)."""
+    out = []
+    for key in sorted(records):
+        rec = records[key]
+        res = rec.get("resources")
+        if not res:
+            continue
+        by_kind = res.get("occupancy_by_kind", {})
+        inj = res.get("injection", {})
+        out.append({
+            "key": key,
+            "library": rec["library"],
+            "collective": rec["collective"],
+            "nbytes": rec["nbytes"],
+            "nodes": rec["nodes"],
+            "ppn": rec["ppn"],
+            "nic_tx": by_kind.get("nic_tx"),
+            "nic_rx": by_kind.get("nic_rx"),
+            "membus": by_kind.get("membus"),
+            "uplink": by_kind.get("uplink"),
+            "injection_occupancy": inj.get("aggregate_occupancy"),
+            "active_ranks": inj.get("active_ranks"),
+            "engine_utilization": inj.get("engine_utilization"),
+            "total_msgs": inj.get("total_msgs"),
+            "occupancy_per_node": res.get("occupancy_per_node", {}),
+        })
+    return out
+
+
+def occupancy_ratios(records: Dict[str, dict]) -> List[Dict[str, Any]]:
+    """Multi-object vs single-leader NIC injection-engine comparison.
+
+    For every (collective, nbytes, geometry) where both the
+    ``TARGET_LIBRARY`` and the ``SINGLE_LEADER`` arm carry telemetry,
+    reports two ratios:
+
+    * ``engine_ratio`` — engaged injection engines (active ranks),
+      target vs leader.  This is the paper's §2–3 claim verbatim
+      (multi-object keeps all ``P`` per-node engines busy, single-
+      object idles ``P-1``), so ``clears_bar`` checks it against the
+      ``≥ P×`` bar (P = ppn).
+    * ``occupancy_ratio`` — time-integrated aggregate occupancy
+      (``Σ msgs×o / (elapsed × nranks)``), tabulated for context; it
+      folds in the latency win as well as the engine fan-out.
+    """
+    by_point: Dict[Tuple[str, int, int, int], Dict[str, dict]] = {}
+    for rec in records.values():
+        if not rec.get("resources"):
+            continue
+        point = (rec["collective"], rec["nbytes"], rec["nodes"], rec["ppn"])
+        by_point.setdefault(point, {})[rec["library"]] = rec
+    out = []
+    for point in sorted(by_point):
+        arms = by_point[point]
+        target = arms.get(TARGET_LIBRARY)
+        leader = arms.get(SINGLE_LEADER)
+        if target is None or leader is None:
+            continue
+        t_inj = target["resources"]["injection"]
+        l_inj = leader["resources"]["injection"]
+        t_occ = t_inj["aggregate_occupancy"]
+        l_occ = l_inj["aggregate_occupancy"]
+        t_eng = t_inj["active_ranks"]
+        l_eng = l_inj["active_ranks"]
+        coll, nbytes, nodes, ppn = point
+        occ_ratio = (t_occ / l_occ) if l_occ else None
+        eng_ratio = (t_eng / l_eng) if l_eng else None
+        out.append({
+            "collective": coll, "nbytes": nbytes,
+            "nodes": nodes, "ppn": ppn,
+            f"{TARGET_LIBRARY}_occupancy": t_occ,
+            f"{SINGLE_LEADER}_occupancy": l_occ,
+            f"{TARGET_LIBRARY}_engines": t_eng,
+            f"{SINGLE_LEADER}_engines": l_eng,
+            "occupancy_ratio": occ_ratio,
+            "engine_ratio": eng_ratio,
+            "bar": float(ppn),
+            "clears_bar": (eng_ratio is not None and eng_ratio >= ppn),
+        })
+    return out
+
+
+def attribution_rows(records: Dict[str, dict]) -> List[Dict[str, Any]]:
+    """Per-record LogGP attribution stacks (skips records without one)."""
+    out = []
+    for key in sorted(records):
+        rec = records[key]
+        att = rec.get("attribution")
+        if not att:
+            continue
+        out.append({
+            "key": key,
+            "library": rec["library"],
+            "collective": rec["collective"],
+            "nbytes": rec["nbytes"],
+            "nodes": rec["nodes"],
+            "ppn": rec["ppn"],
+            "measured_us": att["measured_s"] * 1e6,
+            "dominant": att["dominant"],
+            "dominant_resource": att.get("dominant_resource"),
+            "terms_us": {c: v * 1e6 for c, v in att["terms_s"].items()},
+            "model_us": {c: v * 1e6 for c, v in att["model_s"].items()},
+        })
+    return out
+
+
+def regression_flags(records: Dict[str, dict], golden: Dict[str, float],
+                     tolerance: float = 0.10) -> List[Dict[str, Any]]:
+    """Diff record latencies against the golden baseline, no re-run.
+
+    Only keys present in both sides are compared (the golden file also
+    holds grid points no records file measured).  ``drifted`` marks
+    points beyond ``tolerance`` (±10 % by default).
+    """
+    out = []
+    for key in sorted(records):
+        if key not in golden:
+            continue
+        fresh = records[key]["latency_us"]
+        base = golden[key]
+        drift = (fresh / base - 1.0) if base else float("inf")
+        out.append({
+            "key": key,
+            "golden_us": base,
+            "fresh_us": fresh,
+            "drift": drift,
+            "drifted": abs(drift) > tolerance,
+        })
+    return out
+
+
+@dataclass
+class Report:
+    """Everything one ``python -m repro report`` run derived."""
+
+    records: Dict[str, dict]
+    groups: List[GroupTable]
+    occupancy: List[Dict[str, Any]]
+    ratios: List[Dict[str, Any]]
+    attribution: List[Dict[str, Any]]
+    flags: List[Dict[str, Any]] = field(default_factory=list)
+    tolerance: float = 0.10
+
+    @property
+    def drifted(self) -> List[Dict[str, Any]]:
+        return [f for f in self.flags if f["drifted"]]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump (the ``report.json`` artifact)."""
+        return {
+            "groups": [
+                {"collective": g.collective, "nodes": g.nodes, "ppn": g.ppn,
+                 "rows": g.rows()}
+                for g in self.groups
+            ],
+            "occupancy": self.occupancy,
+            "occupancy_ratios": self.ratios,
+            "attribution": self.attribution,
+            "regression": {
+                "tolerance": self.tolerance,
+                "flags": self.flags,
+                "drifted": len(self.drifted),
+            },
+        }
+
+    def to_csv(self) -> Dict[str, str]:
+        """CSV text per table: {filename: csv_text}."""
+        out: Dict[str, str] = {}
+
+        def dump(name: str, rows: List[Dict[str, Any]]) -> None:
+            if not rows:
+                return
+            cols: List[str] = []
+            for row in rows:
+                for col in row:
+                    if col not in cols and not isinstance(row[col], dict):
+                        cols.append(col)
+            buf = io.StringIO()
+            writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="ignore")
+            writer.writeheader()
+            writer.writerows(rows)
+            out[name] = buf.getvalue()
+
+        dump("speedup.csv", [r for g in self.groups for r in g.rows()])
+        dump("occupancy.csv", self.occupancy)
+        dump("occupancy_ratios.csv", self.ratios)
+        dump("attribution.csv", [
+            {**{k: v for k, v in row.items()
+                if not isinstance(v, dict)},
+             **{f"{c}_us": row["terms_us"][c] for c in row["terms_us"]}}
+            for row in self.attribution
+        ])
+        dump("regression.csv", self.flags)
+        return out
+
+    def format(self) -> str:
+        """Terminal summary of the headline tables."""
+        lines: List[str] = [f"report: {len(self.records)} records"]
+        for group in self.groups:
+            lines.append(f"\n== {group.title} ==")
+            head = f"{'bytes':>8s}" + "".join(
+                f"{lib:>14s}" for lib in group.libraries)
+            lines.append(head)
+            for nbytes in group.sizes:
+                cells = [f"{nbytes:>8d}"]
+                for lib in group.libraries:
+                    lat = group.latency.get((lib, nbytes))
+                    cells.append(f"{lat:>14.2f}" if lat is not None
+                                 else f"{'-':>14s}")
+                lines.append("".join(cells))
+        if self.ratios:
+            lines.append("\n== NIC injection engines: multi-object vs "
+                         "single-leader ==")
+            for row in self.ratios:
+                verdict = "PASS" if row["clears_bar"] else "FAIL"
+                occ = (f"{row['occupancy_ratio']:.1f}x"
+                       if row["occupancy_ratio"] is not None else "-")
+                lines.append(
+                    f"  {row['collective']} {row['nbytes']} B @ "
+                    f"{row['nodes']}x{row['ppn']}: "
+                    f"engines {row['engine_ratio']:.1f}x "
+                    f"(bar {row['bar']:.0f}x) {verdict}, "
+                    f"time-occupancy {occ}"
+                )
+        if self.attribution:
+            lines.append("\n== attribution (dominant terms) ==")
+            for row in self.attribution:
+                lines.append(
+                    f"  {row['key']}: {row['measured_us']:.2f} us, "
+                    f"dominant {row['dominant']} "
+                    f"({row['dominant_resource']})"
+                )
+        if self.flags:
+            lines.append(
+                f"\n== regression vs golden (±{self.tolerance:.0%}) =="
+            )
+            for flag in self.flags:
+                mark = "DRIFT" if flag["drifted"] else "ok"
+                lines.append(
+                    f"  {flag['key']}: {flag['golden_us']:.2f} -> "
+                    f"{flag['fresh_us']:.2f} us ({flag['drift']:+.1%}) {mark}"
+                )
+        return "\n".join(lines)

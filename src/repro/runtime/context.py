@@ -115,6 +115,11 @@ class RankContext:
         #: last pt2pt op dispatched: ("send"|"recv", peer, tag) — feeds
         #: the deadlock/watchdog blocked report
         self.last_op = None
+        #: inter-node messages/bytes this rank injected — the per-rank
+        #: injection-engine probe (repro.obs.resources).  Plain ints,
+        #: always on, incremented identically by both engine paths.
+        self.nic_msgs = 0
+        self.nic_bytes = 0
         # -- fast-path caches (per peer / per envelope) ----------------
         self._plans: dict = {}
         self._send_envs: dict = {}
@@ -193,6 +198,9 @@ class RankContext:
                 yield gate  # fail-stop: never resumes
         self.last_op = ("send", dst_world, tag)
         transport = self._transport_to(dst_world)
+        if transport.inter_node:
+            self.nic_msgs += 1
+            self.nic_bytes += view.nbytes
         wire = WireDescriptor(
             src=self.rank, dst=dst_world, nbytes=view.nbytes, buf_key=view.key
         )
@@ -399,6 +407,8 @@ class RankContext:
         yield self._base_dispatch - self._dispatch_discount + sflat
         kind = plan.kind
         if kind == _NET:
+            self.nic_msgs += 1
+            self.nic_bytes += nbytes
             transport.schedule_delivery_fast(self.node_hw, plan.dst_hw,
                                              desc, world)
         elif kind == _INTRA:
@@ -514,6 +524,9 @@ class RankContext:
         sflat = transport.sender_flat_time(self.node_hw, wire)
         delay = self._base_dispatch - self._dispatch_discount + sflat
         kind = plan.kind
+        if kind == _NET:
+            self.nic_msgs += 1
+            self.nic_bytes += nbytes
         if desc_r is not None:
             # Claimed: the message is already here — stay inline.
             yield delay

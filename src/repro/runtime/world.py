@@ -76,6 +76,12 @@ class World:
     queue:
         Event-queue backend for the simulator: ``"calendar"``
         (default, O(1) near-future ops) or ``"heap"``.
+    resources:
+        Attach a :class:`~repro.obs.resources.ResourceMonitor`
+        recording per-resource busy/queue timelines.  Unlike ``obs``,
+        this does *not* disarm the fast path — the hooks sit in the
+        pipe reservation funnel shared by both engine paths, so the
+        recorded telemetry is identical either way.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class World:
         obs: Optional[Any] = None,
         fastpath: Optional[bool] = None,
         queue: str = "calendar",
+        resources: bool = False,
     ) -> None:
         self.params = params
         self.sim = Simulator(tracer=tracer, queue=queue)
@@ -172,6 +179,10 @@ class World:
         self.contexts: List[RankContext] = [
             RankContext(self, rank) for rank in range(self.cluster.world_size)
         ]
+        #: bound ResourceMonitor, or None — fast-path safe (see above)
+        self.resources = None
+        if resources:
+            self.attach_resources()
         if obs is not None:
             self.attach_obs(obs)
 
@@ -189,6 +200,19 @@ class World:
         # Spans need the per-message choreography (message spans open
         # in isend); the fused fast path would skip them.
         self._fast = False
+
+    def attach_resources(self):
+        """Attach (or return the existing) resource-utilization monitor.
+
+        Safe under the fast path: the recording hooks live in
+        :meth:`~repro.sim.resources.RateLimiter.reserve`, which both
+        engine paths hit with identical timestamps.
+        """
+        if self.resources is None:
+            from ..obs.resources import ResourceMonitor
+
+            self.resources = ResourceMonitor(self)
+        return self.resources
 
     def node_of(self) -> dict:
         """rank → node id mapping (Perfetto process grouping)."""
@@ -351,6 +375,8 @@ class World:
             "membus_busy_s": sum(n.membus.busy_time for n in self.hw.nodes),
             "sim_events": self.sim.event_count,
             "sim_time_s": self.sim.now,
+            "inject_msgs": sum(c.nic_msgs for c in self.contexts),
+            "inject_bytes": sum(c.nic_bytes for c in self.contexts),
         }
         if self.fabric is not None:
             out["interpod_bytes"] = self.fabric.total_interpod_bytes()

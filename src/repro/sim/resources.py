@@ -33,6 +33,11 @@ class Request(Event):
 class Resource:
     """``capacity`` interchangeable slots, granted FIFO."""
 
+    #: optional :class:`~repro.obs.resources.ResourceTimeline` — when a
+    #: monitor attaches one, every occupancy transition is sampled onto
+    #: it.  Class-level None keeps the unmonitored path to one check.
+    timeline = None
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -59,6 +64,10 @@ class Resource:
             req.succeed()
         else:
             self._waiting.append(req)
+        tl = self.timeline
+        if tl is not None:
+            tl.sample_queue(self.sim.now, len(self._waiting),
+                            in_use=self._in_use)
         return req
 
     def release(self) -> None:
@@ -71,6 +80,10 @@ class Resource:
             self._waiting.popleft().succeed()
         else:
             self._in_use -= 1
+        tl = self.timeline
+        if tl is not None:
+            tl.sample_queue(self.sim.now, len(self._waiting),
+                            in_use=self._in_use)
 
     def use(self, duration: float):
         """Generator: hold one slot for ``duration`` seconds.
@@ -97,6 +110,12 @@ class RateLimiter:
     :meth:`occupy` returns an event that fires when the job *finishes*
     transiting the pipe.
     """
+
+    #: optional :class:`~repro.obs.resources.ResourceTimeline` — when a
+    #: monitor attaches one, every reservation records its busy interval
+    #: and a backlog sample.  Class-level None keeps the unmonitored
+    #: reserve() to one extra attribute check.
+    timeline = None
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -131,6 +150,13 @@ class RateLimiter:
         finish = start + duration
         self._next_free = finish
         self._busy_time += duration
+        tl = self.timeline
+        if tl is not None:
+            # Both engine paths funnel every pipe reservation through
+            # here with identical timestamps, so the recorded timeline
+            # is byte-identical between them.
+            tl.record_busy(start, finish)
+            tl.sample_queue(self.sim.now, start - self.sim.now - lead_delay)
         return finish
 
     def occupy(self, duration: float, lead_delay: float = 0.0,

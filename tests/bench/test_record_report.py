@@ -1,0 +1,188 @@
+"""BenchRecord schema + the `repro report` pipeline end to end.
+
+Small geometry (4×4) so the whole chain runs in seconds: harness →
+records.json → ingest → tables → CSV/HTML/summary — plus Perfetto
+counter tracks passing the Chrome trace-event validator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.bench.harness import bench_collective, single_leader_allgather
+from repro.bench.record import (SCHEMA_VERSION, BenchRecord, load_records,
+                                record_key, validate_file, validate_record,
+                                write_records)
+from repro.machine import broadwell_opa
+from repro.obs import validate_chrome_trace
+from repro.report import (build_report, build_summary, render_html,
+                          validate_summary, write_summary)
+
+PARAMS = broadwell_opa(nodes=4, ppn=4)
+
+
+@pytest.fixture(scope="module")
+def records_dir(tmp_path_factory):
+    """One measured records file shared by the pipeline tests."""
+    points = [
+        bench_collective(lib, "allgather", 64, PARAMS, warmup=1, iters=1,
+                         resources=True, attribution=(lib == "PiP-MColl"))
+        for lib in ("PiP-MColl", "PiP-MPICH")
+    ]
+    points.append(single_leader_allgather(64, PARAMS, warmup=1, iters=1,
+                                          resources=True))
+    root = tmp_path_factory.mktemp("results")
+    write_records(root / "mini.records.json", [
+        pt.to_record(experiment="unit") for pt in points])
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Record schema
+# ---------------------------------------------------------------------------
+def test_record_key_matches_regression_keys():
+    assert record_key("PiP-MColl", "allgather", 64, 128, 18) == \
+        "PiP-MColl/allgather/64B@128x18"
+
+
+def test_record_validates_and_round_trips(tmp_path):
+    rec = BenchRecord(library="MPICH", collective="bcast", nbytes=256,
+                      nodes=2, ppn=4, latency_us=12.5, min_us=12.0,
+                      max_us=13.0, iterations_us=[12.0, 13.0])
+    validate_record(rec.as_dict())
+    path = tmp_path / "one.records.json"
+    write_records(path, [rec])
+    loaded = load_records(path)
+    assert set(loaded) == {rec.key}
+    assert loaded[rec.key]["schema"] == SCHEMA_VERSION
+    assert loaded[rec.key]["latency_us"] == 12.5
+
+
+@pytest.mark.parametrize("mutation, message", [
+    ({"schema": 99}, "schema"),
+    ({"latency_us": "fast"}, "latency_us"),
+    ({"key": "Other/bcast/256B@2x4"}, "key"),
+    ({"iterations_us": [1.0, "x"]}, "iterations_us"),
+])
+def test_record_schema_rejections(mutation, message):
+    rec = BenchRecord(library="MPICH", collective="bcast", nbytes=256,
+                      nodes=2, ppn=4, latency_us=12.5, min_us=12.0,
+                      max_us=13.0, iterations_us=[12.0, 13.0]).as_dict()
+    rec.update(mutation)
+    with pytest.raises(ValueError, match=message):
+        validate_record(rec)
+
+
+def test_validate_file_shape():
+    with pytest.raises(ValueError, match="records"):
+        validate_file({"schema": SCHEMA_VERSION})
+    assert validate_file({"schema": SCHEMA_VERSION, "records": []}) == 0
+
+
+# ---------------------------------------------------------------------------
+# Report pipeline end to end
+# ---------------------------------------------------------------------------
+def test_report_end_to_end(records_dir, tmp_path):
+    golden = tmp_path / "golden.json"
+    records = load_records(records_dir)
+    golden.write_text(json.dumps(
+        {k: r["latency_us"] for k, r in records.items()}))
+    report = build_report(records_dir, golden=golden)
+
+    assert len(report.records) == 3
+    [group] = report.groups
+    assert group.collective == "allgather"
+    assert group.speedup("PiP-MColl", 64) > 1.0
+    # Telemetry flowed through: occupancy rows + the engine-ratio row.
+    assert len(report.occupancy) == 3
+    [ratio] = report.ratios
+    assert ratio["engine_ratio"] > 1.0
+    assert ratio["occupancy_ratio"] > 1.0
+    # Attribution flowed through for the one attributed record.
+    [att] = report.attribution
+    assert att["library"] == "PiP-MColl"
+    assert att["dominant"] in att["terms_us"]
+    assert sum(att["terms_us"].values()) == pytest.approx(
+        att["measured_us"], abs=1.0)  # ±1 µs acceptance bound
+    # Golden built from the same numbers → compared, nothing drifted.
+    assert len(report.flags) == 3
+    assert not report.drifted
+
+    csvs = report.to_csv()
+    assert {"speedup.csv", "occupancy.csv", "occupancy_ratios.csv",
+            "attribution.csv", "regression.csv"} <= set(csvs)
+    assert "PiP-MColl" in csvs["speedup.csv"]
+    text = report.format()
+    assert "PASS" in text or "FAIL" in text  # the bar verdict is stated
+
+
+def test_report_flags_drift(records_dir, tmp_path):
+    records = load_records(records_dir)
+    golden = tmp_path / "golden.json"
+    golden.write_text(json.dumps(
+        {k: r["latency_us"] * 2.0 for k, r in records.items()}))
+    report = build_report(records_dir, golden=golden, tolerance=0.10)
+    assert len(report.drifted) == 3
+    assert "DRIFT" in report.format()
+
+
+def test_html_render_is_self_contained(records_dir):
+    report = build_report(records_dir)
+    html = render_html(report)
+    assert html.startswith("<!doctype html>")
+    for fragment in ("<style>", "allgather @ 4x4", "LogGP attribution",
+                     "injection engines"):
+        assert fragment in html, fragment
+    # Self-contained: no external fetches.
+    assert "http://" not in html and "https://" not in html
+
+
+def test_summary_schema(records_dir, tmp_path):
+    report = build_report(records_dir)
+    path = tmp_path / "BENCH_summary.json"
+    write_summary(path, report)
+    obj = json.loads(path.read_text())
+    assert validate_summary(obj) == 3
+    assert obj == build_summary(report)
+    entry = obj["benchmarks"]["PiP-MColl/allgather/64B@4x4"]
+    assert entry["dominant_term"]
+    assert 0.0 <= entry["engine_utilization"] <= 1.0
+
+
+def test_summary_validation_rejects_mangled(records_dir):
+    report = build_report(records_dir)
+    obj = build_summary(report)
+    obj["record_count"] = 99
+    with pytest.raises(ValueError, match="record_count"):
+        validate_summary(obj)
+
+
+# ---------------------------------------------------------------------------
+# Perfetto counter tracks
+# ---------------------------------------------------------------------------
+def test_counter_tracks_pass_trace_validation():
+    session = Session(library="PiP-MColl", params=PARAMS, trace=True,
+                      resources=True)
+
+    def app(comm):
+        import numpy as np
+        recv = np.zeros(64 * comm.size, np.uint8)
+        yield from comm.Allgather(np.full(64, comm.rank, np.uint8), recv)
+        return comm.now
+
+    result = session.run(app)
+    trace = result.to_perfetto()
+    validate_chrome_trace(trace)  # raises on schema violations
+    counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+    assert counters, "resources=True must add counter tracks"
+    names = {e["name"] for e in counters}
+    assert any(n.startswith("nic_tx/") for n in names)
+    assert any(n.endswith(" queue") for n in names)
+    # Counter events carry numeric args on the sim-clock timeline.
+    for event in counters:
+        assert event["ts"] >= 0
+        for value in event["args"].values():
+            assert isinstance(value, (int, float))

@@ -1,0 +1,187 @@
+"""ResourceTimeline / ResourceMonitor invariants and the metrics
+cardinality guard.
+
+The load-bearing properties:
+
+* busy intervals are non-overlapping, monotone, and merged;
+* occupancy stays in [0, 1] over any window;
+* a monitored run records the same NIC/membus busy time the hardware
+  counters report (the timelines hang off the same rate limiters);
+* monitoring never perturbs the simulation (same latency with and
+  without, fast path stays armed);
+* the metrics registry refuses to grow past its label-set ceiling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import broadwell_opa
+from repro.mpilibs import make_library
+from repro.obs import CardinalityError, Metrics, ResourceTimeline
+from repro.bench.harness import _buffers, _invoke
+
+
+def _run_allgather(nbytes=64, nodes=4, ppn=4, resources=True,
+                   library="PiP-MColl"):
+    lib = make_library(library)
+    params = broadwell_opa(nodes=nodes, ppn=ppn)
+    world = lib.make_world(params, functional=False, resources=resources)
+    size = world.comm_world.size
+    algo = lib.wrapped("allgather", nbytes, size)
+
+    def program(ctx):
+        bufs = _buffers(ctx, "allgather", nbytes, size, 0)
+        t0 = ctx.now
+        yield from _invoke(algo, ctx, bufs, "allgather", 0)
+        return ctx.now - t0
+
+    per_rank = world.run(program)
+    world.assert_quiescent()
+    return world, max(per_rank)
+
+
+# ---------------------------------------------------------------------------
+# ResourceTimeline unit behaviour
+# ---------------------------------------------------------------------------
+def test_timeline_merges_adjacent_intervals():
+    tl = ResourceTimeline("nic_tx", "nic_tx/node0", node=0)
+    tl.record_busy(0.0, 1.0)
+    tl.record_busy(1.0, 2.0)  # back-to-back → merged
+    tl.record_busy(3.0, 4.0)
+    assert tl.intervals == [[0.0, 2.0], [3.0, 4.0]]
+    assert tl.busy_time == pytest.approx(3.0)
+    tl.validate()
+
+
+def test_timeline_rejects_nothing_but_skips_empty():
+    tl = ResourceTimeline("membus", "membus/node0", node=0)
+    tl.record_busy(1.0, 1.0)  # zero-width → dropped
+    tl.record_busy(2.0, 1.5)  # inverted → dropped
+    assert tl.intervals == []
+    assert tl.busy_time == 0.0
+
+
+def test_timeline_occupancy_bounds_and_window_clip():
+    tl = ResourceTimeline("uplink", "uplink_up/pod0")
+    tl.record_busy(0.0, 4.0)
+    assert tl.occupancy(0.0, 4.0) == pytest.approx(1.0)
+    assert tl.occupancy(0.0, 8.0) == pytest.approx(0.5)
+    # Window inside the interval: fully busy, still clamped to 1.
+    assert tl.occupancy(1.0, 2.0) == pytest.approx(1.0)
+    assert 0.0 <= tl.occupancy(3.9, 4.1) <= 1.0
+    assert tl.occupancy(5.0, 5.0) == 0.0  # empty window
+
+
+def test_timeline_queue_samples_collapse():
+    tl = ResourceTimeline("nic_tx", "nic_tx/node0", node=0)
+    tl.sample_queue(0.0, 0.0)
+    tl.sample_queue(1.0, 0.0)   # same depth → collapsed
+    tl.sample_queue(2.0, 3.0)
+    tl.sample_queue(2.0, 5.0)   # same instant → overwritten
+    assert [s[:2] for s in tl.queue_samples] == [(0.0, 0.0), (2.0, 5.0)]
+    assert tl.max_queue == 5.0
+
+
+def test_timeline_validate_catches_overlap():
+    tl = ResourceTimeline("nic_tx", "nic_tx/node0", node=0)
+    tl.intervals = [[0.0, 2.0], [1.0, 3.0]]  # forged overlap
+    with pytest.raises(AssertionError):
+        tl.validate()
+
+
+# ---------------------------------------------------------------------------
+# ResourceMonitor over a real run
+# ---------------------------------------------------------------------------
+def test_monitor_attaches_every_facility():
+    world, _ = _run_allgather()
+    mon = world.resources
+    kinds = {tl.kind for tl in mon.timelines}
+    assert {"nic_tx", "nic_rx", "membus"} <= kinds
+    names = {tl.name for tl in mon.timelines}
+    assert "nic_tx/node0" in names and "membus/node3" in names
+    mon.validate()
+
+
+def test_monitor_occupancy_matches_hardware_counters():
+    world, _ = _run_allgather()
+    mon = world.resources
+    stats = world.stats()
+    tx_busy = sum(tl.busy_time for tl in mon.by_kind("nic_tx"))
+    bus_busy = sum(tl.busy_time for tl in mon.by_kind("membus"))
+    assert tx_busy == pytest.approx(stats["tx_busy_s"], rel=1e-12)
+    assert bus_busy == pytest.approx(stats["membus_busy_s"], rel=1e-12)
+    for kind, occ in mon.occupancy_by_kind().items():
+        assert 0.0 <= occ <= 1.0, (kind, occ)
+
+
+def test_monitor_injection_summary_shape():
+    world, _ = _run_allgather()
+    inj = world.resources.injection_summary()
+    nranks = len(world.contexts)
+    assert inj["total_msgs"] == sum(inj["msgs_per_rank"])
+    assert inj["active_ranks"] == sum(1 for m in inj["msgs_per_rank"] if m)
+    assert inj["engine_utilization"] == pytest.approx(
+        inj["active_ranks"] / nranks)
+    assert 0.0 <= inj["aggregate_occupancy"] <= 1.0
+    assert inj["rate_ceiling_per_rank"] > 0
+    assert inj["total_bytes"] > 0  # allgather crosses nodes at 4x4
+
+
+def test_monitoring_is_pure_observation():
+    """Telemetry must not move simulated time or disarm the fast path."""
+    world_on, t_on = _run_allgather(resources=True)
+    world_off, t_off = _run_allgather(resources=False)
+    assert t_on == t_off
+    assert world_on._fast == world_off._fast
+
+
+def test_monitor_gauges_and_reset():
+    world, _ = _run_allgather()
+    mon = world.resources
+    m = Metrics()
+    mon.register_gauges(m)
+    gauges = m.format()
+    assert "resource_occupancy{resource=nic_tx}" in gauges
+    assert "injection_engine_utilization" in gauges
+    mon.reset()
+    assert all(not tl.intervals for tl in mon.timelines)
+    assert all(ctx.nic_msgs == 0 for ctx in world.contexts)
+
+
+# ---------------------------------------------------------------------------
+# Metrics cardinality guard (satellite: no unbounded label growth)
+# ---------------------------------------------------------------------------
+def test_cardinality_guard_trips():
+    m = Metrics(max_series=10)
+    for i in range(10):
+        m.inc("messages_total", transport=f"t{i}")
+    with pytest.raises(CardinalityError):
+        m.inc("messages_total", transport="one-too-many")
+
+
+def test_cardinality_guard_ignores_existing_series():
+    m = Metrics(max_series=2)
+    m.set_gauge("g", 1.0)
+    m.inc("c")
+    for _ in range(100):  # updates, not new series
+        m.set_gauge("g", 2.0)
+        m.inc("c")
+    with pytest.raises(CardinalityError):
+        m.observe("h", 1.0)
+
+
+def test_cardinality_guard_resets_with_registry():
+    m = Metrics(max_series=1)
+    m.inc("c")
+    m.reset()
+    m.inc("d")  # allowed again after reset
+    with pytest.raises(CardinalityError):
+        m.inc("e")
+
+
+def test_default_ceiling_fits_a_monitored_paper_run():
+    """The per-kind aggregation keeps a 128-node run under the guard."""
+    world, _ = _run_allgather(nodes=16, ppn=6)
+    m = Metrics()  # default MAX_SERIES
+    world.resources.register_gauges(m)

@@ -5,9 +5,9 @@ Three-way agreement is checked for each sampled case:
 
 * the macro-event **fast path** (``fastpath=True``, the default) and
   the reference event path (``fastpath=False``) must produce
-  **byte-identical per-rank results and the exact same simulated
-  time** — the fast path is an engine optimisation, never a model
-  change;
+  **byte-identical per-rank results, the exact same simulated time,
+  and byte-identical resource telemetry** — the fast path is an
+  engine optimisation, never a model change;
 * both must match :mod:`repro.validate.reference`, the pure-numpy
   oracle, byte-for-byte — a correct-looking latency can never hide a
   wrong permutation.
@@ -22,6 +22,8 @@ Two layers:
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
@@ -256,19 +258,26 @@ def _app_and_oracle(case: Case):
 def _run(case: Case, app, fastpath: bool):
     session = Session(library=case.library,
                       params=broadwell_opa(nodes=case.nodes, ppn=case.ppn),
-                      trace=False, functional=True, fastpath=fastpath)
+                      trace=False, functional=True, fastpath=fastpath,
+                      resources=True)
     result = session.run(app)
-    return result.elapsed, list(result.values)
+    telemetry = json.dumps(result.resources.as_dict(), sort_keys=True)
+    result.resources.validate()
+    return result.elapsed, list(result.values), telemetry
 
 
 def check_case(case: Case) -> None:
     """Run one case on both engine paths and diff against the oracle."""
     app, expected = _app_and_oracle(case)
-    fast_t, fast_out = _run(case, app, fastpath=True)
-    slow_t, slow_out = _run(case, app, fastpath=False)
+    fast_t, fast_out, fast_tl = _run(case, app, fastpath=True)
+    slow_t, slow_out, slow_tl = _run(case, app, fastpath=False)
     assert fast_t == slow_t, \
         f"{case}: fast path moved simulated time {fast_t} != {slow_t}"
     assert fast_out == slow_out, f"{case}: fast path changed rank results"
+    # Resource telemetry rides the same FIFO funnels on both paths, so
+    # the recorded timelines must be byte-identical too.
+    assert fast_tl == slow_tl, \
+        f"{case}: fast path changed resource telemetry"
     for rank, (got, want) in enumerate(zip(fast_out, expected)):
         assert got == want.tobytes(), \
             f"{case}: rank {rank} result differs from the numpy oracle"
