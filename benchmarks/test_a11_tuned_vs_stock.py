@@ -1,0 +1,123 @@
+"""A11 — Empirical autotuning closes the loop on Fig. 2.
+
+The tuner subsystem (``repro.tuner``, docs/TUNING.md) searches the
+per-collective configuration space — algorithm family, Bruck radix via
+the sender count, pipeline segment — and compiles the winners into a
+``TunedLibrary``.  This experiment runs that whole pipeline on the
+Fig. 2 allgather sweep (16 B–512 B) and pins down three claims:
+
+* **the search recovers the paper's design point** — at the full
+  128 × 18 scale the winning allgather configuration at every size is
+  ``mcoll_bruck`` with ``senders = ppn``, i.e. the radix-``(P + 1)``
+  multi-object Bruck schedule of §2 (``B_k = P + 1``);
+* **tuned never loses to stock** — per sweep cell, the compiled
+  library's latency is ≤ PiP-MColl's (the base library rides along as
+  a candidate, so regressions are impossible by construction) and
+  beats MPICH outright;
+* **golden agreement** — the tuned 64 B headline points match the
+  keys committed in ``benchmarks/golden.json`` exactly (search →
+  compile → run is deterministic end to end).
+
+Small scale (``REPRO_BENCH_SCALE=small``) runs the 16 × 18 geometry
+with an exhaustive search; full scale adds the paper's 128 × 18 with
+successive halving.  The sweep grid lands in
+``benchmarks/results/a11_tuned_vs_stock.records.json`` for
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import format_paper_table, run_sweep
+from repro.machine import broadwell_opa
+from repro.tuner import compile_db, make_cells, search
+
+from conftest import bench_scale, save_records, save_result
+
+#: Fig. 2's x-axis (per-process bytes)
+SIZES = [16, 32, 64, 128, 256, 512]
+
+STOCK = "PiP-MColl"
+FLAT = "MPICH"
+
+#: (nodes, ppn, strategy) — exhaustive is affordable at 288 ranks;
+#: the 2304-rank geometry races rungs at 32/64 nodes first.
+GEOMETRIES = [(16, 18, "exhaustive"), (128, 18, "halving")]
+
+#: tuned headline keys pinned in benchmarks/golden.json
+GOLDEN_TOLERANCE = 0.001
+
+
+def _geometries():
+    if bench_scale() == "small":
+        return GEOMETRIES[:1]
+    return GEOMETRIES
+
+
+def _run():
+    out = {}
+    for nodes, ppn, strategy in _geometries():
+        db = search(make_cells("allgather", SIZES, nodes, ppn),
+                    base_library=STOCK, strategy=strategy,
+                    seed=0, workers=4)
+        tuned = compile_db(db)
+        params = broadwell_opa(nodes=nodes, ppn=ppn)
+        sweep = run_sweep("allgather", SIZES, params,
+                          libraries=[tuned, STOCK, FLAT],
+                          warmup=1, iters=1)
+        out[(nodes, ppn)] = (db, tuned, sweep)
+    return out
+
+
+@pytest.mark.benchmark(group="a11")
+def test_a11_tuned_vs_stock(benchmark):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    tables, records = [], []
+    for (nodes, ppn), (db, tuned, sweep) in runs.items():
+        tables.append(f"A11 tuned vs stock: allgather, {nodes}x{ppn}\n"
+                      + format_paper_table(sweep))
+        records.extend(
+            point.to_record(experiment="a11")
+            for (_lib, _nbytes), point in sorted(sweep.points.items()))
+    save_result("a11_tuned_vs_stock", "\n\n".join(tables))
+    save_records("a11_tuned_vs_stock", records)
+
+    golden = json.loads(
+        (Path(__file__).parent / "golden.json").read_text())
+
+    for (nodes, ppn), (db, tuned, sweep) in runs.items():
+        name = tuned.profile.name
+
+        # Tuned never loses to stock, per cell, and beats flat MPICH.
+        for nbytes in SIZES:
+            t = sweep.latency(name, nbytes)
+            s = sweep.latency(STOCK, nbytes)
+            m = sweep.latency(FLAT, nbytes)
+            assert t <= s * (1 + 1e-9), \
+                f"{nodes}x{ppn} {nbytes}B: tuned {t:.3f}us > stock {s:.3f}us"
+            assert t < m, \
+                f"{nodes}x{ppn} {nbytes}B: tuned {t:.3f}us >= MPICH {m:.3f}us"
+
+        # The search rediscovers the paper's multi-object design point:
+        # radix B_k = P + 1 (senders = ppn) at every size of the sweep.
+        for nbytes in SIZES:
+            best = db.cells[f"allgather/{nbytes}B@{nodes}x{ppn}"].best
+            assert best == {"algorithm": "mcoll_bruck", "senders": ppn}, \
+                f"{nodes}x{ppn} {nbytes}B: winner {best}"
+
+        # Golden agreement at the 64 B headline point.
+        key = f"{name}/allgather/64B@{nodes}x{ppn}"
+        fresh = sweep.latency(name, 64)
+        want = golden[key]
+        assert abs(fresh - want) <= GOLDEN_TOLERANCE * want, \
+            f"{key}: {fresh:.3f}us drifted from golden {want:.3f}us"
+
+        # The DB's recorded winner latency is exactly what the compiled
+        # library reproduces (search -> compile -> run determinism).
+        cell = db.cells[f"allgather/64B@{nodes}x{ppn}"]
+        assert fresh == pytest.approx(cell.best_latency_us, rel=1e-12)

@@ -477,8 +477,10 @@ class Session:
                  ppn: int = 4, params: Optional[MachineParams] = None,
                  trace: bool = True, resources: bool = False,
                  **world_kwargs) -> None:
-        self.library = library
+        # Accepts a name, a registered-instance name, a ``tuned:<db>``
+        # spec, or an MpiLibrary instance (see mpilibs.registry).
         self._lib = make_library(library)
+        self.library = self._lib.profile.name
         self.machine = (params if params is not None
                         else broadwell_opa(nodes=nodes, ppn=ppn))
         #: record spans + metrics during runs (adds zero simulated time)

@@ -317,14 +317,21 @@ def run_sweep(
     resources: bool = False,
     attribution: bool = False,
 ) -> Sweep:
-    """Benchmark ``collective`` across libraries × sizes."""
+    """Benchmark ``collective`` across libraries × sizes.
+
+    ``libraries`` entries may be names, ``tuned:<db>`` specs, or
+    :class:`MpiLibrary` instances; the sweep's grid is keyed by each
+    library's profile name either way.
+    """
     from ..mpilibs import PAPER_LINEUP
 
-    libs = list(libraries) if libraries is not None else list(PAPER_LINEUP)
+    entries = list(libraries) if libraries is not None else list(PAPER_LINEUP)
+    resolved = [make_library(lib) for lib in entries]
+    libs = [lib.profile.name for lib in resolved]
     sweep = Sweep(collective, params.name, list(sizes), libs)
-    for lib in libs:
+    for name, lib in zip(libs, resolved):
         for nbytes in sizes:
-            sweep.points[(lib, nbytes)] = bench_collective(
+            sweep.points[(name, nbytes)] = bench_collective(
                 lib, collective, nbytes, params,
                 warmup=warmup, iters=iters, functional=functional, root=root,
                 resources=resources, attribution=attribution,

@@ -50,6 +50,20 @@ def _parse_sizes(text: str) -> List[int]:
     return sizes
 
 
+def _library_spec(text: str):
+    """A --library value: built-in name, registered instance name, or
+    ``tuned:<db>`` spec (validated at parse time, like choices=)."""
+    from .mpilibs.registry import TUNED_PREFIX, _INSTANCES
+
+    if (text in available_libraries() or text in _INSTANCES
+            or text.startswith(TUNED_PREFIX)):
+        return text
+    raise argparse.ArgumentTypeError(
+        f"unknown library {text!r}; available: {available_libraries()} "
+        f"or '{TUNED_PREFIX}<path>.tunedb.json'"
+    )
+
+
 def _machine(args) -> "object":
     return preset(args.preset, nodes=args.nodes, ppn=args.ppn)
 
@@ -228,6 +242,76 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_tune_search(args) -> int:
+    from .tuner import format_db, make_cells, search
+
+    cells = make_cells(args.collective, args.sizes, args.nodes, args.ppn,
+                       preset=args.preset)
+    eager = ([None] + args.eager_limits) if args.eager_limits else None
+    db = search(
+        cells,
+        base_library=args.base,
+        strategy=args.strategy,
+        seed=args.seed,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        checkpoint=args.checkpoint,
+        eager_choices=eager,
+    )
+    out = args.out or (
+        f"tune_{args.collective}_{args.nodes}x{args.ppn}.tunedb.json")
+    db.save(out)
+    print(format_db(db))
+    print(f"\nwrote {out}")
+    return 0
+
+
+def cmd_tune_show(args) -> int:
+    from .tuner import format_db, load_db
+
+    print(format_db(load_db(args.db)))
+    return 0
+
+
+def cmd_tune_diff(args) -> int:
+    from .tuner import diff, format_diff, load_db
+
+    entries = diff(load_db(args.old), load_db(args.new))
+    print(format_diff(entries))
+    return 1 if entries and args.strict else 0
+
+
+def cmd_tune_merge(args) -> int:
+    from .tuner import load_db, merge
+
+    merged = load_db(args.dbs[0])
+    for path in args.dbs[1:]:
+        merged = merge(merged, load_db(path))
+    merged.save(args.out)
+    print(f"merged {len(args.dbs)} databases ({len(merged.cells)} cells) "
+          f"into {args.out}")
+    return 0
+
+
+def cmd_tune_compile(args) -> int:
+    from .collectives.tuning import compare_tables, format_compare_tables
+    from .tuner import compile_db
+
+    lib = compile_db(args.db)
+    print(f"compiled {args.db} → {lib.profile.name} "
+          f"(base {lib.base.profile.name}, {len(lib.coverage())} cells)")
+    for key in lib.coverage():
+        print(f"  {key}")
+    if args.compare:
+        world = args.ranks or max(
+            r.nodes * r.ppn for r in lib.db.cells.values())
+        print(f"\nflipped cells vs {lib.base.profile.name} "
+              f"at {world} ranks:")
+        print(format_compare_tables(
+            compare_tables(lib.base, lib, world)))
+    return 0
+
+
 def cmd_info(args) -> int:
     print("machine presets:")
     for name in available_presets():
@@ -252,7 +336,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("bench", help="one latency point")
-    p.add_argument("--library", default="PiP-MColl", choices=available_libraries())
+    p.add_argument("--library", default="PiP-MColl", type=_library_spec,
+                   help=f"one of {available_libraries()} or 'tuned:<db>'")
     p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
     p.add_argument("--size", type=int, default=64)
     p.add_argument("--warmup", type=int, default=1)
@@ -303,7 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("trace", help="span-trace one collective (Perfetto JSON)")
-    p.add_argument("--library", default="PiP-MColl", choices=available_libraries())
+    p.add_argument("--library", default="PiP-MColl", type=_library_spec,
+                   help=f"one of {available_libraries()} or 'tuned:<db>'")
     p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
     p.add_argument("--size", type=int, default=64)
     p.add_argument("--out", default="trace.json")
@@ -329,6 +415,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero when any benchmark drifted")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("tune", help="empirical autotuner (see docs/TUNING.md)")
+    tune_sub = p.add_subparsers(dest="tune_command", required=True)
+
+    t = tune_sub.add_parser("search", help="search the schedule space → .tunedb.json")
+    t.add_argument("--collective", default="allgather", choices=COLLECTIVES)
+    t.add_argument("--sizes", type=_parse_sizes, default=[16, 64, 256, 1024, 4096])
+    t.add_argument("--base", default="PiP-MColl",
+                   help="base library the tuned tables fall back to")
+    t.add_argument("--strategy", default="exhaustive",
+                   choices=("exhaustive", "halving", "hill"))
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--workers", type=int, default=1,
+                   help="worker processes for candidate evaluation")
+    t.add_argument("--timeout", type=float, default=None,
+                   help="per-candidate wall-clock budget (seconds)")
+    t.add_argument("--eager-limits", type=_parse_sizes, default=None,
+                   help="eager→rendezvous overrides to search (bytes)")
+    t.add_argument("--checkpoint", default=None,
+                   help="JSON eval cache; re-running resumes from it")
+    t.add_argument("--out", default=None,
+                   help="output path (default tune_<coll>_<NxP>.tunedb.json)")
+    _add_machine_args(t, nodes=16, ppn=18)
+    t.set_defaults(fn=cmd_tune_search)
+
+    t = tune_sub.add_parser("show", help="print a tuning DB as a table")
+    t.add_argument("db")
+    t.set_defaults(fn=cmd_tune_show)
+
+    t = tune_sub.add_parser("diff", help="cell-by-cell DB comparison")
+    t.add_argument("old")
+    t.add_argument("new")
+    t.add_argument("--strict", action="store_true",
+                   help="exit nonzero when the DBs differ")
+    t.set_defaults(fn=cmd_tune_diff)
+
+    t = tune_sub.add_parser("merge", help="union several DBs (best wins)")
+    t.add_argument("dbs", nargs="+")
+    t.add_argument("--out", required=True)
+    t.set_defaults(fn=cmd_tune_merge)
+
+    t = tune_sub.add_parser("compile",
+                            help="DB → TunedLibrary (verifies + lists coverage)")
+    t.add_argument("db")
+    t.add_argument("--compare", action="store_true",
+                   help="also print flipped cells vs the base library")
+    t.add_argument("--ranks", type=int, default=None,
+                   help="world size for --compare (default: largest tuned)")
+    t.set_defaults(fn=cmd_tune_compile)
 
     p = sub.add_parser("info", help="presets, libraries, transports")
     p.set_defaults(fn=cmd_info)

@@ -86,3 +86,74 @@ def compare_libraries(collective: str, world_size: int,
         name: selection_table(name, collective, world_size, sizes)
         for name in libraries
     }
+
+
+@dataclass(frozen=True)
+class FlippedCell:
+    """One table cell where the tuned library diverges from stock."""
+
+    collective: str
+    nbytes: int
+    stock_algorithm: str
+    tuned_algorithm: str
+    #: measured best − baseline (µs) from the tuning DB, when the
+    #: tuned library carries one for this cell; negative = gain
+    predicted_gain_us: float = None
+
+
+def compare_tables(stock, tuned, world_size: int,
+                   collectives: Sequence[str] = None,
+                   sizes: Sequence[int] = DEFAULT_SIZES
+                   ) -> List[FlippedCell]:
+    """Which cells ``tuned`` flipped relative to ``stock``, with the
+    predicted per-cell gain where the tuned library's DB measured one.
+
+    Accepts names, ``tuned:`` specs, or :class:`MpiLibrary` instances
+    for both sides (``tuned`` is typically a
+    :class:`~repro.tuner.compile.TunedLibrary`).
+    """
+    from ..mpilibs import COLLECTIVES
+
+    stock_lib: MpiLibrary = (
+        make_library(stock) if isinstance(stock, str) else stock
+    )
+    tuned_lib: MpiLibrary = (
+        make_library(tuned) if isinstance(tuned, str) else tuned
+    )
+    db = getattr(tuned_lib, "db", None)
+    gains: Dict[tuple, float] = {}
+    if db is not None:
+        for result in db.cells.values():
+            if (result.nodes * result.ppn == world_size
+                    and result.baseline_us is not None):
+                gains[(result.collective, result.nbytes)] = (
+                    result.best_latency_us - result.baseline_us)
+    flipped: List[FlippedCell] = []
+    for coll in (collectives if collectives is not None else COLLECTIVES):
+        stock_rows = selection_table(stock_lib, coll, world_size, sizes)
+        tuned_rows = selection_table(tuned_lib, coll, world_size, sizes)
+        for s_row, t_row in zip(stock_rows, tuned_rows):
+            if s_row.algorithm != t_row.algorithm:
+                flipped.append(FlippedCell(
+                    collective=coll,
+                    nbytes=s_row.nbytes,
+                    stock_algorithm=s_row.algorithm,
+                    tuned_algorithm=t_row.algorithm,
+                    predicted_gain_us=gains.get((coll, s_row.nbytes)),
+                ))
+    return flipped
+
+
+def format_compare_tables(flipped: Sequence[FlippedCell]) -> str:
+    """Render :func:`compare_tables` output (``tune compare``)."""
+    if not flipped:
+        return "tuned tables agree with stock on every cell"
+    lines = []
+    for cell in flipped:
+        gain = ("" if cell.predicted_gain_us is None
+                else f"  [{cell.predicted_gain_us:+.3f} µs]")
+        lines.append(
+            f"{cell.collective:14s} {cell.nbytes:>9d} B  "
+            f"{cell.stock_algorithm} → {cell.tuned_algorithm}{gain}"
+        )
+    return "\n".join(lines)

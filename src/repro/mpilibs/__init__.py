@@ -7,7 +7,15 @@ from .mvapich import Mvapich
 from .openmpi import OpenMpi
 from .pip_mcoll import PipMColl
 from .pip_mpich import PipMpich
-from .registry import BASELINES, PAPER_LINEUP, available_libraries, make_library
+from .registry import (
+    BASELINES,
+    PAPER_LINEUP,
+    TUNED_PREFIX,
+    available_libraries,
+    make_library,
+    register_library,
+    unregister_library,
+)
 
 __all__ = [
     "BASELINES",
@@ -23,6 +31,9 @@ __all__ = [
     "PAPER_LINEUP",
     "PipMColl",
     "PipMpich",
+    "TUNED_PREFIX",
     "available_libraries",
     "make_library",
+    "register_library",
+    "unregister_library",
 ]

@@ -1,8 +1,21 @@
-"""Library registry — the paper's benchmark lineup."""
+"""Library registry — the paper's benchmark lineup plus extensions.
+
+Three ways to get a library:
+
+* a built-in display name (``"PiP-MColl"``) — instantiates the class;
+* a registered **instance** name (:func:`register_library`) — e.g. a
+  compiled :class:`~repro.tuner.compile.TunedLibrary`;
+* a ``tuned:<path>.tunedb.json`` spec string — compiles the tuning DB
+  at that path on the fly (see :mod:`repro.tuner`).
+
+Passing an :class:`MpiLibrary` instance to :func:`make_library` is
+also accepted (returned as-is), so every ``library=`` argument in the
+repo takes names, specs, and objects interchangeably.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Dict, List, Type, Union
 
 from .base import MpiLibrary
 from .intelmpi import IntelMpi
@@ -17,23 +30,75 @@ _LIBRARIES: Dict[str, Type[MpiLibrary]] = {
     for cls in (Mpich, OpenMpi, Mvapich, IntelMpi, PipMpich, PipMColl)
 }
 
+#: named library *instances* (tuned libraries, test doubles, ...)
+_INSTANCES: Dict[str, MpiLibrary] = {}
+
+#: prefix of on-the-fly tuning-DB specs
+TUNED_PREFIX = "tuned:"
+
 #: the lineup of the paper's figures, in plot order
 PAPER_LINEUP = ("OpenMPI", "MVAPICH2", "IntelMPI", "MPICH", "PiP-MPICH", "PiP-MColl")
 #: every comparator except the paper's system
 BASELINES = tuple(n for n in PAPER_LINEUP if n != "PiP-MColl")
 
 
-def make_library(name: str) -> MpiLibrary:
-    """Instantiate a library model by its display name."""
-    try:
-        cls = _LIBRARIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown MPI library {name!r}; available: {sorted(_LIBRARIES)}"
-        ) from None
-    return cls()
+def register_library(lib: MpiLibrary, name: str = None) -> str:
+    """Register a library *instance* under ``name`` (defaults to its
+    profile name) so it resolves anywhere a library name is accepted.
+
+    Returns the registered name.  Re-registering a name replaces the
+    instance; shadowing a built-in class name is rejected.
+    """
+    if not isinstance(lib, MpiLibrary):
+        raise TypeError(
+            f"register_library needs an MpiLibrary, got {type(lib).__name__}"
+        )
+    name = name if name is not None else lib.profile.name
+    if name in _LIBRARIES:
+        raise KeyError(f"{name!r} is a built-in library name")
+    _INSTANCES[name] = lib
+    return name
 
 
-def available_libraries() -> List[str]:
-    """Names accepted by :func:`make_library`."""
-    return sorted(_LIBRARIES)
+def unregister_library(name: str) -> None:
+    """Remove a registered instance (missing names are a no-op)."""
+    _INSTANCES.pop(name, None)
+
+
+def make_library(name: Union[str, MpiLibrary]) -> MpiLibrary:
+    """Resolve a library: instance, display name, registered-instance
+    name, or ``tuned:<path>`` spec."""
+    if isinstance(name, MpiLibrary):
+        return name
+    if not isinstance(name, str):
+        raise TypeError(
+            f"library must be a name, spec, or MpiLibrary instance; "
+            f"got {type(name).__name__}"
+        )
+    if name.startswith(TUNED_PREFIX):
+        from ..tuner import compile_db
+
+        return compile_db(name[len(TUNED_PREFIX):])
+    cls = _LIBRARIES.get(name)
+    if cls is not None:
+        return cls()
+    inst = _INSTANCES.get(name)
+    if inst is not None:
+        return inst
+    known = sorted(_LIBRARIES) + sorted(_INSTANCES)
+    raise KeyError(
+        f"unknown MPI library {name!r}; available: {known}, "
+        f"or a '{TUNED_PREFIX}<path>.tunedb.json' spec"
+    )
+
+
+def available_libraries(include_registered: bool = False) -> List[str]:
+    """Names accepted by :func:`make_library`.
+
+    The default lists only the built-in models (what the paper lineup
+    enumerates); ``include_registered=True`` adds instance names.
+    """
+    names = sorted(_LIBRARIES)
+    if include_registered:
+        names += sorted(_INSTANCES)
+    return names

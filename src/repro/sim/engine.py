@@ -253,6 +253,24 @@ class Simulator:
         """An event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
+    def event_at(self, when: float, value: Any = None) -> Event:
+        """An event firing at the absolute time ``when`` (``>= now``).
+
+        The absolute-time sibling of :meth:`timeout`: a caller that
+        already knows a completion instant exactly (a FIFO pipe
+        reservation, say) schedules it without the ``now + (when -
+        now)`` delta round-trip, which is not an identity in floating
+        point and would let the two engine paths drift by a ULP.
+        """
+        if when < self.now:
+            raise ValueError(f"event_at({when}) is in the past (now={self.now})")
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self._seq += 1
+        self._queue.push(when, self._seq, ev)
+        return ev
+
     def process(self, generator: ProcGen, name: Optional[str] = None) -> Process:
         """Start a process driving ``generator``; returns its join event."""
         return Process(self, generator, name)

@@ -173,4 +173,8 @@ class RateLimiter:
         if tail_delay < 0:
             raise ValueError("durations/delays must be >= 0")
         finish = self.reserve(duration, lead_delay)
-        return self.sim.timeout(finish + tail_delay - self.sim.now)
+        # Absolute-time scheduling: the fast path computes this same
+        # completion instant as `reserve(...) + tail`, so going through
+        # a relative timeout here (now + (finish + tail - now)) would
+        # put the two paths a ULP apart.
+        return self.sim.event_at(finish + tail_delay)

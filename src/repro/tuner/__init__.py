@@ -1,0 +1,69 @@
+"""Empirical autotuning subsystem (S-TUNE).
+
+Searches the multi-object schedule space (algorithm family, Bruck
+radix via concurrent-sender count, pipeline segment, eager↔rendezvous
+threshold) on the simulator and compiles the winners into a drop-in
+:class:`~repro.tuner.compile.TunedLibrary`.  See ``docs/TUNING.md``.
+"""
+
+from .compile import TunedLibrary, compile_db
+from .db import (
+    CellResult,
+    SCHEMA_VERSION,
+    SchemaError,
+    Trial,
+    TuneDB,
+    diff,
+    format_db,
+    format_diff,
+    git_describe,
+    load_db,
+    machine_hash,
+    merge,
+    validate_db,
+)
+from .driver import MAX_MOVES, STRATEGIES, search
+from .evaluate import CandidateLibrary, candidate_library, machine_for
+from .space import (
+    BASE_FAMILY,
+    Candidate,
+    Cell,
+    ConfigError,
+    FAMILY_POOLS,
+    SearchSpace,
+    default_senders,
+    make_cells,
+    validate_candidate,
+)
+
+__all__ = [
+    "BASE_FAMILY",
+    "Candidate",
+    "CandidateLibrary",
+    "Cell",
+    "CellResult",
+    "ConfigError",
+    "FAMILY_POOLS",
+    "MAX_MOVES",
+    "SCHEMA_VERSION",
+    "STRATEGIES",
+    "SchemaError",
+    "SearchSpace",
+    "Trial",
+    "TuneDB",
+    "TunedLibrary",
+    "candidate_library",
+    "compile_db",
+    "default_senders",
+    "diff",
+    "format_db",
+    "format_diff",
+    "git_describe",
+    "load_db",
+    "machine_for",
+    "machine_hash",
+    "make_cells",
+    "merge",
+    "search",
+    "validate_db",
+]

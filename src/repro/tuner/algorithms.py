@@ -1,0 +1,206 @@
+"""Candidate → runnable algorithm construction.
+
+Maps :class:`~repro.tuner.space.Candidate` family names onto the
+repo's algorithm inventory (``repro.core`` multi-object schedules,
+``repro.collectives`` flat baselines) and contributes the one
+algorithm the stock inventory lacks: the **generalised W-sender
+multi-object Bruck allgather**, where only ``W ≤ P`` local ranks drive
+the inter-node schedule (radix ``B_k = W + 1``) while the remaining
+ranks only stage and distribute.  ``W = P`` reproduces the paper's
+``B_k = P + 1`` schedule exactly — byte- and time-identical to
+:func:`repro.core.mcoll_allgather` — and the ladder below it is the
+radix/lane-count trade-off Bienz et al. and Träff show is
+topology-dependent, i.e. precisely what the tuner searches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..collectives import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    alltoall_bruck,
+    alltoall_pairwise,
+    barrier_dissemination,
+    bcast_binomial,
+    bcast_ring_pipeline,
+    gather_binomial,
+    gather_linear,
+    reduce_binomial,
+    reduce_scatter_recursive_halving,
+    reduce_scatter_reduce_then_scatter,
+    scatter_binomial,
+    scatter_linear,
+)
+from ..collectives.base import TAG_MCOLL
+from ..core import (
+    mcoll_allgather,
+    mcoll_allgather_large,
+    mcoll_allreduce,
+    mcoll_allreduce_rsag,
+    mcoll_alltoall,
+    mcoll_barrier,
+    mcoll_bcast,
+    mcoll_gather,
+    mcoll_reduce,
+    mcoll_reduce_scatter,
+    mcoll_scatter,
+)
+from ..core.common import (
+    chunked_copy,
+    close_stage,
+    geometry,
+    open_stage,
+    require_pip_world,
+    straight_copy,
+)
+from ..core.multiobject import bruck_schedule, dest_node, source_node, total_rounds
+from ..mpilibs.base import is_pow2
+from .space import BASE_FAMILY, Candidate, ConfigError
+
+_STAGE_KEY = "tuner.allgather.stage"
+
+
+def mcoll_allgather_senders(senders: int) -> Callable:
+    """Multi-object Bruck allgather with ``W = senders`` NIC lanes.
+
+    Local ranks ``0 .. W-1`` carry digits ``1 .. W`` of a
+    radix-``(W + 1)`` positional schedule; ranks ``W .. P-1`` stage
+    their block, keep the round barriers honest, and join the final
+    distribution copy.  The wire moves the same ``N − 1`` node-chunks
+    regardless of ``W`` — the knob trades rounds (``log_{W+1} N``)
+    against per-round concurrency, which is the whole point of tuning
+    it per machine.
+    """
+    if senders < 1:
+        raise ConfigError(f"senders must be >= 1, got {senders}")
+
+    def algorithm(ctx, sendview, recvview, comm=None):
+        comm = require_pip_world(ctx, comm)
+        n_nodes, ppn, node, rl = geometry(ctx)
+        w = min(senders, ppn)
+        cb = sendview.nbytes
+        if recvview.nbytes != cb * comm.size:
+            raise ValueError(
+                f"allgather recvbuf holds {recvview.nbytes} B, expected "
+                f"{comm.size} × {cb} B"
+            )
+        chunk = cb * ppn
+
+        stage = yield from open_stage(ctx, _STAGE_KEY, chunk * n_nodes)
+        yield from straight_copy(ctx, sendview, stage.view(rl * cb, cb))
+        yield from ctx.node_barrier()
+
+        last_round = -1
+        schedule = bruck_schedule(n_nodes, w, rl) if rl < w else []
+        for t in schedule:
+            last_round = t.round_no
+            dst = dest_node(node, t.dst_node_offset, n_nodes)
+            src = source_node(node, t.src_node_offset, n_nodes)
+            dst_rank = comm.to_comm(ctx.cluster.global_rank(dst, rl))
+            src_rank = comm.to_comm(ctx.cluster.global_rank(src, rl))
+            with ctx.span("round", cat="round", idx=t.round_no,
+                          algorithm=f"mcoll_bruck_w{w}", chunks=t.chunks):
+                yield from ctx.sendrecv(
+                    stage.view(0, t.chunks * chunk), dst_rank,
+                    TAG_MCOLL + t.round_no,
+                    stage.view(t.recv_chunk_index * chunk, t.chunks * chunk),
+                    src_rank, TAG_MCOLL + t.round_no,
+                    comm=comm,
+                )
+                yield from ctx.node_barrier()
+
+        # Idle digits (and every rank past W) still arrive at each
+        # round barrier — node_barrier counts arrivals.
+        for _ in range(total_rounds(n_nodes, w) - (last_round + 1)):
+            yield from ctx.node_barrier()
+
+        yield from chunked_copy(ctx, stage, recvview, n_nodes, chunk,
+                                shift=node)
+        yield from close_stage(ctx, _STAGE_KEY)
+
+    algorithm.__name__ = f"mcoll_bruck_w{senders}"
+    return algorithm
+
+
+def _mcoll_allreduce_auto() -> Callable:
+    """PiP-MColl's runtime-guarded allreduce pick (radix needs a
+    power-of-two node count, reduce-scatter+allgather needs count
+    divisibility; otherwise recursive doubling)."""
+
+    def pick(ctx, send, recv, dtype, op, comm=None):
+        size = (comm if comm is not None else ctx.comm_world).size
+        if is_pow2(ctx.cluster.nodes):
+            yield from mcoll_allreduce(ctx, send, recv, dtype, op, comm=comm)
+        elif not send.nbytes % (size * dtype.size):
+            yield from mcoll_allreduce_rsag(ctx, send, recv, dtype, op,
+                                            comm=comm)
+        else:
+            yield from allreduce_recursive_doubling(ctx, send, recv, dtype,
+                                                    op, comm=comm)
+
+    pick.__name__ = "mcoll_allreduce_auto"
+    return pick
+
+
+def _ring_pipeline(segment: int) -> Callable:
+    def algorithm(ctx, view, root=0, comm=None):
+        yield from bcast_ring_pipeline(ctx, view, root=root, comm=comm,
+                                       segment=segment)
+
+    algorithm.__name__ = f"bcast_ring_pipeline_s{segment}"
+    return algorithm
+
+
+#: (collective, family) → builder(cand) -> algorithm callable
+_BUILDERS: Dict[tuple, Callable[[Candidate], Callable]] = {
+    ("allgather", "mcoll_bruck"):
+        lambda c: mcoll_allgather_senders(c.senders),
+    ("allgather", "mcoll_ring"): lambda c: mcoll_allgather_large,
+    ("allgather", "bruck"): lambda c: allgather_bruck,
+    ("allgather", "recursive_doubling"):
+        lambda c: allgather_recursive_doubling,
+    ("allgather", "ring"): lambda c: allgather_ring,
+    ("alltoall", "mcoll"): lambda c: mcoll_alltoall,
+    ("alltoall", "bruck"): lambda c: alltoall_bruck,
+    ("alltoall", "pairwise"): lambda c: alltoall_pairwise,
+    ("bcast", "mcoll"): lambda c: mcoll_bcast,
+    ("bcast", "binomial"): lambda c: bcast_binomial,
+    ("bcast", "ring_pipeline"): lambda c: _ring_pipeline(c.segment),
+    ("allreduce", "mcoll_auto"): lambda c: _mcoll_allreduce_auto(),
+    ("allreduce", "recursive_doubling"):
+        lambda c: allreduce_recursive_doubling,
+    ("allreduce", "rabenseifner"): lambda c: allreduce_rabenseifner,
+    ("reduce", "mcoll"): lambda c: mcoll_reduce,
+    ("reduce", "binomial"): lambda c: reduce_binomial,
+    ("gather", "mcoll"): lambda c: mcoll_gather,
+    ("gather", "binomial"): lambda c: gather_binomial,
+    ("gather", "linear"): lambda c: gather_linear,
+    ("scatter", "mcoll"): lambda c: mcoll_scatter,
+    ("scatter", "binomial"): lambda c: scatter_binomial,
+    ("scatter", "linear"): lambda c: scatter_linear,
+    ("reduce_scatter", "mcoll"): lambda c: mcoll_reduce_scatter,
+    ("reduce_scatter", "recursive_halving"):
+        lambda c: reduce_scatter_recursive_halving,
+    ("reduce_scatter", "reduce_then_scatter"):
+        lambda c: reduce_scatter_reduce_then_scatter,
+    ("barrier", "mcoll"): lambda c: mcoll_barrier,
+    ("barrier", "dissemination"): lambda c: barrier_dissemination,
+}
+
+
+def build_algorithm(cand: Candidate, collective: str) -> Optional[Callable]:
+    """The runnable algorithm for ``cand``, or ``None`` for the
+    ``"base"`` family (meaning: delegate to the base library)."""
+    if cand.algorithm == BASE_FAMILY:
+        return None
+    builder = _BUILDERS.get((collective, cand.algorithm))
+    if builder is None:
+        raise ConfigError(
+            f"no builder for {cand.algorithm!r} on {collective!r}"
+        )
+    return builder(cand)

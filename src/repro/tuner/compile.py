@@ -1,0 +1,125 @@
+"""DB → :class:`TunedLibrary`: a drop-in ``MpiLibrary`` whose decision
+tables come from measurements.
+
+The compiled library buckets by message size per (collective,
+world_size): a query at ``nbytes`` uses the config of the largest
+tuned cell size ``≤ nbytes`` (interval-based bucketing, exactly how
+the stock libraries' hand-coded cutoffs work — a tuned winner governs
+*from its size up* until the next tuned size takes over).  Queries
+below the smallest tuned size, for an untuned collective, or at an
+untuned world size fall back to the **base library**, as does any cell
+whose winning family is ``"base"``.  If every covered cell agreed on a
+non-default ``eager_limit``, :meth:`TunedLibrary.make_world` applies
+it to the machine (a protocol threshold is per-machine, not per-call —
+mixed winners would be unsatisfiable, so that is an error).
+
+``make_library("tuned:<path>.tunedb.json")`` resolves here, so
+``Session``, the bench harness and the differential harness all accept
+a tuned library anywhere a library name goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..machine import MachineParams
+from ..mpilibs.base import LibraryProfile, MpiLibrary
+from .algorithms import build_algorithm
+from .db import SchemaError, TuneDB, load_db
+from .space import BASE_FAMILY, Candidate
+
+
+class TunedLibrary(MpiLibrary):
+    """A library model compiled from a tuning database."""
+
+    def __init__(self, db: TuneDB, base: Optional[MpiLibrary] = None,
+                 name: Optional[str] = None):
+        from ..mpilibs import make_library
+
+        self.db = db
+        self.base = base if base is not None else make_library(db.base_library)
+        self.profile = LibraryProfile(
+            name=name or f"Tuned[{self.base.profile.name}]",
+            intra=self.base.profile.intra,
+            call_overhead=self.base.profile.call_overhead,
+            description=(
+                f"empirically tuned tables over {self.base.profile.name} "
+                f"({db.preset}, {len(db.cells)} cells)"
+            ),
+        )
+        # (collective, world_size) → [(nbytes, Candidate)] size-ascending
+        self._table: Dict[Tuple[str, int], List[Tuple[int, Candidate]]] = {}
+        for result in db.cells.values():
+            key = (result.collective, result.nodes * result.ppn)
+            bucket = self._table.setdefault(key, [])
+            if any(n == result.nbytes for n, _ in bucket):
+                raise SchemaError(
+                    f"ambiguous DB: two cells for {result.collective} at "
+                    f"{result.nbytes} B on {result.nodes * result.ppn} ranks "
+                    "(different geometry, same world size)"
+                )
+            bucket.append((result.nbytes, result.best_candidate))
+        for bucket in self._table.values():
+            bucket.sort()
+        self._eager_limit = self._uniform_eager_limit()
+
+    def _uniform_eager_limit(self) -> Optional[int]:
+        limits = {cand.eager_limit
+                  for bucket in self._table.values()
+                  for _, cand in bucket}
+        overrides = limits - {None}
+        if not overrides:
+            return None
+        if len(limits) > 1:
+            raise SchemaError(
+                f"DB winners disagree on eager_limit ({sorted(limits, key=str)}); "
+                "a protocol threshold is machine-wide — re-tune with a "
+                "single eager ladder or split the DB"
+            )
+        return overrides.pop()
+
+    def lookup(self, collective: str, nbytes: int,
+               world_size: int) -> Optional[Candidate]:
+        """The governing tuned config, or ``None`` → base fallback."""
+        bucket = self._table.get((collective, world_size))
+        if not bucket:
+            return None
+        chosen = None
+        for size, cand in bucket:  # size-ascending
+            if size > nbytes:
+                break
+            chosen = cand
+        return chosen
+
+    def algorithm(self, collective: str, nbytes: int,
+                  world_size: int) -> Callable:
+        cand = self.lookup(collective, nbytes, world_size)
+        if cand is None or cand.algorithm == BASE_FAMILY:
+            return self.base.algorithm(collective, nbytes, world_size)
+        return build_algorithm(cand, collective)
+
+    def subcomm_algorithm(self, collective: str, nbytes: int,
+                          comm_size: int) -> Callable:
+        return self.base.subcomm_algorithm(collective, nbytes, comm_size)
+
+    def make_world(self, params: MachineParams, functional: bool = True,
+                   **world_kwargs):
+        if self._eager_limit is not None:
+            params = params.scaled(
+                nic=replace(params.nic, eager_limit=self._eager_limit))
+        return super().make_world(params, functional=functional,
+                                  **world_kwargs)
+
+    def coverage(self) -> List[str]:
+        """Sorted cell keys this library's tables cover (docs/CLI)."""
+        return sorted(self.db.cells)
+
+
+def compile_db(source: Union[str, Path, TuneDB],
+               base: Optional[MpiLibrary] = None,
+               name: Optional[str] = None) -> TunedLibrary:
+    """Compile a DB (path or object) into a :class:`TunedLibrary`."""
+    db = source if isinstance(source, TuneDB) else load_db(source)
+    return TunedLibrary(db, base=base, name=name)

@@ -1,0 +1,315 @@
+"""Schema-versioned tuning database (``*.tunedb.json``).
+
+One DB = one (base library, machine preset) pair's measured grid: per
+cell the winning config, its latency, the runner-up margin (how much
+headroom the winner has — small margins mean the cell is
+re-tune-sensitive), the base library's own latency, and the full trial
+log.  Provenance records *which* machine the numbers describe (a hash
+of the preset's cost parameters — if the preset changes, the DB is
+stale) and which source tree searched it (``git describe``).
+
+Determinism contract: serialisation is ``sort_keys=True`` with no
+timestamps anywhere, so the same search under the same seed produces a
+**byte-identical** file (asserted by tests and the acceptance
+criteria).  :func:`merge` and :func:`diff` are the multi-run tooling:
+merge unions two grids (same base + preset required; on conflict the
+lower measured latency wins), diff explains what changed between two
+DBs cell by cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..machine import MachineParams
+from .space import Candidate, Cell
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A tuning DB that does not match the schema."""
+
+
+def machine_hash(params: MachineParams) -> str:
+    """Short stable hash of a machine's *cost* parameters (geometry
+    excluded — the grid varies it; the cost model must not drift)."""
+    payload = {
+        "nic": asdict(params.nic),
+        "memory": asdict(params.memory),
+        "cpu": asdict(params.cpu),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def git_describe(root: Optional[Union[str, Path]] = None) -> str:
+    """``git describe --always --dirty`` or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=str(root) if root else None,
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+@dataclass
+class Trial:
+    """One evaluated (candidate, full-fidelity) measurement."""
+
+    config: Dict[str, object]
+    latency_us: Optional[float]
+    error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"config": dict(self.config),
+                                  "latency_us": self.latency_us}
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Dict) -> "Trial":
+        return cls(config=dict(obj["config"]),
+                   latency_us=obj.get("latency_us"),
+                   error=obj.get("error"))
+
+
+@dataclass
+class CellResult:
+    """The tuned outcome for one grid cell."""
+
+    collective: str
+    nbytes: int
+    nodes: int
+    ppn: int
+    best: Dict[str, object]  # winning candidate config
+    best_latency_us: float
+    runner_up: Optional[Dict[str, object]]
+    margin_us: Optional[float]  # runner-up latency − best latency
+    baseline_us: Optional[float]  # the base library's own pick
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def cell(self) -> Cell:
+        return Cell(self.collective, self.nbytes, self.nodes, self.ppn)
+
+    @property
+    def best_candidate(self) -> Candidate:
+        return Candidate.from_dict(self.best)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "collective": self.collective,
+            "nbytes": self.nbytes,
+            "nodes": self.nodes,
+            "ppn": self.ppn,
+            "best": dict(self.best),
+            "best_latency_us": self.best_latency_us,
+            "runner_up": dict(self.runner_up) if self.runner_up else None,
+            "margin_us": self.margin_us,
+            "baseline_us": self.baseline_us,
+            "trials": [t.as_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict) -> "CellResult":
+        try:
+            return cls(
+                collective=obj["collective"],
+                nbytes=int(obj["nbytes"]),
+                nodes=int(obj["nodes"]),
+                ppn=int(obj["ppn"]),
+                best=dict(obj["best"]),
+                best_latency_us=float(obj["best_latency_us"]),
+                runner_up=dict(obj["runner_up"]) if obj.get("runner_up") else None,
+                margin_us=obj.get("margin_us"),
+                baseline_us=obj.get("baseline_us"),
+                trials=[Trial.from_dict(t) for t in obj.get("trials", [])],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"bad cell result: {exc}") from exc
+
+
+@dataclass
+class TuneDB:
+    """One complete tuning database."""
+
+    base_library: str
+    preset: str
+    provenance: Dict[str, object]
+    cells: Dict[str, CellResult] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "base_library": self.base_library,
+            "preset": self.preset,
+            "provenance": dict(self.provenance),
+            "cells": {k: v.as_dict() for k, v in sorted(self.cells.items())},
+        }
+
+    def dumps(self) -> str:
+        """Canonical byte-stable serialisation."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def from_dict(cls, obj: Dict) -> "TuneDB":
+        validate_db(obj)
+        return cls(
+            base_library=obj["base_library"],
+            preset=obj["preset"],
+            provenance=dict(obj["provenance"]),
+            cells={k: CellResult.from_dict(v)
+                   for k, v in obj["cells"].items()},
+            schema=int(obj["schema"]),
+        )
+
+
+def validate_db(obj: Dict) -> None:
+    """Raise :class:`SchemaError` unless ``obj`` is a valid DB dict."""
+    if not isinstance(obj, dict):
+        raise SchemaError(f"DB must be an object, got {type(obj).__name__}")
+    missing = {"schema", "base_library", "preset", "provenance",
+               "cells"} - set(obj)
+    if missing:
+        raise SchemaError(f"DB missing fields {sorted(missing)}")
+    if obj["schema"] != SCHEMA_VERSION:
+        raise SchemaError(
+            f"schema {obj['schema']!r} unsupported (this build reads "
+            f"{SCHEMA_VERSION})"
+        )
+    if not isinstance(obj["cells"], dict):
+        raise SchemaError("'cells' must be an object")
+    for key, cell in obj["cells"].items():
+        result = CellResult.from_dict(cell)
+        if result.cell.key() != key:
+            raise SchemaError(
+                f"cell key {key!r} does not match its contents "
+                f"({result.cell.key()!r})"
+            )
+        if "algorithm" not in result.best:
+            raise SchemaError(f"cell {key!r} best config lacks 'algorithm'")
+
+
+def load_db(path: Union[str, Path]) -> TuneDB:
+    path = Path(path)
+    try:
+        obj = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SchemaError(f"no tuning DB at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path} is not JSON: {exc}") from exc
+    return TuneDB.from_dict(obj)
+
+
+def merge(a: TuneDB, b: TuneDB) -> TuneDB:
+    """Union of two DBs' grids (same base library + preset required).
+
+    On a shared cell, the lower measured best latency wins — merging a
+    re-run therefore only ever improves the table.  Provenance keeps
+    ``a``'s identity and records the merge inputs.
+    """
+    if a.base_library != b.base_library:
+        raise SchemaError(
+            f"cannot merge DBs for different base libraries "
+            f"({a.base_library!r} vs {b.base_library!r})"
+        )
+    if a.preset != b.preset:
+        raise SchemaError(
+            f"cannot merge DBs for different presets "
+            f"({a.preset!r} vs {b.preset!r})"
+        )
+    cells = dict(a.cells)
+    for key, theirs in b.cells.items():
+        ours = cells.get(key)
+        if ours is None or theirs.best_latency_us < ours.best_latency_us:
+            cells[key] = theirs
+    provenance = dict(a.provenance)
+    provenance["merged_from"] = sorted({
+        str(a.provenance.get("git", "unknown")),
+        str(b.provenance.get("git", "unknown")),
+    })
+    return TuneDB(base_library=a.base_library, preset=a.preset,
+                  provenance=provenance, cells=cells)
+
+
+@dataclass
+class DiffEntry:
+    key: str
+    kind: str  # "added" | "removed" | "changed"
+    before: Optional[Dict[str, object]] = None
+    after: Optional[Dict[str, object]] = None
+    latency_delta_us: Optional[float] = None
+
+
+def diff(old: TuneDB, new: TuneDB) -> List[DiffEntry]:
+    """Cell-by-cell comparison: added / removed / changed winners."""
+    entries: List[DiffEntry] = []
+    for key in sorted(set(old.cells) | set(new.cells)):
+        a, b = old.cells.get(key), new.cells.get(key)
+        if a is None:
+            entries.append(DiffEntry(key, "added", after=b.best))
+        elif b is None:
+            entries.append(DiffEntry(key, "removed", before=a.best))
+        elif a.best != b.best or a.best_latency_us != b.best_latency_us:
+            entries.append(DiffEntry(
+                key, "changed", before=a.best, after=b.best,
+                latency_delta_us=b.best_latency_us - a.best_latency_us))
+    return entries
+
+
+def format_diff(entries: List[DiffEntry]) -> str:
+    """Human-readable diff rendering (what the CLI prints)."""
+    if not entries:
+        return "databases agree on every cell"
+    lines = []
+    for e in entries:
+        if e.kind == "added":
+            lines.append(f"+ {e.key}: {Candidate.from_dict(e.after).key()}")
+        elif e.kind == "removed":
+            lines.append(f"- {e.key}: {Candidate.from_dict(e.before).key()}")
+        else:
+            delta = (f" ({e.latency_delta_us:+.3f} µs)"
+                     if e.latency_delta_us is not None else "")
+            lines.append(
+                f"~ {e.key}: {Candidate.from_dict(e.before).key()} → "
+                f"{Candidate.from_dict(e.after).key()}{delta}"
+            )
+    return "\n".join(lines)
+
+
+def format_db(db: TuneDB) -> str:
+    """Human-readable table of a DB's winners (``tune show``)."""
+    header = (f"tuning DB: base={db.base_library} preset={db.preset} "
+              f"schema=v{db.schema}")
+    prov = ", ".join(f"{k}={v}" for k, v in sorted(db.provenance.items()))
+    lines = [header, f"provenance: {prov}", ""]
+    widths = (28, 34, 12, 12, 10)
+    cols = ("cell", "winner", "best µs", "base µs", "margin µs")
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    for key in sorted(db.cells):
+        cell = db.cells[key]
+        row = (
+            key,
+            Candidate.from_dict(cell.best).key(),
+            f"{cell.best_latency_us:.3f}",
+            "-" if cell.baseline_us is None else f"{cell.baseline_us:.3f}",
+            "-" if cell.margin_us is None else f"{cell.margin_us:.3f}",
+        )
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Search driver: strategies, worker fan-out, checkpointing.
+
+Evaluates candidate configurations cell by cell and assembles a
+:class:`~repro.tuner.db.TuneDB`.  Three strategies:
+
+* ``exhaustive`` — every valid candidate at full fidelity; the ground
+  truth the cheaper strategies are tested against.
+* ``halving`` — successive halving over *node-count fidelity rungs*
+  (``nodes/4 → nodes/2 → nodes``): all candidates race at the cheap
+  rung, the better half advances, finalists re-measure at full scale.
+  Only full-fidelity measurements enter the DB's trial log.
+* ``hill`` — seeded neighbourhood hill-climb: start somewhere in the
+  pool, repeatedly move to the best strictly-better one-knob
+  neighbour, stop after at most :data:`MAX_MOVES` moves or a local
+  optimum.
+
+Every strategy *additionally* measures the ``"base"`` candidate (the
+base library's own pick) at full fidelity, so the winner can never be
+worse than the library the compiled table falls back to.  Ranking
+breaks latency ties toward explicit candidates (then lexicographic
+config key), so when the paper's ``B_k = P + 1`` schedule ties the
+base library that *is* that schedule, the tuner reports the discovery.
+
+Determinism: the task list is sorted, workers return results by task
+identity (not completion order), the only randomness is
+``random.Random(f"{seed}:{cell_key}")``, and no wall-clock values are
+recorded — same seed ⇒ byte-identical DB.  The checkpoint file maps
+``cell_key → candidate_key@fidelity → result`` and is re-read on
+restart, so a killed search resumes without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..mpilibs import make_library
+from .db import (
+    CellResult,
+    SCHEMA_VERSION,
+    Trial,
+    TuneDB,
+    git_describe,
+    machine_hash,
+)
+from .evaluate import base_supports_peer_views, evaluate_task, machine_for
+from .space import BASE_FAMILY, Candidate, Cell, ConfigError, SearchSpace
+
+STRATEGIES = ("exhaustive", "halving", "hill")
+#: hill-climb move budget per cell
+MAX_MOVES = 8
+#: candidates kept per halving rung: ceil(n / HALVING_FACTOR)
+HALVING_FACTOR = 2
+
+_INF = float("inf")
+
+
+class _EvalCache:
+    """(cell, candidate, fidelity) → result, persisted as a checkpoint."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.path = Path(path) if path else None
+        self._data: Dict[str, Dict[str, Dict]] = {}
+        if self.path and self.path.exists():
+            obj = json.loads(self.path.read_text())
+            if obj.get("version") != 1:
+                raise ConfigError(
+                    f"unsupported checkpoint version in {self.path}"
+                )
+            self._data = obj.get("evals", {})
+
+    @staticmethod
+    def _task_key(cand: Candidate, nodes: int) -> str:
+        return f"{cand.key()}@@{nodes}"
+
+    def get(self, cell: Cell, cand: Candidate, nodes: int) -> Optional[Dict]:
+        return self._data.get(cell.key(), {}).get(self._task_key(cand, nodes))
+
+    def put(self, cell: Cell, cand: Candidate, nodes: int,
+            result: Dict) -> None:
+        self._data.setdefault(cell.key(), {})[
+            self._task_key(cand, nodes)] = result
+
+    def flush(self) -> None:
+        if self.path:
+            self.path.write_text(json.dumps(
+                {"version": 1, "evals": self._data},
+                sort_keys=True, indent=2) + "\n")
+
+
+class _Evaluator:
+    """Batch evaluation with caching and optional worker processes."""
+
+    def __init__(self, base_library: str, cache: _EvalCache,
+                 workers: int = 1, timeout_s: Optional[float] = None):
+        self.base_library = base_library
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        self.timeout_s = timeout_s
+
+    def run(self, cell: Cell, cands: Sequence[Candidate],
+            nodes: int) -> Dict[Candidate, Dict]:
+        """Evaluate ``cands`` for ``cell`` at fidelity ``nodes``."""
+        out: Dict[Candidate, Dict] = {}
+        todo: List[Candidate] = []
+        for cand in cands:
+            hit = self.cache.get(cell, cand, nodes)
+            if hit is not None:
+                out[cand] = hit
+            else:
+                todo.append(cand)
+        if todo:
+            tasks = [{
+                "cell": cell.as_dict(),
+                "candidate": cand.as_dict(),
+                "base_library": self.base_library,
+                "nodes": nodes,
+                "timeout_s": self.timeout_s,
+            } for cand in todo]
+            if self.workers > 1:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    # map() yields in submission order → deterministic.
+                    results = list(pool.map(evaluate_task, tasks))
+            else:
+                results = [evaluate_task(t) for t in tasks]
+            for cand, result in zip(todo, results):
+                self.cache.put(cell, cand, nodes, result)
+                out[cand] = result
+            self.cache.flush()
+        return out
+
+
+def _rank_key(cand: Candidate, result: Dict) -> Tuple:
+    latency = result.get("latency_us")
+    return (
+        latency if latency is not None else _INF,
+        1 if cand.algorithm == BASE_FAMILY else 0,
+        cand.key(),
+    )
+
+
+def _halving_rungs(nodes: int) -> List[int]:
+    rungs = sorted({max(2, nodes // 4), max(2, nodes // 2)})
+    return [r for r in rungs if r < nodes] + [nodes]
+
+
+def _search_cell(cell: Cell, pool: Sequence[Candidate], strategy: str,
+                 seed: int, evaluator: _Evaluator) -> Dict[Candidate, Dict]:
+    """Full-fidelity results for the candidates the strategy explored."""
+    base_cands = [c for c in pool if c.algorithm == BASE_FAMILY]
+    explicit = [c for c in pool if c.algorithm != BASE_FAMILY]
+
+    if strategy == "exhaustive" or not explicit:
+        return evaluator.run(cell, list(pool), cell.nodes)
+
+    if strategy == "halving":
+        survivors = list(explicit)
+        for rung in _halving_rungs(cell.nodes):
+            if rung == cell.nodes:
+                break
+            results = evaluator.run(cell, survivors, rung)
+            ranked = sorted(survivors,
+                            key=lambda c: _rank_key(c, results[c]))
+            keep = max(1, math.ceil(len(ranked) / HALVING_FACTOR))
+            survivors = ranked[:keep]
+        return evaluator.run(cell, survivors + base_cands, cell.nodes)
+
+    if strategy == "hill":
+        rng = random.Random(f"{seed}:{cell.key()}")
+        current = rng.choice(sorted(explicit, key=lambda c: c.key()))
+        results = evaluator.run(cell, [current] + base_cands, cell.nodes)
+        for _ in range(MAX_MOVES):
+            space = SearchSpace.default(cell.collective)
+            neigh = [n for n in space.neighbors(current, explicit)
+                     if n not in results]
+            if not neigh:
+                break
+            results.update(evaluator.run(cell, neigh, cell.nodes))
+            best = min(results, key=lambda c: _rank_key(c, results[c]))
+            if best == current:
+                break
+            current = best
+        return results
+
+    raise ConfigError(
+        f"unknown strategy {strategy!r}; available: {STRATEGIES}"
+    )
+
+
+def _cell_result(cell: Cell, results: Dict[Candidate, Dict]) -> CellResult:
+    ranked = sorted(results, key=lambda c: _rank_key(c, results[c]))
+    best = ranked[0]
+    best_latency = results[best].get("latency_us")
+    if best_latency is None:
+        raise ConfigError(
+            f"every candidate failed for {cell.key()}: "
+            f"{sorted(r.get('error') for r in results.values())}"
+        )
+    runner = next(
+        (c for c in ranked[1:] if results[c].get("latency_us") is not None),
+        None,
+    )
+    baseline = next(
+        (results[c]["latency_us"] for c in results
+         if c.algorithm == BASE_FAMILY
+         and results[c].get("latency_us") is not None),
+        None,
+    )
+    trials = [Trial(config=c.as_dict(),
+                    latency_us=results[c].get("latency_us"),
+                    error=results[c].get("error"))
+              for c in ranked]
+    return CellResult(
+        collective=cell.collective,
+        nbytes=cell.nbytes,
+        nodes=cell.nodes,
+        ppn=cell.ppn,
+        best=best.as_dict(),
+        best_latency_us=best_latency,
+        runner_up=runner.as_dict() if runner else None,
+        margin_us=(results[runner]["latency_us"] - best_latency
+                   if runner else None),
+        baseline_us=baseline,
+        trials=trials,
+    )
+
+
+def search(
+    cells: Sequence[Cell],
+    base_library: str = "PiP-MColl",
+    strategy: str = "exhaustive",
+    seed: int = 0,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    space: Optional[SearchSpace] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    eager_choices: Optional[Sequence[Optional[int]]] = None,
+) -> TuneDB:
+    """Tune every cell and return the assembled database.
+
+    ``space`` overrides the default per-collective search space (it
+    must then match every cell's collective); ``eager_choices`` adds
+    eager-limit override rungs to the default spaces.  ``checkpoint``
+    names a JSON file evaluations are appended to — re-running the
+    same command resumes instead of re-simulating.
+    """
+    if strategy not in STRATEGIES:
+        raise ConfigError(
+            f"unknown strategy {strategy!r}; available: {STRATEGIES}"
+        )
+    if not cells:
+        raise ConfigError("no cells to tune")
+    presets = {c.preset for c in cells}
+    if len(presets) > 1:
+        raise ConfigError(
+            f"one DB describes one machine preset; got {sorted(presets)}"
+        )
+    base = make_library(base_library)
+    peer_views = base_supports_peer_views(base)
+
+    cache = _EvalCache(checkpoint)
+    evaluator = _Evaluator(base.profile.name, cache,
+                           workers=workers, timeout_s=timeout_s)
+
+    results: Dict[str, CellResult] = {}
+    for cell in sorted(cells, key=lambda c: c.key()):
+        if space is not None:
+            cell_space = space
+        elif eager_choices is not None:
+            cell_space = SearchSpace.default(
+                cell.collective, eager_choices=tuple(eager_choices))
+        else:
+            cell_space = SearchSpace.default(cell.collective)
+        pool = cell_space.candidates(cell, peer_views=peer_views)
+        if not pool:
+            raise ConfigError(f"empty candidate pool for {cell.key()}")
+        cell_results = _search_cell(cell, pool, strategy, seed, evaluator)
+        results[cell.key()] = _cell_result(cell, cell_results)
+
+    first = sorted(cells, key=lambda c: c.key())[0]
+    params = machine_for(first.preset, first.nodes, first.ppn)
+    provenance = {
+        "machine_hash": machine_hash(params),
+        "git": git_describe(),
+        "seed": seed,
+        "strategy": strategy,
+    }
+    return TuneDB(
+        base_library=base.profile.name,
+        preset=first.preset,
+        provenance=provenance,
+        cells=results,
+        schema=SCHEMA_VERSION,
+    )

@@ -1,0 +1,138 @@
+"""Candidate evaluation: one (cell, candidate) → measured latency.
+
+:class:`CandidateLibrary` is a throwaway :class:`~repro.mpilibs.base.
+MpiLibrary` that behaves exactly like the base library except for the
+one collective being tuned, where it runs the candidate's algorithm.
+:func:`evaluate_task` is a module-level, picklable function so the
+driver can fan tasks out to ``ProcessPoolExecutor`` workers; it builds
+the machine (applying a candidate ``eager_limit`` override via
+``MachineParams.scaled``), runs the standard bench harness for one
+warmup + one measured iteration (the simulator is deterministic, so
+one iteration *is* the answer), and reports ``{"latency_us": ...}`` or
+``{"latency_us": None, "error": ...}`` — candidate failures are data,
+not crashes.
+
+A per-candidate wall-clock timeout uses ``signal.setitimer`` (POSIX),
+which works both inline and inside fork-started workers; a candidate
+that simulates too long is recorded as timed out and the search moves
+on.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from ..machine import MachineParams, preset
+from ..mpilibs.base import MpiLibrary
+from ..transport import make_transport
+from .algorithms import build_algorithm
+from .space import Candidate, Cell, ConfigError, validate_candidate
+
+
+class EvalTimeout(Exception):
+    """A candidate exceeded its wall-clock budget."""
+
+
+def base_supports_peer_views(base: MpiLibrary) -> bool:
+    """Whether the base library's intra-node transport is PiP-like."""
+    return make_transport(base.profile.intra).supports_peer_views
+
+
+class CandidateLibrary(MpiLibrary):
+    """The base library with one collective's pick overridden."""
+
+    def __init__(self, base: MpiLibrary, collective: str,
+                 algorithm: Optional[Callable]):
+        self._base = base
+        self._collective = collective
+        self._algorithm = algorithm  # None → pure base delegation
+        self.profile = base.profile
+
+    def algorithm(self, collective: str, nbytes: int,
+                  world_size: int) -> Callable:
+        if collective == self._collective and self._algorithm is not None:
+            return self._algorithm
+        return self._base.algorithm(collective, nbytes, world_size)
+
+    def subcomm_algorithm(self, collective: str, nbytes: int,
+                          comm_size: int) -> Callable:
+        return self._base.subcomm_algorithm(collective, nbytes, comm_size)
+
+
+def machine_for(preset_name: str, nodes: int, ppn: int,
+                eager_limit: Optional[int] = None) -> MachineParams:
+    """The cell's machine, with an optional eager-limit override."""
+    if preset_name == "single_node":
+        if nodes != 1:
+            raise ConfigError("single_node preset needs nodes=1")
+        params = preset(preset_name, ppn=ppn)
+    else:
+        params = preset(preset_name, nodes=nodes, ppn=ppn)
+    if eager_limit is not None:
+        params = params.scaled(nic=replace(params.nic,
+                                           eager_limit=eager_limit))
+    return params
+
+
+def candidate_library(base: MpiLibrary, cell: Cell,
+                      cand: Candidate) -> CandidateLibrary:
+    """Validate ``cand`` for ``cell`` and wrap it as a library."""
+    validate_candidate(cand, cell,
+                       peer_views=base_supports_peer_views(base))
+    algo = build_algorithm(cand, cell.collective)
+    return CandidateLibrary(base, cell.collective, algo)
+
+
+def _evaluate(base: MpiLibrary, cell: Cell, cand: Candidate,
+              nodes: int) -> float:
+    """Latency (µs) of ``cand`` on ``cell`` at a (possibly reduced
+    fidelity) node count ``nodes``."""
+    lib = candidate_library(base, cell, cand)
+    params = machine_for(cell.preset, nodes, cell.ppn,
+                         eager_limit=cand.eager_limit)
+    from ..bench.harness import bench_collective
+
+    point = bench_collective(lib, cell.collective, cell.nbytes, params,
+                             warmup=1, iters=1)
+    return point.latency_us
+
+
+def evaluate_task(task: Dict) -> Dict:
+    """One pickled work unit: ``{cell, candidate, base_library, nodes,
+    timeout_s}`` → ``{"latency_us": float|None, "error": str|None}``.
+
+    All failures (invalid config that slipped through, timeout,
+    simulator error) come back as data so a bad candidate can never
+    take the search down.
+    """
+    from ..mpilibs import make_library
+
+    cell = Cell.from_dict(task["cell"])
+    cand = Candidate.from_dict(task["candidate"])
+    base = make_library(task["base_library"])
+    nodes = int(task.get("nodes") or cell.nodes)
+    timeout_s = task.get("timeout_s")
+
+    def _alarm(signum, frame):
+        raise EvalTimeout(f"candidate exceeded {timeout_s}s")
+
+    old_handler = None
+    try:
+        if timeout_s:
+            # Armed inside the try: a tiny budget may fire before the
+            # evaluation even starts, and that is still just a timeout.
+            old_handler = signal.signal(signal.SIGALRM, _alarm)
+            signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+        latency = _evaluate(base, cell, cand, nodes)
+        return {"latency_us": latency, "error": None}
+    except EvalTimeout as exc:
+        return {"latency_us": None, "error": f"timeout: {exc}"}
+    except Exception as exc:  # noqa: BLE001 - failures are data here
+        return {"latency_us": None,
+                "error": f"{type(exc).__name__}: {exc}"}
+    finally:
+        if old_handler is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)

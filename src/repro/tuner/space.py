@@ -1,0 +1,360 @@
+"""Search-space declaration for the empirical autotuner.
+
+The paper's headline numbers come from *schedule parameters* — the
+multi-object Bruck radix ``B_k = P + 1``, how many local ranks drive
+the NIC concurrently, the eager↔rendezvous protocol switch, pipeline
+segment sizes.  The stock library models hard-code those choices; the
+tuner searches them.  This module declares *what* can be searched:
+
+* :class:`Cell` — one grid point to tune: (collective, message size,
+  nodes, ppn, machine preset);
+* :class:`Candidate` — one point of the knob space: an algorithm
+  family plus its family-specific knobs (``senders`` → multi-object
+  radix ``senders + 1``, ``segment`` → pipeline piece size,
+  ``eager_limit`` → protocol-switch override);
+* :class:`SearchSpace` — the per-collective family pool and knob
+  ladders, with :meth:`SearchSpace.candidates` enumerating only
+  *valid* configurations (``radix ≤ P + 1``, recursive doubling only
+  on power-of-two worlds, multi-object families only on peer-view
+  transports) and :meth:`SearchSpace.neighbors` defining the
+  one-knob-step neighbourhood the hill-climb strategy walks.
+
+Everything here is pure declaration/validation — no simulation.  The
+special family name ``"base"`` means "whatever the base library's own
+decision table picks"; it is always a candidate, which is what makes
+the compiled tables never lose to the library they fall back to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: family name for "the base library's own selection" (always valid)
+BASE_FAMILY = "base"
+
+
+class ConfigError(ValueError):
+    """An invalid candidate configuration (violated constraint)."""
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point the tuner measures: a collective call shape."""
+
+    collective: str
+    nbytes: int
+    nodes: int
+    ppn: int
+    preset: str = "broadwell_opa"
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ConfigError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.nodes < 1 or self.ppn < 1:
+            raise ConfigError(
+                f"need nodes >= 1 and ppn >= 1, got {self.nodes}x{self.ppn}"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.nodes * self.ppn
+
+    def key(self) -> str:
+        """Stable cell key (the tuning DB's cell identifier)."""
+        return f"{self.collective}/{self.nbytes}B@{self.nodes}x{self.ppn}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "collective": self.collective,
+            "nbytes": self.nbytes,
+            "nodes": self.nodes,
+            "ppn": self.ppn,
+            "preset": self.preset,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, object]) -> "Cell":
+        return cls(**{k: obj[k] for k in
+                      ("collective", "nbytes", "nodes", "ppn", "preset")
+                      if k in obj})
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One knob-space point: an algorithm family + its knob values.
+
+    ``senders`` is the number of local ranks driving the inter-node
+    schedule concurrently; for the multi-object Bruck family the radix
+    is ``senders + 1`` (the paper's ``B_k = P + 1`` is
+    ``senders = ppn``).  ``segment`` is the pipeline piece size in
+    bytes.  ``eager_limit`` overrides the NIC's eager↔rendezvous
+    switch for the whole run (``None`` keeps the preset's value).
+    """
+
+    algorithm: str
+    senders: Optional[int] = None
+    segment: Optional[int] = None
+    eager_limit: Optional[int] = None
+
+    @property
+    def radix(self) -> Optional[int]:
+        """Multi-object Bruck radix ``B_k = senders + 1`` (or None)."""
+        return None if self.senders is None else self.senders + 1
+
+    def key(self) -> str:
+        """Canonical sortable identity string."""
+        parts = [f"algorithm={self.algorithm}"]
+        for name in ("senders", "segment", "eager_limit"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        return ",".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"algorithm": self.algorithm}
+        for name in ("senders", "segment", "eager_limit"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, object]) -> "Candidate":
+        known = {"algorithm", "senders", "segment", "eager_limit"}
+        unknown = set(obj) - known
+        if unknown:
+            raise ConfigError(f"unknown candidate fields {sorted(unknown)}")
+        if "algorithm" not in obj:
+            raise ConfigError("candidate needs an 'algorithm' field")
+        return cls(**obj)  # type: ignore[arg-type]
+
+
+#: per-collective family pools (see repro.tuner.algorithms for the
+#: callables).  Order is presentation order only; enumeration sorts.
+FAMILY_POOLS: Dict[str, Tuple[str, ...]] = {
+    "allgather": ("mcoll_bruck", "mcoll_ring", "bruck",
+                  "recursive_doubling", "ring"),
+    "alltoall": ("mcoll", "bruck", "pairwise"),
+    "bcast": ("mcoll", "binomial", "ring_pipeline"),
+    "allreduce": ("mcoll_auto", "recursive_doubling", "rabenseifner"),
+    "reduce": ("mcoll", "binomial"),
+    "gather": ("mcoll", "binomial", "linear"),
+    "scatter": ("mcoll", "binomial", "linear"),
+    "reduce_scatter": ("mcoll", "recursive_halving", "reduce_then_scatter"),
+    "barrier": ("mcoll", "dissemination"),
+}
+
+#: families that require a peer-view (PiP-style) intra-node transport
+PEER_VIEW_FAMILIES = ("mcoll", "mcoll_bruck", "mcoll_ring", "mcoll_auto")
+
+#: families that require a power-of-two world size
+POW2_FAMILIES = ("recursive_doubling", "rabenseifner", "recursive_halving")
+
+#: the family carrying the ``senders`` knob
+SENDER_FAMILIES = ("mcoll_bruck",)
+
+#: the family carrying the ``segment`` knob
+SEGMENT_FAMILIES = ("ring_pipeline",)
+
+
+def default_senders(ppn: int) -> Tuple[int, ...]:
+    """The coarse lane-count ladder searched by default: powers of two
+    up to ``ppn // 2``, plus the paper's all-lanes ``ppn`` (radix
+    ``P + 1``).
+
+    Geometric ladders are standard autotuner practice: each rung
+    roughly doubles concurrency, so the search probes order-of-
+    magnitude trade-offs instead of paying a full simulation per
+    near-identical lane count.  Rungs adjacent to ``ppn`` (say 16 of
+    18) differ from the top rung only in how the final partial Bruck
+    round balances, and can be added explicitly via
+    ``senders_choices`` when that margin matters.
+    """
+    ladder = []
+    step = 1
+    while step <= ppn // 2:
+        ladder.append(step)
+        step *= 2
+    ladder.append(ppn)
+    return tuple(dict.fromkeys(ladder))
+
+
+#: default pipeline segment ladder (bytes)
+DEFAULT_SEGMENTS = (2048, 8192, 32768)
+
+
+def validate_candidate(cand: Candidate, cell: Cell,
+                       peer_views: bool = True) -> None:
+    """Raise :class:`ConfigError` if ``cand`` is illegal for ``cell``.
+
+    ``peer_views`` says whether the base library's intra-node
+    transport supports direct peer loads/stores (the PiP property the
+    multi-object families are built on).
+    """
+    if cand.algorithm == BASE_FAMILY:
+        if cand.senders is not None or cand.segment is not None:
+            raise ConfigError("the 'base' family takes no schedule knobs")
+        return
+    pool = FAMILY_POOLS.get(cell.collective)
+    if pool is None:
+        raise ConfigError(
+            f"no search space for collective {cell.collective!r}; "
+            f"tunable: {sorted(FAMILY_POOLS)}"
+        )
+    if cand.algorithm not in pool:
+        raise ConfigError(
+            f"{cand.algorithm!r} is not a {cell.collective} family; "
+            f"available: {sorted(pool)}"
+        )
+    if cand.algorithm in PEER_VIEW_FAMILIES and not peer_views:
+        raise ConfigError(
+            f"{cand.algorithm!r} needs a peer-view (PiP) intra-node "
+            "transport; the base library does not provide one"
+        )
+    if cand.algorithm in POW2_FAMILIES and not _is_pow2(cell.world_size):
+        raise ConfigError(
+            f"{cand.algorithm!r} needs a power-of-two world, "
+            f"got {cell.world_size} ranks"
+        )
+    if cand.algorithm in SENDER_FAMILIES:
+        if cand.senders is None:
+            raise ConfigError(f"{cand.algorithm!r} needs the 'senders' knob")
+        if not 1 <= cand.senders <= cell.ppn:
+            raise ConfigError(
+                f"senders={cand.senders} out of range [1, ppn={cell.ppn}] "
+                f"(radix {cand.senders + 1} > P + 1 = {cell.ppn + 1})"
+                if cand.senders > cell.ppn else
+                f"senders={cand.senders} must be >= 1"
+            )
+    elif cand.senders is not None:
+        raise ConfigError(f"{cand.algorithm!r} takes no 'senders' knob")
+    if cand.algorithm in SEGMENT_FAMILIES:
+        if cand.segment is None:
+            raise ConfigError(f"{cand.algorithm!r} needs the 'segment' knob")
+        if cand.segment <= 0:
+            raise ConfigError(f"segment must be > 0, got {cand.segment}")
+    elif cand.segment is not None:
+        raise ConfigError(f"{cand.algorithm!r} takes no 'segment' knob")
+    if cand.eager_limit is not None and cand.eager_limit < 0:
+        raise ConfigError(
+            f"eager_limit must be >= 0, got {cand.eager_limit}"
+        )
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The knob space the driver searches for one collective.
+
+    ``senders_choices=None`` means "derive the default ladder from the
+    cell's ppn"; explicit ladders are clipped to the cell's
+    constraints at enumeration time (invalid points are dropped, not
+    errored — the *declaration* may be broader than any one cell).
+    """
+
+    collective: str
+    families: Tuple[str, ...] = ()
+    senders_choices: Optional[Tuple[int, ...]] = None
+    segment_choices: Tuple[int, ...] = DEFAULT_SEGMENTS
+    eager_choices: Tuple[Optional[int], ...] = (None,)
+    include_base: bool = True
+
+    @classmethod
+    def default(cls, collective: str, **overrides) -> "SearchSpace":
+        """The stock space for ``collective`` (all known families)."""
+        if collective not in FAMILY_POOLS:
+            raise ConfigError(
+                f"no search space for collective {collective!r}; "
+                f"tunable: {sorted(FAMILY_POOLS)}"
+            )
+        return cls(collective=collective,
+                   families=FAMILY_POOLS[collective], **overrides)
+
+    def _senders_for(self, cell: Cell) -> Tuple[int, ...]:
+        if self.senders_choices is None:
+            return default_senders(cell.ppn)
+        return self.senders_choices
+
+    def candidates(self, cell: Cell, peer_views: bool = True
+                   ) -> List[Candidate]:
+        """Every valid candidate for ``cell``, sorted by key."""
+        if cell.collective != self.collective:
+            raise ConfigError(
+                f"space is for {self.collective!r}, cell is "
+                f"{cell.collective!r}"
+            )
+        raw: List[Candidate] = []
+        for family in self.families:
+            knobs: List[Candidate] = []
+            if family in SENDER_FAMILIES:
+                knobs = [Candidate(family, senders=s)
+                         for s in self._senders_for(cell)]
+            elif family in SEGMENT_FAMILIES:
+                knobs = [Candidate(family, segment=s)
+                         for s in self.segment_choices]
+            else:
+                knobs = [Candidate(family)]
+            for base in knobs:
+                for eager in self.eager_choices:
+                    raw.append(replace(base, eager_limit=eager))
+        if self.include_base:
+            for eager in self.eager_choices:
+                raw.append(Candidate(BASE_FAMILY, eager_limit=eager))
+        out: List[Candidate] = []
+        for cand in raw:
+            try:
+                validate_candidate(cand, cell, peer_views=peer_views)
+            except ConfigError:
+                continue
+            out.append(cand)
+        return sorted(set(out), key=lambda c: c.key())
+
+    def neighbors(self, cand: Candidate, pool: Sequence[Candidate]
+                  ) -> List[Candidate]:
+        """The hill-climb neighbourhood of ``cand`` within ``pool``:
+        same family with exactly one knob changed, or a different
+        family at its default knobs."""
+        def defaults(other: Candidate) -> bool:
+            # "default knobs" = the family's last sender rung (the
+            # paper's choice), the middle segment, no eager override.
+            if other.eager_limit is not None:
+                return False
+            if other.senders is not None:
+                ladder = [c.senders for c in pool
+                          if c.algorithm == other.algorithm
+                          and c.senders is not None
+                          and c.eager_limit is None]
+                return bool(ladder) and other.senders == max(ladder)
+            if other.segment is not None:
+                ladder = sorted({c.segment for c in pool
+                                 if c.algorithm == other.algorithm
+                                 and c.segment is not None
+                                 and c.eager_limit is None})
+                return bool(ladder) and other.segment == ladder[len(ladder) // 2]
+            return True
+
+        out = []
+        for other in pool:
+            if other == cand:
+                continue
+            if other.algorithm == cand.algorithm:
+                diffs = sum(
+                    getattr(other, name) != getattr(cand, name)
+                    for name in ("senders", "segment", "eager_limit")
+                )
+                if diffs == 1:
+                    out.append(other)
+            elif defaults(other):
+                out.append(other)
+        return sorted(out, key=lambda c: c.key())
+
+
+def make_cells(collective: str, sizes: Sequence[int], nodes: int, ppn: int,
+               preset: str = "broadwell_opa") -> List[Cell]:
+    """The (collective × sizes) grid at one geometry, as cells."""
+    return [Cell(collective, int(n), nodes, ppn, preset=preset)
+            for n in sizes]

@@ -28,6 +28,29 @@ def test_negative_timeout_rejected():
         sim.timeout(-1.0)
 
 
+def test_event_at_fires_at_exact_absolute_time():
+    sim = Simulator()
+    seen = []
+
+    def waiter(sim):
+        ev = yield sim.event_at(0.3, value="hi")
+        seen.append((sim.now, ev))
+
+    sim.process(waiter(sim))
+    sim.run()
+    # 0.3 exactly — not 0.0 + (0.3 - 0.0) recomputed through a delta,
+    # which is the ULP drift event_at exists to avoid.
+    assert seen == [(0.3, "hi")]
+
+
+def test_event_at_rejects_the_past():
+    sim = Simulator()
+    sim.timeout(2.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.event_at(1.0)
+
+
 def test_run_until_deadline_stops_clock_exactly():
     sim = Simulator()
     sim.timeout(1.0)

@@ -1,0 +1,87 @@
+"""``python -m repro tune`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tuner import load_db
+
+
+def _search(tmp_path, out="db.tunedb.json", extra=()):
+    path = tmp_path / out
+    rc = main([
+        "tune", "search", "--collective", "allgather",
+        "--sizes", "64", "--nodes", "2", "--ppn", "2",
+        "--preset", "small_test", "--seed", "0",
+        "--out", str(path), *extra,
+    ])
+    assert rc == 0
+    return path
+
+
+def test_search_writes_valid_db(tmp_path, capsys):
+    path = _search(tmp_path)
+    out = capsys.readouterr().out
+    assert "winner" in out and str(path) in out
+    db = load_db(path)
+    assert db.preset == "small_test"
+    assert "allgather/64B@2x2" in db.cells
+
+
+def test_search_is_reproducible(tmp_path):
+    a = _search(tmp_path, "a.tunedb.json").read_bytes()
+    b = _search(tmp_path, "b.tunedb.json").read_bytes()
+    assert a == b
+
+
+def test_search_with_checkpoint_resumes(tmp_path):
+    ckpt = tmp_path / "search.ckpt.json"
+    first = _search(tmp_path, "a.tunedb.json",
+                    extra=("--checkpoint", str(ckpt)))
+    assert json.loads(ckpt.read_text())["evals"]
+    second = _search(tmp_path, "b.tunedb.json",
+                     extra=("--checkpoint", str(ckpt)))
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_show_and_diff(tmp_path, capsys):
+    path = _search(tmp_path)
+    assert main(["tune", "show", str(path)]) == 0
+    assert "base=PiP-MColl" in capsys.readouterr().out
+
+    assert main(["tune", "diff", str(path), str(path)]) == 0
+    assert "agree" in capsys.readouterr().out
+    assert main(["tune", "diff", str(path), str(path), "--strict"]) == 0
+
+
+def test_merge(tmp_path, capsys):
+    a = _search(tmp_path, "a.tunedb.json")
+    out = tmp_path / "merged.tunedb.json"
+    assert main(["tune", "merge", str(a), str(a), "--out", str(out)]) == 0
+    assert "merged 2 databases" in capsys.readouterr().out
+    assert load_db(out).cells
+
+
+def test_compile_and_compare(tmp_path, capsys):
+    path = _search(tmp_path)
+    assert main(["tune", "compile", str(path), "--compare"]) == 0
+    out = capsys.readouterr().out
+    assert "Tuned[PiP-MColl]" in out
+    assert "allgather/64B@2x2" in out
+    assert "flipped cells" in out
+
+
+def test_bench_accepts_tuned_spec(tmp_path, capsys):
+    path = _search(tmp_path)
+    rc = main(["bench", "--library", f"tuned:{path}",
+               "--collective", "allgather", "--size", "64",
+               "--preset", "small_test", "--nodes", "2", "--ppn", "2",
+               "--iters", "1"])
+    assert rc == 0
+    assert "Tuned[PiP-MColl] allgather" in capsys.readouterr().out
+
+
+def test_bench_still_rejects_unknown_library():
+    with pytest.raises(SystemExit):
+        main(["bench", "--library", "NotALib"])

@@ -1,0 +1,220 @@
+"""Compiled TunedLibrary: bucketing, fallback, registry, comparisons."""
+
+import pytest
+
+from repro.api import Session
+from repro.bench.harness import bench_collective, run_sweep
+from repro.collectives.tuning import (
+    compare_tables,
+    cutoffs,
+    format_compare_tables,
+    selection_table,
+)
+from repro.machine import small_test
+from repro.mpilibs import (
+    PAPER_LINEUP,
+    available_libraries,
+    make_library,
+    register_library,
+    unregister_library,
+)
+from repro.tuner import (
+    CellResult,
+    SchemaError,
+    Trial,
+    TuneDB,
+    TunedLibrary,
+    compile_db,
+    search,
+    Cell,
+    SearchSpace,
+)
+
+
+def _result(collective, nbytes, best, nodes=2, ppn=2, latency=1.0):
+    return CellResult(
+        collective=collective, nbytes=nbytes, nodes=nodes, ppn=ppn,
+        best=best, best_latency_us=latency, runner_up=None, margin_us=None,
+        baseline_us=latency + 0.5,
+        trials=[Trial(config=best, latency_us=latency)],
+    )
+
+
+def _db(results, base="PiP-MColl"):
+    return TuneDB(
+        base_library=base, preset="small_test",
+        provenance={"machine_hash": "x", "git": "test", "seed": 0,
+                    "strategy": "exhaustive"},
+        cells={r.cell.key(): r for r in results},
+    )
+
+
+@pytest.fixture
+def handmade():
+    return compile_db(_db([
+        _result("allgather", 16, {"algorithm": "mcoll_bruck", "senders": 1}),
+        _result("allgather", 4096, {"algorithm": "mcoll_ring"}),
+        _result("bcast", 16, {"algorithm": "ring_pipeline", "segment": 2048}),
+        _result("allreduce", 16, {"algorithm": "base"}),
+    ]))
+
+
+def test_profile_mirrors_base(handmade):
+    assert handmade.profile.name == "Tuned[PiP-MColl]"
+    assert handmade.profile.intra == "pip"
+    assert handmade.profile.call_overhead == \
+        make_library("PiP-MColl").profile.call_overhead
+
+
+def test_interval_bucketing(handmade):
+    # 16 B cell governs [16, 4096); the 4096 B cell governs upward.
+    assert handmade.algorithm("allgather", 16, 4).__name__ == "mcoll_bruck_w1"
+    assert handmade.algorithm("allgather", 4095, 4).__name__ == "mcoll_bruck_w1"
+    assert handmade.algorithm("allgather", 4096, 4).__name__ == \
+        "mcoll_allgather_large"
+    assert handmade.algorithm("allgather", 1 << 20, 4).__name__ == \
+        "mcoll_allgather_large"
+
+
+def test_below_smallest_and_uncovered_fall_back_to_base(handmade):
+    base = make_library("PiP-MColl")
+    # below the smallest tuned size → base's own pick
+    assert handmade.algorithm("allgather", 8, 4).__name__ == \
+        base.algorithm("allgather", 8, 4).__name__
+    # untuned collective → base
+    assert handmade.algorithm("scatter", 64, 4).__name__ == \
+        base.algorithm("scatter", 64, 4).__name__
+    # untuned world size → base
+    assert handmade.algorithm("allgather", 16, 64).__name__ == \
+        base.algorithm("allgather", 16, 64).__name__
+    # winning family "base" → explicit delegation
+    assert handmade.algorithm("allreduce", 16, 4).__name__ == \
+        base.algorithm("allreduce", 16, 4).__name__
+
+
+def test_segment_knob_reaches_the_algorithm(handmade):
+    assert handmade.algorithm("bcast", 16, 4).__name__ == \
+        "bcast_ring_pipeline_s2048"
+
+
+def test_ambiguous_world_size_rejected():
+    db = _db([
+        _result("allgather", 16, {"algorithm": "ring"}, nodes=2, ppn=2),
+        _result("allgather", 16, {"algorithm": "bruck"}, nodes=4, ppn=1),
+    ])
+    with pytest.raises(SchemaError, match="ambiguous"):
+        compile_db(db)
+
+
+def test_uniform_eager_limit_applied_mixed_rejected():
+    lib = compile_db(_db([
+        _result("allgather", 16,
+                {"algorithm": "ring", "eager_limit": 256}),
+    ]))
+    params = small_test(nodes=2, ppn=2)
+    world = lib.make_world(params)
+    assert world.params.nic.eager_limit == 256
+
+    mixed = _db([
+        _result("allgather", 16, {"algorithm": "ring", "eager_limit": 256}),
+        _result("allgather", 64, {"algorithm": "ring", "eager_limit": 512}),
+    ])
+    with pytest.raises(SchemaError, match="eager_limit"):
+        compile_db(mixed)
+
+
+def test_tuned_spec_resolves_everywhere(tmp_path):
+    db = search([Cell("allgather", 64, 2, 2, preset="small_test")],
+                space=SearchSpace("allgather", families=("mcoll_bruck",)))
+    path = db.save(tmp_path / "t.tunedb.json")
+    spec = f"tuned:{path}"
+
+    lib = make_library(spec)
+    assert isinstance(lib, TunedLibrary)
+
+    point = bench_collective(spec, "allgather", 64, small_test(nodes=2, ppn=2),
+                             iters=1)
+    assert point.library == "Tuned[PiP-MColl]"
+    assert point.latency_us == pytest.approx(
+        db.cells["allgather/64B@2x2"].best_latency_us)
+
+    session = Session(library=spec, params=small_test(nodes=2, ppn=2))
+    assert session.library == "Tuned[PiP-MColl]"
+
+    sweep = run_sweep("allgather", [64], small_test(nodes=2, ppn=2),
+                      libraries=[spec, "MPICH"], iters=1)
+    assert "Tuned[PiP-MColl]" in sweep.libraries
+    assert sweep.latency("Tuned[PiP-MColl]", 64) > 0
+
+
+def test_register_and_unregister_instance(handmade):
+    name = register_library(handmade)
+    try:
+        assert name == "Tuned[PiP-MColl]"
+        assert make_library(name) is handmade
+        assert name in available_libraries(include_registered=True)
+        # the default listing (what lineup tests pin) is unchanged
+        assert set(available_libraries()) == set(PAPER_LINEUP)
+    finally:
+        unregister_library(name)
+    with pytest.raises(KeyError):
+        make_library(name)
+
+
+def test_register_rejects_builtin_shadow_and_non_library(handmade):
+    with pytest.raises(KeyError, match="built-in"):
+        register_library(handmade, name="MPICH")
+    with pytest.raises(TypeError):
+        register_library("PiP-MColl")
+
+
+def test_miss_error_lists_known_names_and_spec_form(handmade):
+    name = register_library(handmade, name="MyTuned")
+    try:
+        with pytest.raises(KeyError) as err:
+            make_library("CrayMPI")
+        msg = str(err.value)
+        assert "MPICH" in msg and "MyTuned" in msg and "tuned:" in msg
+    finally:
+        unregister_library("MyTuned")
+
+
+def test_make_library_accepts_instances(handmade):
+    assert make_library(handmade) is handmade
+    with pytest.raises(TypeError):
+        make_library(42)
+
+
+def test_selection_table_accepts_tuned_library(handmade):
+    rows = selection_table(handmade, "allgather", 4)
+    assert rows[0].algorithm == "mcoll_bruck_w1"  # 16 B
+    cuts = cutoffs(handmade, "allgather", 4)
+    assert ("mcoll_allgather_large" in {name for _, name in cuts})
+
+
+def test_compare_tables_reports_flips_and_gains(handmade):
+    flipped = compare_tables("PiP-MColl", handmade, 4)
+    assert flipped, "handmade DB deliberately flips cells"
+    ag16 = next(f for f in flipped
+                if f.collective == "allgather" and f.nbytes == 16)
+    assert ag16.stock_algorithm == "mcoll_allgather"
+    assert ag16.tuned_algorithm == "mcoll_bruck_w1"
+    # the DB carries baseline measurements → predicted gain is present
+    assert ag16.predicted_gain_us == pytest.approx(-0.5)
+    text = format_compare_tables(flipped)
+    assert "mcoll_bruck_w1" in text and "µs" in text
+    assert format_compare_tables([]).startswith("tuned tables agree")
+
+
+def test_compiled_winner_latency_reproduces(tmp_path):
+    # The latency the DB recorded for the winner is exactly what the
+    # compiled library produces on the same machine (determinism of
+    # the whole search → compile → run pipeline).
+    cell = Cell("allgather", 64, 4, 4, preset="small_test")
+    db = search([cell], space=SearchSpace(
+        "allgather", families=("mcoll_bruck", "ring", "bruck")))
+    lib = compile_db(db)
+    point = bench_collective(lib, "allgather", 64,
+                             small_test(nodes=4, ppn=4), iters=1)
+    assert point.latency_us == pytest.approx(
+        db.cells[cell.key()].best_latency_us, rel=1e-12)

@@ -1,0 +1,150 @@
+"""Tuning-database schema: round-trip, validation, merge, diff."""
+
+import json
+
+import pytest
+
+from repro.machine import small_test
+from repro.tuner import (
+    CellResult,
+    SCHEMA_VERSION,
+    SchemaError,
+    Trial,
+    TuneDB,
+    diff,
+    format_db,
+    format_diff,
+    load_db,
+    machine_hash,
+    merge,
+    validate_db,
+)
+
+
+def _cell(collective="allgather", nbytes=64, nodes=4, ppn=4,
+          best=None, latency=2.0, baseline=2.5):
+    best = best or {"algorithm": "mcoll_bruck", "senders": ppn}
+    return CellResult(
+        collective=collective, nbytes=nbytes, nodes=nodes, ppn=ppn,
+        best=best, best_latency_us=latency,
+        runner_up={"algorithm": "base"}, margin_us=baseline - latency,
+        baseline_us=baseline,
+        trials=[Trial(config=best, latency_us=latency),
+                Trial(config={"algorithm": "base"}, latency_us=baseline)],
+    )
+
+
+def _db(cells=None, preset="small_test"):
+    cells = cells if cells is not None else [_cell()]
+    return TuneDB(
+        base_library="PiP-MColl", preset=preset,
+        provenance={"machine_hash": "abc", "git": "test", "seed": 0,
+                    "strategy": "exhaustive"},
+        cells={c.cell.key(): c for c in cells},
+    )
+
+
+def test_roundtrip_is_identity(tmp_path):
+    db = _db()
+    path = db.save(tmp_path / "x.tunedb.json")
+    loaded = load_db(path)
+    assert loaded.dumps() == db.dumps()
+    assert loaded.cells["allgather/64B@4x4"].best_candidate.senders == 4
+
+
+def test_dumps_is_byte_stable():
+    assert _db().dumps() == _db().dumps()
+
+
+def test_validate_rejects_missing_fields():
+    obj = json.loads(_db().dumps())
+    del obj["provenance"]
+    with pytest.raises(SchemaError, match="provenance"):
+        validate_db(obj)
+
+
+def test_validate_rejects_wrong_schema_version():
+    obj = json.loads(_db().dumps())
+    obj["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(SchemaError, match="schema"):
+        validate_db(obj)
+
+
+def test_validate_rejects_mismatched_cell_key():
+    obj = json.loads(_db().dumps())
+    obj["cells"]["allgather/999B@4x4"] = obj["cells"].pop(
+        "allgather/64B@4x4")
+    with pytest.raises(SchemaError, match="does not match"):
+        validate_db(obj)
+
+
+def test_load_missing_file_is_schema_error(tmp_path):
+    with pytest.raises(SchemaError, match="no tuning DB"):
+        load_db(tmp_path / "absent.tunedb.json")
+
+
+def test_load_non_json_is_schema_error(tmp_path):
+    path = tmp_path / "bad.tunedb.json"
+    path.write_text("not json {")
+    with pytest.raises(SchemaError, match="not JSON"):
+        load_db(path)
+
+
+def test_merge_unions_and_keeps_faster_winner():
+    a = _db([_cell(nbytes=64, latency=2.0),
+             _cell(nbytes=256, latency=9.0)])
+    b = _db([_cell(nbytes=256, latency=8.0,
+                   best={"algorithm": "mcoll_ring"}),
+             _cell(nbytes=1024, latency=30.0)])
+    m = merge(a, b)
+    assert set(m.cells) == {"allgather/64B@4x4", "allgather/256B@4x4",
+                            "allgather/1024B@4x4"}
+    # conflict at 256 B: b's 8.0 µs beats a's 9.0 µs
+    assert m.cells["allgather/256B@4x4"].best == {"algorithm": "mcoll_ring"}
+    assert "merged_from" in m.provenance
+
+
+def test_merge_rejects_mixed_base_or_preset():
+    a = _db()
+    b = _db(preset="broadwell_opa")
+    with pytest.raises(SchemaError, match="preset"):
+        merge(a, b)
+    c = _db()
+    c.base_library = "MPICH"
+    with pytest.raises(SchemaError, match="base"):
+        merge(a, c)
+
+
+def test_diff_reports_added_removed_changed():
+    old = _db([_cell(nbytes=64, latency=2.0),
+               _cell(nbytes=256, latency=9.0)])
+    new = _db([_cell(nbytes=64, latency=1.5,
+                     best={"algorithm": "mcoll_ring"}),
+               _cell(nbytes=1024, latency=30.0)])
+    entries = diff(old, new)
+    kinds = {e.key: e.kind for e in entries}
+    assert kinds == {"allgather/64B@4x4": "changed",
+                     "allgather/256B@4x4": "removed",
+                     "allgather/1024B@4x4": "added"}
+    changed = next(e for e in entries if e.kind == "changed")
+    assert changed.latency_delta_us == pytest.approx(-0.5)
+    text = format_diff(entries)
+    assert "+" in text and "-" in text and "→" in text
+    assert format_diff([]) == "databases agree on every cell"
+
+
+def test_format_db_lists_cells_and_provenance():
+    text = format_db(_db())
+    assert "base=PiP-MColl" in text
+    assert "allgather/64B@4x4" in text
+    assert "strategy=exhaustive" in text
+
+
+def test_machine_hash_tracks_cost_params_not_geometry():
+    a = small_test(nodes=4, ppn=4)
+    b = small_test(nodes=8, ppn=2)
+    assert machine_hash(a) == machine_hash(b)  # same cost model
+    from dataclasses import replace
+
+    c = a.scaled(nic=replace(a.nic, eager_limit=1))
+    assert machine_hash(c) != machine_hash(a)

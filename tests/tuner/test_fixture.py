@@ -1,0 +1,63 @@
+"""Pinned-fixture drift gate: the committed tunedb must stay live.
+
+``fixtures/small_test_allgather.tunedb.json`` is a committed search
+result.  This test holds three things still:
+
+* the file parses under the *current* schema (``load_db`` validates);
+* re-running the exact search it records reproduces it byte-for-byte,
+  up to the git-describe provenance stamp (which moves every commit);
+* it still compiles into a working ``TunedLibrary``.
+
+If a schema or model change breaks this test intentionally,
+regenerate the fixture with the command in its provenance::
+
+    python -m repro tune search --collective allgather --sizes 16,64 \
+        --nodes 2 --ppn 2 --preset small_test --seed 0 \
+        --out tests/tuner/fixtures/small_test_allgather.tunedb.json
+"""
+
+import json
+from pathlib import Path
+
+from repro.machine import small_test
+from repro.tuner import (
+    SCHEMA_VERSION,
+    compile_db,
+    load_db,
+    make_cells,
+    search,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / \
+    "small_test_allgather.tunedb.json"
+
+
+def _normalized(dumps: str) -> str:
+    doc = json.loads(dumps)
+    doc["provenance"]["git"] = "<normalized>"
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def test_fixture_parses_under_current_schema():
+    db = load_db(FIXTURE)
+    assert db.schema == SCHEMA_VERSION
+    assert db.preset == "small_test"
+    assert set(db.cells) == {"allgather/16B@2x2", "allgather/64B@2x2"}
+
+
+def test_fixture_reproduces_byte_for_byte():
+    pinned = load_db(FIXTURE)
+    fresh = search(
+        make_cells("allgather", [16, 64], 2, 2, preset="small_test"),
+        strategy="exhaustive", seed=0)
+    assert _normalized(fresh.dumps()) == _normalized(pinned.dumps())
+
+
+def test_fixture_compiles_and_selects():
+    lib = compile_db(load_db(FIXTURE))
+    assert lib.profile.name == "Tuned[PiP-MColl]"
+    # the committed search flipped the 64 B cell to the ring schedule
+    assert lib.algorithm("allgather", 64, 4).__name__ == \
+        "mcoll_allgather_large"
+    world = lib.make_world(small_test(nodes=2, ppn=2))
+    assert world.comm_world.size == 4

@@ -1,0 +1,161 @@
+"""Search-space declaration: enumeration, constraints, neighbourhoods."""
+
+import pytest
+
+from repro.tuner import (
+    BASE_FAMILY,
+    Candidate,
+    Cell,
+    ConfigError,
+    SearchSpace,
+    default_senders,
+    make_cells,
+    validate_candidate,
+)
+
+
+def test_default_senders_ladder_ends_at_ppn():
+    # Geometric rungs up to ppn/2, then the paper's all-lanes top rung.
+    assert default_senders(18) == (1, 2, 4, 8, 18)
+    assert default_senders(16) == (1, 2, 4, 8, 16)
+    assert default_senders(4) == (1, 2, 4)
+    assert default_senders(1) == (1,)
+
+
+def test_cell_key_and_roundtrip():
+    cell = Cell("allgather", 64, 16, 18)
+    assert cell.key() == "allgather/64B@16x18"
+    assert Cell.from_dict(cell.as_dict()) == cell
+    assert cell.world_size == 288
+
+
+def test_cell_rejects_bad_geometry():
+    with pytest.raises(ConfigError):
+        Cell("allgather", -1, 4, 4)
+    with pytest.raises(ConfigError):
+        Cell("allgather", 64, 0, 4)
+
+
+def test_candidate_key_is_canonical_and_radix_derived():
+    cand = Candidate("mcoll_bruck", senders=18)
+    assert cand.key() == "algorithm=mcoll_bruck,senders=18"
+    assert cand.radix == 19  # the paper's B_k = P + 1 at ppn=18
+    assert Candidate.from_dict(cand.as_dict()) == cand
+
+
+def test_candidate_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigError):
+        Candidate.from_dict({"algorithm": "ring", "radix": 5})
+    with pytest.raises(ConfigError):
+        Candidate.from_dict({"senders": 4})
+
+
+@pytest.mark.parametrize("cand,ok", [
+    (Candidate("mcoll_bruck", senders=4), True),
+    (Candidate("mcoll_bruck", senders=5), False),   # senders > ppn
+    (Candidate("mcoll_bruck", senders=0), False),
+    (Candidate("mcoll_bruck"), False),              # knob required
+    (Candidate("ring"), True),
+    (Candidate("ring", senders=2), False),          # knob not taken
+    (Candidate(BASE_FAMILY), True),
+    (Candidate(BASE_FAMILY, senders=2), False),
+    (Candidate("nonexistent"), False),
+])
+def test_validate_allgather_candidates(cand, ok):
+    cell = Cell("allgather", 64, 4, 4)
+    if ok:
+        validate_candidate(cand, cell)
+    else:
+        with pytest.raises(ConfigError):
+            validate_candidate(cand, cell)
+
+
+def test_radix_bound_is_p_plus_one():
+    # senders ≤ ppn ⇔ radix ≤ P + 1: the paper's constraint.
+    cell = Cell("allgather", 64, 8, 6)
+    validate_candidate(Candidate("mcoll_bruck", senders=6), cell)
+    with pytest.raises(ConfigError, match="radix"):
+        validate_candidate(Candidate("mcoll_bruck", senders=7), cell)
+
+
+def test_pow2_families_need_pow2_world():
+    ok = Cell("allgather", 64, 4, 4)       # 16 ranks
+    bad = Cell("allgather", 64, 3, 5)      # 15 ranks
+    validate_candidate(Candidate("recursive_doubling"), ok)
+    with pytest.raises(ConfigError, match="power-of-two"):
+        validate_candidate(Candidate("recursive_doubling"), bad)
+
+
+def test_peer_view_families_need_pip_transport():
+    cell = Cell("allgather", 64, 4, 4)
+    with pytest.raises(ConfigError, match="peer-view"):
+        validate_candidate(Candidate("mcoll_bruck", senders=4), cell,
+                           peer_views=False)
+
+
+def test_segment_knob_validation():
+    cell = Cell("bcast", 1024, 4, 4)
+    validate_candidate(Candidate("ring_pipeline", segment=8192), cell)
+    with pytest.raises(ConfigError):
+        validate_candidate(Candidate("ring_pipeline"), cell)
+    with pytest.raises(ConfigError):
+        validate_candidate(Candidate("ring_pipeline", segment=0), cell)
+    with pytest.raises(ConfigError):
+        validate_candidate(Candidate("binomial", segment=8192), cell)
+
+
+def test_eager_limit_must_be_nonnegative():
+    cell = Cell("allgather", 64, 4, 4)
+    validate_candidate(Candidate("ring", eager_limit=0), cell)
+    with pytest.raises(ConfigError):
+        validate_candidate(Candidate("ring", eager_limit=-1), cell)
+
+
+def test_enumeration_filters_invalid_and_sorts():
+    cell = Cell("allgather", 64, 3, 5)  # 15 ranks: no pow2 families
+    pool = SearchSpace.default("allgather").candidates(cell)
+    keys = [c.key() for c in pool]
+    assert keys == sorted(keys)
+    assert not any("recursive_doubling" in k for k in keys)
+    assert f"algorithm={BASE_FAMILY}" in keys
+    # the coarse sender ladder survives (pow2 ≤ ppn/2, then ppn)
+    senders = [c.senders for c in pool if c.algorithm == "mcoll_bruck"]
+    assert senders == [1, 2, 5]
+
+
+def test_enumeration_without_peer_views_drops_mcoll():
+    cell = Cell("allgather", 64, 4, 4)
+    pool = SearchSpace.default("allgather").candidates(cell,
+                                                      peer_views=False)
+    assert all(not c.algorithm.startswith("mcoll") for c in pool)
+    assert pool  # flat families remain
+
+
+def test_unknown_collective_has_no_space():
+    with pytest.raises(ConfigError, match="tunable"):
+        SearchSpace.default("allgatherv")
+
+
+def test_neighbors_are_one_knob_steps_or_family_defaults():
+    cell = Cell("allgather", 64, 4, 4)
+    pool = SearchSpace.default("allgather").candidates(cell)
+    space = SearchSpace.default("allgather")
+    cand = next(c for c in pool
+                if c.algorithm == "mcoll_bruck" and c.senders == 2)
+    neigh = space.neighbors(cand, pool)
+    assert cand not in neigh
+    for n in neigh:
+        if n.algorithm == cand.algorithm:
+            assert n.senders != cand.senders  # the one changed knob
+        else:
+            # cross-family moves land on the family's default knobs
+            assert n.eager_limit is None
+    # the paper's w=ppn rung is reachable from w=2 in one move
+    assert Candidate("mcoll_bruck", senders=4) in neigh
+
+
+def test_make_cells_grid():
+    cells = make_cells("allgather", [16, 64], 16, 18)
+    assert [c.key() for c in cells] == [
+        "allgather/16B@16x18", "allgather/64B@16x18",
+    ]

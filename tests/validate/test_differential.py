@@ -32,8 +32,9 @@ from hypothesis import strategies as st
 
 from repro.api import Session
 from repro.machine import broadwell_opa
-from repro.mpilibs import PAPER_LINEUP
+from repro.mpilibs import PAPER_LINEUP, register_library
 from repro.runtime.ops import BXOR, MAX, MIN, SUM
+from repro.tuner import CellResult, Trial, TuneDB, compile_db
 from repro.validate import reference
 
 # Exact (order-insensitive) ops on integer dtypes: every algorithm may
@@ -283,6 +284,48 @@ def check_case(case: Case) -> None:
             f"{case}: rank {rank} result differs from the numpy oracle"
 
 
+# ---------------------------------------------------------------------------
+# The tuned library column: a handcrafted tuning DB whose winners are
+# *deliberately flipped* away from PiP-MColl's own picks (single-lane
+# Bruck, an odd pipeline segment, flat pow2 algorithms), compiled and
+# registered so ``Session(library=TUNED_LIBRARY)`` resolves it like any
+# stock model.  Covered cells are at 2×2 (the pinned geometry); every
+# other geometry falls back to the base library — both paths must stay
+# byte-exact against the oracle.
+# ---------------------------------------------------------------------------
+def _tuned_column():
+    flips = {
+        "allgather": {"algorithm": "mcoll_bruck", "senders": 1},
+        "bcast": {"algorithm": "ring_pipeline", "segment": 7},
+        "allreduce": {"algorithm": "recursive_doubling"},
+        "reduce_scatter": {"algorithm": "recursive_halving"},
+        "alltoall": {"algorithm": "bruck"},
+        "gather": {"algorithm": "linear"},
+        "scatter": {"algorithm": "linear"},
+        "reduce": {"algorithm": "binomial"},
+        "barrier": {"algorithm": "dissemination"},
+    }
+    cells = {}
+    for collective, best in flips.items():
+        result = CellResult(
+            collective=collective, nbytes=0, nodes=2, ppn=2,
+            best=best, best_latency_us=1.0, runner_up=None,
+            margin_us=None, baseline_us=None,
+            trials=[Trial(config=best, latency_us=1.0)],
+        )
+        cells[result.cell.key()] = result
+    db = TuneDB(
+        base_library="PiP-MColl", preset="small_test",
+        provenance={"machine_hash": "differential-fixture", "git": "test",
+                    "seed": 0, "strategy": "exhaustive"},
+        cells=cells,
+    )
+    return compile_db(db, name="Tuned[diff]")
+
+
+TUNED_LIBRARY = register_library(_tuned_column(), name="Tuned[diff]")
+DIFF_LINEUP = PAPER_LINEUP + (TUNED_LIBRARY,)
+
 #: every collective the differential harness covers (API surface)
 ALL_COLLECTIVES = (
     "barrier", "bcast", "scatter", "gather", "allgather", "allreduce",
@@ -297,14 +340,25 @@ _REDUCING = {"allreduce", "iallreduce", "reduce", "reduce_scatter",
 
 
 # ---------------------------------------------------------------------------
-# Layer 1: pinned matrix — every collective × every library, fixed
-# geometry.  Deterministic and exhaustive over the API surface.
+# Layer 1: pinned matrix — every collective × every library (the paper
+# lineup plus the compiled tuned column), fixed geometry.
+# Deterministic and exhaustive over the API surface.
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize("library", PAPER_LINEUP)
+@pytest.mark.parametrize("library", DIFF_LINEUP)
 @pytest.mark.parametrize("collective", ALL_COLLECTIVES)
 def test_pinned_matrix(collective, library):
     check_case(Case(collective, library, nodes=2, ppn=2, count=3,
                     dtype_name="int64", op_name="SUM", root=0, seed=7))
+
+
+def test_pinned_ulp_telemetry_case():
+    # Regression: the reference path used to schedule pipe completions
+    # via a relative timeout (now + (finish + tail - now)), landing a
+    # ULP away from the fast path's absolute-time arrival and breaking
+    # byte-identical telemetry at exactly this geometry
+    # (RateLimiter.occupy now uses Simulator.event_at).
+    check_case(Case("scatter", "IntelMPI", nodes=3, ppn=4, count=5,
+                    dtype_name="int64", op_name="SUM", root=0, seed=0))
 
 
 # ---------------------------------------------------------------------------
@@ -318,7 +372,7 @@ def _cases(collective):
     return st.builds(
         Case,
         collective=st.just(collective),
-        library=st.sampled_from(list(PAPER_LINEUP)),
+        library=st.sampled_from(list(DIFF_LINEUP)),
         nodes=st.integers(1, 4),
         ppn=st.integers(1, 4),
         count=st.integers(1, 8),
