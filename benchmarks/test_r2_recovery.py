@@ -1,0 +1,118 @@
+"""R2 — Crash recovery: time-to-detect / time-to-recover / slowdown.
+
+Every cell crashes ranks mid-run under ``ft=True`` and reduces the
+committed-recovery timelines to the paper-style triple (see
+``repro.ft.bench``).  Two scales:
+
+* **small** (``REPRO_BENCH_SCALE=small``, the CI ``ft`` job): a
+  library × collective matrix at 4×4 plus a staggered double-crash
+  cell — every cell must complete with no watchdog firing and no
+  delivery error escaping;
+* **full** (default): the paper's 128×18 machine, allreduce at 64 B,
+  one crash absorbed by 2303 survivors (rank scope) and by 2286
+  survivors after node-scope condemnation (PiP).  The headline
+  detect/recover seconds are pinned in ``benchmarks/golden.json``
+  (``ft/...`` keys) — the simulator is deterministic, so drift means
+  the recovery protocol changed.
+
+Recovery metrics are also written as JSON
+(``benchmarks/results/r2_recovery.json``) for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ft.bench import recovery_point, recovery_report
+from repro.machine import broadwell_opa, small_test
+
+from conftest import RESULTS_DIR, bench_scale, save_result
+
+GOLDEN = Path(__file__).parent / "golden.json"
+
+SMALL_LIBS = ("MPICH", "PiP-MColl")
+SMALL_COLLECTIVES = ("allreduce", "allgather", "bcast", "alltoall")
+SEED = 20230616
+
+#: full-scale cells: (library, survivors after one crash of rank 7)
+FULL_CELLS = (("MPICH", 2303), ("PiP-MColl", 2286))
+
+
+def _dump_metrics(name: str, points) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps([p.as_dict() for p in points], indent=1)
+                    + "\n")
+    print(f"[saved recovery metrics to benchmarks/results/{name}.json]")
+
+
+def _small_matrix():
+    points = []
+    for lib in SMALL_LIBS:
+        for coll in SMALL_COLLECTIVES:
+            points.append(recovery_point(
+                lib, coll, 64, small_test(nodes=4, ppn=4),
+                crash_ranks=[5], crash_at=2e-6, rounds=6, seed=SEED))
+    # Staggered double crash: the second lands mid-recovery.
+    points.append(recovery_point(
+        "MPICH", "allreduce", 64, small_test(nodes=4, ppn=4),
+        crash_ranks=[5, 9], crash_at=2e-6, rounds=6, seed=SEED))
+    return points
+
+
+@pytest.mark.benchmark(group="r2")
+def test_r2_recovery_small_matrix(benchmark):
+    points = benchmark.pedantic(_small_matrix, rounds=1, iterations=1)
+    save_result("r2_recovery_small", recovery_report(points))
+    _dump_metrics("r2_recovery_small", points)
+
+    for p in points:
+        cell = f"{p.library}/{p.collective}/x{len(p.crash_ranks)}"
+        assert p.completed, f"{cell}: {p.error}"
+        assert p.recoveries >= 1, f"{cell}: no recovery committed"
+        assert p.detect_s is not None and p.detect_s > 0, cell
+        assert p.recover_s is not None and p.recover_s >= p.detect_s, cell
+        # Node scope (PiP) loses the whole node, rank scope one rank.
+        expect_dead = (4 if p.library.startswith("PiP") else 1) \
+            * len(p.crash_ranks)
+        assert p.survivors == 16 - expect_dead, cell
+
+
+@pytest.mark.skipif(bench_scale() == "small",
+                    reason="paper-scale recovery: one functional "
+                           "128x18 run per library (~10-15 min each; "
+                           "supervised rounds pay a 2303-report "
+                           "agreement gather)")
+@pytest.mark.benchmark(group="r2")
+@pytest.mark.parametrize("library,survivors", FULL_CELLS,
+                         ids=[c[0] for c in FULL_CELLS])
+def test_r2_recovery_paper_scale(benchmark, library, survivors):
+    def _run():
+        # crash_at=3e-3 lands mid-round-1: round 0 (ending ~2.49 ms,
+        # agreement-dominated) is the clean "pre" sample, rounds 2-3
+        # run shrunken and degraded.  4 rounds keep the ~2.5 min/round
+        # wall cost of full-scale supervised rounds in check.
+        return recovery_point(
+            library, "allreduce", 64, broadwell_opa(nodes=128, ppn=18),
+            crash_ranks=[7], crash_at=3e-3, rounds=4, seed=SEED)
+
+    point = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(f"r2_recovery_full_{library}", recovery_report([point]))
+    _dump_metrics(f"r2_recovery_full_{library}", [point])
+
+    assert point.completed, point.error
+    assert point.survivors == survivors
+    assert point.detect_s is not None and point.recover_s is not None
+    assert point.slowdown is not None and point.slowdown > 1.0, \
+        "post-shrink rounds must exist and run degraded (slower)"
+
+    golden = json.loads(GOLDEN.read_text())
+    for metric in ("detect_s", "recover_s"):
+        key = f"ft/{library}/allreduce/64B@128x18/{metric}"
+        assert key in golden, f"golden key {key} missing"
+        fresh = getattr(point, metric)
+        assert fresh == pytest.approx(golden[key], rel=1e-3), \
+            f"{key}: golden {golden[key]} vs fresh {fresh}"

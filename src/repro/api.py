@@ -45,6 +45,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from .ft.heal import invoke as _invoke
 from .machine import MachineParams, broadwell_opa
 from .mpilibs import MpiLibrary, make_library
 from .obs import CriticalPath, Metrics, SpanRecorder, TraceTree
@@ -120,6 +121,55 @@ class VComm:
                                      subcomm=True)
         return self._lib.wrapped(collective, nbytes, self.size)
 
+    def _run(self, collective: str, nbytes: int, spec: dict):
+        """Route one collective call: fault-tolerant supervision when
+        the world is armed (``ft=True`` plus a bound fault injector),
+        the library's plain algorithm otherwise.
+
+        Split communicators always take the plain path — ULFM scopes
+        revocation/shrink to the communicator the failure was observed
+        on, and this layer implements it for COMM_WORLD, where the
+        paper's collectives run.
+        """
+        ft = self._ctx.world.ft
+        if ft is not None and ft.armed and not self._is_sub:
+            yield from ft.run_collective(
+                self._ctx, self._lib, collective, nbytes, spec,
+                self._comm if self._comm is not None
+                else self._ctx.comm_world)
+        else:
+            yield from _invoke(self._ctx, self._algo(collective, nbytes),
+                               collective, spec, self._comm)
+
+    # -- fault-tolerance operations (ULFM analogues) -----------------------
+    def Revoke(self):
+        """MPI_Comm_revoke (generator): notify every member that this
+        communicator is revoked; the next collective re-establishes a
+        consistent membership before running.  No-op when the session
+        is not fault-armed."""
+        ft = self._ctx.world.ft
+        if ft is None or self._is_sub:
+            return
+        yield from ft.revoke(self._ctx)
+
+    def Shrink(self):
+        """MPI_Comm_shrink (generator): agree on the surviving
+        membership; returns the list of surviving world ranks."""
+        ft = self._ctx.world.ft
+        if ft is None or self._is_sub:
+            return list(range(self.size))
+        members = yield from ft.shrink(self._ctx)
+        return members
+
+    def Agree(self, flag: bool = True):
+        """MPI_Comm_agree (generator): crash-tolerant AND of ``flag``
+        over the surviving members."""
+        ft = self._ctx.world.ft
+        if ft is None or self._is_sub:
+            return bool(flag)
+        result = yield from ft.agree(self._ctx, flag)
+        return result
+
     # -- communicator management -----------------------------------------
     def Split(self, color: Optional[int], key: int = 0):
         """MPI_Comm_split (generator): ranks with equal ``color`` form a
@@ -164,13 +214,13 @@ class VComm:
     # -- collectives ---------------------------------------------------------
     def Barrier(self):
         """Barrier over this communicator."""
-        yield from self._algo("barrier", 0)(self._ctx, comm=self._comm)
+        yield from self._run("barrier", 0, {})
 
     def Bcast(self, array: np.ndarray, root: int = 0):
         """Broadcast ``array`` from ``root`` (in place everywhere)."""
         buf = ArrayBuffer(np.ascontiguousarray(array))
-        yield from self._algo("bcast", buf.nbytes)(
-            self._ctx, buf.view(), root=root, comm=self._comm)
+        yield from self._run("bcast", buf.nbytes,
+                             {"view": buf.view(), "root": root})
         array.reshape(-1).view(np.uint8)[:] = buf.bytes_view
 
     def Scatter(self, send_array: Optional[np.ndarray],
@@ -178,9 +228,9 @@ class VComm:
         """Scatter equal blocks of ``send_array`` (root) to everyone."""
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
         sbuf = _as_buffer(send_array) if send_array is not None else None
-        yield from self._algo("scatter", rbuf.nbytes)(
-            self._ctx, sbuf.view() if sbuf else None, rbuf.view(),
-            root=root, comm=self._comm)
+        yield from self._run("scatter", rbuf.nbytes,
+                             {"send": sbuf.view() if sbuf else None,
+                              "recv": rbuf.view(), "root": root})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Gather(self, send_array: np.ndarray,
@@ -188,9 +238,10 @@ class VComm:
         """Gather equal blocks to ``root``."""
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array)) if recv_array is not None else None
-        yield from self._algo("gather", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view() if rbuf else None,
-            root=root, comm=self._comm)
+        yield from self._run("gather", sbuf.nbytes,
+                             {"send": sbuf.view(),
+                              "recv": rbuf.view() if rbuf else None,
+                              "root": root})
         if recv_array is not None:
             recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
@@ -198,8 +249,8 @@ class VComm:
         """Allgather equal blocks."""
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        yield from self._algo("allgather", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view(), comm=self._comm)
+        yield from self._run("allgather", sbuf.nbytes,
+                             {"send": sbuf.view(), "recv": rbuf.view()})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Allreduce(self, send_array: np.ndarray, recv_array: np.ndarray,
@@ -210,8 +261,9 @@ class VComm:
         dtype = from_numpy(send_array.dtype)
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        yield from self._algo("allreduce", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
+        yield from self._run("allreduce", sbuf.nbytes,
+                             {"send": sbuf.view(), "recv": rbuf.view(),
+                              "dtype": dtype, "op": op})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Reduce(self, send_array: np.ndarray,
@@ -221,9 +273,10 @@ class VComm:
         dtype = from_numpy(send_array.dtype)
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array)) if recv_array is not None else None
-        yield from self._algo("reduce", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view() if rbuf else None,
-            dtype, op, root=root, comm=self._comm)
+        yield from self._run("reduce", sbuf.nbytes,
+                             {"send": sbuf.view(),
+                              "recv": rbuf.view() if rbuf else None,
+                              "dtype": dtype, "op": op, "root": root})
         if recv_array is not None:
             recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
@@ -231,8 +284,8 @@ class VComm:
         """All-to-all of equal blocks."""
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        yield from self._algo("alltoall", sbuf.nbytes // self.size)(
-            self._ctx, sbuf.view(), rbuf.view(), comm=self._comm)
+        yield from self._run("alltoall", sbuf.nbytes // self.size,
+                             {"send": sbuf.view(), "recv": rbuf.view()})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Reduce_scatter(self, send_array: np.ndarray,
@@ -256,8 +309,9 @@ class VComm:
         dtype = from_numpy(send_array.dtype)
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        yield from self._algo("reduce_scatter", rbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
+        yield from self._run("reduce_scatter", rbuf.nbytes,
+                             {"send": sbuf.view(), "recv": rbuf.view(),
+                              "dtype": dtype, "op": op})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Reduce_scatter_block(self, send_array: np.ndarray,
@@ -273,8 +327,9 @@ class VComm:
         dtype = from_numpy(send_array.dtype)
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        yield from self._algo("scan", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
+        yield from self._run("scan", sbuf.nbytes,
+                             {"send": sbuf.view(), "recv": rbuf.view(),
+                              "dtype": dtype, "op": op})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Exscan(self, send_array: np.ndarray, recv_array: np.ndarray,
@@ -286,8 +341,9 @@ class VComm:
         dtype = from_numpy(send_array.dtype)
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        yield from self._algo("exscan", sbuf.nbytes)(
-            self._ctx, sbuf.view(), rbuf.view(), dtype, op, comm=self._comm)
+        yield from self._run("exscan", sbuf.nbytes,
+                             {"send": sbuf.view(), "recv": rbuf.view(),
+                              "dtype": dtype, "op": op})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     # -- vector collectives (counts in elements, mpi4py-style) -----------
@@ -298,9 +354,9 @@ class VComm:
         byte_counts = [c * itemsize for c in counts]
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        algo = self._algo("allgatherv", sbuf.nbytes)
-        yield from algo(self._ctx, sbuf.view(), rbuf.view(), byte_counts,
-                        comm=self._comm)
+        yield from self._run("allgatherv", sbuf.nbytes,
+                             {"send": sbuf.view(), "recv": rbuf.view(),
+                              "counts": byte_counts})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Gatherv(self, send_array: np.ndarray,
@@ -315,10 +371,10 @@ class VComm:
             itemsize = (recv_array if recv_array is not None
                         else send_array).dtype.itemsize
             byte_counts = [c * itemsize for c in counts]
-        algo = self._algo("gatherv", sbuf.nbytes)
-        yield from algo(self._ctx, sbuf.view(),
-                        rbuf.view() if rbuf else None,
-                        counts=byte_counts, root=root, comm=self._comm)
+        yield from self._run("gatherv", sbuf.nbytes,
+                             {"send": sbuf.view(),
+                              "recv": rbuf.view() if rbuf else None,
+                              "counts": byte_counts, "root": root})
         if recv_array is not None:
             recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
@@ -330,10 +386,10 @@ class VComm:
         byte_counts = None
         if counts is not None:
             byte_counts = [c * recv_array.dtype.itemsize for c in counts]
-        algo = self._algo("scatterv", rbuf.nbytes)
-        yield from algo(self._ctx, sbuf.view() if sbuf else None,
-                        counts=byte_counts, recvview=rbuf.view(), root=root,
-                        comm=self._comm)
+        yield from self._run("scatterv", rbuf.nbytes,
+                             {"send": sbuf.view() if sbuf else None,
+                              "counts": byte_counts, "recv": rbuf.view(),
+                              "root": root})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     def Alltoallv(self, send_array: np.ndarray, sendcounts: Sequence[int],
@@ -345,9 +401,10 @@ class VComm:
         recv_bytes = [c * recv_array.dtype.itemsize for c in recvcounts]
         sbuf = _as_buffer(send_array)
         rbuf = ArrayBuffer(np.ascontiguousarray(recv_array))
-        algo = self._algo("alltoallv", max(send_bytes, default=0))
-        yield from algo(self._ctx, sbuf.view(), send_bytes, rbuf.view(),
-                        recv_bytes, comm=self._comm)
+        yield from self._run("alltoallv", max(send_bytes, default=0),
+                             {"send": sbuf.view(), "send_counts": send_bytes,
+                              "recv": rbuf.view(),
+                              "recv_counts": recv_bytes})
         recv_array.reshape(-1).view(np.uint8)[:] = rbuf.bytes_view
 
     # -- nonblocking -----------------------------------------------------
@@ -500,17 +557,24 @@ class Session:
             world.attach_obs(recorder)
         lib = self._lib
 
+        armed = world.ft is not None and world.ft.armed
+
         def program(ctx):
             comm = VComm(ctx, lib)
             if recorder is None:
                 result = yield from app(comm)
-                return result
-            with recorder.span(ctx.rank, "run", cat="run",
-                               library=lib.profile.name):
-                result = yield from app(comm)
+            else:
+                with recorder.span(ctx.rank, "run", cat="run",
+                                   library=lib.profile.name):
+                    result = yield from app(comm)
+            if armed:
+                # Crashed ranks never reach this; excluded ranks return
+                # early inside — only clean survivors drain and retire
+                # their responders.
+                yield from world.ft.rank_shutdown(ctx)
             return result
 
-        values = world.run(program)
+        values = world.run(program, allow_unfinished=armed)
         elapsed = world.sim.now
         trace = None
         metrics = None

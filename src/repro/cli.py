@@ -14,6 +14,10 @@ Commands
 ``faults``
     Seeded chaos sweep: latency vs drop rate under reliable delivery,
     printed as a resilience report.
+``ft``
+    Crash-recovery benchmark under the fault-tolerant runtime:
+    time-to-detect, time-to-recover, and post-shrink slowdown for a
+    seeded crash plan, per library.
 ``trace``
     Run one collective under span tracing, export a Perfetto/Chrome
     trace JSON, and print the critical path plus derived metrics
@@ -162,6 +166,40 @@ def cmd_faults(args) -> int:
         print("\nsome points did not complete — the error names above "
               "(DeliveryFailedError etc.) are the diagnosis, not a crash")
     return 0
+
+
+def _parse_ranks(text: str) -> List[int]:
+    try:
+        ranks = [int(p) for p in text.split(",") if p.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad rank list {text!r}")
+    if not ranks or any(r < 0 for r in ranks):
+        raise argparse.ArgumentTypeError("crash ranks must be >= 0")
+    return ranks
+
+
+def cmd_ft(args) -> int:
+    from .ft.bench import HARNESS_COLLECTIVES, recovery_point, recovery_report
+
+    params = _machine(args)
+    size = params.nodes * params.ppn
+    bad = [r for r in args.crash_ranks if r >= size]
+    if bad:
+        print(f"crash ranks {bad} outside the {size}-rank world",
+              file=sys.stderr)
+        return 2
+    libs = args.libraries.split(",") if args.libraries else ["MPICH", "PiP-MColl"]
+    points = [
+        recovery_point(lib, args.collective, args.size, params,
+                       crash_ranks=args.crash_ranks, crash_at=args.crash_at,
+                       rounds=args.rounds, seed=args.seed)
+        for lib in libs
+    ]
+    print(recovery_report(points))
+    notes = {n for p in points for n in p.notes}
+    for n in sorted(notes):
+        print(f"note: {n}")
+    return 0 if all(p.completed for p in points) else 1
 
 
 def cmd_trace(args) -> int:
@@ -386,6 +424,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=1)
     _add_machine_args(p, nodes=4, ppn=4)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "ft", help="crash-recovery benchmark (detect/recover/slowdown)")
+    from .ft.bench import HARNESS_COLLECTIVES as _FT_COLLECTIVES
+
+    p.add_argument("--collective", default="allreduce",
+                   choices=_FT_COLLECTIVES)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--crash-ranks", type=_parse_ranks, default=[1],
+                   help="comma-separated world ranks to crash")
+    p.add_argument("--crash-at", type=float, default=2e-6,
+                   help="crash instant on the simulated clock (seconds)")
+    p.add_argument("--rounds", type=int, default=6)
+    p.add_argument("--libraries", default="",
+                   help="comma-separated (default: MPICH,PiP-MColl)")
+    p.add_argument("--seed", type=int, default=0)
+    _add_machine_args(p, nodes=4, ppn=4)
+    p.set_defaults(fn=cmd_ft)
 
     p = sub.add_parser("trace", help="span-trace one collective (Perfetto JSON)")
     p.add_argument("--library", default="PiP-MColl", type=_library_spec,

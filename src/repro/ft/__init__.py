@@ -1,0 +1,34 @@
+"""Fault-tolerant runtime: detection, shrink/agree, self-healing.
+
+A ULFM-inspired layer over the simulated runtime (see
+``docs/FAULT_TOLERANCE.md``):
+
+* :class:`Detector` — SWIM-style heartbeat failure detection riding
+  the normal transport (costed, deterministic).
+* :class:`Agreement` — crash-tolerant gather/decide with coordinator
+  re-election by rotation.
+* :class:`FTRuntime` — supervised collectives: detect → revoke →
+  agree → shrink → re-issue on the surviving membership, with graceful
+  degradation of hierarchical/multi-object algorithms to flat
+  point-to-point.
+
+Arm it with ``Session(..., ft=True, faults=<injector>)``; without a
+fault injector the layer stays dormant and adds zero events.
+"""
+
+from .agreement import Agreement, Decision
+from .detector import Detector, pick_witnesses
+from .errors import FtError, FtRootLostError
+from .params import FtParams
+from .runtime import FTRuntime
+
+__all__ = [
+    "Agreement",
+    "Decision",
+    "Detector",
+    "FTRuntime",
+    "FtError",
+    "FtParams",
+    "FtRootLostError",
+    "pick_witnesses",
+]

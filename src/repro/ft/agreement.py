@@ -1,0 +1,168 @@
+"""Crash-tolerant agreement: gather reports, decide, broadcast.
+
+One agreement round: every member sends its REPORT (attempt outcome,
+agreed flag bit, suspect list) to the round's *coordinator* — member
+``round % |M|`` of the current membership — which gathers with a
+deadline, folds silence into suspicion (a member that cannot even
+report inside the gather window after its own attempt deadline is
+treated as dead: that is what catches a corpse nobody happened to be
+directly blocked on), and broadcasts a DECIDE carrying commit/retry,
+the ANDed flag, and the new membership bitmap.  Members that miss the
+decision inside their decide window assume the coordinator died and
+advance to the next round — re-election by rotation, the standard
+crash-tolerant trick.
+
+Timing contract (enforced by :meth:`FtParams.validate` and sized per
+attempt): ``gather_timeout`` exceeds the worst-case spread of entry
+times into the agreement, and ``decide_timeout`` exceeds
+``gather_timeout`` plus broadcast flight — so an *alive* coordinator
+always decides before any member gives up on it, and all members
+apply the same decision.  A coordinator crashing mid-broadcast can
+split the decision between members; that residual window is the
+documented limitation (as for any non-consensus single-coordinator
+protocol) and is closed in practice by the next collective's
+agreement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..runtime.buffer import ArrayBuffer
+from . import proto
+from .detector import _wait_deadline
+from .errors import FtError
+
+
+class Decision:
+    """What one agreement settled on."""
+
+    __slots__ = ("commit", "flag", "members", "rnd")
+
+    def __init__(self, commit: bool, flag: bool, members: List[int],
+                 rnd: int) -> None:
+        self.commit = commit
+        self.flag = flag
+        self.members = members
+        self.rnd = rnd
+
+
+class Agreement:
+    """Per-world agreement engine; all methods are rank-generic."""
+
+    def __init__(self, ft) -> None:
+        self.ft = ft
+        self.params = ft.params
+
+    # -- member side -------------------------------------------------------
+    def agree(self, ctx, seq: int, attempt: int, ok: bool, flag: bool,
+              suspects: Sequence[int]):
+        """Run the agreement for ``(seq, attempt)`` (generator).
+
+        Returns the :class:`Decision` every surviving member converges
+        on.  ``ok`` is this rank's attempt outcome, ``flag`` its
+        ``agree()`` bit (True when unused), ``suspects`` what its
+        detector found.
+        """
+        ft = self.ft
+        params = self.params
+        rank = ctx.rank
+        members = list(ft.views[rank])
+        for rnd in range(params.max_rounds):
+            coordinator = members[rnd % len(members)]
+            if rank == coordinator:
+                decision = yield from self._coordinate(
+                    ctx, seq, attempt, rnd, members, ok, flag, suspects)
+                return decision
+            report = proto.report_payload(seq, attempt, rnd, ok, flag,
+                                          suspects, params.max_suspects)
+            yield from ctx.send(report.view(), dst=coordinator,
+                                tag=proto.agree_tag(seq, attempt, rnd, False),
+                                comm=ft.ctrl_comm)
+            dtag = proto.agree_tag(seq, attempt, rnd, True)
+            dbuf = ArrayBuffer.zeros(proto.decision_nbytes(ft.world_size))
+            req = yield from ctx.irecv(dbuf.view(), src=coordinator,
+                                       tag=dtag, comm=ft.ctrl_comm)
+            got = yield from _wait_deadline(ctx, req,
+                                            params.decide_timeout(attempt))
+            if got is not None:
+                _s, _a, _r, commit, dflag, new_members = \
+                    proto.decode_decision(dbuf, ft.world_size)
+                return Decision(commit, dflag, new_members, rnd)
+            # Coordinator silent past its whole window: presume it dead,
+            # drop it from our local view for the re-election and try
+            # the next coordinator in rotation.
+            ctx.matching.purge(
+                lambda env: env.comm_id == proto.CTRL_COMM_ID
+                and env.tag == dtag)
+            suspects = sorted(set(suspects) | {coordinator})
+        raise FtError(
+            f"rank {rank}: agreement for collective #{seq} attempt "
+            f"{attempt} exhausted {params.max_rounds} coordinator rounds")
+
+    # -- coordinator side --------------------------------------------------
+    def _coordinate(self, ctx, seq: int, attempt: int, rnd: int,
+                    members: List[int], ok: bool, flag: bool,
+                    suspects: Sequence[int]):
+        ft = self.ft
+        params = self.params
+        rank = ctx.rank
+        rtag = proto.agree_tag(seq, attempt, rnd, False)
+        reports = {rank: (ok, flag, list(suspects))}
+        pending = {}
+        for member in members:
+            if member == rank:
+                continue
+            buf = ArrayBuffer.zeros(proto.report_nbytes(params.max_suspects))
+            req = yield from ctx.irecv(buf.view(), src=member, tag=rtag,
+                                       comm=ft.ctrl_comm)
+            pending[member] = (req, buf)
+        deadline = ctx.sim.timeout(params.gather_timeout(attempt))
+        while pending and not deadline.processed:
+            signals = [req._signal() for req, _b in pending.values()
+                       if not req.ready]
+            if signals:
+                yield ctx.sim.any_of(signals + [deadline])
+            for member in list(pending):
+                req, buf = pending[member]
+                if req.ready:
+                    yield from ctx.wait(req)
+                    _s, _a, _r, m_ok, m_flag, m_sus = proto.decode_report(buf)
+                    reports[member] = (m_ok, m_flag, m_sus)
+                    del pending[member]
+        # Final sweep: a report that raced the deadline still counts.
+        for member in list(pending):
+            req, buf = pending[member]
+            if req.ready:
+                yield from ctx.wait(req)
+                _s, _a, _r, m_ok, m_flag, m_sus = proto.decode_report(buf)
+                reports[member] = (m_ok, m_flag, m_sus)
+                del pending[member]
+        if pending:
+            ctx.matching.purge(
+                lambda env: env.comm_id == proto.CTRL_COMM_ID
+                and env.tag == rtag)
+        silent = [m for m in members if m not in reports]
+        suspected = set(silent)
+        for _ok, _flag, m_sus in reports.values():
+            suspected.update(m_sus)
+        # The coordinator is self-evidently alive; peers that probed it
+        # while it was busy gathering must not vote it out.
+        suspected.discard(rank)
+        suspected &= set(members)
+        suspected = ft.expand_crash_scope(suspected, members)
+        new_members = [m for m in members if m not in suspected]
+        all_ok = all(m_ok for m_ok, _f, _s in reports.values())
+        commit = all_ok and not suspected
+        agreed_flag = all(m_flag for _ok, m_flag, _s in reports.values())
+        decision = proto.decision_payload(
+            seq, attempt, rnd, commit, agreed_flag, new_members,
+            ft.world_size)
+        dtag = proto.agree_tag(seq, attempt, rnd, True)
+        # Everyone gets the decision — including members being excluded,
+        # so they learn their fate and freeze instead of hanging.
+        for member in members:
+            if member != rank:
+                yield from ctx.send(decision.view(), dst=member, tag=dtag,
+                                    comm=ft.ctrl_comm)
+        return Decision(commit, agreed_flag, new_members, rnd)

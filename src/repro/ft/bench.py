@@ -1,0 +1,199 @@
+"""Recovery benchmarking: time-to-detect / time-to-recover / slowdown.
+
+The R2 benchmark (``benchmarks/test_r2_recovery.py``) and the
+``python -m repro ft`` CLI both run :func:`recovery_point`: a fixed
+number of rounds of one collective under ``ft=True`` with a seeded
+crash plan, timed per round with in-simulation clock deltas (never a
+post-crash barrier — a plain barrier over the original membership
+would hang by definition).  The committed-recovery timelines the
+:class:`~repro.ft.runtime.FTRuntime` records are then reduced to the
+paper-style triple:
+
+* ``detect_s`` — crash instant → first survivor's local anomaly
+  (attempt deadline or transport give-up);
+* ``recover_s`` — crash instant → last survivor's committed
+  re-issue (detection + probing + agreement + healed re-run);
+* ``slowdown`` — mean post-recovery round time over mean pre-crash
+  round time: the price of running shrunken and degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults import FaultPlan
+from .params import FtParams
+
+#: collectives the recovery harness knows how to drive
+HARNESS_COLLECTIVES = ("allreduce", "allgather", "bcast", "alltoall")
+
+
+def _one_round(comm, collective: str, nbytes: int, rnd: int):
+    n = comm.size
+    words = max(nbytes // 8, 1)
+    fill = float(comm.rank + rnd + 1)
+    if collective == "allreduce":
+        send = np.full(words, fill, dtype=np.float64)
+        recv = np.empty_like(send)
+        yield from comm.Allreduce(send, recv)
+    elif collective == "allgather":
+        send = np.full(words, fill, dtype=np.float64)
+        recv = np.zeros(words * n, dtype=np.float64)
+        yield from comm.Allgather(send, recv)
+    elif collective == "bcast":
+        buf = np.full(words, float(rnd + 1) if comm.rank == 0 else 0.0,
+                      dtype=np.float64)
+        yield from comm.Bcast(buf, root=0)
+    elif collective == "alltoall":
+        send = np.full(words * n, fill, dtype=np.float64)
+        recv = np.zeros(words * n, dtype=np.float64)
+        yield from comm.Alltoall(send, recv)
+    else:
+        raise ValueError(
+            f"recovery harness drives {HARNESS_COLLECTIVES}, "
+            f"not {collective!r}")
+
+
+@dataclass(frozen=True)
+class RecoveryPoint:
+    """One (library, collective, crash plan) recovery sample."""
+
+    library: str
+    collective: str
+    nbytes: int
+    nodes: int
+    ppn: int
+    crash_ranks: Tuple[int, ...]
+    crash_at: float
+    completed: bool
+    #: crash → first local anomaly on any survivor (seconds)
+    detect_s: Optional[float] = None
+    #: crash → last survivor's committed recovery (seconds)
+    recover_s: Optional[float] = None
+    #: mean post-recovery round / mean pre-crash round
+    slowdown: Optional[float] = None
+    survivors: int = 0
+    recoveries: int = 0
+    pre_round_s: Optional[float] = None
+    post_round_s: Optional[float] = None
+    error: Optional[str] = None
+    notes: Tuple[str, ...] = field(default=())
+
+    def as_dict(self) -> dict:
+        return {k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.__dict__.items()}
+
+
+def recovery_point(
+    library: str,
+    collective: str,
+    nbytes: int,
+    params,
+    crash_ranks: Sequence[int],
+    crash_at: float,
+    rounds: int = 6,
+    seed: int = 0,
+    ft_params: Optional[FtParams] = None,
+) -> RecoveryPoint:
+    """Run ``rounds`` of ``collective`` with a seeded crash plan under
+    ``ft=True`` and reduce the recorded recoveries to the R2 triple."""
+    from ..api import Session
+
+    plan = FaultPlan(seed=seed)
+    for r in crash_ranks:
+        plan = plan.crash(r, at_time=crash_at)
+    session = Session(library=library, params=params, trace=False,
+                      ft=(ft_params if ft_params is not None else True),
+                      faults=plan, reliable=True)
+
+    def app(comm):
+        times = []
+        for rnd in range(rounds):
+            t0 = comm.now
+            yield from _one_round(comm, collective, nbytes, rnd)
+            times.append((t0, comm.now))
+        return times
+
+    base = dict(library=library, collective=collective, nbytes=nbytes,
+                nodes=params.nodes, ppn=params.ppn,
+                crash_ranks=tuple(crash_ranks), crash_at=crash_at)
+    try:
+        result = session.run(app)
+    except Exception as exc:  # a hang would not even get here
+        return RecoveryPoint(completed=False, error=type(exc).__name__,
+                             **base)
+
+    ft = result.world.ft
+    survivors = [v for v in result.values if v is not None]
+    recs = ft.recoveries
+    detect_s = recover_s = slowdown = None
+    pre_round = post_round = None
+    notes = []
+    if recs:
+        anomalies = [r["t_anomaly"] for r in recs
+                     if r["t_anomaly"] is not None]
+        if anomalies:
+            detect_s = min(anomalies) - crash_at
+        else:
+            # Silence backstop: nobody was blocked on the corpse — the
+            # agreement's gather deadline was the detector.
+            detect_s = min(r["t_decision"] for r in recs) - crash_at
+            notes.append("detected by agreement backstop (no local "
+                         "anomaly)")
+        recover_s = max(r["t_committed"] for r in recs) - crash_at
+        t_healed = max(r["t_committed"] for r in recs)
+        # Classify rounds with the slowest surviving rank's clock: a
+        # round is "pre" if it ended before the crash, "post" if it
+        # started after every survivor committed the recovery.
+        pre, post = [], []
+        for times in survivors:
+            for t0, t1 in times:
+                if t1 <= crash_at:
+                    pre.append(t1 - t0)
+                elif t0 >= t_healed:
+                    post.append(t1 - t0)
+        if pre:
+            pre_round = sum(pre) / len(pre)
+        if post:
+            post_round = sum(post) / len(post)
+        if pre_round and post_round:
+            slowdown = post_round / pre_round
+        else:
+            notes.append("too few clean pre/post rounds to compare")
+    else:
+        notes.append("no recovery recorded (crash between collectives "
+                     "caught without a retry?)")
+    return RecoveryPoint(completed=True, detect_s=detect_s,
+                         recover_s=recover_s, slowdown=slowdown,
+                         survivors=len(survivors), recoveries=len(recs),
+                         pre_round_s=pre_round, post_round_s=post_round,
+                         notes=tuple(notes), **base)
+
+
+def recovery_report(points: Sequence[RecoveryPoint]) -> str:
+    """Human-readable recovery table (CLI + saved benchmark artifact)."""
+    if not points:
+        return "no recovery points"
+
+    def fmt(v, scale=1e3, unit="ms"):
+        return f"{v * scale:8.3f}{unit}" if v is not None else f"{'—':>10}"
+
+    lines = [
+        "fault-tolerant recovery — crash → detect → agree → shrink → "
+        "re-issue",
+        f"{'library':<12} {'collective':<12} {'ranks':>6} {'crashed':>8} "
+        f"{'detect':>10} {'recover':>10} {'slowdown':>9}  verdict",
+    ]
+    for p in points:
+        ranks = p.nodes * p.ppn
+        slow = f"x{p.slowdown:7.2f}" if p.slowdown is not None else f"{'—':>8}"
+        verdict = "ok" if p.completed else f"FAILED ({p.error})"
+        lines.append(
+            f"{p.library:<12} {p.collective:<12} {ranks:>6} "
+            f"{len(p.crash_ranks):>8} {fmt(p.detect_s)} {fmt(p.recover_s)} "
+            f"{slow:>9}  {verdict}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""SWIM-style failure detector riding the normal transport.
+
+Detection is *costed and honest*: a suspect is only ever produced by
+real (simulated) message exchanges timing out — the detector never
+peeks at the fault plan.  Per SWIM, an unresponsive peer gets a second
+chance through ``witnesses`` indirect probes before it is suspected,
+which keeps one busy responder from being mistaken for a corpse.
+
+Each rank runs one *responder* coroutine holding a wildcard receive on
+the ping communicator; it answers PINGs with an ack on the control
+communicator, serves indirect-probe requests (PREQ) by pinging the
+target itself, and applies REVOKE notices.  Probe replies travel on
+per-``(rank, nonce)`` tags, so a stale ack from a slow peer can never
+satisfy a later probe's wait.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime.buffer import ArrayBuffer
+from ..sim import Interrupt
+from . import proto
+
+
+def _wait_deadline(ctx, req, timeout_s: float):
+    """Wait for ``req`` at most ``timeout_s``; its result or None.
+
+    The request stays posted on timeout — callers purge it.
+    """
+    if not req.ready:
+        signal = req._signal()
+        if signal is not None and not signal.processed:
+            timer = ctx.sim.timeout(timeout_s)
+            yield ctx.sim.any_of([signal, timer])
+    if req.ready:
+        result = yield from ctx.wait(req)
+        return result
+    return None
+
+
+def pick_witnesses(members, prober: int, target: int, seq: int,
+                   attempt: int, count: int) -> List[int]:
+    """Deterministic pseudo-random witness choice.
+
+    Seeded entirely by the probe's identity so every run of the same
+    schedule picks the same witnesses (reproducible chaos), without
+    consuming any global RNG state.
+    """
+    pool = [m for m in members if m not in (prober, target)]
+    if not pool or count <= 0:
+        return []
+    h = (seq * 1000003) ^ (attempt * 10007) ^ (prober * 101) ^ (target * 7919)
+    h &= 0x7FFFFFFF
+    picked = []
+    for i in range(min(count, len(pool))):
+        h = (h * 1103515245 + 12345) & 0x7FFFFFFF
+        idx = h % len(pool)
+        picked.append(pool.pop(idx))
+    return picked
+
+
+class Detector:
+    """Per-world detector state; all methods are rank-generic."""
+
+    def __init__(self, ft) -> None:
+        self.ft = ft
+        self.params = ft.params
+        #: per-rank nonce counters feeding the reply-tag space
+        self._nonce = [0] * ft.world.cluster.world_size
+        #: per-rank responder Process handles (for shutdown interrupts)
+        self.responders: List[Optional[object]] = \
+            [None] * ft.world.cluster.world_size
+        #: direct + indirect probes issued (telemetry)
+        self.pings_sent = 0
+
+    def _next_reply_tag(self, rank: int) -> int:
+        self._nonce[rank] += 1
+        return proto.reply_tag(rank, self._nonce[rank], self.ft.world_size)
+
+    # -- probing -----------------------------------------------------------
+    def ping(self, ctx, target: int, timeout_s: Optional[float] = None):
+        """Direct ping (generator): True iff ``target`` acked in time."""
+        ft = self.ft
+        rtag = self._next_reply_tag(ctx.rank)
+        ack = ArrayBuffer.zeros(proto.REPLY_NBYTES)
+        req = yield from ctx.irecv(ack.view(), src=target, tag=rtag,
+                                   comm=ft.ctrl_comm)
+        self.pings_sent += 1
+        payload = proto.ping_payload(proto.PING, ctx.rank, target, rtag)
+        yield from ctx.send(payload.view(), dst=target, tag=0,
+                            comm=ft.ping_comm)
+        result = yield from _wait_deadline(
+            ctx, req, timeout_s if timeout_s is not None
+            else self.params.ping_timeout)
+        if result is None:
+            ctx.matching.purge(
+                lambda env: env.comm_id == proto.CTRL_COMM_ID
+                and env.tag == rtag)
+            return False
+        return True
+
+    def indirect_probe(self, ctx, target: int, seq: int, attempt: int):
+        """Ask witnesses to ping ``target``; True iff one found it alive."""
+        ft = self.ft
+        params = self.params
+        members = ft.views[ctx.rank]
+        witnesses = pick_witnesses(members, ctx.rank, target, seq, attempt,
+                                   params.witnesses)
+        if not witnesses:
+            return False
+        reqs = []
+        tags = []
+        for wit in witnesses:
+            rtag = self._next_reply_tag(ctx.rank)
+            buf = ArrayBuffer.zeros(proto.REPLY_NBYTES)
+            req = yield from ctx.irecv(buf.view(), src=wit, tag=rtag,
+                                       comm=ft.ctrl_comm)
+            reqs.append((wit, req, buf))
+            tags.append(rtag)
+            payload = proto.ping_payload(proto.PREQ, ctx.rank, target, rtag)
+            yield from ctx.send(payload.view(), dst=wit, tag=0,
+                                comm=ft.ping_comm)
+        # A witness serving one nested ping already may take up to a
+        # ping round trip to even start ours: budget three.
+        deadline = ctx.sim.timeout(3.0 * params.ping_timeout)
+        alive = False
+        pending = list(reqs)
+        while pending and not deadline.processed and not alive:
+            signals = [r._signal() for _w, r, _b in pending if not r.ready]
+            if signals:
+                yield ctx.sim.any_of(signals + [deadline])
+            still = []
+            for wit, req, buf in pending:
+                if req.ready:
+                    yield from ctx.wait(req)
+                    _sender, found = proto.decode_reply(buf)
+                    alive = alive or found
+                else:
+                    still.append((wit, req, buf))
+            pending = still
+        drop = set(tags)
+        ctx.matching.purge(
+            lambda env: env.comm_id == proto.CTRL_COMM_ID and env.tag in drop)
+        return alive
+
+    def probe(self, ctx, targets, seq: int, attempt: int):
+        """SWIM probe each target (capped); returns the suspects."""
+        suspects = []
+        for target in list(targets)[:self.params.probe_cap]:
+            alive = yield from self.ping(ctx, target)
+            if not alive:
+                alive = yield from self.indirect_probe(ctx, target, seq,
+                                                       attempt)
+            if not alive:
+                suspects.append(target)
+        return suspects
+
+    # -- the responder -----------------------------------------------------
+    def spawn_responder(self, ctx) -> None:
+        if self.responders[ctx.rank] is None:
+            self.responders[ctx.rank] = ctx.sim.process(
+                self._responder(ctx), name=f"ft-responder@{ctx.rank}")
+
+    def _responder(self, ctx):
+        ft = self.ft
+        buf = ArrayBuffer.zeros(proto.PING_NBYTES)
+        try:
+            while True:
+                yield from ctx.recv(buf.view(), src=-1, tag=-1,
+                                    comm=ft.ping_comm)
+                kind, sender, target, rtag = proto.decode_ping(buf)
+                if kind == proto.PING:
+                    reply = proto.reply_payload(ctx.rank, True)
+                    yield from ctx.send(reply.view(), dst=sender, tag=rtag,
+                                        comm=ft.ctrl_comm)
+                elif kind == proto.PREQ:
+                    alive = yield from self.ping(ctx, target)
+                    reply = proto.reply_payload(ctx.rank, alive)
+                    yield from ctx.send(reply.view(), dst=sender, tag=rtag,
+                                        comm=ft.ctrl_comm)
+                elif kind == proto.REVOKE:
+                    ft.revoked[ctx.rank] = True
+        except Interrupt:
+            return
+
+    def stop_responder(self, ctx) -> None:
+        proc = self.responders[ctx.rank]
+        if proc is not None and not proc.triggered:
+            proc.interrupt()
+        self.responders[ctx.rank] = None

@@ -1,0 +1,27 @@
+"""Errors of the fault-tolerance layer."""
+
+from __future__ import annotations
+
+from ..runtime.errors import MpiError
+
+
+class FtError(MpiError):
+    """Recovery gave up: attempts or agreement rounds exhausted.
+
+    ``last_delivery_error`` carries the final structured
+    :class:`~repro.runtime.errors.DeliveryFailedError` the transport
+    reported during the failed collective, when there was one.
+    """
+
+    def __init__(self, message: str, last_delivery_error=None) -> None:
+        super().__init__(message)
+        self.last_delivery_error = last_delivery_error
+
+
+class FtRootLostError(FtError):
+    """A rooted collective cannot be healed: the root is dead.
+
+    ULFM semantics: shrinking cannot conjure the root's data back, so
+    bcast/scatter from (or gather/reduce to) a crashed root raises on
+    the survivors instead of silently returning garbage.
+    """

@@ -1,0 +1,254 @@
+"""Healed re-issue of collectives on a shrunken membership.
+
+After a shrink, the original collective's semantics must be delivered
+to the survivors with the *original* rank positions: block ``i`` of an
+allgather result still belongs to original rank ``i``, a scan prefix
+still covers original ranks ``0..i``.  The adapters here run the
+library's degraded (flat, geometry-agnostic) algorithm over a compact
+epoch communicator of the survivors, packing/unpacking around it so
+original-position semantics hold; crashed ranks' blocks are simply
+left untouched in the survivors' buffers (their content is whatever
+the caller initialised — MPI gives no stronger guarantee once a
+contributor died).
+
+Rooted collectives (bcast/gather/scatter/reduce and their v-variants)
+require the root among the survivors — there is no healing a dead
+root's data — else :class:`~repro.ft.errors.FtRootLostError`.
+
+Prefix collectives need no packing at all: survivors in ascending
+original order compute exactly the original-order prefix over the
+surviving contributions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..collectives.base import local_copy
+from .errors import FtRootLostError
+
+
+def invoke(ctx, algo, name: str, spec: dict, comm):
+    """Call ``algo`` with the calling convention of its family.
+
+    ``spec`` is the family-keyed argument dict built by
+    :class:`~repro.api.VComm` (views, dtype/op, root, counts).  Used
+    for both the plain full-membership path and healed re-issues.
+    """
+    if name == "barrier":
+        yield from algo(ctx, comm=comm)
+    elif name == "bcast":
+        yield from algo(ctx, spec["view"], root=spec["root"], comm=comm)
+    elif name == "gather":
+        yield from algo(ctx, spec["send"], spec.get("recv"),
+                        root=spec["root"], comm=comm)
+    elif name == "scatter":
+        yield from algo(ctx, spec.get("send"), spec["recv"],
+                        root=spec["root"], comm=comm)
+    elif name in ("allgather", "alltoall"):
+        yield from algo(ctx, spec["send"], spec["recv"], comm=comm)
+    elif name in ("allreduce", "reduce_scatter", "scan", "exscan"):
+        yield from algo(ctx, spec["send"], spec["recv"], spec["dtype"],
+                        spec["op"], comm=comm)
+    elif name == "reduce":
+        yield from algo(ctx, spec["send"], spec.get("recv"), spec["dtype"],
+                        spec["op"], root=spec["root"], comm=comm)
+    elif name == "gatherv":
+        yield from algo(ctx, spec["send"], spec.get("recv"),
+                        counts=spec.get("counts"), root=spec["root"],
+                        comm=comm)
+    elif name == "scatterv":
+        yield from algo(ctx, spec.get("send"), counts=spec.get("counts"),
+                        recvview=spec["recv"], root=spec["root"], comm=comm)
+    elif name == "allgatherv":
+        yield from algo(ctx, spec["send"], spec["recv"], spec["counts"],
+                        comm=comm)
+    elif name == "alltoallv":
+        yield from algo(ctx, spec["send"], spec["send_counts"], spec["recv"],
+                        spec["recv_counts"], comm=comm)
+    else:
+        raise KeyError(f"no invoker for collective {name!r}")
+
+
+def _displs(counts: List[int]) -> List[int]:
+    out, acc = [], 0
+    for c in counts:
+        out.append(acc)
+        acc += c
+    return out
+
+
+ROOTED = ("bcast", "gather", "scatter", "reduce", "gatherv", "scatterv")
+
+
+def healed(ctx, lib, name: str, nbytes: int, spec: dict, ecomm,
+           survivors: List[int], orig_comm):
+    """Re-issue ``name`` over the survivors (generator).
+
+    ``survivors`` are original comm ranks, ascending; ``ecomm`` is the
+    epoch communicator over exactly those ranks.  ``orig_comm`` is the
+    communicator the collective was first issued on (original-position
+    geometry).
+    """
+    n = orig_comm.size
+    m = len(survivors)
+    orank = orig_comm.to_comm(ctx.rank)
+    algo = lib.degraded_algorithm(name, nbytes, m)
+    root: Optional[int] = spec.get("root")
+    eroot: Optional[int] = None
+    if name in ROOTED:
+        if root not in survivors:
+            raise FtRootLostError(
+                f"rank {ctx.rank}: cannot heal {name}: root (original "
+                f"rank {root}) is dead — its data is unrecoverable")
+        eroot = survivors.index(root)
+
+    if name == "barrier":
+        yield from algo(ctx, comm=ecomm)
+        return
+
+    if name == "bcast":
+        yield from algo(ctx, spec["view"], root=eroot, comm=ecomm)
+        return
+
+    if name in ("allreduce", "scan", "exscan"):
+        # Elementwise over surviving contributions; for the prefix
+        # forms, ascending epoch order *is* ascending original order,
+        # so the epoch prefix equals the original-order prefix over
+        # the survivors (dead ranks simply stop contributing).
+        yield from algo(ctx, spec["send"], spec["recv"], spec["dtype"],
+                        spec["op"], comm=ecomm)
+        return
+
+    if name == "reduce":
+        recv = spec.get("recv") if orank == root else None
+        yield from algo(ctx, spec["send"], recv, spec["dtype"], spec["op"],
+                        root=eroot, comm=ecomm)
+        return
+
+    if name in ("gather", "gatherv"):
+        counts = (spec.get("counts") if name == "gatherv"
+                  else [spec["send"].nbytes] * n)
+        # Root gathers the survivors' blocks compactly, then spreads
+        # them to their original displacements.
+        if orank == root:
+            if counts is None:
+                raise ValueError(f"{name}: root needs counts to heal")
+            ecounts = [counts[s] for s in survivors]
+            tmp = ctx.alloc(sum(ecounts))
+            yield from _call_gatherv(ctx, lib, nbytes, spec["send"],
+                                     tmp.view(), ecounts, eroot, ecomm, m)
+            odispls = _displs(counts)
+            edispls = _displs(ecounts)
+            recv = spec["recv"]
+            for i, s in enumerate(survivors):
+                if ecounts[i]:
+                    yield from local_copy(
+                        ctx, tmp.view(edispls[i], ecounts[i]),
+                        recv.sub(odispls[s], ecounts[i]))
+        else:
+            yield from _call_gatherv(ctx, lib, nbytes, spec["send"], None,
+                                     None, eroot, ecomm, m)
+        return
+
+    if name in ("scatter", "scatterv"):
+        counts = (spec.get("counts") if name == "scatterv"
+                  else [spec["recv"].nbytes] * n)
+        if orank == root:
+            if counts is None:
+                raise ValueError(f"{name}: root needs counts to heal")
+            ecounts = [counts[s] for s in survivors]
+            send = spec["send"]
+            odispls = _displs(counts)
+            edispls = _displs(ecounts)
+            tmp = ctx.alloc(sum(ecounts))
+            for i, s in enumerate(survivors):
+                if ecounts[i]:
+                    yield from local_copy(
+                        ctx, send.sub(odispls[s], ecounts[i]),
+                        tmp.view(edispls[i], ecounts[i]))
+            yield from _call_scatterv(ctx, lib, nbytes, tmp.view(), ecounts,
+                                      spec["recv"], eroot, ecomm, m)
+        else:
+            yield from _call_scatterv(ctx, lib, nbytes, None, None,
+                                      spec["recv"], eroot, ecomm, m)
+        return
+
+    if name in ("allgather", "allgatherv"):
+        counts = (spec["counts"] if name == "allgatherv"
+                  else [spec["send"].nbytes] * n)
+        ecounts = [counts[s] for s in survivors]
+        tmp = ctx.alloc(sum(ecounts))
+        agv = lib.degraded_algorithm("allgatherv", nbytes, m)
+        yield from agv(ctx, spec["send"], tmp.view(), ecounts, comm=ecomm)
+        odispls = _displs(counts)
+        edispls = _displs(ecounts)
+        recv = spec["recv"]
+        for i, s in enumerate(survivors):
+            if ecounts[i]:
+                yield from local_copy(ctx, tmp.view(edispls[i], ecounts[i]),
+                                      recv.sub(odispls[s], ecounts[i]))
+        return
+
+    if name == "reduce_scatter":
+        # Pack the survivors' blocks of my contribution, reduce-scatter
+        # compactly, and my own block arrives directly in place.
+        blk = spec["recv"].nbytes
+        send = spec["send"]
+        tmp = ctx.alloc(blk * m)
+        for i, s in enumerate(survivors):
+            yield from local_copy(ctx, send.sub(blk * s, blk),
+                                  tmp.view(blk * i, blk))
+        yield from algo(ctx, tmp.view(), spec["recv"], spec["dtype"],
+                        spec["op"], comm=ecomm)
+        return
+
+    if name == "alltoall":
+        blk = spec["send"].nbytes // n
+        send, recv = spec["send"], spec["recv"]
+        stmp = ctx.alloc(blk * m)
+        rtmp = ctx.alloc(blk * m)
+        for i, s in enumerate(survivors):
+            yield from local_copy(ctx, send.sub(blk * s, blk),
+                                  stmp.view(blk * i, blk))
+        a2a = lib.degraded_algorithm("alltoall", blk, m)
+        yield from a2a(ctx, stmp.view(), rtmp.view(), comm=ecomm)
+        for i, s in enumerate(survivors):
+            yield from local_copy(ctx, rtmp.view(blk * i, blk),
+                                  recv.sub(blk * s, blk))
+        return
+
+    if name == "alltoallv":
+        scounts, rcounts = spec["send_counts"], spec["recv_counts"]
+        es = [scounts[s] for s in survivors]
+        er = [rcounts[s] for s in survivors]
+        sod, rod = _displs(scounts), _displs(rcounts)
+        sed, red = _displs(es), _displs(er)
+        send, recv = spec["send"], spec["recv"]
+        stmp = ctx.alloc(max(sum(es), 1))
+        rtmp = ctx.alloc(max(sum(er), 1))
+        for i, s in enumerate(survivors):
+            if es[i]:
+                yield from local_copy(ctx, send.sub(sod[s], es[i]),
+                                      stmp.view(sed[i], es[i]))
+        a2av = lib.degraded_algorithm("alltoallv", nbytes, m)
+        yield from a2av(ctx, stmp.view(0, sum(es)), es,
+                        rtmp.view(0, sum(er)), er, comm=ecomm)
+        for i, s in enumerate(survivors):
+            if er[i]:
+                yield from local_copy(ctx, rtmp.view(red[i], er[i]),
+                                      recv.sub(rod[s], er[i]))
+        return
+
+    raise KeyError(f"no heal adapter for collective {name!r}")
+
+
+def _call_gatherv(ctx, lib, nbytes, send, recv, ecounts, eroot, ecomm, m):
+    algo = lib.degraded_algorithm("gatherv", nbytes, m)
+    yield from algo(ctx, send, recv, counts=ecounts, root=eroot, comm=ecomm)
+
+
+def _call_scatterv(ctx, lib, nbytes, send, ecounts, recv, eroot, ecomm, m):
+    algo = lib.degraded_algorithm("scatterv", nbytes, m)
+    yield from algo(ctx, send, counts=ecounts, recvview=recv, root=eroot,
+                    comm=ecomm)

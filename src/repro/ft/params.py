@@ -1,0 +1,95 @@
+"""Tunables of the fault-tolerance layer.
+
+Every deadline here is simulated seconds.  The defaults are sized for
+the bundled machine presets (NIC latencies around a microsecond, RTO
+tails around a millisecond) and — more importantly — are mutually
+constrained: the agreement gather window must cover the *spread* of
+entry times into the agreement, which is bounded by the attempt
+timeout (a rank blocked on a corpse only reports after its attempt
+deadline) plus the probe budget.  :meth:`FtParams.validate` enforces
+the constraint so a hand-tuned configuration cannot silently turn
+slow-but-alive ranks into suspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FtParams:
+    """Knobs of detector, agreement and retry."""
+
+    #: direct-ping ack deadline (SWIM round-trip budget)
+    ping_timeout: float = 2e-4
+    #: witnesses asked to indirect-probe an unresponsive target
+    witnesses: int = 2
+    #: most peers the detector pings per aborted attempt
+    probe_cap: int = 4
+    #: deadline for a collective attempt before it is abandoned
+    attempt_timeout: float = 4e-3
+    #: attempt-deadline multiplier per retry (exponential backoff)
+    backoff: float = 2.0
+    #: collective re-issues before FtError (first try included)
+    max_attempts: int = 6
+    #: coordinator re-elections per agreement before giving up
+    max_rounds: int = 8
+    #: slack the coordinator's report gather adds on top of the
+    #: worst-case entry spread (attempt timeout + probe budget)
+    gather_slack: float = 2e-3
+    #: extra wait for the decision beyond the gather window
+    decide_slack: float = 3e-3
+    #: quiesce window at shutdown for in-flight stale traffic to land
+    drain: float = 5e-3
+    #: suspects one report can carry (fixed wire format)
+    max_suspects: int = 8
+
+    def probe_budget(self) -> float:
+        """Worst-case detector time per aborted attempt: each probed
+        peer costs a direct ping plus a witness window (3 ping RTOs)."""
+        return 4.0 * self.ping_timeout * self.probe_cap
+
+    def attempt_deadline(self, attempt: int) -> float:
+        """Deadline of the ``attempt``-th try (0-based, backed off)."""
+        return self.attempt_timeout * (self.backoff ** attempt)
+
+    def gather_timeout(self, attempt: int) -> float:
+        """Report-gather window for an agreement after ``attempt``.
+
+        Must cover the entry spread: a rank whose attempt hung on a
+        corpse reports a full attempt deadline (plus probing) later
+        than a rank whose attempt succeeded instantly.
+        """
+        return self.attempt_deadline(attempt) + self.probe_budget() \
+            + self.gather_slack
+
+    def decide_timeout(self, attempt: int) -> float:
+        """How long a member waits for the coordinator's decision
+        before assuming the coordinator died and advancing the round.
+
+        Measured from the member's *own* agreement entry, which may
+        precede the coordinator's by the full entry spread (a member
+        whose attempt succeeded instantly vs a coordinator that burned
+        its attempt deadline blocked on a corpse, then probed).  The
+        wait must cover that spread **plus** the coordinator's whole
+        gather window, or early finishers re-elect past a live
+        coordinator and agree it out of the membership."""
+        return self.attempt_deadline(attempt) + self.probe_budget() \
+            + self.gather_timeout(attempt) + self.decide_slack
+
+    def validate(self) -> None:
+        """Raise ValueError on self-contradictory settings."""
+        if self.ping_timeout <= 0 or self.attempt_timeout <= 0:
+            raise ValueError("ft timeouts must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("ft backoff must be >= 1.0")
+        if self.max_attempts < 1 or self.max_rounds < 1:
+            raise ValueError("ft needs at least one attempt and one round")
+        if self.witnesses < 0 or self.probe_cap < 1 or self.max_suspects < 1:
+            raise ValueError("ft detector sizes must be positive")
+        if self.gather_slack <= 0 or self.decide_slack <= 0:
+            raise ValueError(
+                "ft agreement slacks must be positive: the gather window "
+                "must exceed the attempt-entry spread or slow-but-alive "
+                "ranks become suspects"
+            )

@@ -1,0 +1,139 @@
+"""Wire format of the fault-tolerance control plane.
+
+The layer reserves two control communicators over all world ranks plus
+a family of per-``(collective seq, attempt)`` *epoch* communicators:
+
+* **ping comm** (``PING_COMM_ID``): carries PING / indirect-probe
+  requests / REVOKE notices.  Each rank's responder coroutine keeps a
+  wildcard receive posted here — and *only* here, so the wildcard can
+  never steal data-plane or reply traffic (MPI matching is per
+  communicator).
+* **ctrl comm** (``CTRL_COMM_ID``): carries ack / indirect-probe
+  replies and the agreement's REPORT / DECIDE messages, all on exact
+  ``(src, tag)`` patterns whose tags encode the full context
+  (sequence, attempt, round, or a per-rank nonce), so a stale reply
+  can never alias a fresh wait.
+* **epoch comms** (``EPOCH_COMM_BASE + seq * 64 + attempt``): each
+  re-issued collective attempt runs on a fresh communicator computed
+  locally from ``(seq, attempt)`` — no agreement traffic needed — so
+  messages of an abandoned attempt can never match into its retry.
+
+All control payloads are little arrays of ``int64`` / ``uint64`` in
+:class:`~repro.runtime.buffer.ArrayBuffer` (always numpy-backed, so
+the control plane stays functional even in size-only timing worlds).
+Membership in a DECIDE rides as a bitmap over the *original* world
+ranks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.buffer import ArrayBuffer
+
+#: control-comm ids, far above any interned split id
+PING_COMM_ID = 0x3FFFFFFF
+CTRL_COMM_ID = 0x3FFFFFFE
+#: epoch comm id = EPOCH_COMM_BASE + seq * EPOCH_STRIDE + attempt
+EPOCH_COMM_BASE = 0x40000000
+EPOCH_STRIDE = 64
+
+#: ping-comm message kinds
+PING, PREQ, REVOKE = 1, 2, 3
+
+#: ctrl-comm tag spaces (Python ints are unbounded; collisions between
+#: the spaces are impossible because each space carries its base)
+AGREE_TAG_BASE = 0x10000000
+REPLY_TAG_BASE = 0x20000000
+
+
+def epoch_comm_id(seq: int, attempt: int) -> int:
+    if not 0 <= attempt < EPOCH_STRIDE:
+        raise ValueError(f"attempt {attempt} outside epoch stride")
+    return EPOCH_COMM_BASE + seq * EPOCH_STRIDE + attempt
+
+
+def agree_tag(seq: int, attempt: int, rnd: int, decide: bool) -> int:
+    """Tag of a REPORT (``decide=False``) or DECIDE message."""
+    return AGREE_TAG_BASE + ((seq * EPOCH_STRIDE + attempt) * 64 + rnd) * 2 \
+        + (1 if decide else 0)
+
+
+def reply_tag(rank: int, nonce: int, world_size: int) -> int:
+    """A never-reused ack/probe-reply tag owned by ``rank``."""
+    return REPLY_TAG_BASE + nonce * world_size + rank
+
+
+# -- ping-comm payloads (4 x int64) -------------------------------------
+def ping_payload(kind: int, sender: int, target: int, rtag: int) -> ArrayBuffer:
+    return ArrayBuffer.from_array(
+        np.array([kind, sender, target, rtag], dtype=np.int64))
+
+
+def decode_ping(buf: ArrayBuffer) -> Tuple[int, int, int, int]:
+    kind, sender, target, rtag = buf.bytes_view.view(np.int64)[:4]
+    return int(kind), int(sender), int(target), int(rtag)
+
+
+PING_NBYTES = 32
+
+
+# -- ack / probe-reply payloads (2 x int64) -----------------------------
+def reply_payload(sender: int, alive: bool) -> ArrayBuffer:
+    return ArrayBuffer.from_array(
+        np.array([sender, 1 if alive else 0], dtype=np.int64))
+
+
+def decode_reply(buf: ArrayBuffer) -> Tuple[int, bool]:
+    sender, alive = buf.bytes_view.view(np.int64)[:2]
+    return int(sender), bool(alive)
+
+
+REPLY_NBYTES = 16
+
+
+# -- agreement REPORT: [seq, attempt, rnd, ok, flag, n, suspects...] ----
+def report_nbytes(max_suspects: int) -> int:
+    return 8 * (6 + max_suspects)
+
+
+def report_payload(seq: int, attempt: int, rnd: int, ok: bool, flag: bool,
+                   suspects: Sequence[int], max_suspects: int) -> ArrayBuffer:
+    sus = list(suspects)[:max_suspects]
+    arr = np.zeros(6 + max_suspects, dtype=np.int64)
+    arr[:6] = [seq, attempt, rnd, 1 if ok else 0, 1 if flag else 0, len(sus)]
+    arr[6:6 + len(sus)] = sus
+    return ArrayBuffer.from_array(arr)
+
+
+def decode_report(buf: ArrayBuffer) -> Tuple[int, int, int, bool, bool, List[int]]:
+    arr = buf.bytes_view.view(np.int64)
+    seq, attempt, rnd, ok, flag, n = (int(v) for v in arr[:6])
+    return seq, attempt, rnd, bool(ok), bool(flag), [int(v) for v in arr[6:6 + n]]
+
+
+# -- agreement DECIDE: [seq, attempt, rnd, commit, flag] + bitmap -------
+def decision_nbytes(world_size: int) -> int:
+    words = (world_size + 63) // 64
+    return 8 * (5 + words)
+
+
+def decision_payload(seq: int, attempt: int, rnd: int, commit: bool,
+                     flag: bool, members: Sequence[int],
+                     world_size: int) -> ArrayBuffer:
+    words = (world_size + 63) // 64
+    arr = np.zeros(5 + words, dtype=np.uint64)
+    arr[:5] = [seq, attempt, rnd, 1 if commit else 0, 1 if flag else 0]
+    for m in members:
+        arr[5 + (m >> 6)] |= np.uint64(1 << (m & 63))
+    return ArrayBuffer.from_array(arr)
+
+
+def decode_decision(buf: ArrayBuffer, world_size: int):
+    arr = buf.bytes_view.view(np.uint64)
+    seq, attempt, rnd, commit, flag = (int(v) for v in arr[:5])
+    members = [m for m in range(world_size)
+               if int(arr[5 + (m >> 6)]) >> (m & 63) & 1]
+    return seq, attempt, rnd, bool(commit), bool(flag), members

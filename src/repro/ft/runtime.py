@@ -1,0 +1,348 @@
+"""The fault-tolerant collective engine: detect → agree → shrink → retry.
+
+One :class:`FTRuntime` per armed world.  Every top-level collective
+routes through :meth:`run_collective`, which wraps the library's
+normal algorithm in a supervised *attempt*:
+
+1. Run the collective as a child process under a per-attempt deadline
+   (``attempt_deadline``, exponential backoff per retry).
+2. On deadline or a transport give-up, interrupt the attempt, purge
+   the data plane, and SWIM-probe the peers this rank was actually
+   blocked on (costed detection — real pings, real timeouts).
+3. **Always** finish the attempt with an agreement (even a locally
+   clean one): the coordinator's gather-with-deadline is the backstop
+   detector that catches a corpse nobody happened to be blocked on —
+   it is also exactly how ``shrink()`` works, so failed-rank discovery
+   needs no extra machinery at scale.
+4. Apply the decision everywhere: commit → done; retry → restore the
+   snapshot and re-issue on a fresh *epoch* communicator over the
+   agreed survivors, via the library's degraded flat algorithms.
+
+Degradation is *sticky* by design: after any recovery the full
+hierarchical/PiP path is never reused in this world, because an
+interrupted attempt can leave node-barrier generation counts and
+shared-memory staging in a state only total order could repair — the
+flat point-to-point algorithms assume nothing and are safe.  (A PiP
+crash also takes out a whole node's worth of objects: with a
+node-scoped library, suspicion of one rank condemns its node-mates —
+``expand_crash_scope`` — matching the process-in-process failure
+unit.)
+
+Ranks agreed out of the membership but still alive (node-scope
+expansion) receive the decision, record themselves in ``excluded``,
+and freeze on a never-firing event — the simulated analogue of
+``exit()`` — so the blocked-rank report can tell them apart from
+bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.communicator import Communicator
+from ..sim import Interrupt
+from . import heal, proto
+from .agreement import Agreement, Decision
+from .detector import Detector
+from .errors import FtError
+from .params import FtParams
+
+#: spec keys that hold buffer views (snapshot/restore targets)
+_VIEW_KEYS = ("view", "send", "recv")
+
+
+def _snapshot_spec(spec: dict) -> Dict[str, object]:
+    """Copy-out of every buffer view in ``spec`` (None in timing mode)."""
+    return {k: spec[k].read() for k in _VIEW_KEYS
+            if spec.get(k) is not None}
+
+
+def _restore_spec(spec: dict, snap: Dict[str, object]) -> None:
+    for k, data in snap.items():
+        spec[k].write(data)
+
+
+def _is_data_plane(env) -> bool:
+    return env.comm_id not in (proto.PING_COMM_ID, proto.CTRL_COMM_ID)
+
+
+class FTRuntime:
+    """Per-world fault-tolerance state shared by all rank contexts."""
+
+    def __init__(self, world, params: Optional[FtParams] = None) -> None:
+        self.world = world
+        self.params = params or FtParams()
+        self.params.validate()
+        #: dormant unless a fault injector is bound — a dormant layer
+        #: adds zero events, so ``ft=True`` without faults is
+        #: bit-identical to ``ft=False``
+        self.armed = world.faults is not None
+        self.world_size = world.cluster.world_size
+        ranks = tuple(range(self.world_size))
+        self.ping_comm = Communicator(proto.PING_COMM_ID, ranks, "ft-ping")
+        self.ctrl_comm = Communicator(proto.CTRL_COMM_ID, ranks, "ft-ctrl")
+        world.comms_by_id[proto.PING_COMM_ID] = self.ping_comm
+        world.comms_by_id[proto.CTRL_COMM_ID] = self.ctrl_comm
+        self.detector = Detector(self)
+        self.agreement = Agreement(self)
+        #: per-rank collective sequence numbers (identical call order
+        #: on every rank, so they agree without communication)
+        self._seq = [0] * self.world_size
+        #: per-rank membership views, updated only by agreed decisions
+        self.views: List[List[int]] = \
+            [list(ranks) for _ in range(self.world_size)]
+        #: per-rank: this comm has been revoked (clears on next commit)
+        self.revoked = [False] * self.world_size
+        #: per-rank sticky degradation (see module doc)
+        self.degraded = [False] * self.world_size
+        #: alive ranks agreed out of the membership, frozen by design
+        self.excluded = set()
+        #: committed-recovery timelines (what R2 reports)
+        self.recoveries: List[dict] = []
+        #: structured transport give-ups observed (satellite: surfaced
+        #: in recovery spans instead of aborting the simulator)
+        self.delivery_errors: List[object] = []
+        self._epoch_comms: Dict[Tuple[int, int], Communicator] = {}
+        self._started = False
+        self.lib = None
+        if self.armed and hasattr(world.network, "on_give_up"):
+            world.network.on_give_up = self._on_give_up
+
+    # -- plumbing ----------------------------------------------------------
+    def _on_give_up(self, err) -> None:
+        self.delivery_errors.append(err)
+        if self.world.faults is not None:
+            self.world.faults.note(
+                "give_up", err.src, err.dst, err.nbytes or 0,
+                attempt=err.attempts or 0,
+                note="flow abandoned; recovery will re-issue")
+
+    def _ensure_started(self) -> None:
+        """Spawn every rank's responder once, at the first FT entry.
+
+        Spawning for already-crashed ranks is correct: their responder
+        freezes at its first receive's crash gate and never acks.
+        """
+        if self._started:
+            return
+        self._started = True
+        for c in self.world.contexts:
+            self.detector.spawn_responder(c)
+
+    def expand_crash_scope(self, suspected, members) -> set:
+        """Widen suspicion to the library's failure unit.
+
+        PiP-based libraries host many ranks as objects of one process:
+        one crash takes the whole node down, so suspecting a rank
+        condemns its node-mates too.
+        """
+        if getattr(self.lib, "ft_crash_scope", "rank") != "node":
+            return set(suspected)
+        cluster = self.world.cluster
+        out = set()
+        for s in suspected:
+            out.update(cluster.ranks_on_node(cluster.node_of(s)))
+        return out & set(members)
+
+    def epoch_comm(self, seq: int, attempt: int, members) -> Communicator:
+        """The (interned) communicator of re-issue ``(seq, attempt)``.
+
+        Its id is computed locally — every survivor arrives at the
+        same communicator without any extra agreement traffic, because
+        views only ever change by applying identical decisions.
+        """
+        key = (seq, attempt)
+        comm = self._epoch_comms.get(key)
+        if comm is None:
+            comm = Communicator(proto.epoch_comm_id(seq, attempt),
+                                tuple(members), f"ft-epoch{seq}.{attempt}")
+            self._epoch_comms[key] = comm
+            self.world.comms_by_id[comm.comm_id] = comm
+        return comm
+
+    def _blocked_peers(self, ctx) -> set:
+        """World ranks this rank's posted data-plane receives name."""
+        peers = set()
+        for comm_id, src, tag in ctx.matching.pending_details():
+            if comm_id in (proto.PING_COMM_ID, proto.CTRL_COMM_ID):
+                continue
+            if src < 0:
+                continue
+            comm = self.world.comms_by_id.get(comm_id)
+            if comm is not None and 0 <= src < comm.size:
+                peers.add(comm.to_world(src))
+        return peers
+
+    # -- the supervised collective ----------------------------------------
+    def run_collective(self, ctx, lib, name: str, nbytes: int, spec: dict,
+                       comm):
+        """Run one collective fault-tolerantly (generator)."""
+        self.lib = lib
+        self._ensure_started()
+        rank = ctx.rank
+        params = self.params
+        if rank in self.excluded:
+            yield ctx.sim.event()  # frozen by an earlier decision
+        seq = self._seq[rank]
+        self._seq[rank] += 1
+        snap = _snapshot_spec(spec)
+        t_start = ctx.now
+        t_anomaly = t_decision = None
+        all_suspected = set()
+        last_err = None
+        for attempt in range(params.max_attempts):
+            members = list(self.views[rank])
+            full = (attempt == 0 and len(members) == self.world_size
+                    and not self.degraded[rank] and not self.revoked[rank])
+            if full:
+                algo = lib.wrapped(name, nbytes, self.world_size)
+                gen = heal.invoke(ctx, algo, name, spec, comm)
+            else:
+                ecomm = self.epoch_comm(seq, attempt, members)
+                gen = heal.healed(ctx, lib, name, nbytes, spec, ecomm,
+                                  members, comm)
+            err_mark = len(self.delivery_errors)
+            proc = ctx.sim.process(gen, name=f"ft:{name}@{rank}#{attempt}")
+            deadline = ctx.sim.timeout(params.attempt_deadline(attempt))
+            yield ctx.sim.any_of([proc, deadline])
+            new_errs = [e for e in self.delivery_errors[err_mark:]
+                        if e.src == rank]
+            ok = proc.triggered and not new_errs
+            # Decisions reach ranks at staggered times: a fast peer may
+            # already be sending on the *next* epoch comm (or the next
+            # collective) while this rank is still cleaning up — purging
+            # those messages would deadlock the healed attempt, so every
+            # purge spares comm ids at or beyond the next epoch.
+            horizon = proto.epoch_comm_id(seq, attempt + 1)
+            stale = (lambda env: _is_data_plane(env)
+                     and env.comm_id < horizon)
+            suspects: List[int] = []
+            if ok:
+                decision = yield from self.agreement.agree(
+                    ctx, seq, attempt, True, True, [])
+            else:
+                if new_errs:
+                    last_err = new_errs[-1]
+                if t_anomaly is None:
+                    t_anomaly = ctx.now
+                attrs = {"collective": name, "seq": seq, "attempt": attempt}
+                if last_err is not None:
+                    attrs.update({f"delivery_{k}": v
+                                  for k, v in last_err.context().items()
+                                  if v is not None})
+                with ctx.span("recovery", cat="recovery", **attrs):
+                    targets = self._blocked_peers(ctx)
+                    targets |= {e.dst for e in new_errs if e.dst is not None}
+                    targets.discard(rank)
+                    targets &= set(members)
+                    if not proc.triggered:
+                        proc.interrupt()
+                        try:
+                            yield proc  # surface real bugs, not Interrupts
+                        except Interrupt:
+                            pass
+                    ctx.matching.purge(stale)
+                    with ctx.span("detect", cat="detect", collective=name,
+                                  attempt=attempt):
+                        suspects = yield from self.detector.probe(
+                            ctx, sorted(targets), seq, attempt)
+                    decision = yield from self.agreement.agree(
+                        ctx, seq, attempt, False, True, suspects)
+            if t_decision is None and (not decision.commit
+                                       or decision.rnd > 0 or not ok):
+                t_decision = ctx.now
+            all_suspected.update(m for m in members
+                                 if m not in decision.members)
+            self.views[rank] = list(decision.members)
+            if rank not in decision.members:
+                self.excluded.add(rank)
+                yield ctx.sim.event()  # agreed out: freeze, by design
+            if decision.commit:
+                self.revoked[rank] = False
+                if attempt > 0 or t_anomaly is not None:
+                    self.recoveries.append({
+                        "rank": rank, "seq": seq, "collective": name,
+                        "attempts": attempt + 1,
+                        "t_start": t_start, "t_anomaly": t_anomaly,
+                        "t_decision": t_decision, "t_committed": ctx.now,
+                        "suspects": sorted(all_suspected),
+                        "members_after": list(decision.members),
+                        "delivery_error": (last_err.context()
+                                           if last_err is not None else None),
+                    })
+                return
+            # Retry: sticky degradation, fresh epoch, pristine buffers.
+            self.degraded[rank] = True
+            self.revoked[rank] = False
+            ctx.matching.purge(stale)
+            _restore_spec(spec, snap)
+        raise FtError(
+            f"rank {rank}: collective #{seq} ({name}) still failing after "
+            f"{params.max_attempts} attempts", last_delivery_error=last_err)
+
+    # -- user-facing comm operations (ULFM analogues) ----------------------
+    def agree(self, ctx, flag: bool = True):
+        """Crash-tolerant agreement on ``flag`` (generator): the AND of
+        every surviving participant's flag, with failed ranks agreed
+        out of the membership along the way (MPI_Comm_agree)."""
+        if not self.armed:
+            return bool(flag)
+        self._ensure_started()
+        rank = ctx.rank
+        if rank in self.excluded:
+            yield ctx.sim.event()
+        seq = self._seq[rank]
+        self._seq[rank] += 1
+        decision = yield from self.agreement.agree(
+            ctx, seq, 0, True, bool(flag), [])
+        self.views[rank] = list(decision.members)
+        if rank not in decision.members:
+            self.excluded.add(rank)
+            yield ctx.sim.event()
+        if not decision.commit:
+            self.degraded[rank] = True
+        self.revoked[rank] = False
+        return decision.flag
+
+    def shrink(self, ctx):
+        """Agree on the surviving membership (generator; returns the
+        world-rank list).  Exactly one agreement: the coordinator's
+        gather deadline *is* the failed-rank discovery
+        (MPI_Comm_shrink)."""
+        if not self.armed:
+            return list(range(self.world_size))
+        flag = yield from self.agree(ctx, True)  # noqa: F841
+        return list(self.views[ctx.rank])
+
+    def revoke(self, ctx):
+        """Notify every peer's responder that the communicator is
+        revoked (generator; MPI_Comm_revoke).  Forces the next
+        collective off the full-membership fast path and through an
+        agreement, after which the revocation clears."""
+        if not self.armed:
+            return
+        self._ensure_started()
+        rank = ctx.rank
+        self.revoked[rank] = True
+        payload = proto.ping_payload(proto.REVOKE, rank, -1, 0)
+        for member in self.views[rank]:
+            if member != rank:
+                yield from ctx.send(payload.view(), dst=member, tag=0,
+                                    comm=self.ping_comm)
+
+    # -- shutdown ----------------------------------------------------------
+    def rank_shutdown(self, ctx):
+        """Per-rank teardown after the application body (generator):
+        drain stragglers, retire the responder, drop leftover posted
+        receives so quiescence checks stay meaningful."""
+        if not self.armed:
+            return
+        rank = ctx.rank
+        if rank in self.excluded:
+            return
+        faults = self.world.faults
+        if faults is not None and faults.is_crashed(rank, ctx.now):
+            return
+        yield ctx.sim.timeout(self.params.drain)
+        self.detector.stop_responder(ctx)
+        ctx.matching.purge(lambda env: True)

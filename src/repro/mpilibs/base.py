@@ -56,6 +56,27 @@ class MpiLibrary:
 
     profile: LibraryProfile
 
+    #: failure unit of the library's runtime: ``"rank"`` — one process
+    #: per rank dies alone; ``"node"`` — ranks are objects inside one
+    #: process-in-process address space, so a crash takes out the whole
+    #: node's worth of them (the fault-tolerance layer widens agreed
+    #: exclusions accordingly)
+    ft_crash_scope = "rank"
+
+    def degraded_algorithm(self, collective: str, nbytes: int,
+                           size: int) -> Callable:
+        """The algorithm a *recovered* (shrunken/degraded) communicator
+        runs: flat, geometry-agnostic point-to-point.
+
+        After a failure the node-structured fast paths are off the
+        table — a survivor set has holes in its node geometry, and an
+        interrupted attempt may have poisoned node-barrier and
+        shared-staging state that only the flat algorithms are immune
+        to.  Same selection the library uses for arbitrary split
+        communicators.
+        """
+        return flat_algorithm(collective, nbytes, size)
+
     def make_world(self, params: MachineParams, functional: bool = True,
                    **world_kwargs) -> World:
         """A fresh world wired with this library's transport.

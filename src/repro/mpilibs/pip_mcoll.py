@@ -45,6 +45,10 @@ class PipMColl(MpiLibrary):
         description="multi-object collectives over PiP address-space sharing",
     )
 
+    #: all of a node's ranks live in one PiP address space — one crash
+    #: kills the whole node's worth of rank objects
+    ft_crash_scope = "node"
+
     def _pick_bcast(self, nbytes, size):
         return mcoll_bcast if nbytes <= BCAST_LARGE else bcast_ring_pipeline
 

@@ -22,3 +22,6 @@ class PipMpich(Mpich):
         call_overhead=1.5e-7,
         description="MPICH decision table over PiP with per-message size sync",
     )
+
+    #: PiP address-space sharing: a crash takes the whole node down
+    ft_crash_scope = "node"

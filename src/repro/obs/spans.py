@@ -175,6 +175,32 @@ class SpanRecorder:
             m.observe("sync_wait_seconds", span.duration, kind=span.name)
         elif span.cat == "collective":
             m.inc("collectives_total", collective=span.name)
+        elif span.cat == "recovery":
+            m.inc("recoveries_total", collective=span.attrs.get("collective", "?"))
+            m.observe("recovery_seconds", span.duration,
+                      collective=span.attrs.get("collective", "?"))
+        elif span.cat == "detect":
+            m.observe("detection_seconds", span.duration)
+
+    def current_context(self, rank: int):
+        """(collective name, round idx) of ``rank``'s innermost open
+        collective/round spans, or ``(None, None)`` outside one.
+
+        The reliable transport uses this to stamp a
+        :class:`~repro.runtime.errors.DeliveryFailedError` with the
+        collective call the dead flow belonged to.
+        """
+        collective = rnd = None
+        for sid in reversed(self._stacks.get(rank, ())):
+            span = self._open.get(sid)
+            if span is None:
+                continue
+            if rnd is None and span.cat == "round":
+                rnd = span.attrs.get("idx")
+            if span.cat == "collective":
+                collective = span.name
+                break
+        return collective, rnd
 
     # -- lifecycle -------------------------------------------------------
     def reset(self) -> None:

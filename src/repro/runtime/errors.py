@@ -45,10 +45,35 @@ class DeliveryFailedError(MpiError):
 
     ``src`` / ``dst`` name the world ranks of the failed flow so the
     diagnosis points at the lossy path instead of a generic deadlock.
+    The remaining fields carry the full flow context: payload size,
+    MPI tag, how many transmissions were attempted, the simulated
+    seconds burned in RTO backoff before giving up, and — when a span
+    recorder was attached — which collective call and round the flow
+    belonged to.  ``repro.ft`` surfaces all of it in the recovery span
+    instead of letting the error escape.
     """
 
     def __init__(self, message: str, src: "int | None" = None,
-                 dst: "int | None" = None) -> None:
+                 dst: "int | None" = None, nbytes: "int | None" = None,
+                 tag: "int | None" = None, attempts: "int | None" = None,
+                 elapsed_s: "float | None" = None,
+                 collective: "str | None" = None,
+                 round: "int | None" = None) -> None:
         super().__init__(message)
         self.src = src
         self.dst = dst
+        self.nbytes = nbytes
+        self.tag = tag
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.collective = collective
+        self.round = round
+
+    def context(self) -> dict:
+        """The structured flow context as a flat dict (span attrs)."""
+        return {
+            "src": self.src, "dst": self.dst, "nbytes": self.nbytes,
+            "tag": self.tag, "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s, "collective": self.collective,
+            "round": self.round,
+        }

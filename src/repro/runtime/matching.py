@@ -174,3 +174,52 @@ class MatchingEngine:
         posted += self._posted_wild
         posted.sort(key=lambda p: p[0])
         return [(p[1].src, p[1].tag) for p in posted]
+
+    def pending_details(self) -> List[Tuple[int, int, int]]:
+        """(comm_id, src, tag) of every posted, unmatched receive, in
+        post order — like :meth:`pending_patterns` but keeping the
+        communicator, so callers can resolve comm ranks back to world
+        ranks (the failure detector's probe targeting and the
+        transitive wait-for graph both need that)."""
+        posted: List[PostedRecv] = [
+            p for q in self._posted_exact.values() for p in q
+        ]
+        posted += self._posted_wild
+        posted.sort(key=lambda p: p[0])
+        return [(p[1].comm_id, p[1].src, p[1].tag) for p in posted]
+
+    # -- recovery ---------------------------------------------------------
+    def purge(self, predicate) -> int:
+        """Drop posted receives and unexpected messages whose envelope
+        satisfies ``predicate`` (called with the :class:`Envelope`).
+
+        The fault-tolerance layer uses this to retire the traffic of an
+        abandoned collective attempt: posted receives that will never
+        match (their sender died) and unexpected messages from a stale
+        epoch.  Purged receives' events are simply abandoned — any
+        process waiting on them must have been interrupted first.
+        Returns how many entries were removed.
+        """
+        removed = 0
+        for key in list(self._posted_exact):
+            queue = self._posted_exact[key]
+            kept = deque(e for e in queue if not predicate(e[1]))
+            removed += len(queue) - len(kept)
+            if kept:
+                self._posted_exact[key] = kept
+            else:
+                del self._posted_exact[key]
+        kept_wild = [e for e in self._posted_wild if not predicate(e[1])]
+        removed += len(self._posted_wild) - len(kept_wild)
+        self._posted_wild[:] = kept_wild
+        for key in list(self._unexpected_exact):
+            queue = self._unexpected_exact[key]
+            kept = deque(e for e in queue if not predicate(e[1].envelope))
+            dropped = len(queue) - len(kept)
+            removed += dropped
+            self._unexpected_count -= dropped
+            if kept:
+                self._unexpected_exact[key] = kept
+            else:
+                del self._unexpected_exact[key]
+        return removed

@@ -82,6 +82,13 @@ class World:
         this does *not* disarm the fast path — the hooks sit in the
         pipe reservation funnel shared by both engine paths, so the
         recorded telemetry is identical either way.
+    ft:
+        Attach the ULFM-style fault-tolerance layer
+        (:class:`~repro.ft.FTRuntime`): ``True`` with default
+        :class:`~repro.ft.FtParams`, or an ``FtParams`` instance.  The
+        layer *arms* only when a fault injector is also bound — with
+        ``faults=None`` every collective takes the plain path and the
+        run is bit- and timestamp-identical to ``ft=False``.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class World:
         fastpath: Optional[bool] = None,
         queue: str = "calendar",
         resources: bool = False,
+        ft: Union[bool, Any] = False,
     ) -> None:
         self.params = params
         self.sim = Simulator(tracer=tracer, queue=queue)
@@ -169,6 +177,13 @@ class World:
         )
         self._interned_comms: dict = {}
         self._next_comm_id = 2 + self.cluster.nodes
+        #: comm_id → Communicator for every communicator this world
+        #: knows about (built-ins, interned splits, FT control comms):
+        #: how pending-receive patterns resolve back to world ranks.
+        self.comms_by_id: dict = {self.comm_world.comm_id: self.comm_world}
+        for comm in self.node_comms:
+            self.comms_by_id[comm.comm_id] = comm
+        self.comms_by_id[self.leader_comm.comm_id] = self.leader_comm
         #: macro-event fast path armed?  Anything that must observe the
         #: full per-message choreography (tracer, faults, obs) clears it.
         self._fast = (
@@ -185,6 +200,14 @@ class World:
             self.attach_resources()
         if obs is not None:
             self.attach_obs(obs)
+        #: bound FTRuntime, or None (the default, zero-overhead)
+        self.ft = None
+        if ft:
+            from ..ft import FtParams
+            from ..ft.runtime import FTRuntime
+
+            fparams = FtParams() if ft is True else ft
+            self.ft = FTRuntime(self, fparams)
 
     def attach_obs(self, recorder) -> None:
         """Bind a :class:`~repro.obs.SpanRecorder` to this world.
@@ -233,6 +256,7 @@ class World:
             comm = Communicator(self._next_comm_id, key, f"split{self._next_comm_id}")
             self._next_comm_id += 1
             self._interned_comms[key] = comm
+            self.comms_by_id[comm.comm_id] = comm
         return comm
 
     # -- allocation ---------------------------------------------------------
@@ -325,8 +349,13 @@ class World:
 
         Combines the matching engines' pending receive patterns, each
         context's last point-to-point operation, and (with faults
-        bound) crash knowledge into one readable report.
+        bound) crash knowledge into one readable report.  Ranks blocked
+        on a crashed peer only *transitively* (waiting on a live rank
+        that is itself waiting on the corpse) get the root cause named
+        too — the line a hang report is actually read for.
         """
+        causes = self._root_causes() if self.faults is not None else {}
+        excluded = self.ft.excluded if self.ft is not None else ()
         lines = []
         for rank in list(ranks)[:max_lines]:
             engine = self.matching[rank]
@@ -335,6 +364,17 @@ class World:
                 lines.append(f"  rank {rank}: crashed (fail-stop at "
                              f"t={self.faults.crash_time(rank):g}s)")
                 continue
+            if rank in excluded:
+                lines.append(f"  rank {rank}: excluded by the "
+                             "fault-tolerance layer (agreed out of the "
+                             "membership; frozen by design)")
+                continue
+            cause = causes.get(rank)
+            suffix = ""
+            if cause is not None:
+                suffix = (f" [root cause: rank {cause} crashed "
+                          f"(fail-stop at "
+                          f"t={self.faults.crash_time(cause):g}s)]")
             pending = engine.pending_patterns()
             if pending:
                 shown = ", ".join(
@@ -343,21 +383,81 @@ class World:
                     for src, tag in pending[:4]
                 )
                 more = f" (+{len(pending) - 4} more)" if len(pending) > 4 else ""
-                lines.append(f"  rank {rank}: blocked on {shown}{more}")
+                lines.append(f"  rank {rank}: blocked on {shown}{more}{suffix}")
             elif ctx.last_op is not None:
                 op, peer, tag = ctx.last_op
                 lines.append(f"  rank {rank}: last op was "
                              f"{op}(peer={peer}, tag={tag}) — "
-                             "waiting on its completion")
+                             f"waiting on its completion{suffix}")
             else:
                 lines.append(f"  rank {rank}: no pending receives — "
-                             "blocked in a barrier/flag wait")
+                             f"blocked in a barrier/flag wait{suffix}")
             if engine.unexpected_messages:
                 lines.append(f"           ({engine.unexpected_messages} "
                              "unexpected messages queued but unmatched)")
         if len(ranks) > max_lines:
             lines.append(f"  ... +{len(ranks) - max_lines} more ranks")
         return "\n".join(lines)
+
+    def _waits_on(self, rank: int) -> set:
+        """World ranks ``rank`` is currently waiting to hear from.
+
+        Derived from the matching engine's pending receive patterns
+        (comm ranks resolved through :attr:`comms_by_id`) plus the
+        context's last dispatched op when nothing is posted (a send
+        whose completion never came).  Wildcard sources contribute
+        nothing — they cannot name a peer.
+        """
+        peers = set()
+        pending = self.matching[rank].pending_details()
+        for comm_id, src, _tag in pending:
+            if src == -1:
+                continue
+            comm = self.comms_by_id.get(comm_id)
+            if comm is not None:
+                peers.add(comm.to_world(src))
+        if not pending:
+            last = self.contexts[rank].last_op
+            if last is not None and last[1] is not None and last[1] >= 0:
+                peers.add(last[1])
+        return peers
+
+    def _root_causes(self) -> dict:
+        """rank → crashed rank it is (transitively) blocked on.
+
+        BFS over the wait-for graph from each stuck rank; the first
+        crashed rank reached (lowest rank number on ties) is the root
+        cause.  Only meaningful with a fault injector bound.
+        """
+        now = self.sim.now
+        faults = self.faults
+        crashed = {r for r in range(self.cluster.world_size)
+                   if faults.is_crashed(r, now)}
+        if not crashed:
+            return {}
+        causes = {}
+        for rank in range(self.cluster.world_size):
+            if rank in crashed:
+                continue
+            seen = {rank}
+            frontier = [rank]
+            found = None
+            while frontier and found is None:
+                nxt = []
+                for r in frontier:
+                    for peer in sorted(self._waits_on(r)):
+                        if peer in crashed:
+                            found = peer
+                            break
+                        if peer not in seen:
+                            seen.add(peer)
+                            nxt.append(peer)
+                    if found is not None:
+                        break
+                frontier = nxt
+            if found is not None:
+                causes[rank] = found
+        return causes
 
     # -- diagnostics -------------------------------------------------------------
     def stats(self) -> dict:
@@ -392,8 +492,19 @@ class World:
         """Raise if any matching engine still holds messages/receives.
 
         Called by tests after collectives to prove no message leaks.
+        Ranks that fail-stopped (their engines keep their last posted
+        receives forever) and ranks the fault-tolerance layer agreed
+        out of the membership are exempt — nothing will ever run on
+        them again, so their leftover state is not a leak.
         """
+        excluded = set(self.ft.excluded) if self.ft is not None else set()
+        if self.faults is not None:
+            now = self.sim.now
+            excluded |= {r for r in range(self.cluster.world_size)
+                         if self.faults.is_crashed(r, now)}
         for rank, engine in enumerate(self.matching):
+            if rank in excluded:
+                continue
             if engine.unexpected_messages:
                 raise AssertionError(
                     f"rank {rank}: {engine.unexpected_messages} unexpected "

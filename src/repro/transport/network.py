@@ -181,6 +181,12 @@ class ReliableNetworkTransport(NetworkTransport):
         self.acks = 0
         #: per-(src, dst) tail of the in-order delivery chain
         self._flow_tail = {}
+        #: give-up hook: called with the structured DeliveryFailedError
+        #: instead of raising it.  The fault-tolerance layer sets this
+        #: so an exhausted flow becomes a recovery trigger (the message
+        #: is abandoned, the flow chain is released) rather than a
+        #: simulator abort no rank can catch.
+        self.on_give_up = None
 
     def rto(self, nic, wire_t: float, attempt: int) -> float:
         """Retransmission timeout for the ``attempt``-th transmission."""
@@ -211,6 +217,7 @@ class ReliableNetworkTransport(NetworkTransport):
         src_f = injector.rate_factor(src_node.node_id) if injector else 1.0
         dst_f = injector.rate_factor(dst_node.node_id) if injector else 1.0
         wire_t = nic.wire_time(desc.nbytes)
+        t_first = sim.now
         attempt = 0
         while True:
             attempt += 1
@@ -241,13 +248,27 @@ class ReliableNetworkTransport(NetworkTransport):
             if attempt > self.max_retries:
                 from ..runtime.errors import DeliveryFailedError
 
-                raise DeliveryFailedError(
+                collective = rnd = None
+                if self.obs is not None:
+                    collective, rnd = self.obs.current_context(desc.src)
+                err = DeliveryFailedError(
                     f"delivery failed: rank {desc.src} -> rank {desc.dst} "
                     f"({desc.nbytes} B, tag={desc.meta.get('tag')}) gave up "
                     f"after {attempt} transmissions "
                     f"({self.max_retries} retries)",
-                    src=desc.src, dst=desc.dst,
+                    src=desc.src, dst=desc.dst, nbytes=desc.nbytes,
+                    tag=desc.meta.get("tag"), attempts=attempt,
+                    elapsed_s=sim.now - t_first,
+                    collective=collective, round=rnd,
                 )
+                if self.on_give_up is not None:
+                    # Recovery mode: report the dead flow and release
+                    # the in-order chain so later messages of this
+                    # flow stay deliverable.
+                    self.on_give_up(err)
+                    arrival.succeed()
+                    return
+                raise err
             self.retransmits += 1
             if injector is not None:
                 injector.note("retransmit", desc.src, desc.dst, desc.nbytes,

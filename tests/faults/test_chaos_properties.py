@@ -1,0 +1,169 @@
+"""Property-based chaos for the reduction/vector families under the
+fault-tolerant runtime.
+
+Hypothesis draws message sizes, drop rates, delays and crash victims;
+``Reduce_scatter``, ``Scan``, ``Exscan`` and ``Alltoallv`` must:
+
+* stay byte-exact vs the full-membership oracle under drop/delay
+  (reliable delivery absorbs loss; FT supervision must not corrupt a
+  run that merely runs slow), and
+* under a crash, complete on the survivors with the survivor-set
+  oracle — no hangs, no escaped delivery errors.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.faults import FaultPlan
+from repro.machine import small_test
+
+PARAMS = small_test(nodes=2, ppn=2)
+N = 4  # world size
+
+CHAOS_SETTINGS = dict(
+    max_examples=6,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+DROP = st.floats(0.0, 0.15)
+DELAY = st.floats(0.0, 2e-4)
+SEED = st.integers(0, 2**16)
+COUNT = st.integers(1, 13)
+VICTIM = st.integers(1, N - 1)  # never rank 0 (rooted paths stay alive)
+
+
+def _lossy_session(drop, delay, seed):
+    plan = FaultPlan(seed=seed)
+    if drop:
+        plan = plan.drop(rate=drop)
+    if delay:
+        plan = plan.delay(delay, rate=0.3)
+    return Session(library="MPICH", params=PARAMS, trace=False, ft=True,
+                   faults=plan, reliable=True)
+
+
+def _crash_session(victim, seed):
+    # 0.5 µs: early enough that the victim can never have finished the
+    # collective *and* reported clean before freezing (a 4-rank run
+    # needs at least one inter-node round trip).
+    plan = FaultPlan(seed=seed).crash(victim, at_time=5e-7)
+    return Session(library="MPICH", params=PARAMS, trace=False, ft=True,
+                   faults=plan, reliable=True)
+
+
+# -- byte-exact under drop/delay ----------------------------------------
+
+@given(drop=DROP, delay=DELAY, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_reduce_scatter_byte_exact_under_loss(drop, delay, seed, count):
+    def app(comm):
+        send = np.array([float((comm.rank + 1) * (j + 1))
+                         for j in range(N) for _ in range(count)])
+        recv = np.zeros(count, dtype=np.float64)
+        yield from comm.Reduce_scatter(send, recv)
+        return recv
+
+    values = _lossy_session(drop, delay, seed).run(app).values
+    for r, got in enumerate(values):
+        expected = sum((s + 1) * (r + 1) for s in range(N))
+        assert np.all(got == expected)
+
+
+@given(drop=DROP, delay=DELAY, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_scan_exscan_byte_exact_under_loss(drop, delay, seed, count):
+    def app(comm):
+        send = np.full(count, float(comm.rank + 1), dtype=np.float64)
+        inc = np.zeros(count, dtype=np.float64)
+        exc = np.zeros(count, dtype=np.float64)
+        yield from comm.Scan(send, inc)
+        yield from comm.Exscan(send, exc)
+        return inc, exc
+
+    values = _lossy_session(drop, delay, seed).run(app).values
+    for r, (inc, exc) in enumerate(values):
+        assert np.all(inc == sum(s + 1 for s in range(r + 1)))
+        assert np.all(exc == sum(s + 1 for s in range(r)))
+
+
+@given(drop=DROP, delay=DELAY, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_alltoallv_byte_exact_under_loss(drop, delay, seed, count):
+    def app(comm):
+        send = np.array([float((comm.rank + 1) * 10 + j)
+                         for j in range(N) for _ in range(count)])
+        recv = np.zeros(count * N, dtype=np.float64)
+        yield from comm.Alltoallv(send, [count] * N, recv, [count] * N)
+        return recv
+
+    values = _lossy_session(drop, delay, seed).run(app).values
+    for r, got in enumerate(values):
+        blocks = got.reshape(N, count)
+        for s in range(N):
+            assert np.all(blocks[s] == (s + 1) * 10 + r)
+
+
+# -- survivor-correct under crash ---------------------------------------
+
+@given(victim=VICTIM, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_reduce_scatter_survivor_oracle_under_crash(victim, seed, count):
+    def app(comm):
+        send = np.array([float((comm.rank + 1) * (j + 1))
+                         for j in range(N) for _ in range(count)])
+        recv = np.zeros(count, dtype=np.float64)
+        yield from comm.Reduce_scatter(send, recv)
+        return recv
+
+    values = _crash_session(victim, seed).run(app).values
+    surv = [r for r in range(N) if r != victim]
+    assert values[victim] is None
+    for r in surv:
+        expected = sum((s + 1) * (r + 1) for s in surv)
+        assert np.all(values[r] == expected)
+
+
+@given(victim=VICTIM, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_scan_exscan_survivor_oracle_under_crash(victim, seed, count):
+    def app(comm):
+        send = np.full(count, float(comm.rank + 1), dtype=np.float64)
+        inc = np.zeros(count, dtype=np.float64)
+        exc = np.zeros(count, dtype=np.float64)
+        yield from comm.Scan(send, inc)
+        yield from comm.Exscan(send, exc)
+        return inc, exc
+
+    values = _crash_session(victim, seed).run(app).values
+    surv = [r for r in range(N) if r != victim]
+    assert values[victim] is None
+    for r in surv:
+        inc, exc = values[r]
+        assert np.all(inc == sum(s + 1 for s in surv if s <= r))
+        assert np.all(exc == sum(s + 1 for s in surv if s < r))
+
+
+@given(victim=VICTIM, seed=SEED, count=COUNT)
+@settings(**CHAOS_SETTINGS)
+def test_alltoallv_survivor_oracle_under_crash(victim, seed, count):
+    def app(comm):
+        send = np.array([float((comm.rank + 1) * 10 + j)
+                         for j in range(N) for _ in range(count)])
+        recv = np.zeros(count * N, dtype=np.float64)
+        yield from comm.Alltoallv(send, [count] * N, recv, [count] * N)
+        return recv
+
+    values = _crash_session(victim, seed).run(app).values
+    surv = [r for r in range(N) if r != victim]
+    assert values[victim] is None
+    for r in surv:
+        blocks = values[r].reshape(N, count)
+        for s in range(N):
+            if s == victim:
+                assert np.all(blocks[s] == 0.0)
+            else:
+                assert np.all(blocks[s] == (s + 1) * 10 + r)

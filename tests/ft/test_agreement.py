@@ -1,0 +1,125 @@
+"""Crash-tolerant agreement and the ULFM-style comm operations.
+
+``Agree`` is the AND of surviving flags, ``Shrink`` is one agreement
+whose gather deadline doubles as failed-rank discovery, and ``Revoke``
+pushes the next collective off the fast path.  Coordinator crashes are
+survived by rotation.
+"""
+
+import numpy as np
+
+from repro.api import Session
+from repro.faults import FaultPlan
+from repro.machine import small_test
+
+PARAMS = small_test(nodes=2, ppn=2)
+
+
+def _session(plan, library="MPICH"):
+    return Session(library=library, params=PARAMS, trace=False, ft=True,
+                   faults=plan, reliable=True)
+
+
+def test_agree_is_and_of_surviving_flags():
+    plan = FaultPlan(seed=2).crash(3, at_time=0.0)
+
+    def app(comm):
+        flag = yield from comm.Agree(comm.rank != 1)  # rank 1 votes False
+        return flag
+
+    result = _session(plan).run(app)
+    assert [result.values[r] for r in range(3)] == [False, False, False]
+    assert result.values[3] is None  # crashed before voting
+
+
+def test_agree_true_when_all_survivors_vote_true():
+    plan = FaultPlan(seed=2).crash(2, at_time=0.0)
+
+    def app(comm):
+        flag = yield from comm.Agree(True)
+        return flag
+
+    result = _session(plan).run(app)
+    assert [result.values[r] for r in (0, 1, 3)] == [True, True, True]
+
+
+def test_shrink_returns_identical_survivor_list_everywhere():
+    plan = FaultPlan(seed=2).crash(1, at_time=0.0)
+
+    def app(comm):
+        members = yield from comm.Shrink()
+        return members
+
+    result = _session(plan).run(app)
+    for r in (0, 2, 3):
+        assert result.values[r] == [0, 2, 3]
+    assert result.values[1] is None
+
+
+def test_shrink_survives_coordinator_crash():
+    """Rank 0 coordinates round 0; its crash forces a decide timeout
+    and re-election (rotation to the next member)."""
+    plan = FaultPlan(seed=2).crash(0, at_time=0.0)
+
+    def app(comm):
+        members = yield from comm.Shrink()
+        return members
+
+    result = _session(plan).run(app)
+    for r in (1, 2, 3):
+        assert result.values[r] == [1, 2, 3]
+
+
+def test_node_scope_shrink_condemns_node_mates():
+    """Under a PiP library one crash takes the whole node's ranks."""
+    plan = FaultPlan(seed=2).crash(3, at_time=0.0)
+
+    def app(comm):
+        # One collective routes the library through the FT runtime so
+        # the crash scope is known, then shrink.
+        send = np.ones(2, dtype=np.float64)
+        recv = np.empty_like(send)
+        yield from comm.Allreduce(send, recv)
+        members = yield from comm.Shrink()
+        return members
+
+    result = _session(plan, library="PiP-MColl").run(app)
+    # ppn=2: rank 3's crash condemns its node-mate rank 2 as well.
+    for r in (0, 1):
+        assert result.values[r] == [0, 1]
+    assert result.values[2] is None and result.values[3] is None
+
+
+def test_revoke_forces_reissue_then_clears():
+    plan = FaultPlan(seed=2).crash(3, at_time=1.0)  # never fires in-run
+
+    def app(comm):
+        if comm.rank == 1:
+            yield from comm.Revoke()
+        send = np.full(2, float(comm.rank + 1), dtype=np.float64)
+        recv = np.empty_like(send)
+        yield from comm.Allreduce(send, recv)
+        return recv[0]
+
+    result = _session(plan).run(app)
+    assert all(v == 10.0 for v in result.values)
+    ft = result.world.ft
+    # The revoker skipped the fast path; the revocation then cleared.
+    assert not any(ft.revoked)
+
+
+def test_agree_then_collective_shares_sequence_space():
+    plan = FaultPlan(seed=2).crash(2, at_time=0.0)
+
+    def app(comm):
+        flag = yield from comm.Agree(True)
+        send = np.full(2, float(comm.rank + 1), dtype=np.float64)
+        recv = np.empty_like(send)
+        yield from comm.Allreduce(send, recv)
+        return flag, recv[0]
+
+    result = _session(plan).run(app)
+    expected = float(1 + 2 + 4)  # survivors 0, 1, 3
+    for r in (0, 1, 3):
+        flag, value = result.values[r]
+        assert flag is True and value == expected

@@ -1,0 +1,71 @@
+"""`python -m repro ft` and the recovery_point/report helpers."""
+
+import pytest
+
+from repro.cli import main
+from repro.ft.bench import RecoveryPoint, recovery_point, recovery_report
+from repro.machine import small_test
+
+
+class TestRecoveryPoint:
+    def test_crash_point_records_triple(self):
+        p = recovery_point("MPICH", "allreduce", 64,
+                           small_test(nodes=2, ppn=2),
+                           crash_ranks=[3], crash_at=5e-7, rounds=3, seed=1)
+        assert p.completed and p.error is None
+        assert p.recoveries >= 1
+        assert p.detect_s is not None and p.detect_s > 0
+        assert p.recover_s is not None and p.recover_s >= p.detect_s
+        assert p.survivors == 3
+
+    def test_node_scope_loses_the_node(self):
+        p = recovery_point("PiP-MColl", "allreduce", 64,
+                           small_test(nodes=2, ppn=2),
+                           crash_ranks=[3], crash_at=5e-7, rounds=3, seed=1)
+        assert p.completed
+        assert p.survivors == 2  # rank 3's node-mate 2 is condemned too
+
+    def test_unknown_collective_degrades_to_a_verdict(self):
+        # The harness never raises out of a point: the app's ValueError
+        # becomes a FAILED verdict, mirroring chaos_point.
+        p = recovery_point("MPICH", "scan", 64, small_test(nodes=2, ppn=2),
+                           crash_ranks=[1], crash_at=5e-7, rounds=1)
+        assert not p.completed
+        assert p.error == "ValueError"
+        assert "FAILED (ValueError)" in recovery_report([p])
+
+    def test_report_table_shape(self):
+        p = recovery_point("MPICH", "bcast", 64, small_test(nodes=2, ppn=2),
+                           crash_ranks=[3], crash_at=5e-7, rounds=3, seed=1)
+        text = recovery_report([p])
+        assert "fault-tolerant recovery" in text
+        assert "MPICH" in text and "bcast" in text and "ok" in text
+
+    def test_report_handles_failures_and_empty(self):
+        bad = RecoveryPoint("X", "allreduce", 64, 2, 2, (1,), 1e-6,
+                            completed=False, error="FtError")
+        assert "FAILED (FtError)" in recovery_report([bad])
+        assert recovery_report([]) == "no recovery points"
+
+
+class TestCli:
+    def test_ft_subcommand_prints_report(self, capsys):
+        rc = main([
+            "ft", "--collective", "allreduce", "--size", "64",
+            "--nodes", "2", "--ppn", "2", "--crash-ranks", "3",
+            "--crash-at", "5e-7", "--rounds", "3",
+            "--libraries", "MPICH", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault-tolerant recovery" in out and "MPICH" in out
+
+    def test_crash_rank_out_of_range_rejected(self, capsys):
+        rc = main(["ft", "--nodes", "2", "--ppn", "2",
+                   "--crash-ranks", "9"])
+        assert rc == 2
+        assert "crash rank" in capsys.readouterr().err
+
+    def test_bad_crash_ranks_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ft", "--crash-ranks", "abc"])
