@@ -19,22 +19,19 @@ Run:  python examples/conjugate_gradient.py
 
 import numpy as np
 
-from repro.machine import broadwell_opa
-from repro.mpilibs import make_library
-from repro.runtime import ArrayBuffer
+from repro.api import Session
 from repro.runtime.cart import CartTopology
-from repro.runtime.datatypes import FLOAT64
-from repro.runtime.ops import SUM
 
 LOCAL_N = 8  # rows per rank
 MAX_ITERS = 200
 TOL = 1e-10
 
 
-def cg_solver(ctx, allreduce):
+def cg_solver(comm):
     """One rank of CG on the global tridiagonal system Ax = b."""
-    cart = CartTopology.create(ctx.comm_world, (ctx.size,), periods=(False,))
-    left, right = cart.shift(cart.comm.to_comm(ctx.rank), 0)
+    cart = CartTopology.create(comm.ctx.comm_world, (comm.size,),
+                               periods=(False,))
+    left, right = cart.shift(cart.comm.to_comm(comm.rank), 0)
 
     n = LOCAL_N
     # b = 1 everywhere; x0 = 0.
@@ -43,41 +40,41 @@ def cg_solver(ctx, allreduce):
     r = b.copy()
     p = r.copy()
 
-    halo = {"lo": ArrayBuffer.zeros(8), "hi": ArrayBuffer.zeros(8)}
-    send = {"lo": ArrayBuffer.zeros(8), "hi": ArrayBuffer.zeros(8)}
-    red_in = ArrayBuffer.zeros(8)
-    red_out = ArrayBuffer.zeros(8)
+    halo = {"lo": np.zeros(1), "hi": np.zeros(1)}
+    send = {"lo": np.zeros(1), "hi": np.zeros(1)}
+    red_in = np.zeros(1)
+    red_out = np.zeros(1)
 
     def global_dot(a, c):
-        red_in.typed(FLOAT64)[0] = float(a @ c)
-        yield from allreduce(ctx, red_in.view(), red_out.view(), FLOAT64, SUM)
-        return float(red_out.typed(FLOAT64)[0])
+        red_in[0] = float(a @ c)
+        yield from comm.Allreduce(red_in, red_out)
+        return float(red_out[0])
 
     def apply_A(v):
         """y = A v for the global tridiagonal [-1, 2, -1] operator."""
         lo = hi = 0.0
         # Exchange edge entries with ring neighbours.
         if left is not None:
-            send["lo"].typed(FLOAT64)[0] = v[0]
-            yield from ctx.sendrecv(send["lo"].view(), left, 10,
-                                    halo["lo"].view(), left, 11)
-            lo = float(halo["lo"].typed(FLOAT64)[0])
+            send["lo"][0] = v[0]
+            yield from comm.Sendrecv(send["lo"], left, 10,
+                                     halo["lo"], left, 11)
+            lo = float(halo["lo"][0])
         if right is not None:
-            send["hi"].typed(FLOAT64)[0] = v[-1]
-            yield from ctx.sendrecv(send["hi"].view(), right, 11,
-                                    halo["hi"].view(), right, 10)
-            hi = float(halo["hi"].typed(FLOAT64)[0])
+            send["hi"][0] = v[-1]
+            yield from comm.Sendrecv(send["hi"], right, 11,
+                                     halo["hi"], right, 10)
+            hi = float(halo["hi"][0])
         y = 2.0 * v
         y[1:] -= v[:-1]
         y[:-1] -= v[1:]
         y[0] -= lo
         y[-1] -= hi
-        yield from ctx.compute(5 * n / 2e9)  # the stencil FLOPs
+        yield from comm.ctx.compute(5 * n / 2e9)  # the stencil FLOPs
         return y
 
     rs_old = yield from global_dot(r, r)
     residuals = [rs_old]
-    start = ctx.now
+    start = comm.now
     for _ in range(MAX_ITERS):
         Ap = yield from apply_A(p)
         pAp = yield from global_dot(p, Ap)
@@ -90,15 +87,12 @@ def cg_solver(ctx, allreduce):
             break
         p = r + (rs_new / rs_old) * p
         rs_old = rs_new
-    return residuals, ctx.now - start, x
+    return residuals, comm.now - start, x
 
 
 def run(lib_name):
-    lib = make_library(lib_name)
-    params = broadwell_opa(nodes=8, ppn=4)
-    world = lib.make_world(params)
-    allreduce = lib.wrapped("allreduce", 8, params.world_size)
-    results = world.run(cg_solver, args=(allreduce,))
+    session = Session(library=lib_name, nodes=8, ppn=4, trace=False)
+    results = session.run(cg_solver)
     residuals = results[0][0]
     assert all(r[0] == residuals for r in results), "ranks diverged"
     elapsed = max(r[1] for r in results)

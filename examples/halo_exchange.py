@@ -16,11 +16,8 @@ Run:  python examples/halo_exchange.py
 
 import numpy as np
 
-from repro.machine import broadwell_opa
-from repro.mpilibs import make_library
-from repro.runtime import ArrayBuffer
+from repro.api import Session
 from repro.runtime.cart import CartTopology
-from repro.runtime.datatypes import FLOAT64
 from repro.runtime.ops import MAX
 
 MESH = (4, 4)  # process mesh (must equal nodes × ppn of the machine)
@@ -29,22 +26,22 @@ STEPS = 30
 CHECK_EVERY = 5
 
 
-def jacobi(ctx, lib_name, check_algo):
+def jacobi(comm):
     """One rank of the Jacobi solver; returns (residuals, elapsed)."""
-    cart = CartTopology.create(ctx.comm_world, MESH)
-    ry, rx = cart.coords(ctx.rank)
+    cart = CartTopology.create(comm.ctx.comm_world, MESH)
+    ry, rx = cart.coords(comm.rank)
 
     # Tile with a one-cell halo ring; hot left edge of the global grid.
     tile = np.zeros((LOCAL + 2, LOCAL + 2))
     if rx == 0:
         tile[:, 0] = 100.0
 
-    halo_send = {d: ArrayBuffer.zeros(LOCAL * 8) for d in "NSEW"}
-    halo_recv = {d: ArrayBuffer.zeros(LOCAL * 8) for d in "NSEW"}
-    red_in = ArrayBuffer.zeros(8)
-    red_out = ArrayBuffer.zeros(8)
-    north, south = cart.shift(ctx.rank, dim=0)
-    west, east = cart.shift(ctx.rank, dim=1)
+    halo_send = {d: np.zeros(LOCAL) for d in "NSEW"}
+    halo_recv = {d: np.zeros(LOCAL) for d in "NSEW"}
+    red_in = np.zeros(1)
+    red_out = np.zeros(1)
+    north, south = cart.shift(comm.rank, dim=0)
+    west, east = cart.shift(comm.rank, dim=1)
     neighbours = {"N": north, "S": south, "W": west, "E": east}
     edge = {
         "N": lambda t: t[1, 1:-1], "S": lambda t: t[-2, 1:-1],
@@ -59,21 +56,21 @@ def jacobi(ctx, lib_name, check_algo):
     opposite = {"N": "S", "S": "N", "E": "W", "W": "E"}
 
     residuals = []
-    start = ctx.now
+    start = comm.now
     for step in range(STEPS):
         # Halo exchange with the four neighbours (tagged by direction).
         for i, d in enumerate("NSEW"):
             nb = neighbours[d]
             if nb is None:
                 continue
-            halo_send[d].typed(FLOAT64)[:] = edge[d](tile)
-            yield from ctx.sendrecv(
-                halo_send[d].view(), nb, 100 + i,
-                halo_recv[d].view(), nb, 100 + "NSEW".index(opposite[d]),
+            halo_send[d][:] = edge[d](tile)
+            yield from comm.Sendrecv(
+                halo_send[d], nb, 100 + i,
+                halo_recv[d], nb, 100 + "NSEW".index(opposite[d]),
             )
-            ghost[d](tile, halo_recv[d].typed(FLOAT64))
+            ghost[d](tile, halo_recv[d])
         # Model the stencil FLOPs (5 per cell at ~2 GFLOP/s effective).
-        yield from ctx.compute(5 * LOCAL * LOCAL / 2e9)
+        yield from comm.ctx.compute(5 * LOCAL * LOCAL / 2e9)
         new_inner = 0.25 * (tile[:-2, 1:-1] + tile[2:, 1:-1]
                             + tile[1:-1, :-2] + tile[1:-1, 2:])
         diff = np.abs(new_inner - tile[1:-1, 1:-1]).max()
@@ -81,20 +78,16 @@ def jacobi(ctx, lib_name, check_algo):
         if rx == 0:
             tile[1:-1, 0] = 100.0  # re-pin the boundary
         if (step + 1) % CHECK_EVERY == 0:
-            red_in.typed(FLOAT64)[0] = diff
-            yield from check_algo(ctx, red_in.view(), red_out.view(),
-                                  FLOAT64, MAX)
-            residuals.append(float(red_out.typed(FLOAT64)[0]))
-    return residuals, ctx.now - start
+            red_in[0] = diff
+            yield from comm.Allreduce(red_in, red_out, op=MAX)
+            residuals.append(float(red_out[0]))
+    return residuals, comm.now - start
 
 
 def run(lib_name):
-    lib = make_library(lib_name)
-    params = broadwell_opa(nodes=4, ppn=4)
-    assert params.world_size == MESH[0] * MESH[1]
-    world = lib.make_world(params)
-    check_algo = lib.wrapped("allreduce", 8, params.world_size)
-    results = world.run(jacobi, args=(lib_name, check_algo))
+    session = Session(library=lib_name, nodes=4, ppn=4, trace=False)
+    assert session.machine.world_size == MESH[0] * MESH[1]
+    results = session.run(jacobi)
     residuals = results[0][0]
     elapsed = max(r[1] for r in results)
     return residuals, elapsed

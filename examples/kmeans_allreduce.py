@@ -15,11 +15,7 @@ Run:  python examples/kmeans_allreduce.py
 
 import numpy as np
 
-from repro.machine import broadwell_opa
-from repro.mpilibs import make_library
-from repro.runtime import ArrayBuffer
-from repro.runtime.datatypes import FLOAT64
-from repro.runtime.ops import SUM
+from repro.api import Session
 
 K = 4  # clusters
 D = 8  # features
@@ -36,27 +32,25 @@ def make_shard(rank: int) -> np.ndarray:
     return centers[labels] + rng.normal(scale=1.0, size=(POINTS_PER_RANK, D))
 
 
-def kmeans(ctx, allreduce_algo):
-    points = make_shard(ctx.rank)
-    centroids = np.array([points[i % POINTS_PER_RANK] for i in range(K)])
+def kmeans(comm):
+    points = make_shard(comm.rank)
     # Everyone must start from the same centroids: rank 0's choice.
-    stats_in = ArrayBuffer.zeros((K * D + K) * 8)
-    stats_out = ArrayBuffer.zeros((K * D + K) * 8)
+    stats_in = np.zeros(K * D + K)
+    stats_out = np.zeros(K * D + K)
     centroids = np.arange(K)[:, None] * 10.0 + np.zeros((K, D))
 
     centroid_history = []  # identical across ranks (post-allreduce)
     local_inertia = []
-    start = ctx.now
+    start = comm.now
     for _ in range(ITERS):
         dists = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
         labels = dists.argmin(axis=1)
         local_inertia.append(float(dists.min(axis=1).sum()))
         # Model the assignment FLOPs (~3·n·k·d at 2 GFLOP/s).
-        yield from ctx.compute(3 * POINTS_PER_RANK * K * D / 2e9)
+        yield from comm.ctx.compute(3 * POINTS_PER_RANK * K * D / 2e9)
 
-        vec = stats_in.typed(FLOAT64)
-        sums = vec[: K * D].reshape(K, D)
-        counts = vec[K * D:]
+        sums = stats_in[: K * D].reshape(K, D)
+        counts = stats_in[K * D:]
         sums[:] = 0.0
         counts[:] = 0.0
         for k in range(K):
@@ -64,24 +58,19 @@ def kmeans(ctx, allreduce_algo):
             sums[k] = points[mask].sum(axis=0)
             counts[k] = mask.sum()
 
-        yield from allreduce_algo(ctx, stats_in.view(), stats_out.view(),
-                                  FLOAT64, SUM)
+        yield from comm.Allreduce(stats_in, stats_out)
 
-        out = stats_out.typed(FLOAT64)
-        gsums = out[: K * D].reshape(K, D)
-        gcounts = out[K * D:]
+        gsums = stats_out[: K * D].reshape(K, D)
+        gcounts = stats_out[K * D:]
         nonempty = gcounts > 0
         centroids[nonempty] = gsums[nonempty] / gcounts[nonempty, None]
         centroid_history.append(round(float(centroids.sum()), 9))
-    return centroid_history, local_inertia, ctx.now - start
+    return centroid_history, local_inertia, comm.now - start
 
 
 def run(lib_name: str):
-    lib = make_library(lib_name)
-    params = broadwell_opa(nodes=8, ppn=4)
-    world = lib.make_world(params)
-    algo = lib.wrapped("allreduce", (K * D + K) * 8, params.world_size)
-    results = world.run(kmeans, args=(algo,))
+    session = Session(library=lib_name, nodes=8, ppn=4, trace=False)
+    results = session.run(kmeans)
     history = results[0][0]
     # Centroids come out of the allreduce, so every rank must agree.
     assert all(r[0] == history for r in results), "ranks diverged!"

@@ -15,76 +15,86 @@ Run:  python examples/osu_microbench.py [library]
 
 import sys
 
+from repro.api import Session
 from repro.bench import format_paper_table, run_sweep
 from repro.machine import broadwell_opa
-from repro.mpilibs import available_libraries, make_library
+from repro.mpilibs import available_libraries
 
 WINDOW = 32  # osu_bw window size
 
 
-def osu_latency(lib, sizes):
+def osu_latency(lib_name, sizes):
     """Ping-pong halves of a round trip, like osu_latency."""
-    world = lib.make_world(broadwell_opa(nodes=2, ppn=1), functional=False)
+    session = Session(library=lib_name, nodes=2, ppn=1, trace=False,
+                      functional=False)
     rows = []
 
-    def program(ctx, nbytes):
-        buf = ctx.alloc(nbytes)
-        reps = 5
-        yield from ctx.hard_sync()
-        t0 = ctx.now
-        for rep in range(reps):
-            if ctx.rank == 0:
-                yield from ctx.send(buf.view(), dst=1, tag=rep)
-                yield from ctx.recv(buf.view(), src=1, tag=rep)
-            else:
-                yield from ctx.recv(buf.view(), src=0, tag=rep)
-                yield from ctx.send(buf.view(), dst=0, tag=rep)
-        return (ctx.now - t0) / (2 * reps)
+    def app_for(nbytes):
+        def app(comm):
+            ctx = comm.ctx
+            buf = ctx.alloc(nbytes)
+            reps = 5
+            yield from ctx.hard_sync()
+            t0 = ctx.now
+            for rep in range(reps):
+                if ctx.rank == 0:
+                    yield from ctx.send(buf.view(), dst=1, tag=rep)
+                    yield from ctx.recv(buf.view(), src=1, tag=rep)
+                else:
+                    yield from ctx.recv(buf.view(), src=0, tag=rep)
+                    yield from ctx.send(buf.view(), dst=0, tag=rep)
+            return (ctx.now - t0) / (2 * reps)
+        return app
 
     for nbytes in sizes:
-        lat = world.run(program, args=(nbytes,))[0]
+        lat = session.run(app_for(nbytes))[0]
         rows.append((nbytes, lat * 1e6))
     return rows
 
 
-def osu_bw(lib, sizes):
+def osu_bw(lib_name, sizes):
     """Windowed one-way bandwidth, like osu_bw."""
-    world = lib.make_world(broadwell_opa(nodes=2, ppn=1), functional=False)
+    session = Session(library=lib_name, nodes=2, ppn=1, trace=False,
+                      functional=False)
     rows = []
 
-    def program(ctx, nbytes):
-        buf = ctx.alloc(nbytes)
-        yield from ctx.hard_sync()
-        t0 = ctx.now
-        if ctx.rank == 0:
-            reqs = []
+    def app_for(nbytes):
+        def app(comm):
+            ctx = comm.ctx
+            buf = ctx.alloc(nbytes)
+            yield from ctx.hard_sync()
+            t0 = ctx.now
+            if ctx.rank == 0:
+                reqs = []
+                for i in range(WINDOW):
+                    req = yield from ctx.isend(buf.view(), dst=1, tag=i)
+                    reqs.append(req)
+                yield from ctx.waitall(reqs)
+                ack = ctx.alloc(0)
+                yield from ctx.recv(ack.view(), src=1, tag=999)
+                return ctx.now - t0
             for i in range(WINDOW):
-                req = yield from ctx.isend(buf.view(), dst=1, tag=i)
-                reqs.append(req)
-            yield from ctx.waitall(reqs)
+                yield from ctx.recv(buf.view(), src=0, tag=i)
             ack = ctx.alloc(0)
-            yield from ctx.recv(ack.view(), src=1, tag=999)
-            return ctx.now - t0
-        for i in range(WINDOW):
-            yield from ctx.recv(buf.view(), src=0, tag=i)
-        ack = ctx.alloc(0)
-        yield from ctx.send(ack.view(), dst=0, tag=999)
-        return None
+            yield from ctx.send(ack.view(), dst=0, tag=999)
+            return None
+        return app
 
     for nbytes in sizes:
-        elapsed = world.run(program, args=(nbytes,))[0]
+        elapsed = session.run(app_for(nbytes))[0]
         rows.append((nbytes, WINDOW * nbytes / elapsed / 1e9))
     return rows
 
 
-def osu_mbw_mr(lib, pair_counts, nbytes=8, msgs=100):
+def osu_mbw_mr(lib_name, pair_counts, nbytes=8, msgs=100):
     """Aggregate multi-pair message rate, like osu_mbw_mr."""
     rows = []
     for pairs in pair_counts:
-        world = lib.make_world(broadwell_opa(nodes=2, ppn=max(pairs, 1)),
-                               functional=False)
+        session = Session(library=lib_name, nodes=2, ppn=max(pairs, 1),
+                          trace=False, functional=False)
 
-        def program(ctx):
+        def app(comm, pairs=pairs):
+            ctx = comm.ctx
             buf = ctx.alloc(nbytes)
             partner_node = 1 - ctx.node_id
             partner = ctx.cluster.global_rank(partner_node, ctx.local_rank)
@@ -103,7 +113,7 @@ def osu_mbw_mr(lib, pair_counts, nbytes=8, msgs=100):
                 yield from ctx.recv(buf.view(), src=partner, tag=i)
             return None
 
-        times = [t for t in world.run(program) if t is not None]
+        times = [t for t in session.run(app) if t is not None]
         rate = pairs * msgs / max(times)
         rows.append((pairs, rate / 1e6))
     return rows
@@ -114,23 +124,22 @@ def main():
     if lib_name not in available_libraries():
         raise SystemExit(f"unknown library {lib_name!r}; "
                          f"choose from {available_libraries()}")
-    lib = make_library(lib_name)
     sizes = [8, 64, 512, 4096, 65536]
 
     print(f"# OSU-style microbenchmarks — {lib_name} model\n")
     print("osu_latency (inter-node ping-pong)")
     print(f"{'size':>8} {'latency (us)':>14}")
-    for nbytes, lat in osu_latency(lib, sizes):
+    for nbytes, lat in osu_latency(lib_name, sizes):
         print(f"{nbytes:8d} {lat:14.2f}")
 
     print("\nosu_bw (window of 32)")
     print(f"{'size':>8} {'bandwidth (GB/s)':>18}")
-    for nbytes, bw in osu_bw(lib, sizes):
+    for nbytes, bw in osu_bw(lib_name, sizes):
         print(f"{nbytes:8d} {bw:18.2f}")
 
     print("\nosu_mbw_mr (8 B messages, node pair)")
     print(f"{'pairs':>8} {'rate (Mmsg/s)':>15}")
-    for pairs, rate in osu_mbw_mr(lib, [1, 2, 4, 8, 18]):
+    for pairs, rate in osu_mbw_mr(lib_name, [1, 2, 4, 8, 18]):
         print(f"{pairs:8d} {rate:15.2f}")
 
     print("\nallgather latency across libraries (16 nodes x 6 ppn)")

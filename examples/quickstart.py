@@ -11,30 +11,26 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+from repro.api import Session
 from repro.bench import format_paper_table, run_sweep
 from repro.machine import broadwell_opa
-from repro.mpilibs import make_library
-from repro.runtime import ArrayBuffer
 
 
 def verify_allgather_bytes() -> None:
     """Byte-exact check of PiP-MColl's allgather on a tiny cluster."""
-    lib = make_library("PiP-MColl")
-    world = lib.make_world(broadwell_opa(nodes=3, ppn=2))
-    algo = lib.wrapped("allgather", 8, world.comm_world.size)
+    session = Session(library="PiP-MColl", nodes=3, ppn=2, trace=False)
 
-    def program(ctx):
-        send = ArrayBuffer.from_array(
-            np.full(8, ctx.rank + 1, dtype=np.uint8))
-        recv = ArrayBuffer.zeros(8 * ctx.size)
-        yield from algo(ctx, send.view(), recv.view())
-        blocks = recv.bytes_view.reshape(ctx.size, 8)
-        return blocks[:, 0].tolist()
+    def app(comm):
+        send = np.full(8, comm.rank + 1, dtype=np.uint8)
+        recv = np.zeros(8 * comm.size, dtype=np.uint8)
+        yield from comm.Allgather(send, recv)
+        return recv.reshape(comm.size, 8)[:, 0].tolist()
 
-    results = world.run(program)
-    expected = [r + 1 for r in range(world.comm_world.size)]
-    assert all(r == expected for r in results), "allgather bytes are wrong!"
-    print(f"correctness: every rank holds blocks {expected} — OK\n")
+    result = session.run(app)
+    expected = [r + 1 for r in range(len(result))]
+    assert all(r == expected for r in result), "allgather bytes are wrong!"
+    print(f"correctness: every rank holds blocks {expected} — OK "
+          f"(engine: {result.engine.describe()})\n")
 
 
 def main() -> None:

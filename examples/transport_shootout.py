@@ -6,6 +6,11 @@ same node for each transport (POSIX-SHMEM, CMA, XPMEM cold and warm,
 naive PiP with size sync, PiP) across message sizes, then prints the
 copy/syscall/fault cost structure next to the measurements.
 
+Unlike the other examples this one stays on the low-level ``World``
+entry point: it benchmarks transports *beneath* the library layer,
+and :class:`~repro.api.Session` deliberately pins the intra-node
+transport to the chosen library's.
+
 Run:  python examples/transport_shootout.py
 """
 

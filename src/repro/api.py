@@ -41,7 +41,7 @@ matching the cooperative simulation underneath.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -57,6 +57,7 @@ from .runtime.communicator import Communicator
 from .runtime.context import RankContext
 from .runtime.datatypes import from_numpy
 from .runtime.ops import ReduceOp, SUM
+from .sim.spec import EngineSpec
 
 
 def _as_buffer(array: np.ndarray) -> ArrayBuffer:
@@ -425,21 +426,6 @@ class VComm:
         """Nonblocking barrier; returns a request for :meth:`Wait`."""
         return self._ctx.start(self.Barrier())
 
-    def Istart(self, operation):
-        """Launch any of this communicator's operations nonblocking.
-
-        .. deprecated::
-            Use the first-class nonblocking collectives
-            (:meth:`Ibcast`, :meth:`Iallgather`, :meth:`Iallreduce`,
-            :meth:`Ibarrier`) instead.
-        """
-        warnings.warn(
-            "VComm.Istart(generator) is deprecated; use the I-prefixed "
-            "nonblocking collectives (Ibcast/Iallgather/Iallreduce/...)",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self._ctx.start(operation)
-
     def Wait(self, request):
         """Complete a request from a nonblocking operation."""
         result = yield from self._ctx.wait(request)
@@ -460,6 +446,9 @@ class RunResult:
                  resources: "Optional[Any]" = None) -> None:
         #: per-rank app return values, indexed by world rank
         self.values = values
+        #: the resolved :class:`~repro.sim.spec.EngineSpec` the run
+        #: executed on (including any auto-downgrades that fired)
+        self.engine = world.engine
         #: simulated wall-clock of the whole run (seconds)
         self.elapsed = elapsed
         #: span timeline (:class:`~repro.obs.TraceTree`), or None when
@@ -533,6 +522,7 @@ class Session:
     def __init__(self, library: str = "PiP-MColl", nodes: int = 4,
                  ppn: int = 4, params: Optional[MachineParams] = None,
                  trace: bool = True, resources: bool = False,
+                 engine: "Union[str, EngineSpec, None]" = None,
                  **world_kwargs) -> None:
         # Accepts a name, a registered-instance name, a ``tuned:<db>``
         # spec, or an MpiLibrary instance (see mpilibs.registry).
@@ -544,17 +534,23 @@ class Session:
         self.trace = trace
         #: record per-resource busy/queue timelines during runs
         self.resources = resources
+        #: requested engine — name (``"sharded:8"``), resolved
+        #: :class:`~repro.sim.spec.EngineSpec`, or None (default).
+        #: The *resolved* spec of each run is on ``RunResult.engine``.
+        self.engine = engine
         self._world_kwargs = world_kwargs
 
     def run(self, app: Callable[[VComm], Any]) -> RunResult:
         """Run an mpi4py-style generator app on every rank."""
+        # The recorder rides through the World constructor (not
+        # attach_obs) so engine resolution sees it — sharded/analytic
+        # requests auto-downgrade instead of erroring.
+        recorder = SpanRecorder() if self.trace else None
         world: World = self._lib.make_world(self.machine,
                                             resources=self.resources,
+                                            engine=self.engine,
+                                            obs=recorder,
                                             **self._world_kwargs)
-        recorder = None
-        if self.trace:
-            recorder = SpanRecorder()
-            world.attach_obs(recorder)
         lib = self._lib
 
         armed = world.ft is not None and world.ft.armed
@@ -598,9 +594,18 @@ def run_app(
     """Run an mpi4py-style generator app on every rank; returns the
     per-rank return values (indexed by rank).
 
-    Thin shim over :class:`Session` kept for existing callers — same
-    signature, same plain-list return, tracing off.
+    .. deprecated::
+        Thin alias over :class:`Session` kept for existing callers —
+        same signature, same plain-list return, tracing off.  New code
+        should construct a :class:`Session`;
+        ``Session(...).run(app).values`` is this function's return
+        value.
     """
+    warnings.warn(
+        "run_app() is deprecated; use Session(...).run(app) — "
+        ".values on the RunResult is run_app's old return value",
+        DeprecationWarning, stacklevel=2,
+    )
     session = Session(library=library, nodes=nodes, ppn=ppn, params=params,
                       trace=False)
     return session.run(app).values

@@ -137,6 +137,7 @@ def bench_collective(
     fastpath: Optional[bool] = None,
     resources: bool = False,
     attribution: bool = False,
+    engine=None,
 ) -> BenchPoint:
     """Measure one point (see module docstring).
 
@@ -145,7 +146,9 @@ def bench_collective(
     timing convention, lossy wire underneath.  ``fastpath`` forwards
     to :class:`~repro.runtime.world.World` (``False`` forces the
     reference event path — what the perf-regression gate compares
-    against).
+    against).  ``engine`` selects the simulation engine — a name like
+    ``"sharded:8x4"`` or an :class:`~repro.sim.EngineSpec`; see
+    ``docs/ENGINE.md`` for the selection matrix.
 
     ``resources=True`` attaches a
     :class:`~repro.obs.resources.ResourceMonitor` (fast-path safe) and
@@ -161,7 +164,8 @@ def bench_collective(
         raise ValueError("need warmup >= 0 and iters >= 1")
     world = lib.make_world(params, functional=functional,
                            faults=faults, reliable=reliable,
-                           fastpath=fastpath, resources=resources)
+                           fastpath=fastpath, resources=resources,
+                           engine=engine)
     size = world.comm_world.size
     algo = lib.wrapped(collective, nbytes, size)
     monitor = world.resources
@@ -316,12 +320,14 @@ def run_sweep(
     root: int = 0,
     resources: bool = False,
     attribution: bool = False,
+    engine: "Union[str, EngineSpec, None]" = None,
 ) -> Sweep:
     """Benchmark ``collective`` across libraries × sizes.
 
     ``libraries`` entries may be names, ``tuned:<db>`` specs, or
     :class:`MpiLibrary` instances; the sweep's grid is keyed by each
-    library's profile name either way.
+    library's profile name either way.  ``engine`` selects the
+    simulation engine for every point (see :mod:`repro.sim.spec`).
     """
     from ..mpilibs import PAPER_LINEUP
 
@@ -334,6 +340,6 @@ def run_sweep(
             sweep.points[(name, nbytes)] = bench_collective(
                 lib, collective, nbytes, params,
                 warmup=warmup, iters=iters, functional=functional, root=root,
-                resources=resources, attribution=attribution,
+                resources=resources, attribution=attribution, engine=engine,
             )
     return sweep

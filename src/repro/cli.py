@@ -57,15 +57,28 @@ def _parse_sizes(text: str) -> List[int]:
 def _library_spec(text: str):
     """A --library value: built-in name, registered instance name, or
     ``tuned:<db>`` spec (validated at parse time, like choices=)."""
-    from .mpilibs.registry import TUNED_PREFIX, _INSTANCES
+    from .mpilibs import validate_library_spec
 
-    if (text in available_libraries() or text in _INSTANCES
-            or text.startswith(TUNED_PREFIX)):
-        return text
-    raise argparse.ArgumentTypeError(
-        f"unknown library {text!r}; available: {available_libraries()} "
-        f"or '{TUNED_PREFIX}<path>.tunedb.json'"
-    )
+    try:
+        return validate_library_spec(text)
+    except KeyError as err:
+        raise argparse.ArgumentTypeError(str(err.args[0])) from None
+
+
+def _engine_spec(text: str):
+    """An --engine value: name or ``sharded:<shards>[x<workers>]``
+    (validated at parse time; downgrade rules apply at world build)."""
+    from .sim.spec import ENGINE_NAMES, _parse_engine
+
+    try:
+        name, _shards, _workers = _parse_engine(text)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(str(err)) from None
+    if name not in ENGINE_NAMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown engine {text!r}; available: {', '.join(ENGINE_NAMES)}"
+        )
+    return text
 
 
 def _machine(args) -> "object":
@@ -81,7 +94,7 @@ def _add_machine_args(p: argparse.ArgumentParser, nodes: int, ppn: int) -> None:
 def cmd_bench(args) -> int:
     point = bench_collective(
         args.library, args.collective, args.size, _machine(args),
-        warmup=args.warmup, iters=args.iters,
+        warmup=args.warmup, iters=args.iters, engine=args.engine,
     )
     print(f"{point.library} {point.collective} {point.nbytes} B: "
           f"{point.latency_us:.2f} us "
@@ -93,7 +106,8 @@ def cmd_bench(args) -> int:
 def cmd_sweep(args) -> int:
     libs = args.libraries.split(",") if args.libraries else list(PAPER_LINEUP)
     sweep = run_sweep(args.collective, args.sizes, _machine(args),
-                      libraries=libs, warmup=args.warmup, iters=args.iters)
+                      libraries=libs, warmup=args.warmup, iters=args.iters,
+                      engine=args.engine)
     print(format_paper_table(sweep, exclude_factor=None))
     print()
     if "PiP-MColl" in libs:
@@ -363,6 +377,12 @@ def cmd_info(args) -> int:
     for name in available_transports():
         print(f"  {name:13s} {make_transport(name).describe()}")
     print(f"\ncollectives: {', '.join(COLLECTIVES)}")
+    from .sim.spec import ENGINE_NAMES, resolve_engine
+
+    print("\nengines (see docs/ENGINE.md for downgrade rules):")
+    for name in ENGINE_NAMES:
+        spec = resolve_engine(name, nodes=16)
+        print(f"  {name:10s} {spec.describe()}")
     return 0
 
 
@@ -380,6 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=64)
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--iters", type=int, default=3)
+    p.add_argument("--engine", type=_engine_spec, default=None,
+                   help="simulation engine: reference, calendar (default), "
+                        "sharded[:<shards>[x<workers>]], analytic")
     _add_machine_args(p, nodes=16, ppn=6)
     p.set_defaults(fn=cmd_bench)
 
@@ -391,6 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--iters", type=int, default=2)
     p.add_argument("--plot", action="store_true", help="ASCII figure too")
+    p.add_argument("--engine", type=_engine_spec, default=None,
+                   help="simulation engine: reference, calendar (default), "
+                        "sharded[:<shards>[x<workers>]], analytic")
     _add_machine_args(p, nodes=16, ppn=6)
     p.set_defaults(fn=cmd_sweep)
 

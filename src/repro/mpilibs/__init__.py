@@ -15,6 +15,7 @@ from .registry import (
     make_library,
     register_library,
     unregister_library,
+    validate_library_spec,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "make_library",
     "register_library",
     "unregister_library",
+    "validate_library_spec",
 ]

@@ -65,16 +65,37 @@ def unregister_library(name: str) -> None:
     _INSTANCES.pop(name, None)
 
 
+def validate_library_spec(spec: str) -> str:
+    """Check that a string will resolve via :func:`make_library`
+    without building anything (``tuned:`` DBs compile lazily, so only
+    the spec *form* is checked here; the path is read at resolve time).
+
+    The one place library-spec syntax is known — the CLI's parse-time
+    validation, :class:`~repro.api.Session` and the bench harness all
+    funnel through it (the latter two via :func:`make_library`).
+    Returns the spec unchanged; raises ``KeyError`` otherwise.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"library must be a name, spec, or MpiLibrary instance; "
+            f"got {type(spec).__name__}"
+        )
+    if (spec.startswith(TUNED_PREFIX) or spec in _LIBRARIES
+            or spec in _INSTANCES):
+        return spec
+    known = sorted(_LIBRARIES) + sorted(_INSTANCES)
+    raise KeyError(
+        f"unknown MPI library {spec!r}; available: {known}, "
+        f"or a '{TUNED_PREFIX}<path>.tunedb.json' spec"
+    )
+
+
 def make_library(name: Union[str, MpiLibrary]) -> MpiLibrary:
     """Resolve a library: instance, display name, registered-instance
     name, or ``tuned:<path>`` spec."""
     if isinstance(name, MpiLibrary):
         return name
-    if not isinstance(name, str):
-        raise TypeError(
-            f"library must be a name, spec, or MpiLibrary instance; "
-            f"got {type(name).__name__}"
-        )
+    validate_library_spec(name)
     if name.startswith(TUNED_PREFIX):
         from ..tuner import compile_db
 
@@ -82,14 +103,7 @@ def make_library(name: Union[str, MpiLibrary]) -> MpiLibrary:
     cls = _LIBRARIES.get(name)
     if cls is not None:
         return cls()
-    inst = _INSTANCES.get(name)
-    if inst is not None:
-        return inst
-    known = sorted(_LIBRARIES) + sorted(_INSTANCES)
-    raise KeyError(
-        f"unknown MPI library {name!r}; available: {known}, "
-        f"or a '{TUNED_PREFIX}<path>.tunedb.json' spec"
-    )
+    return _INSTANCES[name]
 
 
 def available_libraries(include_registered: bool = False) -> List[str]:

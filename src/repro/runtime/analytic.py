@@ -1,0 +1,413 @@
+"""Vectorized analytic evaluation of whole collectives (engine="analytic").
+
+The analytic engine is the calendar engine plus an
+:class:`AnalyticEvaluator` attached to the world.  For *whitelisted
+lockstep algorithms* — collectives whose ranks provably advance in
+identical, symmetric rounds — the evaluator computes the entire call in
+closed form: one numpy pass produces the result bytes, and a short
+scalar recurrence (one step per round, mirroring the transport float
+arithmetic op-for-op) produces every timestamp and resource-state
+update the event loop would have produced.  Each rank then sleeps to
+the computed completion instant and applies its node's side effects.
+Everything else — non-whitelisted collectives, point-to-point traffic,
+split communicators — falls through to the ordinary event loop, so an
+analytic world is always *correct*; the evaluator only removes event
+dispatch where it can prove the outcome.
+
+Exactness
+---------
+The differential suite asserts byte- and timestamp-identical results
+against the reference engine.  That holds because the evaluator only
+engages inside a provable envelope, checked per call:
+
+* statically (per rank, before anything is perturbed): one rank per
+  node, the plain :class:`~repro.transport.NetworkTransport` (engine
+  resolution already downgrades faults / tracing / spans / reliable /
+  fabric / ft to the calendar engine), COMM_WORLD, every round's
+  message under the eager limit, positive NIC latency;
+* dynamically (once all ranks have entered the call): all ranks
+  arrived at the same instant, the event queue is otherwise empty, no
+  unexpected messages or pending receives anywhere, every NIC pipe and
+  memory bus idle, no dispatch-overhead rebates outstanding.
+
+Inside that envelope all ranks execute identical rounds in lockstep:
+every ``max(pipe_free, now)`` in the transports resolves the same way
+on every node, so one scalar trajectory *is* every node's trajectory.
+The recurrence below replays the exact float operations — same
+associativity, same comparison direction — of ``_sendrecv_fast``,
+``copy_cost``, ``RateLimiter.reserve`` and ``schedule_delivery_fast``,
+so the computed timestamps are bit-equal, not just close.
+
+When a dynamic guard fails the gathered ranks are released at the same
+instant, in the same order they arrived, straight into the real
+algorithm — a declined call is indistinguishable (to the byte) from a
+world with no evaluator attached.  A gather also lives exactly one
+simulated instant: the first join schedules an end-of-instant deadline,
+and an incomplete gather declines right there, so ranks entering a
+collective at *different* times are never parked past their own entry
+instant (which would perturb the fallback).
+
+Resuming ranks park on a plain event and are woken in arrival order,
+which is their dispatch order; the relative order of same-instant queue
+pushes after the call therefore matches the reference engine wherever
+the envelope's symmetry makes that order observable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..collectives.allgather import allgather_bruck, allgather_recursive_doubling
+from ..collectives.base import TAG_ALLGATHER, is_functional
+
+
+def _rd_rounds(size: int, count: int) -> Optional[List[int]]:
+    """Per-round message sizes for recursive doubling (pow2 only)."""
+    if size & (size - 1):
+        return None
+    sizes = []
+    mask = 1
+    while mask < size:
+        sizes.append(count * mask)
+        mask <<= 1
+    return sizes
+
+
+def _bruck_rounds(size: int, count: int) -> Optional[List[int]]:
+    """Per-round message sizes for radix-2 Bruck (any size)."""
+    sizes = []
+    step = 1
+    while step < size:
+        sizes.append(min(step, size - step) * count)
+        step <<= 1
+    return sizes
+
+
+class _AllgatherHandler:
+    """One whitelisted uniform-allgather algorithm.
+
+    ``rounds`` maps ``(size, count)`` to the per-round message sizes
+    (or None when the algorithm cannot run, e.g. recursive doubling on
+    a non-power-of-two world — declined, so the real algorithm raises
+    its own error).  ``head_copy`` / ``tail_copy`` are the local memcpy
+    sizes charged before the first and after the last round.
+    """
+
+    __slots__ = ("algo", "rounds", "tail_copy")
+
+    def __init__(self, algo: Callable, rounds: Callable,
+                 tail_copy: Optional[Callable] = None) -> None:
+        self.algo = algo
+        self.rounds = rounds
+        self.tail_copy = tail_copy
+
+    def unpack(self, args: tuple, kwargs: dict):
+        """``(sendview, recvview, comm)`` or None if the shape is odd."""
+        if len(args) == 2:
+            extra = set(kwargs) - {"comm"}
+            if extra:
+                return None
+            return args[0], args[1], kwargs.get("comm")
+        if len(args) == 3 and not kwargs:
+            return args[0], args[1], args[2]
+        return None
+
+    def static_ok(self, world, ctx, send, recv, comm) -> bool:
+        """Cheap, side-effect-free per-rank envelope checks."""
+        if comm is not None and comm is not world.comm_world:
+            return False
+        size = world.comm_world.size
+        if size < 2 or world.params.ppn != 1:
+            return False
+        count = send.nbytes
+        if count < 1 or recv.nbytes != count * size:
+            return False
+        nic = world.params.nic
+        if nic.latency <= 0.0:
+            return False
+        sizes = self.rounds(size, count)
+        if sizes is None or max(sizes) > nic.eager_limit:
+            return False
+        return True
+
+    def plan(self, world, members: List[tuple]) -> "_Plan":
+        size = len(members)
+        count = members[0][1].nbytes
+        sizes = self.rounds(size, count)
+        tail = self.tail_copy(size, count) if self.tail_copy else None
+        plan = _uniform_rounds_plan(world, count, sizes, tail)
+        views = sorted(((ctx.rank, send) for ctx, send, _recv in members))
+        if is_functional(*(send for _rank, send in views)):
+            plan.data = np.concatenate([send.read() for _r, send in views])
+        # Reference leaves last_op at the final round's send dispatch.
+        plan.last_partner = {
+            ctx.rank: self._last_partner(ctx.rank, size)
+            for ctx, _s, _r in members
+        }
+        return plan
+
+    def _last_partner(self, rank: int, size: int) -> int:
+        if self.algo is allgather_recursive_doubling:
+            return rank ^ (size >> 1)
+        step = 1
+        while step * 2 < size:
+            step <<= 1
+        return (rank - step) % size
+
+
+class _Plan:
+    """The closed-form outcome of one analytically evaluated call."""
+
+    __slots__ = ("t_end", "mem_nf", "tx_nf", "rx_nf", "mem_deltas",
+                 "tx_deltas", "rx_deltas", "nrounds", "total_bytes",
+                 "data", "last_partner")
+
+    def __init__(self) -> None:
+        self.data: Optional[np.ndarray] = None
+        self.last_partner: Dict[int, int] = {}
+
+    def apply(self, ctx, recv) -> None:
+        """One rank's side effects, applied at ``t_end``.
+
+        Busy-time accumulators fold the per-reservation deltas in the
+        order the event loop would have added them — float addition is
+        not associative, and the stats totals are compared exactly.
+        """
+        node = ctx.node_hw
+        for pipe, deltas, nf in (
+            (node.membus, self.mem_deltas, self.mem_nf),
+            (node.tx, self.tx_deltas, self.tx_nf),
+            (node.rx, self.rx_deltas, self.rx_nf),
+        ):
+            busy = pipe._busy_time
+            for delta in deltas:
+                busy += delta
+            pipe._busy_time = busy
+            pipe._next_free = nf
+        node.tx_messages += self.nrounds
+        node.rx_messages += self.nrounds
+        ctx.nic_msgs += self.nrounds
+        ctx.nic_bytes += self.total_bytes
+        ctx.last_op = ("send", self.last_partner[ctx.rank], TAG_ALLGATHER)
+        if self.data is not None:
+            recv.write(self.data)
+
+
+def _uniform_rounds_plan(world, count: int, round_sizes: List[int],
+                         tail_copy: Optional[int]) -> _Plan:
+    """Replay the fast-path float arithmetic of a lockstep exchange.
+
+    One scalar trajectory stands for every node (symmetric rounds, idle
+    entry state — the dynamic guards).  Each statement mirrors a
+    specific reference operation, with the same associativity:
+    ``copy_cost`` (core vs membus reservation), the fused sendrecv's
+    dispatch/handoff instants, ``schedule_delivery_fast``'s TX
+    reservation + wire latency, ``_eager_arrive``'s RX reservation, and
+    the receiver flat time.
+    """
+    p = world.params
+    mem, nic = p.memory, p.nic
+    copy_lat, copy_b, bus_b = (mem.copy_latency, mem.copy_byte_time,
+                               mem.bus_byte_time)
+    d = p.cpu.dispatch_overhead - 0.0  # _base_dispatch - _dispatch_discount
+    mem_nf = tx_nf = rx_nf = float("-inf")  # idle: every max picks `now`
+    mem_deltas: List[float] = []
+    tx_deltas: List[float] = []
+    rx_deltas: List[float] = []
+
+    def bus_copy(t: float, nb: int) -> float:
+        # NodeHardware.copy_cost at instant t: core time vs a membus
+        # RateLimiter.reserve, returning the blocking duration.
+        nonlocal mem_nf
+        core = t + copy_lat + nb * copy_b
+        start = mem_nf if mem_nf > t else t
+        done = start + nb * bus_b
+        mem_nf = done
+        mem_deltas.append(nb * bus_b)
+        return (core if core > done else done) - t
+
+    t = world.sim.now
+    t = t + bus_copy(t, count)  # local/setup copy (timeout resume)
+    for nb in round_sizes:
+        t1 = t + d                                  # post-dispatch resume
+        sflat = nic.inject_overhead + bus_copy(t1, nb)
+        t2 = t1 + (d + sflat)                       # call_in handoff
+        wire = nic.wire_time(nb)
+        start = tx_nf if tx_nf > t2 else t2         # tx.reserve
+        fin = start + wire
+        tx_nf = fin
+        tx_deltas.append(wire)
+        arrival = fin + nic.latency
+        start = rx_nf if rx_nf > arrival else arrival  # rx.reserve
+        fin2 = start + wire
+        rx_nf = fin2
+        rx_deltas.append(wire)
+        rflat = nic.recv_overhead + bus_copy(fin2, nb)
+        t = fin2 if rflat == 0.0 else fin2 + rflat  # `yield rflat` guard
+    if tail_copy is not None:
+        t = t + bus_copy(t, tail_copy)
+
+    plan = _Plan()
+    plan.t_end = t
+    plan.mem_nf, plan.tx_nf, plan.rx_nf = mem_nf, tx_nf, rx_nf
+    plan.mem_deltas, plan.tx_deltas, plan.rx_deltas = (
+        mem_deltas, tx_deltas, rx_deltas)
+    plan.nrounds = len(round_sizes)
+    plan.total_bytes = sum(round_sizes)
+    return plan
+
+
+class _Gather:
+    """Rendezvous for the P member calls of one collective invocation."""
+
+    __slots__ = ("evaluator", "handler", "size", "members", "events",
+                 "times", "closed", "bad", "count", "deadline_pending")
+
+    def __init__(self, evaluator: "AnalyticEvaluator",
+                 handler: _AllgatherHandler, size: int) -> None:
+        self.evaluator = evaluator
+        self.handler = handler
+        self.size = size
+        self.members: List[tuple] = []   # (ctx, sendview, recvview)
+        self.events: List[Any] = []
+        self.times: List[float] = []
+        self.closed = False
+        self.bad = False
+        self.count: Optional[int] = None
+        self.deadline_pending = False
+
+    def join(self, ctx, send, recv):
+        """Register one rank; returns the event it parks on."""
+        if not self.members:
+            self.deadline_pending = True
+            # A gather lives exactly one instant: if the remaining
+            # ranks haven't arrived by the time this fires (same
+            # timestamp, queued after every already-scheduled arrival),
+            # they entered later — parking the early ranks past their
+            # entry time would perturb the fallback, so decline NOW,
+            # releasing everyone at the instant they arrived.
+            ctx.sim.call_at(ctx.sim.now, self._expire)
+        if self.count is None:
+            self.count = send.nbytes
+        elif send.nbytes != self.count:
+            self.bad = True
+        if any(m[0].rank == ctx.rank for m in self.members):
+            self.bad = True  # same rank twice: a stale gather
+        if ctx._dispatch_discount != 0.0:
+            self.bad = True
+        self.members.append((ctx, send, recv))
+        self.times.append(ctx.sim.now)
+        ev = ctx.sim.event()
+        self.events.append(ev)
+        return ev
+
+    def _expire(self) -> None:
+        """End-of-instant deadline: an incomplete gather declines."""
+        self.deadline_pending = False
+        if self.closed:
+            return
+        self.closed = True
+        self.evaluator.declined += 1
+        for ev in self.events:
+            ev.succeed(None)
+
+    def finish(self, world) -> Optional[_Plan]:
+        """All ranks are in: run the dynamic guards, plan or decline."""
+        self.closed = True
+        plan = None
+        if self._dynamic_ok(world):
+            plan = self.handler.plan(world, self.members)
+        for ev in self.events:
+            ev.succeed(plan)
+        return plan
+
+    def _dynamic_ok(self, world) -> bool:
+        if self.bad:
+            return False
+        sim = world.sim
+        now = sim.now
+        if any(t != now for t in self.times):
+            return False  # ranks entered at different instants
+        if self.deadline_pending:
+            # Our own end-of-instant deadline is still queued (it fires
+            # as a no-op once closed); anything beyond that single item
+            # is foreign activity.
+            if sim.peek() != now or len(sim._queue) != 1:
+                return False
+        elif sim.peek() != float("inf"):
+            return False  # foreign activity still scheduled
+        for engine in world.matching:
+            if engine.unexpected_messages or engine.pending_receives:
+                return False
+        for node in world.hw.nodes:
+            if (node.tx._next_free > now or node.rx._next_free > now
+                    or node.membus._next_free > now):
+                return False
+        return True
+
+
+class AnalyticEvaluator:
+    """Per-world dispatcher: intercept whitelisted collective calls.
+
+    Attached by :class:`~repro.runtime.world.World` when the resolved
+    :class:`~repro.sim.spec.EngineSpec` has ``analytic=True``; consulted
+    by the library wrapper (:meth:`MpiLibrary.wrapped
+    <repro.mpilibs.base.MpiLibrary.wrapped>`) on every collective call.
+    ``hits`` / ``declined`` count evaluated vs fallen-back calls — the
+    engagement probe the tests assert on.
+    """
+
+    def __init__(self, world) -> None:
+        self.world = world
+        #: collective calls fully evaluated in closed form
+        self.hits = 0
+        #: whitelisted calls that failed a dynamic guard (fell back)
+        self.declined = 0
+        self._gather: Optional[_Gather] = None
+        self._handlers: Dict[Callable, _AllgatherHandler] = {
+            allgather_recursive_doubling: _AllgatherHandler(
+                allgather_recursive_doubling, _rd_rounds),
+            allgather_bruck: _AllgatherHandler(
+                allgather_bruck, _bruck_rounds,
+                tail_copy=lambda size, count: size * count),
+        }
+
+    def intercept(self, algo, ctx, args: tuple, kwargs: dict):
+        """A replacement generator for this call, or None to run
+        ``algo`` normally.  Must be side-effect-free until the member
+        generator actually runs."""
+        handler = self._handlers.get(algo)
+        if handler is None:
+            return None
+        unpacked = handler.unpack(args, kwargs)
+        if unpacked is None:
+            return None
+        send, recv, comm = unpacked
+        if not handler.static_ok(self.world, ctx, send, recv, comm):
+            return None
+        return self._member(handler, ctx, send, recv, comm)
+
+    def _member(self, handler, ctx, send, recv, comm):
+        """One rank's side of an intercepted call (a rank generator)."""
+        gather = self._gather
+        if gather is None or gather.closed or gather.handler is not handler:
+            if gather is not None and not gather.closed:
+                gather.bad = True  # mismatched collectives: poison it
+            gather = self._gather = _Gather(self, handler, ctx.size)
+        ev = gather.join(ctx, send, recv)
+        if len(gather.members) == gather.size:
+            if gather.finish(self.world) is None:
+                self.declined += 1
+            else:
+                self.hits += 1
+        plan = yield ev
+        if plan is None:
+            # Declined: every rank resumes at the entry instant, in
+            # arrival (= dispatch) order, and runs the real algorithm —
+            # nothing was perturbed, so this replays the reference run.
+            yield from handler.algo(ctx, send, recv, comm=comm)
+            return
+        yield ctx.sim.event_at(plan.t_end)
+        plan.apply(ctx, recv)

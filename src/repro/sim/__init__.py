@@ -11,6 +11,8 @@ from .errors import EventAlreadyTriggered, Interrupt, SimError, StopSimulation
 from .events import AllOf, AnyOf, Condition, Event, Timeout
 from .process import Process
 from .resources import RateLimiter, Request, Resource
+from .shard import ShardedSimulator
+from .spec import ENGINE_NAMES, EngineSpec, resolve_engine
 from .stores import FilterStore, Store
 from .trace import TraceRecord, Tracer
 
@@ -18,6 +20,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "ENGINE_NAMES",
+    "EngineSpec",
     "Event",
     "EventAlreadyTriggered",
     "FilterStore",
@@ -27,10 +31,12 @@ __all__ = [
     "Request",
     "Resource",
     "SimError",
+    "ShardedSimulator",
     "Simulator",
     "StopSimulation",
     "Store",
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "resolve_engine",
 ]

@@ -1,0 +1,301 @@
+"""Fork-based parallel execution of the sharded simulation kernel.
+
+:func:`run_parallel` forks ``workers`` processes *after* the rank
+processes have been spawned, so every worker inherits a complete copy
+of the world (generators, buffers, queues — none of which could be
+pickled).  Each worker owns a contiguous block of shards and executes
+the same conservative windows as the sequential loop in
+:meth:`~repro.sim.shard.ShardedSimulator.run`; the parent is a pure
+coordinator:
+
+1. every worker reports the earliest pending time over its owned
+   shards, its cross-worker outbox, and its local hard-sync state;
+2. the parent computes the global window horizon ``H = m + L`` (``m``
+   includes in-flight cross-worker entries and a completed hard-sync's
+   release time), routes outbox entries to their owners, and
+   broadcasts;
+3. workers apply their inbox, run their shards to ``H``, and report.
+
+Cross-worker messages are exactly the sharded network transport's
+``(_eager_arrive, (dst_node, wire, desc, world))`` items — the only
+item shape :meth:`~repro.sim.shard.ShardedSimulator.call_at_node` emits
+across shard boundaries.  They are re-materialised on the receiving
+side from plain ints/bytes (the payload snapshot travels by value,
+since the sender's buffer copy diverges after the fork), keeping their
+full ordering key, so per-shard event sequences — and with them every
+timestamp and byte — are identical to a sequential sharded run.  The
+differential suite asserts exactly that.
+
+When all queues drain, workers ship their results home: rank return
+values, per-node hardware counters, matching-engine quiescence counts,
+per-shard clocks and event counts.  The parent patches its (never-run)
+world so ``world.run``'s normal epilogue — deadlock detection, stats,
+``assert_quiescent`` — works unchanged.
+
+A world can run in parallel once: the parent's simulation state is
+consumed by the patch-up.  Bench and session entry points build a
+fresh world per run, so this only bites hand-driven reuse, which gets
+a clear error.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappush
+from multiprocessing import Pipe
+from typing import Any, Dict, List
+
+import numpy as np
+
+
+def _encode_outbox(outbox: List[tuple]) -> List[tuple]:
+    """Flatten cross-worker queue entries into picklable tuples."""
+    from ..transport.network import _eager_arrive
+
+    encoded = []
+    for dst_shard, (when, key, item) in outbox:
+        fn, arg = item
+        if fn is not _eager_arrive:  # pragma: no cover - contract guard
+            raise TypeError(
+                f"unexpected cross-shard item {fn!r}; only network "
+                "arrivals may cross a worker boundary"
+            )
+        dst_node, wire, desc, _world = arg
+        env = desc.envelope
+        payload = desc.payload
+        encoded.append((
+            dst_shard, when, key,
+            dst_node.node_id, wire,
+            (env.comm_id, env.src, env.tag, desc.nbytes,
+             None if payload is None else bytes(payload),
+             desc.wire.src, desc.wire.dst, desc.wire.nbytes,
+             desc.wire.buf_key, dict(desc.wire.meta),
+             desc.src_world, desc.dst_world),
+        ))
+    return encoded
+
+
+def _apply_inbox(world, inbox: List[tuple]) -> None:
+    """Re-materialise encoded entries into this worker's shard heaps."""
+    from ..runtime.message import Envelope, MessageDescriptor
+    from ..transport.base import WireDescriptor
+    from ..transport.network import _eager_arrive
+
+    sim = world.sim
+    for (dst_shard, when, key, node_id, wire, d) in inbox:
+        (comm_id, src, tag, nbytes, payload, w_src, w_dst, w_nbytes,
+         buf_key, meta, src_world, dst_world) = d
+        wire_desc = WireDescriptor(src=w_src, dst=w_dst, nbytes=w_nbytes,
+                                   buf_key=buf_key)
+        wire_desc.meta.update(meta)
+        desc = MessageDescriptor(
+            envelope=Envelope(comm_id, src, tag),
+            nbytes=nbytes,
+            payload=None if payload is None
+            else np.frombuffer(payload, np.uint8),
+            wire=wire_desc,
+            transport=world.network,
+            src_world=src_world,
+            dst_world=dst_world,
+        )
+        dst_node = world.hw.nodes[node_id]
+        sim._push_entry(dst_shard, (when, key,
+                                    (_eager_arrive,
+                                     (dst_node, wire, desc, world))))
+
+
+def _worker_loop(world, procs, owned: List[int], conn) -> None:
+    """Child process: execute owned shards window by window."""
+    sim = world.sim
+    sim._owned = set(owned)
+    hard_sync = world.hard_sync_barrier
+    base_events = sim._event_count
+    conn.send(("report", sim._min_time(owned_only=True), [], []))
+    while True:
+        msg = conn.recv()
+        if msg[0] == "stop":
+            break
+        _tag, horizon, inbox, release = msg
+        if release is not None:
+            tmax, key_r, positions = release
+            hard_sync.release_all(tmax, key_r, positions)
+        if inbox:
+            _apply_inbox(world, inbox)
+        for shard in owned:
+            sim.run_shard(shard, horizon)
+        outbox = _encode_outbox(sim._outbox)
+        sim._outbox.clear()
+        conn.send(("report", sim._min_time(owned_only=True), outbox,
+                   hard_sync.waiter_meta()))
+    # -- ship results home -------------------------------------------
+    owned_set = set(owned)
+    cluster = world.cluster
+    ranks = {}
+    ctx_counters = {}
+    match = {}
+    for rank in range(cluster.world_size):
+        if sim._shard_of_node[cluster.node_of(rank)] not in owned_set:
+            continue
+        proc = procs[rank]
+        if proc.triggered:
+            ranks[rank] = (bool(proc.ok), proc._value)
+        ctx = world.contexts[rank]
+        ctx_counters[rank] = (ctx.nic_msgs, ctx.nic_bytes)
+        engine = world.matching[rank]
+        match[rank] = (engine.unexpected_messages, engine.pending_receives)
+    nodes = {}
+    for node in world.hw.nodes:
+        if sim._shard_of_node[node.node_id] not in owned_set:
+            continue
+        nodes[node.node_id] = (
+            node.tx_messages, node.rx_messages,
+            node.tx._busy_time, node.tx._next_free,
+            node.rx._busy_time, node.rx._next_free,
+            node.membus._busy_time, node.membus._next_free,
+        )
+    conn.send(("final", {
+        "ranks": ranks,
+        "ctx": ctx_counters,
+        "match": match,
+        "nodes": nodes,
+        "clocks": {s: sim._clocks[s] for s in owned},
+        "events": sim._event_count - base_events,
+    }))
+
+
+def run_parallel(world, procs) -> None:
+    """Execute a spawned sharded world across forked workers.
+
+    Called by :meth:`World.run <repro.runtime.world.World.run>` in
+    place of ``sim.run()`` when ``spec.workers > 1``.  On return the
+    parent's processes, counters, clocks and quiescence state look as
+    if the run had happened in-process.
+    """
+    sim = world.sim
+    if getattr(sim, "_parallel_consumed", False):
+        raise RuntimeError(
+            "this world already ran with parallel workers; its parent-side "
+            "simulation state is consumed — build a fresh world per run"
+        )
+    sim._parallel_consumed = True
+    nworkers = sim.workers
+    nshards = sim.shards
+    owner = [s * nworkers // nshards for s in range(nshards)]
+    owned_by = [[s for s in range(nshards) if owner[s] == w]
+                for w in range(nworkers)]
+    conns = []
+    pids = []
+    for w in range(nworkers):
+        parent_conn, child_conn = Pipe()
+        pid = os.fork()
+        if pid == 0:
+            # Child: drop the parent ends (ours and earlier workers').
+            parent_conn.close()
+            for other, _pid in zip(conns, pids):
+                other.close()
+            code = 0
+            try:
+                _worker_loop(world, procs, owned_by[w], child_conn)
+            except BaseException:  # pragma: no cover - shipped to parent
+                import traceback
+
+                code = 1
+                try:
+                    child_conn.send(("error", traceback.format_exc()))
+                except Exception:
+                    pass
+            finally:
+                child_conn.close()
+                os._exit(code)
+        child_conn.close()
+        conns.append(parent_conn)
+        pids.append(pid)
+
+    lookahead = sim.lookahead
+    world_size = world.cluster.world_size
+    try:
+        reports = [_recv(conn) for conn in conns]
+        while True:
+            minima = [r[1] for r in reports]
+            all_out = [entry for r in reports for entry in r[2]]
+            metas = [r[3] for r in reports]
+            releases: List[Any] = [None] * nworkers
+            release_time = None
+            if sum(len(meta) for meta in metas) >= world_size:
+                # Every rank has arrived at the hard sync: compute the
+                # reference-exact release key and the global arrival
+                # positions (heap order of the arriving dispatches).
+                all_meta = [w for meta in metas for w in meta]
+                key_r = world.hard_sync_barrier.release_key(all_meta)
+                release_time = key_r[0][0]
+                order = sorted(
+                    range(len(all_meta)),
+                    key=lambda i: (all_meta[i][0], all_meta[i][1]))
+                positions = [0] * len(all_meta)
+                for p, i in enumerate(order):
+                    positions[i] = p
+                base = 0
+                for w, meta in enumerate(metas):
+                    releases[w] = (release_time, key_r,
+                                   positions[base:base + len(meta)])
+                    base += len(meta)
+            m = min(minima)
+            for entry in all_out:
+                if entry[1] < m:
+                    m = entry[1]
+            if release_time is not None and release_time < m:
+                m = release_time
+            if m == float("inf"):
+                break
+            horizon = m + lookahead
+            inboxes: List[List[tuple]] = [[] for _ in range(nworkers)]
+            for entry in all_out:
+                inboxes[owner[entry[0]]].append(entry)
+            for w, conn in enumerate(conns):
+                conn.send(("window", horizon, inboxes[w], releases[w]))
+            reports = [_recv(conn) for conn in conns]
+        for conn in conns:
+            conn.send(("stop",))
+        finals = [_recv(conn)[1] for conn in conns]
+    finally:
+        for conn in conns:
+            conn.close()
+        for pid in pids:
+            os.waitpid(pid, 0)
+
+    # -- patch the parent's world ------------------------------------
+    quiescence: Dict[int, Any] = {}
+    total_events = sim._event_count
+    for final in finals:
+        for rank, (ok, value) in final["ranks"].items():
+            proc = procs[rank]
+            proc._ok = ok
+            proc._value = value
+            proc.callbacks = None
+        for rank, (msgs, nbytes) in final["ctx"].items():
+            ctx = world.contexts[rank]
+            ctx.nic_msgs, ctx.nic_bytes = msgs, nbytes
+        quiescence.update(final["match"])
+        for node_id, c in final["nodes"].items():
+            node = world.hw.nodes[node_id]
+            (node.tx_messages, node.rx_messages,
+             node.tx._busy_time, node.tx._next_free,
+             node.rx._busy_time, node.rx._next_free,
+             node.membus._busy_time, node.membus._next_free) = c
+        for shard, clock in final["clocks"].items():
+            sim._clocks[shard] = clock
+        total_events += final["events"]
+    sim._event_count = total_events
+    sim.now = max(sim._clocks)
+    # Parent-side heaps still hold the (now executed-elsewhere) items;
+    # drop them so the queue reads as drained.
+    for heap in sim._heaps:
+        heap.clear()
+    world._parallel_quiescence = quiescence
+
+
+def _recv(conn):
+    msg = conn.recv()
+    if msg[0] == "error":
+        raise RuntimeError(f"sharded worker failed:\n{msg[1]}")
+    return msg

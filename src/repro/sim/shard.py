@@ -1,0 +1,700 @@
+"""Sharded simulation kernel: conservative windowed parallel DES.
+
+The cluster's nodes are partitioned into contiguous *shards*; each
+shard advances on its own event queue.  Intra-node traffic (the PiP
+hot path) never leaves its shard, so shards only interact through
+inter-node messages — and every inter-node effect in the machine model
+is delayed by at least the NIC latency ``L`` (the wire must be crossed
+before anything on the destination node can change).  That gives a
+conservative lookahead: with ``m`` the earliest pending event across
+all shards, every event before the horizon ``H = m + L`` can execute
+without seeing any not-yet-produced cross-shard input.  The run loop
+is a sequence of such windows.
+
+Cross-shard scheduling goes through :meth:`ShardedSimulator.call_at_node`
+— the network transport routes a message's *arrival* into the
+destination node's shard, so destination-side pipe reservations and
+matching always execute under the destination shard's queue (executing
+them from the source shard would let a window overtake them).
+
+Determinism
+-----------
+The global engine orders same-time events by push sequence — a single
+integer that shards cannot share and stay independent.  But the
+sequence order of two same-time entries is fully determined by their
+*genealogy*: sequence numbers are monotone in push time, and two
+pushes made at the same instant are ordered by the dispatch order of
+their pushing entries — which is those entries' heap order, i.e. the
+same question one generation up.  The recursion grounds at the
+pre-run pushes (process spawns), which are globally ordered by spawn
+order.  Entries therefore carry the genealogy key — conceptually the
+recursion ::
+
+    key(entry) = (push_time, key(parent entry), child_index)
+
+where ``parent`` is the entry whose dispatch made the push and
+``child_index`` counts that dispatch's pushes — stored *flattened* as
+a pair of flat tuples::
+
+    key   = (times, idxs)
+    times = (t_n, t_{n-1}, ..., t_0)   # push times, newest first
+    idxs  = (i_0, i_1, ...,  i_n)      # child indices, oldest first
+
+Lexicographic comparison of the pair walks push times newest→oldest
+and then child indices oldest→newest, with an all-equal shorter
+``times`` sorting first — exactly the order the nested form induces
+(unrolling the recursion compares ``t_n, t_{n-1}, …, t_0`` on the way
+down and ``i_0, i_1, …, i_n`` on the way back up, and a genealogy
+that bottoms out first loses by the empty-prefix rule), but as two
+C-level tuple comparisons instead of a Python-level walk.  This
+matters because node-symmetric collectives produce genealogies whose
+push times are identical for dozens of generations while their root
+order differs: ``times`` tuples are value-interned per simulator, so
+those dominant comparisons hit CPython's identity fast path and
+resolve in O(1), after which the ``idxs`` of distinct ranks differ at
+element 0 (the spawn index).  Keys are unique (a parent dispatches
+once; siblings differ in ``child_index``), so heap comparisons never
+reach the item.
+
+A key carries one time and one index per live ancestor generation.
+Hard-sync barriers collapse the ancestry: every post-barrier chain
+descends from the single release key (see :class:`ShardedHardSync`),
+so iterated benchmarks — the sharded engine's target workload — keep
+genealogies shallow and the intern table small.
+
+The differential matrix (`tests/validate/test_differential.py`) gates
+this key: sharded runs must be byte- and timestamp-identical to the
+reference engine, for every shard count.
+
+Parallel execution (``workers > 1``) forks worker processes that each
+own a subset of shards and run this same windowed protocol in lockstep
+(see :mod:`repro.sim.parallel`); keys travel with cross-worker entries,
+so per-shard event sequences are identical to sequential mode by
+construction.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+from .engine import Simulator
+from .events import Event
+
+#: the root key — parent of pre-run pushes (process spawns)
+_ROOT: Tuple = ((), ())
+#: child-index step inside a hard-sync release callback: waiter ``p``'s
+#: pushes get indices ``p + i * _RELEASE_STEP``, ordering all released
+#: ranks' pushes by (arrival position, push order) under one shared
+#: parent key, exactly like the reference engine's single release
+#: event running its callbacks back to back.  Exact in binary floating
+#: point for < 2**20 pushes per callback.
+_RELEASE_STEP = 2.0 ** -20
+
+
+class _Group:
+    """One genealogy timeline's same-instant entries: a FIFO with an
+    insort escape hatch.
+
+    The previous generation pops its node-symmetric entries in key
+    (≈ rank) order and each dispatch pushes its successors, so pushes
+    into a group arrive *already sorted* almost always — ``push`` is
+    an append guarded by one C int-tuple comparison, and ``pop`` is an
+    index bump.  Out-of-order pushes (interleaved cross-shard sources)
+    fall back to :func:`bisect.insort`; ``lo=head`` is safe because a
+    dispatch only mints keys greater than the one executing, so no
+    insert can land before the consumed prefix.
+    """
+
+    __slots__ = ("entries", "head")
+
+    def __init__(self, entry: tuple) -> None:
+        self.entries = [entry]
+        self.head = 0
+
+
+class _Bucket:
+    """Same-instant entries, grouped by genealogy timeline.
+
+    ``groups`` is the key order: ascending ``(times, group)`` pairs —
+    keys sort grouped by their ``times`` half, so group-major order
+    *is* lexicographic key order.  ``byid`` finds a push's group by
+    the identity of its interned ``times`` — no value hashing, no
+    value comparison — and the value-ordered group insort happens
+    once per distinct timeline per instant.
+    """
+
+    __slots__ = ("groups", "byid")
+
+    def __init__(self) -> None:
+        self.groups: list = []
+        self.byid: dict = {}
+
+
+class _ShardQueue:
+    """Per-shard pending-event structure: a dict of exact-``when``
+    buckets under a heap of the distinct pending times.
+
+    The sharded workload is storms of *identical* timestamps — every
+    rank of a symmetric collective schedules the same model times, as
+    the same floats — so bucketing by exact ``when`` collapses each
+    storm into one :class:`_Bucket` and the ``_times`` heap stays
+    tiny (its comparisons are bare C floats).  Keys are unique, so
+    items are never compared.
+    """
+
+    __slots__ = ("_buckets", "_times", "_size")
+
+    def __init__(self) -> None:
+        self._buckets: dict = {}
+        self._times: list = []
+        self._size = 0
+
+    def push(self, when: float, key: tuple, item: Any) -> None:
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[when] = bucket
+            heappush(self._times, when)
+        times = key[0]
+        entry = (key[1], key, item)
+        group = bucket.byid.get(id(times))
+        if group is None:
+            group = _Group(entry)
+            bucket.byid[id(times)] = group
+            insort(bucket.groups, (times, group))
+        else:
+            entries = group.entries
+            if entry >= entries[-1]:
+                entries.append(entry)
+            else:
+                insort(entries, entry, group.head)
+        self._size += 1
+
+    def pop_before(self, horizon: float):
+        """Pop the earliest entry if it lies before ``horizon``, else
+        return None — the one-call-per-event loop body of
+        :meth:`ShardedSimulator.run_shard`."""
+        times_heap = self._times
+        if not times_heap:
+            return None
+        when = times_heap[0]
+        if when >= horizon:
+            return None
+        bucket = self._buckets[when]
+        groups = bucket.groups
+        times, group = groups[0]
+        entries = group.entries
+        head = group.head
+        _idxs, key, item = entries[head]
+        head += 1
+        if head == len(entries):
+            groups.pop(0)
+            del bucket.byid[id(times)]
+            if not groups:
+                del self._buckets[when]
+                heappop(times_heap)
+        else:
+            group.head = head
+        self._size -= 1
+        return when, key, item
+
+    def pop(self) -> tuple:
+        when = self._times[0]
+        bucket = self._buckets[when]
+        groups = bucket.groups
+        times, group = groups[0]
+        entries = group.entries
+        head = group.head
+        _idxs, key, item = entries[head]
+        head += 1
+        if head == len(entries):
+            groups.pop(0)
+            del bucket.byid[id(times)]
+            if not groups:
+                del self._buckets[when]
+                heappop(self._times)
+        else:
+            group.head = head
+        self._size -= 1
+        return when, key, item
+
+    def peek_time(self) -> float:
+        return self._times[0] if self._times else float("inf")
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._times.clear()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+
+class _RouterQueue:
+    """Stand-in for ``Simulator._queue`` that routes every push to the
+    currently-executing shard.
+
+    Processes and the engine push directly via ``sim._queue.push(when,
+    seq, item)``; the global ``seq`` is ignored — sharded entries carry
+    their own recursive ordering key (see module docstring).
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "ShardedSimulator") -> None:
+        self.sim = sim
+
+    def push(self, when: float, seq: int, item: Any) -> None:
+        self.sim._route(when, item)
+
+    def peek_time(self) -> float:
+        return self.sim._min_time()
+
+    def __len__(self) -> int:
+        return sum(len(h) for h in self.sim._heaps)
+
+    def __bool__(self) -> bool:
+        return any(self.sim._heaps)
+
+    def pop(self):  # pragma: no cover - run()/step() are overridden
+        raise RuntimeError("sharded queues are popped by the window loop")
+
+
+class ShardedSimulator(Simulator):
+    """A :class:`Simulator` whose queue is partitioned into per-shard
+    heaps synchronized by conservative windows.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards (≥ 2; contiguous node blocks).
+    nnodes:
+        Node count of the machine (shard = ``node * shards // nnodes``).
+    lookahead:
+        Conservative lookahead in seconds — the minimum delay of any
+        cross-shard effect.  The machine model guarantees NIC latency
+        ``L``: every inter-node arrival is at least ``L`` after its
+        send-side handoff.
+    workers:
+        Worker processes for parallel execution (1 = sequential).  The
+        fork-based protocol lives in :mod:`repro.sim.parallel`;
+        sequential and parallel runs execute identical per-shard event
+        sequences.
+    """
+
+    is_sharded = True
+
+    def __init__(self, shards: int, nnodes: int, lookahead: float,
+                 workers: int = 1) -> None:
+        if shards < 2:
+            raise ValueError(f"need at least 2 shards, got {shards}")
+        if shards > nnodes:
+            raise ValueError(f"{shards} shards for {nnodes} nodes")
+        if lookahead <= 0.0:
+            raise ValueError(f"lookahead must be > 0, got {lookahead}")
+        super().__init__(tracer=None, queue="calendar")
+        self.shards = shards
+        self.workers = workers
+        self.lookahead = lookahead
+        self._shard_of_node = [node * shards // nnodes
+                               for node in range(nnodes)]
+        self._heaps: List[_ShardQueue] = [_ShardQueue()
+                                          for _ in range(shards)]
+        self._clocks = [0.0] * shards
+        #: shard currently executing (None outside the window loop)
+        self._active: Optional[int] = None
+        #: ordering key of the currently-dispatched entry — the parent
+        #: key of its pushes — plus the running child index and its
+        #: increment (see :data:`_RELEASE_STEP`)
+        self._key: Tuple = _ROOT
+        self._kidx: float = 0
+        self._kstep: float = 1
+        #: routing for pushes made outside any dispatch (process spawn)
+        self._home_shard = 0
+        #: shards owned by this process (None = all; set by the
+        #: parallel worker protocol)
+        self._owned = None
+        #: cross-worker entries produced this window (parallel mode)
+        self._outbox: list = []
+        #: value-interning table for key ``times`` tuples — equal
+        #: genealogy timelines become the *same* object, so key
+        #: comparisons between node-symmetric genealogies resolve by
+        #: identity and :class:`_Bucket` can group by ``id(times)``.
+        #: Never cleared mid-run: the table keeping every timeline
+        #: alive is what makes ids unique and values never duplicated
+        #: (hard-sync ancestry collapse keeps it small anyway).
+        self._interned: dict = {}
+        #: mint fast path: (id(parent times), now) → interned child
+        #: times — skips the value hash for node-symmetric mints
+        self._tcache: dict = {}
+        #: bound hard-sync coordinator, or None (set by the World)
+        self._hard_sync = None
+        # Replace the backing queue with the shard router.
+        self._queue = _RouterQueue(self)
+
+    # -- routing -------------------------------------------------------
+    def shard_of_node(self, node_id: int) -> int:
+        """The shard owning ``node_id``."""
+        return self._shard_of_node[node_id]
+
+    def set_home(self, node_id: int, rank: int) -> None:
+        """Declare where out-of-dispatch pushes belong.
+
+        The world calls this before spawning each rank's process so
+        the kick-start entry lands in the rank's shard.  Kick-starts
+        are children of the root key with spawn-order indices, like
+        the global engine's spawn sequence.
+        """
+        self._home_shard = self._shard_of_node[node_id]
+
+    def _next_key(self) -> tuple:
+        """Mint the ordering key for a push made right now."""
+        idx = self._kidx
+        self._kidx = idx + self._kstep
+        times, idxs = self._key
+        ck = (id(times), self.now)
+        child = self._tcache.get(ck)
+        if child is None:
+            t = (self.now,) + times
+            child = self._interned.setdefault(t, t)
+            self._tcache[ck] = child
+        return (child, idxs + (idx,))
+
+    def _route(self, when: float, item: Any) -> None:
+        """Push ``item`` into the currently-executing shard.
+
+        The hottest path in the sharded kernel — :meth:`_next_key` is
+        inlined here (one mint per scheduled event).
+        """
+        shard = self._active
+        if shard is None:
+            shard = self._home_shard
+        idx = self._kidx
+        self._kidx = idx + self._kstep
+        times, idxs = self._key
+        ck = (id(times), self.now)
+        child = self._tcache.get(ck)
+        if child is None:
+            t = (self.now,) + times
+            child = self._interned.setdefault(t, t)
+            self._tcache[ck] = child
+        self._heaps[shard].push(when, (child, idxs + (idx,)), item)
+
+    def _push_entry(self, shard: int, entry: tuple) -> None:
+        """Insert a fully-keyed entry (cross-worker delivery path).
+
+        Pickling broke the ``times`` interning — restore it so the
+        imported key compares by identity against local mints.
+        """
+        when, (times, idxs), item = entry
+        times = self._interned.setdefault(times, times)
+        self._heaps[shard].push(when, (times, idxs), item)
+
+    def call_at_node(self, node_id: int, when: float, fn) -> None:
+        """Run ``fn`` at ``when`` under the shard owning ``node_id``.
+
+        The cross-shard scheduling primitive: transports use it for
+        message arrivals so destination-side state mutates under the
+        destination's queue.  ``when`` must be at least ``lookahead``
+        in the future when the destination is remote — the
+        conservative-window contract.
+        """
+        dst = self._shard_of_node[node_id]
+        src = self._active
+        if src is None:
+            src = self._home_shard
+        if dst == src:
+            self._route(when, fn)
+            return
+        key = self._next_key()
+        owned = self._owned
+        if owned is not None and dst not in owned:
+            self._outbox.append((dst, (when, key, fn)))
+        else:
+            self._heaps[dst].push(when, key, fn)
+
+    # Direct-routing overrides: same contracts as the base class, but
+    # skip the global-seq bump and the ``_queue`` indirection — the
+    # recursive key minted in :meth:`_route` is the ordering.
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        self._route(self.now + delay, event)
+
+    def call_at(self, when: float, fn) -> None:
+        if when < self.now:
+            raise ValueError(f"call_at({when}) is in the past (now={self.now})")
+        self._route(when, fn)
+
+    def call_in(self, delay: float, fn) -> None:
+        if delay < 0.0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._route(self.now + delay, fn)
+
+    def event_at(self, when: float, value: Any = None) -> Event:
+        if when < self.now:
+            raise ValueError(f"event_at({when}) is in the past (now={self.now})")
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self._route(when, ev)
+        return ev
+
+    # -- inspection ----------------------------------------------------
+    def _min_time(self, owned_only: bool = False) -> float:
+        shards = (self._owned if owned_only and self._owned is not None
+                  else range(self.shards))
+        m = float("inf")
+        for s in shards:
+            t = self._heaps[s].peek_time()
+            if t < m:
+                m = t
+        return m
+
+    def peek(self) -> float:
+        return self._min_time()
+
+    # -- execution -----------------------------------------------------
+    def _dispatch_item(self, item: Any) -> None:
+        self._event_count += 1
+        cls = item.__class__
+        if cls is tuple:
+            fn, arg = item
+            fn(arg)
+        elif isinstance(item, Event):
+            callbacks, item.callbacks = item.callbacks, None
+            for callback in callbacks:
+                callback(item)
+            if not item.ok and not callbacks:
+                raise item.value
+        else:
+            item()
+
+    def run_shard(self, shard: int, horizon: float,
+                  until: Optional[float] = None) -> None:
+        """Execute ``shard``'s entries with ``when < horizon``.
+
+        Public for the parallel worker protocol; the sequential loop
+        uses it too, so both modes execute identical sequences.
+        """
+        queue = self._heaps[shard]
+        if not queue:
+            return
+        self._active = shard
+        root_kidx = self._kidx
+        self.now = self._clocks[shard]
+        dispatch = self._dispatch_item
+        try:
+            if until is None:
+                while True:
+                    entry = queue.pop_before(horizon)
+                    if entry is None:
+                        break
+                    when, key, item = entry
+                    self.now = when
+                    self._key = key
+                    self._kidx = 0
+                    self._kstep = 1
+                    dispatch(item)
+            else:
+                while True:
+                    when = queue.peek_time()
+                    if when >= horizon or when > until:
+                        break
+                    when, key, item = queue.pop()
+                    self.now = when
+                    self._key = key
+                    self._kidx = 0
+                    self._kstep = 1
+                    dispatch(item)
+        finally:
+            self._clocks[shard] = self.now
+            self._active = None
+            self._key = _ROOT
+            self._kidx = root_kidx
+            self._kstep = 1
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run windows until every shard's queue drains (or ``until``).
+
+        Always sequential — the fork-based multi-worker protocol is
+        driven from :meth:`World.run <repro.runtime.world.World.run>`
+        via :mod:`repro.sim.parallel` (it needs world state to ship
+        results between processes); both execute identical per-shard
+        event sequences.
+        """
+        L = self.lookahead
+        nshards = self.shards
+        while True:
+            m = self._min_time()
+            if m == float("inf") or (until is not None and m > until):
+                break
+            horizon = m + L
+            for shard in range(nshards):
+                self.run_shard(shard, horizon, until=until)
+        self.now = until if until is not None else max(self._clocks)
+
+    def step(self) -> None:  # pragma: no cover - debugging aid
+        """Process the globally-earliest entry (single-step probe)."""
+        m = self._min_time()
+        if m == float("inf"):
+            raise IndexError("step() on empty sharded queues")
+        for shard in range(self.shards):
+            heap = self._heaps[shard]
+            if heap and heap.peek_time() == m:
+                when, key, item = heap.pop()
+                self._active = shard
+                root_kidx = self._kidx
+                self.now = when
+                self._key = key
+                self._kidx = 0
+                self._kstep = 1
+                try:
+                    self._dispatch_item(item)
+                finally:
+                    self._clocks[shard] = self.now
+                    self._active = None
+                    self._key = _ROOT
+                    self._kidx = root_kidx
+                    self._kstep = 1
+                return
+
+
+class _Release:
+    """Dispatchable release callback for one hard-sync waiter.
+
+    Waiter ``p``'s entry carries the release key with the arrival
+    position appended (``(times_r, idxs_r + (p,))``) — it sorts
+    against third-party events exactly like the reference engine's
+    single release event (only the release genealogy mints that
+    timeline, so comparisons never reach the appended element) and
+    against its generation's siblings by global arrival position.
+    The dispatch then runs the waiter's callbacks under the *shared*
+    parent key with child indices ``p + i * _RELEASE_STEP``: every
+    released rank's pushes are siblings ordered by (arrival position,
+    push order), exactly the reference engine's callback ordering.
+    """
+
+    __slots__ = ("sim", "key", "p", "ev")
+
+    def __init__(self, sim: ShardedSimulator, key: tuple, p: int,
+                 ev: Event) -> None:
+        self.sim = sim
+        self.key = key
+        self.p = p
+        self.ev = ev
+
+    def __call__(self) -> None:
+        sim = self.sim
+        sim._key = self.key
+        sim._kidx = float(self.p)
+        sim._kstep = _RELEASE_STEP
+        ev = self.ev
+        callbacks, ev.callbacks = ev.callbacks, None
+        for callback in callbacks:
+            callback(ev)
+
+
+class ShardedHardSync:
+    """Zero-cost global alignment barrier for sharded worlds.
+
+    Drop-in for the world's ``hard_sync_barrier`` (same ``arrive()``
+    interface as :class:`~repro.pip.sync.NodeBarrier` with zero flag
+    latency).  Release mirrors the reference barrier exactly: the
+    last arrival schedules a zero-delay release whose callbacks run
+    in arrival order.  Here each waiter gets its own release entry in
+    its own shard; all entries of a generation carry the key the
+    reference release event would have, extended with the waiter's
+    arrival position (so they sort identically against third-party
+    events and in arrival order among themselves), and
+    :class:`_Release` hands every waiter the shared parent key with
+    arrival-ordered child indices (so post-barrier pushes sort
+    identically too).  Arrival order
+    itself is the heap order ``(time, key)`` of the arriving
+    dispatches — globally well defined without any shared counter.
+
+    In parallel-worker mode arrivals are aggregated by the coordinator
+    between windows (see :mod:`repro.sim.parallel`); release keys and
+    positions are identical to sequential mode.
+    """
+
+    def __init__(self, sim: ShardedSimulator, nranks: int) -> None:
+        self.sim = sim
+        self.nranks = nranks
+        #: (arrive time, dispatch key, consumed child index, shard,
+        #: event) per waiter, in local arrival order
+        self._waiters: list = []
+        sim._hard_sync = self
+
+    def arrive(self) -> Event:
+        sim = self.sim
+        shard = sim._active
+        if shard is None:
+            shard = sim._home_shard
+        ev = Event(sim)
+        # Consume one child index: the reference barrier pushes its
+        # zero-delay release timeout right here, and later pushes of
+        # this same dispatch must sort after it.
+        k = sim._kidx
+        sim._kidx = k + sim._kstep
+        self._waiters.append((sim.now, sim._key, k, shard, ev))
+        if len(self._waiters) == self.nranks and sim._owned is None:
+            self._open()
+        return ev
+
+    @property
+    def pending(self) -> int:
+        """Arrivals so far in the current generation (worker probe)."""
+        return len(self._waiters)
+
+    def waiter_meta(self) -> list:
+        """(time, key, index) per local waiter — coordinator input."""
+        return [(t, key, k) for t, key, k, _, _ in self._waiters]
+
+    @staticmethod
+    def release_key(meta: list) -> tuple:
+        """The shared release key for one generation's waiter metadata.
+
+        Mirrors the reference engine: the *last* arrival (max by
+        ``(time, key)``) pushes a zero-delay timeout consuming child
+        index ``k``; the timeout's dispatch then pushes the release
+        event as its first child.
+        """
+        t_last, key_last, k_last = max(meta, key=lambda w: (w[0], w[1]))
+        times, idxs = key_last
+        # timeout = child k of the last arrival; release = its child 0
+        return ((t_last, t_last) + times, idxs + (k_last, 0))
+
+    def _open(self) -> None:
+        """Sequential-mode release (called from the last arrival)."""
+        waiters, self._waiters = self._waiters, []
+        meta = [(t, key, k) for t, key, k, _, _ in waiters]
+        key_r = self.release_key(meta)
+        tmax = key_r[0][0]
+        order = sorted(range(len(waiters)),
+                       key=lambda i: (waiters[i][0], waiters[i][1]))
+        positions = [0] * len(waiters)
+        for p, i in enumerate(order):
+            positions[i] = p
+        self._release_local(tmax, key_r, positions, waiters)
+
+    def release_all(self, tmax: float, key_r: tuple,
+                    positions: list) -> None:
+        """Coordinator-driven release of this worker's waiters."""
+        waiters, self._waiters = self._waiters, []
+        self._release_local(tmax, key_r, positions, waiters)
+
+    def _release_local(self, tmax: float, key_r: tuple, positions: list,
+                       waiters: list) -> None:
+        sim = self.sim
+        times, idxs = key_r
+        times = sim._interned.setdefault(times, times)
+        key_r = (times, idxs)
+        for (t, key, k, shard, ev), p in zip(waiters, positions):
+            ev._ok = True
+            ev._value = None
+            sim._heaps[shard].push(tmax, (times, idxs + (p,)),
+                                   _Release(sim, key_r, p, ev))

@@ -1,0 +1,139 @@
+"""Unit tests for the vectorized analytic evaluator's envelope.
+
+The differential matrix (``tests/validate/test_differential.py``)
+proves declined calls are byte- and timestamp-exact; here we pin *when*
+the evaluator engages vs declines — the ``hits`` / ``declined``
+counters — and that every decline path replays the reference run
+exactly.
+"""
+
+import pytest
+
+from repro.machine import broadwell_opa
+from repro.mpilibs import make_library
+
+
+def _run_allgather(library, engine, nodes=4, ppn=1, nbytes=64, skew=False):
+    """(results, stats-sans-sim_events, world) for a wrapped allgather."""
+    from repro.bench.harness import _buffers, _invoke
+
+    lib = make_library(library)
+    world = lib.make_world(broadwell_opa(nodes=nodes, ppn=ppn),
+                           functional=True, engine=engine)
+    size = world.comm_world.size
+    algo = lib.wrapped("allgather", nbytes, size)
+
+    def program(ctx):
+        if skew and ctx.rank == 0:
+            # Stagger rank 0's entry so the dynamic same-instant guard
+            # fails and the evaluator must fall back mid-flight.
+            yield from ctx.compute(1e-6)
+        bufs = _buffers(ctx, "allgather", nbytes, size, 0)
+        yield from _invoke(algo, ctx, bufs, "allgather", 0)
+        return (ctx.now, bytes(bufs["recv"].read()))
+
+    results = world.run(program)
+    world.assert_quiescent()
+    stats = world.stats()
+    stats.pop("sim_events")
+    return results, stats, world
+
+
+def test_engages_at_ppn1_pow2():
+    ref, ref_stats, _ = _run_allgather("MPICH", "reference")
+    got, stats, world = _run_allgather("MPICH", "analytic")
+    assert world.analytic.hits == 1
+    assert world.analytic.declined == 0
+    assert got == ref and stats == ref_stats
+
+
+def test_declines_statically_at_ppn2():
+    # Intra-node traffic breaks the uniform-round model; the envelope
+    # rejects ppn > 1 before touching any state.
+    ref, ref_stats, _ = _run_allgather("MPICH", "reference", ppn=2)
+    got, stats, world = _run_allgather("MPICH", "analytic", ppn=2)
+    assert world.analytic.hits == 0
+    assert world.analytic.declined == 0  # static declines aren't counted
+    assert got == ref and stats == ref_stats
+
+
+def test_declines_rendezvous_sized_rounds():
+    # Largest recursive-doubling round is count*size/2; push it past
+    # the 16 KiB eager limit and the static envelope must decline.
+    nbytes = 16384  # final round = 32 KiB > eager limit
+    assert broadwell_opa(nodes=4, ppn=1).nic.eager_limit < nbytes * 2
+    ref, ref_stats, _ = _run_allgather("MPICH", "reference", nbytes=nbytes)
+    got, stats, world = _run_allgather("MPICH", "analytic", nbytes=nbytes)
+    assert world.analytic.hits == 0
+    assert got == ref and stats == ref_stats
+
+
+def test_ignores_non_whitelisted_algorithms():
+    # PiP-MColl's multi-object allgather is not a lockstep whitelisted
+    # algorithm — the evaluator must pass it through untouched.
+    ref, ref_stats, _ = _run_allgather("PiP-MColl", "reference")
+    got, stats, world = _run_allgather("PiP-MColl", "analytic")
+    assert world.analytic.hits == 0
+    assert world.analytic.declined == 0
+    assert got == ref and stats == ref_stats
+
+
+def test_dynamic_decline_replays_reference():
+    # Ranks entering at different instants must not be parked past
+    # their own entry time: the early ranks' gather expires at their
+    # instant and declines, the straggler's fresh gather declines at
+    # its — two declined gathers, and the fallback replays the
+    # reference run to the byte and tick.
+    ref, ref_stats, _ = _run_allgather("MPICH", "reference", skew=True)
+    got, stats, world = _run_allgather("MPICH", "analytic", skew=True)
+    assert world.analytic.hits == 0
+    assert world.analytic.declined == 2
+    assert got == ref and stats == ref_stats
+
+
+def test_bruck_handler_engages_on_non_pow2():
+    # MVAPICH2 picks Bruck for small allgathers; 3 nodes is non-pow2,
+    # which recursive doubling can't do but Bruck can.
+    ref, ref_stats, _ = _run_allgather("MVAPICH2", "reference", nodes=3,
+                                       nbytes=32)
+    got, stats, world = _run_allgather("MVAPICH2", "analytic", nodes=3,
+                                       nbytes=32)
+    assert world.analytic.hits == 1
+    assert got == ref and stats == ref_stats
+
+
+def test_session_surfaces_analytic_engine():
+    import numpy as np
+
+    from repro.api import Session
+
+    session = Session(library="MPICH", nodes=4, ppn=1, trace=False,
+                      engine="analytic")
+
+    def app(comm):
+        send = np.full(8, comm.rank, dtype=np.uint8)
+        recv = np.zeros(8 * comm.size, dtype=np.uint8)
+        yield from comm.Allgather(send, recv)
+        return recv[::8].tolist()
+
+    result = session.run(app)
+    assert result.engine.name == "analytic"
+    assert result.engine.analytic
+    assert all(r == [0, 1, 2, 3] for r in result.values)
+
+
+@pytest.mark.parametrize("flag", ["resources"])
+def test_session_analytic_downgrade_is_visible(flag):
+    from repro.api import Session
+
+    session = Session(library="MPICH", nodes=4, ppn=1, trace=False,
+                      engine="analytic", resources=True)
+
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.rank
+
+    result = session.run(app)
+    assert result.engine.name == "calendar"
+    assert not result.engine.analytic
+    assert any("resource telemetry" in d for d in result.engine.downgrades)

@@ -8,6 +8,11 @@ from repro.machine import small_test
 from repro.mpilibs import PAPER_LINEUP
 from repro.runtime.ops import MAX
 
+# run_app is a deprecated alias (exercised on purpose throughout this
+# module — it must keep behaving identically to Session); the dedicated
+# test below asserts the warning itself.
+pytestmark = pytest.mark.filterwarnings("ignore:run_app")
+
 
 def test_send_recv_roundtrip():
     def app(comm):
@@ -185,18 +190,27 @@ def test_gatherv_scatterv_facade_roundtrip():
     assert results[0] == (-np.arange(total, dtype=float)).tolist()
 
 
-def test_istart_wait_overlap_and_deprecation():
+def test_iallgather_wait_overlap():
     def app(comm):
         mine = np.full(4, comm.rank, dtype=np.int64)
         out = np.empty(4 * comm.size, dtype=np.int64)
-        with pytest.warns(DeprecationWarning, match="Istart"):
-            req = comm.Istart(comm.Allgather(mine, out))
+        req = comm.Iallgather(mine, out)
         yield from comm.ctx.compute(1e-6)
         yield from comm.Wait(req)
         return out[::4].tolist()
 
     results = run_app(app, nodes=2, ppn=2)
     assert all(r == [0, 1, 2, 3] for r in results)
+
+
+def test_istart_is_gone():
+    # Removed in the entry-point migration: the generic
+    # Istart(generator) form is replaced by the I-prefixed collectives.
+    def app(comm):
+        assert not hasattr(comm, "Istart")
+        yield from comm.Barrier()
+
+    run_app(app, nodes=1, ppn=2)
 
 
 # -- Session / RunResult ---------------------------------------------------
@@ -257,6 +271,51 @@ def test_run_app_stays_a_plain_list():
     results = run_app(app, nodes=1, ppn=2)
     assert type(results) is list
     assert results == [0, 1]
+
+
+@pytest.mark.filterwarnings("error:run_app")
+def test_run_app_warns_deprecation():
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.rank
+
+    with pytest.warns(DeprecationWarning, match="run_app"):
+        results = run_app(app, nodes=1, ppn=2)
+    assert results == [0, 1]
+
+
+def test_session_accepts_engine():
+    from repro.api import Session
+    from repro.sim.spec import EngineSpec
+
+    def app(comm):
+        mine = np.full(2, comm.rank, dtype=np.int64)
+        out = np.empty(2 * comm.size, dtype=np.int64)
+        yield from comm.Allgather(mine, out)
+        return out[::2].tolist()
+
+    ref = Session(nodes=2, ppn=2, trace=False, engine="reference").run(app)
+    cal = Session(nodes=2, ppn=2, trace=False, engine="calendar").run(app)
+    assert ref.values == cal.values
+    assert isinstance(ref.engine, EngineSpec)
+    assert ref.engine.name == "reference"
+    assert cal.engine.name == "calendar"
+
+
+def test_session_traced_downgrades_sharded():
+    # trace=True attaches a span recorder, which the engine resolution
+    # must see: sharded falls back to calendar instead of erroring.
+    from repro.api import Session
+
+    def app(comm):
+        yield from comm.Barrier()
+        return comm.rank
+
+    result = Session(nodes=2, ppn=2, trace=True, engine="sharded").run(app)
+    assert result.values == [0, 1, 2, 3]
+    assert result.engine.name == "calendar"
+    assert any("span recorder" in d for d in result.engine.downgrades)
+    assert result.trace is not None
 
 
 # -- Split -----------------------------------------------------------------

@@ -1,0 +1,265 @@
+"""Shard-boundary unit tests for the sharded simulation kernel, plus
+the EngineSpec resolution/downgrade rules it sits behind.
+
+The heavyweight byte-exactness gate lives in
+``tests/validate/test_differential.py`` (engine columns); here we pin
+the kernel's contracts directly: lookahead wiring, node→shard routing,
+determinism under varying shard counts, and fork-parallel ≡ sequential.
+"""
+
+import pytest
+
+from repro.machine import broadwell_opa
+from repro.mpilibs import make_library
+from repro.sim.shard import ShardedSimulator
+from repro.sim.spec import (
+    DEFAULT_MAX_SHARDS,
+    ENGINE_NAMES,
+    EngineSpec,
+    resolve_engine,
+)
+
+
+# ---------------------------------------------------------------------------
+# EngineSpec resolution — the single place downgrade rules live.
+# ---------------------------------------------------------------------------
+def test_engine_names_resolve():
+    assert resolve_engine("reference").name == "reference"
+    assert resolve_engine("reference").queue == "heap"
+    assert not resolve_engine("reference").fastpath
+
+    cal = resolve_engine("calendar")
+    assert cal.name == "calendar" and cal.queue == "calendar" and cal.fastpath
+
+    sh = resolve_engine("sharded:4x2", nodes=8)
+    assert sh.name == "sharded" and sh.shards == 4 and sh.workers == 2
+    assert sh.sharded and sh.requested == "sharded:4x2"
+
+    an = resolve_engine("analytic")
+    assert an.name == "analytic" and an.analytic and an.fastpath
+
+
+def test_unknown_engine_and_bad_suffix_raise():
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine("warpdrive")
+    with pytest.raises(ValueError, match="suffix"):
+        resolve_engine("calendar:4")
+    with pytest.raises(ValueError, match="sharded"):
+        resolve_engine("sharded:two")
+
+
+def test_engine_and_legacy_kwargs_are_exclusive():
+    with pytest.raises(ValueError, match="not both"):
+        resolve_engine("calendar", queue="heap")
+    with pytest.raises(ValueError, match="not both"):
+        resolve_engine("sharded", fastpath=False, nodes=4)
+
+
+def test_legacy_kwargs_keep_pre_enginespec_behaviour():
+    spec = resolve_engine(None)
+    assert spec.queue == "calendar" and spec.fastpath
+    assert spec.requested is None
+
+    slow = resolve_engine(None, fastpath=False)
+    assert not slow.fastpath
+
+    traced = resolve_engine(None, tracer=True)
+    assert not traced.fastpath
+    assert any("fast path off" in d for d in traced.downgrades)
+
+
+def test_sharded_downgrades_are_recorded():
+    for flag, needle in (
+        ("faults", "faults"),
+        ("tracer", "tracer"),
+        ("obs", "span recorder"),
+        ("reliable", "reliable"),
+        ("fabric", "fabric"),
+        ("ft", "fault-tolerance"),
+    ):
+        spec = resolve_engine("sharded", nodes=8, **{flag: True})
+        assert spec.name == "calendar", flag
+        assert spec.shards == 1
+        assert any(needle in d for d in spec.downgrades), flag
+
+    single = resolve_engine("sharded", nodes=1)
+    assert single.name == "calendar"
+    assert any("single-node" in d for d in single.downgrades)
+
+
+def test_sharded_shard_and_worker_clamps():
+    spec = resolve_engine("sharded", nodes=3)
+    assert spec.shards == 3  # min(nodes, DEFAULT_MAX_SHARDS)
+    assert resolve_engine("sharded", nodes=64).shards == DEFAULT_MAX_SHARDS
+
+    clamped = resolve_engine("sharded:16", nodes=4)
+    assert clamped.shards == 4
+    assert any("clamped" in d for d in clamped.downgrades)
+
+    workers = resolve_engine("sharded:4x8", nodes=8)
+    assert workers.workers == 4  # never more workers than shards
+
+    seq = resolve_engine("sharded:4x4", nodes=8, resources=True)
+    assert seq.workers == 1
+    assert any("sequential" in d for d in seq.downgrades)
+
+
+def test_analytic_downgrades_to_calendar():
+    # The evaluator bypasses RateLimiter.reserve, where resource
+    # telemetry records — so resources force plain calendar.
+    spec = resolve_engine("analytic", resources=True)
+    assert spec.name == "calendar" and not spec.analytic
+    assert any("resource telemetry" in d for d in spec.downgrades)
+
+    for flag in ("faults", "tracer", "obs", "reliable", "fabric", "ft"):
+        spec = resolve_engine("analytic", **{flag: True})
+        assert spec.name == "calendar" and not spec.analytic, flag
+
+
+def test_spec_reresolution_preserves_request():
+    first = resolve_engine("sharded:4x2", nodes=8)
+    # Re-resolving the resolved spec against harsher conditions applies
+    # the downgrade rules to the *original* request.
+    again = resolve_engine(first, nodes=8, faults=True)
+    assert again.name == "calendar"
+    assert again.requested == "sharded:4x2"
+    # ... and against friendly conditions reproduces the original.
+    same = resolve_engine(first, nodes=8)
+    assert (same.name, same.shards, same.workers) == ("sharded", 4, 2)
+
+
+def test_describe_mentions_downgrades():
+    spec = resolve_engine("sharded", nodes=1)
+    text = spec.describe()
+    assert "downgraded" in text and "single-node" in text
+    assert set(ENGINE_NAMES) == {"reference", "calendar", "sharded",
+                                 "analytic"}
+    assert isinstance(spec, EngineSpec)
+
+
+# ---------------------------------------------------------------------------
+# Kernel contracts: constructor guards, routing, lookahead wiring.
+# ---------------------------------------------------------------------------
+def test_sharded_simulator_constructor_guards():
+    with pytest.raises(ValueError, match="at least 2"):
+        ShardedSimulator(1, 4, 1e-6)
+    with pytest.raises(ValueError, match="shards for"):
+        ShardedSimulator(8, 4, 1e-6)
+    with pytest.raises(ValueError, match="lookahead"):
+        ShardedSimulator(2, 4, 0.0)
+
+
+def test_shard_of_node_is_contiguous_and_balanced():
+    sim = ShardedSimulator(4, 10, 1e-6)
+    mapping = [sim.shard_of_node(n) for n in range(10)]
+    assert mapping == sorted(mapping)  # contiguous blocks
+    assert set(mapping) == {0, 1, 2, 3}  # every shard owns nodes
+    sizes = [mapping.count(s) for s in range(4)]
+    assert max(sizes) - min(sizes) <= 1  # balanced within one node
+
+
+def test_world_wires_nic_latency_as_lookahead():
+    params = broadwell_opa(nodes=4, ppn=1)
+    world = make_library("MPICH").make_world(params, functional=False,
+                                             engine="sharded:4")
+    assert isinstance(world.sim, ShardedSimulator)
+    assert world.sim.lookahead == params.nic.latency
+    assert world.sim.shards == 4
+    assert world.engine.describe().startswith("sharded")
+
+
+def test_cross_shard_arrivals_respect_lookahead():
+    # The conservative-window contract: every cross-shard effect is at
+    # least `lookahead` in the future.  Run a real inter-node exchange
+    # and sanity-check the windows drained to quiescence.
+    params = broadwell_opa(nodes=4, ppn=1)
+    lib = make_library("MPICH")
+    world = lib.make_world(params, functional=True, engine="sharded:4")
+
+    def program(ctx):
+        import numpy as np
+
+        from repro.runtime import ArrayBuffer
+
+        peer = (ctx.rank + 2) % 4  # always another shard
+        send = ArrayBuffer.from_array(
+            np.full(8, ctx.rank + 1, dtype=np.uint8))
+        recv = ArrayBuffer.zeros(8)
+        if ctx.rank < 2:
+            yield from ctx.send(send.view(), dst=peer, tag=1)
+            yield from ctx.recv(recv.view(), src=peer, tag=2)
+        else:
+            yield from ctx.recv(recv.view(), src=peer, tag=1)
+            yield from ctx.send(send.view(), dst=peer, tag=2)
+        return bytes(recv.bytes_view)
+
+    results = world.run(program)
+    world.assert_quiescent()
+    assert results == [bytes([3] * 8), bytes([4] * 8),
+                       bytes([1] * 8), bytes([2] * 8)]
+    # Round trip across shards: at least two NIC latencies of time.
+    assert world.sim.now >= 2 * params.nic.latency
+
+
+# ---------------------------------------------------------------------------
+# Determinism: identical bytes, timestamps and counters for every shard
+# count, and for fork-parallel vs sequential execution.
+# ---------------------------------------------------------------------------
+def _collective_fingerprint(engine, nodes=8, ppn=2, nbytes=32,
+                            collective="allgather", library="MPICH"):
+    from repro.bench.harness import _buffers, _invoke
+
+    lib = make_library(library)
+    params = broadwell_opa(nodes=nodes, ppn=ppn)
+    world = lib.make_world(params, functional=True, engine=engine)
+    size = world.comm_world.size
+    algo = lib.wrapped(collective, nbytes, size)
+
+    def program(ctx):
+        bufs = _buffers(ctx, collective, nbytes, size, 0)
+        for _ in range(2):
+            yield from _invoke(algo, ctx, bufs, collective, 0)
+        out = [bytes(b.read()) for b in bufs.values() if b is not None]
+        return (ctx.now, out)
+
+    results = world.run(program)
+    world.assert_quiescent()
+    stats = world.stats()
+    stats.pop("sim_events")  # engines legitimately differ here
+    return results, stats
+
+
+def test_identical_across_shard_counts():
+    ref = _collective_fingerprint("reference")
+    for engine in ("sharded:2", "sharded:4", "sharded:8"):
+        assert _collective_fingerprint(engine) == ref, engine
+
+
+def test_uneven_shard_split_is_exact():
+    # 6 nodes over 4 shards: block sizes 1 and 2 — routing must stay
+    # exact when shards own different node counts.
+    ref = _collective_fingerprint("reference", nodes=6, ppn=2,
+                                  collective="alltoall")
+    got = _collective_fingerprint("sharded:4", nodes=6, ppn=2,
+                                  collective="alltoall")
+    assert got == ref
+
+
+def test_fork_parallel_matches_sequential():
+    seq = _collective_fingerprint("sharded:4")
+    par = _collective_fingerprint("sharded:4x2")
+    assert par == seq
+
+
+def test_parallel_world_is_single_use():
+    lib = make_library("MPICH")
+    world = lib.make_world(broadwell_opa(nodes=4, ppn=1), functional=False,
+                           engine="sharded:4x2")
+
+    def program(ctx):
+        yield from ctx.hard_sync()
+        return ctx.rank
+
+    assert world.run(program) == [0, 1, 2, 3]
+    with pytest.raises(RuntimeError, match="fresh world"):
+        world.run(program)

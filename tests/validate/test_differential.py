@@ -351,6 +351,61 @@ def test_pinned_matrix(collective, library):
                     dtype_name="int64", op_name="SUM", root=0, seed=7))
 
 
+# ---------------------------------------------------------------------------
+# Engine columns: the sharded kernel and the analytic evaluator must be
+# byte- and timestamp-exact vs the reference engine on the same matrix.
+# ``sim_events`` is excluded — engines legitimately differ in how many
+# scheduler entries they process; every *physical* counter must match.
+# ---------------------------------------------------------------------------
+def _run_engine(case: Case, app, engine):
+    session = Session(library=case.library,
+                      params=broadwell_opa(nodes=case.nodes, ppn=case.ppn),
+                      trace=False, functional=True, engine=engine)
+    result = session.run(app)
+    stats = dict(result.stats)
+    stats.pop("sim_events")
+    return result.elapsed, list(result.values), stats, result
+
+
+@pytest.mark.parametrize("library", DIFF_LINEUP)
+@pytest.mark.parametrize("collective", ALL_COLLECTIVES)
+def test_pinned_matrix_engines(collective, library):
+    case = Case(collective, library, nodes=2, ppn=2, count=3,
+                dtype_name="int64", op_name="SUM", root=0, seed=7)
+    app, expected = _app_and_oracle(case)
+    ref_t, ref_out, ref_stats, _ = _run_engine(case, app, "reference")
+    for rank, (got, want) in enumerate(zip(ref_out, expected)):
+        assert got == want.tobytes(), \
+            f"{case}: rank {rank} reference result differs from the oracle"
+    for engine in ("sharded", "analytic"):
+        t, out, stats, result = _run_engine(case, app, engine)
+        assert result.engine.requested == engine
+        assert t == ref_t, \
+            f"{case}: {engine} moved simulated time {t} != {ref_t}"
+        assert out == ref_out, f"{case}: {engine} changed rank results"
+        assert stats == ref_stats, \
+            f"{case}: {engine} changed hardware counters"
+
+
+@pytest.mark.parametrize("library", ("MPICH", "IntelMPI", "OpenMPI"))
+def test_analytic_engine_engages_at_ppn1(library):
+    # ppn=1, pow2 world, eager-sized rounds: the whitelisted lockstep
+    # allgather algorithms must actually take the vectorized path (not
+    # silently fall back) and still be exact in time, bytes and stats.
+    case = Case("allgather", library, nodes=4, ppn=1, count=8,
+                dtype_name="int64", op_name="SUM", root=0, seed=11)
+    app, expected = _app_and_oracle(case)
+    ref_t, ref_out, ref_stats, _ = _run_engine(case, app, "reference")
+    t, out, stats, result = _run_engine(case, app, "analytic")
+    assert result.world.analytic is not None
+    assert result.world.analytic.hits > 0, \
+        f"{case}: evaluator never engaged"
+    assert t == ref_t and out == ref_out and stats == ref_stats
+    for rank, (got, want) in enumerate(zip(out, expected)):
+        assert got == want.tobytes(), \
+            f"{case}: rank {rank} analytic result differs from the oracle"
+
+
 def test_pinned_ulp_telemetry_case():
     # Regression: the reference path used to schedule pipe completions
     # via a relative timeout (now + (finish + tail - now)), landing a
