@@ -1,0 +1,138 @@
+"""A13 — Sweep-service perf gate: warm cache ≥ 5× over cold, bit-exact.
+
+The sweep service exists so the paper's figures stop costing a full
+re-simulation every time someone regenerates them.  This experiment
+pins the contract on the A10 grid (Fig. 2's allgather sweep over the
+paper lineup):
+
+* **cold fill** — the sweep runs once against an empty
+  content-addressed cache, writing every cell;
+* **warm replay ≥ 5×** — the same sweep re-runs against the filled
+  cache; it must be all hits, byte-identical in every BenchRecord,
+  and at least ``MIN_SPEEDUP``× faster in wall-clock (file reads vs
+  simulations; at paper scale the real ratio is orders of magnitude);
+* **corruption recovery** — a cache entry is truncated mid-file; the
+  next sweep detects it (corrupt counter), recomputes exactly that
+  cell, and comes back byte-identical again — damage degrades to
+  recomputation, never to wrong data.
+
+Scale: ``REPRO_BENCH_SCALE=small`` drops to 16 × 6 so the experiment
+smoke-runs anywhere; CI's service job runs it at the paper's 128 × 18.
+Everything measured lands in ``benchmarks/results/
+a13_sweep_cache.json`` and the records in ``a13_sweep_cache.records.
+json`` — the CI service job uploads both next to the cache directory
+itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import run_sweep
+from repro.machine import broadwell_opa
+from repro.service import ResultCache
+
+from conftest import RESULTS_DIR, bench_scale, save_result, save_records
+
+#: Fig. 2's x-axis (per-process bytes)
+SIZES = [16, 32, 64, 128, 256, 512]
+
+#: wall-clock ratio the warm replay must beat (override with
+#: REPRO_A13_MIN_SPEEDUP)
+MIN_SPEEDUP = float(os.environ.get("REPRO_A13_MIN_SPEEDUP", "5.0"))
+
+COLLECTIVE = "allgather"
+
+
+def _params():
+    if bench_scale() == "small":
+        return broadwell_opa(nodes=16, ppn=6)
+    return broadwell_opa()  # the paper's 128 x 18 = 2304 ranks
+
+
+def _grid_records(sweep):
+    return {f"{lib}/{n}": json.dumps(p.to_record().as_dict(),
+                                     sort_keys=True)
+            for (lib, n), p in sweep.points.items()}
+
+
+@pytest.mark.benchmark(group="a13")
+def test_a13_sweep_cache(benchmark, tmp_path_factory):
+    params = _params()
+    # CI points this at a workspace path so the filled cache directory
+    # uploads as the job artifact; locally a temp dir is fine.
+    cache_dir = (Path(os.environ["REPRO_A13_CACHE_DIR"])
+                 if os.environ.get("REPRO_A13_CACHE_DIR")
+                 else tmp_path_factory.mktemp("a13_cache"))
+    cache = ResultCache(cache_dir)
+    cache.clear()  # a re-run must start cold
+
+    def _cold():
+        t0 = time.perf_counter()
+        sweep = run_sweep(COLLECTIVE, SIZES, params, cache=cache)
+        return sweep, time.perf_counter() - t0
+
+    sweep_cold, cold_s = benchmark.pedantic(_cold, rounds=1, iterations=1)
+    cells = len(_grid_records(sweep_cold))
+    assert cache.stats.writes == cells
+    assert cache.stats.hits == 0
+
+    # -- warm replay: all hits, bit-exact, >= MIN_SPEEDUP x ------------
+    warm_cache = ResultCache(cache_dir)  # fresh instance, fresh stats
+    t0 = time.perf_counter()
+    sweep_warm = run_sweep(COLLECTIVE, SIZES, params, cache=warm_cache)
+    warm_s = time.perf_counter() - t0
+    assert warm_cache.stats.hits == cells
+    assert warm_cache.stats.misses == 0
+    assert _grid_records(sweep_warm) == _grid_records(sweep_cold)
+    speedup = cold_s / warm_s
+    assert speedup >= MIN_SPEEDUP, \
+        f"warm replay only {speedup:.1f}x over cold (need {MIN_SPEEDUP}x)"
+
+    # -- corruption recovery -------------------------------------------
+    victim = next(iter(warm_cache.keys()))
+    victim_path = warm_cache.path_for(victim)
+    text = victim_path.read_text()
+    victim_path.write_text(text[: len(text) // 2])  # torn mid-file
+    heal_cache = ResultCache(cache_dir)
+    sweep_heal = run_sweep(COLLECTIVE, SIZES, params, cache=heal_cache)
+    assert heal_cache.stats.corrupt == 1
+    assert heal_cache.stats.hits == cells - 1
+    assert heal_cache.stats.writes == 1  # exactly the damaged cell
+    assert _grid_records(sweep_heal) == _grid_records(sweep_cold)
+
+    # -- artifacts ------------------------------------------------------
+    report = {
+        "scale": bench_scale(),
+        "nodes": params.nodes,
+        "ppn": params.ppn,
+        "cells": cells,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "corruption_recovered": True,
+        "cache_entries": len(ResultCache(cache_dir)),
+    }
+    lines = [f"A13 sweep cache: {COLLECTIVE} Fig.2 sweep, "
+             f"{params.nodes}x{params.ppn}, {cells} cells",
+             f"  cold fill   {cold_s:8.2f}s  ({cells} simulations)",
+             f"  warm replay {warm_s:8.2f}s  ({cells} cache hits, "
+             f"bit-exact)",
+             f"  speedup     {speedup:8.1f}x  (gate: >= {MIN_SPEEDUP}x)",
+             "  corruption  1 torn entry detected, recomputed, "
+             "bit-exact again"]
+    save_result("a13_sweep_cache", "\n".join(lines))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "a13_sweep_cache.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    save_records("a13_sweep_cache", [
+        point.to_record(
+            run="a13_sweep_cache", scale=bench_scale(), source="warm-cache")
+        for point in sweep_warm.points.values()
+    ])

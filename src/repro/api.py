@@ -583,6 +583,27 @@ class Session:
                          library=self.library, world=world,
                          resources=world.resources)
 
+    def sweep(self, collective: str, sizes: Sequence[int], *,
+              libraries: Optional[Sequence] = None, warmup: int = 1,
+              iters: int = 3, cache=None, workers: int = 1,
+              progress=None):
+        """Benchmark ``collective`` across ``sizes`` on this session's
+        machine and engine (default: just this session's library).
+
+        ``cache`` (a directory or :class:`~repro.service.ResultCache`)
+        and ``workers`` route the grid through the sweep service —
+        warm cells are file reads, cold cells batch across forked
+        workers, and ``progress`` streams per-cell events.  Returns
+        the :class:`~repro.bench.harness.Sweep`.
+        """
+        from .bench import run_sweep
+
+        libs = list(libraries) if libraries is not None else [self._lib]
+        return run_sweep(collective, list(sizes), self.machine,
+                         libraries=libs, warmup=warmup, iters=iters,
+                         engine=self.engine, cache=cache, workers=workers,
+                         progress=progress)
+
 
 def run_app(
     app: Callable[[VComm], Any],

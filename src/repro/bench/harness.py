@@ -138,6 +138,7 @@ def bench_collective(
     resources: bool = False,
     attribution: bool = False,
     engine=None,
+    cache=None,
 ) -> BenchPoint:
     """Measure one point (see module docstring).
 
@@ -158,7 +159,28 @@ def bench_collective(
     (:func:`repro.bench.breakdown.measure_attribution`) and fills
     ``point.attribution`` — the timing numbers still come from the
     untraced run.
+
+    ``cache`` (a directory path or :class:`~repro.service.ResultCache`)
+    routes the point through the content-addressed result cache: a
+    warm cell costs one file read and returns a byte-identical point.
+    Chaos points (``faults``/``reliable``), forced engine paths
+    (``fastpath`` not None), and non-content-addressable libraries
+    bypass the cache and measure directly — the cache only ever holds
+    clean, reconstructable measurements (see ``docs/SERVICE.md``).
     """
+    if (cache is not None and faults is None and not reliable
+            and fastpath is None):
+        from ..service import CacheKeyError, cached_bench_collective
+
+        try:
+            return cached_bench_collective(
+                library, collective, nbytes, params,
+                cache=cache, warmup=warmup, iters=iters,
+                functional=functional, root=root, engine=engine,
+                resources=resources, attribution=attribution,
+            )
+        except CacheKeyError:
+            pass  # unaddressable cell → fall through to direct measure
     lib = make_library(library) if isinstance(library, str) else library
     if warmup < 0 or iters < 1:
         raise ValueError("need warmup >= 0 and iters >= 1")
@@ -321,6 +343,9 @@ def run_sweep(
     resources: bool = False,
     attribution: bool = False,
     engine: "Union[str, EngineSpec, None]" = None,
+    cache=None,
+    workers: int = 1,
+    progress=None,
 ) -> Sweep:
     """Benchmark ``collective`` across libraries × sizes.
 
@@ -328,6 +353,13 @@ def run_sweep(
     :class:`MpiLibrary` instances; the sweep's grid is keyed by each
     library's profile name either way.  ``engine`` selects the
     simulation engine for every point (see :mod:`repro.sim.spec`).
+
+    ``cache`` (directory path or :class:`~repro.service.ResultCache`)
+    and ``workers`` route the grid through the sweep service's
+    :class:`~repro.service.SweepJobQueue`: cells are deduplicated,
+    warm cells are cache hits, cold cells are batched across forked
+    worker processes, and ``progress`` (a callable) streams per-cell
+    events.  Grid contents are byte-identical either way.
     """
     from ..mpilibs import PAPER_LINEUP
 
@@ -335,6 +367,24 @@ def run_sweep(
     resolved = [make_library(lib) for lib in entries]
     libs = [lib.profile.name for lib in resolved]
     sweep = Sweep(collective, params.name, list(sizes), libs)
+    if cache is not None or workers > 1 or progress is not None:
+        from ..service import SweepJobQueue, SweepRequest
+
+        requests = [
+            SweepRequest(library=lib, collective=collective, nbytes=nbytes,
+                         params=params, warmup=warmup, iters=iters,
+                         functional=functional, root=root, engine=engine,
+                         resources=resources, attribution=attribution)
+            for lib in resolved for nbytes in sizes
+        ]
+        queue = SweepJobQueue(cache=cache, workers=workers,
+                              on_event=progress)
+        points = queue.run(requests)
+        it = iter(points)
+        for name in libs:
+            for nbytes in sizes:
+                sweep.points[(name, nbytes)] = next(it)
+        return sweep
     for name, lib in zip(libs, resolved):
         for nbytes in sizes:
             sweep.points[(name, nbytes)] = bench_collective(

@@ -6,7 +6,13 @@ Commands
     One (library, collective, size) latency point.
 ``sweep``
     A libraries × sizes grid with the paper-style table (and
-    optionally the ASCII figure).
+    optionally the ASCII figure).  ``--cache``/``--workers`` route the
+    grid through the sweep service: warm cells are file reads, cold
+    cells batch across forked workers.
+``serve``
+    Line-oriented sweep service: JSON requests on stdin (or a file),
+    BenchRecord responses on stdout, all measurements deduplicated
+    through one content-addressed result cache (docs/SERVICE.md).
 ``figures``
     Regenerate Figure 1 and Figure 2 (optionally at reduced scale).
 ``info``
@@ -105,9 +111,21 @@ def cmd_bench(args) -> int:
 
 def cmd_sweep(args) -> int:
     libs = args.libraries.split(",") if args.libraries else list(PAPER_LINEUP)
+    cache = None
+    if args.cache:
+        from .service import ResultCache
+
+        cache = ResultCache(args.cache)
+    progress = None
+    if args.progress:
+        def progress(event):
+            print(f"[sweep] {event['phase']:5s} "
+                  f"{event['index'] + 1}/{event['total']} {event['cell']}",
+                  file=sys.stderr, flush=True)
     sweep = run_sweep(args.collective, args.sizes, _machine(args),
                       libraries=libs, warmup=args.warmup, iters=args.iters,
-                      engine=args.engine)
+                      engine=args.engine, cache=cache, workers=args.workers,
+                      progress=progress)
     print(format_paper_table(sweep, exclude_factor=None))
     print()
     if "PiP-MColl" in libs:
@@ -115,7 +133,22 @@ def cmd_sweep(args) -> int:
     if args.plot:
         print()
         print(ascii_figure(sweep, title=f"{args.collective} on {sweep.params_name}"))
+    if cache is not None:
+        print()
+        print(f"cache {args.cache}: {cache.stats.describe()}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import ResultCache, serve
+
+    cache = ResultCache(args.cache) if args.cache else None
+    err = sys.stderr if args.progress else None
+    if args.requests == "-":
+        return serve(sys.stdin, sys.stdout, cache, args.workers,
+                     err_stream=err)
+    with open(args.requests) as fh:
+        return serve(fh, sys.stdout, cache, args.workers, err_stream=err)
 
 
 def cmd_figures(args) -> int:
@@ -309,6 +342,7 @@ def cmd_tune_search(args) -> int:
         timeout_s=args.timeout,
         checkpoint=args.checkpoint,
         eager_choices=eager,
+        cache=args.cache,
     )
     out = args.out or (
         f"tune_{args.collective}_{args.nodes}x{args.ppn}.tunedb.json")
@@ -417,8 +451,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", type=_engine_spec, default=None,
                    help="simulation engine: reference, calendar (default), "
                         "sharded[:<shards>[x<workers>]], analytic")
+    p.add_argument("--cache", default=None,
+                   help="content-addressed result cache directory "
+                        "(warm cells are file reads — see docs/SERVICE.md)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="forked worker processes for cold cells")
+    p.add_argument("--progress", action="store_true",
+                   help="stream per-cell progress events to stderr")
     _add_machine_args(p, nodes=16, ppn=6)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve", help="JSONL sweep service over a shared result cache")
+    p.add_argument("--cache", default=None,
+                   help="result cache directory (omit to run uncached)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="forked worker processes per request")
+    p.add_argument("--requests", default="-",
+                   help="request file, one JSON object per line ('-': stdin)")
+    p.add_argument("--progress", action="store_true",
+                   help="stream per-cell progress events to stderr")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("figures", help="regenerate Figures 1 and 2")
     _add_machine_args(p, nodes=128, ppn=18)
@@ -517,6 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="eager→rendezvous overrides to search (bytes)")
     t.add_argument("--checkpoint", default=None,
                    help="JSON eval cache; re-running resumes from it")
+    t.add_argument("--cache", default=None,
+                   help="sweep-service result cache directory, shared "
+                        "across searches and sweeps (docs/SERVICE.md)")
     t.add_argument("--out", default=None,
                    help="output path (default tune_<coll>_<NxP>.tunedb.json)")
     _add_machine_args(t, nodes=16, ppn=18)

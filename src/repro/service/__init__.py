@@ -1,0 +1,56 @@
+"""Sweep service (S-SERVE): content-addressed cache + batched jobs.
+
+The "heavy traffic" layer over the bench harness: every (machine,
+library, collective, size, flags) cell is content-addressed
+(:mod:`~repro.service.keys`), measured at most once, and stored as a
+schema-validated BenchRecord in an atomic, corruption-detecting
+on-disk cache (:mod:`~repro.service.cache`).  The
+:class:`SweepJobQueue` deduplicates and batches cell requests across
+forked workers, streaming per-cell progress; ``python -m repro serve``
+and ``sweep --cache`` are the front ends.  Cached and uncached paths
+produce byte-identical records — see ``docs/SERVICE.md``.
+"""
+
+from .cache import (
+    CACHE_LAYOUT_VERSION,
+    CacheStats,
+    ResultCache,
+    as_cache,
+    point_from_record,
+    record_digest,
+)
+from .keys import (
+    CACHE_KEY_SCHEMA,
+    CacheKeyError,
+    cell_key,
+    engine_fingerprint,
+    key_payload,
+    library_fingerprint,
+    machine_fingerprint,
+)
+from .queue import QueueStats, SweepJobQueue, SweepRequest, cached_bench_collective
+from .server import RESPONSE_SCHEMA, handle_request, parse_request, serve
+
+__all__ = [
+    "CACHE_KEY_SCHEMA",
+    "CACHE_LAYOUT_VERSION",
+    "CacheKeyError",
+    "CacheStats",
+    "QueueStats",
+    "RESPONSE_SCHEMA",
+    "ResultCache",
+    "SweepJobQueue",
+    "SweepRequest",
+    "as_cache",
+    "cached_bench_collective",
+    "cell_key",
+    "engine_fingerprint",
+    "handle_request",
+    "key_payload",
+    "library_fingerprint",
+    "machine_fingerprint",
+    "parse_request",
+    "point_from_record",
+    "record_digest",
+    "serve",
+]

@@ -1,0 +1,240 @@
+"""Content-addressed, on-disk result cache for sweep cells.
+
+Layout (versioned so incompatible layouts never collide)::
+
+    <root>/
+      v1/                      # CACHE_LAYOUT_VERSION directory
+        ab/                    # first two hex chars of the key
+          ab3f...e2.json       # one entry per cell key
+
+Each entry file is a JSON object::
+
+    {"layout": 1, "key": "<sha256>", "sha256": "<payload digest>",
+     "record": { ...BenchRecord as_dict()... }}
+
+The ``record`` is exactly what :meth:`BenchPoint.to_record()
+<repro.bench.harness.BenchPoint.to_record>` serialises (meta left
+empty — provenance meta is the *caller's*, applied on the way out), so
+cached and uncached paths emit byte-identical records.
+
+Safety properties:
+
+* **atomic writes** — entries are written to a same-directory temp
+  file, fsynced, then ``os.replace``d into place; concurrent writers
+  of the same key race benignly (the simulator is deterministic, both
+  wrote the same bytes) and readers never observe a torn file;
+* **corruption detection** — an entry is served only if it parses, its
+  layout version and embedded key match, the SHA-256 of the canonical
+  record payload matches, and the record passes
+  :func:`~repro.bench.record.validate_record`.  Anything else is
+  counted (``stats.corrupt`` / ``stats.stale``), unlinked best-effort,
+  and reported as a miss — a damaged cache degrades to recomputation,
+  never to wrong data;
+* **invalidation** — three independent guards: the layout version
+  directory (``v1``), the key-schema version hashed into every key
+  (:data:`~repro.service.keys.CACHE_KEY_SCHEMA`), and the BenchRecord
+  schema version checked at read time (a schema bump strands old
+  entries as *stale*).  A cost-model change rolls the machine hash,
+  which re-keys every cell.  See ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..bench.harness import BenchPoint
+from ..bench.record import SCHEMA_VERSION, validate_record
+
+#: bump on any incompatible change to the on-disk entry/tree shape
+CACHE_LAYOUT_VERSION = 1
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    """The byte string the integrity digest covers."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def record_digest(record: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical record payload."""
+    return hashlib.sha256(_canonical(record).encode()).hexdigest()
+
+
+def point_from_record(record: Dict[str, Any]) -> BenchPoint:
+    """Rebuild the :class:`BenchPoint` a record was serialised from.
+
+    Exact inverse of ``point.to_record().as_dict()`` up to the record's
+    ``meta``/``key``/``schema`` envelope, so a cache hit hands callers
+    the same object shape a fresh measurement would.
+    """
+    return BenchPoint(
+        library=record["library"],
+        collective=record["collective"],
+        nbytes=record["nbytes"],
+        latency_us=record["latency_us"],
+        min_us=record["min_us"],
+        max_us=record["max_us"],
+        iterations=tuple(record["iterations_us"]),
+        stats=record.get("stats"),
+        nodes=record["nodes"],
+        ppn=record["ppn"],
+        resources=record.get("resources"),
+        attribution=record.get("attribution"),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters one :class:`ResultCache` instance accumulates."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: integrity failures (torn/edited files, checksum or key mismatch)
+    corrupt: int = 0
+    #: structurally sound entries stranded by a schema bump
+    stale: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "corrupt": self.corrupt,
+                "stale": self.stale}
+
+    def describe(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.writes} writes"
+                + (f", {self.corrupt} corrupt" if self.corrupt else "")
+                + (f", {self.stale} stale" if self.stale else ""))
+
+
+class ResultCache:
+    """Content-addressed store of BenchRecord-shaped cell results."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    @property
+    def dir(self) -> Path:
+        """The active layout-version directory."""
+        return self.root / f"v{CACHE_LAYOUT_VERSION}"
+
+    def path_for(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    # -- read ----------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The record for ``key``, or None (miss / corrupt / stale)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        except UnicodeDecodeError:
+            text = ""  # not even text → the corrupt path below
+        record, reason = self._decode(key, text)
+        if record is None:
+            if reason == "stale":
+                self.stats.stale += 1
+            else:
+                self.stats.corrupt += 1
+            # A bad entry can only waste future reads; drop it so the
+            # recompute's put() starts from a clean slot.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    @staticmethod
+    def _decode(key: str, text: str):
+        """(record, None) when the entry is intact, else (None, why)."""
+        try:
+            obj = json.loads(text)
+        except ValueError:
+            return None, "corrupt"
+        if not isinstance(obj, dict):
+            return None, "corrupt"
+        if obj.get("layout") != CACHE_LAYOUT_VERSION:
+            return None, "stale"
+        if obj.get("key") != key:
+            return None, "corrupt"
+        record = obj.get("record")
+        if not isinstance(record, dict):
+            return None, "corrupt"
+        if record.get("schema") != SCHEMA_VERSION:
+            return None, "stale"
+        try:
+            if obj.get("sha256") != record_digest(record):
+                return None, "corrupt"
+            validate_record(record, where=f"cache entry {key[:12]}")
+        except (TypeError, ValueError):
+            return None, "corrupt"
+        return record, None
+
+    # -- write ---------------------------------------------------------
+    def put(self, key: str, record: Dict[str, Any]) -> Path:
+        """Atomically store ``record`` under ``key``; returns the path."""
+        validate_record(record, where=f"cache put {key[:12]}")
+        entry = {
+            "layout": CACHE_LAYOUT_VERSION,
+            "key": key,
+            "sha256": record_digest(record),
+            "record": record,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique temp name per writer; os.replace is atomic within the
+        # (same) filesystem, so readers see old-or-new, never torn.
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(entry, sort_keys=True, indent=2) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.stats.writes += 1
+        return path
+
+    def put_point(self, key: str, point: BenchPoint) -> Dict[str, Any]:
+        """Store a measured point; returns the record dict written."""
+        record = point.to_record().as_dict()
+        self.put(key, record)
+        return record
+
+    # -- maintenance ---------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Every key with an entry file in the active layout."""
+        if not self.dir.is_dir():
+            return
+        for path in sorted(self.dir.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every entry in the active layout; returns the count."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def as_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
+    """Coerce a cache argument (path or instance) to a ResultCache."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -96,11 +96,18 @@ class _Evaluator:
     """Batch evaluation with caching and optional worker processes."""
 
     def __init__(self, base_library: str, cache: _EvalCache,
-                 workers: int = 1, timeout_s: Optional[float] = None):
+                 workers: int = 1, timeout_s: Optional[float] = None,
+                 result_cache: Optional[str] = None):
         self.base_library = base_library
         self.cache = cache
         self.workers = max(1, int(workers))
         self.timeout_s = timeout_s
+        # Sweep-service result cache directory (str: tasks are pickled
+        # across ProcessPoolExecutor workers).  Distinct from the
+        # checkpoint _EvalCache: the checkpoint is one search's ledger,
+        # the result cache is shared with every sweep and search on the
+        # machine.
+        self.result_cache = result_cache
 
     def run(self, cell: Cell, cands: Sequence[Candidate],
             nodes: int) -> Dict[Candidate, Dict]:
@@ -120,6 +127,7 @@ class _Evaluator:
                 "base_library": self.base_library,
                 "nodes": nodes,
                 "timeout_s": self.timeout_s,
+                "cache_dir": self.result_cache,
             } for cand in todo]
             if self.workers > 1:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
@@ -239,6 +247,7 @@ def search(
     space: Optional[SearchSpace] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     eager_choices: Optional[Sequence[Optional[int]]] = None,
+    cache=None,
 ) -> TuneDB:
     """Tune every cell and return the assembled database.
 
@@ -246,7 +255,12 @@ def search(
     must then match every cell's collective); ``eager_choices`` adds
     eager-limit override rungs to the default spaces.  ``checkpoint``
     names a JSON file evaluations are appended to — re-running the
-    same command resumes instead of re-simulating.
+    same command resumes instead of re-simulating.  ``cache`` (a
+    directory or :class:`~repro.service.ResultCache`) additionally
+    routes every candidate measurement through the sweep service's
+    content-addressed result cache, which is shared *across* searches
+    and with plain sweeps: the base library is measured once per cell
+    ever, not once per search.
     """
     if strategy not in STRATEGIES:
         raise ConfigError(
@@ -262,9 +276,16 @@ def search(
     base = make_library(base_library)
     peer_views = base_supports_peer_views(base)
 
-    cache = _EvalCache(checkpoint)
-    evaluator = _Evaluator(base.profile.name, cache,
-                           workers=workers, timeout_s=timeout_s)
+    result_cache: Optional[str] = None
+    if cache is not None:
+        from ..service import ResultCache
+
+        result_cache = str(cache.root if isinstance(cache, ResultCache)
+                           else cache)
+    checkpoint_cache = _EvalCache(checkpoint)
+    evaluator = _Evaluator(base.profile.name, checkpoint_cache,
+                           workers=workers, timeout_s=timeout_s,
+                           result_cache=result_cache)
 
     results: Dict[str, CellResult] = {}
     for cell in sorted(cells, key=lambda c: c.key()):

@@ -85,13 +85,45 @@ def candidate_library(base: MpiLibrary, cell: Cell,
     return CandidateLibrary(base, cell.collective, algo)
 
 
+def _candidate_library_id(base: MpiLibrary, cand: Candidate) -> Dict:
+    """Content address for a candidate-wrapped library.
+
+    The plain base candidate (every knob ``None``) *is* the base
+    library, so it shares cache entries with ordinary benchmarks of
+    that library; explicit candidates extend the base fingerprint with
+    the full candidate config.
+    """
+    from ..service import library_fingerprint
+    from .space import BASE_FAMILY
+
+    if (cand.algorithm == BASE_FAMILY and cand.senders is None
+            and cand.segment is None and cand.eager_limit is None):
+        return library_fingerprint(base)
+    return {"base": library_fingerprint(base),
+            "candidate": cand.as_dict()}
+
+
 def _evaluate(base: MpiLibrary, cell: Cell, cand: Candidate,
-              nodes: int) -> float:
+              nodes: int, cache_dir: Optional[str] = None) -> float:
     """Latency (µs) of ``cand`` on ``cell`` at a (possibly reduced
-    fidelity) node count ``nodes``."""
+    fidelity) node count ``nodes``.
+
+    With ``cache_dir``, the measurement routes through the sweep
+    service's result cache: a cell/candidate pair already measured —
+    by an earlier search, another worker, or a plain benchmark run of
+    the base library — is a file read, not a simulation.
+    """
     lib = candidate_library(base, cell, cand)
     params = machine_for(cell.preset, nodes, cell.ppn,
                          eager_limit=cand.eager_limit)
+    if cache_dir is not None:
+        from ..service import cached_bench_collective
+
+        point = cached_bench_collective(
+            lib, cell.collective, cell.nbytes, params,
+            cache=cache_dir, warmup=1, iters=1,
+            library_id=_candidate_library_id(base, cand))
+        return point.latency_us
     from ..bench.harness import bench_collective
 
     point = bench_collective(lib, cell.collective, cell.nbytes, params,
@@ -114,6 +146,7 @@ def evaluate_task(task: Dict) -> Dict:
     base = make_library(task["base_library"])
     nodes = int(task.get("nodes") or cell.nodes)
     timeout_s = task.get("timeout_s")
+    cache_dir = task.get("cache_dir")
 
     def _alarm(signum, frame):
         raise EvalTimeout(f"candidate exceeded {timeout_s}s")
@@ -125,7 +158,7 @@ def evaluate_task(task: Dict) -> Dict:
             # evaluation even starts, and that is still just a timeout.
             old_handler = signal.signal(signal.SIGALRM, _alarm)
             signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
-        latency = _evaluate(base, cell, cand, nodes)
+        latency = _evaluate(base, cell, cand, nodes, cache_dir=cache_dir)
         return {"latency_us": latency, "error": None}
     except EvalTimeout as exc:
         return {"latency_us": None, "error": f"timeout: {exc}"}

@@ -1,0 +1,193 @@
+"""ResultCache: round-trips, atomicity, and corruption detection.
+
+Damage of every kind — truncation, bit flips, entry-for-another-key,
+schema/layout bumps, hand-edited records — must read as a miss (and be
+counted and unlinked), never as data.  Hypothesis drives the
+truncation/flip offsets over a real serialized entry.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import bench_collective
+from repro.bench.record import SCHEMA_VERSION
+from repro.machine import small_test
+from repro.service import (
+    CACHE_LAYOUT_VERSION,
+    ResultCache,
+    as_cache,
+    cell_key,
+    point_from_record,
+    record_digest,
+)
+
+PARAMS = small_test()
+
+
+@pytest.fixture(scope="module")
+def point():
+    return bench_collective("MPICH", "allgather", 64, PARAMS,
+                            warmup=1, iters=2)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+KEY = cell_key("MPICH", "allgather", 64, PARAMS, warmup=1, iters=2)
+
+
+# -- round-trip ---------------------------------------------------------
+
+def test_round_trip_is_byte_identical(cache, point):
+    cache.put_point(KEY, point)
+    got = cache.get(KEY)
+    want = point.to_record().as_dict()
+    assert json.dumps(got, sort_keys=True) == json.dumps(want, sort_keys=True)
+    rebuilt = point_from_record(got)
+    assert (json.dumps(rebuilt.to_record(run="x").as_dict(), sort_keys=True)
+            == json.dumps(point.to_record(run="x").as_dict(), sort_keys=True))
+
+
+def test_layout_path_and_maintenance(cache, point):
+    path = cache.put(KEY, point.to_record().as_dict())
+    assert path == (cache.root / f"v{CACHE_LAYOUT_VERSION}"
+                    / KEY[:2] / f"{KEY}.json")
+    assert list(cache.keys()) == [KEY]
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.get(KEY) is None
+
+
+def test_miss_on_empty_cache(cache):
+    assert cache.get(KEY) is None
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+
+def test_put_rejects_invalid_records(cache, point):
+    record = point.to_record().as_dict()
+    record["latency_us"] = "not-a-number"
+    with pytest.raises((TypeError, ValueError)):
+        cache.put(KEY, record)
+    assert cache.get(KEY) is None
+
+
+def test_no_tmp_litter_after_put(cache, point):
+    cache.put_point(KEY, point)
+    leftovers = [p for p in cache.path_for(KEY).parent.iterdir()
+                 if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_as_cache_coercions(tmp_path, cache):
+    assert as_cache(None) is None
+    assert as_cache(cache) is cache
+    made = as_cache(tmp_path / "elsewhere")
+    assert isinstance(made, ResultCache)
+
+
+# -- corruption detection ----------------------------------------------
+
+def _entry_text(cache, point):
+    path = cache.put(KEY, point.to_record().as_dict())
+    return path, path.read_text()
+
+
+def test_truncated_entry_is_a_counted_miss(cache, point):
+    path, text = _entry_text(cache, point)
+    path.write_text(text[: len(text) // 2])
+    assert cache.get(KEY) is None
+    assert cache.stats.corrupt == 1
+    assert not path.exists()  # bad entries are dropped
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(frac=st.floats(0.01, 0.99))
+def test_any_truncation_point_is_a_miss(tmp_path_factory, point, frac):
+    cache = ResultCache(tmp_path_factory.mktemp("trunc"))
+    path, text = _entry_text(cache, point)
+    cut = max(1, int(len(text) * frac))
+    path.write_text(text[:cut])
+    assert cache.get(KEY) is None
+    assert cache.stats.hits == 0
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(pos=st.integers(0, 10_000), delta=st.integers(1, 255))
+def test_any_single_byte_flip_is_a_miss_or_equal(tmp_path_factory, point,
+                                                 pos, delta):
+    cache = ResultCache(tmp_path_factory.mktemp("flip"))
+    path, text = _entry_text(cache, point)
+    raw = bytearray(text.encode())
+    pos %= len(raw)
+    raw[pos] = (raw[pos] + delta) % 256
+    path.write_bytes(bytes(raw))
+    got = cache.get(KEY)
+    # Flips in JSON *whitespace/indentation* can leave the decoded
+    # entry semantically identical; anything content-bearing must miss.
+    if got is not None:
+        assert got == point.to_record().as_dict()
+    else:
+        assert cache.stats.corrupt == 1
+
+
+def test_entry_for_another_key_is_corrupt(cache, point):
+    path, text = _entry_text(cache, point)
+    other = cell_key("MPICH", "allgather", 4096, PARAMS)
+    target = cache.path_for(other)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)  # embedded key says KEY, file says `other`
+    assert cache.get(other) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_hand_edited_record_fails_the_digest(cache, point):
+    path, text = _entry_text(cache, point)
+    entry = json.loads(text)
+    entry["record"]["latency_us"] += 1.0  # digest now disagrees
+    path.write_text(json.dumps(entry, indent=2))
+    assert cache.get(KEY) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_future_record_schema_is_stale_not_corrupt(cache, point):
+    path, text = _entry_text(cache, point)
+    entry = json.loads(text)
+    entry["record"]["schema"] = SCHEMA_VERSION + 1
+    entry["sha256"] = record_digest(entry["record"])
+    path.write_text(json.dumps(entry))
+    assert cache.get(KEY) is None
+    assert cache.stats.stale == 1
+    assert cache.stats.corrupt == 0
+
+
+def test_future_layout_version_is_stale(cache, point):
+    path, text = _entry_text(cache, point)
+    entry = json.loads(text)
+    entry["layout"] = 999
+    path.write_text(json.dumps(entry))
+    assert cache.get(KEY) is None
+    assert cache.stats.stale == 1
+
+
+def test_recompute_after_corruption_heals_the_entry(cache, point):
+    path, text = _entry_text(cache, point)
+    path.write_text("garbage")
+    assert cache.get(KEY) is None
+    cache.put_point(KEY, point)  # the recompute's write-back
+    assert cache.get(KEY) == point.to_record().as_dict()
+
+
+def test_stats_describe_mentions_damage(cache, point):
+    path, _ = _entry_text(cache, point)
+    path.write_text("{")
+    cache.get(KEY)
+    text = cache.stats.describe()
+    assert "corrupt" in text and "1 miss" in text

@@ -1,0 +1,202 @@
+"""SweepJobQueue: dedup window, batching, events, failure modes.
+
+Simulation counting works by monkeypatching
+``repro.bench.harness.bench_collective`` — the queue looks the symbol
+up late precisely so tests can observe every real measurement.
+"""
+
+import json
+
+import pytest
+
+import repro.bench.harness as harness
+from repro.machine import small_test
+from repro.mpilibs import make_library
+from repro.mpilibs.base import MpiLibrary
+from repro.service import (
+    CacheKeyError,
+    ResultCache,
+    SweepJobQueue,
+    SweepRequest,
+    cached_bench_collective,
+)
+
+PARAMS = small_test()
+
+
+def _req(nbytes=64, library="MPICH", **kw):
+    return SweepRequest(library=library, collective="allgather",
+                        nbytes=nbytes, params=PARAMS, **kw)
+
+
+def _counting(monkeypatch):
+    """Count pass-through calls to the real bench_collective."""
+    calls = []
+    real = harness.bench_collective
+
+    def spy(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(harness, "bench_collective", spy)
+    return calls
+
+
+# -- dedup + caching ----------------------------------------------------
+
+def test_duplicates_simulate_once_and_share_the_point(monkeypatch, tmp_path):
+    calls = _counting(monkeypatch)
+    queue = SweepJobQueue(cache=tmp_path / "c")
+    points = queue.run([_req(64), _req(16), _req(64), _req(64)])
+    assert len(calls) == 2
+    assert queue.stats.deduped == 2
+    assert queue.stats.computed == 2
+    assert points[0].latency_us == points[2].latency_us == points[3].latency_us
+    assert len(points) == 4
+
+
+def test_warm_run_is_all_hits(monkeypatch, tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    SweepJobQueue(cache=cache).run([_req(16), _req(64)])
+    calls = _counting(monkeypatch)
+    queue = SweepJobQueue(cache=cache)
+    points = queue.run([_req(16), _req(64)])
+    assert calls == []
+    assert queue.stats.hits == 2
+    assert [p.nbytes for p in points] == [16, 64]
+
+
+def test_dedup_without_cache_still_works(monkeypatch):
+    calls = _counting(monkeypatch)
+    queue = SweepJobQueue(cache=None)
+    queue.run([_req(64), _req(64), _req(64)])
+    assert len(calls) == 1
+    assert queue.stats.deduped == 2
+
+
+def test_forked_workers_match_inline_byte_for_byte(tmp_path):
+    reqs = [_req(n, library=lib)
+            for lib in ("MPICH", "PiP-MColl") for n in (16, 64, 256)]
+    inline = SweepJobQueue(cache=None, workers=1).run(reqs)
+    forked = SweepJobQueue(cache=None, workers=3).run(reqs)
+    for a, b in zip(inline, forked):
+        assert (json.dumps(a.to_record().as_dict(), sort_keys=True)
+                == json.dumps(b.to_record().as_dict(), sort_keys=True))
+
+
+def test_forked_workers_fill_the_cache(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    queue = SweepJobQueue(cache=cache, workers=2)
+    queue.run([_req(16), _req(64), _req(256)])
+    assert cache.stats.writes == 3
+    assert len(cache) == 3
+
+
+# -- uncacheable cells --------------------------------------------------
+
+class _AdHoc(MpiLibrary):
+    def __init__(self):
+        base = make_library("MPICH")
+        self.profile = base.profile
+        self._base = base
+
+    def algorithm(self, collective, nbytes, world_size):
+        return self._base.algorithm(collective, nbytes, world_size)
+
+    def subcomm_algorithm(self, collective, nbytes, comm_size):
+        return self._base.subcomm_algorithm(collective, nbytes, comm_size)
+
+
+def test_uncacheable_cells_run_but_never_cache_or_dedup(monkeypatch, tmp_path):
+    calls = _counting(monkeypatch)
+    cache = ResultCache(tmp_path / "c")
+    queue = SweepJobQueue(cache=cache)
+    reqs = [_req(64, library=_AdHoc()), _req(64, library=_AdHoc())]
+    points = queue.run(reqs)
+    assert len(calls) == 2  # identical cells, but nothing sound to dedup on
+    assert queue.stats.deduped == 0
+    assert len(cache) == 0
+    assert all(p.latency_us > 0 for p in points)
+
+
+# -- events -------------------------------------------------------------
+
+def test_event_stream_phases_and_order(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    SweepJobQueue(cache=cache).run([_req(16)])
+    events = []
+    queue = SweepJobQueue(cache=cache, on_event=events.append)
+    queue.run([_req(16), _req(64), _req(64)])
+    phases = [e["phase"] for e in events]
+    assert phases == ["hit", "miss", "dedup", "start", "done"]
+    assert all(e["total"] == 3 for e in events)
+    assert all("allgather" in e["cell"] for e in events)
+    miss = next(e for e in events if e["phase"] == "miss")
+    assert miss["key"] is not None
+
+
+# -- failure propagation ------------------------------------------------
+
+class _Exploding(_AdHoc):
+    def algorithm(self, collective, nbytes, world_size):
+        raise RuntimeError("boom at algorithm-selection time")
+
+
+def test_worker_failure_surfaces_with_the_cell_label():
+    queue = SweepJobQueue(cache=None, workers=2)
+    reqs = [_req(16), _req(64, library=_Exploding()), _req(256)]
+    with pytest.raises(RuntimeError, match="sweep worker failed"):
+        queue.run(reqs)
+
+
+def test_inline_failure_propagates_too():
+    queue = SweepJobQueue(cache=None)
+    with pytest.raises(RuntimeError, match="boom"):
+        queue.run([_req(64, library=_Exploding())])
+
+
+def test_failed_cells_are_never_cached(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    queue = SweepJobQueue(cache=cache)
+    with pytest.raises(RuntimeError):
+        queue.run([_req(64, library=_Exploding())])
+    assert len(cache) == 0
+
+
+# -- cached_bench_collective / harness integration ----------------------
+
+def test_cached_bench_collective_round_trip(monkeypatch, tmp_path):
+    calls = _counting(monkeypatch)
+    cold = cached_bench_collective("MPICH", "allgather", 64, PARAMS,
+                                   cache=tmp_path / "c")
+    warm = cached_bench_collective("MPICH", "allgather", 64, PARAMS,
+                                   cache=tmp_path / "c")
+    assert len(calls) == 1
+    assert (json.dumps(cold.to_record().as_dict(), sort_keys=True)
+            == json.dumps(warm.to_record().as_dict(), sort_keys=True))
+
+
+def test_cached_bench_collective_refuses_unaddressable(tmp_path):
+    with pytest.raises(CacheKeyError):
+        cached_bench_collective(_AdHoc(), "allgather", 64, PARAMS,
+                                cache=tmp_path / "c")
+
+
+def test_harness_falls_back_for_unaddressable(monkeypatch, tmp_path):
+    # bench_collective(cache=...) must measure ad-hoc libraries
+    # directly instead of refusing.
+    point = harness.bench_collective(_AdHoc(), "allgather", 64, PARAMS,
+                                     cache=tmp_path / "c")
+    assert point.latency_us > 0
+    assert len(ResultCache(tmp_path / "c")) == 0
+
+
+def test_harness_cache_kwarg_hits_on_second_call(monkeypatch, tmp_path):
+    a = harness.bench_collective("MPICH", "allgather", 64, PARAMS,
+                                 cache=tmp_path / "c")
+    cache = ResultCache(tmp_path / "c")
+    b = harness.bench_collective("MPICH", "allgather", 64, PARAMS,
+                                 cache=cache)
+    assert cache.stats.hits == 1
+    assert (json.dumps(a.to_record().as_dict(), sort_keys=True)
+            == json.dumps(b.to_record().as_dict(), sort_keys=True))

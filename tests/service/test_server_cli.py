@@ -1,0 +1,138 @@
+"""The service front ends: JSONL serve loop and the CLI surface.
+
+``serve`` is exercised in-process over StringIO streams (the
+transport-agnostic design exists exactly so tests need no sockets or
+subprocesses); the ``sweep --cache`` / ``serve`` commands go through
+``repro.cli.main``.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.service import RESPONSE_SCHEMA, ResultCache, parse_request, serve
+from repro.service.server import RequestError
+
+
+def _serve_lines(lines, cache=None, workers=1):
+    out = io.StringIO()
+    rc = serve(io.StringIO("\n".join(lines) + "\n"), out,
+               cache=cache, workers=workers)
+    return rc, [json.loads(l) for l in out.getvalue().splitlines()]
+
+
+REQ = {"id": "r1", "collective": "allgather", "sizes": [16, 64],
+       "libraries": ["MPICH", "PiP-MColl"], "preset": "small_test",
+       "nodes": 2, "ppn": 2}
+
+
+# -- request validation -------------------------------------------------
+
+def test_parse_request_defaults():
+    req = parse_request({"collective": "allgather", "sizes": [16]})
+    assert req["preset"] == "broadwell_opa"
+    assert (req["nodes"], req["ppn"]) == (16, 6)
+    assert len(req["libraries"]) == 6  # the paper lineup
+
+
+@pytest.mark.parametrize("bad", [
+    [],                                           # not an object
+    {"sizes": [16]},                              # missing collective
+    {"collective": "allgather"},                  # missing sizes
+    {"collective": "allgather", "sizes": []},     # empty sizes
+    {"collective": "allgather", "sizes": [-1]},   # negative size
+    {"collective": "allgather", "sizes": [True]},  # bool is not a size
+    {"collective": "nope", "sizes": [16]},        # unknown collective
+    {"collective": "allgather", "sizes": [16], "preset": "nope"},
+    {"collective": "allgather", "sizes": [16], "surprise": 1},
+])
+def test_parse_request_rejects(bad):
+    with pytest.raises(RequestError):
+        parse_request(bad)
+
+
+# -- serve loop ---------------------------------------------------------
+
+def test_serve_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    rc, responses = _serve_lines([json.dumps(REQ)], cache=cache)
+    assert rc == 0
+    (resp,) = responses
+    assert resp["ok"] is True
+    assert resp["id"] == "r1"
+    assert resp["schema"] == RESPONSE_SCHEMA
+    assert len(resp["records"]) == 4  # 2 libraries x 2 sizes
+    assert all(r["schema"] == 1 for r in resp["records"])
+    assert resp["cache"]["writes"] == 4
+
+
+def test_serve_warm_second_request_hits(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    _, first = _serve_lines([json.dumps(REQ)], cache=cache)
+    cache = ResultCache(tmp_path / "c")  # fresh stats
+    _, second = _serve_lines([json.dumps(REQ)], cache=cache)
+    assert second[0]["cache"]["hits"] == 4
+    assert second[0]["cache"]["writes"] == 0
+    assert second[0]["records"] == first[0]["records"]
+
+
+def test_serve_bad_lines_are_data_not_crashes(tmp_path):
+    rc, responses = _serve_lines([
+        "this is not json",
+        json.dumps({"id": 7, "collective": "nope", "sizes": [16]}),
+        json.dumps(REQ),
+        "",  # blank lines are skipped
+    ], cache=ResultCache(tmp_path / "c"))
+    assert rc == 1  # some requests failed...
+    assert [r["ok"] for r in responses] == [False, False, True]
+    assert "bad JSON" in responses[0]["error"]
+    assert responses[1]["id"] == 7
+    assert "collective" in responses[1]["error"]
+
+
+def test_serve_without_cache_still_serves():
+    rc, responses = _serve_lines([json.dumps(REQ)])
+    assert rc == 0
+    assert responses[0]["ok"] is True
+    assert "cache" not in responses[0]
+
+
+# -- CLI ----------------------------------------------------------------
+
+def test_parser_accepts_service_flags(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--cache", str(tmp_path),
+                              "--workers", "3", "--progress"])
+    assert args.cache == str(tmp_path) and args.workers == 3
+    args = parser.parse_args(["serve", "--cache", str(tmp_path)])
+    assert args.requests == "-"
+    args = parser.parse_args(["tune", "search", "--cache", str(tmp_path)])
+    assert args.cache == str(tmp_path)
+
+
+def test_cli_sweep_cache_cold_then_warm(tmp_path, capsys):
+    argv = ["sweep", "--collective", "allgather", "--sizes", "16,64",
+            "--libraries", "MPICH,PiP-MColl", "--preset", "small_test",
+            "--nodes", "2", "--ppn", "2", "--cache", str(tmp_path / "c")]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "4 misses" in cold and "4 writes" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "4 hits" in warm and "0 misses" in warm
+    # the latency table itself is identical either way
+    table = lambda out: [l for l in out.splitlines() if " B " in l]
+    assert table(cold) == table(warm)
+
+
+def test_cli_serve_from_request_file(tmp_path, capsys):
+    reqfile = tmp_path / "requests.jsonl"
+    reqfile.write_text(json.dumps(REQ) + "\n")
+    rc = main(["serve", "--cache", str(tmp_path / "c"),
+               "--requests", str(reqfile)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    resp = json.loads(out.splitlines()[-1])
+    assert resp["ok"] is True and len(resp["records"]) == 4

@@ -1,0 +1,116 @@
+"""Regression: search measurements route through the result cache.
+
+The base library used to be re-measured from scratch by every search —
+each run of ``search()`` simulated the same base cells again even
+though nothing about them had changed.  With ``cache=`` the sweep
+service's content-addressed store makes the base (and every candidate)
+a *measure-once* cell: once per search via the in-run eval ledger, and
+once *ever* per cache directory across searches, sweeps, and
+processes.
+"""
+
+import json
+
+import pytest
+
+import repro.bench.harness as harness
+import repro.tuner.driver as driver
+from repro.service import ResultCache, cached_bench_collective
+from repro.tuner import make_cells, search
+from repro.tuner.space import BASE_FAMILY
+
+CELLS_KW = dict(nodes=4, ppn=2, preset="small_test")
+
+
+def _cells(sizes=(64,)):
+    return make_cells("allgather", list(sizes), **CELLS_KW)
+
+
+def _count_sims(monkeypatch):
+    calls = []
+    real = harness.bench_collective
+
+    def spy(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(harness, "bench_collective", spy)
+    return calls
+
+
+def _count_base_evals(monkeypatch):
+    """(cell key, nodes) of every *executed* base-candidate evaluation."""
+    base_evals = []
+    real = driver.evaluate_task
+
+    def spy(task):
+        if task["candidate"]["algorithm"] == BASE_FAMILY \
+                and task["candidate"].get("eager_limit") is None:
+            base_evals.append((json.dumps(task["cell"], sort_keys=True),
+                               task["nodes"]))
+        return real(task)
+
+    monkeypatch.setattr(driver, "evaluate_task", spy)
+    return base_evals
+
+
+@pytest.mark.parametrize("strategy", ["exhaustive", "halving", "hill"])
+def test_base_library_measured_once_per_cell_per_search(monkeypatch, strategy):
+    base_evals = _count_base_evals(monkeypatch)
+    search(_cells((16, 64)), strategy=strategy, seed=0)
+    # one full-fidelity base evaluation per cell, never a re-measure
+    assert len(base_evals) == len(set(base_evals)) == 2
+    assert all(nodes == CELLS_KW["nodes"] for _, nodes in base_evals)
+
+
+def test_second_search_with_same_cache_simulates_nothing(monkeypatch,
+                                                         tmp_path):
+    cache_dir = tmp_path / "cache"
+    db1 = search(_cells(), strategy="exhaustive", cache=cache_dir)
+    sims = _count_sims(monkeypatch)
+    db2 = search(_cells(), strategy="exhaustive", cache=cache_dir)
+    assert sims == []  # every candidate is a file read now
+    assert db1.dumps() == db2.dumps()
+
+
+def test_search_without_cache_still_simulates(monkeypatch, tmp_path):
+    search(_cells(), strategy="exhaustive",
+           cache=tmp_path / "cache")
+    sims = _count_sims(monkeypatch)
+    search(_cells(), strategy="exhaustive")  # no cache= → fresh sims
+    assert len(sims) > 0
+
+
+def test_plain_base_candidate_shares_entries_with_plain_benches(monkeypatch,
+                                                                tmp_path):
+    """The base candidate IS the base library: a prior plain benchmark
+    of the base fills the very entry the search's base evaluation
+    reads, so the search never simulates the base cell at all."""
+    cache = ResultCache(tmp_path / "cache")
+    (cell,) = _cells()
+    from repro.tuner.evaluate import machine_for
+
+    params = machine_for(cell.preset, cell.nodes, cell.ppn)
+    # A plain (non-tuner) cached benchmark at the tuner's fidelity...
+    cached_bench_collective(
+        "PiP-MColl", cell.collective, cell.nbytes, params,
+        cache=cache, warmup=1, iters=1)
+    base_evals = _count_base_evals(monkeypatch)
+    sims = _count_sims(monkeypatch)
+    db = search([cell], base_library="PiP-MColl", strategy="exhaustive",
+                cache=cache.root)
+    # ...the base eval executed, but resolved as a cache hit: every
+    # actual simulation the search ran was for an explicit candidate.
+    assert len(base_evals) == 1
+    assert len(sims) == len(db.cells[cell.key()].trials) - 1
+
+
+def test_checkpoint_and_result_cache_compose(tmp_path):
+    ckpt = tmp_path / "ckpt.json"
+    cache_dir = tmp_path / "cache"
+    db1 = search(_cells(), strategy="halving", checkpoint=ckpt,
+                 cache=cache_dir)
+    db2 = search(_cells(), strategy="halving", checkpoint=ckpt,
+                 cache=cache_dir)
+    assert db1.dumps() == db2.dumps()
+    assert ckpt.exists()
