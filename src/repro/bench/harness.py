@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..machine import MachineParams
 from ..mpilibs import MpiLibrary, make_library
+from ..obs import host
 from ..runtime.datatypes import FLOAT64
 from ..runtime.ops import SUM
 
@@ -181,6 +182,8 @@ def bench_collective(
             )
         except CacheKeyError:
             pass  # unaddressable cell → fall through to direct measure
+    tracer = host.active()
+    t_cell = tracer.clock() if tracer is not None else 0.0
     lib = make_library(library) if isinstance(library, str) else library
     if warmup < 0 or iters < 1:
         raise ValueError("need warmup >= 0 and iters >= 1")
@@ -219,7 +222,7 @@ def bench_collective(
 
         attr = measure_attribution(lib, collective, nbytes, params,
                                    functional=functional, root=root).as_dict()
-    return BenchPoint(
+    point = BenchPoint(
         library=lib.profile.name,
         collective=collective,
         nbytes=nbytes,
@@ -233,6 +236,13 @@ def bench_collective(
         resources=monitor.summary() if monitor is not None else None,
         attribution=attr,
     )
+    if tracer is not None:
+        tracer.span_at(
+            "bench.cell", t_cell, tracer.clock(), track="bench",
+            cat="bench",
+            cell=f"{point.library}/{collective}/{nbytes}B"
+                 f"@{params.nodes}x{params.ppn}")
+    return point
 
 
 def single_leader_allgather(

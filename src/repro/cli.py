@@ -32,6 +32,12 @@ Commands
     Ingest ``benchmarks/results/*.records.json`` and write the
     Fig. 2–7-style comparison report (CSV + JSON + self-contained
     HTML) plus the repo-root ``BENCH_summary.json``.
+``telemetry``
+    Run a sweep under *host* (wall-clock) tracing and summarize worker
+    utilization, the window-stall breakdown by shard, and cache/queue
+    efficiency; ``--trace``/``--metrics``/``--json`` export a validated
+    Perfetto host trace, a metrics snapshot, and the summary the
+    report's host section ingests (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -118,10 +124,11 @@ def cmd_sweep(args) -> int:
         cache = ResultCache(args.cache)
     progress = None
     if args.progress:
-        def progress(event):
-            print(f"[sweep] {event['phase']:5s} "
-                  f"{event['index'] + 1}/{event['total']} {event['cell']}",
-                  file=sys.stderr, flush=True)
+        # The same live JSONL stream `serve --events` interleaves:
+        # {"event": "progress", "phase": ..., "cell": ...} per line.
+        from .obs.host import jsonl_event_writer
+
+        progress = jsonl_event_writer(sys.stderr)
     sweep = run_sweep(args.collective, args.sizes, _machine(args),
                       libraries=libs, warmup=args.warmup, iters=args.iters,
                       engine=args.engine, cache=cache, workers=args.workers,
@@ -135,7 +142,9 @@ def cmd_sweep(args) -> int:
         print(ascii_figure(sweep, title=f"{args.collective} on {sweep.params_name}"))
     if cache is not None:
         print()
-        print(f"cache {args.cache}: {cache.stats.describe()}")
+        ratio = cache.stats.hit_ratio
+        print(f"cache {args.cache}: {cache.stats.describe()}"
+              + (f" ({ratio:.0%} hit ratio)" if ratio is not None else ""))
     return 0
 
 
@@ -146,9 +155,10 @@ def cmd_serve(args) -> int:
     err = sys.stderr if args.progress else None
     if args.requests == "-":
         return serve(sys.stdin, sys.stdout, cache, args.workers,
-                     err_stream=err)
+                     err_stream=err, events=args.events)
     with open(args.requests) as fh:
-        return serve(fh, sys.stdout, cache, args.workers, err_stream=err)
+        return serve(fh, sys.stdout, cache, args.workers, err_stream=err,
+                     events=args.events)
 
 
 def cmd_figures(args) -> int:
@@ -312,7 +322,16 @@ def cmd_report(args) -> int:
         json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
     for name, text in report.to_csv().items():
         (out / name).write_text(text)
-    (out / "report.html").write_text(render_html(report))
+    # A host-telemetry summary next to the records (written by
+    # `repro telemetry --json`) becomes the wall-clock section.
+    host_summary = None
+    host_path = Path(args.results) / "host_telemetry.json"
+    if host_path.is_file():
+        try:
+            host_summary = json.loads(host_path.read_text())
+        except ValueError:
+            host_summary = None
+    (out / "report.html").write_text(render_html(report, host=host_summary))
     if args.summary:
         write_summary(args.summary, report)
     print(report.format())
@@ -398,6 +417,48 @@ def cmd_tune_compile(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Run a sweep under host tracing and summarize the wall clock."""
+    import json
+    from pathlib import Path
+
+    from .obs import host
+    from .obs.host import HostReport, jsonl_event_writer
+    from .obs.perfetto import validate_chrome_trace, write_trace
+
+    libs = args.libraries.split(",") if args.libraries else list(PAPER_LINEUP)
+    cache = None
+    if args.cache:
+        from .service import ResultCache
+
+        cache = ResultCache(args.cache)
+    progress = jsonl_event_writer(sys.stderr) if args.progress else None
+    with host.tracing() as tracer:
+        run_sweep(args.collective, args.sizes, _machine(args),
+                  libraries=libs, warmup=args.warmup, iters=args.iters,
+                  engine=args.engine, cache=cache, workers=args.workers,
+                  progress=progress)
+    report = HostReport(tracer)
+    print(report.format())
+    wrote = []
+    if args.trace:
+        obj = report.to_perfetto()
+        validate_chrome_trace(obj)
+        write_trace(obj, args.trace)
+        wrote.append(f"{args.trace} (validated Perfetto host trace)")
+    if args.metrics:
+        Path(args.metrics).write_text(json.dumps(
+            report.metrics().snapshot(), indent=2, sort_keys=True) + "\n")
+        wrote.append(f"{args.metrics} (metrics snapshot)")
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            report.as_dict(), indent=2, sort_keys=True) + "\n")
+        wrote.append(f"{args.json} (host telemetry summary)")
+    for line in wrote:
+        print(f"wrote {line}")
+    return 0
+
+
 def cmd_info(args) -> int:
     print("machine presets:")
     for name in available_presets():
@@ -417,6 +478,16 @@ def cmd_info(args) -> int:
     for name in ENGINE_NAMES:
         spec = resolve_engine(name, nodes=16)
         print(f"  {name:10s} {spec.describe()}")
+    if getattr(args, "cache", None):
+        from .service import CACHE_LAYOUT_VERSION, ResultCache
+
+        cache = ResultCache(args.cache)
+        entries = list(cache.keys())
+        nbytes = sum(cache.path_for(k).stat().st_size for k in entries)
+        print(f"\nresult cache {args.cache}:")
+        print(f"  layout   v{CACHE_LAYOUT_VERSION}")
+        print(f"  entries  {len(entries)}")
+        print(f"  size     {nbytes / 1024:.1f} KiB")
     return 0
 
 
@@ -471,7 +542,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="request file, one JSON object per line ('-': stdin)")
     p.add_argument("--progress", action="store_true",
                    help="stream per-cell progress events to stderr")
+    p.add_argument("--events", action="store_true",
+                   help="interleave JSONL progress events into stdout "
+                        "ahead of each response line (streaming clients)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="host wall-clock telemetry for a sweep (docs/OBSERVABILITY.md)")
+    p.add_argument("--collective", default="allgather", choices=COLLECTIVES)
+    p.add_argument("--sizes", type=_parse_sizes, default=[16, 64, 256])
+    p.add_argument("--libraries", default="",
+                   help="comma-separated (default: the paper lineup)")
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--iters", type=int, default=2)
+    p.add_argument("--engine", type=_engine_spec, default="sharded:4",
+                   help="simulation engine (default sharded:4 — shard "
+                        "tracks are the point of the exercise)")
+    p.add_argument("--cache", default=None,
+                   help="route the sweep through a result cache directory")
+    p.add_argument("--workers", type=int, default=1,
+                   help="forked worker processes for cold cells")
+    p.add_argument("--trace", default=None,
+                   help="write a validated Perfetto host trace JSON here")
+    p.add_argument("--metrics", default=None,
+                   help="write a metrics snapshot JSON here")
+    p.add_argument("--json", default=None,
+                   help="write the telemetry summary JSON here (the "
+                        "report's host section ingests this)")
+    p.add_argument("--progress", action="store_true",
+                   help="stream JSONL progress events to stderr")
+    _add_machine_args(p, nodes=16, ppn=6)
+    p.set_defaults(fn=cmd_telemetry)
 
     p = sub.add_parser("figures", help="regenerate Figures 1 and 2")
     _add_machine_args(p, nodes=128, ppn=18)
@@ -604,6 +706,8 @@ def build_parser() -> argparse.ArgumentParser:
     t.set_defaults(fn=cmd_tune_compile)
 
     p = sub.add_parser("info", help="presets, libraries, transports")
+    p.add_argument("--cache", default=None,
+                   help="also describe this result cache directory")
     p.set_defaults(fn=cmd_info)
     return parser
 

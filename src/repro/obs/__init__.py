@@ -25,11 +25,13 @@ With no recorder attached every instrumentation point is a single
 this subsystem existed.
 """
 
+from . import host
 from .attribution import COMPONENTS, Attribution, RoundAttribution, attribute
 from .critical_path import CriticalPath, Hop, critical_path
+from .host import HostReport, HostTracer, jsonl_event_writer
 from .metrics import CardinalityError, Histogram, Metrics
 from .perfetto import (counter_events, to_perfetto, validate_chrome_trace,
-                       write_perfetto)
+                       write_perfetto, write_trace)
 from .resources import ResourceMonitor, ResourceTimeline
 from .spans import NULL_SPAN, Span, SpanRecorder
 from .timeline import TraceTree
@@ -41,6 +43,8 @@ __all__ = [
     "CriticalPath",
     "Histogram",
     "Hop",
+    "HostReport",
+    "HostTracer",
     "Metrics",
     "NULL_SPAN",
     "ResourceMonitor",
@@ -52,7 +56,10 @@ __all__ = [
     "attribute",
     "counter_events",
     "critical_path",
+    "host",
+    "jsonl_event_writer",
     "to_perfetto",
     "validate_chrome_trace",
     "write_perfetto",
+    "write_trace",
 ]

@@ -127,14 +127,24 @@ def counter_events(resources: Any,
     return out
 
 
+def write_trace(obj: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write an already-exported trace object to ``path``.
+
+    Shared by the sim-time exporter below and the host-telemetry
+    exporter (:meth:`repro.obs.host.HostReport.to_perfetto`) so both
+    kinds of trace land on disk the same way.
+    """
+    with open(path, "w") as fh:
+        json.dump(obj, fh)
+    return obj
+
+
 def write_perfetto(tree: TraceTree, path: str,
                    node_of: Optional[Dict[int, int]] = None,
                    resources: Optional[Any] = None) -> Dict[str, Any]:
     """Export and write ``path``; returns the exported object."""
-    obj = to_perfetto(tree, node_of=node_of, resources=resources)
-    with open(path, "w") as fh:
-        json.dump(obj, fh)
-    return obj
+    return write_trace(
+        to_perfetto(tree, node_of=node_of, resources=resources), path)
 
 
 def validate_chrome_trace(obj: Any) -> int:

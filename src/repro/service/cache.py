@@ -49,6 +49,7 @@ from typing import Any, Dict, Iterator, Optional, Union
 
 from ..bench.harness import BenchPoint
 from ..bench.record import SCHEMA_VERSION, validate_record
+from ..obs import host
 
 #: bump on any incompatible change to the on-disk entry/tree shape
 CACHE_LAYOUT_VERSION = 1
@@ -111,6 +112,12 @@ class CacheStats:
                 + (f", {self.corrupt} corrupt" if self.corrupt else "")
                 + (f", {self.stale} stale" if self.stale else ""))
 
+    @property
+    def hit_ratio(self) -> Optional[float]:
+        """Hits over reads, or None before the first read."""
+        reads = self.hits + self.misses
+        return self.hits / reads if reads else None
+
 
 class ResultCache:
     """Content-addressed store of BenchRecord-shaped cell results."""
@@ -130,12 +137,24 @@ class ResultCache:
     # -- read ----------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The record for ``key``, or None (miss / corrupt / stale)."""
+        tracer = host.active()
+        if tracer is None:
+            return self._get(key)[0]
+        t0 = tracer.clock()
+        record, outcome = self._get(key)
+        tracer.span_at("cache.get", t0, tracer.clock(), track="cache",
+                       cat="service", outcome=outcome, key=key[:12])
+        tracer.count("cache_ops_total", outcome=outcome)
+        return record
+
+    def _get(self, key: str):
+        """(record, outcome) — outcome ∈ hit/miss/corrupt/stale."""
         path = self.path_for(key)
         try:
             text = path.read_text()
         except OSError:
             self.stats.misses += 1
-            return None
+            return None, "miss"
         except UnicodeDecodeError:
             text = ""  # not even text → the corrupt path below
         record, reason = self._decode(key, text)
@@ -151,9 +170,9 @@ class ResultCache:
             except OSError:
                 pass
             self.stats.misses += 1
-            return None
+            return None, reason
         self.stats.hits += 1
-        return record
+        return record, "hit"
 
     @staticmethod
     def _decode(key: str, text: str):
@@ -184,6 +203,17 @@ class ResultCache:
     # -- write ---------------------------------------------------------
     def put(self, key: str, record: Dict[str, Any]) -> Path:
         """Atomically store ``record`` under ``key``; returns the path."""
+        tracer = host.active()
+        if tracer is None:
+            return self._put(key, record)
+        t0 = tracer.clock()
+        path = self._put(key, record)
+        tracer.span_at("cache.put", t0, tracer.clock(), track="cache",
+                       cat="service", key=key[:12])
+        tracer.count("cache_ops_total", outcome="write")
+        return path
+
+    def _put(self, key: str, record: Dict[str, Any]) -> Path:
         validate_record(record, where=f"cache put {key[:12]}")
         entry = {
             "layout": CACHE_LAYOUT_VERSION,

@@ -45,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..bench import harness as _harness
 from ..machine import MachineParams
+from ..obs import host
 from ..sim.spec import EngineSpec
 from .cache import ResultCache, as_cache, point_from_record
 from .keys import CacheKeyError, cell_key
@@ -133,6 +134,11 @@ class SweepJobQueue:
 
     def _emit(self, phase: str, index: int, total: int,
               key: Optional[str], cell: str) -> None:
+        tracer = host.active()
+        if tracer is not None:
+            tracer.instant(f"queue.{phase}", track="queue", cat="service",
+                           index=index, total=total, cell=cell)
+            tracer.count("queue_cells_total", phase=phase)
         if self.on_event is not None:
             self.on_event({"phase": phase, "index": index, "total": total,
                            "key": key, "cell": cell})
@@ -186,10 +192,18 @@ class SweepJobQueue:
                  todo_keys: List[Optional[str]],
                  total: int) -> List["_harness.BenchPoint"]:
         if self.workers <= 1 or len(todo) <= 1:
+            tracer = host.active()
             out = []
             for i, req in enumerate(todo):
                 self._emit("start", i, total, todo_keys[i], req.label())
-                point = req.run()
+                if tracer is None:
+                    point = req.run()
+                else:
+                    t0 = tracer.clock()
+                    point = req.run()
+                    tracer.span_at("cell.run", t0, tracer.clock(),
+                                   track="queue", cat="service",
+                                   cell=req.label())
                 out.append(point)
                 self._emit("done", i, total, todo_keys[i], req.label())
             return out
@@ -215,10 +229,22 @@ class SweepJobQueue:
                     other.close()
                 code = 0
                 try:
+                    tracer = host.active()
                     for i in owned_by[w]:
-                        point = todo[i].run()
+                        if tracer is None:
+                            point = todo[i].run()
+                        else:
+                            t0 = tracer.clock()
+                            point = todo[i].run()
+                            tracer.span_at("cell.run", t0, tracer.clock(),
+                                           track="queue", cat="service",
+                                           cell=todo[i].label())
                         child_conn.send(("done", i, point))
-                    child_conn.send(("final",))
+                    # Telemetry rides the final message home (fork-safe:
+                    # drain() holds only this child's events).
+                    child_conn.send(("final",
+                                     tracer.drain() if tracer is not None
+                                     else None))
                 except BaseException:  # pragma: no cover - shipped home
                     import traceback
 
@@ -253,6 +279,9 @@ class SweepJobQueue:
                         self._emit("done", i, total, todo_keys[i],
                                    todo[i].label())
                     elif msg[0] == "final":
+                        tracer = host.active()
+                        if tracer is not None and len(msg) > 1:
+                            tracer.absorb(msg[1])
                         pending.discard(conn)
                     else:
                         raise RuntimeError(

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, TextIO
 
 from ..machine import available_presets, preset
 from ..mpilibs import COLLECTIVES, PAPER_LINEUP
+from ..obs.host import jsonl_event_writer
 from .cache import ResultCache, as_cache
 from .queue import SweepJobQueue, SweepRequest
 
@@ -131,20 +132,27 @@ def handle_request(obj: Any, cache: Optional[ResultCache],
 
 def serve(in_stream: TextIO, out_stream: TextIO,
           cache: Optional[ResultCache] = None, workers: int = 1,
-          err_stream: Optional[TextIO] = None) -> int:
+          err_stream: Optional[TextIO] = None,
+          events: bool = False) -> int:
     """Serve JSONL requests until EOF; returns a process exit code.
 
     Exit code 0 when every request succeeded, 1 when any failed —
     either way the loop drains the whole stream.
+
+    ``events=True`` interleaves the queue's per-cell lifecycle events
+    (hit/dedup/miss/start/done) into ``out_stream`` as JSONL progress
+    lines — ``{"event": "progress", "id": <request id>, "phase": ...}``
+    — ahead of each request's ``{"event": "response", ...}`` line, so
+    a streaming client watches cells resolve live.  Off by default:
+    the plain protocol stays one response line per request.
     """
     cache = as_cache(cache)
     failures = 0
 
-    def progress(event: Dict[str, Any]) -> None:
-        if err_stream is not None:
-            print(f"[serve] {event['phase']:5s} "
-                  f"{event['index'] + 1}/{event['total']} {event['cell']}",
-                  file=err_stream, flush=True)
+    def printer(event: Dict[str, Any]) -> None:
+        print(f"[serve] {event['phase']:5s} "
+              f"{event['index'] + 1}/{event['total']} {event['cell']}",
+              file=err_stream, flush=True)
 
     for line in in_stream:
         line = line.strip()
@@ -157,10 +165,20 @@ def serve(in_stream: TextIO, out_stream: TextIO,
             response = {"id": None, "schema": RESPONSE_SCHEMA, "ok": False,
                         "error": f"bad JSON: {exc}"}
         else:
+            callbacks = []
+            if events:
+                req_id = obj.get("id") if isinstance(obj, dict) else None
+                callbacks.append(jsonl_event_writer(out_stream, id=req_id))
+            if err_stream is not None:
+                callbacks.append(printer)
+            on_event = ((lambda e: [cb(e) for cb in callbacks])
+                        if callbacks else None)
             response = handle_request(obj, cache, workers=workers,
-                                      on_event=progress)
+                                      on_event=on_event)
         if not response["ok"]:
             failures += 1
+        if events:
+            response = {"event": "response", **response}
         print(json.dumps(response, sort_keys=True), file=out_stream,
               flush=True)
     if err_stream is not None and cache is not None:

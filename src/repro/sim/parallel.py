@@ -47,6 +47,8 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from ..obs import host
+
 
 def _encode_outbox(outbox: List[tuple]) -> List[tuple]:
     """Flatten cross-worker queue entries into picklable tuples."""
@@ -104,15 +106,23 @@ def _apply_inbox(world, inbox: List[tuple]) -> None:
                                      (dst_node, wire, desc, world))))
 
 
-def _worker_loop(world, procs, owned: List[int], conn) -> None:
+def _worker_loop(world, procs, owned: List[int], conn, w: int = 0) -> None:
     """Child process: execute owned shards window by window."""
     sim = world.sim
     sim._owned = set(owned)
     hard_sync = world.hard_sync_barrier
     base_events = sim._event_count
+    tracer = host.active()
+    track = f"worker{w}"
     conn.send(("report", sim._min_time(owned_only=True), [], []))
     while True:
-        msg = conn.recv()
+        if tracer is None:
+            msg = conn.recv()
+        else:
+            t0 = tracer.clock()
+            msg = conn.recv()
+            tracer.span_at("worker.idle", t0, tracer.clock(),
+                           track=track, cat="engine")
         if msg[0] == "stop":
             break
         _tag, horizon, inbox, release = msg
@@ -121,8 +131,20 @@ def _worker_loop(world, procs, owned: List[int], conn) -> None:
             hard_sync.release_all(tmax, key_r, positions)
         if inbox:
             _apply_inbox(world, inbox)
-        for shard in owned:
-            sim.run_shard(shard, horizon)
+        if tracer is None:
+            for shard in owned:
+                sim.run_shard(shard, horizon)
+        else:
+            t0 = tracer.clock()
+            for shard in owned:
+                if not sim._heaps[shard]:
+                    continue
+                s0 = tracer.clock()
+                sim.run_shard(shard, horizon)
+                tracer.span_at("shard.advance", s0, tracer.clock(),
+                               track=f"shard{shard}", cat="engine")
+            tracer.span_at("worker.window", t0, tracer.clock(),
+                           track=track, cat="engine")
         outbox = _encode_outbox(sim._outbox)
         sim._outbox.clear()
         conn.send(("report", sim._min_time(owned_only=True), outbox,
@@ -160,6 +182,9 @@ def _worker_loop(world, procs, owned: List[int], conn) -> None:
         "nodes": nodes,
         "clocks": {s: sim._clocks[s] for s in owned},
         "events": sim._event_count - base_events,
+        # Telemetry rides the same final message the results take;
+        # drain() ships only events this child emitted (fork-safe).
+        "telemetry": tracer.drain() if tracer is not None else None,
     }))
 
 
@@ -195,7 +220,7 @@ def run_parallel(world, procs) -> None:
                 other.close()
             code = 0
             try:
-                _worker_loop(world, procs, owned_by[w], child_conn)
+                _worker_loop(world, procs, owned_by[w], child_conn, w)
             except BaseException:  # pragma: no cover - shipped to parent
                 import traceback
 
@@ -213,11 +238,15 @@ def run_parallel(world, procs) -> None:
 
     lookahead = sim.lookahead
     world_size = world.cluster.world_size
+    tracer = host.active()
     try:
         reports = [_recv(conn) for conn in conns]
         while True:
+            round_t0 = tracer.clock() if tracer is not None else 0.0
             minima = [r[1] for r in reports]
             all_out = [entry for r in reports for entry in r[2]]
+            if tracer is not None and all_out:
+                tracer.count("cross_worker_msgs_total", len(all_out))
             metas = [r[3] for r in reports]
             releases: List[Any] = [None] * nworkers
             release_time = None
@@ -254,6 +283,11 @@ def run_parallel(world, procs) -> None:
             for w, conn in enumerate(conns):
                 conn.send(("window", horizon, inboxes[w], releases[w]))
             reports = [_recv(conn) for conn in conns]
+            if tracer is not None:
+                # Full round latency: route + broadcast + the slowest
+                # worker's window (reports arrive when all are done).
+                tracer.span_at("coord.round", round_t0, tracer.clock(),
+                               track="coordinator", cat="engine")
         for conn in conns:
             conn.send(("stop",))
         finals = [_recv(conn)[1] for conn in conns]
@@ -285,6 +319,8 @@ def run_parallel(world, procs) -> None:
         for shard, clock in final["clocks"].items():
             sim._clocks[shard] = clock
         total_events += final["events"]
+        if tracer is not None:
+            tracer.absorb(final.get("telemetry"))
     sim._event_count = total_events
     sim.now = max(sim._clocks)
     # Parent-side heaps still hold the (now executed-elsewhere) items;

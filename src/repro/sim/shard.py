@@ -81,6 +81,7 @@ from typing import Any, List, Optional, Tuple
 
 from .engine import Simulator
 from .events import Event
+from ..obs import host
 
 #: the root key — parent of pre-run pushes (process spawns)
 _ROOT: Tuple = ((), ())
@@ -526,6 +527,9 @@ class ShardedSimulator(Simulator):
         results between processes); both execute identical per-shard
         event sequences.
         """
+        tracer = host.active()
+        if tracer is not None:
+            return self._run_traced(tracer, until)
         L = self.lookahead
         nshards = self.shards
         while True:
@@ -535,6 +539,31 @@ class ShardedSimulator(Simulator):
             horizon = m + L
             for shard in range(nshards):
                 self.run_shard(shard, horizon, until=until)
+        self.now = until if until is not None else max(self._clocks)
+
+    def _run_traced(self, tracer, until: Optional[float] = None) -> None:
+        """:meth:`run` with host wall-clock spans per window and per
+        shard advance.  Same event sequence — telemetry only reads the
+        wall clock around the identical :meth:`run_shard` calls."""
+        L = self.lookahead
+        nshards = self.shards
+        clock = tracer.clock
+        while True:
+            m = self._min_time()
+            if m == float("inf") or (until is not None and m > until):
+                break
+            horizon = m + L
+            w0 = clock()
+            for shard in range(nshards):
+                if not self._heaps[shard]:
+                    continue
+                t0 = clock()
+                self.run_shard(shard, horizon, until=until)
+                tracer.span_at("shard.advance", t0, clock(),
+                               track=f"shard{shard}", cat="engine")
+            tracer.span_at("engine.window", w0, clock(),
+                           track="engine", cat="engine")
+            tracer.count("engine_windows_total")
         self.now = until if until is not None else max(self._clocks)
 
     def step(self) -> None:  # pragma: no cover - debugging aid

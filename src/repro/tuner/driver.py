@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..mpilibs import make_library
+from ..obs import host
 from .db import (
     CellResult,
     SCHEMA_VERSION,
@@ -129,12 +130,34 @@ class _Evaluator:
                 "timeout_s": self.timeout_s,
                 "cache_dir": self.result_cache,
             } for cand in todo]
+            tracer = host.active()
             if self.workers > 1:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
                     # map() yields in submission order → deterministic.
-                    results = list(pool.map(evaluate_task, tasks))
-            else:
+                    if tracer is None:
+                        results = list(pool.map(evaluate_task, tasks))
+                    else:
+                        # Pool workers are spawned processes without the
+                        # tracer; per-candidate detail can't ship home,
+                        # so one batch span covers the fan-out.
+                        t0 = tracer.clock()
+                        results = list(pool.map(evaluate_task, tasks))
+                        tracer.span_at(
+                            "tuner.batch", t0, tracer.clock(),
+                            track="tuner", cat="tuner",
+                            cell=str(cell), candidates=len(tasks),
+                            nodes=nodes)
+            elif tracer is None:
                 results = [evaluate_task(t) for t in tasks]
+            else:
+                results = []
+                for cand, t in zip(todo, tasks):
+                    t0 = tracer.clock()
+                    results.append(evaluate_task(t))
+                    tracer.span_at(
+                        "tuner.candidate", t0, tracer.clock(),
+                        track="tuner", cat="tuner",
+                        cell=str(cell), candidate=str(cand), nodes=nodes)
             for cand, result in zip(todo, results):
                 self.cache.put(cell, cand, nodes, result)
                 out[cand] = result

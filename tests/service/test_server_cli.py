@@ -136,3 +136,29 @@ def test_cli_serve_from_request_file(tmp_path, capsys):
     out = capsys.readouterr().out
     resp = json.loads(out.splitlines()[-1])
     assert resp["ok"] is True and len(resp["records"]) == 4
+
+
+def test_serve_events_interleaves_progress(tmp_path):
+    out = io.StringIO()
+    cache = ResultCache(tmp_path / "c")
+    rc = serve(io.StringIO(json.dumps(REQ) + "\n"), out,
+               cache=cache, events=True)
+    assert rc == 0
+    lines = [json.loads(l) for l in out.getvalue().splitlines()]
+    # All progress lines stream BEFORE the response they belong to,
+    # each stamped with the request id so clients can demux.
+    progress, responses = lines[:-1], lines[-1:]
+    assert all(l["event"] == "progress" for l in progress)
+    assert all(l["id"] == "r1" for l in progress)
+    assert {l["phase"] for l in progress} == {"miss", "start", "done"}
+    assert sum(l["phase"] == "done" for l in progress) == 4
+    assert responses[0]["event"] == "response"
+    assert responses[0]["ok"] is True and responses[0]["id"] == "r1"
+
+
+def test_serve_without_events_is_responses_only(tmp_path):
+    rc, responses = _serve_lines([json.dumps(REQ)],
+                                 cache=ResultCache(tmp_path / "c"))
+    assert rc == 0
+    assert len(responses) == 1            # no progress lines by default
+    assert "event" not in responses[0]    # response schema unchanged

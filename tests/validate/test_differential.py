@@ -444,3 +444,34 @@ def _cases(collective):
 @given(data=st.data())
 def test_differential_sweep(collective, data):
     check_case(data.draw(_cases(collective)))
+
+
+# ---------------------------------------------------------------------------
+# Host telemetry is observation-only: enabling the wall-clock tracer
+# must not move a single byte of any result, on any engine path —
+# including forked workers, where the tracer rides the worker pipes.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("engine", [None, "sharded:2", "sharded:2x2"])
+def test_host_telemetry_is_byte_identical(engine):
+    from repro.bench import bench_collective
+    from repro.obs import host
+
+    def grid():
+        records = {}
+        for library in ("MPICH", "PiP-MColl"):
+            for nbytes in (16, 64):
+                point = bench_collective(
+                    library, "allgather", nbytes,
+                    broadwell_opa(nodes=2, ppn=2), engine=engine)
+                records[(library, nbytes)] = json.dumps(
+                    point.to_record().as_dict(), sort_keys=True)
+        return records
+
+    assert host.active() is None  # off by default
+    plain = grid()
+    with host.tracing() as tracer:
+        traced = grid()
+    assert host.active() is None  # scope restored
+    assert traced == plain, \
+        f"engine={engine}: host telemetry changed result records"
+    assert tracer.events(), "tracer recorded nothing"
