@@ -1,0 +1,171 @@
+"""W2 — Trace-driven shim workloads pinned against golden keys.
+
+Two routes to the same application patterns, both gated:
+
+* **trace replay** — the EmbASI-style ``bcast_storm`` and the
+  data-parallel ``training_step_mix`` cadence replayed call-by-call
+  under each library at 8 × 4; and
+* **shim execution** — the *same* bcast-storm written as a synchronous
+  mpi4py program (the SNIPPETS.md idiom) run unmodified through
+  ``repro.shim``, where every object broadcast costs a header + payload
+  pair on the simulated wire.
+
+The simulator is deterministic, so every headline number is pinned in
+``benchmarks/golden.json`` under ``w2/...`` keys at rel=1e-3 — drift
+means the collective models (or the shim's framing protocol) changed.
+Re-bless after intended changes with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from test_w2_shim_workloads import capture_golden
+    capture_golden()
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import shim
+from repro.bench.workloads import bcast_storm, replay_trace, training_step_mix
+from repro.machine import broadwell_opa
+
+from conftest import save_result
+
+GOLDEN = Path(__file__).parent / "golden.json"
+
+NODES, PPN = 8, 4
+LIBRARIES = ("MPICH", "PiP-MPICH", "PiP-MColl")
+
+TRACES = {
+    "bcast_storm": bcast_storm(n_keys=16, nrows=64, ncols=64),
+    "training_step_mix": training_step_mix(steps=4),
+}
+
+N_KEYS, NROWS, NCOLS = 8, 32, 32
+
+
+def storm_program():
+    """The EmbASI matrix-shipping storm as a plain mpi4py function:
+    shape header, key table, one dense matrix bcast per key, one
+    trailing integer — all through the shim's pickle/buffer protocols."""
+    from repro.shim import MPI
+
+    comm = MPI.COMM_WORLD
+    rank = comm.Get_rank()
+
+    shape = np.array([NROWS, NCOLS], dtype=np.int16)
+    comm.Bcast([shape, MPI.INT16_T], root=0)
+
+    keys = np.array([[i, i + 1] for i in range(N_KEYS)], dtype=np.int16)
+    comm.Bcast([keys, MPI.INT16_T], root=0)
+
+    store = {}
+    buf = np.empty((NROWS, NCOLS), dtype=np.float64)
+    for i in range(N_KEYS):
+        if rank == 0:
+            buf[:] = float(i)
+        comm.Bcast([buf, MPI.DOUBLE], root=0)
+        store[tuple(int(x) for x in keys[i])] = buf.copy()
+
+    epoch = comm.bcast(42 if rank == 0 else None, root=0)
+    assert epoch == 42
+    return float(sum(m.sum() for m in store.values()))
+
+
+def _replay_grid():
+    params = broadwell_opa(nodes=NODES, ppn=PPN)
+    return {
+        trace_key: {lib: replay_trace(lib, trace, params)
+                    for lib in LIBRARIES}
+        for trace_key, trace in TRACES.items()
+    }
+
+
+def _shim_grid():
+    elapsed_us = {}
+    for lib in LIBRARIES:
+        result = shim.run(storm_program, nodes=NODES, ppn=PPN,
+                          library=lib, trace=False)
+        expect = float(sum(float(i) * NROWS * NCOLS for i in range(N_KEYS)))
+        assert result.values == [expect] * (NODES * PPN)
+        elapsed_us[lib] = result.elapsed * 1e6
+    return elapsed_us
+
+
+def _fresh_keys():
+    keys = {}
+    for trace_key, row in _replay_grid().items():
+        for lib, res in row.items():
+            keys[f"w2/{lib}/{trace_key}@{NODES}x{PPN}"] = res.total_us
+    for lib, us in _shim_grid().items():
+        keys[f"w2/shim/bcast_storm@{NODES}x{PPN}/{lib}"] = us
+    return keys
+
+
+def capture_golden():
+    """Re-bless the w2/ golden keys (preserving everything else)."""
+    golden = json.loads(GOLDEN.read_text())
+    golden = {k: v for k, v in golden.items() if not k.startswith("w2/")}
+    golden.update(_fresh_keys())
+    GOLDEN.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"captured {len(_fresh_keys())} w2/ keys")
+
+
+@pytest.mark.benchmark(group="w2")
+def test_w2_trace_replay_vs_golden(benchmark):
+    grids = benchmark.pedantic(_replay_grid, rounds=1, iterations=1)
+    golden = json.loads(GOLDEN.read_text())
+
+    lines = [f"W2 trace-driven workloads, {NODES}x{PPN} (total comm time, us)"]
+    for trace_key, row in grids.items():
+        lines.append(f"  {TRACES[trace_key].name}:")
+        for lib in LIBRARIES:
+            lines.append(f"    {lib:10s} {row[lib].total_us:10.1f}")
+        ours = row["PiP-MColl"].total_us
+        best_other = min(r.total_us for lib, r in row.items()
+                         if lib != "PiP-MColl")
+        lines.append(f"    -> PiP-MColl speedup vs best other: "
+                     f"{best_other / ours:5.2f}x")
+        assert ours < best_other, trace_key
+    save_result("w2_trace_replay", "\n".join(lines))
+
+    for trace_key, row in grids.items():
+        for lib, res in row.items():
+            key = f"w2/{lib}/{trace_key}@{NODES}x{PPN}"
+            assert key in golden, f"golden key {key} missing — capture it"
+            assert res.total_us == pytest.approx(golden[key], rel=1e-3), \
+                f"{key}: golden {golden[key]} vs fresh {res.total_us}"
+
+
+@pytest.mark.benchmark(group="w2")
+def test_w2_shim_storm_vs_golden(benchmark):
+    elapsed_us = benchmark.pedantic(_shim_grid, rounds=1, iterations=1)
+    golden = json.loads(GOLDEN.read_text())
+
+    lines = [f"W2 shim-executed bcast storm (SNIPPETS idiom), "
+             f"{NODES}x{PPN} (end-to-end, us)"]
+    for lib in LIBRARIES:
+        lines.append(f"  {lib:10s} {elapsed_us[lib]:10.1f}")
+    lines.append(f"  -> PiP-MColl speedup vs MPICH: "
+                 f"{elapsed_us['MPICH'] / elapsed_us['PiP-MColl']:5.2f}x")
+    save_result("w2_shim_storm", "\n".join(lines))
+
+    assert elapsed_us["PiP-MColl"] < min(
+        us for lib, us in elapsed_us.items() if lib != "PiP-MColl")
+    for lib, us in elapsed_us.items():
+        key = f"w2/shim/bcast_storm@{NODES}x{PPN}/{lib}"
+        assert key in golden, f"golden key {key} missing — capture it"
+        assert us == pytest.approx(golden[key], rel=1e-3), \
+            f"{key}: golden {golden[key]} vs fresh {us}"
+
+
+def test_w2_shim_storm_deterministic():
+    """Two identical shim runs produce bit-equal simulated time (the
+    property that makes pinning shim numbers in golden.json sane)."""
+    a = shim.run(storm_program, nodes=NODES, ppn=PPN, trace=False)
+    b = shim.run(storm_program, nodes=NODES, ppn=PPN, trace=False)
+    assert a.elapsed == b.elapsed

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""2-D Jacobi heat diffusion, written as a *plain mpi4py program*.
+
+The mpi4py port of ``examples/halo_exchange.py``: the same 4x4 process
+mesh, tile sizes, halo Sendrecv pattern and MAX-allreduce convergence
+checks, expressed as a synchronous mpi4py script.  The process mesh is
+laid out row-major by hand (the divmod arithmetic below matches what
+``repro.runtime.cart.CartTopology`` — and MPI_Cart_create without
+reordering — computes), with ``MPI.PROC_NULL``-style edges handled by
+skipping the exchange, as the native version does.
+
+Runs unmodified under real mpi4py (``mpiexec -n 16 ...``) and under
+the simulated runtime:
+
+    python -m repro shim run --nranks 16 examples/mpi4py_halo_exchange.py
+
+The residual history is byte-identical to the native-API version —
+``tests/shim/test_examples.py`` asserts it.
+"""
+
+import numpy as np
+from mpi4py import MPI
+
+MESH = (4, 4)  # process mesh (must equal the world size)
+LOCAL = 24  # local tile is LOCAL x LOCAL
+STEPS = 30
+CHECK_EVERY = 5
+
+
+def mesh_neighbours(rank):
+    """Row-major non-periodic N/S/W/E neighbours (MPI_Cart_shift with
+    MPI_PROC_NULL at the edges)."""
+    rows, cols = MESH
+    ry, rx = divmod(rank, cols)
+    return {
+        "N": rank - cols if ry > 0 else MPI.PROC_NULL,
+        "S": rank + cols if ry < rows - 1 else MPI.PROC_NULL,
+        "W": rank - 1 if rx > 0 else MPI.PROC_NULL,
+        "E": rank + 1 if rx < cols - 1 else MPI.PROC_NULL,
+    }
+
+
+def jacobi(comm=None):
+    """One rank of the Jacobi solver; returns (residuals, elapsed)."""
+    if comm is None:
+        comm = MPI.COMM_WORLD
+    rank = comm.Get_rank()
+    if comm.Get_size() != MESH[0] * MESH[1]:
+        raise SystemExit(f"needs exactly {MESH[0] * MESH[1]} ranks")
+    ry, rx = divmod(rank, MESH[1])
+
+    # Tile with a one-cell halo ring; hot left edge of the global grid.
+    tile = np.zeros((LOCAL + 2, LOCAL + 2))
+    if rx == 0:
+        tile[:, 0] = 100.0
+
+    halo_send = {d: np.zeros(LOCAL) for d in "NSEW"}
+    halo_recv = {d: np.zeros(LOCAL) for d in "NSEW"}
+    red_in = np.zeros(1)
+    red_out = np.zeros(1)
+    neighbours = mesh_neighbours(rank)
+    edge = {
+        "N": lambda t: t[1, 1:-1], "S": lambda t: t[-2, 1:-1],
+        "W": lambda t: t[1:-1, 1], "E": lambda t: t[1:-1, -2],
+    }
+    ghost = {
+        "N": lambda t, v: t.__setitem__((0, slice(1, -1)), v),
+        "S": lambda t, v: t.__setitem__((-1, slice(1, -1)), v),
+        "W": lambda t, v: t.__setitem__((slice(1, -1), 0), v),
+        "E": lambda t, v: t.__setitem__((slice(1, -1), -1), v),
+    }
+    opposite = {"N": "S", "S": "N", "E": "W", "W": "E"}
+
+    residuals = []
+    start = MPI.Wtime()
+    for step in range(STEPS):
+        # Halo exchange with the four neighbours (tagged by direction).
+        for i, d in enumerate("NSEW"):
+            nb = neighbours[d]
+            if nb == MPI.PROC_NULL:
+                continue
+            halo_send[d][:] = edge[d](tile)
+            comm.Sendrecv(
+                halo_send[d], nb, 100 + i,
+                halo_recv[d], nb, 100 + "NSEW".index(opposite[d]),
+            )
+            ghost[d](tile, halo_recv[d])
+        new_inner = 0.25 * (tile[:-2, 1:-1] + tile[2:, 1:-1]
+                            + tile[1:-1, :-2] + tile[1:-1, 2:])
+        diff = np.abs(new_inner - tile[1:-1, 1:-1]).max()
+        tile[1:-1, 1:-1] = new_inner
+        if rx == 0:
+            tile[1:-1, 0] = 100.0  # re-pin the boundary
+        if (step + 1) % CHECK_EVERY == 0:
+            red_in[0] = diff
+            comm.Allreduce(red_in, red_out, op=MPI.MAX)
+            residuals.append(float(red_out[0]))
+    return residuals, MPI.Wtime() - start
+
+
+def main():
+    comm = MPI.COMM_WORLD
+    residuals, elapsed = jacobi(comm)
+    slowest = comm.allreduce(elapsed, op=MPI.MAX)
+    if comm.Get_rank() == 0:
+        print(f"Jacobi {MESH[0]}x{MESH[1]} mesh, {LOCAL}x{LOCAL} tiles, "
+              f"{STEPS} steps, convergence check every {CHECK_EVERY}")
+        print(f"final residual {residuals[-1]:.4f}, "
+              f"{slowest * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -620,11 +620,14 @@ def run_app(
         same signature, same plain-list return, tracing off.  New code
         should construct a :class:`Session`;
         ``Session(...).run(app).values`` is this function's return
-        value.
+        value.  Plain (non-generator) mpi4py-style functions run
+        unmodified through :func:`repro.shim.run`.
     """
     warnings.warn(
-        "run_app() is deprecated; use Session(...).run(app) — "
-        ".values on the RunResult is run_app's old return value",
+        "run_app() is deprecated; use Session(...).run(app) for "
+        "generator apps (.values on the RunResult is run_app's old "
+        "return value), or repro.shim.run(fn) to run plain mpi4py-style "
+        "functions unmodified",
         DeprecationWarning, stacklevel=2,
     )
     session = Session(library=library, nodes=nodes, ppn=ppn, params=params,

@@ -87,6 +87,23 @@ def training_step_mix(layers: Sequence[int] = (256, 1024, 4096, 1024, 256),
     return CollectiveTrace(f"training_step_mix(steps={steps})", tuple(calls))
 
 
+def bcast_storm(n_keys: int = 16, nrows: int = 64,
+                ncols: int = 64) -> CollectiveTrace:
+    """Coupled-code matrix shipping (the EmbASI pattern recorded in
+    SNIPPETS.md): one tiny shape broadcast, one key-table broadcast,
+    then a dense float64 matrix broadcast per key, closed by a scalar
+    broadcast — a root-heavy storm mixing 8 B headers with multi-KB
+    payloads, exactly the regime where per-call constant costs
+    dominate."""
+    calls: List[Call] = [
+        ("bcast", 8),                     # data shape (2 x int16, padded)
+        ("bcast", max(n_keys * 4, 8)),    # key table (n_keys x 2 x int16)
+    ]
+    calls.extend(("bcast", nrows * ncols * 8) for _ in range(n_keys))
+    calls.append(("bcast", 8))            # trailing scalar broadcast
+    return CollectiveTrace(f"bcast_storm(keys={n_keys})", tuple(calls))
+
+
 def analytics_shuffle(partitions_bytes: int = 512,
                       rounds: int = 4) -> CollectiveTrace:
     """Shuffle-heavy analytics: alltoall rounds with barrier epochs."""

@@ -32,6 +32,11 @@ Commands
     Ingest ``benchmarks/results/*.records.json`` and write the
     Fig. 2–7-style comparison report (CSV + JSON + self-contained
     HTML) plus the repo-root ``BENCH_summary.json``.
+``shim run``
+    Execute an *unmodified* mpi4py script on simulated ranks
+    (``mpi4py`` is aliased to :mod:`repro.shim` for the run) against
+    any modeled library/machine/engine; ``--trace`` exports the
+    Perfetto timeline (docs/SHIM.md).
 ``telemetry``
     Run a sweep under *host* (wall-clock) tracing and summarize worker
     utilization, the window-stall breakdown by shard, and cache/queue
@@ -300,6 +305,49 @@ def cmd_trace(args) -> int:
               f"({inj['engine_utilization']:.0%}), aggregate occupancy "
               f"{inj['aggregate_occupancy']:.4f}, "
               f"{inj['total_msgs']} msgs / {inj['total_bytes']} B")
+    return 0
+
+
+def cmd_shim_run(args) -> int:
+    """Run an unmodified mpi4py script on the simulated runtime."""
+    from .obs import validate_chrome_trace
+    from .shim import run_script
+
+    kwargs = {}
+    if args.preset:
+        geo = {}
+        if args.nodes is not None:
+            geo["nodes"] = args.nodes
+        if args.ppn is not None:
+            geo["ppn"] = args.ppn
+        kwargs["params"] = preset(args.preset, **geo)
+    else:
+        kwargs.update(nranks=args.nranks, nodes=args.nodes, ppn=args.ppn)
+    script_args = args.script_args
+    if script_args and script_args[0] == "--":
+        script_args = script_args[1:]
+    result = run_script(args.script, argv=tuple(script_args),
+                        library=args.library, engine=args.engine,
+                        trace=bool(args.trace) or not args.no_trace,
+                        **kwargs)
+    machine = result.world.params
+    print(f"{args.script} on {machine.nodes}x{machine.ppn} simulated ranks "
+          f"({result.library}, engine {result.engine.name}): "
+          f"{result.elapsed * 1e6:.2f} us simulated")
+    for note in result.shim_notes:
+        print(f"note: {note}")
+    for note in result.engine.downgrades:
+        print(f"engine: {note}")
+    if args.trace:
+        result.write_perfetto(args.trace)
+        suffix = ""
+        if args.validate:
+            events = validate_chrome_trace(result.to_perfetto())
+            suffix = f" ({events} events, schema OK)"
+        print(f"wrote {args.trace}{suffix} — load it at ui.perfetto.dev")
+    if result.metrics is not None and args.metrics:
+        print()
+        print(result.metrics.format())
     return 0
 
 
@@ -637,6 +685,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "export them as Perfetto counter tracks")
     _add_machine_args(p, nodes=4, ppn=4)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "shim", help="run unmodified mpi4py programs (docs/SHIM.md)")
+    shim_sub = p.add_subparsers(dest="shim_command", required=True)
+
+    s = shim_sub.add_parser(
+        "run", help="execute a real mpi4py script on simulated ranks")
+    s.add_argument("script", help="path to an unmodified mpi4py script")
+    s.add_argument("script_args", nargs=argparse.REMAINDER,
+                   help="arguments passed to the script's sys.argv "
+                        "(everything after the script path; put repro "
+                        "options before it)")
+    s.add_argument("--nranks", "-n", type=int, default=None,
+                   help="world size (mpiexec -n); geometry picked to "
+                        "prefer multi-node shapes")
+    s.add_argument("--nodes", type=int, default=None)
+    s.add_argument("--ppn", type=int, default=None)
+    s.add_argument("--preset", default=None, choices=available_presets(),
+                   help="machine preset (default broadwell_opa timings)")
+    s.add_argument("--library", default="PiP-MColl", type=_library_spec,
+                   help=f"one of {available_libraries()} or 'tuned:<db>'")
+    s.add_argument("--engine", type=_engine_spec, default=None,
+                   help="simulation engine: reference, calendar (default), "
+                        "sharded[:<shards>] (shim forces workers=1), "
+                        "analytic")
+    s.add_argument("--trace", default=None,
+                   help="write the run's Perfetto trace JSON here")
+    s.add_argument("--validate", action="store_true",
+                   help="check the trace export against the Chrome "
+                        "trace-event schema")
+    s.add_argument("--no-trace", action="store_true",
+                   help="disable span recording entirely (faster; "
+                        "incompatible with --trace)")
+    s.add_argument("--metrics", action="store_true",
+                   help="print derived span metrics after the run")
+    s.set_defaults(fn=cmd_shim_run)
 
     p = sub.add_parser("report", help="benchmark records → paper-figure report")
     p.add_argument("--results", default="benchmarks/results",

@@ -1,0 +1,45 @@
+"""repro.shim — run real mpi4py programs on the simulated runtime.
+
+The paper's collectives matter because applications reach them through
+mpi4py.  This package is the compatibility frontend: an ``MPI`` module
+exposing the mpi4py surface (``MPI.COMM_WORLD``, pickle + buffer
+protocols, datatype/op constants, ``Wtime``) backed by simulated
+coroutine ranks, so unmodified user code runs against any modeled
+library/machine/engine and comes back with latency, LogGP attribution
+and Perfetto traces::
+
+    from repro import shim
+    from repro.shim import MPI
+
+    def app():
+        rank = MPI.COMM_WORLD.Get_rank()
+        return MPI.COMM_WORLD.allreduce(rank)
+
+    result = shim.run(app, nranks=16, library="PiP-MColl")
+    result.values      # [120, 120, ...] — one per rank
+    result.elapsed     # simulated seconds
+    result.write_perfetto("trace.json")
+
+Or, without touching the script at all::
+
+    python -m repro shim run script.py --nranks 16 --library PiP-MColl
+
+See ``docs/SHIM.md`` for the supported-surface matrix and the
+unsupported-call policy (fail loudly, never approximate silently).
+"""
+
+from . import mpi as MPI
+from .errors import (ShimAbortedError, ShimError, ShimNotRunningError,
+                     ShimTypeError, ShimUnsupportedError)
+from .runner import run, run_script
+
+__all__ = [
+    "MPI",
+    "run",
+    "run_script",
+    "ShimError",
+    "ShimTypeError",
+    "ShimNotRunningError",
+    "ShimUnsupportedError",
+    "ShimAbortedError",
+]

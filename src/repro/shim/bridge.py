@@ -1,0 +1,155 @@
+"""The rank bridge: synchronous user code over coroutine-backed ranks.
+
+Real mpi4py programs are plain synchronous Python — ``comm.bcast(x)``
+returns when the broadcast is done.  The simulated runtime underneath
+is cooperative: every communication is a generator that must be driven
+by the simulator's event loop.  The bridge reconciles the two with one
+OS thread per simulated rank:
+
+* the **user thread** runs the unmodified program; every MPI call
+  packages the operation as a generator factory, posts it to the
+  rank's request queue, and blocks until the result comes back;
+* the **simulator thread** runs :meth:`RankBridge.pump` as the rank's
+  program generator: it waits for the next request, executes it with
+  ``yield from`` (interleaving with every other rank exactly as a
+  native :class:`~repro.api.VComm` app would), and posts the result.
+
+Because simulated time only advances inside the delegated generators,
+the event sequence — and therefore every timestamp — is identical to
+the same calls issued natively.  User threads may compute concurrently
+between calls (that costs zero simulated time, like any local code in
+a ``VComm`` app); within one rank the protocol is strictly
+sequential, so there are no data races on user buffers.
+
+The thread-local :func:`current_bridge` is how ``repro.shim.MPI``
+(a process-global module) resolves to *this* rank: each user thread
+sees its own bridge, exactly as each MPI process sees its own
+``MPI.COMM_WORLD``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Optional, Tuple
+
+from .errors import ShimAbortedError, ShimNotRunningError
+
+_tls = threading.local()
+
+#: request kinds posted by the user thread
+_CALL, _DONE, _RAISE, _ABORTED = "call", "done", "raise", "aborted"
+
+
+def current_bridge() -> "RankBridge":
+    """The bridge of the calling user thread.
+
+    Raises :class:`ShimNotRunningError` outside a shim run — e.g. when
+    ``MPI.COMM_WORLD`` is poked at import time from the main thread.
+    """
+    bridge = getattr(_tls, "bridge", None)
+    if bridge is None:
+        raise ShimNotRunningError(
+            "repro.shim.MPI is not bound to a rank on this thread; MPI "
+            "calls only work inside repro.shim.run(...) or "
+            "`python -m repro shim run <script>` (see docs/SHIM.md)"
+        )
+    return bridge
+
+
+class RankBridge:
+    """One simulated rank's half-duplex channel to its user thread."""
+
+    def __init__(self, vcomm, fn: Callable[..., Any],
+                 args: Tuple = ()) -> None:
+        #: the rank's COMM_WORLD :class:`~repro.api.VComm`
+        self.vcomm = vcomm
+        self.ctx = vcomm.ctx
+        self.rank = vcomm.rank
+        self._fn = fn
+        self._args = args
+        self._requests: "queue.Queue" = queue.Queue()
+        self._replies: "queue.Queue" = queue.Queue()
+        #: simulated time of this rank's last completed call — what
+        #: ``MPI.Wtime()`` returns (deterministic: global ``sim.now``
+        #: may already have advanced for other ranks)
+        self.now = 0.0
+        self._aborted = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- user-thread side --------------------------------------------------
+    def call(self, name: str, factory: Callable[[], Any], **attrs) -> Any:
+        """Run ``factory()`` (a generator) on the simulator; block for
+        and return its result.  Raises whatever the operation raised."""
+        if self._aborted:
+            raise ShimAbortedError(
+                f"rank {self.rank}: the shim run was torn down "
+                "(a sibling rank failed or the world deadlocked)"
+            )
+        self._requests.put((_CALL, name, factory, attrs))
+        kind, payload = self._replies.get()
+        if kind == "err":
+            raise payload
+        return payload
+
+    def _user_main(self) -> None:
+        _tls.bridge = self
+        try:
+            value = self._fn(*self._args)
+        except ShimAbortedError:
+            self._requests.put((_ABORTED, None, None, None))
+        except BaseException as exc:  # surfaces from World.run
+            self._requests.put((_RAISE, exc, None, None))
+        else:
+            self._requests.put((_DONE, value, None, None))
+        finally:
+            _tls.bridge = None
+
+    # -- simulator-thread side ---------------------------------------------
+    def pump(self):
+        """The rank program (a generator): drive the user thread's
+        requests until the program returns; its return value becomes
+        the rank's entry in ``RunResult.values``."""
+        self.now = self.ctx.now
+        self._thread = threading.Thread(
+            target=self._user_main, name=f"shim-rank{self.rank}",
+            daemon=True)
+        self._thread.start()
+        while True:
+            kind, head, factory, attrs = self._requests.get()
+            if kind == _DONE:
+                return head
+            if kind == _ABORTED:
+                return None
+            if kind == _RAISE:
+                raise head
+            try:
+                with self.ctx.span(f"shim.{head}", cat="shim", **attrs):
+                    result = yield from factory()
+            except Exception as exc:
+                self.now = self.ctx.now
+                self._replies.put(("err", exc))
+            else:
+                self.now = self.ctx.now
+                self._replies.put(("ok", result))
+
+    # -- teardown ----------------------------------------------------------
+    def abort(self) -> None:
+        """Unblock the user thread with :class:`ShimAbortedError`.
+
+        Called after the world's run ended (normally or not).  A thread
+        blocked in :meth:`call` wakes with the error; a thread between
+        calls hits the ``_aborted`` flag on its next one.  Idempotent.
+        """
+        if self._aborted:
+            return
+        self._aborted = True
+        self._replies.put(("err", ShimAbortedError(
+            f"rank {self.rank}: the shim run was torn down while this "
+            "call was in flight")))
+
+    def join(self, timeout: float = 5.0) -> None:
+        """Wait for the user thread to exit (daemon — a thread stuck in
+        non-MPI compute is abandoned rather than blocking teardown)."""
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)

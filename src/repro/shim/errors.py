@@ -1,0 +1,64 @@
+"""Shim error taxonomy.
+
+Every failure the shim itself raises derives from :class:`ShimError`,
+so user programs (and tests) can separate "the shim refused the call"
+from "the simulated MPI run went wrong" (those surface as the
+runtime's own :class:`~repro.runtime.errors.MpiError` family).
+
+The hierarchy doubles as the *unsupported-call policy* documented in
+``docs/SHIM.md``: anything outside the supported mpi4py surface fails
+loudly at the call site with an error naming the attribute — never a
+silent no-op that would let an application diverge from what real
+mpi4py would have computed.
+"""
+
+from __future__ import annotations
+
+
+class ShimError(Exception):
+    """Base class for every error raised by :mod:`repro.shim`."""
+
+
+class ShimTypeError(ShimError, TypeError):
+    """A buffer argument the shim cannot honour faithfully.
+
+    Raised for mismatched buffer dtypes (``[array, MPI.DOUBLE]`` where
+    the array is not float64), non-contiguous arrays passed to the
+    buffer protocol (use the pickle protocol — lowercase methods — for
+    arbitrary views), and buffer specs the shim cannot parse.
+    """
+
+
+class ShimNotRunningError(ShimError, RuntimeError):
+    """An MPI call issued outside a shim run.
+
+    ``repro.shim.MPI`` binds to a simulated rank only inside
+    :func:`repro.shim.run` (or ``python -m repro shim run``); importing
+    the module is always safe, calling into a communicator is not.
+    """
+
+
+class ShimUnsupportedError(ShimError, NotImplementedError):
+    """An mpi4py attribute/method the shim does not model.
+
+    Names the missing attribute and points at ``docs/SHIM.md`` for the
+    supported-surface matrix — the policy is to fail loudly rather
+    than approximate.
+    """
+
+    def __init__(self, what: str) -> None:
+        super().__init__(
+            f"repro.shim does not implement {what!r}; see docs/SHIM.md "
+            "for the supported mpi4py surface (unsupported calls fail "
+            "loudly by design)"
+        )
+        self.what = what
+
+
+class ShimAbortedError(ShimError):
+    """The run was torn down while this rank was blocked in a call.
+
+    Posted into user threads when a sibling rank raised or the world
+    deadlocked — the shim's analogue of MPI_Abort reaching a rank that
+    was still inside a collective.
+    """

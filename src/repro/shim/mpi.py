@@ -1,0 +1,560 @@
+"""Drop-in ``MPI`` module: the mpi4py surface over simulated ranks.
+
+``from repro.shim import MPI`` gives unmodified mpi4py programs the
+names they expect — ``MPI.COMM_WORLD``, datatype/op constants,
+``MPI.Wtime`` — backed by whichever simulated rank the calling thread
+belongs to (see :mod:`repro.shim.bridge`).  ``MPI.COMM_WORLD`` is a
+single module-level object, but every method resolves through the
+thread-local bridge, so each rank thread sees its own communicator —
+exactly as each MPI *process* sees its own ``COMM_WORLD``.
+
+Supported surface (the full matrix lives in ``docs/SHIM.md``):
+
+* pickle protocol — ``bcast`` ``gather`` ``scatter`` ``allgather``
+  ``allreduce`` ``reduce`` ``send`` ``recv`` ``sendrecv`` ``barrier``
+* buffer protocol (contiguous numpy) — ``Bcast`` ``Allreduce``
+  ``Allgather`` ``Alltoall`` ``Gather`` ``Scatter`` ``Reduce``
+  ``Send`` ``Recv`` ``Sendrecv`` ``Barrier``
+* communicator management — ``Split`` ``Dup`` ``Free``
+* environment — ``Wtime`` ``Wtick`` ``Get_processor_name``
+
+Anything else raises :class:`~repro.shim.errors.ShimUnsupportedError`
+naming the attribute: the shim fails loudly rather than silently
+diverging from what real mpi4py would compute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..runtime import ops as _rt_ops
+from . import proto
+from .bridge import current_bridge
+from .errors import ShimError, ShimTypeError, ShimUnsupportedError
+
+#: wildcard source for receives (matches mpi4py / the runtime)
+ANY_SOURCE = -1
+#: wildcard tag for receives
+ANY_TAG = -1
+#: null peer: sends/recvs addressed to it complete immediately
+PROC_NULL = -2
+#: mpi4py's MPI_UNDEFINED (Split color for "leave me out")
+UNDEFINED = -32766
+
+
+class Datatype:
+    """An MPI datatype constant, pinned to a numpy dtype."""
+
+    __slots__ = ("name", "np_dtype")
+
+    def __init__(self, name: str, np_dtype) -> None:
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+
+    @property
+    def size(self) -> int:
+        """Extent in bytes (mpi4py ``Get_size``)."""
+        return self.np_dtype.itemsize
+
+    def Get_size(self) -> int:
+        return self.np_dtype.itemsize
+
+    def __repr__(self) -> str:
+        return f"<MPI.Datatype {self.name}>"
+
+
+BYTE = Datatype("BYTE", np.uint8)
+CHAR = Datatype("CHAR", np.int8)
+SHORT = Datatype("SHORT", np.int16)
+INT = Datatype("INT", np.int32)
+LONG = Datatype("LONG", np.int64)
+LONG_LONG = Datatype("LONG_LONG", np.int64)
+UNSIGNED = Datatype("UNSIGNED", np.uint32)
+UNSIGNED_LONG = Datatype("UNSIGNED_LONG", np.uint64)
+INT8_T = Datatype("INT8_T", np.int8)
+INT16_T = Datatype("INT16_T", np.int16)
+INT32_T = Datatype("INT32_T", np.int32)
+INT64_T = Datatype("INT64_T", np.int64)
+UINT8_T = Datatype("UINT8_T", np.uint8)
+UINT16_T = Datatype("UINT16_T", np.uint16)
+UINT32_T = Datatype("UINT32_T", np.uint32)
+UINT64_T = Datatype("UINT64_T", np.uint64)
+FLOAT = Datatype("FLOAT", np.float32)
+DOUBLE = Datatype("DOUBLE", np.float64)
+C_BOOL = Datatype("C_BOOL", np.bool_)
+BOOL = Datatype("BOOL", np.bool_)
+COMPLEX = Datatype("COMPLEX", np.complex64)
+DOUBLE_COMPLEX = Datatype("DOUBLE_COMPLEX", np.complex128)
+
+
+class Op:
+    """A reduction operator: the runtime's elementwise
+    :class:`~repro.runtime.ops.ReduceOp` for buffer calls, a Python
+    fold for pickle (object-mode) calls."""
+
+    __slots__ = ("name", "reduce_op", "py")
+
+    def __init__(self, name: str, reduce_op, py) -> None:
+        self.name = name
+        self.reduce_op = reduce_op
+        self.py = py
+
+    def __repr__(self) -> str:
+        return f"<MPI.Op {self.name}>"
+
+
+SUM = Op("SUM", _rt_ops.SUM, lambda a, b: a + b)
+PROD = Op("PROD", _rt_ops.PROD, lambda a, b: a * b)
+MAX = Op("MAX", _rt_ops.MAX, lambda a, b: b if b > a else a)
+MIN = Op("MIN", _rt_ops.MIN, lambda a, b: b if b < a else a)
+LAND = Op("LAND", _rt_ops.LAND, lambda a, b: bool(a) and bool(b))
+LOR = Op("LOR", _rt_ops.LOR, lambda a, b: bool(a) or bool(b))
+BAND = Op("BAND", _rt_ops.BAND, lambda a, b: a & b)
+BOR = Op("BOR", _rt_ops.BOR, lambda a, b: a | b)
+BXOR = Op("BXOR", _rt_ops.BXOR, lambda a, b: a ^ b)
+
+
+class _InPlace:
+    def __repr__(self) -> str:
+        return "<MPI.IN_PLACE>"
+
+
+#: accepted for signature compatibility; using it raises
+#: ShimUnsupportedError (the shim models explicit send/recv buffers)
+IN_PLACE = _InPlace()
+
+
+class Status:
+    """Receive completion record (``MPI.Status()``)."""
+
+    def __init__(self) -> None:
+        self.source = UNDEFINED
+        self.tag = UNDEFINED
+        self.count = 0
+
+    def _set(self, source: int, tag: int, count: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.count = count
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self, datatype: Optional[Datatype] = None) -> int:
+        """Received element count (bytes for the default BYTE)."""
+        if datatype is None or datatype.np_dtype.itemsize == 1:
+            return self.count
+        return self.count // datatype.np_dtype.itemsize
+
+    def __repr__(self) -> str:
+        return (f"<MPI.Status source={self.source} tag={self.tag} "
+                f"count={self.count}>")
+
+
+def _parse_buffer(spec: Any, *, what: str,
+                  writable: bool) -> Optional[np.ndarray]:
+    """Resolve an mpi4py buffer spec — ``ndarray``, ``[ndarray]``,
+    ``[ndarray, MPI.<TYPE>]`` or ``[ndarray, count, MPI.<TYPE>]`` — to
+    the underlying contiguous array, enforcing the shim's faithfulness
+    rules (:class:`ShimTypeError` on anything it cannot honour)."""
+    if spec is None:
+        return None
+    if isinstance(spec, _InPlace):
+        raise ShimUnsupportedError(f"MPI.IN_PLACE (in {what})")
+    if isinstance(spec, np.ndarray):
+        arr = spec
+    elif isinstance(spec, (list, tuple)):
+        if not spec or not isinstance(spec[0], np.ndarray):
+            raise ShimTypeError(
+                f"{what}: buffer spec must start with a numpy array, "
+                f"got {spec!r} — use the lowercase pickle-protocol "
+                "method for arbitrary Python objects")
+        arr = spec[0]
+        for item in spec[1:]:
+            if isinstance(item, Datatype):
+                if item.np_dtype != arr.dtype:
+                    raise ShimTypeError(
+                        f"{what}: buffer dtype {arr.dtype} does not "
+                        f"match the declared MPI.{item.name} "
+                        f"({item.np_dtype})")
+            elif isinstance(item, (int, np.integer)):
+                if int(item) != arr.size:
+                    raise ShimTypeError(
+                        f"{what}: explicit count {int(item)} != array "
+                        f"size {arr.size}; pass a sliced view instead")
+            else:
+                raise ShimTypeError(
+                    f"{what}: unsupported buffer-spec element "
+                    f"{item!r} (expected a count or an MPI datatype)")
+    else:
+        raise ShimTypeError(
+            f"{what}: expected a numpy array or an "
+            f"[array, MPI.<TYPE>] spec, got {type(spec).__name__} — "
+            "use the lowercase pickle-protocol method for arbitrary "
+            "Python objects")
+    if not arr.flags.c_contiguous:
+        raise ShimTypeError(
+            f"{what}: buffer is not C-contiguous; the runtime's "
+            "write-back would silently drop data on a strided view. "
+            "Pass np.ascontiguousarray(...) or use the lowercase "
+            "pickle-protocol method")
+    if writable and not arr.flags.writeable:
+        raise ShimTypeError(f"{what}: receive buffer is read-only")
+    return arr
+
+
+class Comm:
+    """An mpi4py-style communicator handle.
+
+    The module-level :data:`COMM_WORLD` is unbound — it resolves to the
+    calling thread's rank on every use.  Communicators returned by
+    :meth:`Split`/:meth:`Dup` are bound to the rank that created them.
+    """
+
+    def __init__(self, binder=None, name: str = "MPI_COMM_WORLD") -> None:
+        self._binder = binder  # None → COMM_WORLD of the current bridge
+        self._comm_name = name
+        self._freed = False
+
+    # -- plumbing ------------------------------------------------------
+    def _bound(self):
+        if self._freed:
+            raise ShimError(f"{self._comm_name} has been freed")
+        bridge = current_bridge()
+        if self._binder is None:
+            return bridge, bridge.vcomm
+        owner, vcomm = self._binder
+        if owner is not bridge:
+            raise ShimError(
+                f"{self._comm_name} belongs to rank {owner.rank}; it "
+                f"cannot be used from rank {bridge.rank} (communicator "
+                "handles are per-rank, like real MPI handles)")
+        return bridge, vcomm
+
+    def __getattr__(self, name: str):
+        if name.startswith("__"):
+            raise AttributeError(name)
+        raise ShimUnsupportedError(f"Comm.{name}")
+
+    def __repr__(self) -> str:
+        return f"<repro.shim Comm {self._comm_name}>"
+
+    # -- introspection -------------------------------------------------
+    def Get_rank(self) -> int:
+        return self._bound()[1].rank
+
+    def Get_size(self) -> int:
+        return self._bound()[1].size
+
+    @property
+    def rank(self) -> int:
+        return self.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self.Get_size()
+
+    def Get_name(self) -> str:
+        return self._comm_name
+
+    # -- communicator management ---------------------------------------
+    def Split(self, color: int = 0, key: int = 0) -> "Comm":
+        bridge, vcomm = self._bound()
+        c = None if (color is None or color == UNDEFINED) else int(color)
+        sub = bridge.call("Split", lambda: vcomm.Split(c, key),
+                          color=color, key=key)
+        if sub is None:
+            return COMM_NULL
+        return Comm(binder=(bridge, sub),
+                    name=f"{self._comm_name}.split({color})")
+
+    def Dup(self) -> "Comm":
+        """Communicator duplication — modeled as a same-membership
+        Split (a real dup is also a collective; the new communicator
+        gets its own matching context)."""
+        bridge, vcomm = self._bound()
+        sub = bridge.call("Dup", lambda: vcomm.Split(0, vcomm.rank))
+        return Comm(binder=(bridge, sub), name=f"{self._comm_name}.dup")
+
+    def Free(self) -> None:
+        if self._binder is None:
+            raise ShimError("cannot free MPI_COMM_WORLD")
+        self._bound()  # ownership + double-free check
+        self._freed = True
+
+    # -- pickle protocol (lowercase, arbitrary objects) ----------------
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        bridge, vcomm = self._bound()
+        return bridge.call("bcast", lambda: proto.bcast(vcomm, obj, root),
+                           root=root)
+
+    def gather(self, sendobj: Any, root: int = 0):
+        bridge, vcomm = self._bound()
+        return bridge.call("gather",
+                           lambda: proto.gather(vcomm, sendobj, root),
+                           root=root)
+
+    def scatter(self, sendobj: Any = None, root: int = 0) -> Any:
+        bridge, vcomm = self._bound()
+        return bridge.call("scatter",
+                           lambda: proto.scatter(vcomm, sendobj, root),
+                           root=root)
+
+    def allgather(self, sendobj: Any):
+        bridge, vcomm = self._bound()
+        return bridge.call("allgather",
+                           lambda: proto.allgather(vcomm, sendobj))
+
+    def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
+        bridge, vcomm = self._bound()
+        return bridge.call("allreduce",
+                           lambda: proto.allreduce(vcomm, sendobj, op.py),
+                           op=op.name)
+
+    def reduce(self, sendobj: Any, op: Op = SUM, root: int = 0) -> Any:
+        bridge, vcomm = self._bound()
+        return bridge.call("reduce",
+                           lambda: proto.reduce(vcomm, sendobj, op.py, root),
+                           op=op.name, root=root)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if dest == PROC_NULL:
+            return
+        bridge, vcomm = self._bound()
+        bridge.call("send", lambda: proto.send(vcomm, obj, dest, tag),
+                    dest=dest, tag=tag)
+
+    def recv(self, buf: Any = None, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG, status: Optional[Status] = None) -> Any:
+        # ``buf`` is mpi4py's optional pre-allocated pickle buffer — an
+        # allocation hint only; the shim always allocates.
+        if source == PROC_NULL:
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return None
+        bridge, vcomm = self._bound()
+        obj, src, mtag, nbytes = bridge.call(
+            "recv", lambda: proto.recv(vcomm, source, tag),
+            source=source, tag=tag)
+        if status is not None:
+            status._set(src, mtag, nbytes)
+        return obj
+
+    def sendrecv(self, sendobj: Any, dest: int, sendtag: int = 0,
+                 recvbuf: Any = None, source: int = ANY_SOURCE,
+                 recvtag: int = ANY_TAG,
+                 status: Optional[Status] = None) -> Any:
+        if dest == PROC_NULL and source == PROC_NULL:
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return None
+        if dest == PROC_NULL:
+            return self.recv(recvbuf, source, recvtag, status)
+        if source == PROC_NULL:
+            self.send(sendobj, dest, sendtag)
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return None
+        bridge, vcomm = self._bound()
+        obj, src, mtag, nbytes = bridge.call(
+            "sendrecv",
+            lambda: proto.sendrecv(vcomm, sendobj, dest, sendtag,
+                                   source, recvtag),
+            dest=dest, source=source)
+        if status is not None:
+            status._set(src, mtag, nbytes)
+        return obj
+
+    def barrier(self) -> None:
+        bridge, vcomm = self._bound()
+        bridge.call("barrier", lambda: vcomm.Barrier())
+
+    # -- buffer protocol (uppercase, contiguous numpy) -----------------
+    def Barrier(self) -> None:
+        bridge, vcomm = self._bound()
+        bridge.call("Barrier", lambda: vcomm.Barrier())
+
+    def Bcast(self, buf: Any, root: int = 0) -> None:
+        bridge, vcomm = self._bound()
+        arr = _parse_buffer(buf, what="Bcast", writable=True)
+        bridge.call("Bcast", lambda: vcomm.Bcast(arr, root=root),
+                    root=root, nbytes=arr.nbytes)
+
+    def Send(self, buf: Any, dest: int, tag: int = 0) -> None:
+        if dest == PROC_NULL:
+            return
+        bridge, vcomm = self._bound()
+        arr = _parse_buffer(buf, what="Send", writable=False)
+        bridge.call("Send", lambda: vcomm.Send(arr, dest, tag=tag),
+                    dest=dest, tag=tag, nbytes=arr.nbytes)
+
+    def Recv(self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: Optional[Status] = None) -> None:
+        bridge, vcomm = self._bound()
+        arr = _parse_buffer(buf, what="Recv", writable=True)
+        if source == PROC_NULL:
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return
+        st = bridge.call("Recv", lambda: vcomm.Recv(arr, source, tag=tag),
+                         source=source, tag=tag, nbytes=arr.nbytes)
+        if status is not None:
+            status._set(st.source, st.tag, st.nbytes)
+
+    def Sendrecv(self, sendbuf: Any, dest: int, sendtag: int = 0,
+                 recvbuf: Any = None, source: int = ANY_SOURCE,
+                 recvtag: int = ANY_TAG,
+                 status: Optional[Status] = None) -> None:
+        bridge, vcomm = self._bound()
+        sarr = _parse_buffer(sendbuf, what="Sendrecv(send)", writable=False)
+        rarr = _parse_buffer(recvbuf, what="Sendrecv(recv)", writable=True)
+        if dest == PROC_NULL and source == PROC_NULL:
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return
+        if dest == PROC_NULL:
+            return self.Recv(recvbuf, source, recvtag, status)
+        if source == PROC_NULL:
+            self.Send(sendbuf, dest, sendtag)
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return
+        st = bridge.call(
+            "Sendrecv",
+            lambda: vcomm.Sendrecv(sarr, dest, sendtag, rarr, source,
+                                   recvtag),
+            dest=dest, source=source, nbytes=sarr.nbytes)
+        if status is not None:
+            status._set(st.source, st.tag, st.nbytes)
+
+    def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
+        bridge, vcomm = self._bound()
+        sarr = _parse_buffer(sendbuf, what="Allreduce(send)", writable=False)
+        rarr = _parse_buffer(recvbuf, what="Allreduce(recv)", writable=True)
+        if sarr.dtype != rarr.dtype:
+            raise ShimTypeError(
+                f"Allreduce: send dtype {sarr.dtype} != recv dtype "
+                f"{rarr.dtype}")
+        bridge.call("Allreduce",
+                    lambda: vcomm.Allreduce(sarr, rarr, op=op.reduce_op),
+                    op=op.name, nbytes=sarr.nbytes)
+
+    def Reduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM,
+               root: int = 0) -> None:
+        bridge, vcomm = self._bound()
+        sarr = _parse_buffer(sendbuf, what="Reduce(send)", writable=False)
+        rarr = _parse_buffer(recvbuf, what="Reduce(recv)", writable=True)
+        if rarr is not None and sarr.dtype != rarr.dtype:
+            raise ShimTypeError(
+                f"Reduce: send dtype {sarr.dtype} != recv dtype "
+                f"{rarr.dtype}")
+        bridge.call("Reduce",
+                    lambda: vcomm.Reduce(sarr, rarr, op=op.reduce_op,
+                                         root=root),
+                    op=op.name, root=root, nbytes=sarr.nbytes)
+
+    def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
+        bridge, vcomm = self._bound()
+        sarr = _parse_buffer(sendbuf, what="Allgather(send)", writable=False)
+        rarr = _parse_buffer(recvbuf, what="Allgather(recv)", writable=True)
+        bridge.call("Allgather", lambda: vcomm.Allgather(sarr, rarr),
+                    nbytes=sarr.nbytes)
+
+    def Alltoall(self, sendbuf: Any, recvbuf: Any) -> None:
+        bridge, vcomm = self._bound()
+        sarr = _parse_buffer(sendbuf, what="Alltoall(send)", writable=False)
+        rarr = _parse_buffer(recvbuf, what="Alltoall(recv)", writable=True)
+        bridge.call("Alltoall", lambda: vcomm.Alltoall(sarr, rarr),
+                    nbytes=sarr.nbytes)
+
+    def Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        bridge, vcomm = self._bound()
+        sarr = _parse_buffer(sendbuf, what="Gather(send)", writable=False)
+        rarr = _parse_buffer(recvbuf, what="Gather(recv)", writable=True)
+        bridge.call("Gather",
+                    lambda: vcomm.Gather(sarr, rarr, root=root),
+                    root=root, nbytes=sarr.nbytes)
+
+    def Scatter(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        bridge, vcomm = self._bound()
+        sarr = _parse_buffer(sendbuf, what="Scatter(send)", writable=False)
+        rarr = _parse_buffer(recvbuf, what="Scatter(recv)", writable=True)
+        bridge.call("Scatter",
+                    lambda: vcomm.Scatter(sarr, rarr, root=root),
+                    root=root, nbytes=rarr.nbytes)
+
+
+#: mpi4py exposes COMM_WORLD as an Intracomm
+Intracomm = Comm
+
+
+class _NullComm(Comm):
+    """MPI_COMM_NULL: every operation is erroneous."""
+
+    def __init__(self) -> None:
+        super().__init__(binder=None, name="MPI_COMM_NULL")
+
+    def _bound(self):
+        raise ShimError(
+            "operation on MPI_COMM_NULL (e.g. this rank passed "
+            "MPI.UNDEFINED to Split)")
+
+    def Get_rank(self) -> int:
+        self._bound()
+
+    def Get_size(self) -> int:
+        self._bound()
+
+    def Free(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<repro.shim Comm MPI_COMM_NULL>"
+
+
+COMM_WORLD = Comm()
+COMM_NULL = _NullComm()
+
+
+# -- environment -------------------------------------------------------
+def Wtime() -> float:
+    """Simulated seconds at this rank's last completed MPI call —
+    deterministic, unlike reading the global simulator clock (which may
+    already have advanced for other ranks)."""
+    return current_bridge().now
+
+
+def Wtick() -> float:
+    return 1e-9
+
+
+def Get_processor_name() -> str:
+    """The simulated node hosting this rank."""
+    return f"node{current_bridge().ctx.node_id}"
+
+
+def Init() -> None:
+    """No-op: the world is initialized by :func:`repro.shim.run`."""
+
+
+def Finalize() -> None:
+    """No-op: teardown happens when the rank function returns."""
+
+
+def Is_initialized() -> bool:
+    return True
+
+
+def Is_finalized() -> bool:
+    return False
+
+
+def __getattr__(name: str):
+    if name.startswith("_"):
+        raise AttributeError(name)
+    raise ShimUnsupportedError(f"MPI.{name}")

@@ -1,0 +1,177 @@
+"""mpi4py's pickle protocol over the buffer-protocol runtime.
+
+mpi4py's lowercase methods (``bcast``/``gather``/``send``/…) move
+arbitrary Python objects by pickling them; the simulated runtime only
+moves byte buffers.  This module composes each object operation out of
+:class:`~repro.api.VComm` buffer calls exactly the way mpi4py's own
+implementation does over MPI: a fixed-size *size header* (one uint64)
+so receivers can allocate, then the pickled payload, with vector
+collectives carrying the ragged payloads.
+
+Everything here is a generator meant to be driven on the simulator
+thread (the shim bridge wraps each one in a ``shim.*`` span), so the
+modeled cost of, say, ``comm.bcast(obj)`` is the modeled cost of the
+size-header broadcast plus the payload broadcast under the session's
+library/machine — the same two-phase shape real object broadcasts pay.
+
+Reductions (``allreduce``/``reduce``) follow mpi4py's object-mode
+semantics: gather the operands and fold them in rank order with the
+Python-level op, which keeps results deterministic and supports any
+picklable operand, not just arrays.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+#: element dtype of the size header that precedes every ragged payload
+_SIZE = np.uint64
+
+
+def _dumps(obj: Any) -> np.ndarray:
+    """Pickle ``obj`` into a writable uint8 array (the runtime's
+    write-back idiom requires writable buffers even on the send side of
+    in-place collectives like Bcast)."""
+    return np.frombuffer(bytearray(pickle.dumps(obj)), dtype=np.uint8)
+
+
+def _loads(payload: np.ndarray) -> Any:
+    return pickle.loads(payload.tobytes())
+
+
+def bcast(vcomm, obj: Any, root: int = 0):
+    """Generator: object broadcast; returns the object on every rank
+    (the root returns its own ``obj`` unchanged, as mpi4py does)."""
+    me = vcomm.rank
+    if me == root:
+        payload = _dumps(obj)
+        header = np.array([payload.size], dtype=_SIZE)
+    else:
+        payload = None
+        header = np.zeros(1, dtype=_SIZE)
+    yield from vcomm.Bcast(header, root=root)
+    if me != root:
+        payload = np.empty(int(header[0]), dtype=np.uint8)
+    yield from vcomm.Bcast(payload, root=root)
+    if me == root:
+        return obj
+    return _loads(payload)
+
+
+def gather(vcomm, obj: Any, root: int = 0):
+    """Generator: object gather; root returns the rank-ordered list,
+    everyone else None."""
+    me, size = vcomm.rank, vcomm.size
+    payload = _dumps(obj)
+    my_size = np.array([payload.size], dtype=_SIZE)
+    sizes = np.empty(size, dtype=_SIZE) if me == root else None
+    yield from vcomm.Gather(my_size, sizes, root=root)
+    if me == root:
+        counts = [int(n) for n in sizes]
+        recv = np.empty(sum(counts), dtype=np.uint8)
+    else:
+        counts, recv = None, None
+    yield from vcomm.Gatherv(payload, recv, counts=counts, root=root)
+    if me != root:
+        return None
+    out, offset = [], 0
+    for count in counts:
+        out.append(_loads(recv[offset:offset + count]))
+        offset += count
+    return out
+
+
+def scatter(vcomm, objs: "Sequence[Any]", root: int = 0):
+    """Generator: object scatter; root supplies one object per rank,
+    every rank returns its own."""
+    me, size = vcomm.rank, vcomm.size
+    if me == root:
+        if len(objs) != size:
+            raise ValueError(
+                f"scatter expects exactly {size} items at the root, "
+                f"got {len(objs)}")
+        payloads = [_dumps(o) for o in objs]
+        counts = [p.size for p in payloads]
+        sizes = np.array(counts, dtype=_SIZE)
+        send = np.concatenate(payloads)
+    else:
+        counts, sizes, send = None, None, None
+    my_size = np.empty(1, dtype=_SIZE)
+    yield from vcomm.Scatter(sizes, my_size, root=root)
+    recv = np.empty(int(my_size[0]), dtype=np.uint8)
+    yield from vcomm.Scatterv(send, counts, recv, root=root)
+    return _loads(recv)
+
+
+def allgather(vcomm, obj: Any):
+    """Generator: object allgather; every rank returns the full
+    rank-ordered list."""
+    size = vcomm.size
+    payload = _dumps(obj)
+    my_size = np.array([payload.size], dtype=_SIZE)
+    sizes = np.empty(size, dtype=_SIZE)
+    yield from vcomm.Allgather(my_size, sizes)
+    counts = [int(n) for n in sizes]
+    recv = np.empty(sum(counts), dtype=np.uint8)
+    yield from vcomm.Allgatherv(payload, recv, counts)
+    out, offset = [], 0
+    for count in counts:
+        out.append(_loads(recv[offset:offset + count]))
+        offset += count
+    return out
+
+
+def allreduce(vcomm, obj: Any, fold: Callable[[Any, Any], Any]):
+    """Generator: object allreduce — allgather the operands, fold in
+    rank order (mpi4py's object-mode semantics)."""
+    operands = yield from allgather(vcomm, obj)
+    acc = operands[0]
+    for operand in operands[1:]:
+        acc = fold(acc, operand)
+    return acc
+
+
+def reduce(vcomm, obj: Any, fold: Callable[[Any, Any], Any],
+           root: int = 0):
+    """Generator: object reduce — gather to root, fold in rank order;
+    non-roots return None."""
+    operands = yield from gather(vcomm, obj, root=root)
+    if operands is None:
+        return None
+    acc = operands[0]
+    for operand in operands[1:]:
+        acc = fold(acc, operand)
+    return acc
+
+
+def send(vcomm, obj: Any, dest: int, tag: int = 0):
+    """Generator: object send (size header, then payload, same tag —
+    non-overtaking per (source, tag) keeps the pair adjacent)."""
+    payload = _dumps(obj)
+    header = np.array([payload.size], dtype=_SIZE)
+    yield from vcomm.Send(header, dest, tag=tag)
+    yield from vcomm.Send(payload, dest, tag=tag)
+
+
+def recv(vcomm, source: int = -1, tag: int = -1):
+    """Generator: object receive; returns ``(obj, source, tag, nbytes)``
+    with the *actual* matched source/tag (wildcards resolved by the
+    header's envelope, which then pins the payload receive)."""
+    header = np.empty(1, dtype=_SIZE)
+    status = yield from vcomm.Recv(header, source, tag=tag)
+    payload = np.empty(int(header[0]), dtype=np.uint8)
+    yield from vcomm.Recv(payload, status.source, tag=status.tag)
+    return _loads(payload), status.source, status.tag, payload.size
+
+
+def sendrecv(vcomm, obj: Any, dest: int, sendtag: int,
+             source: int = -1, recvtag: int = -1):
+    """Generator: paired object exchange, deadlock-free (the send half
+    runs as a nonblocking operation while the receive blocks)."""
+    outgoing = vcomm.ctx.start(send(vcomm, obj, dest, sendtag))
+    result = yield from recv(vcomm, source, tag=recvtag)
+    yield from vcomm.ctx.wait(outgoing)
+    return result

@@ -5,6 +5,7 @@ import pytest
 from repro.bench.workloads import (
     CollectiveTrace,
     analytics_shuffle,
+    bcast_storm,
     compare_on_trace,
     replay_trace,
     stencil_app,
@@ -38,6 +39,24 @@ def test_stencil_trace_shape():
 def test_training_mix_shape():
     t = training_step_mix(layers=(128, 256), steps=3)
     assert t.histogram() == {"allreduce": 6, "bcast": 3}
+
+
+def test_bcast_storm_shape():
+    t = bcast_storm(n_keys=3, nrows=6, ncols=5)
+    # shape header + key table + one matrix per key + trailing scalar
+    assert t.histogram() == {"bcast": 3 + 3}
+    assert t.total_bytes() == 8 + 12 + 3 * 6 * 5 * 8 + 8
+    # The storm mixes tiny headers with dense payloads.
+    sizes = [n for _c, n in t.calls]
+    assert min(sizes) == 8 and max(sizes) == 6 * 5 * 8
+
+
+def test_bcast_storm_replayable():
+    t = bcast_storm(n_keys=2, nrows=4, ncols=4)
+    a = replay_trace("MPICH", t, PARAMS)
+    b = replay_trace("MPICH", t, PARAMS)
+    assert a.per_call_us == b.per_call_us
+    assert len(a.per_call_us) == len(t)
 
 
 def test_analytics_shuffle_shape():
@@ -76,6 +95,7 @@ def test_pip_mcoll_wins_end_to_end_on_every_workload():
         stencil_app(),
         training_step_mix(),
         analytics_shuffle(),
+        bcast_storm(n_keys=4, nrows=8, ncols=8),
     ):
         results = compare_on_trace(trace, params, ["MPICH", "PiP-MColl"])
         assert results["PiP-MColl"].total_us < results["MPICH"].total_us, trace.name

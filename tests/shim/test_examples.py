@@ -1,0 +1,91 @@
+"""The mpi4py example ports produce byte-identical numerics.
+
+``examples/mpi4py_kmeans.py`` and ``examples/mpi4py_halo_exchange.py``
+are plain mpi4py programs.  Run unmodified through the shim they must
+reproduce the *exact* per-rank results of the native generator versions
+(``examples/kmeans_allreduce.py``, ``examples/halo_exchange.py``): the
+simulation moves real bytes through the same collective schedules, so
+equality is ``==`` on floats, not approx.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import shim
+from repro.api import Session
+from repro.shim.runner import _script_environment
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    """Import an example module straight from the examples directory."""
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"_shim_example_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    with _script_environment(str(path), ()):
+        # The mpi4py ports do `from mpi4py import MPI` at import time;
+        # inside the alias context that resolves to repro.shim.mpi.
+        spec.loader.exec_module(module)
+    sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.fixture(scope="module")
+def kmeans_modules():
+    return load_example("kmeans_allreduce"), load_example("mpi4py_kmeans")
+
+
+@pytest.fixture(scope="module")
+def halo_modules():
+    return load_example("halo_exchange"), load_example("mpi4py_halo_exchange")
+
+
+@pytest.mark.parametrize("library", ["MPICH", "PiP-MColl"])
+def test_kmeans_port_is_byte_identical(kmeans_modules, library):
+    native_mod, port_mod = kmeans_modules
+    native = Session(library=library, nodes=8, ppn=4,
+                     trace=False).run(native_mod.kmeans)
+    shimmed = shim.run(port_mod.kmeans, nodes=8, ppn=4, trace=False,
+                       library=library)
+
+    assert len(shimmed.values) == len(native.values) == 32
+    for rank, (nat, shm) in enumerate(zip(native.values, shimmed.values)):
+        # (centroid_history, local_inertia, elapsed); numerics must be
+        # exactly equal — elapsed may differ (the native app models
+        # compute FLOPs the synchronous port cannot express).
+        assert shm[0] == nat[0], f"rank {rank}: centroid history diverged"
+        assert shm[1] == nat[1], f"rank {rank}: inertia diverged"
+
+
+def test_halo_port_is_byte_identical(halo_modules):
+    native_mod, port_mod = halo_modules
+    native = Session(library="PiP-MColl", nodes=4, ppn=4,
+                     trace=False).run(native_mod.jacobi)
+    shimmed = shim.run(port_mod.jacobi, nodes=4, ppn=4, trace=False,
+                       library="PiP-MColl")
+
+    assert len(shimmed.values) == len(native.values) == 16
+    for rank, (nat, shm) in enumerate(zip(native.values, shimmed.values)):
+        assert shm[0] == nat[0], f"rank {rank}: residual history diverged"
+
+
+def test_halo_port_guards_world_size(halo_modules):
+    _, port_mod = halo_modules
+    with pytest.raises(SystemExit, match="16 ranks"):
+        shim.run(port_mod.jacobi, nodes=2, ppn=2, trace=False)
+
+
+def test_kmeans_port_runs_as_a_script(capsys):
+    """The full script (including its reduce/allreduce reporting in
+    main()) runs end to end under run_script."""
+    result = shim.run_script(EXAMPLES / "mpi4py_kmeans.py", nranks=32,
+                             trace=False)
+    assert result.elapsed > 0
+    out = capsys.readouterr().out
+    assert out.count("k-means") == 1  # root prints exactly once
+    assert "32 ranks" in out

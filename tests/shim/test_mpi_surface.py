@@ -1,0 +1,232 @@
+"""The mpi4py-compatible surface: communicators, constants, clocks.
+
+Everything here drives *synchronous* user functions through
+:func:`repro.shim.run` — no generators, no ``yield from`` — and
+asserts the shim resolves them to the right simulated rank.
+"""
+
+import numpy as np
+import pytest
+
+from repro import shim
+from repro.shim import MPI
+from repro.shim.errors import (ShimError, ShimNotRunningError,
+                               ShimUnsupportedError)
+
+
+def run4(fn, **kwargs):
+    kwargs.setdefault("nodes", 2)
+    kwargs.setdefault("ppn", 2)
+    kwargs.setdefault("trace", False)
+    return shim.run(fn, **kwargs)
+
+
+def test_rank_and_size():
+    def app():
+        comm = MPI.COMM_WORLD
+        assert comm.rank == comm.Get_rank()
+        assert comm.size == comm.Get_size() == 4
+        return comm.Get_rank()
+
+    assert run4(app).values == [0, 1, 2, 3]
+
+
+def test_wtime_is_per_rank_sim_time():
+    def app():
+        comm = MPI.COMM_WORLD
+        t0 = MPI.Wtime()
+        comm.barrier()
+        t1 = MPI.Wtime()
+        total = np.empty(4)
+        comm.Allreduce(np.ones(4), total)
+        t2 = MPI.Wtime()
+        assert t0 <= t1 <= t2
+        return t2
+
+    result = run4(app)
+    # An allreduce completes at the same instant on every rank here,
+    # and nothing is left in flight: Wtime matches the world clock.
+    assert all(t > 0.0 for t in result.values)
+    assert max(result.values) == result.elapsed
+
+
+def test_wtick_and_processor_name():
+    def app():
+        assert MPI.Wtick() > 0.0
+        return MPI.Get_processor_name()
+
+    names = run4(app).values
+    assert names == ["node0", "node0", "node1", "node1"]
+
+
+def test_split_by_parity():
+    def app():
+        comm = MPI.COMM_WORLD
+        rank = comm.Get_rank()
+        sub = comm.Split(color=rank % 2, key=rank)
+        val = sub.allreduce(rank)
+        assert sub.Get_size() == 2
+        sub.Free()
+        return val
+
+    assert run4(app).values == [2, 4, 2, 4]
+
+
+def test_split_undefined_returns_comm_null():
+    def app():
+        comm = MPI.COMM_WORLD
+        rank = comm.Get_rank()
+        sub = comm.Split(color=MPI.UNDEFINED if rank == 0 else 0, key=rank)
+        if rank == 0:
+            assert sub is MPI.COMM_NULL
+            with pytest.raises(ShimError):
+                sub.Get_rank()
+            return None
+        members = sub.allgather(rank)
+        sub.Free()
+        return members
+
+    values = run4(app).values
+    assert values[0] is None
+    assert values[1:] == [[1, 2, 3]] * 3
+
+
+def test_dup_is_independent_communicator():
+    def app():
+        comm = MPI.COMM_WORLD
+        dup = comm.Dup()
+        assert dup.Get_size() == comm.Get_size()
+        assert dup.Get_rank() == comm.Get_rank()
+        out = dup.bcast("dup" if dup.Get_rank() == 0 else None, root=0)
+        dup.Free()
+        return out
+
+    assert run4(app).values == ["dup"] * 4
+
+
+def test_freed_comm_rejects_use_and_world_cannot_be_freed():
+    def app():
+        comm = MPI.COMM_WORLD
+        sub = comm.Dup()
+        sub.Free()
+        with pytest.raises(ShimError, match="freed"):
+            sub.barrier()
+        with pytest.raises(ShimError, match="COMM_WORLD"):
+            comm.Free()
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4
+
+
+def test_unsupported_attribute_names_the_attribute():
+    def app():
+        with pytest.raises(ShimUnsupportedError, match="Comm.Iprobe"):
+            MPI.COMM_WORLD.Iprobe
+        with pytest.raises(ShimUnsupportedError, match="MPI.Win"):
+            MPI.Win
+        with pytest.raises(ShimUnsupportedError, match="docs/SHIM.md"):
+            MPI.Get_version()
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4
+
+
+def test_calls_outside_a_run_fail_loudly():
+    with pytest.raises(ShimNotRunningError, match="shim.run"):
+        MPI.COMM_WORLD.Get_rank()
+    with pytest.raises(ShimNotRunningError):
+        MPI.Wtime()
+
+
+def test_datatype_and_op_constants():
+    assert MPI.DOUBLE.np_dtype == np.float64
+    assert MPI.INT16_T.np_dtype == np.int16
+    assert MPI.DOUBLE.Get_size() == 8
+    assert MPI.SUM.py(2, 3) == 5
+    assert MPI.MAX.py(2, 3) == 3
+    assert MPI.MIN.py(2, 3) == 2
+    assert MPI.PROD.py(2, 3) == 6
+
+
+def test_buffer_ops_max_min_prod():
+    def app():
+        rank = MPI.COMM_WORLD.Get_rank()
+        send = np.array([float(rank + 1)])
+        hi, lo, prod = np.empty(1), np.empty(1), np.empty(1)
+        MPI.COMM_WORLD.Allreduce(send, hi, op=MPI.MAX)
+        MPI.COMM_WORLD.Allreduce(send, lo, op=MPI.MIN)
+        MPI.COMM_WORLD.Allreduce(send, prod, op=MPI.PROD)
+        return hi[0], lo[0], prod[0]
+
+    assert run4(app).values == [(4.0, 1.0, 24.0)] * 4
+
+
+def test_status_object():
+    def app():
+        comm = MPI.COMM_WORLD
+        rank = comm.Get_rank()
+        if rank == 0:
+            st = MPI.Status()
+            buf = np.empty(3)
+            comm.Recv(buf, source=MPI.ANY_SOURCE, tag=9, status=st)
+            assert st.Get_source() == 1
+            assert st.Get_tag() == 9
+            assert st.Get_count(MPI.DOUBLE) == 3
+            assert st.Get_count() == 24  # bytes
+            return list(buf)
+        if rank == 1:
+            comm.Send(np.array([1.0, 2.0, 3.0]), dest=0, tag=9)
+        return None
+
+    assert run4(app).values[0] == [1.0, 2.0, 3.0]
+
+
+def test_proc_null_operations_complete_immediately():
+    def app():
+        comm = MPI.COMM_WORLD
+        comm.Send(np.ones(2), dest=MPI.PROC_NULL)
+        st = MPI.Status()
+        buf = np.full(2, 7.0)
+        comm.Recv(buf, source=MPI.PROC_NULL, status=st)
+        assert st.Get_source() == MPI.PROC_NULL
+        assert st.Get_count() == 0
+        assert list(buf) == [7.0, 7.0]  # untouched
+        assert comm.recv(source=MPI.PROC_NULL) is None
+        got = comm.sendrecv("x", dest=MPI.PROC_NULL,
+                            source=MPI.PROC_NULL)
+        assert got is None
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4
+
+
+def test_init_finalize_are_noops():
+    def app():
+        MPI.Init()
+        assert MPI.Is_initialized()
+        assert not MPI.Is_finalized()
+        MPI.Finalize()
+        return MPI.COMM_WORLD.Get_rank()
+
+    assert run4(app).values == [0, 1, 2, 3]
+
+
+def test_comm_handle_is_rank_private():
+    """A Split communicator created by one rank cannot be smuggled to
+    another (handles are per-process in MPI; per-thread here)."""
+    holder = {}
+
+    def app():
+        comm = MPI.COMM_WORLD
+        rank = comm.Get_rank()
+        sub = comm.Split(color=0, key=rank)
+        if rank == 0:
+            holder["comm"] = sub
+        comm.barrier()
+        if rank == 1:
+            with pytest.raises(ShimError, match="belongs to rank 0"):
+                holder["comm"].Get_rank()
+        comm.barrier()
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4

@@ -1,0 +1,227 @@
+"""Pickle-protocol edge cases: the lowercase object methods.
+
+Covers the ISSUE 10 checklist explicitly: non-contiguous numpy views,
+``None`` payloads on non-root ranks, nested dicts (the EmbASI
+``mpi_bcast_matrix_storage`` shape), and mismatched buffer dtypes
+raising a clear :class:`ShimTypeError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import shim
+from repro.shim import MPI
+from repro.shim.errors import ShimTypeError, ShimUnsupportedError
+
+
+def run4(fn, **kwargs):
+    kwargs.setdefault("nodes", 2)
+    kwargs.setdefault("ppn", 2)
+    kwargs.setdefault("trace", False)
+    return shim.run(fn, **kwargs)
+
+
+# -- non-contiguous views ----------------------------------------------
+def test_bcast_of_non_contiguous_view_roundtrips():
+    """The pickle protocol handles arbitrary views (pickle preserves
+    strided data); only the buffer protocol must reject them."""
+    def app():
+        rank = MPI.COMM_WORLD.Get_rank()
+        if rank == 0:
+            col = np.arange(16.0).reshape(4, 4)[:, 1]  # stride 4
+            assert not col.flags.c_contiguous
+        else:
+            col = None
+        out = MPI.COMM_WORLD.bcast(col, root=0)
+        return list(out)
+
+    assert run4(app).values == [[1.0, 5.0, 9.0, 13.0]] * 4
+
+
+def test_buffer_protocol_rejects_non_contiguous():
+    def app():
+        comm = MPI.COMM_WORLD
+        view = np.zeros((4, 4))[:, 1]
+        with pytest.raises(ShimTypeError, match="not C-contiguous"):
+            comm.Bcast(view, root=0)
+        with pytest.raises(ShimTypeError, match="pickle-protocol"):
+            comm.Send(view, dest=0)
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4
+
+
+# -- None payloads ------------------------------------------------------
+def test_bcast_with_none_on_non_root():
+    def app():
+        rank = MPI.COMM_WORLD.Get_rank()
+        payload = {"weights": [1, 2, 3]} if rank == 0 else None
+        return MPI.COMM_WORLD.bcast(payload, root=0)
+
+    assert run4(app).values == [{"weights": [1, 2, 3]}] * 4
+
+
+def test_bcast_of_none_itself():
+    def app():
+        rank = MPI.COMM_WORLD.Get_rank()
+        return MPI.COMM_WORLD.bcast(None if rank == 0 else "junk", root=0)
+
+    assert run4(app).values == [None] * 4
+
+
+def test_scatter_with_none_on_non_root():
+    def app():
+        comm = MPI.COMM_WORLD
+        items = None
+        if comm.Get_rank() == 0:
+            items = [{"rank": r} for r in range(comm.Get_size())]
+        return comm.scatter(items, root=0)
+
+    assert run4(app).values == [{"rank": r} for r in range(4)]
+
+
+def test_gather_returns_none_on_non_root():
+    def app():
+        comm = MPI.COMM_WORLD
+        got = comm.gather(comm.Get_rank() ** 2, root=1)
+        if comm.Get_rank() == 1:
+            return got
+        assert got is None
+        return "non-root"
+
+    values = run4(app).values
+    assert values[1] == [0, 1, 4, 9]
+    assert values[0] == values[2] == values[3] == "non-root"
+
+
+# -- nested dicts (EmbASI matrix-storage shape) ------------------------
+def test_bcast_nested_dict_of_matrices():
+    def app():
+        comm = MPI.COMM_WORLD
+        if comm.Get_rank() == 0:
+            store = {
+                (0, 1): {"dm": np.arange(6.0).reshape(2, 3), "spin": 1},
+                (2, 2): {"dm": np.eye(2), "spin": -1},
+            }
+        else:
+            store = None
+        store = comm.bcast(store, root=0)
+        keys = sorted(store)
+        checks = [float(store[k]["dm"].sum()) for k in keys]
+        return keys, checks, store[(0, 1)]["spin"]
+
+    assert run4(app).values == [([(0, 1), (2, 2)], [15.0, 2.0], 1)] * 4
+
+
+def test_allgather_and_allreduce_of_objects():
+    def app():
+        comm = MPI.COMM_WORLD
+        rank = comm.Get_rank()
+        everyone = comm.allgather({"rank": rank})
+        assert [e["rank"] for e in everyone] == [0, 1, 2, 3]
+        # Python-level fold in rank order: list concatenation is
+        # order-sensitive, so this checks determinism too.
+        merged = comm.allreduce([rank])
+        assert merged == [0, 1, 2, 3]
+        biggest = comm.allreduce(rank, op=MPI.MAX)
+        folded = comm.reduce(rank + 1, op=MPI.PROD, root=0)
+        return merged, biggest, folded
+
+    values = run4(app).values
+    assert values[0] == ([0, 1, 2, 3], 3, 24)
+    assert values[2] == ([0, 1, 2, 3], 3, None)
+
+
+# -- mismatched buffer dtypes ------------------------------------------
+def test_declared_datatype_mismatch_raises_shim_type_error():
+    def app():
+        comm = MPI.COMM_WORLD
+        wrong = np.zeros(4, dtype=np.float32)
+        with pytest.raises(ShimTypeError, match="float32 does not match"):
+            comm.Bcast([wrong, MPI.DOUBLE], root=0)
+        with pytest.raises(ShimTypeError, match="MPI.INT16_T"):
+            comm.Bcast([np.zeros(2, np.int32), MPI.INT16_T], root=0)
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4
+
+
+def test_send_recv_dtype_mismatch_raises():
+    def app():
+        comm = MPI.COMM_WORLD
+        a32 = np.zeros(4, np.float32)
+        b64 = np.zeros(4, np.float64)
+        with pytest.raises(ShimTypeError):
+            comm.Allreduce(a32, b64)
+        with pytest.raises(ShimTypeError):
+            comm.Reduce(a32, b64, root=0)
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4
+
+
+def test_bad_buffer_specs_raise_with_guidance():
+    def app():
+        comm = MPI.COMM_WORLD
+        with pytest.raises(ShimTypeError, match="pickle-protocol"):
+            comm.Bcast([1.0, 2.0], root=0)  # plain list, not an ndarray
+        with pytest.raises(ShimTypeError, match="count"):
+            comm.Bcast([np.zeros(4), 3, MPI.DOUBLE], root=0)
+        with pytest.raises(ShimUnsupportedError, match="IN_PLACE"):
+            comm.Allreduce(MPI.IN_PLACE, np.zeros(4))
+        return "ok"
+
+    assert run4(app).values == ["ok"] * 4
+
+
+# -- point-to-point objects --------------------------------------------
+def test_object_send_recv_with_wildcards():
+    def app():
+        comm = MPI.COMM_WORLD
+        rank = comm.Get_rank()
+        if rank == 0:
+            seen = {}
+            for _ in range(comm.Get_size() - 1):
+                st = MPI.Status()
+                obj = comm.recv(source=MPI.ANY_SOURCE, tag=MPI.ANY_TAG,
+                                status=st)
+                seen[st.Get_source()] = (obj, st.Get_tag())
+            return sorted(seen.items())
+        comm.send({"rank": rank, "data": list(range(rank))},
+                  dest=0, tag=10 + rank)
+        return None
+
+    head = run4(app).values[0]
+    assert head == [
+        (1, ({"rank": 1, "data": [0]}, 11)),
+        (2, ({"rank": 2, "data": [0, 1]}, 12)),
+        (3, ({"rank": 3, "data": [0, 1, 2]}, 13)),
+    ]
+
+
+def test_object_sendrecv_ring():
+    def app():
+        comm = MPI.COMM_WORLD
+        rank, size = comm.Get_rank(), comm.Get_size()
+        got = comm.sendrecv({"from": rank}, dest=(rank + 1) % size,
+                            sendtag=4, source=(rank - 1) % size,
+                            recvtag=4)
+        return got["from"]
+
+    assert run4(app).values == [3, 0, 1, 2]
+
+
+def test_large_object_roundtrip():
+    """A payload big enough to leave the eager path still arrives
+    intact through header + payload framing."""
+    def app():
+        comm = MPI.COMM_WORLD
+        if comm.Get_rank() == 0:
+            blob = {"m": np.arange(32768, dtype=np.float64)}
+        else:
+            blob = None
+        blob = comm.bcast(blob, root=0)
+        return float(blob["m"].sum())
+
+    expect = float(np.arange(32768, dtype=np.float64).sum())
+    assert run4(app).values == [expect] * 4
